@@ -1,0 +1,53 @@
+//! Parallel branch-and-bound scaling: serial NLP tree vs the rayon
+//! work-stealing tree at 1, 2, 4, 8 workers on a deliberately branchy
+//! instance (many integer variables, tight capacity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb_minlp::{solve_nlp_bnb, solve_parallel_bnb, MinlpOptions, MinlpProblem};
+use hslb_nlp::{ConstraintFn, ScalarFn};
+
+/// K-task allocation with awkward load ratios: the continuous split is far
+/// from integral, forcing a deep tree.
+fn branchy(k: usize, cap: i64) -> MinlpProblem {
+    let mut p = MinlpProblem::new();
+    let vars: Vec<usize> = (0..k).map(|_| p.add_int_var(0.0, 1, cap)).collect();
+    let t = p.add_var(1.0, 0.0, 1e9);
+    for (i, &v) in vars.iter().enumerate() {
+        let a = 97.0 + 61.3 * i as f64 + 13.7 * ((i * i) % 5) as f64;
+        p.add_constraint(
+            ConstraintFn::new(format!("t{i}"))
+                .nonlinear_term(v, ScalarFn::perf_model(a, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+    }
+    let mut c = ConstraintFn::new("cap").with_constant(-(cap as f64));
+    for &v in &vars {
+        c = c.linear_term(v, 1.0);
+    }
+    p.add_constraint(c);
+    p
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_bnb_scaling");
+    group.sample_size(10);
+    let p = branchy(7, 53);
+
+    group.bench_function("serial_best_bound", |b| {
+        b.iter(|| solve_nlp_bnb(&p, &MinlpOptions::default()))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                let opts = MinlpOptions { threads, ..Default::default() };
+                b.iter(|| solve_parallel_bnb(&p, &opts))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

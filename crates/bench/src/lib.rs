@@ -1,0 +1,8 @@
+//! Benchmark harness: regenerates every table and figure of the HSLB papers.
+//!
+//! See `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md` (results) at
+//! the repository root. The `tables` binary drives the [`harness`] functions
+//! from the command line; the Criterion benches measure the solver-side
+//! claims (§III-E solve time, SOS-branching ablation).
+
+pub mod harness;

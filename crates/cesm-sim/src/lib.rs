@@ -1,0 +1,39 @@
+//! Synthetic CESM-on-Intrepid substrate.
+//!
+//! The paper benchmarks CESM 1.1.1/1.2 on the Argonne Blue Gene/P
+//! ("Intrepid", 40,960 quad-core nodes). That machine and code base are not
+//! reproducible here, so this crate simulates the only surface HSLB ever
+//! touches: **per-component wall-clock as a function of node count**, plus
+//! the coupled-execution semantics of the three Figure-1 layouts.
+//!
+//! Calibration: the ground-truth timing functions are reverse-engineered
+//! from the paper's own Table III observations (see `DESIGN.md`); e.g. the
+//! 1/8° ocean surface reproduces the paper's five published points to
+//! within a percent with a plain `a/n + d` law. The sea-ice component gets
+//! decomposition-dependent systematic noise, reproducing the paper's
+//! observation that CICE's default decompositions "increased the noise in
+//! the sea ice performance curve fit".
+//!
+//! * [`machine::Machine`] — node/core accounting (Intrepid preset).
+//! * [`truth::GroundTruth`] — calibrated per-component timing surfaces.
+//! * [`scenario::Scenario`] — the paper's two configurations (1° and 1/8°),
+//!   including the hard-coded ocean node-count sets and atmosphere "sweet
+//!   spot" sets of Table I.
+//! * [`simulator::CesmSimulator`] — implements [`hslb::Workload`]: noisy
+//!   benchmarking plus day-stepped coupled execution.
+//! * [`manual`] — the paper's "human expert" baseline allocations.
+
+pub mod icedecomp;
+pub mod machine;
+pub mod manual;
+pub mod noise;
+pub mod scenario;
+pub mod simulator;
+pub mod truth;
+
+pub use icedecomp::DecompositionSelector;
+pub use machine::Machine;
+pub use manual::manual_allocation;
+pub use scenario::{Resolution, Scenario};
+pub use simulator::CesmSimulator;
+pub use truth::GroundTruth;

@@ -1,0 +1,61 @@
+//! Machine model.
+
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous MPP machine described by node and core counts.
+///
+/// The paper runs CESM with "1 MPI task and 4 threads per task on each
+/// node" of Intrepid, and all HSLB decision variables are in **nodes** —
+/// cores only matter for reporting ("32,768 nodes (131,072 cores)").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    pub name: String,
+    pub total_nodes: u64,
+    pub cores_per_node: u64,
+}
+
+impl Machine {
+    /// The paper's machine: ALCF Intrepid, IBM Blue Gene/P.
+    pub fn intrepid() -> Self {
+        Machine { name: "Intrepid (IBM Blue Gene/P)".into(), total_nodes: 40_960, cores_per_node: 4 }
+    }
+
+    /// A partition of the machine (job allocation of `nodes` nodes).
+    ///
+    /// # Panics
+    /// Panics if the partition exceeds the machine.
+    pub fn partition(&self, nodes: u64) -> Machine {
+        assert!(nodes <= self.total_nodes, "partition {nodes} exceeds {}", self.total_nodes);
+        Machine { name: self.name.clone(), total_nodes: nodes, cores_per_node: self.cores_per_node }
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> u64 {
+        self.total_nodes * self.cores_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrepid_dimensions() {
+        let m = Machine::intrepid();
+        assert_eq!(m.total_nodes, 40_960);
+        assert_eq!(m.total_cores(), 163_840);
+    }
+
+    #[test]
+    fn paper_headline_partition() {
+        // "32,768 nodes (131,072 cores)" — the abstract's configuration.
+        let p = Machine::intrepid().partition(32_768);
+        assert_eq!(p.total_cores(), 131_072);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_partition_panics() {
+        Machine::intrepid().partition(50_000);
+    }
+}

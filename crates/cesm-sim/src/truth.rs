@@ -1,0 +1,163 @@
+//! Calibrated ground-truth timing surfaces.
+//!
+//! Parameters are reverse-engineered from the paper's Table III (see
+//! DESIGN.md for the derivation): e.g. the published 1/8° ocean timings are,
+//! to three digits, an exact `a/n + d` law with `a = 8.238e6`, `d = 289`
+//! (`T(6124) = 1634` vs the paper's 1645; `T(9812) = 1129` vs 1129;
+//! `T(3136) = 2916` vs 2919).
+
+use crate::noise;
+use hslb_perfmodel::PerfModel;
+use serde::{Deserialize, Serialize};
+
+/// Component indices, in the workload order used across the workspace.
+pub const ICE: usize = 0;
+pub const LND: usize = 1;
+pub const ATM: usize = 2;
+pub const OCN: usize = 3;
+
+/// Component display names, index-aligned.
+pub const NAMES: [&str; 4] = ["ice", "lnd", "atm", "ocn"];
+
+/// Noise configuration of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Run-to-run log-normal sigma.
+    pub run_sigma: f64,
+    /// One-sided systematic decomposition amplitude.
+    pub decomp_amplitude: f64,
+}
+
+/// Ground truth for one configuration: the *actual* (hidden) performance
+/// surfaces HSLB tries to learn from noisy samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Base models, index-aligned with [`ICE`], [`LND`], [`ATM`], [`OCN`].
+    pub models: [PerfModel; 4],
+    pub noise: [NoiseSpec; 4],
+}
+
+impl GroundTruth {
+    /// 1° FV atmosphere/land + 1° ocean/ice (the paper's moderate setup).
+    pub fn one_degree() -> Self {
+        GroundTruth {
+            models: [
+                PerfModel::amdahl(7774.0, 11.8),           // ice (CICE)
+                PerfModel::amdahl(1484.0, 1.94),           // lnd (CLM)
+                PerfModel::new(27_180.0, 5e-4, 1.0, 44.0), // atm (CAM FV)
+                PerfModel::amdahl(7754.0, 41.8),           // ocn (POP)
+            ],
+            noise: [
+                NoiseSpec { run_sigma: 0.02, decomp_amplitude: 0.12 }, // noisy CICE
+                NoiseSpec { run_sigma: 0.01, decomp_amplitude: 0.0 },
+                NoiseSpec { run_sigma: 0.008, decomp_amplitude: 0.0 },
+                NoiseSpec { run_sigma: 0.008, decomp_amplitude: 0.0 },
+            ],
+        }
+    }
+
+    /// 1/8° HOMME-SE atmosphere + 1/4° land + 1/10° ocean/ice (the paper's
+    /// high-resolution setup).
+    pub fn eighth_degree() -> Self {
+        GroundTruth {
+            models: [
+                PerfModel::amdahl(1.795e6, 140.0), // ice
+                PerfModel::amdahl(7.0e4, 10.0),    // lnd
+                PerfModel::amdahl(1.3076e7, 297.0), // atm
+                PerfModel::amdahl(8.238e6, 289.0), // ocn
+            ],
+            noise: [
+                NoiseSpec { run_sigma: 0.02, decomp_amplitude: 0.10 },
+                NoiseSpec { run_sigma: 0.015, decomp_amplitude: 0.0 },
+                NoiseSpec { run_sigma: 0.01, decomp_amplitude: 0.0 },
+                NoiseSpec { run_sigma: 0.01, decomp_amplitude: 0.0 },
+            ],
+        }
+    }
+
+    /// Noise-free expected time of component `c` on `n` nodes.
+    pub fn expected_time(&self, c: usize, n: u64) -> f64 {
+        self.models[c].eval(n as f64)
+    }
+
+    /// Sampled (noisy) time: base model × systematic decomposition bias ×
+    /// run-to-run noise. `draw` distinguishes repeated runs.
+    pub fn sample_time(&self, seed: u64, c: usize, n: u64, draw: u64) -> f64 {
+        let base = self.expected_time(c, n);
+        let bias = noise::decomposition_bias(seed, c as u64, n, self.noise[c].decomp_amplitude);
+        let jitter = noise::run_noise(seed, c as u64, n, draw, self.noise[c].run_sigma);
+        base * bias * jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The calibration claims in DESIGN.md, checked against the paper's
+    /// published numbers.
+    #[test]
+    fn eighth_degree_ocean_matches_paper_points() {
+        let gt = GroundTruth::eighth_degree();
+        for (n, paper) in [(6124u64, 1645.0), (9812, 1129.0), (3136, 2919.0), (19460, 712.0)] {
+            let t = gt.expected_time(OCN, n);
+            assert!((t - paper).abs() / paper < 0.02, "ocn@{n}: {t} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn eighth_degree_atm_matches_paper_points() {
+        let gt = GroundTruth::eighth_degree();
+        for (n, paper) in [(5836u64, 2533.8), (26644, 787.5), (13308, 1302.6)] {
+            let t = gt.expected_time(ATM, n);
+            assert!((t - paper).abs() / paper < 0.04, "atm@{n}: {t} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn one_degree_components_match_paper_points() {
+        let gt = GroundTruth::one_degree();
+        // lnd: Table III 1° blocks.
+        for (n, paper) in [(24u64, 63.8), (384, 5.8), (15, 101.0), (71, 22.7)] {
+            let t = gt.expected_time(LND, n);
+            assert!((t - paper).abs() / paper < 0.06, "lnd@{n}: {t} vs {paper}");
+        }
+        // atm.
+        for (n, paper) in [(104u64, 306.9), (1664, 62.0), (1525, 61.7)] {
+            let t = gt.expected_time(ATM, n);
+            assert!((t - paper).abs() / paper < 0.06, "atm@{n}: {t} vs {paper}");
+        }
+        // ocn.
+        for (n, paper) in [(24u64, 362.7), (384, 62.0)] {
+            let t = gt.expected_time(OCN, n);
+            assert!((t - paper).abs() / paper < 0.06, "ocn@{n}: {t} vs {paper}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_ice_is_noisier() {
+        let gt = GroundTruth::one_degree();
+        assert_eq!(gt.sample_time(1, ICE, 80, 0), gt.sample_time(1, ICE, 80, 0));
+        // Spread of ice across node counts (relative to model) exceeds lnd's.
+        let rel_spread = |c: usize| {
+            let mut devs = Vec::new();
+            for n in (40..200).step_by(8) {
+                let s = gt.sample_time(1, c, n, 0) / gt.expected_time(c, n);
+                devs.push((s - 1.0).abs());
+            }
+            devs.iter().sum::<f64>() / devs.len() as f64
+        };
+        assert!(rel_spread(ICE) > rel_spread(LND) * 1.5);
+    }
+
+    #[test]
+    fn all_surfaces_are_decreasing() {
+        for gt in [GroundTruth::one_degree(), GroundTruth::eighth_degree()] {
+            for c in 0..4 {
+                let a = gt.expected_time(c, 64);
+                let b = gt.expected_time(c, 4096);
+                assert!(b < a, "component {c} must scale");
+            }
+        }
+    }
+}

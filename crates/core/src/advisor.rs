@@ -1,0 +1,259 @@
+//! What-if advisors built on the layout models — the applications §IV-C of
+//! the paper sketches once the mathematical model exists:
+//!
+//! * "prediction of the optimal nodes to run a job. The definition of
+//!   optimal depends on the goal; it could be a cost-efficient goal where
+//!   nodes are increased until scaling is reduced to a predefined limit or
+//!   it could be the shortest time to solution" — [`recommend_node_count`].
+//! * "which component layout is more or less scalable" —
+//!   [`recommend_layout`].
+//! * "how replacing one component with another will affect scaling" —
+//!   [`component_swap_effect`].
+
+use crate::layouts::{build_layout_model, CesmModelSpec, Layout};
+use crate::solver::{solve_model_with, SolverBackend};
+use crate::spec::ComponentSpec;
+use hslb_minlp::{MinlpOptions, MinlpStatus};
+use serde::{Deserialize, Serialize};
+
+/// What "optimal node count" means (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeGoal {
+    /// Grow the machine while each doubling still buys at least this
+    /// parallel efficiency (0 < threshold <= 1); e.g. `0.5` stops when a
+    /// doubling no longer gives ≥ 1.33x... precisely: when the speedup of a
+    /// doubling drops below `2·threshold`.
+    CostEfficient { efficiency_threshold: f64 },
+    /// Smallest node count achieving the given wall-clock target.
+    TimeToSolution { target_seconds: f64 },
+}
+
+/// One sampled point of a node-count sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub nodes: u64,
+    /// Optimal layout-model total at this machine size.
+    pub seconds: f64,
+}
+
+/// Advisor output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecommendation {
+    pub goal: NodeGoal,
+    /// The recommended machine size (`None` when the goal is unreachable
+    /// within the probed range — e.g. a time target below the serial floor).
+    pub nodes: Option<u64>,
+    /// The doubling sweep that justified the recommendation.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Solves the layout model over a doubling sweep `min_nodes, 2·min, …` up
+/// to `max_nodes`, then applies the goal.
+///
+/// The spec's `total_nodes` field is overridden by each sweep point.
+///
+/// # Panics
+/// Panics if `min_nodes < 4` (a node per component) or the range is empty.
+pub fn recommend_node_count(
+    spec: &CesmModelSpec,
+    layout: Layout,
+    goal: NodeGoal,
+    min_nodes: u64,
+    max_nodes: u64,
+) -> NodeRecommendation {
+    assert!(min_nodes >= 4, "need at least one node per component");
+    assert!(min_nodes <= max_nodes, "empty sweep range");
+    let mut sweep = Vec::new();
+    let mut n = min_nodes;
+    loop {
+        let mut s = spec.clone();
+        s.total_nodes = n as i64;
+        let model = build_layout_model(&s, layout);
+        let sol = solve_model_with(
+            &model.problem,
+            SolverBackend::OuterApproximation,
+            &MinlpOptions::default(),
+        );
+        if sol.status == MinlpStatus::Optimal {
+            sweep.push(SweepPoint { nodes: n, seconds: sol.objective });
+        }
+        if n >= max_nodes {
+            break;
+        }
+        n = (n * 2).min(max_nodes);
+    }
+
+    let nodes = match goal {
+        NodeGoal::CostEfficient { efficiency_threshold } => {
+            assert!(
+                (0.0..=1.0).contains(&efficiency_threshold),
+                "efficiency threshold must be in (0, 1]"
+            );
+            // Walk the doublings while each still pays.
+            let mut chosen = sweep.first().map(|p| p.nodes);
+            for w in sweep.windows(2) {
+                let speedup = w[0].seconds / w[1].seconds;
+                let scale = w[1].nodes as f64 / w[0].nodes as f64;
+                if speedup >= scale * efficiency_threshold {
+                    chosen = Some(w[1].nodes);
+                } else {
+                    break;
+                }
+            }
+            chosen
+        }
+        NodeGoal::TimeToSolution { target_seconds } => sweep
+            .iter()
+            .find(|p| p.seconds <= target_seconds)
+            .map(|p| p.nodes),
+    };
+    NodeRecommendation { goal, nodes, sweep }
+}
+
+/// Ranks the three layouts at a machine size by their optimal totals
+/// (best first). Infeasible layouts are omitted.
+pub fn recommend_layout(spec: &CesmModelSpec) -> Vec<(Layout, f64)> {
+    let mut out: Vec<(Layout, f64)> = Layout::ALL
+        .into_iter()
+        .filter_map(|layout| {
+            let model = build_layout_model(spec, layout);
+            let sol = solve_model_with(
+                &model.problem,
+                SolverBackend::OuterApproximation,
+                &MinlpOptions::default(),
+            );
+            (sol.status == MinlpStatus::Optimal).then_some((layout, sol.objective))
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objectives are finite"));
+    out
+}
+
+/// Effect of swapping one component's model (e.g. a faster ocean solver):
+/// returns `(old optimal total, new optimal total)` under the layout.
+pub fn component_swap_effect(
+    spec: &CesmModelSpec,
+    layout: Layout,
+    component: &str,
+    replacement: ComponentSpec,
+) -> Option<(f64, f64)> {
+    let solve = |s: &CesmModelSpec| {
+        let model = build_layout_model(s, layout);
+        let sol = solve_model_with(
+            &model.problem,
+            SolverBackend::OuterApproximation,
+            &MinlpOptions::default(),
+        );
+        (sol.status == MinlpStatus::Optimal).then_some(sol.objective)
+    };
+    let old = solve(spec)?;
+    let mut swapped = spec.clone();
+    match component {
+        "ice" => swapped.ice = replacement,
+        "lnd" => swapped.lnd = replacement,
+        "atm" => swapped.atm = replacement,
+        "ocn" => swapped.ocn = replacement,
+        _ => return None,
+    }
+    let new = solve(&swapped)?;
+    Some((old, new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_perfmodel::PerfModel;
+
+    fn spec(total: i64) -> CesmModelSpec {
+        CesmModelSpec {
+            ice: ComponentSpec::new("ice", PerfModel::amdahl(7774.0, 11.8), 1, 1 << 20),
+            lnd: ComponentSpec::new("lnd", PerfModel::amdahl(1484.0, 1.94), 1, 1 << 20),
+            atm: ComponentSpec::new("atm", PerfModel::amdahl(27_180.0, 44.0), 1, 1 << 20),
+            ocn: ComponentSpec::new("ocn", PerfModel::amdahl(7754.0, 41.8), 1, 1 << 20),
+            total_nodes: total,
+            tsync: None,
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        let rec = recommend_node_count(
+            &spec(0),
+            Layout::Hybrid,
+            NodeGoal::TimeToSolution { target_seconds: 0.0 },
+            16,
+            1024,
+        );
+        assert!(rec.sweep.len() >= 6);
+        for w in rec.sweep.windows(2) {
+            assert!(w[1].seconds <= w[0].seconds + 1e-9, "{:?}", rec.sweep);
+        }
+    }
+
+    #[test]
+    fn cost_efficiency_stops_before_the_serial_floor() {
+        // With serial floors ~44 s, doubling past a few thousand nodes buys
+        // almost nothing; a 70% efficiency bar must stop well short of the
+        // maximum.
+        let rec = recommend_node_count(
+            &spec(0),
+            Layout::Hybrid,
+            NodeGoal::CostEfficient { efficiency_threshold: 0.7 },
+            16,
+            65_536,
+        );
+        let n = rec.nodes.expect("some sweep point qualifies");
+        assert!(n < 65_536, "must stop early, got {n}");
+        assert!(n >= 64, "should still scale past tiny sizes, got {n}");
+    }
+
+    #[test]
+    fn time_to_solution_finds_smallest_adequate_size() {
+        let rec = recommend_node_count(
+            &spec(0),
+            Layout::Hybrid,
+            NodeGoal::TimeToSolution { target_seconds: 150.0 },
+            16,
+            8192,
+        );
+        let n = rec.nodes.expect("150 s is reachable");
+        // Verify minimality within the doubling grid.
+        let below: Vec<_> = rec.sweep.iter().filter(|p| p.nodes < n).collect();
+        assert!(below.iter().all(|p| p.seconds > 150.0), "{:?}", rec.sweep);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let rec = recommend_node_count(
+            &spec(0),
+            Layout::Hybrid,
+            NodeGoal::TimeToSolution { target_seconds: 1.0 }, // below serial floor
+            16,
+            4096,
+        );
+        assert!(rec.nodes.is_none());
+        assert!(!rec.sweep.is_empty());
+    }
+
+    #[test]
+    fn layout_recommendation_prefers_hybrid() {
+        let ranked = recommend_layout(&spec(256));
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].0, Layout::Hybrid);
+        assert_eq!(ranked[2].0, Layout::FullySequential);
+    }
+
+    #[test]
+    fn component_swap_predicts_improvement() {
+        let s = spec(256);
+        // A 2x faster ocean solver.
+        let faster_ocn =
+            ComponentSpec::new("ocn", PerfModel::amdahl(7754.0 / 2.0, 20.0), 1, 1 << 20);
+        let (old, new) =
+            component_swap_effect(&s, Layout::Hybrid, "ocn", faster_ocn).unwrap();
+        assert!(new <= old + 1e-9, "faster ocean cannot hurt: {old} -> {new}");
+        // And swapping an unknown component name is rejected.
+        let bogus = ComponentSpec::new("x", PerfModel::amdahl(1.0, 0.0), 1, 4);
+        assert!(component_swap_effect(&s, Layout::Hybrid, "coupler", bogus).is_none());
+    }
+}

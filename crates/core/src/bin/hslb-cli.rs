@@ -1,0 +1,172 @@
+//! The "black box" the paper promises in §V: "develop a 'black box' from
+//! HSLB which would allow anyone, especially scientists without experience
+//! at manual optimization, to run CESM efficiently".
+//!
+//! The original implementation shipped AMPL scripts executed remotely on
+//! the NEOS server; this CLI replaces that interface with JSON in / JSON
+//! out, fully offline:
+//!
+//! ```text
+//! hslb-cli fit   < scaling.json    # {"points": [[24, 63.8], ...]}
+//! hslb-cli solve < spec.json       # CesmModelSpec (see `example-spec`)
+//! hslb-cli flat  < flatspec.json   # FlatSpec (FMO-style allocation)
+//! hslb-cli example-spec            # prints a ready-to-edit CesmModelSpec
+//! ```
+
+use hslb::{
+    build_flat_model, build_layout_model, layout_predicted_times, solve_model, CesmModelSpec,
+    ComponentSpec, FlatSpec, Layout, SolverBackend,
+};
+use hslb_perfmodel::{fit, PerfModel, ScalingData};
+use serde::Deserialize;
+use std::io::Read;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| usage());
+    match mode.as_str() {
+        "fit" => cmd_fit(),
+        "solve" => cmd_solve(),
+        "flat" => cmd_flat(),
+        "ampl" => cmd_ampl(),
+        "example-spec" => cmd_example_spec(),
+        _ => {
+            usage();
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: hslb-cli <fit|solve|flat|ampl|example-spec>  (JSON on stdin, JSON/AMPL on stdout)");
+    std::process::exit(2);
+}
+
+fn read_stdin() -> String {
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+    buf
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("hslb-cli: {msg}");
+    std::process::exit(1);
+}
+
+#[derive(Deserialize)]
+struct FitInput {
+    /// `(nodes, seconds)` observations.
+    points: Vec<(u64, f64)>,
+}
+
+fn cmd_fit() {
+    let input: FitInput = serde_json::from_str(&read_stdin())
+        .unwrap_or_else(|e| fail(&format!("bad fit input: {e}")));
+    let data = ScalingData::from_pairs(input.points);
+    match fit(&data) {
+        Ok(report) => {
+            let out = serde_json::json!({
+                "model": report.model,
+                "display": format!("{}", report.model),
+                "r_squared": report.quality.r_squared,
+                "rmse": report.quality.rmse,
+                "observations": report.observations,
+            });
+            println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        }
+        Err(e) => fail(&format!("fit failed: {e}")),
+    }
+}
+
+#[derive(Deserialize)]
+struct SolveInput {
+    spec: CesmModelSpec,
+    /// 1, 2 or 3 (Figure 1); defaults to 1.
+    #[serde(default = "default_layout")]
+    layout: usize,
+}
+
+fn default_layout() -> usize {
+    1
+}
+
+fn cmd_solve() {
+    let input: SolveInput = serde_json::from_str(&read_stdin())
+        .unwrap_or_else(|e| fail(&format!("bad solve input: {e}")));
+    let layout = match input.layout {
+        1 => Layout::Hybrid,
+        2 => Layout::SequentialAtmGroup,
+        3 => Layout::FullySequential,
+        other => fail(&format!("unknown layout {other}; expected 1, 2 or 3")),
+    };
+    let model = build_layout_model(&input.spec, layout);
+    let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
+    if sol.x.is_empty() {
+        fail("no feasible allocation exists for this spec");
+    }
+    let alloc = model.allocation(&sol);
+    let times = layout_predicted_times(&input.spec, layout, &alloc);
+    let out = serde_json::json!({
+        "allocation": alloc,
+        "predicted": times,
+        "objective": sol.objective,
+        "solver": {
+            "bnb_nodes": sol.nodes,
+            "nlp_solves": sol.nlp_solves,
+            "lp_solves": sol.lp_solves,
+            "oa_cuts": sol.cuts,
+        },
+    });
+    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+}
+
+fn cmd_flat() {
+    let spec: FlatSpec = serde_json::from_str(&read_stdin())
+        .unwrap_or_else(|e| fail(&format!("bad flat spec: {e}")));
+    let model = build_flat_model(&spec);
+    let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
+    if sol.x.is_empty() {
+        fail("no feasible allocation exists for this spec");
+    }
+    let alloc = model.allocation(&spec, &sol);
+    let out = serde_json::json!({
+        "nodes": alloc.nodes,
+        "times": alloc.times,
+        "makespan": alloc.makespan(),
+        "imbalance": alloc.imbalance(),
+    });
+    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+}
+
+/// Renders the layout MINLP of a spec as an AMPL model — the papers'
+/// original interface (`hslb-cli ampl < spec.json`).
+fn cmd_ampl() {
+    let input: SolveInput = serde_json::from_str(&read_stdin())
+        .unwrap_or_else(|e| fail(&format!("bad solve input: {e}")));
+    let layout = match input.layout {
+        1 => Layout::Hybrid,
+        2 => Layout::SequentialAtmGroup,
+        3 => Layout::FullySequential,
+        other => fail(&format!("unknown layout {other}; expected 1, 2 or 3")),
+    };
+    let model = build_layout_model(&input.spec, layout);
+    print!("{}", hslb_minlp::to_ampl(&model.problem, &format!("cesm_layout{}", input.layout)));
+}
+
+fn cmd_example_spec() {
+    // The paper's 1° configuration at 128 nodes, from the calibrated fits.
+    let spec = CesmModelSpec {
+        ice: ComponentSpec::new("ice", PerfModel::amdahl(7774.0, 11.8), 1, 128),
+        lnd: ComponentSpec::new("lnd", PerfModel::amdahl(1484.0, 1.94), 1, 128),
+        atm: ComponentSpec::new("atm", PerfModel::new(27_180.0, 5e-4, 1.0, 44.0), 1, 128),
+        ocn: ComponentSpec::with_set(
+            "ocn",
+            PerfModel::amdahl(7754.0, 41.8),
+            (1..=64).map(|k| 2 * k),
+        ),
+        total_nodes: 128,
+        tsync: None,
+    };
+    let doc = serde_json::json!({ "spec": spec, "layout": 1 });
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+}

@@ -1,0 +1,187 @@
+//! Fast exact oracle for the hybrid layout (1) with monotone components.
+//!
+//! When every fitted `T_j` is monotonically decreasing on its domain (true
+//! for all CESM components on Intrepid — the paper "did not observe
+//! increasing wall-clock times as nodes increased in any of our runs"),
+//! layout 1 decomposes:
+//!
+//! * for fixed `n_o`, the atmosphere should take the largest admissible
+//!   `n_a <= N - n_o`;
+//! * for fixed `n_a`, ice and land should saturate `n_i + n_l = n_a` and be
+//!   balanced: `max(T_i(n_i), T_l(n_l))` is minimized where the two curves
+//!   cross, which a monotone scan finds exactly;
+//! * the outer loop enumerates the admissible ocean counts.
+//!
+//! Complexity `O(|O| · n_a)` — instant for paper-size instances, which makes
+//! this an independent check of the branch-and-bound solvers.
+
+use crate::layouts::{layout_predicted_times, CesmAllocation, CesmModelSpec, Layout};
+
+/// Exact minimizer of layout (1) under monotone-decreasing `T_j`.
+///
+/// Returns `None` when no feasible allocation exists (machine too small) or
+/// when a component model is *not* monotone decreasing on its domain (the
+/// oracle's optimality argument would not hold).
+pub fn layout1_oracle(spec: &CesmModelSpec) -> Option<(CesmAllocation, f64)> {
+    let n_total = spec.total_nodes;
+    // Monotonicity precondition.
+    for comp in [&spec.ice, &spec.lnd, &spec.atm, &spec.ocn] {
+        let (lo, hi) = comp.allowed.hull();
+        if !comp.model.is_decreasing_on(lo as f64, hi.min(n_total) as f64) {
+            return None;
+        }
+    }
+
+    let ocean_values: Vec<i64> = spec
+        .ocn
+        .allowed
+        .values()
+        .into_iter()
+        .filter(|&v| v >= 1 && v < n_total)
+        .collect();
+    if ocean_values.is_empty() {
+        return None;
+    }
+
+    let mut best: Option<(CesmAllocation, f64)> = None;
+    for &no in &ocean_values {
+        let cap_atm = n_total - no;
+        let Some(na) = spec.atm.allowed.largest_at_most(cap_atm) else {
+            continue;
+        };
+        if na < 2 {
+            continue; // ice + land need at least one node each inside atm
+        }
+        let Some((ni, nl)) = balance_ice_lnd(spec, na) else {
+            continue;
+        };
+        let alloc = CesmAllocation {
+            ice: ni as u64,
+            lnd: nl as u64,
+            atm: na as u64,
+            ocn: no as u64,
+        };
+        let total = layout_predicted_times(spec, Layout::Hybrid, &alloc).total;
+        if best.as_ref().map_or(true, |&(_, b)| total < b) {
+            best = Some((alloc, total));
+        }
+    }
+    best
+}
+
+/// Splits `na` nodes between ice and land minimizing `max(T_i, T_l)`.
+/// Monotone in the split point, so binary search applies; both admissible
+/// neighbours of the crossing are compared. Respects each component's
+/// domain where possible.
+fn balance_ice_lnd(spec: &CesmModelSpec, na: i64) -> Option<(i64, i64)> {
+    let (ice_lo, ice_hi) = spec.ice.allowed.hull();
+    let (lnd_lo, lnd_hi) = spec.lnd.allowed.hull();
+    let lo = ice_lo.max(na - lnd_hi).max(1);
+    let hi = ice_hi.min(na - lnd_lo).min(na - 1);
+    if lo > hi {
+        return None;
+    }
+    // f(ni) = T_i(ni) - T_l(na - ni) is decreasing in ni; find sign change.
+    let f = |ni: i64| {
+        spec.ice.model.eval(ni as f64) - spec.lnd.model.eval((na - ni) as f64)
+    };
+    let (mut a, mut b) = (lo, hi);
+    if f(a) <= 0.0 {
+        // Ice already faster at the minimum: give land the rest.
+        return Some((a, na - a));
+    }
+    if f(b) >= 0.0 {
+        return Some((b, na - b));
+    }
+    while b - a > 1 {
+        let m = (a + b) / 2;
+        if f(m) > 0.0 {
+            a = m;
+        } else {
+            b = m;
+        }
+    }
+    // Compare the two bracketing splits.
+    let cost = |ni: i64| {
+        spec.ice.model.eval(ni as f64).max(spec.lnd.model.eval((na - ni) as f64))
+    };
+    Some(if cost(a) <= cost(b) { (a, na - a) } else { (b, na - b) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_model, SolverBackend};
+    use crate::spec::ComponentSpec;
+    use hslb_minlp::MinlpStatus;
+    use hslb_perfmodel::PerfModel;
+
+    fn spec(total: i64) -> CesmModelSpec {
+        CesmModelSpec {
+            ice: ComponentSpec::new("ice", PerfModel::amdahl(7774.0, 11.8), 1, total),
+            lnd: ComponentSpec::new("lnd", PerfModel::amdahl(1495.0, 1.5), 1, total),
+            atm: ComponentSpec::new("atm", PerfModel::amdahl(27180.0, 44.0), 1, total),
+            ocn: ComponentSpec::with_set(
+                "ocn",
+                PerfModel::amdahl(7754.0, 41.8),
+                (1..=total / 2).map(|k| 2 * k),
+            ),
+            total_nodes: total,
+            tsync: None,
+        }
+    }
+
+    #[test]
+    fn oracle_matches_bnb_small() {
+        let s = spec(128);
+        let (oracle_alloc, oracle_t) = layout1_oracle(&s).unwrap();
+        let model = crate::layouts::build_layout_model(&s, Layout::Hybrid);
+        let sol = solve_model(&model.problem, SolverBackend::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert!(
+            (sol.objective - oracle_t).abs() / oracle_t < 1e-3,
+            "bnb {} vs oracle {oracle_t} ({oracle_alloc:?})",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn oracle_matches_bnb_medium() {
+        let s = spec(2048);
+        let (_, oracle_t) = layout1_oracle(&s).unwrap();
+        let model = crate::layouts::build_layout_model(&s, Layout::Hybrid);
+        let sol = solve_model(&model.problem, SolverBackend::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert!(
+            (sol.objective - oracle_t).abs() / oracle_t < 1e-3,
+            "bnb {} vs oracle {oracle_t}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn oracle_saturates_node_budget() {
+        let s = spec(128);
+        let (alloc, _) = layout1_oracle(&s).unwrap();
+        // Monotone times: leaving nodes idle can never help.
+        assert_eq!(alloc.ice + alloc.lnd, alloc.atm);
+        assert!(alloc.atm + alloc.ocn <= 128);
+        assert!(alloc.atm + alloc.ocn >= 126); // ocean set is even numbers
+    }
+
+    #[test]
+    fn oracle_declines_nonmonotone_models() {
+        let mut s = spec(64);
+        // A model that turns upward inside the domain.
+        s.atm = ComponentSpec::new("atm", PerfModel::new(100.0, 5.0, 1.0, 0.0), 1, 64);
+        assert!(layout1_oracle(&s).is_none());
+    }
+
+    #[test]
+    fn oracle_detects_too_small_machine() {
+        let mut s = spec(8);
+        s.ocn =
+            ComponentSpec::with_set("ocn", PerfModel::amdahl(7754.0, 41.8), [64, 128]);
+        assert!(layout1_oracle(&s).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Table III-style allocation reports.
+
+use crate::layouts::{CesmAllocation, LayoutTimes};
+use crate::pipeline::ExecutionReport;
+
+/// One block of the paper's Table III: a manual baseline next to the HSLB
+/// prediction and the measured ("actual") execution.
+#[derive(Debug, Clone)]
+pub struct AllocationReport {
+    pub title: String,
+    /// Manual expert allocation and its measured times (columns 2–3).
+    pub manual: Option<(CesmAllocation, ExecutionReport)>,
+    /// HSLB allocation with predicted times (columns 4–5).
+    pub hslb: (CesmAllocation, LayoutTimes),
+    /// Measured times of the HSLB allocation (column 6).
+    pub actual: ExecutionReport,
+}
+
+impl AllocationReport {
+    /// Percentage improvement of the HSLB actual total over the manual
+    /// actual total (positive = HSLB faster). `None` without a baseline.
+    pub fn improvement_pct(&self) -> Option<f64> {
+        self.manual
+            .as_ref()
+            .map(|(_, m)| 100.0 * (m.total - self.actual.total) / m.total)
+    }
+
+    /// Renders the block in the paper's row order (lnd, ice, atm, ocn,
+    /// total), with dashes where no manual baseline exists.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.title);
+        let _ = writeln!(
+            s,
+            "{:<12}{:>10}{:>14}{:>12}{:>16}{:>14}",
+            "component", "manual#", "manual_t(s)", "hslb#", "hslb_pred_t(s)", "actual_t(s)"
+        );
+        let (hslb_alloc, pred) = &self.hslb;
+        let rows: [(&str, u64, f64, f64); 4] = [
+            ("lnd", hslb_alloc.lnd, pred.lnd, self.actual.lnd),
+            ("ice", hslb_alloc.ice, pred.ice, self.actual.ice),
+            ("atm", hslb_alloc.atm, pred.atm, self.actual.atm),
+            ("ocn", hslb_alloc.ocn, pred.ocn, self.actual.ocn),
+        ];
+        for (name, hslb_n, pred_t, act_t) in rows {
+            let (mn, mt) = match &self.manual {
+                Some((ma, me)) => {
+                    let n = match name {
+                        "lnd" => ma.lnd,
+                        "ice" => ma.ice,
+                        "atm" => ma.atm,
+                        _ => ma.ocn,
+                    };
+                    let t = match name {
+                        "lnd" => me.lnd,
+                        "ice" => me.ice,
+                        "atm" => me.atm,
+                        _ => me.ocn,
+                    };
+                    (format!("{n}"), format!("{t:.3}"))
+                }
+                None => ("-".into(), "-".into()),
+            };
+            let _ = writeln!(
+                s,
+                "{name:<12}{mn:>10}{mt:>14}{hslb_n:>12}{pred_t:>16.3}{act_t:>14.3}"
+            );
+        }
+        let manual_total = self
+            .manual
+            .as_ref()
+            .map_or("-".to_string(), |(_, m)| format!("{:.3}", m.total));
+        let _ = writeln!(
+            s,
+            "{:<12}{:>10}{:>14}{:>12}{:>16.3}{:>14.3}",
+            "Total", "", manual_total, "", pred.total, self.actual.total
+        );
+        if let Some(impr) = self.improvement_pct() {
+            let _ = writeln!(s, "HSLB improvement over manual: {impr:.1}%");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AllocationReport {
+        let manual_alloc = CesmAllocation { ice: 80, lnd: 24, atm: 104, ocn: 24 };
+        let manual_exec = ExecutionReport {
+            ice: 109.054,
+            lnd: 63.766,
+            atm: 306.952,
+            ocn: 362.669,
+            total: 416.006,
+        };
+        let hslb_alloc = CesmAllocation { ice: 89, lnd: 15, atm: 104, ocn: 24 };
+        let pred = LayoutTimes {
+            ice: 102.972,
+            lnd: 100.951,
+            atm: 307.651,
+            ocn: 365.649,
+            total: 410.623,
+        };
+        let actual = ExecutionReport {
+            ice: 116.472,
+            lnd: 100.202,
+            atm: 308.699,
+            ocn: 365.853,
+            total: 425.171,
+        };
+        AllocationReport {
+            title: "1° resolution, 128 nodes".into(),
+            manual: Some((manual_alloc, manual_exec)),
+            hslb: (hslb_alloc, pred),
+            actual,
+        }
+    }
+
+    #[test]
+    fn improvement_sign() {
+        let r = sample();
+        // Paper's 128-node block: HSLB actual slightly *slower* than manual.
+        let impr = r.improvement_pct().unwrap();
+        assert!(impr < 0.0 && impr > -5.0, "{impr}");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = sample().render();
+        for needle in ["lnd", "ice", "atm", "ocn", "Total", "410.623", "425.171"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_without_manual() {
+        let mut r = sample();
+        r.manual = None;
+        let text = r.render();
+        assert!(text.contains('-'));
+        assert!(r.improvement_pct().is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `hslb-cli` black box (§V of the paper).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_hslb-cli");
+
+fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary exists");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("process runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn example_spec_round_trips_through_solve() {
+    let (spec, _, ok) = run(&["example-spec"], "");
+    assert!(ok, "example-spec must succeed");
+    let (solved, stderr, ok) = run(&["solve"], &spec);
+    assert!(ok, "solve failed: {stderr}");
+    let parsed: serde_json::Value = serde_json::from_str(&solved).expect("valid JSON");
+    let alloc = &parsed["allocation"];
+    // Layout-1 structure: ice + lnd <= atm, atm + ocn <= 128.
+    let (ice, lnd, atm, ocn) = (
+        alloc["ice"].as_u64().expect("ice"),
+        alloc["lnd"].as_u64().expect("lnd"),
+        alloc["atm"].as_u64().expect("atm"),
+        alloc["ocn"].as_u64().expect("ocn"),
+    );
+    assert!(ice + lnd <= atm, "{alloc}");
+    assert!(atm + ocn <= 128, "{alloc}");
+    assert!(parsed["objective"].as_f64().expect("objective") > 0.0);
+}
+
+#[test]
+fn fit_returns_model_json() {
+    let input = r#"{"points": [[24, 63.8], [15, 101.0], [71, 22.7], [384, 5.8], [128, 13.5]]}"#;
+    let (out, stderr, ok) = run(&["fit"], input);
+    assert!(ok, "fit failed: {stderr}");
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert!(parsed["r_squared"].as_f64().expect("r2") > 0.999);
+    assert!(parsed["model"]["a"].as_f64().expect("a") > 1000.0);
+}
+
+#[test]
+fn flat_solves_minmax_spec() {
+    let input = r#"{
+        "components": [
+            {"name": "a", "model": {"a": 300.0, "b": 0.0, "c": 1.0, "d": 0.0},
+             "allowed": {"Range": {"min": 1, "max": 12}}},
+            {"name": "b", "model": {"a": 100.0, "b": 0.0, "c": 1.0, "d": 0.0},
+             "allowed": {"Range": {"min": 1, "max": 12}}}
+        ],
+        "total_nodes": 12,
+        "objective": "MinMax"
+    }"#;
+    let (out, stderr, ok) = run(&["flat"], input);
+    assert!(ok, "flat failed: {stderr}");
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(parsed["nodes"][0].as_u64(), Some(9));
+    assert_eq!(parsed["nodes"][1].as_u64(), Some(3));
+}
+
+#[test]
+fn ampl_emits_model_text() {
+    let (spec, _, _) = run(&["example-spec"], "");
+    let (ampl, stderr, ok) = run(&["ampl"], &spec);
+    assert!(ok, "ampl failed: {stderr}");
+    assert!(ampl.contains("minimize total:"), "{ampl}");
+    assert!(ampl.contains("subject to"), "{ampl}");
+    assert!(ampl.contains("set ALLOWED_"), "{ampl}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, stderr, ok) = run(&["solve"], "this is not json");
+    assert!(!ok);
+    assert!(stderr.contains("bad solve input"), "{stderr}");
+    let (_, stderr, ok) = run(&["no-such-mode"], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

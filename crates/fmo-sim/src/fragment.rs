@@ -1,0 +1,200 @@
+//! Fragments and their cost model.
+
+use hslb_perfmodel::PerfModel;
+
+/// One FMO fragment (e.g. a water molecule or a merged multi-water
+/// fragment in a cluster; proteins fragment per residue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragment {
+    pub id: u32,
+    /// Number of atoms — the size driver of the SCF cost.
+    pub atoms: u32,
+}
+
+impl Fragment {
+    /// Ground-truth monomer SCF performance model of this fragment on `n`
+    /// nodes.
+    ///
+    /// * scalable work `a ∝ atoms³` — SCF/Fock builds scale cubically with
+    ///   basis size;
+    /// * serial floor `d ∝ atoms` — diagonalization + synchronization
+    ///   remainder;
+    /// * decay exponent slightly below 1 — intra-group communication.
+    pub fn truth_model(&self) -> PerfModel {
+        let atoms = self.atoms as f64;
+        let a = 2.0e-3 * atoms.powi(3);
+        let d = 6.0e-3 * atoms;
+        PerfModel::new(a, 0.0, 0.92, d)
+    }
+
+    /// Largest node count this fragment can use at all: beyond this, GDDI
+    /// parallelism has no work to distribute (more ranks than occupied
+    /// orbitals/atom blocks) and the *true* time flattens — see
+    /// [`Fragment::true_time`].
+    pub fn max_useful_nodes(&self) -> i64 {
+        (self.atoms as i64).max(1)
+    }
+
+    /// Ground-truth wall-clock on `n` nodes: the model evaluated at
+    /// `min(n, max_useful_nodes)` — extra nodes idle instead of helping.
+    pub fn true_time(&self, n: u64) -> f64 {
+        let eff = (n.max(1) as i64).min(self.max_useful_nodes()) as f64;
+        self.truth_model().eval(eff)
+    }
+}
+
+/// Deterministically generates a heterogeneous "water cluster": mostly
+/// single waters (3 atoms) with an admixture of merged fragments that are
+/// several times larger — the diverse-size regime of the SC'12 paper.
+///
+/// `heterogeneity` in `[0, 1]` controls how large the tail fragments get
+/// (0 = all equal, 1 = up to ~20x the base size).
+pub fn generate_cluster(num_fragments: usize, heterogeneity: f64, seed: u64) -> Vec<Fragment> {
+    assert!(num_fragments > 0, "need at least one fragment");
+    assert!((0.0..=1.0).contains(&heterogeneity), "heterogeneity must be in [0,1]");
+    let mut state = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..num_fragments)
+        .map(|id| {
+            let r = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            // ~80% single waters; the rest merged fragments with a heavy
+            // tail scaled by heterogeneity.
+            let atoms = if r < 0.8 {
+                3
+            } else {
+                let tail = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                let factor = 1.0 + heterogeneity * 19.0 * tail * tail;
+                (3.0 * factor).round() as u32
+            };
+            Fragment { id: id as u32, atoms: atoms.max(3) }
+        })
+        .collect()
+}
+
+/// Generates a cluster *with geometry*: fragments are placed uniformly in a
+/// cube whose volume grows linearly with the fragment count (constant
+/// density, like a real droplet), so the number of neighbour pairs within a
+/// fixed cutoff scales linearly too — the property FMO2's O(N) dimer count
+/// relies on.
+pub fn generate_cluster_with_geometry(
+    num_fragments: usize,
+    heterogeneity: f64,
+    seed: u64,
+) -> (Vec<Fragment>, Vec<[f64; 3]>) {
+    let fragments = generate_cluster(num_fragments, heterogeneity, seed);
+    let mut state = seed ^ 0x0123_4567_89AB_CDEF;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    // Constant density: side ∝ N^(1/3), one fragment per unit volume avg.
+    let side = (num_fragments as f64).cbrt() * 3.1; // ~3.1 Å spacing (water)
+    let positions = (0..num_fragments)
+        .map(|_| [next() * side, next() * side, next() * side])
+        .collect();
+    (fragments, positions)
+}
+
+/// Neighbour pairs within the cutoff distance (the FMO2 dimer list).
+pub fn dimer_pairs(positions: &[[f64; 3]], cutoff: f64) -> Vec<(usize, usize)> {
+    let c2 = cutoff * cutoff;
+    let mut pairs = Vec::new();
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            let d2: f64 = (0..3)
+                .map(|k| (positions[i][k] - positions[j][k]).powi(2))
+                .sum();
+            if d2 <= c2 {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_deterministic_and_sized() {
+        let (f1, p1) = generate_cluster_with_geometry(50, 0.5, 9);
+        let (f2, p2) = generate_cluster_with_geometry(50, 0.5, 9);
+        assert_eq!(f1, f2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 50);
+    }
+
+    #[test]
+    fn dimer_count_scales_linearly_with_constant_density() {
+        // Pairs per fragment should be roughly constant as N grows.
+        let per_fragment = |n: usize| {
+            let (_, pos) = generate_cluster_with_geometry(n, 0.0, 3);
+            dimer_pairs(&pos, 6.0).len() as f64 / n as f64
+        };
+        let small = per_fragment(64);
+        let large = per_fragment(512);
+        assert!(small > 0.2, "some neighbours must exist: {small}");
+        assert!(
+            (large / small) < 2.5,
+            "pair density should stay bounded: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn dimer_pairs_respect_cutoff() {
+        let pos = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [10.0, 0.0, 0.0]];
+        let pairs = dimer_pairs(&pos, 2.0);
+        assert_eq!(pairs, vec![(0, 1)]);
+        let all = dimer_pairs(&pos, 100.0);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_cluster(100, 0.7, 42);
+        let b = generate_cluster(100, 0.7, 42);
+        assert_eq!(a, b);
+        let c = generate_cluster(100, 0.7, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heterogeneity_zero_gives_uniform_sizes() {
+        let frags = generate_cluster(200, 0.0, 1);
+        assert!(frags.iter().all(|f| f.atoms == 3));
+    }
+
+    #[test]
+    fn heterogeneity_creates_a_size_tail() {
+        let frags = generate_cluster(400, 1.0, 1);
+        let max = frags.iter().map(|f| f.atoms).max().unwrap();
+        let min = frags.iter().map(|f| f.atoms).min().unwrap();
+        assert_eq!(min, 3);
+        assert!(max >= 15, "expected a heavy tail, got max {max}");
+    }
+
+    #[test]
+    fn cost_model_grows_superlinearly_with_size() {
+        let small = Fragment { id: 0, atoms: 3 };
+        let large = Fragment { id: 1, atoms: 30 };
+        let ts = small.truth_model().eval(1.0);
+        let tl = large.truth_model().eval(1.0);
+        // 10x atoms -> ~1000x work.
+        assert!(tl / ts > 100.0, "{tl} / {ts}");
+    }
+
+    #[test]
+    fn larger_fragments_scale_further() {
+        let small = Fragment { id: 0, atoms: 3 };
+        let large = Fragment { id: 1, atoms: 60 };
+        assert!(large.max_useful_nodes() > small.max_useful_nodes());
+    }
+}

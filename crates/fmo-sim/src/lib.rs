@@ -1,0 +1,26 @@
+//! Synthetic FMO/GAMESS substrate — the domain of the title paper
+//! ("Heuristic static load-balancing algorithm applied to the fragment
+//! molecular orbital method", SC 2012).
+//!
+//! The fragment molecular orbital method splits a molecular system into
+//! fragments; GAMESS's generalized distributed data interface (GDDI) splits
+//! the machine into processor **groups**, and fragments are computed by
+//! groups. The SC'12 paper's observation: a few large fragments among many
+//! small ones make the *group size* assignment a static load-balancing
+//! problem with "a few large tasks of diverse size" — exactly where DLB
+//! breaks down and the MINLP min–max allocation (Eq. 1) wins.
+//!
+//! * [`fragment`] — water-cluster-like fragment generator and the cubic
+//!   SCF cost model.
+//! * [`gddi`] — execution strategies: HSLB static allocation, uniform
+//!   static groups, and greedy dynamic (LPT) scheduling.
+//! * [`simulator::FmoSimulator`] — noisy benchmarking plus the monomer- and
+//!   dimer-step execution engine, and the HSLB class-based fitting helper.
+
+pub mod fragment;
+pub mod gddi;
+pub mod simulator;
+
+pub use fragment::{dimer_pairs, generate_cluster, generate_cluster_with_geometry, Fragment};
+pub use gddi::{dynamic_lpt_schedule, uniform_groups, GroupAssignment};
+pub use simulator::{FmoSimulator, FmoRunReport};

@@ -1,0 +1,485 @@
+//! FMO execution engine and the HSLB application to GDDI group sizing.
+
+use crate::fragment::Fragment;
+use crate::gddi::{dynamic_lpt_schedule, uniform_groups, GroupAssignment};
+use hslb::{
+    solve_minmax_waterfill, ComponentSpec, FlatAllocation, FlatSpec, Objective,
+};
+use hslb_perfmodel::{fit, ScalingData};
+
+/// Deterministic multiplicative noise (log-normal-ish) keyed on the run.
+fn noise(seed: u64, frag: u64, nodes: u64, draw: u64, sigma: f64) -> f64 {
+    // Reuse the splitmix-based construction locally to avoid a dependency
+    // on the CESM crate.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let u1 = ((mix(seed ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64
+        / (1u64 << 53) as f64)
+        .max(1e-12);
+    let u2 = (mix(seed ^ 0xC0FF_EE00 ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64
+        / (1u64 << 53) as f64;
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z - 0.5 * sigma * sigma).exp()
+}
+
+/// Report of one strategy's simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FmoRunReport {
+    /// Monomer-step makespan (the quantity HSLB optimizes).
+    pub monomer_time: f64,
+    /// Dimer-step time (dynamically scheduled; identical strategy across
+    /// methods, reported for completeness).
+    pub dimer_time: f64,
+    /// Load imbalance of the monomer step (`1 - min/max` over groups).
+    pub imbalance: f64,
+}
+
+impl FmoRunReport {
+    /// Total FMO2 step time.
+    pub fn total(&self) -> f64 {
+        self.monomer_time + self.dimer_time
+    }
+}
+
+/// The FMO substrate: fragments plus the machine.
+#[derive(Debug, Clone)]
+pub struct FmoSimulator {
+    pub fragments: Vec<Fragment>,
+    pub total_nodes: u64,
+    seed: u64,
+    run_counter: u64,
+    /// Run-to-run noise level.
+    pub sigma: f64,
+    /// Fragment coordinates (present when built with geometry) and the
+    /// dimer cutoff distance in Å.
+    geometry: Option<Vec<[f64; 3]>>,
+    pub dimer_cutoff: f64,
+}
+
+impl FmoSimulator {
+    /// Creates a simulator (no geometry: the dimer step uses the ~6
+    /// neighbours/fragment estimate).
+    pub fn new(fragments: Vec<Fragment>, total_nodes: u64, seed: u64) -> Self {
+        assert!(!fragments.is_empty(), "need at least one fragment");
+        FmoSimulator {
+            fragments,
+            total_nodes,
+            seed,
+            run_counter: 0,
+            sigma: 0.02,
+            geometry: None,
+            dimer_cutoff: 6.0,
+        }
+    }
+
+    /// Creates a simulator with explicit fragment geometry: the dimer step
+    /// then schedules the *actual* neighbour-pair list (FMO2 dimer list)
+    /// instead of the per-fragment estimate.
+    pub fn with_geometry(
+        fragments: Vec<Fragment>,
+        positions: Vec<[f64; 3]>,
+        total_nodes: u64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(fragments.len(), positions.len(), "one position per fragment");
+        let mut sim = FmoSimulator::new(fragments, total_nodes, seed);
+        sim.geometry = Some(positions);
+        sim
+    }
+
+    /// Noisy benchmark of one fragment's monomer SCF on `nodes` nodes.
+    pub fn benchmark(&mut self, fragment: usize, nodes: u64) -> f64 {
+        self.run_counter += 1;
+        let base = self.fragments[fragment].true_time(nodes);
+        base * noise(self.seed, fragment as u64, nodes, self.run_counter, self.sigma)
+    }
+
+    /// Noise-free expected fragment time (saturating at the fragment's
+    /// useful node count).
+    pub fn expected(&self, fragment: usize, nodes: u64) -> f64 {
+        self.fragments[fragment].true_time(nodes)
+    }
+
+    /// Executes the monomer step with a per-fragment static allocation
+    /// (each fragment computed concurrently by its own group).
+    pub fn execute_static(&mut self, alloc: &GroupAssignment) -> FmoRunReport {
+        assert_eq!(alloc.nodes.len(), self.fragments.len());
+        self.run_counter += 1;
+        let run = self.run_counter;
+        let times: Vec<f64> = self
+            .fragments
+            .iter()
+            .zip(&alloc.nodes)
+            .map(|(f, &n)| {
+                f.true_time(n) * noise(self.seed, f.id as u64, n, run, self.sigma)
+            })
+            .collect();
+        let monomer = times.iter().fold(0.0f64, |m, &t| m.max(t));
+        let min = times.iter().fold(f64::INFINITY, |m, &t| m.min(t));
+        FmoRunReport {
+            monomer_time: monomer,
+            dimer_time: self.dimer_step(),
+            imbalance: if monomer > 0.0 { 1.0 - min / monomer } else { 0.0 },
+        }
+    }
+
+    /// Executes the monomer step with `g` uniform static groups (fragments
+    /// dealt largest-first to groups; groups run their queues).
+    pub fn execute_uniform(&mut self, num_groups: usize) -> FmoRunReport {
+        let (ga, group_of) = uniform_groups(&self.fragments, self.total_nodes, num_groups);
+        self.run_counter += 1;
+        let run = self.run_counter;
+        let mut group_time = vec![0.0f64; num_groups];
+        for (fi, f) in self.fragments.iter().enumerate() {
+            let n = ga.nodes[fi];
+            group_time[group_of[fi]] +=
+                f.true_time(n) * noise(self.seed, f.id as u64, n, run, self.sigma);
+        }
+        let monomer = group_time.iter().fold(0.0f64, |m, &t| m.max(t));
+        let min = group_time.iter().fold(f64::INFINITY, |m, &t| m.min(t));
+        FmoRunReport {
+            monomer_time: monomer,
+            dimer_time: self.dimer_step(),
+            imbalance: if monomer > 0.0 { 1.0 - min / monomer } else { 0.0 },
+        }
+    }
+
+    /// Executes the monomer step with dynamic (LPT list) scheduling over
+    /// `g` uniform groups — the "DLB" comparison point.
+    pub fn execute_dynamic(&mut self, num_groups: usize) -> FmoRunReport {
+        let per_group = (self.total_nodes / num_groups as u64).max(1);
+        self.run_counter += 1;
+        let run = self.run_counter;
+        let times: Vec<f64> = self
+            .fragments
+            .iter()
+            .map(|f| {
+                f.true_time(per_group)
+                    * noise(self.seed, f.id as u64, per_group, run, self.sigma)
+            })
+            .collect();
+        let monomer = dynamic_lpt_schedule(&times, num_groups);
+        FmoRunReport {
+            monomer_time: monomer,
+            dimer_time: self.dimer_step(),
+            // Imbalance across the schedule is monomer vs ideal.
+            imbalance: {
+                let ideal: f64 = times.iter().sum::<f64>() / num_groups as f64;
+                if monomer > 0.0 {
+                    (1.0 - ideal / monomer).max(0.0)
+                } else {
+                    0.0
+                }
+            },
+        }
+    }
+
+    /// Dimer-correction step, dynamically scheduled over the whole machine
+    /// (identical across strategies so comparisons isolate the monomer
+    /// step). With geometry the actual FMO2 dimer list drives the cost; the
+    /// per-pair work is quadratic in the combined fragment size.
+    fn dimer_step(&self) -> f64 {
+        let pair_cost = |ai: u32, aj: u32| 2.0e-4 * ((ai + aj) as f64).powi(2);
+        let total_work: f64 = match &self.geometry {
+            Some(positions) => {
+                crate::fragment::dimer_pairs(positions, self.dimer_cutoff)
+                    .into_iter()
+                    .map(|(i, j)| pair_cost(self.fragments[i].atoms, self.fragments[j].atoms))
+                    .sum()
+            }
+            None => self
+                .fragments
+                .iter()
+                .map(|f| 6.0 * pair_cost(f.atoms, f.atoms))
+                .sum(),
+        };
+        total_work / self.total_nodes as f64
+    }
+
+    /// The HSLB "Gather + Fit" steps for FMO: fragments are grouped into
+    /// size classes (unique atom counts); one representative per class is
+    /// benchmarked at geometrically spaced node counts and fitted. Returns
+    /// the flat min–max spec over all fragments with the fitted models.
+    pub fn hslb_spec(&mut self, samples: usize) -> FlatSpec {
+        use std::collections::BTreeMap;
+        let mut class_rep: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, f) in self.fragments.iter().enumerate() {
+            class_rep.entry(f.atoms).or_insert(i);
+        }
+        let mut class_model = BTreeMap::new();
+        for (&atoms, &rep) in &class_rep {
+            let max_n = self.fragments[rep].max_useful_nodes().max(2) as u64;
+            let counts = ScalingData::suggest_node_counts(1, max_n, samples.max(4));
+            let mut data = ScalingData::new();
+            for &n in &counts {
+                // Two repetitions per point tame the noise.
+                let t = 0.5 * (self.benchmark(rep, n) + self.benchmark(rep, n));
+                data.push(n, t);
+            }
+            let model = match fit(&data) {
+                Ok(rep) => rep.model,
+                // Tiny classes with few points fall back to Amdahl.
+                Err(_) => {
+                    let r = hslb_perfmodel::fit_kind(&data, hslb_perfmodel::ModelKind::Amdahl)
+                        .expect("two-parameter fit on >= 4 points");
+                    r.model
+                }
+            };
+            class_model.insert(atoms, model);
+        }
+        let components: Vec<ComponentSpec> = self
+            .fragments
+            .iter()
+            .map(|f| ComponentSpec {
+                name: format!("frag{}", f.id),
+                model: class_model[&f.atoms],
+                allowed: hslb::AllowedNodes::Range { min: 1, max: f.max_useful_nodes() },
+            })
+            .collect();
+        FlatSpec {
+            components,
+            total_nodes: self.total_nodes as i64,
+            objective: Objective::MinMax,
+        }
+    }
+
+    /// Full HSLB pipeline for FMO: fit, allocate (fast exact min–max
+    /// solver), execute. Returns the allocation and the run report.
+    pub fn run_hslb(&mut self, samples: usize) -> Option<(FlatAllocation, FmoRunReport)> {
+        let spec = self.hslb_spec(samples);
+        let alloc = solve_minmax_waterfill(&spec)?;
+        let ga = GroupAssignment { nodes: alloc.nodes.clone() };
+        let report = self.execute_static(&ga);
+        Some((alloc, report))
+    }
+
+    /// Two-level GDDI regime (fragments ≫ groups): fragments are dealt to
+    /// `num_groups` queues largest-first, the aggregate workload of each
+    /// queue becomes one HSLB "task", and the min–max solver sizes the
+    /// group partitions. This is the production GAMESS configuration the
+    /// SC'12 paper targets when the fragment count exceeds what per-
+    /// fragment groups allow.
+    ///
+    /// Returns the per-group node sizes and the run report, or `None` if
+    /// the machine cannot host `num_groups` groups.
+    pub fn run_hslb_grouped(
+        &mut self,
+        num_groups: usize,
+        samples: usize,
+    ) -> Option<(Vec<u64>, FmoRunReport)> {
+        if num_groups == 0 || num_groups as u64 > self.total_nodes {
+            return None;
+        }
+        // Fitted per-fragment models (class-based, as in `hslb_spec`).
+        let frag_spec = self.hslb_spec(samples);
+
+        // Deal fragments to groups by descending 1-node work (static LPT on
+        // the fitted models — no oracle access).
+        let mut order: Vec<usize> = (0..self.fragments.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ca = frag_spec.components[a].model.eval(1.0);
+            let cb = frag_spec.components[b].model.eval(1.0);
+            cb.partial_cmp(&ca).expect("finite")
+        });
+        let mut group_of = vec![0usize; self.fragments.len()];
+        let mut group_load = vec![0.0f64; num_groups];
+        for &f in &order {
+            let g = group_load
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                .map(|(g, _)| g)
+                .expect("at least one group");
+            group_of[f] = g;
+            group_load[g] += frag_spec.components[f].model.eval(1.0);
+        }
+
+        // Aggregate each queue into one task model. The class models share
+        // their decay exponent family, so sum `a` and `d` and use the
+        // work-weighted mean exponent.
+        let mut groups: Vec<ComponentSpec> = Vec::with_capacity(num_groups);
+        for g in 0..num_groups {
+            let members: Vec<usize> =
+                (0..self.fragments.len()).filter(|&f| group_of[f] == g).collect();
+            let (mut a, mut b, mut d, mut cw, mut w) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            let mut max_nodes = 1i64;
+            for &f in &members {
+                let m = &frag_spec.components[f].model;
+                a += m.a;
+                b += m.b;
+                d += m.d;
+                cw += m.c * m.a;
+                w += m.a;
+                max_nodes = max_nodes.max(self.fragments[f].max_useful_nodes());
+            }
+            let c = if w > 0.0 { cw / w } else { 1.0 };
+            groups.push(ComponentSpec {
+                name: format!("group{g}"),
+                model: hslb_perfmodel::PerfModel::new(a, b, c, d),
+                allowed: hslb::AllowedNodes::Range { min: 1, max: max_nodes },
+            });
+        }
+        let spec = FlatSpec {
+            components: groups,
+            total_nodes: self.total_nodes as i64,
+            objective: Objective::MinMax,
+        };
+        let alloc = solve_minmax_waterfill(&spec)?;
+
+        // Execute: each group's queue runs sequentially on its partition.
+        self.run_counter += 1;
+        let run = self.run_counter;
+        let mut group_time = vec![0.0f64; num_groups];
+        for (f, frag) in self.fragments.iter().enumerate() {
+            let n = alloc.nodes[group_of[f]];
+            group_time[group_of[f]] +=
+                frag.true_time(n) * noise(self.seed, frag.id as u64, n, run, self.sigma);
+        }
+        let monomer = group_time.iter().fold(0.0f64, |m, &t| m.max(t));
+        let min = group_time.iter().fold(f64::INFINITY, |m, &t| m.min(t));
+        let report = FmoRunReport {
+            monomer_time: monomer,
+            dimer_time: self.dimer_step(),
+            imbalance: if monomer > 0.0 { 1.0 - min / monomer } else { 0.0 },
+        };
+        Some((alloc.nodes, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::generate_cluster;
+
+    fn sim(frags: usize, het: f64, nodes: u64) -> FmoSimulator {
+        FmoSimulator::new(generate_cluster(frags, het, 42), nodes, 7)
+    }
+
+    #[test]
+    fn hslb_beats_uniform_on_heterogeneous_cluster() {
+        let mut s = sim(48, 0.9, 256);
+        let (_, hslb) = s.run_hslb(5).unwrap();
+        let uniform = s.execute_uniform(16);
+        assert!(
+            hslb.monomer_time < uniform.monomer_time,
+            "HSLB {} vs uniform {}",
+            hslb.monomer_time,
+            uniform.monomer_time
+        );
+        assert!(hslb.imbalance < uniform.imbalance + 0.05);
+    }
+
+    #[test]
+    fn hslb_beats_dynamic_with_few_large_tasks() {
+        // The paper's core regime: tasks >> groups fails; few large diverse
+        // tasks where #tasks ≈ #groups breaks DLB.
+        let mut s = sim(24, 1.0, 512);
+        let (_, hslb) = s.run_hslb(5).unwrap();
+        let dynamic = s.execute_dynamic(24);
+        assert!(
+            hslb.monomer_time < dynamic.monomer_time,
+            "HSLB {} vs dynamic {}",
+            hslb.monomer_time,
+            dynamic.monomer_time
+        );
+    }
+
+    #[test]
+    fn homogeneous_cluster_leaves_little_room() {
+        // With equal fragments, uniform allocation is already optimal; HSLB
+        // must roughly tie (within noise), not win big.
+        let mut s = sim(32, 0.0, 128);
+        let (_, hslb) = s.run_hslb(5).unwrap();
+        let uniform = s.execute_uniform(32);
+        let ratio = hslb.monomer_time / uniform.monomer_time;
+        assert!(ratio < 1.15 && ratio > 0.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn allocation_uses_whole_machine() {
+        let mut s = sim(40, 0.8, 256);
+        let (alloc, _) = s.run_hslb(5).unwrap();
+        let used: u64 = alloc.nodes.iter().sum();
+        assert!(used <= 256);
+        assert!(used >= 256 * 9 / 10, "left too many idle: {used}");
+        // Bigger fragments get more nodes, on average.
+        let sizes: Vec<u32> = s.fragments.iter().map(|f| f.atoms).collect();
+        let biggest = (0..sizes.len()).max_by_key(|&i| sizes[i]).unwrap();
+        let smallest = (0..sizes.len()).min_by_key(|&i| sizes[i]).unwrap();
+        assert!(alloc.nodes[biggest] >= alloc.nodes[smallest]);
+    }
+
+    #[test]
+    fn grouped_hslb_beats_uniform_groups() {
+        // Same number of groups, but HSLB sizes the partitions to the queue
+        // loads instead of splitting evenly.
+        let mut s = sim(96, 1.0, 256);
+        let (sizes, grouped) = s.run_hslb_grouped(8, 5).expect("feasible");
+        let uniform = s.execute_uniform(8);
+        assert!(
+            grouped.monomer_time <= uniform.monomer_time * 1.05,
+            "grouped {} vs uniform {}",
+            grouped.monomer_time,
+            uniform.monomer_time
+        );
+        assert!(sizes.iter().sum::<u64>() <= 256);
+        assert_eq!(sizes.len(), 8);
+    }
+
+    #[test]
+    fn grouped_hslb_adapts_sizes_to_load() {
+        let mut s = sim(64, 1.0, 256);
+        let (sizes, _) = s.run_hslb_grouped(8, 5).expect("feasible");
+        // Heterogeneous queues should not all get equal partitions.
+        let min = *sizes.iter().min().expect("non-empty");
+        let max = *sizes.iter().max().expect("non-empty");
+        assert!(max > min, "sizes {sizes:?} should differ");
+    }
+
+    #[test]
+    fn grouped_rejects_impossible_group_counts() {
+        let mut s = sim(8, 0.5, 16);
+        assert!(s.run_hslb_grouped(0, 5).is_none());
+        assert!(s.run_hslb_grouped(4, 5).is_some());
+        assert!(s.run_hslb_grouped(5000, 5).is_none());
+    }
+
+    #[test]
+    fn benchmark_noise_is_bounded() {
+        let mut s = sim(8, 0.5, 64);
+        for f in 0..8 {
+            let e = s.expected(f, 4);
+            let b = s.benchmark(f, 4);
+            assert!((b - e).abs() / e < 0.2, "fragment {f}: {b} vs {e}");
+        }
+    }
+
+    #[test]
+    fn geometry_dimer_list_drives_cost() {
+        use crate::fragment::generate_cluster_with_geometry;
+        let (frags, pos) = generate_cluster_with_geometry(64, 0.5, 11);
+        let mut with_geo = FmoSimulator::with_geometry(frags.clone(), pos, 256, 11);
+        let mut without = FmoSimulator::new(frags, 256, 11);
+        let a = with_geo.execute_uniform(8).dimer_time;
+        let b = without.execute_uniform(8).dimer_time;
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a, b, "geometry must change the dimer work");
+        // Widening the cutoff can only add pairs.
+        with_geo.dimer_cutoff = 12.0;
+        let c = with_geo.execute_uniform(8).dimer_time;
+        assert!(c >= a, "{c} vs {a}");
+    }
+
+    #[test]
+    fn dimer_step_is_strategy_independent() {
+        let mut s = sim(16, 0.5, 64);
+        let a = s.execute_uniform(8).dimer_time;
+        let b = s.execute_dynamic(8).dimer_time;
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+}

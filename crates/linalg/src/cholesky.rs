@@ -1,0 +1,179 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// The trust-region (Levenberg–Marquardt) and log-barrier Newton solvers both
+/// solve SPD systems; when the Hessian model is only positive *semi*definite
+/// they retry through [`Cholesky::new_regularized`], which shifts the diagonal
+/// until the factorization succeeds.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when a non-positive pivot is
+    /// encountered.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (a.rows(), a.rows()),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { row: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + lambda I`, geometrically growing `lambda` from
+    /// `initial_shift` until the shifted matrix is positive definite.
+    ///
+    /// Returns the factorization together with the shift that was actually
+    /// applied (`0.0` when `a` itself was SPD). Gives up after enough growth
+    /// to dominate the largest diagonal entry.
+    pub fn new_regularized(a: &Matrix, initial_shift: f64) -> Result<(Self, f64)> {
+        if let Ok(ch) = Cholesky::new(a) {
+            return Ok((ch, 0.0));
+        }
+        let max_diag = (0..a.rows()).map(|i| a[(i, i)].abs()).fold(f64::EPSILON, f64::max);
+        let mut shift = initial_shift.max(1e-12 * max_diag);
+        let limit = 1e8 * max_diag.max(1.0);
+        while shift <= limit {
+            let mut shifted = a.clone();
+            shifted.add_diagonal(shift);
+            if let Ok(ch) = Cholesky::new(&shifted) {
+                return Ok((ch, shift));
+            }
+            shift *= 10.0;
+        }
+        Err(LinalgError::NotPositiveDefinite { row: 0 })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        debug_assert_eq!(b.len(), n);
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+
+    /// log(det A) = 2 Σ log L_ii — cheap once factorized.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a full-rank B is SPD.
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = ch.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn regularized_recovers_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let (ch, shift) = Cholesky::new_regularized(&a, 1e-8).unwrap();
+        assert!(shift > 0.0);
+        // The shifted system must be solvable and produce finite values.
+        let x = ch.solve(&[1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn regularized_spd_needs_no_shift() {
+        let a = spd3();
+        let (_, shift) = Cholesky::new_regularized(&a, 1e-8).unwrap();
+        assert_eq!(shift, 0.0);
+    }
+
+    #[test]
+    fn log_det_matches_known() {
+        // det(diag(2, 3)) = 6.
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 6.0_f64.ln()).abs() < 1e-12);
+    }
+}

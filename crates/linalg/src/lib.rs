@@ -1,0 +1,62 @@
+//! Dense linear-algebra substrate for the HSLB reproduction.
+//!
+//! The optimization stack (Levenberg–Marquardt fitting, log-barrier Newton
+//! steps, simplex pricing) only ever needs small dense systems — a handful to
+//! a few thousand unknowns — so this crate provides straightforward row-major
+//! dense kernels with no external dependencies:
+//!
+//! * [`Matrix`] — row-major dense matrix with the usual arithmetic.
+//! * [`Cholesky`] — SPD factorization with a ridge-regularized fallback
+//!   ([`Cholesky::new_regularized`]) used by trust-region and barrier solvers.
+//! * [`Lu`] — partial-pivoting LU for general square systems.
+//! * [`Qr`] — Householder QR for least-squares subproblems.
+//! * [`vecops`] — the handful of BLAS-1 style vector helpers used everywhere.
+//!
+//! All factorizations report failure through [`LinalgError`] instead of
+//! panicking so callers (iterative solvers) can recover, e.g. by adding
+//! regularization and retrying.
+
+pub mod cholesky;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+
+/// Errors reported by factorizations and solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically so) at the given pivot index.
+    Singular { pivot: usize },
+    /// Cholesky failed: the matrix is not positive definite at the given row.
+    NotPositiveDefinite { row: usize },
+    /// Operand dimensions do not match the operation.
+    DimensionMismatch { expected: (usize, usize), got: (usize, usize) },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { row } => {
+                write!(f, "matrix is not positive definite (detected at row {row})")
+            }
+            LinalgError::DimensionMismatch { expected, got } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

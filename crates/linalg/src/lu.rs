@@ -1,0 +1,186 @@
+//! LU factorization with partial pivoting.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Partial-pivoting LU factorization `P A = L U`.
+///
+/// Used for general (non-symmetric) square systems, e.g. KKT-like systems in
+/// the barrier solver's predictor steps and for small dense basis solves in
+/// tests. The factors are stored packed in a single matrix (`L` below the
+/// diagonal with implicit unit diagonal, `U` on and above it).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    packed: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 / -1.0) for determinant computation.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Tolerance below which a pivot is considered numerically zero.
+    const PIVOT_TOL: f64 = 1e-13;
+
+    /// Factorizes a square matrix. Fails with [`LinalgError::Singular`] when
+    /// no acceptable pivot exists in a column.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (a.rows(), a.rows()),
+                got: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        // Scale factors for scaled partial pivoting: more robust on rows of
+        // wildly different magnitude (simplex cut rows can be like that).
+        let scales: Vec<f64> = (0..n)
+            .map(|i| m.row(i).iter().fold(0.0_f64, |s, v| s.max(v.abs())).max(Lu::PIVOT_TOL))
+            .collect();
+        let mut scale_of_row: Vec<f64> = scales;
+
+        for k in 0..n {
+            // Choose pivot row maximizing |a_ik| / scale_i.
+            let mut best = k;
+            let mut best_val = m[(k, k)].abs() / scale_of_row[k];
+            for i in (k + 1)..n {
+                let v = m[(i, k)].abs() / scale_of_row[i];
+                if v > best_val {
+                    best_val = v;
+                    best = i;
+                }
+            }
+            if m[(best, k)].abs() <= Lu::PIVOT_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if best != k {
+                m.swap_rows(k, best);
+                perm.swap(k, best);
+                scale_of_row.swap(k, best);
+                sign = -sign;
+            }
+            let pivot = m[(k, k)];
+            for i in (k + 1)..n {
+                let factor = m[(i, k)] / pivot;
+                m[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = m[(k, j)];
+                        m[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Lu { packed: m, perm, perm_sign: sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.packed.rows();
+        debug_assert_eq!(b.len(), n);
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for k in 0..i {
+                y[i] -= self.packed[(i, k)] * y[k];
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.packed[(i, k)] * y[k];
+            }
+            y[i] /= self.packed[(i, i)];
+        }
+        y
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.packed.rows();
+        self.perm_sign * (0..n).map(|i| self.packed[(i, i)]).product::<f64>()
+    }
+
+    /// Crude reciprocal condition estimate: min |U_ii| / max |U_ii|.
+    ///
+    /// Cheap and good enough to flag near-singular Newton systems.
+    pub fn rcond_estimate(&self) -> f64 {
+        let n = self.packed.rows();
+        let mut mn = f64::INFINITY;
+        let mut mx = 0.0_f64;
+        for i in 0..n {
+            let d = self.packed[(i, i)].abs();
+            mn = mn.min(d);
+            mx = mx.max(d);
+        }
+        if mx == 0.0 {
+            0.0
+        } else {
+            mn / mx
+        }
+    }
+}
+
+/// One-shot convenience: solve `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Ok(Lu::new(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let b = [8.0, -11.0, -3.0];
+        let x = solve(&a, &b).unwrap();
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(&expected) {
+            assert!((xi - ei).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - (-14.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_sign_with_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rcond_reasonable() {
+        let well = Matrix::identity(4);
+        assert!((Lu::new(&well).unwrap().rcond_estimate() - 1.0).abs() < 1e-12);
+        let mut ill = Matrix::identity(4);
+        ill[(3, 3)] = 1e-10;
+        assert!(Lu::new(&ill).unwrap().rcond_estimate() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Row-major dense matrix.
+
+use crate::{LinalgError, Result};
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Sized for the problems this workspace solves (fitting Jacobians, Newton
+/// systems, simplex bases): tens to a few thousand rows/columns. Storage is a
+/// single `Vec<f64>` so rows are contiguous and iteration is cache-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (rows, cols),
+                got: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested row slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            y[i] = crate::vecops::dot(self.row(i), x);
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `Aᵀ x`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi != 0.0 {
+                for (yj, aij) in y.iter_mut().zip(self.row(i)) {
+                    *yj += aij * xi;
+                }
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A B`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.cols, other.cols),
+                got: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `AᵀA` (symmetric positive semidefinite).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for k in 0..self.rows {
+            let row = self.row(k);
+            for i in 0..n {
+                let rki = row[i];
+                if rki == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += rki * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Adds `lambda` to every diagonal entry in place (ridge shift).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Swaps rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Elementwise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                got: (other.rows, other.cols),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i3 = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 3.5];
+        assert_eq!(i3.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - expected[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_transposed_matches_transpose_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = vec![1.5, -0.5];
+        let lhs = a.matvec_transposed(&x);
+        let rhs = a.transpose().matvec(&x);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swap_rows_swaps() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        a.swap_rows(0, 2);
+        assert_eq!(a.row(0), &[5.0, 6.0]);
+        assert_eq!(a.row(2), &[1.0, 2.0]);
+        a.swap_rows(1, 1);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_diagonal_shifts() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(3.0);
+        assert_eq!(a, Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 3.0]]));
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, -4.0], &[0.0, 0.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((a.inf_norm() - 7.0).abs() < 1e-12);
+        assert!((a.max_abs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+}

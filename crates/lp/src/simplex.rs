@@ -1,0 +1,573 @@
+//! Bounded-variable two-phase primal simplex.
+//!
+//! Layout: one slack column per row turns every constraint into an equality
+//! with bounds on the slack; artificial columns are added only for rows whose
+//! initial slack value falls outside the slack bounds. Phase 1 minimizes the
+//! sum of artificials; Phase 2 minimizes the true objective with artificials
+//! frozen at zero. The basis inverse is kept explicitly (row count here is
+//! small — model rows plus outer-approximation cuts) and refactorized
+//! periodically for numerical hygiene.
+
+use crate::model::{LinearProgram, RowSense};
+use crate::solution::{LpSolution, LpStatus};
+use hslb_linalg::{Lu, Matrix};
+
+/// Simplex tuning knobs. Defaults suit the HSLB problem sizes.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on total pivots across both phases.
+    pub max_iters: usize,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Primal feasibility tolerance (bound violations, Phase 1 target).
+    pub feas_tol: f64,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub degeneracy_limit: usize,
+    /// Pivots between basis refactorizations.
+    pub refactor_every: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iters: 50_000,
+            opt_tol: 1e-9,
+            feas_tol: 1e-7,
+            degeneracy_limit: 200,
+            refactor_every: 100,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free variable currently parked at zero.
+    FreeZero,
+}
+
+/// Sparse column: (row, coefficient) pairs.
+type Column = Vec<(usize, f64)>;
+
+struct Tableau {
+    /// All columns: structurals, then slacks, then artificials.
+    cols: Vec<Column>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    status: Vec<VarStatus>,
+    /// Variable occupying each basis row.
+    basis: Vec<usize>,
+    /// Explicit inverse of the basis matrix.
+    binv: Matrix,
+    /// Values of the basic variables, row-aligned with `basis`.
+    xb: Vec<f64>,
+    /// Right-hand side per row (all rows are equalities after slacks).
+    rhs: Vec<f64>,
+    /// Whether each column may enter the basis (artificials may not in
+    /// Phase 2).
+    can_enter: Vec<bool>,
+    m: usize,
+}
+
+impl Tableau {
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lo[j],
+            VarStatus::AtUpper => self.hi[j],
+            VarStatus::FreeZero => 0.0,
+            VarStatus::Basic(r) => self.xb[r],
+        }
+    }
+
+    /// Current value of any variable.
+    fn value(&self, j: usize) -> f64 {
+        self.nonbasic_value(j)
+    }
+
+    /// y = cBᵀ B⁻¹ for the given cost vector.
+    fn duals(&self, costs: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (r, &bvar) in self.basis.iter().enumerate() {
+            let c = costs[bvar];
+            if c != 0.0 {
+                for k in 0..m {
+                    y[k] += c * self.binv[(r, k)];
+                }
+            }
+        }
+        y
+    }
+
+    /// Reduced cost of column `j` given duals `y`.
+    fn reduced_cost(&self, j: usize, costs: &[f64], y: &[f64]) -> f64 {
+        let mut d = costs[j];
+        for &(row, a) in &self.cols[j] {
+            d -= y[row] * a;
+        }
+        d
+    }
+
+    /// w = B⁻¹ A_j.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(row, a) in &self.cols[j] {
+            if a != 0.0 {
+                for i in 0..m {
+                    w[i] += self.binv[(i, row)] * a;
+                }
+            }
+        }
+        w
+    }
+
+    /// Rebuilds `binv` and `xb` from scratch (numerical hygiene).
+    fn refactorize(&mut self) -> Result<(), ()> {
+        let m = self.m;
+        let mut b = Matrix::zeros(m, m);
+        for (r, &bvar) in self.basis.iter().enumerate() {
+            for &(row, a) in &self.cols[bvar] {
+                b[(row, r)] += a;
+            }
+        }
+        let lu = Lu::new(&b).map_err(|_| ())?;
+        // binv columns: solve B z = e_k.
+        let mut binv = Matrix::zeros(m, m);
+        let mut e = vec![0.0; m];
+        for k in 0..m {
+            e[k] = 1.0;
+            let z = lu.solve(&e);
+            e[k] = 0.0;
+            for i in 0..m {
+                binv[(i, k)] = z[i];
+            }
+        }
+        self.binv = binv;
+        self.recompute_xb();
+        Ok(())
+    }
+
+    /// xB = B⁻¹ (b - N x_N).
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut resid = self.rhs.clone();
+        for j in 0..self.cols.len() {
+            if matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(row, a) in &self.cols[j] {
+                    resid[row] -= a * v;
+                }
+            }
+        }
+        let mut xb = vec![0.0; m];
+        for i in 0..m {
+            let mut s = 0.0;
+            for k in 0..m {
+                s += self.binv[(i, k)] * resid[k];
+            }
+            xb[i] = s;
+        }
+        self.xb = xb;
+    }
+}
+
+/// Outcome of one phase.
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Solves the LP with default options.
+pub fn solve(lp: &LinearProgram) -> LpSolution {
+    solve_with(lp, &SimplexOptions::default())
+}
+
+/// Solves the LP with explicit options.
+pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
+    let m = lp.num_rows();
+    let n = lp.num_vars();
+
+    // ---- Build tableau ------------------------------------------------
+    // Structural columns (transpose the row-wise storage, summing dups).
+    let mut cols: Vec<Column> = vec![Vec::new(); n];
+    let mut rhs = vec![0.0; m];
+    for (r, row) in lp.rows().iter().enumerate() {
+        rhs[r] = row.rhs;
+        for &(v, c) in &row.coeffs {
+            if let Some(entry) = cols[v.0].iter_mut().find(|(rr, _)| *rr == r) {
+                entry.1 += c;
+            } else if c != 0.0 {
+                cols[v.0].push((r, c));
+            }
+        }
+    }
+    let mut lo = lp.lowers().to_vec();
+    let mut hi = lp.uppers().to_vec();
+    let mut can_enter = vec![true; n];
+
+    // Slack columns.
+    let slack_base = n;
+    for (r, row) in lp.rows().iter().enumerate() {
+        cols.push(vec![(r, 1.0)]);
+        can_enter.push(true);
+        match row.sense {
+            RowSense::Le => {
+                lo.push(0.0);
+                hi.push(f64::INFINITY);
+            }
+            RowSense::Ge => {
+                lo.push(f64::NEG_INFINITY);
+                hi.push(0.0);
+            }
+            RowSense::Eq => {
+                lo.push(0.0);
+                hi.push(0.0);
+            }
+        }
+    }
+
+    // Initial nonbasic placement for structurals.
+    let mut status: Vec<VarStatus> = (0..n)
+        .map(|j| initial_status(lo[j], hi[j]))
+        .collect();
+
+    // Row residuals with structurals at their parked values.
+    let mut resid = rhs.clone();
+    for j in 0..n {
+        let v = match status[j] {
+            VarStatus::AtLower => lo[j],
+            VarStatus::AtUpper => hi[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            for &(row, a) in &cols[j] {
+                resid[row] -= a * v;
+            }
+        }
+    }
+
+    // Slack placement: basic when the residual fits its bounds, otherwise
+    // parked at the nearest bound with an artificial absorbing the deficit.
+    // Slack statuses are pushed first (they occupy columns n..n+m); the
+    // artificial statuses are appended afterwards so `status[j]` stays
+    // aligned with column `j`.
+    let mut basis = Vec::with_capacity(m);
+    let mut xb = Vec::with_capacity(m);
+    let mut artificials = Vec::new();
+    let mut art_status = Vec::new();
+    for r in 0..m {
+        let sj = slack_base + r;
+        let s = resid[r];
+        if s >= lo[sj] - opts.feas_tol && s <= hi[sj] + opts.feas_tol {
+            status.push(VarStatus::Basic(r));
+            basis.push(sj);
+            xb.push(s);
+        } else {
+            let parked = if s < lo[sj] { lo[sj] } else { hi[sj] };
+            status.push(if parked == lo[sj] { VarStatus::AtLower } else { VarStatus::AtUpper });
+            let deficit = s - parked;
+            // Artificial column sign(deficit)·e_r, basic at |deficit|.
+            let aj = cols.len();
+            cols.push(vec![(r, deficit.signum())]);
+            lo.push(0.0);
+            hi.push(f64::INFINITY);
+            can_enter.push(true);
+            art_status.push(VarStatus::Basic(r));
+            basis.push(aj);
+            xb.push(deficit.abs());
+            artificials.push(aj);
+        }
+    }
+    status.extend(art_status);
+
+    let mut tab = Tableau {
+        cols,
+        lo,
+        hi,
+        status,
+        basis,
+        binv: Matrix::identity(m),
+        xb,
+        rhs,
+        can_enter,
+        m,
+    };
+    // The slack part of the initial basis is the identity but artificial
+    // columns may carry a -1 coefficient; build the true inverse up front.
+    if tab.refactorize().is_err() {
+        return LpSolution {
+            status: LpStatus::IterationLimit,
+            x: Vec::new(),
+            objective: f64::NAN,
+            duals: Vec::new(),
+            iterations: 0,
+        };
+    }
+
+    let mut iterations = 0;
+
+    // ---- Phase 1 -------------------------------------------------------
+    if !artificials.is_empty() {
+        let mut costs1 = vec![0.0; tab.cols.len()];
+        for &a in &artificials {
+            costs1[a] = 1.0;
+        }
+        match run_phase(&mut tab, &costs1, opts, &mut iterations) {
+            PhaseEnd::Optimal => {}
+            // Phase 1 objective is bounded below by 0, so Unbounded cannot
+            // legitimately happen; treat as numerical failure.
+            PhaseEnd::Unbounded | PhaseEnd::IterationLimit => {
+                return LpSolution {
+                    status: LpStatus::IterationLimit,
+                    x: Vec::new(),
+                    objective: f64::NAN,
+                    duals: Vec::new(),
+                    iterations,
+                };
+            }
+        }
+        let infeasibility: f64 =
+            artificials.iter().map(|&a| tab.value(a).max(0.0)).sum();
+        if infeasibility > opts.feas_tol * 10.0 {
+            return LpSolution::infeasible(iterations);
+        }
+        // Freeze artificials at zero for Phase 2.
+        for &a in &artificials {
+            tab.hi[a] = 0.0;
+            tab.can_enter[a] = false;
+            if let VarStatus::Basic(r) = tab.status[a] {
+                tab.xb[r] = 0.0; // clean tiny residue
+            } else {
+                tab.status[a] = VarStatus::AtLower;
+            }
+        }
+    }
+
+    // ---- Phase 2 -------------------------------------------------------
+    let mut costs2 = vec![0.0; tab.cols.len()];
+    costs2[..n].copy_from_slice(lp.costs());
+    let end = run_phase(&mut tab, &costs2, opts, &mut iterations);
+    match end {
+        PhaseEnd::Optimal => {
+            let x: Vec<f64> = (0..n).map(|j| tab.value(j)).collect();
+            let duals = tab.duals(&costs2);
+            let objective = lp.objective_value(&x);
+            LpSolution { status: LpStatus::Optimal, x, objective, duals, iterations }
+        }
+        PhaseEnd::Unbounded => LpSolution::unbounded(iterations),
+        PhaseEnd::IterationLimit => LpSolution {
+            status: LpStatus::IterationLimit,
+            x: Vec::new(),
+            objective: f64::NAN,
+            duals: Vec::new(),
+            iterations,
+        },
+    }
+}
+
+fn initial_status(lo: f64, hi: f64) -> VarStatus {
+    if lo.is_finite() {
+        VarStatus::AtLower
+    } else if hi.is_finite() {
+        VarStatus::AtUpper
+    } else {
+        VarStatus::FreeZero
+    }
+}
+
+/// Runs primal simplex until optimality/unboundedness for the given costs.
+fn run_phase(
+    tab: &mut Tableau,
+    costs: &[f64],
+    opts: &SimplexOptions,
+    iterations: &mut usize,
+) -> PhaseEnd {
+    let mut degenerate_run = 0usize;
+    let mut bland = false;
+    let mut since_refactor = 0usize;
+
+    loop {
+        if *iterations >= opts.max_iters {
+            return PhaseEnd::IterationLimit;
+        }
+        if since_refactor >= opts.refactor_every {
+            // A singular refactorization here would indicate corruption of
+            // the basis bookkeeping; keep going with the updated inverse.
+            let _ = tab.refactorize();
+            since_refactor = 0;
+        }
+
+        let y = tab.duals(costs);
+
+        // ---- Pricing ----
+        let mut enter: Option<(usize, f64, f64)> = None; // (var, |d|, dir)
+        for j in 0..tab.cols.len() {
+            if !tab.can_enter[j] {
+                continue;
+            }
+            let dir = match tab.status[j] {
+                VarStatus::Basic(_) => continue,
+                VarStatus::AtLower => 1.0,
+                VarStatus::AtUpper => -1.0,
+                VarStatus::FreeZero => 0.0, // decided below
+            };
+            // Fixed variables (lo == hi) can never improve anything.
+            if tab.lo[j] == tab.hi[j] {
+                continue;
+            }
+            let d = tab.reduced_cost(j, costs, &y);
+            let (eligible, dir) = if dir == 0.0 {
+                (d.abs() > opts.opt_tol, if d > 0.0 { -1.0 } else { 1.0 })
+            } else if dir > 0.0 {
+                (d < -opts.opt_tol, 1.0)
+            } else {
+                (d > opts.opt_tol, -1.0)
+            };
+            if !eligible {
+                continue;
+            }
+            let score = d.abs();
+            match (&enter, bland) {
+                (_, true) => {
+                    // Bland: first eligible (lowest index) wins.
+                    enter = Some((j, score, dir));
+                    break;
+                }
+                (None, _) => enter = Some((j, score, dir)),
+                (Some((_, best, _)), _) if score > *best => enter = Some((j, score, dir)),
+                _ => {}
+            }
+        }
+        let Some((j, _, dir)) = enter else {
+            return PhaseEnd::Optimal;
+        };
+
+        // ---- Ratio test ----
+        let w = tab.ftran(j);
+        let own_range = tab.hi[j] - tab.lo[j]; // may be inf
+        let mut t_max = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut leaving: Option<(usize, bool)> = None; // (row, hits_lower)
+        let piv_tol = 1e-9;
+        for i in 0..tab.m {
+            let coeff = dir * w[i];
+            let bvar = tab.basis[i];
+            if coeff > piv_tol {
+                let lb = tab.lo[bvar];
+                if lb.is_finite() {
+                    let t = (tab.xb[i] - lb) / coeff;
+                    if t < t_max - 1e-12
+                        || (t < t_max + 1e-12
+                            && better_pivot(&leaving, i, &w, tab, bland))
+                    {
+                        t_max = t.max(0.0);
+                        leaving = Some((i, true));
+                    }
+                }
+            } else if coeff < -piv_tol {
+                let ub = tab.hi[bvar];
+                if ub.is_finite() {
+                    let t = (ub - tab.xb[i]) / (-coeff);
+                    if t < t_max - 1e-12
+                        || (t < t_max + 1e-12
+                            && better_pivot(&leaving, i, &w, tab, bland))
+                    {
+                        t_max = t.max(0.0);
+                        leaving = Some((i, false));
+                    }
+                }
+            }
+        }
+
+        if t_max.is_infinite() {
+            return PhaseEnd::Unbounded;
+        }
+
+        *iterations += 1;
+        since_refactor += 1;
+        if t_max < 1e-10 {
+            degenerate_run += 1;
+            if degenerate_run >= opts.degeneracy_limit {
+                bland = true;
+            }
+        } else {
+            degenerate_run = 0;
+        }
+
+        // ---- Update ----
+        let t = t_max;
+        match leaving {
+            None => {
+                // Bound flip: the entering variable traverses its whole range.
+                for i in 0..tab.m {
+                    tab.xb[i] -= t * dir * w[i];
+                }
+                tab.status[j] = match tab.status[j] {
+                    VarStatus::AtLower => VarStatus::AtUpper,
+                    VarStatus::AtUpper => VarStatus::AtLower,
+                    // A free variable can only flip if both bounds were
+                    // finite, which contradicts FreeZero; keep it sane.
+                    other => other,
+                };
+            }
+            Some((r, hits_lower)) => {
+                let entering_start = tab.nonbasic_value(j);
+                for i in 0..tab.m {
+                    tab.xb[i] -= t * dir * w[i];
+                }
+                let lvar = tab.basis[r];
+                tab.status[lvar] =
+                    if hits_lower { VarStatus::AtLower } else { VarStatus::AtUpper };
+                // Snap exactly onto the bound to stop drift.
+                tab.basis[r] = j;
+                tab.status[j] = VarStatus::Basic(r);
+                tab.xb[r] = entering_start + dir * t;
+
+                // Elementary update of B⁻¹: pivot on w[r].
+                let p = w[r];
+                debug_assert!(p.abs() > 1e-12, "pivot too small");
+                for k in 0..tab.m {
+                    tab.binv[(r, k)] /= p;
+                }
+                for i in 0..tab.m {
+                    if i != r {
+                        let f = w[i];
+                        if f != 0.0 {
+                            for k in 0..tab.m {
+                                let br = tab.binv[(r, k)];
+                                tab.binv[(i, k)] -= f * br;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tie-break for the ratio test: prefer the row with the larger pivot
+/// magnitude (stability), or the lowest basis variable index under Bland.
+fn better_pivot(
+    current: &Option<(usize, bool)>,
+    candidate_row: usize,
+    w: &[f64],
+    tab: &Tableau,
+    bland: bool,
+) -> bool {
+    match current {
+        None => true,
+        Some((row, _)) => {
+            if bland {
+                tab.basis[candidate_row] < tab.basis[*row]
+            } else {
+                w[candidate_row].abs() > w[*row].abs()
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! LP solve outcomes.
+
+/// Terminal status of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible set.
+    Unbounded,
+    /// Iteration limit was reached before convergence (numerical trouble).
+    IterationLimit,
+}
+
+/// Solution of a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    /// Primal values of the structural variables (empty unless `Optimal`).
+    pub x: Vec<f64>,
+    /// Objective value (`f64::INFINITY` when infeasible, `NEG_INFINITY` when
+    /// unbounded).
+    pub objective: f64,
+    /// Dual values (simplex multipliers), one per row (empty unless
+    /// `Optimal`).
+    pub duals: Vec<f64>,
+    /// Simplex iterations across both phases.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Whether the run ended with a usable optimal point.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+
+    pub(crate) fn infeasible(iterations: usize) -> Self {
+        LpSolution {
+            status: LpStatus::Infeasible,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            duals: Vec::new(),
+            iterations,
+        }
+    }
+
+    pub(crate) fn unbounded(iterations: usize) -> Self {
+        LpSolution {
+            status: LpStatus::Unbounded,
+            x: Vec::new(),
+            objective: f64::NEG_INFINITY,
+            duals: Vec::new(),
+            iterations,
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Integration tests for the bounded-variable simplex.
+
+use hslb_lp::{solve, LinearProgram, LpStatus, RowSense};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+}
+
+#[test]
+fn textbook_two_variable_max() {
+    // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+    // Classic Dantzig example: optimum (2, 6), value 36.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(-3.0, 0.0, f64::INFINITY); // minimize the negation
+    let y = lp.add_var(-5.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0)], RowSense::Le, 4.0);
+    lp.add_row(vec![(y, 2.0)], RowSense::Le, 12.0);
+    lp.add_row(vec![(x, 3.0), (y, 2.0)], RowSense::Le, 18.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.objective, -36.0, 1e-8);
+    assert_close(sol.x[0], 2.0, 1e-8);
+    assert_close(sol.x[1], 6.0, 1e-8);
+}
+
+#[test]
+fn equality_constraints() {
+    // min x + y  s.t. x + y = 5, x - y = 1  ->  x=3, y=2.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+    let y = lp.add_var(1.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Eq, 5.0);
+    lp.add_row(vec![(x, 1.0), (y, -1.0)], RowSense::Eq, 1.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[0], 3.0, 1e-8);
+    assert_close(sol.x[1], 2.0, 1e-8);
+    assert_close(sol.objective, 5.0, 1e-8);
+}
+
+#[test]
+fn ge_rows_need_phase_one() {
+    // min 2x + 3y  s.t. x + y >= 4, x + 3y >= 6, x,y >= 0.
+    // Optimum at intersection: x=3, y=1, value 9.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(2.0, 0.0, f64::INFINITY);
+    let y = lp.add_var(3.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 4.0);
+    lp.add_row(vec![(x, 1.0), (y, 3.0)], RowSense::Ge, 6.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.objective, 9.0, 1e-8);
+    assert_close(sol.x[0], 3.0, 1e-8);
+    assert_close(sol.x[1], 1.0, 1e-8);
+}
+
+#[test]
+fn detects_infeasible() {
+    // x >= 2 and x <= 1 via rows.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0)], RowSense::Ge, 2.0);
+    lp.add_row(vec![(x, 1.0)], RowSense::Le, 1.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Infeasible);
+}
+
+#[test]
+fn detects_infeasible_bounds_vs_row() {
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(0.0, 0.0, 1.0);
+    let y = lp.add_var(0.0, 0.0, 1.0);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 3.0);
+    assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+}
+
+#[test]
+fn detects_unbounded() {
+    // min -x with x >= 0 and no upper limit.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(-1.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, -1.0)], RowSense::Le, 0.0); // -x <= 0, always true
+    assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+}
+
+#[test]
+fn bounded_by_variable_bounds_only() {
+    // min -x - 2y over the box [0,3]x[0,4], no rows at all... add one
+    // trivial row (the solver requires none, but exercise both paths).
+    let mut lp = LinearProgram::new();
+    let _x = lp.add_var(-1.0, 0.0, 3.0);
+    let _y = lp.add_var(-2.0, 0.0, 4.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[0], 3.0, 1e-9);
+    assert_close(sol.x[1], 4.0, 1e-9);
+
+    let mut lp2 = LinearProgram::new();
+    let x = lp2.add_var(-1.0, 0.0, 3.0);
+    let y = lp2.add_var(-2.0, 0.0, 4.0);
+    lp2.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Le, 100.0);
+    let sol2 = solve(&lp2);
+    assert_eq!(sol2.status, LpStatus::Optimal);
+    assert_close(sol2.objective, -11.0, 1e-9);
+}
+
+#[test]
+fn free_variables() {
+    // min x  s.t. x >= -7 via a row (x itself unbounded both ways).
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0)], RowSense::Ge, -7.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[0], -7.0, 1e-8);
+}
+
+#[test]
+fn negative_rhs_and_coeffs() {
+    // min x + y s.t. -x - y <= -4 (i.e. x + y >= 4), 0 <= x,y <= 3.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, 0.0, 3.0);
+    let y = lp.add_var(1.0, 0.0, 3.0);
+    lp.add_row(vec![(x, -1.0), (y, -1.0)], RowSense::Le, -4.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.objective, 4.0, 1e-8);
+}
+
+#[test]
+fn duplicate_coefficients_are_summed() {
+    // Row written as x + x <= 4 must behave as 2x <= 4.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(-1.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0), (x, 1.0)], RowSense::Le, 4.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[0], 2.0, 1e-9);
+}
+
+#[test]
+fn degenerate_lp_terminates() {
+    // Beale's classic cycling example (terminates only with anti-cycling).
+    let mut lp = LinearProgram::new();
+    let x1 = lp.add_var(-0.75, 0.0, f64::INFINITY);
+    let x2 = lp.add_var(150.0, 0.0, f64::INFINITY);
+    let x3 = lp.add_var(-0.02, 0.0, f64::INFINITY);
+    let x4 = lp.add_var(6.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], RowSense::Le, 0.0);
+    lp.add_row(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], RowSense::Le, 0.0);
+    lp.add_row(vec![(x3, 1.0)], RowSense::Le, 1.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.objective, -0.05, 1e-8);
+}
+
+#[test]
+fn cut_row_tightens_previous_optimum() {
+    // Mimics outer approximation: solve, add a violated cut, re-solve.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(-1.0, 0.0, 10.0);
+    let y = lp.add_var(-1.0, 0.0, 10.0);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Le, 12.0);
+    let first = solve(&lp);
+    assert_eq!(first.status, LpStatus::Optimal);
+    assert_close(first.objective, -12.0, 1e-8);
+
+    lp.add_row(vec![(x, 1.0)], RowSense::Le, 3.0); // the "cut"
+    let second = solve(&lp);
+    assert_eq!(second.status, LpStatus::Optimal);
+    assert!(second.objective >= first.objective - 1e-9);
+    assert_close(second.objective, -12.0, 1e-8); // y takes up the slack
+    lp.add_row(vec![(y, 1.0)], RowSense::Le, 5.0);
+    let third = solve(&lp);
+    assert_close(third.objective, -8.0, 1e-8);
+}
+
+#[test]
+fn equality_with_negative_rhs() {
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+    let y = lp.add_var(2.0, f64::NEG_INFINITY, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Eq, -3.0);
+    lp.add_row(vec![(x, 1.0), (y, -1.0)], RowSense::Eq, 7.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[0], 2.0, 1e-8);
+    assert_close(sol.x[1], -5.0, 1e-8);
+}
+
+#[test]
+fn fixed_variables_are_respected() {
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(1.0, 4.0, 4.0); // fixed at 4
+    let y = lp.add_var(1.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 10.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[0], 4.0, 1e-9);
+    assert_close(sol.x[1], 6.0, 1e-8);
+}
+
+#[test]
+fn many_columns_sos1_style() {
+    // The shape of the paper's z_k binary encoding relaxation: hundreds of
+    // columns, two linking rows. min -n  s.t. sum z = 1, sum z*v = n,
+    // 0 <= z <= 1. LP optimum picks the largest v.
+    let values: Vec<f64> = (1..=500).map(|k| (2 * k) as f64).collect();
+    let mut lp = LinearProgram::new();
+    let n = lp.add_var(-1.0, 0.0, f64::INFINITY);
+    let zs: Vec<_> = values.iter().map(|_| lp.add_var(0.0, 0.0, 1.0)).collect();
+    lp.add_row(zs.iter().map(|&z| (z, 1.0)).collect(), RowSense::Eq, 1.0);
+    let mut link: Vec<_> = zs.iter().zip(&values).map(|(&z, &v)| (z, v)).collect();
+    link.push((n, -1.0));
+    lp.add_row(link, RowSense::Eq, 0.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert_close(sol.x[n.0], 1000.0, 1e-6);
+}
+
+#[test]
+fn duals_satisfy_strong_duality_on_inequality_lp() {
+    // min cᵀx, Ax >= b, x >= 0 and its dual: bᵀy must equal cᵀx at optimum.
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(2.0, 0.0, f64::INFINITY);
+    let y = lp.add_var(3.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0), (y, 1.0)], RowSense::Ge, 4.0);
+    lp.add_row(vec![(x, 1.0), (y, 3.0)], RowSense::Ge, 6.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    let dual_obj = 4.0 * sol.duals[0] + 6.0 * sol.duals[1];
+    assert_close(dual_obj, sol.objective, 1e-7);
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random LPs built to be feasible by construction: pick a random box
+    /// point x*, random rows, and set each rhs so x* satisfies the row.
+    /// The solver must return Optimal with objective <= cᵀx* and a feasible
+    /// primal point.
+    fn feasible_lp_strategy() -> impl Strategy<Value = (LinearProgram, Vec<f64>)> {
+        let dim = 1usize..5;
+        let rows = 0usize..5;
+        (dim, rows).prop_flat_map(|(n, m)| {
+            let xstar = proptest::collection::vec(-5.0..5.0f64, n);
+            let costs = proptest::collection::vec(-3.0..3.0f64, n);
+            let coeffs = proptest::collection::vec(
+                proptest::collection::vec(-2.0..2.0f64, n),
+                m,
+            );
+            let senses = proptest::collection::vec(0u8..2, m);
+            (xstar, costs, coeffs, senses).prop_map(move |(xstar, costs, coeffs, senses)| {
+                let mut lp = LinearProgram::new();
+                let vars: Vec<_> = (0..n)
+                    .map(|i| lp.add_var(costs[i], xstar[i] - 6.0, xstar[i] + 6.0))
+                    .collect();
+                for (row, sense) in coeffs.iter().zip(&senses) {
+                    let act: f64 = row.iter().zip(&xstar).map(|(a, x)| a * x).sum();
+                    let terms: Vec<_> =
+                        vars.iter().zip(row).map(|(&v, &a)| (v, a)).collect();
+                    match sense {
+                        0 => lp.add_row(terms, RowSense::Le, act + 1.0),
+                        _ => lp.add_row(terms, RowSense::Ge, act - 1.0),
+                    };
+                }
+                (lp, xstar)
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn random_feasible_lps_solve_to_feasible_optima(
+            (lp, xstar) in feasible_lp_strategy()
+        ) {
+            let sol = solve(&lp);
+            prop_assert_eq!(sol.status, LpStatus::Optimal);
+            // Solver's point must be feasible.
+            prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+            // And at least as good as the known feasible point.
+            let known = lp.objective_value(&xstar);
+            prop_assert!(sol.objective <= known + 1e-6,
+                "objective {} worse than known feasible {}", sol.objective, known);
+        }
+
+        #[test]
+        fn box_only_lps_hit_the_correct_corner(
+            costs in proptest::collection::vec(-4.0..4.0f64, 1..6)
+        ) {
+            let mut lp = LinearProgram::new();
+            for &c in &costs {
+                lp.add_var(c, -1.0, 2.0);
+            }
+            let sol = solve(&lp);
+            prop_assert_eq!(sol.status, LpStatus::Optimal);
+            for (x, &c) in sol.x.iter().zip(&costs) {
+                let expected = if c > 0.0 { -1.0 } else if c < 0.0 { 2.0 } else { *x };
+                prop_assert!((x - expected).abs() < 1e-9);
+            }
+        }
+    }
+}

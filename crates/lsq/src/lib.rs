@@ -1,0 +1,35 @@
+//! Bound-constrained nonlinear least squares for the HSLB fitting step.
+//!
+//! The HSLB papers (SC'12 §Fit, IPDPSW'14 Table II line 10) fit the
+//! performance function `T(n) = a/n^c + b·n + d` to observed component wall
+//! clocks by solving
+//!
+//! ```text
+//! min_{a,b,c,d >= 0}  Σ_i ( y_i - T(n_i; a,b,c,d) )²
+//! ```
+//!
+//! This is a small non-convex least-squares problem; the papers note that
+//! different starting points reach different local optima of similar quality.
+//! This crate provides:
+//!
+//! * [`Residuals`] — the problem trait (residual vector + optional analytic
+//!   Jacobian, with a finite-difference default).
+//! * [`levenberg_marquardt`] — a projected Levenberg–Marquardt solver with
+//!   box constraints.
+//! * [`multistart()`](multistart()) — parallel multistart (rayon) over a set of starting
+//!   points, mirroring the papers' "we experimented with different starting
+//!   solutions" methodology.
+//! * [`stats`] — goodness-of-fit statistics (R², RMSE) used to judge fits the
+//!   way the paper does ("R² was very close to 1 for each component").
+
+pub mod lm;
+pub mod multistart;
+pub mod problem;
+pub mod robust;
+pub mod stats;
+
+pub use lm::{levenberg_marquardt, LmOptions, LmOutcome, LmReport, LsqError};
+pub use multistart::{multistart, MultistartReport};
+pub use problem::{Bounds, CurveFit, Residuals};
+pub use robust::{huber_fit, RobustOptions};
+pub use stats::{r_squared, rmse, sse, FitQuality};

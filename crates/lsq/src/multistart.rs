@@ -1,0 +1,121 @@
+//! Parallel multistart wrapper around Levenberg–Marquardt.
+
+use crate::lm::{levenberg_marquardt, LmOptions, LmReport, LsqError};
+use crate::problem::{Bounds, Residuals};
+use rayon::prelude::*;
+
+/// Result of a multistart run.
+#[derive(Debug, Clone)]
+pub struct MultistartReport {
+    /// Best run across all starting points.
+    pub best: LmReport,
+    /// Index (into the provided starts) of the winning run.
+    pub best_start: usize,
+    /// Final costs of every start (`f64::INFINITY` for failed runs), in the
+    /// order the starts were given. Useful for the paper's observation that
+    /// "differences in the parameter values among locally optimal solutions
+    /// led to similar quality node allocations".
+    pub costs: Vec<f64>,
+    /// Number of starts that failed outright (non-finite model, etc.).
+    pub failures: usize,
+}
+
+/// Runs LM from every starting point in parallel and keeps the best result.
+///
+/// Returns an error only if *every* start fails.
+pub fn multistart<P: Residuals + ?Sized>(
+    problem: &P,
+    starts: &[Vec<f64>],
+    bounds: &Bounds,
+    opts: &LmOptions,
+) -> Result<MultistartReport, LsqError> {
+    assert!(!starts.is_empty(), "multistart requires at least one starting point");
+    let runs: Vec<Result<LmReport, LsqError>> = starts
+        .par_iter()
+        .map(|p0| levenberg_marquardt(problem, p0, bounds, opts))
+        .collect();
+
+    let mut best: Option<(usize, LmReport)> = None;
+    let mut costs = Vec::with_capacity(runs.len());
+    let mut failures = 0;
+    let mut first_err = None;
+    for (i, run) in runs.into_iter().enumerate() {
+        match run {
+            Ok(rep) => {
+                costs.push(rep.cost);
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => rep.cost < b.cost,
+                };
+                if better {
+                    best = Some((i, rep));
+                }
+            }
+            Err(e) => {
+                costs.push(f64::INFINITY);
+                failures += 1;
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match best {
+        Some((best_start, best)) => Ok(MultistartReport { best, best_start, costs, failures }),
+        None => Err(first_err.expect("at least one run must have executed")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::CurveFit;
+
+    #[test]
+    fn multistart_escapes_bad_start() {
+        // Model with a poor local basin: a/n^c + d. A start with huge c gets
+        // stuck; a sane start succeeds. Multistart must return the good one.
+        let ns = [8.0, 16.0, 32.0, 64.0, 128.0];
+        let ys: Vec<f64> = ns.iter().map(|&n| 1000.0 / n + 2.0).collect();
+        let fit =
+            CurveFit::new(ns.to_vec(), ys, 3, |n: f64, p: &[f64]| p[0] / n.powf(p[1]) + p[2]);
+        let starts = vec![vec![1.0, 12.0, 0.0], vec![500.0, 1.0, 0.0], vec![10.0, 0.5, 5.0]];
+        let rep = multistart(&fit, &starts, &Bounds::nonnegative(3), &LmOptions::default())
+            .unwrap();
+        assert!(rep.best.cost < 1e-6, "{rep:?}");
+        assert_eq!(rep.costs.len(), 3);
+        assert!(rep.costs[rep.best_start] <= rep.costs.iter().cloned().fold(f64::MAX, f64::min) + 1e-12);
+    }
+
+    #[test]
+    fn reports_partial_failures() {
+        let fit = CurveFit::new(vec![1.0, 2.0], vec![1.0, 2.0], 1, |x, p| {
+            if p[0] < 0.5 {
+                f64::NAN // poisoned basin
+            } else {
+                p[0] * x
+            }
+        });
+        let starts = vec![vec![0.0], vec![1.0]];
+        let rep =
+            multistart(&fit, &starts, &Bounds::nonnegative(1), &LmOptions::default()).unwrap();
+        assert_eq!(rep.failures, 1);
+        assert!(rep.best.cost < 1e-10);
+        assert_eq!(rep.best_start, 1);
+    }
+
+    #[test]
+    fn all_failures_propagate_error() {
+        let fit = CurveFit::new(vec![1.0], vec![1.0], 1, |_x, _p| f64::NAN);
+        let starts = vec![vec![0.0], vec![1.0]];
+        let err = multistart(&fit, &starts, &Bounds::nonnegative(1), &LmOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one starting point")]
+    fn empty_starts_panic() {
+        let fit = CurveFit::new(vec![1.0], vec![1.0], 1, |x, p| p[0] * x);
+        let _ = multistart(&fit, &[], &Bounds::free(1), &LmOptions::default());
+    }
+}

@@ -1,0 +1,206 @@
+//! Problem definition for nonlinear least squares.
+
+use hslb_linalg::Matrix;
+
+/// Box constraints `lo <= p <= hi` on the parameter vector.
+///
+/// The papers constrain all fitting parameters to be nonnegative (Table II
+/// line 11); [`Bounds::nonnegative`] builds exactly that.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+}
+
+impl Bounds {
+    /// Unbounded box of the given dimension.
+    pub fn free(dim: usize) -> Self {
+        Bounds { lo: vec![f64::NEG_INFINITY; dim], hi: vec![f64::INFINITY; dim] }
+    }
+
+    /// `p >= 0` in every coordinate (the paper's constraint on a, b, c, d).
+    pub fn nonnegative(dim: usize) -> Self {
+        Bounds { lo: vec![0.0; dim], hi: vec![f64::INFINITY; dim] }
+    }
+
+    /// Explicit lower/upper vectors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any `lo > hi`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound vectors must have equal length");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l <= h, "lower bound {l} exceeds upper bound {h}");
+        }
+        Bounds { lo, hi }
+    }
+
+    /// Dimension of the box.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Projects `p` onto the box in place.
+    pub fn project(&self, p: &mut [f64]) {
+        hslb_linalg::vecops::clamp_into_bounds(p, &self.lo, &self.hi);
+    }
+
+    /// Whether `p` lies inside the box (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(v, (l, h))| *v >= *l && *v <= *h)
+    }
+}
+
+/// A nonlinear least-squares problem: `min_p ||r(p)||²`.
+///
+/// Implementors provide the residual vector; the Jacobian defaults to forward
+/// finite differences but should be overridden with the analytic form when
+/// available (the performance-model crate does).
+pub trait Residuals: Sync {
+    /// Number of parameters.
+    fn dim(&self) -> usize;
+
+    /// Number of residuals (observations).
+    fn len(&self) -> usize;
+
+    /// Fills `out` (length [`Residuals::len`]) with residuals at `p`.
+    fn residuals(&self, p: &[f64], out: &mut [f64]);
+
+    /// Fills the `len x dim` Jacobian `J_ij = ∂r_i/∂p_j` at `p`.
+    ///
+    /// Default: forward finite differences with per-coordinate step
+    /// `h = sqrt(eps) * max(1, |p_j|)`.
+    fn jacobian(&self, p: &[f64], out: &mut Matrix) {
+        numeric_jacobian(self, p, out);
+    }
+
+    /// Sum of squared residuals at `p`.
+    fn cost(&self, p: &[f64]) -> f64 {
+        let mut r = vec![0.0; self.len()];
+        self.residuals(p, &mut r);
+        r.iter().map(|v| v * v).sum()
+    }
+}
+
+/// Forward finite-difference Jacobian, usable to validate analytic ones.
+pub fn numeric_jacobian<P: Residuals + ?Sized>(problem: &P, p: &[f64], out: &mut Matrix) {
+    let m = problem.len();
+    let n = problem.dim();
+    debug_assert_eq!(out.rows(), m);
+    debug_assert_eq!(out.cols(), n);
+    let mut base = vec![0.0; m];
+    problem.residuals(p, &mut base);
+    let mut pp = p.to_vec();
+    let mut perturbed = vec![0.0; m];
+    for j in 0..n {
+        let h = f64::EPSILON.sqrt() * p[j].abs().max(1.0);
+        let old = pp[j];
+        pp[j] = old + h;
+        problem.residuals(&pp, &mut perturbed);
+        pp[j] = old;
+        for i in 0..m {
+            out[(i, j)] = (perturbed[i] - base[i]) / h;
+        }
+    }
+}
+
+/// A simple generic curve-fitting problem over observation pairs `(x, y)`
+/// and a model closure `f(x, p)`. Residuals are `y_i - f(x_i, p)`.
+pub struct CurveFit<F> {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    dim: usize,
+    model: F,
+}
+
+impl<F: Fn(f64, &[f64]) -> f64 + Sync> CurveFit<F> {
+    /// Builds a curve-fitting problem.
+    ///
+    /// # Panics
+    /// Panics if `xs` and `ys` have different lengths.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, dim: usize, model: F) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must pair up");
+        CurveFit { xs, ys, dim, model }
+    }
+
+    /// Observed inputs.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Observed outputs.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Model predictions at `p` for every observation.
+    pub fn predictions(&self, p: &[f64]) -> Vec<f64> {
+        self.xs.iter().map(|&x| (self.model)(x, p)).collect()
+    }
+}
+
+impl<F: Fn(f64, &[f64]) -> f64 + Sync> Residuals for CurveFit<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    fn residuals(&self, p: &[f64], out: &mut [f64]) {
+        for ((o, &x), &y) in out.iter_mut().zip(&self.xs).zip(&self.ys) {
+            *o = y - (self.model)(x, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_project_and_contains() {
+        let b = Bounds::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        let mut p = vec![2.0, -3.0];
+        assert!(!b.contains(&p));
+        b.project(&mut p);
+        assert_eq!(p, vec![1.0, -1.0]);
+        assert!(b.contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn bounds_reject_inverted() {
+        let _ = Bounds::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn nonnegative_bounds() {
+        let b = Bounds::nonnegative(3);
+        assert!(b.contains(&[0.0, 5.0, 1e9]));
+        assert!(!b.contains(&[-1e-9, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn numeric_jacobian_linear_model_is_exact() {
+        // r_i = y_i - (p0 * x_i + p1): Jacobian columns are (-x_i, -1).
+        let fit =
+            CurveFit::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 0.0], 2, |x, p| p[0] * x + p[1]);
+        let mut jac = Matrix::zeros(3, 2);
+        fit.jacobian(&[1.0, 1.0], &mut jac);
+        for i in 0..3 {
+            assert!((jac[(i, 0)] - (-(i as f64))).abs() < 1e-6);
+            assert!((jac[(i, 1)] - (-1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cost_is_sum_of_squares() {
+        let fit = CurveFit::new(vec![1.0, 2.0], vec![3.0, 5.0], 1, |x, p| p[0] * x);
+        // p = 1: residuals are (3-1, 5-2) = (2, 3); cost = 13.
+        assert!((fit.cost(&[1.0]) - 13.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Goodness-of-fit statistics.
+//!
+//! The paper judges fit quality by R² ("In our tests, R² was very close to 1
+//! for each component", §III-C); these helpers compute that and the usual
+//! companions.
+
+/// Sum of squared errors between observations and predictions.
+pub fn sse(observed: &[f64], predicted: &[f64]) -> f64 {
+    debug_assert_eq!(observed.len(), predicted.len());
+    observed.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum()
+}
+
+/// Root mean squared error.
+pub fn rmse(observed: &[f64], predicted: &[f64]) -> f64 {
+    if observed.is_empty() {
+        return 0.0;
+    }
+    (sse(observed, predicted) / observed.len() as f64).sqrt()
+}
+
+/// Coefficient of determination `R² = 1 - SSE/SST`.
+///
+/// Degenerate cases: with zero total variance, returns `1.0` for a perfect
+/// fit and `0.0` otherwise (conventional choice; keeps the "close to 1 is
+/// good" reading).
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    debug_assert_eq!(observed.len(), predicted.len());
+    if observed.is_empty() {
+        return 1.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let sst: f64 = observed.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let sse = sse(observed, predicted);
+    if sst == 0.0 {
+        return if sse == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - sse / sst
+}
+
+/// Bundle of fit-quality numbers, printed in fit reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitQuality {
+    pub r_squared: f64,
+    pub rmse: f64,
+    pub sse: f64,
+    /// Largest relative error `|y - p| / max(|y|, eps)` over the data.
+    pub max_rel_err: f64,
+}
+
+impl FitQuality {
+    /// Computes all statistics from observation/prediction pairs.
+    pub fn compute(observed: &[f64], predicted: &[f64]) -> Self {
+        let max_rel_err = observed
+            .iter()
+            .zip(predicted)
+            .map(|(y, p)| (y - p).abs() / y.abs().max(f64::EPSILON))
+            .fold(0.0, f64::max);
+        FitQuality {
+            r_squared: r_squared(observed, predicted),
+            rmse: rmse(observed, predicted),
+            sse: sse(observed, predicted),
+            max_rel_err,
+        }
+    }
+
+    /// The paper's acceptance bar: R² "very close to 1".
+    pub fn is_good(&self) -> bool {
+        self.r_squared > 0.95
+    }
+}
+
+impl std::fmt::Display for FitQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "R²={:.5} RMSE={:.4} SSE={:.4} max_rel_err={:.3}%",
+            self.r_squared,
+            self.rmse,
+            self.sse,
+            self.max_rel_err * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&y, &y), 1.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        let q = FitQuality::compute(&y, &y);
+        assert!(q.is_good());
+        assert_eq!(q.max_rel_err, 0.0);
+    }
+
+    #[test]
+    fn mean_prediction_gives_zero_r2() {
+        let y = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        assert!((r_squared(&y, &mean)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_observations_degenerate() {
+        let y = [5.0, 5.0];
+        assert_eq!(r_squared(&y, &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&y, &[4.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors 3 and 4 -> mean square 12.5 -> rmse ~3.5355
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - 12.5_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_fit_means_lower_r2() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let good = [1.1, 2.0, 2.9, 4.0];
+        let bad = [2.0, 1.0, 4.0, 2.0];
+        assert!(r_squared(&y, &good) > r_squared(&y, &bad));
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = FitQuality::compute(&[1.0, 2.0], &[1.0, 2.0]);
+        let s = format!("{q}");
+        assert!(s.contains("R²=1.00000"), "{s}");
+    }
+}

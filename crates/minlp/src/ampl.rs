@@ -1,0 +1,214 @@
+//! AMPL export.
+//!
+//! The papers authored their MINLPs "in AMPL, a modeling language that
+//! allows users to write optimization models using simple mathematical
+//! notation" and shipped them to MINOTAUR (later via the NEOS server).
+//! This module renders a [`MinlpProblem`] as an AMPL model so any instance
+//! built by this workspace can be inspected — or solved by the original
+//! toolchain — in the papers' own notation.
+
+use crate::model::{MinlpProblem, VarDomain};
+use hslb_nlp::Term;
+use std::fmt::Write;
+
+/// Renders the problem as an AMPL model.
+///
+/// Variables are named `x0, x1, …`; allowed-value sets become AMPL `set`
+/// declarations with binary selectors, exactly the Table-I lines 29–31
+/// formulation (the solver-side interval branching is a solver detail that
+/// does not appear in the model text).
+pub fn to_ampl(problem: &MinlpProblem, name: &str) -> String {
+    let relax = problem.relaxation();
+    let mut s = String::new();
+    let _ = writeln!(s, "# AMPL model '{name}' exported by hslb-minlp");
+    let _ = writeln!(s, "# {} variables, {} inequality constraints, {} equalities",
+        problem.num_vars(),
+        relax.num_constraints(),
+        relax.equalities().len()
+    );
+    let _ = writeln!(s);
+
+    // --- Sets for allowed-value domains ---
+    for (j, dom) in problem.domains().iter().enumerate() {
+        if let VarDomain::AllowedValues(vals) = dom {
+            let list = vals
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(s, "set ALLOWED_x{j} := {{{list}}};");
+        }
+    }
+
+    // --- Variables ---
+    for j in 0..problem.num_vars() {
+        let (lo, hi) = (relax.lowers()[j], relax.uppers()[j]);
+        let mut decl = format!("var x{j}");
+        match &problem.domains()[j] {
+            VarDomain::Continuous => {}
+            VarDomain::Integer => decl.push_str(" integer"),
+            VarDomain::AllowedValues(_) => decl.push_str(" integer"),
+        }
+        if lo.is_finite() {
+            let _ = write!(decl, " >= {lo}");
+        }
+        if hi.is_finite() {
+            let _ = write!(decl, " <= {hi}");
+        }
+        decl.push(';');
+        let _ = writeln!(s, "{decl}");
+    }
+    // Binary selectors for set membership (Table I lines 29-31).
+    for (j, dom) in problem.domains().iter().enumerate() {
+        if let VarDomain::AllowedValues(_) = dom {
+            let _ = writeln!(s, "var z_x{j} {{ALLOWED_x{j}}} binary;");
+        }
+    }
+    let _ = writeln!(s);
+
+    // --- Objective ---
+    let obj = terms_to_ampl_linear(relax.costs());
+    let _ = writeln!(s, "minimize total: {obj};");
+    let _ = writeln!(s);
+
+    // --- Constraints ---
+    for (ci, c) in relax.constraints().iter().enumerate() {
+        let mut lhs = Vec::new();
+        for &(v, co) in &c.linear {
+            lhs.push(linear_term(co, v));
+        }
+        for (v, f) in &c.nonlinear {
+            for t in f.terms() {
+                lhs.push(nonlinear_term(*t, *v));
+            }
+        }
+        if c.constant != 0.0 {
+            lhs.push(format!("{}", fmt_num(c.constant)));
+        }
+        if lhs.is_empty() {
+            lhs.push("0".into());
+        }
+        let cname = if c.name.is_empty() { format!("c{ci}") } else { sanitize(&c.name) };
+        let _ = writeln!(s, "subject to {cname}: {} <= 0;", lhs.join(" + "));
+    }
+    for (ei, e) in relax.equalities().iter().enumerate() {
+        let lhs: Vec<String> =
+            e.coeffs.iter().map(|&(v, co)| linear_term(co, v)).collect();
+        let _ = writeln!(s, "subject to eq{ei}: {} = {};", lhs.join(" + "), fmt_num(e.rhs));
+    }
+    // Set-membership linking rows.
+    for (j, dom) in problem.domains().iter().enumerate() {
+        if let VarDomain::AllowedValues(_) = dom {
+            let _ = writeln!(s, "subject to pick_x{j}: sum {{k in ALLOWED_x{j}}} z_x{j}[k] = 1;");
+            let _ = writeln!(
+                s,
+                "subject to link_x{j}: sum {{k in ALLOWED_x{j}}} k * z_x{j}[k] = x{j};"
+            );
+        }
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn linear_term(coeff: f64, var: usize) -> String {
+    format!("{} * x{var}", fmt_num(coeff))
+}
+
+fn nonlinear_term(t: Term, var: usize) -> String {
+    match t {
+        Term::PowerDecay { a, c } => format!("{} / x{var}^{}", fmt_num(a), fmt_num(c)),
+        Term::PowerGrowth { b, c } => format!("{} * x{var}^{}", fmt_num(b), fmt_num(c)),
+        Term::Linear { k } => linear_term(k, var),
+    }
+}
+
+fn terms_to_ampl_linear(costs: &[f64]) -> String {
+    let terms: Vec<String> = costs
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0.0)
+        .map(|(j, &c)| linear_term(c, j))
+        .collect();
+    if terms.is_empty() {
+        "0".into()
+    } else {
+        terms.join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_nlp::{ConstraintFn, ScalarFn};
+
+    fn sample() -> MinlpProblem {
+        let mut p = MinlpProblem::new();
+        let n1 = p.add_int_var(0.0, 1, 100);
+        let n2 = p.add_set_var(0.0, [2, 4, 8]);
+        let t = p.add_var(1.0, 0.0, 1e6);
+        p.add_constraint(
+            ConstraintFn::new("perf ice")
+                .nonlinear_term(n1, ScalarFn::perf_model(150.0, 0.5, 1.0))
+                .linear_term(t, -1.0)
+                .with_constant(3.0),
+        );
+        p.add_constraint(
+            ConstraintFn::new("cap")
+                .linear_term(n1, 1.0)
+                .linear_term(n2, 1.0)
+                .with_constant(-64.0),
+        );
+        p.add_linear_eq(vec![(n1, 1.0), (n2, 2.0)], 20.0);
+        p
+    }
+
+    #[test]
+    fn renders_variables_with_domains() {
+        let ampl = to_ampl(&sample(), "test");
+        assert!(ampl.contains("var x0 integer >= 1 <= 100;"), "{ampl}");
+        assert!(ampl.contains("var x1 integer >= 2 <= 8;"), "{ampl}");
+        assert!(ampl.contains("var x2 >= 0 <= 1000000;"), "{ampl}");
+        assert!(ampl.contains("set ALLOWED_x1 := {2, 4, 8};"), "{ampl}");
+        assert!(ampl.contains("var z_x1 {ALLOWED_x1} binary;"), "{ampl}");
+    }
+
+    #[test]
+    fn renders_objective_and_constraints() {
+        let ampl = to_ampl(&sample(), "test");
+        assert!(ampl.contains("minimize total: 1.0 * x2;"), "{ampl}");
+        // Nonlinear constraint in the paper's notation, sanitized name.
+        assert!(
+            ampl.contains("subject to perf_ice: -1.0 * x2 + 150.0 / x0^1.0 + 0.5 * x0 + 3.0 <= 0;"),
+            "{ampl}"
+        );
+        assert!(ampl.contains("subject to cap: 1.0 * x0 + 1.0 * x1 + -64.0 <= 0;"), "{ampl}");
+        assert!(ampl.contains("subject to eq0: 1.0 * x0 + 2.0 * x1 = 20.0;"), "{ampl}");
+    }
+
+    #[test]
+    fn renders_sos_linking_rows() {
+        let ampl = to_ampl(&sample(), "test");
+        assert!(ampl.contains("sum {k in ALLOWED_x1} z_x1[k] = 1;"), "{ampl}");
+        assert!(ampl.contains("sum {k in ALLOWED_x1} k * z_x1[k] = x1;"), "{ampl}");
+    }
+
+    #[test]
+    fn empty_problem_renders() {
+        let p = MinlpProblem::new();
+        let ampl = to_ampl(&p, "empty");
+        assert!(ampl.contains("minimize total: 0;"), "{ampl}");
+    }
+}

@@ -1,0 +1,494 @@
+//! NLP-based branch and bound: solve the continuous (convex) relaxation at
+//! every node, branch on domain-violating variables.
+
+use crate::branching::{make_branch, select_branch_var_with_stats, PseudocostTracker};
+use crate::model::MinlpProblem;
+use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus, NodeSelection};
+use hslb_nlp::{BarrierOptions, NlpProblem, NlpStatus};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-ordered f64 wrapper for the best-bound heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A branch-and-bound node: the variable box plus the inherited bound.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+    /// Valid lower bound on any solution inside this box.
+    pub bound: f64,
+    pub depth: usize,
+    /// The branching that created this node: `(var, distance, is_up)` —
+    /// feeds the pseudocost tracker once the node's relaxation is solved.
+    pub branch_info: Option<(usize, f64, bool)>,
+}
+
+/// Installs node bounds into a scratch relaxation.
+pub(crate) fn install_bounds(scratch: &mut NlpProblem, lo: &[f64], hi: &[f64]) {
+    for j in 0..lo.len() {
+        scratch.set_bounds(j, lo[j], hi[j]);
+    }
+}
+
+/// Solves the continuous relaxation of a node. Returns `None` for an
+/// infeasible node, otherwise `(x, objective)` — where `objective` is a
+/// valid node bound only when the barrier converged (`bound_valid`).
+pub(crate) struct RelaxOutcome {
+    pub x: Vec<f64>,
+    pub objective: f64,
+    pub bound_valid: bool,
+}
+
+pub(crate) fn solve_relaxation(
+    scratch: &mut NlpProblem,
+    lo: &[f64],
+    hi: &[f64],
+    barrier: &BarrierOptions,
+) -> Option<RelaxOutcome> {
+    install_bounds(scratch, lo, hi);
+    let sol = match hslb_nlp::solve_with(scratch, barrier) {
+        Ok(s) => s,
+        Err(_) => return None,
+    };
+    match sol.status {
+        NlpStatus::Infeasible => None,
+        NlpStatus::Optimal => {
+            Some(RelaxOutcome { x: sol.x, objective: sol.objective, bound_valid: true })
+        }
+        NlpStatus::Unbounded => Some(RelaxOutcome {
+            x: sol.x,
+            objective: f64::NEG_INFINITY,
+            bound_valid: true,
+        }),
+        NlpStatus::IterationLimit => {
+            if sol.x.is_empty() {
+                None
+            } else {
+                Some(RelaxOutcome { x: sol.x, objective: sol.objective, bound_valid: false })
+            }
+        }
+    }
+}
+
+/// Pins discrete coordinates of `x` to their nearest admissible values and
+/// re-solves the continuous variables ("polish"). Returns a fully feasible
+/// point and its objective, or `None`.
+pub(crate) fn polish_candidate(
+    problem: &MinlpProblem,
+    scratch: &mut NlpProblem,
+    x: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    opts: &MinlpOptions,
+    barrier: &BarrierOptions,
+    nlp_solves: &mut usize,
+) -> Option<(Vec<f64>, f64)> {
+    let snapped = problem.round_to_domain(x);
+    // The snap must stay inside the node box (otherwise this candidate
+    // belongs to a sibling node; skip — the sibling will find it).
+    for j in problem.discrete_vars() {
+        if snapped[j] < lo[j] - opts.int_tol || snapped[j] > hi[j] + opts.int_tol {
+            return None;
+        }
+        // Allowed-set snap can also land outside the *node's* member subset
+        // hull; the check above covers that because hulls are the bounds.
+    }
+    // Pin discrete vars; release continuous vars to the node box.
+    let mut plo = lo.to_vec();
+    let mut phi = hi.to_vec();
+    for j in problem.discrete_vars() {
+        plo[j] = snapped[j];
+        phi[j] = snapped[j];
+    }
+    install_bounds(scratch, &plo, &phi);
+    *nlp_solves += 1;
+    let sol = hslb_nlp::solve_with(scratch, barrier).ok()?;
+    if sol.status != NlpStatus::Optimal {
+        return None;
+    }
+    if !problem.is_feasible(&sol.x, opts.feas_tol.max(1e-6)) {
+        return None;
+    }
+    Some((sol.x.clone(), sol.objective))
+}
+
+/// Prune threshold given the incumbent.
+pub(crate) fn prune_cutoff(incumbent: f64, opts: &MinlpOptions) -> f64 {
+    if incumbent.is_finite() {
+        incumbent - opts.abs_gap.max(opts.rel_gap * incumbent.abs())
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Solves a convex MINLP by NLP-based branch and bound.
+pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
+    let barrier = BarrierOptions::default();
+    let mut scratch = problem.relaxation().clone();
+
+    let root = Node {
+        lo: problem.relaxation().lowers().to_vec(),
+        hi: problem.relaxation().uppers().to_vec(),
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        branch_info: None,
+    };
+    let mut pseudocosts = PseudocostTracker::new(problem.num_vars());
+
+    let mut nodes_processed = 0usize;
+    let mut nlp_solves = 0usize;
+    let mut incumbent: Option<Vec<f64>> = None;
+    let mut incumbent_obj = f64::INFINITY;
+
+    // Node pools for the two selection strategies.
+    let mut heap: BinaryHeap<(Reverse<OrdF64>, usize)> = BinaryHeap::new();
+    let mut store: Vec<Option<Node>> = Vec::new();
+    let mut stack: Vec<Node> = Vec::new();
+    let push = |node: Node,
+                heap: &mut BinaryHeap<(Reverse<OrdF64>, usize)>,
+                store: &mut Vec<Option<Node>>,
+                stack: &mut Vec<Node>| {
+        match opts.node_selection {
+            NodeSelection::BestBound => {
+                heap.push((Reverse(OrdF64(node.bound)), store.len()));
+                store.push(Some(node));
+            }
+            NodeSelection::DepthFirst => stack.push(node),
+        }
+    };
+    push(root, &mut heap, &mut store, &mut stack);
+
+    let mut best_open_bound = f64::NEG_INFINITY;
+    let mut hit_node_limit = false;
+
+    loop {
+        let node = match opts.node_selection {
+            NodeSelection::BestBound => match heap.pop() {
+                Some((Reverse(OrdF64(b)), idx)) => {
+                    best_open_bound = b;
+                    store[idx].take().expect("node already consumed")
+                }
+                None => break,
+            },
+            NodeSelection::DepthFirst => match stack.pop() {
+                Some(node) => node,
+                None => break,
+            },
+        };
+        if nodes_processed >= opts.max_nodes {
+            hit_node_limit = true;
+            break;
+        }
+        nodes_processed += 1;
+
+        // Bound-based prune (incumbent may have improved since push).
+        if node.bound >= prune_cutoff(incumbent_obj, opts) {
+            continue;
+        }
+
+        nlp_solves += 1;
+        let Some(relax) = solve_relaxation(&mut scratch, &node.lo, &node.hi, &barrier) else {
+            continue; // infeasible node
+        };
+        let node_bound = if relax.bound_valid { relax.objective.max(node.bound) } else { node.bound };
+        // Feed the pseudocost tracker with the bound movement this
+        // branching produced.
+        if let (Some((var, dist, is_up)), true) = (node.branch_info, relax.bound_valid) {
+            if node.bound.is_finite() {
+                pseudocosts.record(var, is_up, dist, relax.objective - node.bound);
+            }
+        }
+        if node_bound >= prune_cutoff(incumbent_obj, opts) {
+            continue;
+        }
+
+        // Root rounding heuristic + every node: try to polish the relaxation
+        // point into a feasible incumbent (cheap: one pinned NLP).
+        if node.depth == 0 || problem.is_domain_feasible(&relax.x, opts.int_tol) {
+            if let Some((cand, obj)) = polish_candidate(
+                problem,
+                &mut scratch,
+                &relax.x,
+                &node.lo,
+                &node.hi,
+                opts,
+                &barrier,
+                &mut nlp_solves,
+            ) {
+                if obj < incumbent_obj {
+                    incumbent_obj = obj;
+                    incumbent = Some(cand);
+                }
+            }
+        }
+
+        // Domain-feasible relaxation: node is settled (polish above already
+        // captured the candidate).
+        if problem.is_domain_feasible(&relax.x, opts.int_tol) {
+            continue;
+        }
+
+        // Branch.
+        let Some(j) = select_branch_var_with_stats(
+            problem,
+            &relax.x,
+            &node.lo,
+            &node.hi,
+            opts.int_tol,
+            opts.branch_rule,
+            Some(&pseudocosts),
+        ) else {
+            continue; // nothing to branch on (degenerate)
+        };
+        let Some(branch) = make_branch(problem, j, relax.x[j], node.lo[j], node.hi[j]) else {
+            continue;
+        };
+        for (is_up, (blo, bhi)) in [(false, branch.down), (true, branch.up)] {
+            if blo > bhi {
+                continue;
+            }
+            let mut lo = node.lo.clone();
+            let mut hi = node.hi.clone();
+            lo[j] = blo;
+            hi[j] = bhi;
+            // Distance the branching moves x_j into this child's box.
+            let dist = if is_up { (blo - relax.x[j]).max(0.0) } else { (relax.x[j] - bhi).max(0.0) };
+            push(
+                Node {
+                    lo,
+                    hi,
+                    bound: node_bound,
+                    depth: node.depth + 1,
+                    branch_info: Some((j, dist, is_up)),
+                },
+                &mut heap,
+                &mut store,
+                &mut stack,
+            );
+        }
+    }
+
+    let best_bound = if hit_node_limit {
+        best_open_bound.min(incumbent_obj)
+    } else {
+        incumbent_obj
+    };
+    match incumbent {
+        Some(x) => MinlpSolution {
+            status: if hit_node_limit { MinlpStatus::NodeLimit } else { MinlpStatus::Optimal },
+            objective: incumbent_obj,
+            best_bound,
+            x,
+            nodes: nodes_processed,
+            nlp_solves,
+            lp_solves: 0,
+            cuts: 0,
+        },
+        None => {
+            let mut s = MinlpSolution::infeasible(nodes_processed, nlp_solves, 0);
+            if hit_node_limit {
+                s.status = MinlpStatus::NodeLimit;
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_nlp::{ConstraintFn, ScalarFn};
+
+    /// min T s.t. T >= 120/n1, T >= 360/n2, n1 + n2 <= 12, n integer >= 1.
+    /// Continuous split is (3, 9) with T = 40 — integral already.
+    fn two_component() -> MinlpProblem {
+        let mut p = MinlpProblem::new();
+        let n1 = p.add_int_var(0.0, 1, 12);
+        let n2 = p.add_int_var(0.0, 1, 12);
+        let t = p.add_var(1.0, 0.0, 1e6);
+        p.add_constraint(
+            ConstraintFn::new("t1")
+                .nonlinear_term(n1, ScalarFn::perf_model(120.0, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        p.add_constraint(
+            ConstraintFn::new("t2")
+                .nonlinear_term(n2, ScalarFn::perf_model(360.0, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        p.add_constraint(
+            ConstraintFn::new("cap")
+                .linear_term(n1, 1.0)
+                .linear_term(n2, 1.0)
+                .with_constant(-12.0),
+        );
+        p
+    }
+
+    #[test]
+    fn integral_relaxation_solves_at_root() {
+        let sol = solve_nlp_bnb(&two_component(), &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert!((sol.objective - 40.0).abs() < 1e-3, "{sol:?}");
+        assert!((sol.x[0] - 3.0).abs() < 1e-6);
+        assert!((sol.x[1] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_relaxation_forces_branching() {
+        // n1 + n2 <= 11 makes the continuous split (2.75, 8.25): must branch.
+        let mut p = MinlpProblem::new();
+        let n1 = p.add_int_var(0.0, 1, 11);
+        let n2 = p.add_int_var(0.0, 1, 11);
+        let t = p.add_var(1.0, 0.0, 1e6);
+        p.add_constraint(
+            ConstraintFn::new("t1")
+                .nonlinear_term(n1, ScalarFn::perf_model(120.0, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        p.add_constraint(
+            ConstraintFn::new("t2")
+                .nonlinear_term(n2, ScalarFn::perf_model(360.0, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        p.add_constraint(
+            ConstraintFn::new("cap")
+                .linear_term(n1, 1.0)
+                .linear_term(n2, 1.0)
+                .with_constant(-11.0),
+        );
+        let sol = solve_nlp_bnb(&p, &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        // Exhaustive check: best integer split of 11 nodes.
+        let mut best = f64::INFINITY;
+        for a in 1..=10 {
+            let b = 11 - a;
+            best = best.min((120.0 / a as f64).max(360.0 / b as f64));
+        }
+        assert!((sol.objective - best).abs() < 1e-3, "{} vs {}", sol.objective, best);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = MinlpProblem::new();
+        let n = p.add_int_var(0.0, 1, 5);
+        p.add_constraint(ConstraintFn::new("ge10").linear_term(n, -1.0).with_constant(10.0));
+        let sol = solve_nlp_bnb(&p, &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Infeasible);
+    }
+
+    #[test]
+    fn allowed_set_respected() {
+        // min T s.t. T >= 100/n, n in {3, 5, 17}: optimum n = 17.
+        let mut p = MinlpProblem::new();
+        let n = p.add_set_var(0.0, [3, 5, 17]);
+        let t = p.add_var(1.0, 0.0, 1e6);
+        p.add_constraint(
+            ConstraintFn::new("perf")
+                .nonlinear_term(n, ScalarFn::perf_model(100.0, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        let sol = solve_nlp_bnb(&p, &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert!((sol.x[0] - 17.0).abs() < 1e-9, "{sol:?}");
+    }
+
+    #[test]
+    fn allowed_set_interior_optimum() {
+        // T >= 100/n + 2n: continuous optimum ~7.07, set {2, 6, 10, 50}:
+        // candidates: 6 -> 28.67, 10 -> 30.0, 2 -> 54, 50 -> 102. Best 6.
+        let mut p = MinlpProblem::new();
+        let n = p.add_set_var(0.0, [2, 6, 10, 50]);
+        let t = p.add_var(1.0, 0.0, 1e6);
+        p.add_constraint(
+            ConstraintFn::new("perf")
+                .nonlinear_term(n, ScalarFn::perf_model(100.0, 2.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        let sol = solve_nlp_bnb(&p, &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert!((sol.x[0] - 6.0).abs() < 1e-9, "{sol:?}");
+        assert!((sol.objective - (100.0 / 6.0 + 12.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn depth_first_matches_best_bound() {
+        let p = two_component();
+        let a = solve_nlp_bnb(&p, &MinlpOptions::default());
+        let b = solve_nlp_bnb(
+            &p,
+            &MinlpOptions { node_selection: NodeSelection::DepthFirst, ..Default::default() },
+        );
+        assert_eq!(a.status, MinlpStatus::Optimal);
+        assert_eq!(b.status, MinlpStatus::Optimal);
+        assert!((a.objective - b.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pseudocost_rule_reaches_same_optimum() {
+        use crate::branching::BranchRule;
+        let mut p = MinlpProblem::new();
+        let vars: Vec<usize> = (0..4).map(|_| p.add_int_var(0.0, 1, 40)).collect();
+        let t = p.add_var(1.0, 0.0, 1e9);
+        for (k, &v) in vars.iter().enumerate() {
+            p.add_constraint(
+                ConstraintFn::new(format!("t{k}"))
+                    .nonlinear_term(v, ScalarFn::perf_model(90.0 + 53.0 * k as f64, 0.0, 1.0))
+                    .linear_term(t, -1.0),
+            );
+        }
+        let mut c = ConstraintFn::new("cap").with_constant(-41.0);
+        for &v in &vars {
+            c = c.linear_term(v, 1.0);
+        }
+        p.add_constraint(c);
+        let base = solve_nlp_bnb(&p, &MinlpOptions::default());
+        let pc = solve_nlp_bnb(
+            &p,
+            &MinlpOptions { branch_rule: BranchRule::Pseudocost, ..Default::default() },
+        );
+        assert_eq!(base.status, MinlpStatus::Optimal);
+        assert_eq!(pc.status, MinlpStatus::Optimal);
+        assert!((base.objective - pc.objective).abs() < 1e-4,
+            "{} vs {}", base.objective, pc.objective);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        let mut p = MinlpProblem::new();
+        // A deliberately branchy instance with a tiny node budget.
+        let vars: Vec<usize> = (0..6).map(|_| p.add_int_var(0.0, 1, 50)).collect();
+        let t = p.add_var(1.0, 0.0, 1e9);
+        for (k, &v) in vars.iter().enumerate() {
+            p.add_constraint(
+                ConstraintFn::new(format!("t{k}"))
+                    .nonlinear_term(v, ScalarFn::perf_model(100.0 + 37.0 * k as f64, 0.0, 1.0))
+                    .linear_term(t, -1.0),
+            );
+        }
+        let cap: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        let mut c = ConstraintFn::new("cap").with_constant(-83.0);
+        for (v, co) in cap {
+            c = c.linear_term(v, co);
+        }
+        p.add_constraint(c);
+        let sol = solve_nlp_bnb(&p, &MinlpOptions { max_nodes: 3, ..Default::default() });
+        assert_eq!(sol.status, MinlpStatus::NodeLimit);
+    }
+}

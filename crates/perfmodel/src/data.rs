@@ -1,0 +1,174 @@
+//! Benchmark observation containers and sampling guidance.
+
+use serde::{Deserialize, Serialize};
+
+/// Observed `(node count, wall-clock seconds)` pairs for one component —
+/// the output of the HSLB "Gather" step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScalingData {
+    points: Vec<(u64, f64)>,
+}
+
+impl ScalingData {
+    /// Empty container.
+    pub fn new() -> Self {
+        ScalingData::default()
+    }
+
+    /// From raw pairs; sorts by node count and averages duplicate counts
+    /// (repeated benchmark runs of the same configuration).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut raw: Vec<(u64, f64)> = pairs.into_iter().collect();
+        raw.sort_by_key(|&(n, _)| n);
+        let mut points: Vec<(u64, f64)> = Vec::with_capacity(raw.len());
+        let mut counts: Vec<usize> = Vec::new();
+        for (n, y) in raw {
+            match points.last_mut() {
+                Some((ln, ly)) if *ln == n => {
+                    let k = counts.last_mut().expect("counts tracks points");
+                    *ly = (*ly * *k as f64 + y) / (*k + 1) as f64;
+                    *k += 1;
+                }
+                _ => {
+                    points.push((n, y));
+                    counts.push(1);
+                }
+            }
+        }
+        ScalingData { points }
+    }
+
+    /// Appends one observation (kept sorted).
+    pub fn push(&mut self, nodes: u64, seconds: f64) {
+        let idx = self.points.partition_point(|&(n, _)| n < nodes);
+        self.points.insert(idx, (nodes, seconds));
+    }
+
+    /// Observations, sorted by node count.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of observations (the paper's `D_j`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no observations are present.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Node counts as `f64` (fitting inputs).
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|&(n, _)| n as f64).collect()
+    }
+
+    /// Times (fitting targets).
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, y)| y).collect()
+    }
+
+    /// The paper's §III-C sampling advice: run "on the minimal number of
+    /// nodes allowed by memory requirements and on the greatest number of
+    /// nodes possible", with "a few simulations in between to capture the
+    /// curvature" — i.e. geometric spacing, at least five points total
+    /// ("greater than four for each component").
+    ///
+    /// # Panics
+    /// Panics if `min_nodes == 0`, `min_nodes > max_nodes`, or `count < 2`.
+    pub fn suggest_node_counts(min_nodes: u64, max_nodes: u64, count: usize) -> Vec<u64> {
+        assert!(min_nodes > 0, "minimum node count must be positive");
+        assert!(min_nodes <= max_nodes, "min must not exceed max");
+        assert!(count >= 2, "need at least the two endpoints");
+        if min_nodes == max_nodes {
+            return vec![min_nodes];
+        }
+        let lo = (min_nodes as f64).ln();
+        let hi = (max_nodes as f64).ln();
+        let mut out: Vec<u64> = (0..count)
+            .map(|k| {
+                let t = k as f64 / (count - 1) as f64;
+                (lo + t * (hi - lo)).exp().round() as u64
+            })
+            .collect();
+        out[0] = min_nodes;
+        *out.last_mut().expect("count >= 2") = max_nodes;
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Interpolation safety check: whether `n` lies inside the observed
+    /// range (§III-C: "performance function predictions will be
+    /// interpolated rather than extrapolated, which is important for
+    /// accuracy").
+    pub fn covers(&self, n: u64) -> bool {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) => n >= lo && n <= hi,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_averages() {
+        let d = ScalingData::from_pairs([(64, 10.0), (16, 40.0), (64, 14.0)]);
+        assert_eq!(d.points(), &[(16, 40.0), (64, 12.0)]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn push_keeps_sorted() {
+        let mut d = ScalingData::new();
+        d.push(100, 1.0);
+        d.push(10, 5.0);
+        d.push(50, 2.0);
+        let ns: Vec<u64> = d.points().iter().map(|&(n, _)| n).collect();
+        assert_eq!(ns, vec![10, 50, 100]);
+    }
+
+    #[test]
+    fn suggested_counts_are_geometric_and_cover_range() {
+        let ns = ScalingData::suggest_node_counts(16, 2048, 5);
+        assert_eq!(*ns.first().unwrap(), 16);
+        assert_eq!(*ns.last().unwrap(), 2048);
+        assert_eq!(ns.len(), 5);
+        // Ratios roughly constant (geometric spacing).
+        let r1 = ns[1] as f64 / ns[0] as f64;
+        let r3 = ns[4] as f64 / ns[3] as f64;
+        assert!((r1 / r3 - 1.0).abs() < 0.35, "{ns:?}");
+    }
+
+    #[test]
+    fn suggested_counts_degenerate_range() {
+        assert_eq!(ScalingData::suggest_node_counts(8, 8, 4), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_min_panics() {
+        ScalingData::suggest_node_counts(0, 8, 3);
+    }
+
+    #[test]
+    fn coverage_check() {
+        let d = ScalingData::from_pairs([(16, 1.0), (256, 0.5)]);
+        assert!(d.covers(16));
+        assert!(d.covers(100));
+        assert!(!d.covers(8));
+        assert!(!d.covers(512));
+        assert!(!ScalingData::new().covers(1));
+    }
+
+    #[test]
+    fn xs_ys_align() {
+        let d = ScalingData::from_pairs([(16, 1.5), (32, 0.75)]);
+        assert_eq!(d.xs(), vec![16.0, 32.0]);
+        assert_eq!(d.ys(), vec![1.5, 0.75]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Analytic residuals/Jacobian for the performance-model least squares.
+//!
+//! The default [`hslb_lsq::CurveFit`] problem differentiates by finite
+//! differences; the paper model's derivatives are trivial in closed form,
+//! which is both faster (the multistart runs dozens of solves) and more
+//! accurate near the fitted optimum. Residual `r_i = y_i - T(n_i; p)`:
+//!
+//! ```text
+//! ∂r/∂a = -n^{-c}      ∂r/∂b = -n
+//! ∂r/∂c =  a·ln(n)·n^{-c}
+//! ∂r/∂d = -1
+//! ```
+
+use crate::model::{ModelKind, PerfModel};
+use hslb_linalg::Matrix;
+use hslb_lsq::Residuals;
+
+/// Least-squares problem for one component's scaling data with analytic
+/// derivatives.
+pub struct PerfResiduals {
+    kind: ModelKind,
+    ns: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PerfResiduals {
+    /// Builds the problem from paired observations.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or any node count is non-positive.
+    pub fn new(kind: ModelKind, ns: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(ns.len(), ys.len(), "observations must pair up");
+        assert!(ns.iter().all(|&n| n > 0.0), "node counts must be positive");
+        PerfResiduals { kind, ns, ys }
+    }
+
+    /// The functional form being fitted.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+}
+
+impl Residuals for PerfResiduals {
+    fn dim(&self) -> usize {
+        self.kind.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.ns.len()
+    }
+
+    fn residuals(&self, p: &[f64], out: &mut [f64]) {
+        for ((o, &n), &y) in out.iter_mut().zip(&self.ns).zip(&self.ys) {
+            *o = y - PerfModel::eval_params(self.kind, p, n);
+        }
+    }
+
+    fn jacobian(&self, p: &[f64], out: &mut Matrix) {
+        for (i, &n) in self.ns.iter().enumerate() {
+            match self.kind {
+                ModelKind::Paper => {
+                    // p = [a, b, c, d]
+                    let pow = n.powf(-p[2]);
+                    out[(i, 0)] = -pow;
+                    out[(i, 1)] = -n;
+                    out[(i, 2)] = p[0] * n.ln() * pow;
+                    out[(i, 3)] = -1.0;
+                }
+                ModelKind::Amdahl => {
+                    // p = [a, d]
+                    out[(i, 0)] = -1.0 / n;
+                    out[(i, 1)] = -1.0;
+                }
+                ModelKind::PowerLaw => {
+                    // p = [a, c, d]
+                    let pow = n.powf(-p[1]);
+                    out[(i, 0)] = -pow;
+                    out[(i, 1)] = p[0] * n.ln() * pow;
+                    out[(i, 2)] = -1.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_lsq::problem::numeric_jacobian;
+
+    fn check_against_numeric(kind: ModelKind, p: &[f64]) {
+        let ns: Vec<f64> = vec![2.0, 16.0, 128.0, 1024.0];
+        let ys: Vec<f64> = ns.iter().map(|&n| 1.0 + 100.0 / n).collect();
+        let prob = PerfResiduals::new(kind, ns.clone(), ys);
+        let mut analytic = Matrix::zeros(prob.len(), prob.dim());
+        let mut numeric = Matrix::zeros(prob.len(), prob.dim());
+        prob.jacobian(p, &mut analytic);
+        numeric_jacobian(&prob, p, &mut numeric);
+        for i in 0..prob.len() {
+            for j in 0..prob.dim() {
+                let (a, nmr) = (analytic[(i, j)], numeric[(i, j)]);
+                assert!(
+                    (a - nmr).abs() < 1e-4 * (1.0 + nmr.abs()),
+                    "{kind:?} [{i},{j}]: analytic {a} vs numeric {nmr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_numeric_paper() {
+        check_against_numeric(ModelKind::Paper, &[120.0, 0.01, 0.9, 3.0]);
+        check_against_numeric(ModelKind::Paper, &[5000.0, 0.0, 1.2, 0.0]);
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_numeric_amdahl() {
+        check_against_numeric(ModelKind::Amdahl, &[800.0, 2.0]);
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_numeric_powerlaw() {
+        check_against_numeric(ModelKind::PowerLaw, &[800.0, 1.05, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_nodes() {
+        PerfResiduals::new(ModelKind::Amdahl, vec![0.0], vec![1.0]);
+    }
+}

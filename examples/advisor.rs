@@ -1,0 +1,63 @@
+//! §IV-C advisors: "prediction of the optimal nodes to run a job",
+//! "which component layout is more or less scalable", and "how replacing
+//! one component with another will affect scaling".
+//!
+//! ```text
+//! cargo run --release --example advisor
+//! ```
+
+use hslb::{
+    component_swap_effect, recommend_layout, recommend_node_count, CesmModelSpec,
+    ComponentSpec, Layout, NodeGoal,
+};
+use hslb_perfmodel::PerfModel;
+
+fn spec() -> CesmModelSpec {
+    CesmModelSpec {
+        ice: ComponentSpec::new("ice", PerfModel::amdahl(7774.0, 11.8), 1, 1 << 17),
+        lnd: ComponentSpec::new("lnd", PerfModel::amdahl(1484.0, 1.94), 1, 1 << 17),
+        atm: ComponentSpec::new("atm", PerfModel::new(27_180.0, 5e-4, 1.0, 44.0), 1, 1 << 17),
+        ocn: ComponentSpec::new("ocn", PerfModel::amdahl(7754.0, 41.8), 1, 1 << 17),
+        total_nodes: 0, // overridden by the sweeps
+        tsync: None,
+    }
+}
+
+fn main() {
+    let spec = spec();
+
+    println!("== Optimal node count (doubling sweep, 1° configuration) ==");
+    let rec = recommend_node_count(
+        &spec,
+        Layout::Hybrid,
+        NodeGoal::CostEfficient { efficiency_threshold: 0.7 },
+        16,
+        16_384,
+    );
+    for p in &rec.sweep {
+        println!("  {:>6} nodes -> {:>8.1} s", p.nodes, p.seconds);
+    }
+    println!("cost-efficient recommendation (70% per doubling): {:?} nodes\n", rec.nodes);
+
+    let fast = recommend_node_count(
+        &spec,
+        Layout::Hybrid,
+        NodeGoal::TimeToSolution { target_seconds: 100.0 },
+        16,
+        16_384,
+    );
+    println!("smallest machine under 100 s/5-day-run: {:?} nodes\n", fast.nodes);
+
+    println!("== Layout ranking at 512 nodes ==");
+    let mut s512 = spec.clone();
+    s512.total_nodes = 512;
+    for (layout, total) in recommend_layout(&s512) {
+        println!("  layout {} -> {:.1} s", layout.index(), total);
+    }
+
+    println!("\n== What-if: a 2x faster ocean solver ==");
+    let faster = ComponentSpec::new("ocn", PerfModel::amdahl(7754.0 / 2.0, 20.0), 1, 1 << 17);
+    let (old, new) =
+        component_swap_effect(&s512, Layout::Hybrid, "ocn", faster).expect("valid component");
+    println!("  optimal total: {old:.1} s -> {new:.1} s ({:+.1}%)", 100.0 * (new - old) / old);
+}

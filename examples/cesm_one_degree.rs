@@ -1,0 +1,50 @@
+//! Full four-step HSLB pipeline on the simulated 1° CESM configuration —
+//! the workflow behind Table III's first blocks.
+//!
+//! ```text
+//! cargo run --release --example cesm_one_degree [total_nodes]
+//! ```
+
+use hslb::{AllocationReport, Layout, SolverBackend};
+use hslb::pipeline::run_hslb;
+use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
+use hslb_minlp::MinlpOptions;
+
+fn main() {
+    let total_nodes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let scenario = Scenario::one_degree(total_nodes);
+    let mut sim = CesmSimulator::new(scenario.clone(), 42);
+
+    // The paper's manual baseline (its own Table III columns at 128/2048).
+    let manual = manual_allocation(&scenario);
+    let manual_exec = sim.execute_hybrid(&manual);
+
+    // Steps 1-4: gather (5 benchmark runs per component), fit, solve,
+    // execute.
+    let counts = scenario.benchmark_counts(5);
+    let outcome = run_hslb(
+        &mut sim,
+        &counts,
+        Layout::Hybrid,
+        SolverBackend::OuterApproximation,
+        &MinlpOptions::default(),
+    )
+    .expect("1° scenario is feasible");
+
+    println!("fitted models:");
+    for (name, fit) in ["ice", "lnd", "atm", "ocn"].iter().zip(&outcome.fits) {
+        println!("  {:<4} {}   [{}]", name, fit.model, fit.quality);
+    }
+    println!();
+
+    let report = AllocationReport {
+        title: format!("1° resolution, {total_nodes} nodes"),
+        manual: Some((manual, manual_exec)),
+        hslb: (outcome.allocation, outcome.predicted),
+        actual: outcome.actual,
+    };
+    print!("{}", report.render());
+}

@@ -1,0 +1,50 @@
+//! Compares the three Figure-1 component layouts at 1° resolution —
+//! the prediction behind Figure 4 ("layout 3, as expected, performs the
+//! worst").
+//!
+//! ```text
+//! cargo run --release --example layout_comparison
+//! ```
+
+use hslb::{build_layout_model, Layout, SolverBackend};
+use hslb_bench_placeholder::*;
+
+// The example avoids depending on the bench crate: rebuild the true spec
+// locally from the simulator's scenario.
+mod hslb_bench_placeholder {
+    use hslb::{CesmModelSpec, ComponentSpec};
+    use hslb_cesm_sim::Scenario;
+
+    pub fn true_spec(scenario: &Scenario) -> CesmModelSpec {
+        let names = ["ice", "lnd", "atm", "ocn"];
+        let comp = |c: usize| ComponentSpec {
+            name: names[c].to_string(),
+            model: scenario.truth.models[c],
+            allowed: scenario.allowed(c),
+        };
+        CesmModelSpec {
+            ice: comp(0),
+            lnd: comp(1),
+            atm: comp(2),
+            ocn: comp(3),
+            total_nodes: scenario.total_nodes as i64,
+            tsync: None,
+        }
+    }
+}
+
+fn main() {
+    println!("{:>8} {:>12} {:>12} {:>12}", "nodes", "layout1(s)", "layout2(s)", "layout3(s)");
+    for n in [128u64, 256, 512, 1024, 2048] {
+        let scenario = hslb_cesm_sim::Scenario::one_degree(n);
+        let spec = true_spec(&scenario);
+        let mut row = Vec::new();
+        for layout in Layout::ALL {
+            let model = build_layout_model(&spec, layout);
+            let sol = hslb::solve_model(&model.problem, SolverBackend::OuterApproximation);
+            row.push(sol.objective);
+        }
+        println!("{:>8} {:>12.1} {:>12.1} {:>12.1}", n, row[0], row[1], row[2]);
+    }
+    println!("\nExpected shape (paper Fig. 4): layouts 1 and 2 close, layout 3 worst.");
+}

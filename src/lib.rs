@@ -1,0 +1,14 @@
+//! Umbrella crate for the HSLB reproduction workspace.
+//!
+//! Re-exports the public crates so integration tests and examples can use a
+//! single dependency. See `README.md` and `DESIGN.md` at the repository root.
+
+pub use hslb as core;
+pub use hslb_cesm_sim as cesm;
+pub use hslb_fmo_sim as fmo;
+pub use hslb_linalg as linalg;
+pub use hslb_lp as lp;
+pub use hslb_lsq as lsq;
+pub use hslb_minlp as minlp;
+pub use hslb_nlp as nlp;
+pub use hslb_perfmodel as perfmodel;

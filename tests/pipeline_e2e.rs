@@ -1,0 +1,185 @@
+//! End-to-end pipeline tests: gather → fit → solve → execute on the CESM
+//! simulator, asserting the paper's qualitative results.
+
+use hslb::{Layout, SolverBackend, Workload};
+use hslb::pipeline::run_hslb;
+use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
+use hslb_minlp::MinlpOptions;
+
+fn run(scenario: &Scenario, seed: u64) -> (hslb::HslbOutcome, f64) {
+    let mut sim = CesmSimulator::new(scenario.clone(), seed);
+    let manual = manual_allocation(scenario);
+    let manual_total = sim.execute_hybrid(&manual).total;
+    let counts = scenario.benchmark_counts(5);
+    let out = run_hslb(
+        &mut sim,
+        &counts,
+        Layout::Hybrid,
+        SolverBackend::OuterApproximation,
+        &MinlpOptions::default(),
+    )
+    .expect("paper scenarios are feasible");
+    (out, manual_total)
+}
+
+#[test]
+fn one_degree_128_matches_paper_shape() {
+    let scenario = Scenario::one_degree(128);
+    let (out, manual_total) = run(&scenario, 42);
+
+    // Fits must be good, like the paper's "R² was very close to 1".
+    for fit in &out.fits {
+        assert!(fit.quality.r_squared > 0.97, "{:?}", fit.quality);
+    }
+    // Paper: manual and HSLB totals are "very close to each other";
+    // manual 416 s, HSLB actual 425 s at 128 nodes.
+    let rel = (out.actual.total - manual_total).abs() / manual_total;
+    assert!(rel < 0.10, "HSLB {} vs manual {manual_total}", out.actual.total);
+    // Prediction accuracy: predicted within ~5% of actual.
+    let pred_err = (out.predicted.total - out.actual.total).abs() / out.actual.total;
+    assert!(pred_err < 0.05, "predicted {} vs actual {}", out.predicted.total, out.actual.total);
+    // Structural constraints of layout 1.
+    let a = out.allocation;
+    assert!(a.ice + a.lnd <= a.atm);
+    assert!(a.atm + a.ocn <= 128);
+    // Ocean count admissible (even numbers / 768 at 1°).
+    assert!(scenario.allowed(3).contains(a.ocn as i64), "{a:?}");
+}
+
+#[test]
+fn one_degree_totals_in_paper_ballpark() {
+    // Paper Table III: ~410-425 s at 128 nodes, ~80-87 s at 2048.
+    let (out_128, _) = run(&Scenario::one_degree(128), 1);
+    assert!(
+        (out_128.actual.total - 420.0).abs() / 420.0 < 0.10,
+        "{}",
+        out_128.actual.total
+    );
+    let (out_2048, _) = run(&Scenario::one_degree(2048), 1);
+    assert!(
+        (out_2048.actual.total - 83.0).abs() / 83.0 < 0.15,
+        "{}",
+        out_2048.actual.total
+    );
+}
+
+#[test]
+fn eighth_degree_unconstrained_beats_constrained_at_32k() {
+    // The abstract's headline: ~25% improvement at 32,768 nodes once the
+    // ocean constraint is lifted.
+    let seed = 7;
+    let (constrained, manual_total) = run(&Scenario::eighth_degree(32_768), seed);
+    let (unconstrained, _) = run(&Scenario::eighth_degree_unconstrained(32_768), seed);
+    assert!(
+        unconstrained.actual.total < constrained.actual.total,
+        "unconstrained {} vs constrained {}",
+        unconstrained.actual.total,
+        constrained.actual.total
+    );
+    let improvement = (manual_total - unconstrained.actual.total) / manual_total;
+    assert!(
+        improvement > 0.15,
+        "expected ≥15% improvement over the manual baseline, got {:.1}%",
+        improvement * 100.0
+    );
+    // Paper's predicted free ocean count was 9812; ours must land in a
+    // similar region (well above the hard-coded 6124, far below 19460).
+    let ocn = unconstrained.allocation.ocn;
+    assert!((6124..=16_000).contains(&ocn), "free ocean count {ocn}");
+}
+
+#[test]
+fn gather_uses_requested_sample_counts() {
+    let scenario = Scenario::one_degree(256);
+    let mut sim = CesmSimulator::new(scenario.clone(), 3);
+    let counts = scenario.benchmark_counts(5);
+    let data = hslb::pipeline::gather(&mut sim, &counts);
+    for (c, d) in data.iter().enumerate() {
+        assert!(
+            d.len() >= 4,
+            "component {c} needs >4 points for the 4-parameter fit (paper §III-C)"
+        );
+    }
+    assert_eq!(sim.benchmark_log.len(), counts.iter().map(Vec::len).sum::<usize>());
+}
+
+#[test]
+fn pipeline_prediction_interpolates() {
+    // The chosen allocation must lie within the benchmarked node ranges
+    // (the paper: predictions "interpolated rather than extrapolated").
+    let scenario = Scenario::one_degree(512);
+    let mut sim = CesmSimulator::new(scenario.clone(), 9);
+    let counts = scenario.benchmark_counts(5);
+    let data = hslb::pipeline::gather(&mut sim, &counts);
+    let out = run(&scenario, 9).0;
+    let alloc = [
+        out.allocation.ice,
+        out.allocation.lnd,
+        out.allocation.atm,
+        out.allocation.ocn,
+    ];
+    for (c, &n) in alloc.iter().enumerate() {
+        assert!(
+            data[c].covers(n),
+            "component {c}: allocation {n} outside benchmarked range {:?}",
+            data[c].points()
+        );
+    }
+    let _ = sim;
+}
+
+#[test]
+fn different_seeds_reach_similar_allocations() {
+    // The paper: different local fits "led to similar quality node
+    // allocations". Two different noise seeds must land within a few
+    // percent of each other in actual time.
+    let (a, _) = run(&Scenario::one_degree(128), 100);
+    let (b, _) = run(&Scenario::one_degree(128), 200);
+    let rel = (a.actual.total - b.actual.total).abs() / a.actual.total;
+    assert!(rel < 0.08, "{} vs {}", a.actual.total, b.actual.total);
+}
+
+#[test]
+fn pipeline_runs_under_every_layout() {
+    // The Execute step must follow the layout the Solve step optimized.
+    let scenario = Scenario::one_degree(128);
+    let mut totals = Vec::new();
+    for layout in [Layout::Hybrid, Layout::SequentialAtmGroup, Layout::FullySequential] {
+        let mut sim = CesmSimulator::new(scenario.clone(), 77);
+        let counts = scenario.benchmark_counts(5);
+        let out = run_hslb(
+            &mut sim,
+            &counts,
+            layout,
+            SolverBackend::OuterApproximation,
+            &MinlpOptions::default(),
+        )
+        .expect("feasible at 128 nodes");
+        // Prediction (same layout formula) must track the actual execution.
+        // Under max() composition (layouts 1-2) single-component fit errors
+        // are masked; the fully sequential sum adds them up, and at a small
+        // machine the 5-sample ice/atm fits identify the serial floor
+        // poorly (the paper's own 128-node ice prediction missed by ~12%).
+        let tol = match layout {
+            Layout::FullySequential => 0.25,
+            _ => 0.12,
+        };
+        let err = (out.predicted.total - out.actual.total).abs() / out.actual.total;
+        assert!(err < tol, "{layout:?}: predicted {} vs actual {}", out.predicted.total, out.actual.total);
+        totals.push(out.actual.total);
+    }
+    // No universal ordering is asserted here: at a 128-node machine layout 3
+    // gives *every* component the whole machine, which can beat the hybrid
+    // split (the Figure-4 ranking holds at the paper's larger scales and is
+    // asserted in reproduction_claims::layout_ranking_matches_figure_4).
+    assert_eq!(totals.len(), 3);
+}
+
+#[test]
+fn workload_trait_is_object_safe_enough_for_generic_use() {
+    fn generic<W: Workload>(w: &W) -> u64 {
+        w.total_nodes()
+    }
+    let sim = CesmSimulator::new(Scenario::one_degree(64), 0);
+    assert_eq!(generic(&sim), 64);
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass, in the order that fails fastest.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== differential fuzz (capped) =="
+# A short hunt on top of the deterministic tier-1 suite. The fixed start
+# seed keeps this gate deterministic while covering seeds the suite and
+# corpus do not.
+./target/release/testkit fuzz --seeds 40 --start 0xC1C1C1C1
+
+echo "CI OK"

@@ -1,29 +1,20 @@
 //! E8: interval/SOS branching vs explicit binary SOS1 encoding
 //! (the paper's "two orders of magnitude" §III-E claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hslb_bench::harness::{solve_default, sos_test_problem};
+use hslb_bench::timing::Runner;
 use hslb_minlp::encode_sets_as_binaries;
 
-fn bench_branching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sos_branching");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::from_args("sos_branching");
     for set_size in [8usize, 32, 128] {
         let native = sos_test_problem(set_size);
         let (binary, _) = encode_sets_as_binaries(&native);
-        group.bench_with_input(
-            BenchmarkId::new("native_interval", set_size),
-            &native,
-            |b, p| b.iter(|| solve_default(p)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("binary_sos1", set_size),
-            &binary,
-            |b, p| b.iter(|| solve_default(p)),
-        );
+        runner.case(&format!("native_interval/{set_size}"), || {
+            solve_default(&native)
+        });
+        runner.case(&format!("binary_sos1/{set_size}"), || {
+            solve_default(&binary)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_branching);
-criterion_main!(benches);

@@ -1,22 +1,17 @@
 //! E1 support: cost of the least-squares fit step (Table II line 10).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb_bench::timing::Runner;
 use hslb_perfmodel::{fit, PerfModel, ScalingData};
 
-fn bench_fitting(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args("perf_model_fit");
     let truth = PerfModel::new(27_180.0, 5e-4, 1.0, 44.0);
-    let mut group = c.benchmark_group("perf_model_fit");
     for points in [5usize, 10, 25] {
         let ns = ScalingData::suggest_node_counts(8, 2048, points);
         let data = ScalingData::from_pairs(
-            ns.iter().map(|&n| (n, truth.eval(n as f64) * (1.0 + 0.01 * (n % 7) as f64))),
+            ns.iter()
+                .map(|&n| (n, truth.eval(n as f64) * (1.0 + 0.01 * (n % 7) as f64))),
         );
-        group.bench_with_input(BenchmarkId::from_parameter(points), &data, |b, d| {
-            b.iter(|| fit(d).expect("fit converges"))
-        });
+        runner.case(&format!("{points}"), || fit(&data).expect("fit converges"));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fitting);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! E10 support: FMO allocation cost — exact waterfill vs branch-and-bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hslb::{build_flat_model, solve_minmax_waterfill, ComponentSpec, FlatSpec, Objective};
+use hslb_bench::timing::Runner;
 use hslb_fmo_sim::generate_cluster;
 
 fn spec_for(fragments: usize, nodes: i64) -> FlatSpec {
@@ -11,40 +11,34 @@ fn spec_for(fragments: usize, nodes: i64) -> FlatSpec {
         .map(|f| ComponentSpec {
             name: format!("f{}", f.id),
             model: f.truth_model(),
-            allowed: hslb::AllowedNodes::Range { min: 1, max: f.max_useful_nodes() },
+            allowed: hslb::AllowedNodes::Range {
+                min: 1,
+                max: f.max_useful_nodes(),
+            },
         })
         .collect();
-    FlatSpec { components, total_nodes: nodes, objective: Objective::MinMax }
+    FlatSpec {
+        components,
+        total_nodes: nodes,
+        objective: Objective::MinMax,
+    }
 }
 
-fn bench_fmo_alloc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fmo_allocation");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::from_args("fmo_allocation");
     for fragments in [16usize, 64, 256, 1024] {
         let spec = spec_for(fragments, (fragments as i64) * 8);
-        group.bench_with_input(
-            BenchmarkId::new("waterfill_exact", fragments),
-            &spec,
-            |b, s| b.iter(|| solve_minmax_waterfill(s).expect("feasible")),
-        );
+        runner.case(&format!("waterfill_exact/{fragments}"), || {
+            solve_minmax_waterfill(&spec).expect("feasible")
+        });
         // B&B only at sizes it handles comfortably (a 64-fragment tree
         // already costs seconds per solve; the exact waterfill stays in
         // microseconds — which is the point of this comparison).
         if fragments <= 16 {
-            group.bench_with_input(
-                BenchmarkId::new("bnb_oa", fragments),
-                &spec,
-                |b, s| {
-                    let model = build_flat_model(s);
-                    b.iter(|| {
-                        hslb::solve_model(&model.problem, hslb::SolverBackend::default())
-                    })
-                },
-            );
+            let model = build_flat_model(&spec);
+            runner.case(&format!("bnb_oa/{fragments}"), || {
+                hslb::solve_model(&model.problem, hslb::SolverBackend::default())
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fmo_alloc);
-criterion_main!(benches);

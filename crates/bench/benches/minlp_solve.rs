@@ -1,14 +1,13 @@
 //! E7: MINLP solve time (the paper's "< 60 s at 40,960 nodes" claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hslb::{build_layout_model, Layout, SolverBackend};
 use hslb_bench::harness::true_spec;
+use hslb_bench::timing::Runner;
 use hslb_cesm_sim::Scenario;
 use hslb_minlp::MinlpOptions;
 
-fn bench_layout_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minlp_layout1_solve");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::from_args("minlp_layout1_solve");
     for total_nodes in [128u64, 2048, 40_960] {
         let spec = true_spec(&Scenario::one_degree(total_nodes));
         let model = build_layout_model(&spec, Layout::Hybrid);
@@ -16,23 +15,9 @@ fn bench_layout_solve(c: &mut Criterion) {
             ("oa", SolverBackend::OuterApproximation),
             ("nlp_bnb", SolverBackend::NlpBnb),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, total_nodes),
-                &model,
-                |b, model| {
-                    b.iter(|| {
-                        hslb::solver::solve_model_with(
-                            &model.problem,
-                            backend,
-                            &MinlpOptions::default(),
-                        )
-                    })
-                },
-            );
+            runner.case(&format!("{name}/{total_nodes}"), || {
+                hslb::solver::solve_model_with(&model.problem, backend, &MinlpOptions::default())
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_layout_solve);
-criterion_main!(benches);

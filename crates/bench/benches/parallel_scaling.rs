@@ -1,8 +1,8 @@
-//! Parallel branch-and-bound scaling: serial NLP tree vs the rayon
-//! work-stealing tree at 1, 2, 4, 8 workers on a deliberately branchy
+//! Parallel branch-and-bound scaling: serial NLP tree vs the fork-join
+//! work-sharing tree at 1, 2, 4, 8 workers on a deliberately branchy
 //! instance (many integer variables, tight capacity).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb_bench::timing::Runner;
 use hslb_minlp::{solve_nlp_bnb, solve_parallel_bnb, MinlpOptions, MinlpProblem};
 use hslb_nlp::{ConstraintFn, ScalarFn};
 
@@ -28,26 +28,20 @@ fn branchy(k: usize, cap: i64) -> MinlpProblem {
     p
 }
 
-fn bench_parallel_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_bnb_scaling");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::from_args("parallel_bnb_scaling");
     let p = branchy(7, 53);
 
-    group.bench_function("serial_best_bound", |b| {
-        b.iter(|| solve_nlp_bnb(&p, &MinlpOptions::default()))
+    runner.case("serial_best_bound", || {
+        solve_nlp_bnb(&p, &MinlpOptions::default())
     });
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &threads| {
-                let opts = MinlpOptions { threads, ..Default::default() };
-                b.iter(|| solve_parallel_bnb(&p, &opts))
-            },
-        );
+        let opts = MinlpOptions {
+            threads,
+            ..Default::default()
+        };
+        runner.case(&format!("parallel/{threads}"), || {
+            solve_parallel_bnb(&p, &opts)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_parallel_scaling);
-criterion_main!(benches);

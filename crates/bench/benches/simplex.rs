@@ -1,6 +1,6 @@
 //! LP substrate microbenchmark: the master-problem shapes OA produces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hslb_bench::timing::Runner;
 use hslb_lp::{solve, LinearProgram, RowSense};
 
 /// A master-LP-like instance: `cols` bounded columns, two linking equality
@@ -10,8 +10,11 @@ fn master_like(cols: usize, cuts: usize) -> LinearProgram {
     let n = lp.add_var(-1.0, 0.0, 1e6);
     let zs: Vec<_> = (0..cols).map(|_| lp.add_var(0.0, 0.0, 1.0)).collect();
     lp.add_row(zs.iter().map(|&z| (z, 1.0)).collect(), RowSense::Eq, 1.0);
-    let mut link: Vec<_> =
-        zs.iter().enumerate().map(|(k, &z)| (z, (2 * (k + 1)) as f64)).collect();
+    let mut link: Vec<_> = zs
+        .iter()
+        .enumerate()
+        .map(|(k, &z)| (z, (2 * (k + 1)) as f64))
+        .collect();
     link.push((n, -1.0));
     lp.add_row(link, RowSense::Eq, 0.0);
     for c in 0..cuts {
@@ -25,20 +28,14 @@ fn master_like(cols: usize, cuts: usize) -> LinearProgram {
     lp
 }
 
-fn bench_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex_master_lp");
+fn main() {
+    let runner = Runner::from_args("simplex_master_lp");
     for cols in [64usize, 256, 1024] {
         let lp = master_like(cols, 24);
-        group.bench_with_input(BenchmarkId::from_parameter(cols), &lp, |b, lp| {
-            b.iter(|| {
-                let sol = solve(lp);
-                assert!(sol.is_optimal());
-                sol.objective
-            })
+        runner.case(&format!("{cols}"), || {
+            let sol = solve(&lp);
+            assert!(sol.is_optimal());
+            sol.objective
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simplex);
-criterion_main!(benches);

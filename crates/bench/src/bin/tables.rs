@@ -18,7 +18,7 @@
 use hslb_bench::harness::*;
 use hslb_cesm_sim::Scenario;
 
-const SEED: u64 = 20120101; // SC'12 vintage
+const SEED: u64 = hslb_rng::seeds::CESM;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

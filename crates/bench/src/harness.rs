@@ -1,13 +1,13 @@
 //! Experiment drivers, one per table/figure (E1–E11 in DESIGN.md).
 
+use hslb::pipeline::run_hslb;
 use hslb::{
     build_flat_model, build_layout_model, layout_predicted_times, solve_model_with,
     AllocationReport, CesmAllocation, CesmModelSpec, ComponentSpec, FlatSpec, Layout, Objective,
     SolverBackend,
 };
-use hslb::pipeline::run_hslb;
-use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
 use hslb_cesm_sim::truth::NAMES;
+use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
 use hslb_fmo_sim::{generate_cluster, FmoSimulator};
 use hslb_minlp::{encode_sets_as_binaries, MinlpOptions, MinlpProblem, MinlpSolution};
 use hslb_nlp::{ConstraintFn, ScalarFn};
@@ -50,7 +50,12 @@ pub fn fig2_scaling_curves(scenario: &Scenario, seed: u64) -> [CurveReport; 4] {
             .into_iter()
             .map(|n| (n, fit_rep.model.eval(n as f64)))
             .collect();
-        CurveReport { component: NAMES[c], data: data[c].clone(), fit: fit_rep, curve }
+        CurveReport {
+            component: NAMES[c],
+            data: data[c].clone(),
+            fit: fit_rep,
+            curve,
+        }
     })
 }
 
@@ -64,9 +69,19 @@ pub fn render_fig2(curves: &[CurveReport; 4]) -> String {
             "\ncomponent {}: {}  [{}]",
             c.component, c.fit.model, c.fit.quality
         );
-        let _ = writeln!(s, "{:>10} {:>14} {:>14}", "nodes", "observed(s)", "fitted(s)");
+        let _ = writeln!(
+            s,
+            "{:>10} {:>14} {:>14}",
+            "nodes", "observed(s)", "fitted(s)"
+        );
         for &(n, y) in c.data.points() {
-            let _ = writeln!(s, "{:>10} {:>14.3} {:>14.3}", n, y, c.fit.model.eval(n as f64));
+            let _ = writeln!(
+                s,
+                "{:>10} {:>14.3} {:>14.3}",
+                n,
+                y,
+                c.fit.model.eval(n as f64)
+            );
         }
     }
     s
@@ -107,7 +122,11 @@ pub fn table3_block(scenario: &Scenario, seed: u64) -> Table3Block {
         "{:?}, {} nodes{}",
         scenario.resolution,
         scenario.total_nodes,
-        if scenario.constrained_ocean { "" } else { ", unconstrained ocean nodes" }
+        if scenario.constrained_ocean {
+            ""
+        } else {
+            ", unconstrained ocean nodes"
+        }
     );
     Table3Block {
         report: AllocationReport {
@@ -173,7 +192,10 @@ pub fn fig3_series(node_counts: &[u64], seed: u64) -> Vec<Fig3Point> {
 pub fn render_fig3(points: &[Fig3Point]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "# Figure 3 — 1/8° scaling: manual vs HSLB predicted vs actual");
+    let _ = writeln!(
+        s,
+        "# Figure 3 — 1/8° scaling: manual vs HSLB predicted vs actual"
+    );
     let _ = writeln!(
         s,
         "{:>10} {:>16} {:>18} {:>16}",
@@ -236,7 +258,11 @@ pub fn fig4_series(node_counts: &[u64], seed: u64) -> Vec<Fig4Point> {
             let layout1_actual = sim_n
                 .execute_hybrid(&layout1_alloc.expect("hybrid solved above"))
                 .total;
-            Fig4Point { nodes: n, predicted, layout1_actual }
+            Fig4Point {
+                nodes: n,
+                predicted,
+                layout1_actual,
+            }
         })
         .collect()
 }
@@ -428,7 +454,10 @@ pub fn sos_ablation(set_sizes: &[usize]) -> Vec<SosAblationPoint> {
 pub fn render_sos(points: &[SosAblationPoint]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "# E8 — SOS/interval branching vs explicit binary encoding");
+    let _ = writeln!(
+        s,
+        "# E8 — SOS/interval branching vs explicit binary encoding"
+    );
     let _ = writeln!(
         s,
         "{:>9} {:>14} {:>13} {:>14} {:>13} {:>9}",
@@ -438,7 +467,11 @@ pub fn render_sos(points: &[SosAblationPoint]) -> String {
         let _ = writeln!(
             s,
             "{:>9} {:>14.4} {:>13} {:>14.4} {:>13} {:>8.1}x",
-            p.set_size, p.native_seconds, p.native_nodes, p.binary_seconds, p.binary_nodes,
+            p.set_size,
+            p.native_seconds,
+            p.native_nodes,
+            p.binary_seconds,
+            p.binary_nodes,
             p.speedup()
         );
     }
@@ -466,13 +499,20 @@ pub fn objective_comparison(total_nodes: i64, seed: u64) -> Vec<ObjectiveReport>
         .map(|c| ComponentSpec {
             name: NAMES[c].to_string(),
             model: scenario.truth.models[c],
-            allowed: hslb::AllowedNodes::Range { min: 1, max: total_nodes },
+            allowed: hslb::AllowedNodes::Range {
+                min: 1,
+                max: total_nodes,
+            },
         })
         .collect();
     Objective::ALL
         .into_iter()
         .map(|objective| {
-            let spec = FlatSpec { components: components.clone(), total_nodes, objective };
+            let spec = FlatSpec {
+                components: components.clone(),
+                total_nodes,
+                objective,
+            };
             let model = build_flat_model(&spec);
             let sol = solve_model_with(
                 &model.problem,
@@ -480,7 +520,11 @@ pub fn objective_comparison(total_nodes: i64, seed: u64) -> Vec<ObjectiveReport>
                 &MinlpOptions::default(),
             );
             let alloc = model.allocation(&spec, &sol);
-            ObjectiveReport { objective, makespan: alloc.makespan(), nodes: alloc.nodes }
+            ObjectiveReport {
+                objective,
+                makespan: alloc.makespan(),
+                nodes: alloc.nodes,
+            }
         })
         .collect()
 }
@@ -488,7 +532,10 @@ pub fn objective_comparison(total_nodes: i64, seed: u64) -> Vec<ObjectiveReport>
 pub fn render_objectives(reports: &[ObjectiveReport]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "# E9 — objective functions (Eqs. 1-3): resulting makespan");
+    let _ = writeln!(
+        s,
+        "# E9 — objective functions (Eqs. 1-3): resulting makespan"
+    );
     for r in reports {
         let _ = writeln!(
             s,
@@ -526,11 +573,7 @@ impl FmoPoint {
 
 /// FMO sweep: for each (fragments, heterogeneity) cell, run all three
 /// strategies on the same cluster.
-pub fn fmo_sweep(
-    cells: &[(usize, f64)],
-    nodes_per_fragment: u64,
-    seed: u64,
-) -> Vec<FmoPoint> {
+pub fn fmo_sweep(cells: &[(usize, f64)], nodes_per_fragment: u64, seed: u64) -> Vec<FmoPoint> {
     cells
         .iter()
         .map(|&(fragments, heterogeneity)| {
@@ -558,7 +601,10 @@ pub fn fmo_sweep(
 pub fn render_fmo(points: &[FmoPoint]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "# E10 — FMO monomer step: HSLB vs uniform static vs dynamic LPT");
+    let _ = writeln!(
+        s,
+        "# E10 — FMO monomer step: HSLB vs uniform static vs dynamic LPT"
+    );
     let _ = writeln!(
         s,
         "{:>6} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",
@@ -628,10 +674,18 @@ pub fn render_tsync(points: &[TsyncPoint]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s, "# E12 — T_sync ablation (1°, layout 1)");
-    let _ = writeln!(s, "{:>12} {:>14} {:>16}", "tsync(s)", "total(s)", "|T_i - T_l|(s)");
+    let _ = writeln!(
+        s,
+        "{:>12} {:>14} {:>16}",
+        "tsync(s)", "total(s)", "|T_i - T_l|(s)"
+    );
     for p in points {
         let label = p.tsync.map_or("off".to_string(), |t| format!("{t:.1}"));
-        let _ = writeln!(s, "{:>12} {:>14.2} {:>16.2}", label, p.predicted_total, p.ice_lnd_gap);
+        let _ = writeln!(
+            s,
+            "{:>12} {:>14.2} {:>16.2}",
+            label, p.predicted_total, p.ice_lnd_gap
+        );
     }
     let _ = writeln!(
         s,
@@ -654,7 +708,9 @@ pub fn render_advisor(total_sweep_max: u64) -> String {
     let rec = recommend_node_count(
         &spec,
         Layout::Hybrid,
-        NodeGoal::CostEfficient { efficiency_threshold: 0.7 },
+        NodeGoal::CostEfficient {
+            efficiency_threshold: 0.7,
+        },
         16,
         total_sweep_max,
     );
@@ -670,7 +726,9 @@ pub fn render_advisor(total_sweep_max: u64) -> String {
     let t150 = recommend_node_count(
         &spec,
         Layout::Hybrid,
-        NodeGoal::TimeToSolution { target_seconds: 150.0 },
+        NodeGoal::TimeToSolution {
+            target_seconds: 150.0,
+        },
         16,
         total_sweep_max,
     );
@@ -714,7 +772,10 @@ pub fn model_selection(scenario: &Scenario, seed: u64) -> Vec<ModelSelectionRow>
                         .map(|r| (kind, r.quality.r_squared, r.quality.max_rel_err))
                 })
                 .collect();
-            ModelSelectionRow { component: NAMES[c], fits }
+            ModelSelectionRow {
+                component: NAMES[c],
+                fits,
+            }
         })
         .collect()
 }
@@ -722,8 +783,15 @@ pub fn model_selection(scenario: &Scenario, seed: u64) -> Vec<ModelSelectionRow>
 pub fn render_model_selection(rows: &[ModelSelectionRow]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "# E14 — performance-model selection (1° data, 6 samples)");
-    let _ = writeln!(s, "{:<6} {:<10} {:>10} {:>14}", "comp", "model", "R²", "max_rel_err");
+    let _ = writeln!(
+        s,
+        "# E14 — performance-model selection (1° data, 6 samples)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<6} {:<10} {:>10} {:>14}",
+        "comp", "model", "R²", "max_rel_err"
+    );
     for row in rows {
         for (kind, r2, err) in &row.fits {
             let _ = writeln!(
@@ -751,9 +819,24 @@ pub fn layout_semantics_check(seed: u64) -> Vec<(String, f64, f64)> {
     let spec = true_spec(&scenario);
     let mut out = Vec::new();
     let allocs = [
-        CesmAllocation { ice: 80, lnd: 24, atm: 104, ocn: 24 },
-        CesmAllocation { ice: 89, lnd: 15, atm: 104, ocn: 24 },
-        CesmAllocation { ice: 40, lnd: 24, atm: 64, ocn: 64 },
+        CesmAllocation {
+            ice: 80,
+            lnd: 24,
+            atm: 104,
+            ocn: 24,
+        },
+        CesmAllocation {
+            ice: 89,
+            lnd: 15,
+            atm: 104,
+            ocn: 24,
+        },
+        CesmAllocation {
+            ice: 40,
+            lnd: 24,
+            atm: 64,
+            ocn: 64,
+        },
     ];
     for alloc in allocs {
         let formula = layout_predicted_times(&spec, Layout::Hybrid, &alloc).total;

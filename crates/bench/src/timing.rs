@@ -1,0 +1,83 @@
+//! Minimal wall-clock micro-benchmark runner.
+//!
+//! The bench targets (`cargo bench --bench <name>`) are plain
+//! `harness = false` binaries built on this module: each case is warmed up
+//! once, an iteration count is calibrated so a sample takes a measurable
+//! slice of time, and per-iteration min / median / mean are printed. This
+//! is deliberately simpler than a statistical harness — the repo's claims
+//! are order-of-magnitude ("two orders of magnitude", "< 60 s"), not
+//! microsecond-level regressions.
+
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per case.
+const TARGET: Duration = Duration::from_millis(300);
+/// Samples per case (each sample runs `iters` iterations).
+const SAMPLES: usize = 10;
+
+/// Groups benchmark cases and applies the optional CLI substring filter.
+pub struct Runner {
+    group: String,
+    filter: Option<String>,
+}
+
+impl Runner {
+    /// Creates a runner for a named group, reading a case-name substring
+    /// filter from the command line (flags such as `--bench` are ignored).
+    pub fn from_args(group: &str) -> Runner {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        println!("\n== {group} ==");
+        Runner {
+            group: group.to_string(),
+            filter,
+        }
+    }
+
+    /// Times `f`, printing per-iteration statistics for `<group>/<name>`.
+    pub fn case<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up doubles as calibration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = TARGET / SAMPLES as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[SAMPLES / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{full:<44} min {:>12}  median {:>12}  mean {:>12}  ({iters} iters x {SAMPLES})",
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}

@@ -14,10 +14,9 @@
 
 use crate::noise;
 use crate::truth::{GroundTruth, ICE};
-use serde::{Deserialize, Serialize};
 
 /// One training observation: ice benchmarked under an explicit strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingPoint {
     pub nodes: u64,
     pub strategy: usize,
@@ -25,7 +24,7 @@ pub struct TrainingPoint {
 }
 
 /// Nearest-neighbour strategy selector.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DecompositionSelector {
     /// `(log2 nodes, winning strategy)` per training count, sorted.
     winners: Vec<(f64, usize)>,
@@ -39,17 +38,18 @@ impl DecompositionSelector {
     ///
     /// `bench` maps `(nodes, strategy)` to observed seconds — in production
     /// a CICE run, here the simulator.
-    pub fn train(
-        node_counts: &[u64],
-        mut bench: impl FnMut(u64, usize) -> f64,
-    ) -> Self {
+    pub fn train(node_counts: &[u64], mut bench: impl FnMut(u64, usize) -> f64) -> Self {
         let mut winners = Vec::with_capacity(node_counts.len());
         let mut training = Vec::new();
         for &n in node_counts {
             let mut best = (0usize, f64::INFINITY);
             for s in 0..noise::NUM_STRATEGIES {
                 let t = bench(n, s);
-                training.push(TrainingPoint { nodes: n, strategy: s, seconds: t });
+                training.push(TrainingPoint {
+                    nodes: n,
+                    strategy: s,
+                    seconds: t,
+                });
                 if t < best.1 {
                     best = (s, t);
                 }
@@ -88,11 +88,7 @@ impl DecompositionSelector {
 
 /// Expected ice time at `nodes` under the *tuned* (selector-chosen)
 /// decomposition, given the hidden truth. Utility for ablation reports.
-pub fn tuned_ice_time(
-    truth: &GroundTruth,
-    selector: &DecompositionSelector,
-    nodes: u64,
-) -> f64 {
+pub fn tuned_ice_time(truth: &GroundTruth, selector: &DecompositionSelector, nodes: u64) -> f64 {
     let strategy = selector.predict(nodes);
     truth.expected_time(ICE, nodes)
         * noise::strategy_bias(nodes, strategy, truth.noise[ICE].decomp_amplitude)
@@ -148,10 +144,14 @@ mod tests {
         let truth = GroundTruth::one_degree();
         let sel = trained(&truth, 1);
         let counts: Vec<u64> = (3..60).map(|k| k * 33).collect();
-        let default_total: f64 =
-            counts.iter().map(|&n| default_ice_time(&truth, 42, n)).sum();
-        let tuned_total: f64 =
-            counts.iter().map(|&n| tuned_ice_time(&truth, &sel, n)).sum();
+        let default_total: f64 = counts
+            .iter()
+            .map(|&n| default_ice_time(&truth, 42, n))
+            .sum();
+        let tuned_total: f64 = counts
+            .iter()
+            .map(|&n| tuned_ice_time(&truth, &sel, n))
+            .sum();
         assert!(
             tuned_total < default_total * 0.99,
             "tuned {tuned_total} vs default {default_total}"

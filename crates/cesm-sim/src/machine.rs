@@ -1,13 +1,11 @@
 //! Machine model.
 
-use serde::{Deserialize, Serialize};
-
 /// A homogeneous MPP machine described by node and core counts.
 ///
 /// The paper runs CESM with "1 MPI task and 4 threads per task on each
 /// node" of Intrepid, and all HSLB decision variables are in **nodes** —
 /// cores only matter for reporting ("32,768 nodes (131,072 cores)").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Machine {
     pub name: String,
     pub total_nodes: u64,
@@ -17,7 +15,11 @@ pub struct Machine {
 impl Machine {
     /// The paper's machine: ALCF Intrepid, IBM Blue Gene/P.
     pub fn intrepid() -> Self {
-        Machine { name: "Intrepid (IBM Blue Gene/P)".into(), total_nodes: 40_960, cores_per_node: 4 }
+        Machine {
+            name: "Intrepid (IBM Blue Gene/P)".into(),
+            total_nodes: 40_960,
+            cores_per_node: 4,
+        }
     }
 
     /// A partition of the machine (job allocation of `nodes` nodes).
@@ -25,8 +27,16 @@ impl Machine {
     /// # Panics
     /// Panics if the partition exceeds the machine.
     pub fn partition(&self, nodes: u64) -> Machine {
-        assert!(nodes <= self.total_nodes, "partition {nodes} exceeds {}", self.total_nodes);
-        Machine { name: self.name.clone(), total_nodes: nodes, cores_per_node: self.cores_per_node }
+        assert!(
+            nodes <= self.total_nodes,
+            "partition {nodes} exceeds {}",
+            self.total_nodes
+        );
+        Machine {
+            name: self.name.clone(),
+            total_nodes: nodes,
+            cores_per_node: self.cores_per_node,
+        }
     }
 
     /// Total cores.

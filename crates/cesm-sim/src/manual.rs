@@ -17,19 +17,35 @@ use hslb::CesmAllocation;
 
 /// The paper's Table III manual allocations, where available.
 pub fn paper_manual_allocation(scenario: &Scenario) -> Option<CesmAllocation> {
-    match (scenario.resolution, scenario.total_nodes, scenario.constrained_ocean) {
-        (Resolution::OneDegree, 128, _) => {
-            Some(CesmAllocation { ice: 80, lnd: 24, atm: 104, ocn: 24 })
-        }
-        (Resolution::OneDegree, 2048, _) => {
-            Some(CesmAllocation { ice: 1280, lnd: 384, atm: 1664, ocn: 384 })
-        }
-        (Resolution::EighthDegree, 8192, true) => {
-            Some(CesmAllocation { ice: 5350, lnd: 486, atm: 5836, ocn: 2356 })
-        }
-        (Resolution::EighthDegree, 32_768, true) => {
-            Some(CesmAllocation { ice: 24_424, lnd: 2220, atm: 26_644, ocn: 6124 })
-        }
+    match (
+        scenario.resolution,
+        scenario.total_nodes,
+        scenario.constrained_ocean,
+    ) {
+        (Resolution::OneDegree, 128, _) => Some(CesmAllocation {
+            ice: 80,
+            lnd: 24,
+            atm: 104,
+            ocn: 24,
+        }),
+        (Resolution::OneDegree, 2048, _) => Some(CesmAllocation {
+            ice: 1280,
+            lnd: 384,
+            atm: 1664,
+            ocn: 384,
+        }),
+        (Resolution::EighthDegree, 8192, true) => Some(CesmAllocation {
+            ice: 5350,
+            lnd: 486,
+            atm: 5836,
+            ocn: 2356,
+        }),
+        (Resolution::EighthDegree, 32_768, true) => Some(CesmAllocation {
+            ice: 24_424,
+            lnd: 2220,
+            atm: 26_644,
+            ocn: 6124,
+        }),
         _ => None,
     }
 }
@@ -68,9 +84,16 @@ pub fn manual_allocation(scenario: &Scenario) -> CesmAllocation {
     // Proportional ice/land split of the atmosphere partition.
     let wi = scenario.truth.models[ICE].a.max(1.0);
     let wl = scenario.truth.models[LND].a.max(1.0);
-    let ice = ((atm as f64) * wi / (wi + wl)).round().clamp(1.0, (atm - 1) as f64) as i64;
+    let ice = ((atm as f64) * wi / (wi + wl))
+        .round()
+        .clamp(1.0, (atm - 1) as f64) as i64;
     let lnd = (atm - ice).max(1);
-    CesmAllocation { ice: ice as u64, lnd: lnd as u64, atm: atm as u64, ocn: ocn as u64 }
+    CesmAllocation {
+        ice: ice as u64,
+        lnd: lnd as u64,
+        atm: atm as u64,
+        ocn: ocn as u64,
+    }
 }
 
 #[cfg(test)]
@@ -87,9 +110,7 @@ mod tests {
 
     #[test]
     fn unconstrained_scenarios_have_no_preset() {
-        assert!(
-            paper_manual_allocation(&Scenario::eighth_degree_unconstrained(32_768)).is_none()
-        );
+        assert!(paper_manual_allocation(&Scenario::eighth_degree_unconstrained(32_768)).is_none());
     }
 
     #[test]

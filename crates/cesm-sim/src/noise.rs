@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn noise_mean_is_near_one() {
-        let mean: f64 = (0..4000)
-            .map(|d| run_noise(7, 2, 64, d, 0.08))
-            .sum::<f64>()
-            / 4000.0;
+        let mean: f64 = (0..4000).map(|d| run_noise(7, 2, 64, d, 0.08)).sum::<f64>() / 4000.0;
         assert!((mean - 1.0).abs() < 0.01, "{mean}");
     }
 
@@ -149,7 +146,10 @@ mod tests {
         for n in [4u64, 64, 1024, 16_384] {
             let (best, bias) = best_strategy(n, 0.1);
             for s in 0..NUM_STRATEGIES {
-                assert!(strategy_bias(n, s, 0.1) >= bias - 1e-12, "n={n} s={s} best={best}");
+                assert!(
+                    strategy_bias(n, s, 0.1) >= bias - 1e-12,
+                    "n={n} s={s} best={best}"
+                );
             }
         }
     }

@@ -3,10 +3,9 @@
 use crate::machine::Machine;
 use crate::truth::GroundTruth;
 use hslb::AllowedNodes;
-use serde::{Deserialize, Serialize};
 
 /// Model resolution (grid combination), per §II of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Resolution {
     /// 1° FV atmosphere/land, 1° ocean/ice.
     OneDegree,
@@ -16,7 +15,7 @@ pub enum Resolution {
 
 /// A complete experimental scenario: machine, hidden truth, and the
 /// admissible node counts of each component.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     pub resolution: Resolution,
     pub machine: Machine,
@@ -54,7 +53,10 @@ impl Scenario {
     /// 1/8° with the ocean node-count restriction lifted (Table III blocks
     /// 5–6: "that ocean node constraint was somewhat arbitrary").
     pub fn eighth_degree_unconstrained(total_nodes: u64) -> Self {
-        Scenario { constrained_ocean: false, ..Scenario::eighth_degree(total_nodes) }
+        Scenario {
+            constrained_ocean: false,
+            ..Scenario::eighth_degree(total_nodes)
+        }
     }
 
     /// Admissible node counts per component (ice, lnd, atm, ocn order).
@@ -77,21 +79,31 @@ impl Scenario {
                 v.push(1664);
                 AllowedNodes::set(v)
             }
-            (Resolution::OneDegree, _) => AllowedNodes::Range { min: 1, max: n.max(1) },
+            (Resolution::OneDegree, _) => AllowedNodes::Range {
+                min: 1,
+                max: n.max(1),
+            },
             (Resolution::EighthDegree, crate::truth::OCN) => {
                 if self.constrained_ocean {
                     AllowedNodes::set([480, 512, 2356, 3136, 4564, 6124, 19460])
                 } else {
-                    AllowedNodes::Range { min: 480, max: n.max(480) }
+                    AllowedNodes::Range {
+                        min: 480,
+                        max: n.max(480),
+                    }
                 }
             }
             (Resolution::EighthDegree, crate::truth::ATM) => {
                 AllowedNodes::set((32..=(n / 4).max(32)).map(|k| 4 * k))
             }
-            (Resolution::EighthDegree, crate::truth::ICE) => {
-                AllowedNodes::Range { min: 32, max: n.max(32) }
-            }
-            (Resolution::EighthDegree, _) => AllowedNodes::Range { min: 16, max: n.max(16) },
+            (Resolution::EighthDegree, crate::truth::ICE) => AllowedNodes::Range {
+                min: 32,
+                max: n.max(32),
+            },
+            (Resolution::EighthDegree, _) => AllowedNodes::Range {
+                min: 16,
+                max: n.max(16),
+            },
         }
     }
 

@@ -29,7 +29,13 @@ pub struct CesmSimulator {
 impl CesmSimulator {
     /// Creates a simulator with the paper's 5-day run length.
     pub fn new(scenario: Scenario, seed: u64) -> Self {
-        CesmSimulator { scenario, seed, days: 5, run_counter: 0, benchmark_log: Vec::new() }
+        CesmSimulator {
+            scenario,
+            seed,
+            days: 5,
+            run_counter: 0,
+            benchmark_log: Vec::new(),
+        }
     }
 
     /// Noise-free expected component time (for oracle comparisons).
@@ -40,7 +46,9 @@ impl CesmSimulator {
     /// One full-run sample of a component's time.
     fn sample(&mut self, component: usize, nodes: u64) -> f64 {
         self.run_counter += 1;
-        self.scenario.truth.sample_time(self.seed, component, nodes, self.run_counter)
+        self.scenario
+            .truth
+            .sample_time(self.seed, component, nodes, self.run_counter)
     }
 
     /// Simulates the coupled hybrid-layout run day by day.
@@ -67,7 +75,8 @@ impl CesmSimulator {
                     sim.seed,
                     c,
                     n,
-                    run.wrapping_mul(1_000_003).wrapping_add(day * 17 + c as u64),
+                    run.wrapping_mul(1_000_003)
+                        .wrapping_add(day * 17 + c as u64),
                 ) / days as f64
             };
             let ice = day_time(self, ICE, alloc.ice);
@@ -121,7 +130,12 @@ mod tests {
 
     fn alloc_128() -> CesmAllocation {
         // The paper's manual 1°/128-node allocation.
-        CesmAllocation { ice: 80, lnd: 24, atm: 104, ocn: 24 }
+        CesmAllocation {
+            ice: 80,
+            lnd: 24,
+            atm: 104,
+            ocn: 24,
+        }
     }
 
     #[test]
@@ -165,8 +179,12 @@ mod tests {
         let mut s2 = CesmSimulator::new(Scenario::one_degree(128), 5);
         let mut s3 = CesmSimulator::new(Scenario::one_degree(128), 5);
         let t1 = s1.execute_layout(hslb::Layout::Hybrid, &alloc).total;
-        let t2 = s2.execute_layout(hslb::Layout::SequentialAtmGroup, &alloc).total;
-        let t3 = s3.execute_layout(hslb::Layout::FullySequential, &alloc).total;
+        let t2 = s2
+            .execute_layout(hslb::Layout::SequentialAtmGroup, &alloc)
+            .total;
+        let t3 = s3
+            .execute_layout(hslb::Layout::FullySequential, &alloc)
+            .total;
         assert!(t1 <= t2 && t2 <= t3, "{t1} {t2} {t3}");
     }
 
@@ -186,7 +204,12 @@ mod tests {
         let rep = Workload::execute(
             &mut sim,
             hslb::Layout::Hybrid,
-            &CesmAllocation { ice: 5350, lnd: 486, atm: 5836, ocn: 2356 },
+            &CesmAllocation {
+                ice: 5350,
+                lnd: 486,
+                atm: 5836,
+                ocn: 2356,
+            },
         );
         // Paper manual total at 8192 nodes: 3785 s (ocean-bound).
         assert!((rep.total - 3785.0).abs() / 3785.0 < 0.1, "{rep:?}");

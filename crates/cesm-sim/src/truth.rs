@@ -8,7 +8,6 @@
 
 use crate::noise;
 use hslb_perfmodel::PerfModel;
-use serde::{Deserialize, Serialize};
 
 /// Component indices, in the workload order used across the workspace.
 pub const ICE: usize = 0;
@@ -20,7 +19,7 @@ pub const OCN: usize = 3;
 pub const NAMES: [&str; 4] = ["ice", "lnd", "atm", "ocn"];
 
 /// Noise configuration of one component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseSpec {
     /// Run-to-run log-normal sigma.
     pub run_sigma: f64,
@@ -30,7 +29,7 @@ pub struct NoiseSpec {
 
 /// Ground truth for one configuration: the *actual* (hidden) performance
 /// surfaces HSLB tries to learn from noisy samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
     /// Base models, index-aligned with [`ICE`], [`LND`], [`ATM`], [`OCN`].
     pub models: [PerfModel; 4],
@@ -48,10 +47,22 @@ impl GroundTruth {
                 PerfModel::amdahl(7754.0, 41.8),           // ocn (POP)
             ],
             noise: [
-                NoiseSpec { run_sigma: 0.02, decomp_amplitude: 0.12 }, // noisy CICE
-                NoiseSpec { run_sigma: 0.01, decomp_amplitude: 0.0 },
-                NoiseSpec { run_sigma: 0.008, decomp_amplitude: 0.0 },
-                NoiseSpec { run_sigma: 0.008, decomp_amplitude: 0.0 },
+                NoiseSpec {
+                    run_sigma: 0.02,
+                    decomp_amplitude: 0.12,
+                }, // noisy CICE
+                NoiseSpec {
+                    run_sigma: 0.01,
+                    decomp_amplitude: 0.0,
+                },
+                NoiseSpec {
+                    run_sigma: 0.008,
+                    decomp_amplitude: 0.0,
+                },
+                NoiseSpec {
+                    run_sigma: 0.008,
+                    decomp_amplitude: 0.0,
+                },
             ],
         }
     }
@@ -61,16 +72,28 @@ impl GroundTruth {
     pub fn eighth_degree() -> Self {
         GroundTruth {
             models: [
-                PerfModel::amdahl(1.795e6, 140.0), // ice
-                PerfModel::amdahl(7.0e4, 10.0),    // lnd
+                PerfModel::amdahl(1.795e6, 140.0),  // ice
+                PerfModel::amdahl(7.0e4, 10.0),     // lnd
                 PerfModel::amdahl(1.3076e7, 297.0), // atm
-                PerfModel::amdahl(8.238e6, 289.0), // ocn
+                PerfModel::amdahl(8.238e6, 289.0),  // ocn
             ],
             noise: [
-                NoiseSpec { run_sigma: 0.02, decomp_amplitude: 0.10 },
-                NoiseSpec { run_sigma: 0.015, decomp_amplitude: 0.0 },
-                NoiseSpec { run_sigma: 0.01, decomp_amplitude: 0.0 },
-                NoiseSpec { run_sigma: 0.01, decomp_amplitude: 0.0 },
+                NoiseSpec {
+                    run_sigma: 0.02,
+                    decomp_amplitude: 0.10,
+                },
+                NoiseSpec {
+                    run_sigma: 0.015,
+                    decomp_amplitude: 0.0,
+                },
+                NoiseSpec {
+                    run_sigma: 0.01,
+                    decomp_amplitude: 0.0,
+                },
+                NoiseSpec {
+                    run_sigma: 0.01,
+                    decomp_amplitude: 0.0,
+                },
             ],
         }
     }
@@ -99,9 +122,17 @@ mod tests {
     #[test]
     fn eighth_degree_ocean_matches_paper_points() {
         let gt = GroundTruth::eighth_degree();
-        for (n, paper) in [(6124u64, 1645.0), (9812, 1129.0), (3136, 2919.0), (19460, 712.0)] {
+        for (n, paper) in [
+            (6124u64, 1645.0),
+            (9812, 1129.0),
+            (3136, 2919.0),
+            (19460, 712.0),
+        ] {
             let t = gt.expected_time(OCN, n);
-            assert!((t - paper).abs() / paper < 0.02, "ocn@{n}: {t} vs paper {paper}");
+            assert!(
+                (t - paper).abs() / paper < 0.02,
+                "ocn@{n}: {t} vs paper {paper}"
+            );
         }
     }
 
@@ -110,7 +141,10 @@ mod tests {
         let gt = GroundTruth::eighth_degree();
         for (n, paper) in [(5836u64, 2533.8), (26644, 787.5), (13308, 1302.6)] {
             let t = gt.expected_time(ATM, n);
-            assert!((t - paper).abs() / paper < 0.04, "atm@{n}: {t} vs paper {paper}");
+            assert!(
+                (t - paper).abs() / paper < 0.04,
+                "atm@{n}: {t} vs paper {paper}"
+            );
         }
     }
 

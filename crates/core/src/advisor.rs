@@ -14,10 +14,9 @@ use crate::layouts::{build_layout_model, CesmModelSpec, Layout};
 use crate::solver::{solve_model_with, SolverBackend};
 use crate::spec::ComponentSpec;
 use hslb_minlp::{MinlpOptions, MinlpStatus};
-use serde::{Deserialize, Serialize};
 
 /// What "optimal node count" means (§IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NodeGoal {
     /// Grow the machine while each doubling still buys at least this
     /// parallel efficiency (0 < threshold <= 1); e.g. `0.5` stops when a
@@ -29,7 +28,7 @@ pub enum NodeGoal {
 }
 
 /// One sampled point of a node-count sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     pub nodes: u64,
     /// Optimal layout-model total at this machine size.
@@ -37,7 +36,7 @@ pub struct SweepPoint {
 }
 
 /// Advisor output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeRecommendation {
     pub goal: NodeGoal,
     /// The recommended machine size (`None` when the goal is unreachable
@@ -75,7 +74,10 @@ pub fn recommend_node_count(
             &MinlpOptions::default(),
         );
         if sol.status == MinlpStatus::Optimal {
-            sweep.push(SweepPoint { nodes: n, seconds: sol.objective });
+            sweep.push(SweepPoint {
+                nodes: n,
+                seconds: sol.objective,
+            });
         }
         if n >= max_nodes {
             break;
@@ -84,7 +86,9 @@ pub fn recommend_node_count(
     }
 
     let nodes = match goal {
-        NodeGoal::CostEfficient { efficiency_threshold } => {
+        NodeGoal::CostEfficient {
+            efficiency_threshold,
+        } => {
             assert!(
                 (0.0..=1.0).contains(&efficiency_threshold),
                 "efficiency threshold must be in (0, 1]"
@@ -180,7 +184,9 @@ mod tests {
         let rec = recommend_node_count(
             &spec(0),
             Layout::Hybrid,
-            NodeGoal::TimeToSolution { target_seconds: 0.0 },
+            NodeGoal::TimeToSolution {
+                target_seconds: 0.0,
+            },
             16,
             1024,
         );
@@ -198,7 +204,9 @@ mod tests {
         let rec = recommend_node_count(
             &spec(0),
             Layout::Hybrid,
-            NodeGoal::CostEfficient { efficiency_threshold: 0.7 },
+            NodeGoal::CostEfficient {
+                efficiency_threshold: 0.7,
+            },
             16,
             65_536,
         );
@@ -212,7 +220,9 @@ mod tests {
         let rec = recommend_node_count(
             &spec(0),
             Layout::Hybrid,
-            NodeGoal::TimeToSolution { target_seconds: 150.0 },
+            NodeGoal::TimeToSolution {
+                target_seconds: 150.0,
+            },
             16,
             8192,
         );
@@ -227,7 +237,9 @@ mod tests {
         let rec = recommend_node_count(
             &spec(0),
             Layout::Hybrid,
-            NodeGoal::TimeToSolution { target_seconds: 1.0 }, // below serial floor
+            NodeGoal::TimeToSolution {
+                target_seconds: 1.0,
+            }, // below serial floor
             16,
             4096,
         );
@@ -249,9 +261,11 @@ mod tests {
         // A 2x faster ocean solver.
         let faster_ocn =
             ComponentSpec::new("ocn", PerfModel::amdahl(7754.0 / 2.0, 20.0), 1, 1 << 20);
-        let (old, new) =
-            component_swap_effect(&s, Layout::Hybrid, "ocn", faster_ocn).unwrap();
-        assert!(new <= old + 1e-9, "faster ocean cannot hurt: {old} -> {new}");
+        let (old, new) = component_swap_effect(&s, Layout::Hybrid, "ocn", faster_ocn).unwrap();
+        assert!(
+            new <= old + 1e-9,
+            "faster ocean cannot hurt: {old} -> {new}"
+        );
         // And swapping an unknown component name is rejected.
         let bogus = ComponentSpec::new("x", PerfModel::amdahl(1.0, 0.0), 1, 4);
         assert!(component_swap_effect(&s, Layout::Hybrid, "coupler", bogus).is_none());

@@ -12,13 +12,16 @@
 //! hslb-cli flat  < flatspec.json   # FlatSpec (FMO-style allocation)
 //! hslb-cli example-spec            # prints a ready-to-edit CesmModelSpec
 //! ```
+//!
+//! All modes exit 0 on success; bad input exits 1 with an `hslb-cli:`
+//! diagnostic on stderr; an unknown mode exits 2 with usage.
 
 use hslb::{
     build_flat_model, build_layout_model, layout_predicted_times, solve_model, CesmModelSpec,
     ComponentSpec, FlatSpec, Layout, SolverBackend,
 };
+use hslb_json::{DecodeError, FromJson, Json, ToJson};
 use hslb_perfmodel::{fit, PerfModel, ScalingData};
-use serde::Deserialize;
 use std::io::Read;
 
 fn main() {
@@ -36,7 +39,9 @@ fn main() {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: hslb-cli <fit|solve|flat|ampl|example-spec>  (JSON on stdin, JSON/AMPL on stdout)");
+    eprintln!(
+        "usage: hslb-cli <fit|solve|flat|ampl|example-spec>  (JSON on stdin, JSON/AMPL on stdout)"
+    );
     std::process::exit(2);
 }
 
@@ -53,52 +58,83 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-#[derive(Deserialize)]
+/// Parses stdin as JSON, attributing both parse and decode errors to `what`.
+fn parse_input<T: FromJson>(what: &str) -> T {
+    let text = read_stdin();
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("bad {what}: {e}")));
+    T::from_json(&doc).unwrap_or_else(|e| fail(&format!("bad {what}: {e}")))
+}
+
+/// `{"points": [[nodes, seconds], ...]}` — the gather-step observations.
 struct FitInput {
-    /// `(nodes, seconds)` observations.
     points: Vec<(u64, f64)>,
 }
 
+impl FromJson for FitInput {
+    fn from_json(v: &Json) -> Result<FitInput, DecodeError> {
+        let arr = v
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or_else(|| DecodeError::new("points", "an array of [nodes, seconds] pairs"))?;
+        let mut points = Vec::with_capacity(arr.len());
+        for (i, pair) in arr.iter().enumerate() {
+            let bad = || DecodeError::new(format!("points[{i}]"), "a [nodes, seconds] pair");
+            let n = pair.idx(0).and_then(Json::as_u64).ok_or_else(bad)?;
+            let t = pair.idx(1).and_then(Json::as_f64).ok_or_else(bad)?;
+            if pair.idx(2).is_some() {
+                return Err(bad());
+            }
+            points.push((n, t));
+        }
+        Ok(FitInput { points })
+    }
+}
+
 fn cmd_fit() {
-    let input: FitInput = serde_json::from_str(&read_stdin())
-        .unwrap_or_else(|e| fail(&format!("bad fit input: {e}")));
+    let input: FitInput = parse_input("fit input");
     let data = ScalingData::from_pairs(input.points);
     match fit(&data) {
         Ok(report) => {
-            let out = serde_json::json!({
-                "model": report.model,
-                "display": format!("{}", report.model),
-                "r_squared": report.quality.r_squared,
-                "rmse": report.quality.rmse,
-                "observations": report.observations,
-            });
-            println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+            let out = Json::obj([
+                ("model", report.model.to_json()),
+                ("display", Json::from(format!("{}", report.model))),
+                ("r_squared", Json::from(report.quality.r_squared)),
+                ("rmse", Json::from(report.quality.rmse)),
+                ("observations", Json::from(report.observations)),
+            ]);
+            println!("{}", out.to_pretty());
         }
         Err(e) => fail(&format!("fit failed: {e}")),
     }
 }
 
-#[derive(Deserialize)]
+/// `{"spec": CesmModelSpec, "layout": 1|2|3}` (layout defaults to 1).
 struct SolveInput {
     spec: CesmModelSpec,
-    /// 1, 2 or 3 (Figure 1); defaults to 1.
-    #[serde(default = "default_layout")]
     layout: usize,
 }
 
-fn default_layout() -> usize {
-    1
+impl FromJson for SolveInput {
+    fn from_json(v: &Json) -> Result<SolveInput, DecodeError> {
+        Ok(SolveInput {
+            spec: hslb_json::field(v, "spec")?,
+            layout: hslb_json::opt_field(v, "layout")?.unwrap_or(1),
+        })
+    }
 }
 
-fn cmd_solve() {
-    let input: SolveInput = serde_json::from_str(&read_stdin())
-        .unwrap_or_else(|e| fail(&format!("bad solve input: {e}")));
-    let layout = match input.layout {
+fn layout_from_index(layout: usize) -> Layout {
+    match layout {
         1 => Layout::Hybrid,
         2 => Layout::SequentialAtmGroup,
         3 => Layout::FullySequential,
         other => fail(&format!("unknown layout {other}; expected 1, 2 or 3")),
-    };
+    }
+}
+
+fn cmd_solve() {
+    let input: SolveInput = parse_input("solve input");
+    let layout = layout_from_index(input.layout);
     let model = build_layout_model(&input.spec, layout);
     let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
     if sol.x.is_empty() {
@@ -106,51 +142,56 @@ fn cmd_solve() {
     }
     let alloc = model.allocation(&sol);
     let times = layout_predicted_times(&input.spec, layout, &alloc);
-    let out = serde_json::json!({
-        "allocation": alloc,
-        "predicted": times,
-        "objective": sol.objective,
-        "solver": {
-            "bnb_nodes": sol.nodes,
-            "nlp_solves": sol.nlp_solves,
-            "lp_solves": sol.lp_solves,
-            "oa_cuts": sol.cuts,
-        },
-    });
-    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    let out = Json::obj([
+        ("allocation", alloc.to_json()),
+        ("predicted", times.to_json()),
+        ("objective", Json::from(sol.objective)),
+        (
+            "solver",
+            Json::obj([
+                ("bnb_nodes", Json::from(sol.nodes)),
+                ("nlp_solves", Json::from(sol.nlp_solves)),
+                ("lp_solves", Json::from(sol.lp_solves)),
+                ("oa_cuts", Json::from(sol.cuts)),
+            ]),
+        ),
+    ]);
+    println!("{}", out.to_pretty());
 }
 
 fn cmd_flat() {
-    let spec: FlatSpec = serde_json::from_str(&read_stdin())
-        .unwrap_or_else(|e| fail(&format!("bad flat spec: {e}")));
+    let spec: FlatSpec = parse_input("flat spec");
     let model = build_flat_model(&spec);
     let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
     if sol.x.is_empty() {
         fail("no feasible allocation exists for this spec");
     }
     let alloc = model.allocation(&spec, &sol);
-    let out = serde_json::json!({
-        "nodes": alloc.nodes,
-        "times": alloc.times,
-        "makespan": alloc.makespan(),
-        "imbalance": alloc.imbalance(),
-    });
-    println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    let out = Json::obj([
+        (
+            "nodes",
+            Json::arr(alloc.nodes.iter().map(|&n| Json::from(n))),
+        ),
+        (
+            "times",
+            Json::arr(alloc.times.iter().map(|&t| Json::from(t))),
+        ),
+        ("makespan", Json::from(alloc.makespan())),
+        ("imbalance", Json::from(alloc.imbalance())),
+    ]);
+    println!("{}", out.to_pretty());
 }
 
 /// Renders the layout MINLP of a spec as an AMPL model — the papers'
 /// original interface (`hslb-cli ampl < spec.json`).
 fn cmd_ampl() {
-    let input: SolveInput = serde_json::from_str(&read_stdin())
-        .unwrap_or_else(|e| fail(&format!("bad solve input: {e}")));
-    let layout = match input.layout {
-        1 => Layout::Hybrid,
-        2 => Layout::SequentialAtmGroup,
-        3 => Layout::FullySequential,
-        other => fail(&format!("unknown layout {other}; expected 1, 2 or 3")),
-    };
+    let input: SolveInput = parse_input("solve input");
+    let layout = layout_from_index(input.layout);
     let model = build_layout_model(&input.spec, layout);
-    print!("{}", hslb_minlp::to_ampl(&model.problem, &format!("cesm_layout{}", input.layout)));
+    print!(
+        "{}",
+        hslb_minlp::to_ampl(&model.problem, &format!("cesm_layout{}", input.layout))
+    );
 }
 
 fn cmd_example_spec() {
@@ -167,6 +208,6 @@ fn cmd_example_spec() {
         total_nodes: 128,
         tsync: None,
     };
-    let doc = serde_json::json!({ "spec": spec, "layout": 1 });
-    println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    let doc = Json::obj([("spec", spec.to_json()), ("layout", Json::from(1u64))]);
+    println!("{}", doc.to_pretty());
 }

@@ -16,10 +16,9 @@
 use crate::spec::ComponentSpec;
 use hslb_minlp::{MinlpProblem, MinlpSolution};
 use hslb_nlp::{ConstraintFn, ScalarFn, Term};
-use serde::{Deserialize, Serialize};
 
 /// Allocation objective (Eqs. (1)–(3) of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Objective {
     /// `min_n max_j T_j(n_j)` — Eq. (1).
     MinMax,
@@ -35,7 +34,7 @@ impl Objective {
 }
 
 /// Flat allocation specification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlatSpec {
     pub components: Vec<ComponentSpec>,
     /// Total nodes. Minimization objectives use `Σ n_j <= N` (surplus idles
@@ -45,7 +44,7 @@ pub struct FlatSpec {
 }
 
 /// A solved flat allocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlatAllocation {
     /// Nodes per component, aligned with `FlatSpec::components`.
     pub nodes: Vec<u64>,
@@ -93,9 +92,15 @@ impl FlatModel {
     /// # Panics
     /// Panics on an infeasible solution.
     pub fn allocation(&self, spec: &FlatSpec, sol: &MinlpSolution) -> FlatAllocation {
-        assert!(!sol.x.is_empty(), "cannot extract an allocation from an infeasible solve");
-        let nodes: Vec<u64> =
-            self.node_vars.iter().map(|&v| sol.x[v].round().max(1.0) as u64).collect();
+        assert!(
+            !sol.x.is_empty(),
+            "cannot extract an allocation from an infeasible solve"
+        );
+        let nodes: Vec<u64> = self
+            .node_vars
+            .iter()
+            .map(|&v| sol.x[v].round().max(1.0) as u64)
+            .collect();
         let times: Vec<f64> = nodes
             .iter()
             .zip(&spec.components)
@@ -153,8 +158,8 @@ pub fn build_flat_model(spec: &FlatSpec) -> FlatModel {
         .sum();
     match spec.objective {
         Objective::MinMax | Objective::MinSum => {
-            let mut row = ConstraintFn::new("node_budget")
-                .with_constant(-(spec.total_nodes as f64));
+            let mut row =
+                ConstraintFn::new("node_budget").with_constant(-(spec.total_nodes as f64));
             for &v in &node_vars {
                 row = row.linear_term(v, 1.0);
             }
@@ -218,7 +223,12 @@ pub fn build_flat_model(spec: &FlatSpec) -> FlatModel {
         }
     };
 
-    FlatModel { problem: p, node_vars, aux_var, objective: spec.objective }
+    FlatModel {
+        problem: p,
+        node_vars,
+        aux_var,
+        objective: spec.objective,
+    }
 }
 
 /// Exact polynomial-time solver for the **min–max** flat allocation with
@@ -283,7 +293,7 @@ pub fn solve_minmax_waterfill(spec: &FlatSpec) -> Option<FlatAllocation> {
         .iter()
         .map(|c| c.model.eval(c.allowed.hull().1.min(n_total) as f64))
         .fold(0.0f64, f64::max);
-    if total_needed(t_hi).map_or(true, |s| s > n_total) {
+    if total_needed(t_hi).is_none_or(|s| s > n_total) {
         return None;
     }
     let (mut lo_t, mut hi_t) = (t_lo, t_hi);
@@ -295,8 +305,11 @@ pub fn solve_minmax_waterfill(spec: &FlatSpec) -> Option<FlatAllocation> {
         }
     }
     let t_star = hi_t;
-    let mut nodes: Vec<i64> =
-        spec.components.iter().map(|c| need(c, t_star).expect("t_star feasible")).collect();
+    let mut nodes: Vec<i64> = spec
+        .components
+        .iter()
+        .map(|c| need(c, t_star).expect("t_star feasible"))
+        .collect();
 
     // Distribute leftovers to the bottleneck (Σ n_j = N semantics).
     let mut leftover = n_total - nodes.iter().sum::<i64>();
@@ -306,7 +319,7 @@ pub fn solve_minmax_waterfill(spec: &FlatSpec) -> Option<FlatAllocation> {
         for (j, c) in spec.components.iter().enumerate() {
             let t = c.model.eval(nodes[j] as f64);
             if let Some(next) = next_admissible(c, nodes[j], nodes[j] + leftover, n_total) {
-                if best.as_ref().map_or(true, |&(_, _, bt)| t > bt) {
+                if best.as_ref().is_none_or(|&(_, _, bt)| t > bt) {
                     best = Some((j, next, t));
                 }
             }
@@ -326,7 +339,10 @@ pub fn solve_minmax_waterfill(spec: &FlatSpec) -> Option<FlatAllocation> {
         .zip(&spec.components)
         .map(|(&n, c)| c.predict(n))
         .collect();
-    Some(FlatAllocation { nodes: nodes_u, times })
+    Some(FlatAllocation {
+        nodes: nodes_u,
+        times,
+    })
 }
 
 /// Smallest admissible value `>= floor` in the component's domain.
@@ -412,7 +428,10 @@ mod tests {
 
     #[test]
     fn makespan_and_imbalance() {
-        let a = FlatAllocation { nodes: vec![1, 2], times: vec![10.0, 8.0] };
+        let a = FlatAllocation {
+            nodes: vec![1, 2],
+            times: vec![10.0, 8.0],
+        };
         assert_eq!(a.makespan(), 10.0);
         assert_eq!(a.min_time(), 8.0);
         assert!((a.imbalance() - 0.2).abs() < 1e-12);
@@ -483,7 +502,11 @@ mod tests {
                 )
             })
             .collect();
-        let s = FlatSpec { components: comps, total_nodes: 4096, objective: Objective::MinMax };
+        let s = FlatSpec {
+            components: comps,
+            total_nodes: 4096,
+            objective: Objective::MinMax,
+        };
         let wf = solve_minmax_waterfill(&s).unwrap();
         assert_eq!(wf.nodes.iter().sum::<u64>(), 4096);
         // Balance sanity: no task more than ~2x the makespan under any

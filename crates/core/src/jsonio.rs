@@ -1,0 +1,321 @@
+//! JSON wire-format impls for the `hslb-cli` black box.
+//!
+//! The format is byte-compatible with what the previous serde derives
+//! produced (externally tagged enums, unit variants as strings), so specs
+//! saved by older builds keep parsing:
+//!
+//! ```text
+//! {"allowed": {"Range": {"min": 1, "max": 12}}}
+//! {"allowed": {"Set": [2, 4, 8]}}
+//! {"objective": "MinMax"}
+//! ```
+//!
+//! Unlike the derives, decoding validates domain invariants (non-empty
+//! allowed sets, ordered ranges, at least one node) so malformed input
+//! surfaces as a [`DecodeError`] diagnostic instead of a model-builder
+//! panic deep inside the solver.
+
+use crate::flat::{FlatAllocation, FlatSpec, Objective};
+use crate::layouts::{CesmAllocation, CesmModelSpec, LayoutTimes};
+use crate::spec::{AllowedNodes, ComponentSpec};
+use hslb_json::{field, opt_field, DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for Objective {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Objective::MinMax => "MinMax",
+                Objective::MaxMin => "MaxMin",
+                Objective::MinSum => "MinSum",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Objective {
+    fn from_json(v: &Json) -> Result<Objective, DecodeError> {
+        match v.as_str() {
+            Some("MinMax") => Ok(Objective::MinMax),
+            Some("MaxMin") => Ok(Objective::MaxMin),
+            Some("MinSum") => Ok(Objective::MinSum),
+            _ => Err(DecodeError::new(
+                "",
+                "one of \"MinMax\", \"MaxMin\", \"MinSum\"",
+            )),
+        }
+    }
+}
+
+impl ToJson for AllowedNodes {
+    fn to_json(&self) -> Json {
+        match self {
+            AllowedNodes::Range { min, max } => Json::obj([(
+                "Range",
+                Json::obj([("min", Json::from(*min)), ("max", Json::from(*max))]),
+            )]),
+            AllowedNodes::Set(values) => {
+                Json::obj([("Set", Json::arr(values.iter().map(|&v| Json::from(v))))])
+            }
+        }
+    }
+}
+
+impl FromJson for AllowedNodes {
+    fn from_json(v: &Json) -> Result<AllowedNodes, DecodeError> {
+        if let Some(range) = v.get("Range") {
+            let min: i64 = field(range, "min").map_err(|e| e.in_field("Range"))?;
+            let max: i64 = field(range, "max").map_err(|e| e.in_field("Range"))?;
+            if min < 1 {
+                return Err(DecodeError::new("Range.min", "at least one node"));
+            }
+            if min > max {
+                return Err(DecodeError::new("Range", "min <= max"));
+            }
+            return Ok(AllowedNodes::Range { min, max });
+        }
+        if let Some(set) = v.get("Set") {
+            let values: Vec<i64> = Vec::from_json(set).map_err(|e| e.in_field("Set"))?;
+            if values.is_empty() {
+                return Err(DecodeError::new("Set", "a non-empty array of node counts"));
+            }
+            if values.iter().any(|&n| n < 1) {
+                return Err(DecodeError::new("Set", "node counts of at least 1"));
+            }
+            return Ok(AllowedNodes::set(values));
+        }
+        Err(DecodeError::new(
+            "",
+            "an object tagged \"Range\" or \"Set\"",
+        ))
+    }
+}
+
+impl ToJson for ComponentSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("model", self.model.to_json()),
+            ("allowed", self.allowed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ComponentSpec {
+    fn from_json(v: &Json) -> Result<ComponentSpec, DecodeError> {
+        Ok(ComponentSpec {
+            name: field(v, "name")?,
+            model: field(v, "model")?,
+            allowed: field(v, "allowed")?,
+        })
+    }
+}
+
+impl ToJson for CesmModelSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ice", self.ice.to_json()),
+            ("lnd", self.lnd.to_json()),
+            ("atm", self.atm.to_json()),
+            ("ocn", self.ocn.to_json()),
+            ("total_nodes", Json::from(self.total_nodes)),
+            ("tsync", self.tsync.map_or(Json::Null, Json::Num)),
+        ])
+    }
+}
+
+impl FromJson for CesmModelSpec {
+    fn from_json(v: &Json) -> Result<CesmModelSpec, DecodeError> {
+        let total_nodes: i64 = field(v, "total_nodes")?;
+        if total_nodes < 4 {
+            return Err(DecodeError::new(
+                "total_nodes",
+                "at least 4 nodes (one per component)",
+            ));
+        }
+        Ok(CesmModelSpec {
+            ice: field(v, "ice")?,
+            lnd: field(v, "lnd")?,
+            atm: field(v, "atm")?,
+            ocn: field(v, "ocn")?,
+            total_nodes,
+            tsync: opt_field(v, "tsync")?,
+        })
+    }
+}
+
+impl ToJson for FlatSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "components",
+                Json::arr(self.components.iter().map(ToJson::to_json)),
+            ),
+            ("total_nodes", Json::from(self.total_nodes)),
+            ("objective", self.objective.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FlatSpec {
+    fn from_json(v: &Json) -> Result<FlatSpec, DecodeError> {
+        let components: Vec<ComponentSpec> = field(v, "components")?;
+        if components.is_empty() {
+            return Err(DecodeError::new("components", "at least one component"));
+        }
+        let total_nodes: i64 = field(v, "total_nodes")?;
+        if total_nodes < 1 {
+            return Err(DecodeError::new("total_nodes", "a positive node count"));
+        }
+        Ok(FlatSpec {
+            components,
+            total_nodes,
+            objective: field(v, "objective")?,
+        })
+    }
+}
+
+impl ToJson for CesmAllocation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ice", Json::from(self.ice)),
+            ("lnd", Json::from(self.lnd)),
+            ("atm", Json::from(self.atm)),
+            ("ocn", Json::from(self.ocn)),
+        ])
+    }
+}
+
+impl FromJson for CesmAllocation {
+    fn from_json(v: &Json) -> Result<CesmAllocation, DecodeError> {
+        Ok(CesmAllocation {
+            ice: field(v, "ice")?,
+            lnd: field(v, "lnd")?,
+            atm: field(v, "atm")?,
+            ocn: field(v, "ocn")?,
+        })
+    }
+}
+
+impl ToJson for LayoutTimes {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ice", Json::from(self.ice)),
+            ("lnd", Json::from(self.lnd)),
+            ("atm", Json::from(self.atm)),
+            ("ocn", Json::from(self.ocn)),
+            ("total", Json::from(self.total)),
+        ])
+    }
+}
+
+impl ToJson for FlatAllocation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "nodes",
+                Json::arr(self.nodes.iter().map(|&n| Json::from(n))),
+            ),
+            (
+                "times",
+                Json::arr(self.times.iter().map(|&t| Json::from(t))),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb_perfmodel::PerfModel;
+
+    fn comp(name: &str) -> ComponentSpec {
+        ComponentSpec::new(name, PerfModel::amdahl(100.0, 2.0), 1, 64)
+    }
+
+    #[test]
+    fn allowed_nodes_round_trip() {
+        for allowed in [
+            AllowedNodes::Range { min: 1, max: 12 },
+            AllowedNodes::set([2, 4, 8, 16]),
+        ] {
+            let json = allowed.to_json();
+            let back = AllowedNodes::from_json(&json).unwrap();
+            assert_eq!(back, allowed);
+        }
+    }
+
+    #[test]
+    fn allowed_nodes_wire_format_is_externally_tagged() {
+        let r = AllowedNodes::Range { min: 1, max: 12 }
+            .to_json()
+            .to_compact();
+        assert_eq!(r, r#"{"Range":{"min":1,"max":12}}"#);
+        let s = AllowedNodes::set([4, 2]).to_json().to_compact();
+        assert_eq!(s, r#"{"Set":[2,4]}"#);
+    }
+
+    #[test]
+    fn objective_wire_format_is_a_string() {
+        assert_eq!(Objective::MinMax.to_json().to_compact(), r#""MinMax""#);
+        let v = Json::parse(r#""MaxMin""#).unwrap();
+        assert_eq!(Objective::from_json(&v).unwrap(), Objective::MaxMin);
+    }
+
+    #[test]
+    fn cesm_spec_round_trip_with_and_without_tsync() {
+        for tsync in [None, Some(30.0)] {
+            let spec = CesmModelSpec {
+                ice: comp("ice"),
+                lnd: comp("lnd"),
+                atm: comp("atm"),
+                ocn: comp("ocn"),
+                total_nodes: 128,
+                tsync,
+            };
+            let text = spec.to_json().to_pretty();
+            let back = CesmModelSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.total_nodes, 128);
+            assert_eq!(back.tsync, tsync);
+            assert_eq!(back.ice.model, spec.ice.model);
+            assert_eq!(back.ocn.allowed, spec.ocn.allowed);
+        }
+    }
+
+    #[test]
+    fn missing_tsync_field_decodes_as_none() {
+        let mut json = CesmModelSpec {
+            ice: comp("ice"),
+            lnd: comp("lnd"),
+            atm: comp("atm"),
+            ocn: comp("ocn"),
+            total_nodes: 16,
+            tsync: Some(1.0),
+        }
+        .to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "tsync");
+        }
+        let back = CesmModelSpec::from_json(&json).unwrap();
+        assert_eq!(back.tsync, None);
+    }
+
+    #[test]
+    fn empty_set_is_rejected_with_a_path() {
+        let v = Json::parse(r#"{"Set": []}"#).unwrap();
+        let err = AllowedNodes::from_json(&v).unwrap_err();
+        assert!(err.to_string().contains("Set"), "{err}");
+    }
+
+    #[test]
+    fn bad_nested_field_reports_full_path() {
+        let v = Json::parse(
+            r#"{"name": "x", "model": {"a": 1.0, "b": 0.0, "c": 1.0, "d": "oops"},
+                "allowed": {"Range": {"min": 1, "max": 4}}}"#,
+        )
+        .unwrap();
+        let err = ComponentSpec::from_json(&v).unwrap_err();
+        assert!(err.path.contains("model"), "{err:?}");
+        assert!(err.path.contains('d'), "{err:?}");
+    }
+}

@@ -21,10 +21,9 @@
 use crate::spec::ComponentSpec;
 use hslb_minlp::{MinlpProblem, MinlpSolution};
 use hslb_nlp::ConstraintFn;
-use serde::{Deserialize, Serialize};
 
 /// Which Figure-1 layout to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layout {
     /// Layout (1): hybrid sequential/concurrent (the paper's focus).
     Hybrid,
@@ -53,7 +52,7 @@ impl Layout {
 }
 
 /// Full specification of a CESM allocation problem.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CesmModelSpec {
     pub ice: ComponentSpec,
     pub lnd: ComponentSpec,
@@ -68,7 +67,7 @@ pub struct CesmModelSpec {
 }
 
 /// Node allocation for the four modeled components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CesmAllocation {
     pub ice: u64,
     pub lnd: u64,
@@ -79,12 +78,17 @@ pub struct CesmAllocation {
 impl CesmAllocation {
     /// Component values in paper table order (lnd, ice, atm, ocn).
     pub fn in_table_order(&self) -> [(&'static str, u64); 4] {
-        [("lnd", self.lnd), ("ice", self.ice), ("atm", self.atm), ("ocn", self.ocn)]
+        [
+            ("lnd", self.lnd),
+            ("ice", self.ice),
+            ("atm", self.atm),
+            ("ocn", self.ocn),
+        ]
     }
 }
 
 /// Predicted per-component and total times for an allocation under a layout.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayoutTimes {
     pub ice: f64,
     pub lnd: f64,
@@ -98,7 +102,7 @@ pub struct LayoutTimes {
 /// the river transport model runs on the land processors, the coupler on
 /// the atmosphere processors, so they add time terms without adding
 /// decision variables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MinorComponents {
     /// River transport model (RTM), sharing `n_lnd`.
     pub rtm: hslb_perfmodel::PerfModel,
@@ -125,9 +129,17 @@ impl LayoutModel {
     /// # Panics
     /// Panics if the solution is empty (infeasible solve).
     pub fn allocation(&self, sol: &MinlpSolution) -> CesmAllocation {
-        assert!(!sol.x.is_empty(), "cannot extract an allocation from an infeasible solve");
+        assert!(
+            !sol.x.is_empty(),
+            "cannot extract an allocation from an infeasible solve"
+        );
         let get = |j: usize| sol.x[self.node_vars[j]].round().max(1.0) as u64;
-        CesmAllocation { ice: get(0), lnd: get(1), atm: get(2), ocn: get(3) }
+        CesmAllocation {
+            ice: get(0),
+            lnd: get(1),
+            atm: get(2),
+            ocn: get(3),
+        }
     }
 }
 
@@ -170,9 +182,7 @@ pub fn build_layout_model_with_minor(
     let t = p.add_var(1.0, 0.0, t_cap);
 
     // Helper: constraint  Σ T_x(n_x) + Σ lin - t_target <= -consts …
-    let perf = |var: usize, comp: &ComponentSpec| {
-        (var, comp.model.to_scalar_fn(), comp.model.d)
-    };
+    let perf = |var: usize, comp: &ComponentSpec| (var, comp.model.to_scalar_fn(), comp.model.d);
     // Minor components fold extra time terms into their host component
     // (RTM onto land's nodes, CPL7 onto the atmosphere's).
     let fold_minor = |base: (usize, hslb_nlp::ScalarFn, f64),
@@ -310,16 +320,23 @@ pub fn build_layout_model_with_minor(
         }
     }
 
-    LayoutModel { problem: p, layout, node_vars, t_var: t, ticelnd_var }
+    LayoutModel {
+        problem: p,
+        layout,
+        node_vars,
+        t_var: t,
+        ticelnd_var,
+    }
 }
 
 /// Clamp a component's allowed domain to the machine size.
 fn clamp_domain(comp: &ComponentSpec, n_total: i64) -> crate::spec::AllowedNodes {
     use crate::spec::AllowedNodes;
     match &comp.allowed {
-        AllowedNodes::Range { min, max } => {
-            AllowedNodes::Range { min: *min, max: (*max).min(n_total) }
-        }
+        AllowedNodes::Range { min, max } => AllowedNodes::Range {
+            min: *min,
+            max: (*max).min(n_total),
+        },
         AllowedNodes::Set(vals) => {
             let clamped: Vec<i64> = vals.iter().copied().filter(|&v| v <= n_total).collect();
             if clamped.is_empty() {
@@ -366,17 +383,21 @@ pub fn layout_predicted_times_with_minor(
     minor: Option<&MinorComponents>,
 ) -> LayoutTimes {
     let ti = spec.ice.predict(alloc.ice);
-    let tl = spec.lnd.predict(alloc.lnd)
-        + minor.map_or(0.0, |m| m.rtm.eval(alloc.lnd as f64));
-    let ta = spec.atm.predict(alloc.atm)
-        + minor.map_or(0.0, |m| m.cpl.eval(alloc.atm as f64));
+    let tl = spec.lnd.predict(alloc.lnd) + minor.map_or(0.0, |m| m.rtm.eval(alloc.lnd as f64));
+    let ta = spec.atm.predict(alloc.atm) + minor.map_or(0.0, |m| m.cpl.eval(alloc.atm as f64));
     let to = spec.ocn.predict(alloc.ocn);
     let total = match layout {
         Layout::Hybrid => (ti.max(tl) + ta).max(to),
         Layout::SequentialAtmGroup => (ti + tl + ta).max(to),
         Layout::FullySequential => ti + tl + ta + to,
     };
-    LayoutTimes { ice: ti, lnd: tl, atm: ta, ocn: to, total }
+    LayoutTimes {
+        ice: ti,
+        lnd: tl,
+        atm: ta,
+        ocn: to,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -411,7 +432,10 @@ mod tests {
         assert!(alloc.atm + alloc.ocn <= 32);
         // Objective equals the layout formula.
         let times = layout_predicted_times(&spec, Layout::Hybrid, &alloc);
-        assert!((sol.objective - times.total).abs() < 1e-3, "{sol:?} vs {times:?}");
+        assert!(
+            (sol.objective - times.total).abs() < 1e-3,
+            "{sol:?} vs {times:?}"
+        );
     }
 
     #[test]
@@ -483,7 +507,10 @@ mod tests {
         };
         spec.tsync = Some(0.5);
         let model = build_layout_model(&spec, Layout::Hybrid);
-        assert!(!model.problem.is_convex(), "tsync side must be flagged nonconvex");
+        assert!(
+            !model.problem.is_convex(),
+            "tsync side must be flagged nonconvex"
+        );
         let sol = solve_model(&model.problem, SolverBackend::NlpBnb);
         assert_eq!(sol.status, MinlpStatus::Optimal);
         // The synchronized solution can be no better than the free one
@@ -527,8 +554,7 @@ mod tests {
         assert!(fine.objective >= base.objective - 1e-6);
         // And the objective matches the extended closed form.
         let alloc = fine_model.allocation(&fine);
-        let times =
-            layout_predicted_times_with_minor(&spec, Layout::Hybrid, &alloc, Some(&minor));
+        let times = layout_predicted_times_with_minor(&spec, Layout::Hybrid, &alloc, Some(&minor));
         assert!(
             (fine.objective - times.total).abs() < 1e-3 * times.total,
             "{} vs {times:?}",
@@ -557,7 +583,12 @@ mod tests {
 
     #[test]
     fn allocation_table_order_matches_paper() {
-        let a = CesmAllocation { ice: 1, lnd: 2, atm: 3, ocn: 4 };
+        let a = CesmAllocation {
+            ice: 1,
+            lnd: 2,
+            atm: 3,
+            ocn: 4,
+        };
         let order: Vec<&str> = a.in_table_order().iter().map(|&(n, _)| n).collect();
         assert_eq!(order, vec!["lnd", "ice", "atm", "ocn"]);
     }

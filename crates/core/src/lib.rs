@@ -52,6 +52,7 @@
 
 pub mod advisor;
 pub mod flat;
+pub mod jsonio;
 pub mod layouts;
 pub mod oracle;
 pub mod pipeline;
@@ -59,15 +60,19 @@ pub mod report;
 pub mod solver;
 pub mod spec;
 
-pub use advisor::{component_swap_effect, recommend_layout, recommend_node_count, NodeGoal, NodeRecommendation};
-pub use flat::{build_flat_model, solve_minmax_waterfill, FlatAllocation, FlatModel, FlatSpec, Objective};
+pub use advisor::{
+    component_swap_effect, recommend_layout, recommend_node_count, NodeGoal, NodeRecommendation,
+};
+pub use flat::{
+    build_flat_model, solve_minmax_waterfill, FlatAllocation, FlatModel, FlatSpec, Objective,
+};
 pub use layouts::{
     build_layout_model, build_layout_model_with_minor, layout_predicted_times,
     layout_predicted_times_with_minor, CesmAllocation, CesmModelSpec, Layout, LayoutModel,
     LayoutTimes, MinorComponents,
 };
 pub use oracle::layout1_oracle;
-pub use pipeline::{gather, fit_all, run_hslb, ExecutionReport, HslbOutcome, Workload};
+pub use pipeline::{fit_all, gather, run_hslb, ExecutionReport, HslbOutcome, Workload};
 pub use report::AllocationReport;
 pub use solver::{solve_model, solve_model_with, SolverBackend};
 pub use spec::{AllowedNodes, ComponentSpec};

@@ -27,7 +27,10 @@ pub fn layout1_oracle(spec: &CesmModelSpec) -> Option<(CesmAllocation, f64)> {
     // Monotonicity precondition.
     for comp in [&spec.ice, &spec.lnd, &spec.atm, &spec.ocn] {
         let (lo, hi) = comp.allowed.hull();
-        if !comp.model.is_decreasing_on(lo as f64, hi.min(n_total) as f64) {
+        if !comp
+            .model
+            .is_decreasing_on(lo as f64, hi.min(n_total) as f64)
+        {
             return None;
         }
     }
@@ -62,7 +65,7 @@ pub fn layout1_oracle(spec: &CesmModelSpec) -> Option<(CesmAllocation, f64)> {
             ocn: no as u64,
         };
         let total = layout_predicted_times(spec, Layout::Hybrid, &alloc).total;
-        if best.as_ref().map_or(true, |&(_, b)| total < b) {
+        if best.as_ref().is_none_or(|&(_, b)| total < b) {
             best = Some((alloc, total));
         }
     }
@@ -82,9 +85,7 @@ fn balance_ice_lnd(spec: &CesmModelSpec, na: i64) -> Option<(i64, i64)> {
         return None;
     }
     // f(ni) = T_i(ni) - T_l(na - ni) is decreasing in ni; find sign change.
-    let f = |ni: i64| {
-        spec.ice.model.eval(ni as f64) - spec.lnd.model.eval((na - ni) as f64)
-    };
+    let f = |ni: i64| spec.ice.model.eval(ni as f64) - spec.lnd.model.eval((na - ni) as f64);
     let (mut a, mut b) = (lo, hi);
     if f(a) <= 0.0 {
         // Ice already faster at the minimum: give land the rest.
@@ -103,9 +104,16 @@ fn balance_ice_lnd(spec: &CesmModelSpec, na: i64) -> Option<(i64, i64)> {
     }
     // Compare the two bracketing splits.
     let cost = |ni: i64| {
-        spec.ice.model.eval(ni as f64).max(spec.lnd.model.eval((na - ni) as f64))
+        spec.ice
+            .model
+            .eval(ni as f64)
+            .max(spec.lnd.model.eval((na - ni) as f64))
     };
-    Some(if cost(a) <= cost(b) { (a, na - a) } else { (b, na - b) })
+    Some(if cost(a) <= cost(b) {
+        (a, na - a)
+    } else {
+        (b, na - b)
+    })
 }
 
 #[cfg(test)]
@@ -180,8 +188,7 @@ mod tests {
     #[test]
     fn oracle_detects_too_small_machine() {
         let mut s = spec(8);
-        s.ocn =
-            ComponentSpec::with_set("ocn", PerfModel::amdahl(7754.0, 41.8), [64, 128]);
+        s.ocn = ComponentSpec::with_set("ocn", PerfModel::amdahl(7754.0, 41.8), [64, 128]);
         assert!(layout1_oracle(&s).is_none());
     }
 }

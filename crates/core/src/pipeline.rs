@@ -1,8 +1,7 @@
 //! The four-step HSLB pipeline (§III-F of the paper).
 
 use crate::layouts::{
-    build_layout_model, layout_predicted_times, CesmAllocation, CesmModelSpec, Layout,
-    LayoutTimes,
+    build_layout_model, layout_predicted_times, CesmAllocation, CesmModelSpec, Layout, LayoutTimes,
 };
 use crate::solver::{solve_model_with, SolverBackend};
 use crate::spec::{AllowedNodes, ComponentSpec};
@@ -161,7 +160,14 @@ pub fn run_hslb<W: Workload>(
     let predicted = layout_predicted_times(&spec, layout, &allocation);
     // 4. Execute.
     let actual = workload.execute(layout, &allocation);
-    Ok(HslbOutcome { fits, spec, solution, allocation, predicted, actual })
+    Ok(HslbOutcome {
+        fits,
+        spec,
+        solution,
+        allocation,
+        predicted,
+        actual,
+    })
 }
 
 #[cfg(test)]
@@ -180,10 +186,10 @@ mod tests {
         fn new(total: u64) -> Self {
             Analytic {
                 models: [
-                    PerfModel::amdahl(7774.0, 11.8), // ice
-                    PerfModel::amdahl(1495.0, 1.5),  // lnd
+                    PerfModel::amdahl(7774.0, 11.8),  // ice
+                    PerfModel::amdahl(1495.0, 1.5),   // lnd
                     PerfModel::amdahl(27180.0, 44.0), // atm
-                    PerfModel::amdahl(7754.0, 41.8), // ocn
+                    PerfModel::amdahl(7754.0, 41.8),  // ocn
                 ],
                 total,
                 benchmarks_run: 0,
@@ -202,7 +208,10 @@ mod tests {
         }
 
         fn allowed(&self, _component: usize) -> AllowedNodes {
-            AllowedNodes::Range { min: 1, max: self.total as i64 }
+            AllowedNodes::Range {
+                min: 1,
+                max: self.total as i64,
+            }
         }
 
         fn execute(&mut self, layout: Layout, alloc: &CesmAllocation) -> ExecutionReport {
@@ -215,7 +224,13 @@ mod tests {
                 Layout::SequentialAtmGroup => (ice + lnd + atm).max(ocn),
                 Layout::FullySequential => ice + lnd + atm + ocn,
             };
-            ExecutionReport { ice, lnd, atm, ocn, total }
+            ExecutionReport {
+                ice,
+                lnd,
+                atm,
+                ocn,
+                total,
+            }
         }
     }
 

@@ -88,7 +88,12 @@ mod tests {
     use super::*;
 
     fn sample() -> AllocationReport {
-        let manual_alloc = CesmAllocation { ice: 80, lnd: 24, atm: 104, ocn: 24 };
+        let manual_alloc = CesmAllocation {
+            ice: 80,
+            lnd: 24,
+            atm: 104,
+            ocn: 24,
+        };
         let manual_exec = ExecutionReport {
             ice: 109.054,
             lnd: 63.766,
@@ -96,7 +101,12 @@ mod tests {
             ocn: 362.669,
             total: 416.006,
         };
-        let hslb_alloc = CesmAllocation { ice: 89, lnd: 15, atm: 104, ocn: 24 };
+        let hslb_alloc = CesmAllocation {
+            ice: 89,
+            lnd: 15,
+            atm: 104,
+            ocn: 24,
+        };
         let pred = LayoutTimes {
             ice: 102.972,
             lnd: 100.951,

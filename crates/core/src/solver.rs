@@ -14,7 +14,7 @@ pub enum SolverBackend {
     /// NLP-based branch and bound; also usable on the (mildly) nonconvex
     /// `T_sync` variant.
     NlpBnb,
-    /// Parallel NLP-based branch and bound (rayon work stealing).
+    /// Parallel NLP-based branch and bound (fork-join std threads).
     ParallelBnb,
 }
 
@@ -98,7 +98,11 @@ mod tests {
         // 12 - 100/n <= 0 with a negative-coefficient decay term.
         let mut f = ScalarFn::new();
         f.push(hslb_nlp::Term::PowerDecay { a: -100.0, c: 1.0 });
-        p.add_constraint(ConstraintFn::new("rc").nonlinear_term(0, f).with_constant(12.0));
+        p.add_constraint(
+            ConstraintFn::new("rc")
+                .nonlinear_term(0, f)
+                .with_constant(12.0),
+        );
         assert!(!p.is_convex());
         let s = solve_model(&p, SolverBackend::OuterApproximation);
         assert_eq!(s.status, MinlpStatus::Optimal);

@@ -2,7 +2,6 @@
 
 use hslb_minlp::MinlpProblem;
 use hslb_perfmodel::PerfModel;
-use serde::{Deserialize, Serialize};
 
 /// Admissible node counts for a component.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// perform best at certain processor counts we'll call 'sweet' spots"
 /// (§III-A): the ocean model had its counts hard-coded (Table I line 5) and
 /// the atmosphere counts form a special set (line 6).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AllowedNodes {
     /// Any integer in `[min, max]`.
     Range { min: i64, max: i64 },
@@ -68,9 +67,9 @@ impl AllowedNodes {
             AllowedNodes::Set(vals) => {
                 let idx = vals.partition_point(|&v| v < target);
                 let mut best = vals[0];
-                for k in idx.saturating_sub(1)..(idx + 1).min(vals.len()) {
-                    if (vals[k] - target).abs() < (best - target).abs() {
-                        best = vals[k];
+                for &v in &vals[idx.saturating_sub(1)..(idx + 1).min(vals.len())] {
+                    if (v - target).abs() < (best - target).abs() {
+                        best = v;
                     }
                 }
                 best
@@ -97,7 +96,7 @@ impl AllowedNodes {
 
 /// One application component (or FMO fragment group): its fitted performance
 /// model and admissible node counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentSpec {
     pub name: String,
     pub model: PerfModel,
@@ -109,7 +108,11 @@ impl ComponentSpec {
     pub fn new(name: impl Into<String>, model: PerfModel, min: i64, max: i64) -> Self {
         assert!(min >= 1, "components need at least one node");
         assert!(min <= max, "empty node range");
-        ComponentSpec { name: name.into(), model, allowed: AllowedNodes::Range { min, max } }
+        ComponentSpec {
+            name: name.into(),
+            model,
+            allowed: AllowedNodes::Range { min, max },
+        }
     }
 
     /// Creates a spec restricted to a set of allowed counts.
@@ -118,7 +121,11 @@ impl ComponentSpec {
         model: PerfModel,
         values: impl IntoIterator<Item = i64>,
     ) -> Self {
-        ComponentSpec { name: name.into(), model, allowed: AllowedNodes::set(values) }
+        ComponentSpec {
+            name: name.into(),
+            model,
+            allowed: AllowedNodes::set(values),
+        }
     }
 
     /// Predicted time on `n` nodes.

@@ -1,5 +1,10 @@
 //! End-to-end tests of the `hslb-cli` black box (§V of the paper).
+//!
+//! Golden round-trips (example-spec → solve → JSON with the documented key
+//! shapes) plus a battery of malformed inputs that must fail with a non-zero
+//! exit code and an `hslb-cli:` diagnostic on stderr — never a panic.
 
+use hslb_json::Json;
 use std::io::Write;
 use std::process::{Command, Stdio};
 
@@ -27,24 +32,59 @@ fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
     )
 }
 
+/// Runs a mode that must fail: asserts non-zero exit and returns stderr.
+fn run_expect_failure(args: &[&str], stdin: &str) -> String {
+    let (stdout, stderr, ok) = run(args, stdin);
+    assert!(!ok, "expected failure for {args:?}, got stdout: {stdout}");
+    assert!(
+        stderr.starts_with("hslb-cli:") || stderr.starts_with("usage:"),
+        "diagnostics must carry the tool prefix: {stderr:?}"
+    );
+    stderr
+}
+
+fn parse(out: &str) -> Json {
+    Json::parse(out).expect("CLI output is valid JSON")
+}
+
+fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("u64 field {key}"))
+}
+
 #[test]
 fn example_spec_round_trips_through_solve() {
     let (spec, _, ok) = run(&["example-spec"], "");
     assert!(ok, "example-spec must succeed");
     let (solved, stderr, ok) = run(&["solve"], &spec);
     assert!(ok, "solve failed: {stderr}");
-    let parsed: serde_json::Value = serde_json::from_str(&solved).expect("valid JSON");
-    let alloc = &parsed["allocation"];
+    let parsed = parse(&solved);
+    let alloc = parsed.get("allocation").expect("allocation key");
     // Layout-1 structure: ice + lnd <= atm, atm + ocn <= 128.
     let (ice, lnd, atm, ocn) = (
-        alloc["ice"].as_u64().expect("ice"),
-        alloc["lnd"].as_u64().expect("lnd"),
-        alloc["atm"].as_u64().expect("atm"),
-        alloc["ocn"].as_u64().expect("ocn"),
+        field_u64(alloc, "ice"),
+        field_u64(alloc, "lnd"),
+        field_u64(alloc, "atm"),
+        field_u64(alloc, "ocn"),
     );
-    assert!(ice + lnd <= atm, "{alloc}");
-    assert!(atm + ocn <= 128, "{alloc}");
-    assert!(parsed["objective"].as_f64().expect("objective") > 0.0);
+    assert!(ice + lnd <= atm, "{}", alloc.to_compact());
+    assert!(atm + ocn <= 128, "{}", alloc.to_compact());
+    assert!(
+        parsed
+            .get("objective")
+            .and_then(Json::as_f64)
+            .expect("objective")
+            > 0.0
+    );
+    // Solver statistics block keeps its documented shape.
+    let solver = parsed.get("solver").expect("solver key");
+    for key in ["bnb_nodes", "nlp_solves", "lp_solves", "oa_cuts"] {
+        assert!(
+            solver.get(key).and_then(Json::as_u64).is_some(),
+            "missing solver.{key}"
+        );
+    }
 }
 
 #[test]
@@ -52,9 +92,14 @@ fn fit_returns_model_json() {
     let input = r#"{"points": [[24, 63.8], [15, 101.0], [71, 22.7], [384, 5.8], [128, 13.5]]}"#;
     let (out, stderr, ok) = run(&["fit"], input);
     assert!(ok, "fit failed: {stderr}");
-    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
-    assert!(parsed["r_squared"].as_f64().expect("r2") > 0.999);
-    assert!(parsed["model"]["a"].as_f64().expect("a") > 1000.0);
+    let parsed = parse(&out);
+    assert!(parsed.get("r_squared").and_then(Json::as_f64).expect("r2") > 0.999);
+    let a = parsed
+        .get("model")
+        .and_then(|m| m.get("a"))
+        .and_then(Json::as_f64);
+    assert!(a.expect("model.a") > 1000.0);
+    assert_eq!(parsed.get("observations").and_then(Json::as_u64), Some(5));
 }
 
 #[test]
@@ -71,9 +116,15 @@ fn flat_solves_minmax_spec() {
     }"#;
     let (out, stderr, ok) = run(&["flat"], input);
     assert!(ok, "flat failed: {stderr}");
-    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
-    assert_eq!(parsed["nodes"][0].as_u64(), Some(9));
-    assert_eq!(parsed["nodes"][1].as_u64(), Some(3));
+    let parsed = parse(&out);
+    let nodes = parsed
+        .get("nodes")
+        .and_then(Json::as_array)
+        .expect("nodes array");
+    assert_eq!(nodes[0].as_u64(), Some(9));
+    assert_eq!(nodes[1].as_u64(), Some(3));
+    assert!(parsed.get("makespan").and_then(Json::as_f64).is_some());
+    assert!(parsed.get("imbalance").and_then(Json::as_f64).is_some());
 }
 
 #[test]
@@ -88,10 +139,94 @@ fn ampl_emits_model_text() {
 
 #[test]
 fn bad_input_fails_cleanly() {
-    let (_, stderr, ok) = run(&["solve"], "this is not json");
-    assert!(!ok);
+    let stderr = run_expect_failure(&["solve"], "this is not json");
     assert!(stderr.contains("bad solve input"), "{stderr}");
     let (_, stderr, ok) = run(&["no-such-mode"], "");
     assert!(!ok);
     assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn truncated_json_reports_position() {
+    let stderr = run_expect_failure(&["flat"], r#"{"components": ["#);
+    assert!(stderr.contains("bad flat spec"), "{stderr}");
+}
+
+#[test]
+fn empty_benchmark_data_is_rejected() {
+    let stderr = run_expect_failure(&["fit"], r#"{"points": []}"#);
+    assert!(stderr.contains("fit failed"), "{stderr}");
+}
+
+#[test]
+fn malformed_fit_pairs_are_rejected() {
+    // A bare number where a [n, t] pair belongs.
+    let stderr = run_expect_failure(&["fit"], r#"{"points": [[24, 63.8], 15]}"#);
+    assert!(stderr.contains("bad fit input"), "{stderr}");
+    assert!(stderr.contains("points[1]"), "{stderr}");
+    // A triple is not a pair either.
+    let stderr = run_expect_failure(&["fit"], r#"{"points": [[24, 63.8, 1.0]]}"#);
+    assert!(stderr.contains("points[0]"), "{stderr}");
+}
+
+#[test]
+fn negative_model_parameter_is_rejected_with_path() {
+    let input = r#"{
+        "components": [
+            {"name": "a", "model": {"a": -300.0, "b": 0.0, "c": 1.0, "d": 0.0},
+             "allowed": {"Range": {"min": 1, "max": 12}}}
+        ],
+        "total_nodes": 12,
+        "objective": "MinMax"
+    }"#;
+    let stderr = run_expect_failure(&["flat"], input);
+    assert!(stderr.contains("nonnegative"), "{stderr}");
+}
+
+#[test]
+fn infeasible_spec_reports_no_allocation() {
+    // Two components that each require at least 8 nodes on a 12-node machine.
+    let input = r#"{
+        "components": [
+            {"name": "a", "model": {"a": 300.0, "b": 0.0, "c": 1.0, "d": 0.0},
+             "allowed": {"Range": {"min": 8, "max": 12}}},
+            {"name": "b", "model": {"a": 100.0, "b": 0.0, "c": 1.0, "d": 0.0},
+             "allowed": {"Range": {"min": 8, "max": 12}}}
+        ],
+        "total_nodes": 12,
+        "objective": "MinMax"
+    }"#;
+    let stderr = run_expect_failure(&["flat"], input);
+    assert!(stderr.contains("no feasible allocation"), "{stderr}");
+}
+
+#[test]
+fn empty_allowed_set_is_rejected_before_solving() {
+    let input = r#"{
+        "components": [
+            {"name": "a", "model": {"a": 300.0, "b": 0.0, "c": 1.0, "d": 0.0},
+             "allowed": {"Set": []}}
+        ],
+        "total_nodes": 12,
+        "objective": "MinMax"
+    }"#;
+    let stderr = run_expect_failure(&["flat"], input);
+    assert!(stderr.contains("bad flat spec"), "{stderr}");
+    assert!(stderr.contains("Set"), "{stderr}");
+}
+
+#[test]
+fn unknown_layout_index_is_rejected() {
+    let (spec, _, ok) = run(&["example-spec"], "");
+    assert!(ok);
+    let mut doc = Json::parse(&spec).unwrap();
+    if let Json::Obj(pairs) = &mut doc {
+        for (k, v) in pairs.iter_mut() {
+            if k == "layout" {
+                *v = Json::from(7u64);
+            }
+        }
+    }
+    let stderr = run_expect_failure(&["solve"], &doc.to_compact());
+    assert!(stderr.contains("unknown layout 7"), "{stderr}");
 }

@@ -51,7 +51,10 @@ impl Fragment {
 /// (0 = all equal, 1 = up to ~20x the base size).
 pub fn generate_cluster(num_fragments: usize, heterogeneity: f64, seed: u64) -> Vec<Fragment> {
     assert!(num_fragments > 0, "need at least one fragment");
-    assert!((0.0..=1.0).contains(&heterogeneity), "heterogeneity must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&heterogeneity),
+        "heterogeneity must be in [0,1]"
+    );
     let mut state = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
     let mut next = move || {
         state ^= state << 13;
@@ -71,7 +74,10 @@ pub fn generate_cluster(num_fragments: usize, heterogeneity: f64, seed: u64) -> 
                 let factor = 1.0 + heterogeneity * 19.0 * tail * tail;
                 (3.0 * factor).round() as u32
             };
-            Fragment { id: id as u32, atoms: atoms.max(3) }
+            Fragment {
+                id: id as u32,
+                atoms: atoms.max(3),
+            }
         })
         .collect()
 }

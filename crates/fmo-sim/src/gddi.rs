@@ -64,7 +64,9 @@ pub fn dynamic_lpt_schedule(times_on_group: &[f64], num_groups: usize) -> f64 {
     assert!(num_groups > 0, "need at least one group");
     let mut order: Vec<usize> = (0..times_on_group.len()).collect();
     order.sort_by(|&a, &b| {
-        times_on_group[b].partial_cmp(&times_on_group[a]).expect("finite")
+        times_on_group[b]
+            .partial_cmp(&times_on_group[a])
+            .expect("finite")
     });
     let mut free_at = vec![0.0f64; num_groups];
     for &f in &order {

@@ -23,4 +23,4 @@ pub mod simulator;
 
 pub use fragment::{dimer_pairs, generate_cluster, generate_cluster_with_geometry, Fragment};
 pub use gddi::{dynamic_lpt_schedule, uniform_groups, GroupAssignment};
-pub use simulator::{FmoSimulator, FmoRunReport};
+pub use simulator::{FmoRunReport, FmoSimulator};

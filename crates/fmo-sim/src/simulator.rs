@@ -2,9 +2,7 @@
 
 use crate::fragment::Fragment;
 use crate::gddi::{dynamic_lpt_schedule, uniform_groups, GroupAssignment};
-use hslb::{
-    solve_minmax_waterfill, ComponentSpec, FlatAllocation, FlatSpec, Objective,
-};
+use hslb::{solve_minmax_waterfill, ComponentSpec, FlatAllocation, FlatSpec, Objective};
 use hslb_perfmodel::{fit, ScalingData};
 
 /// Deterministic multiplicative noise (log-normal-ish) keyed on the run.
@@ -17,8 +15,7 @@ fn noise(seed: u64, frag: u64, nodes: u64, draw: u64, sigma: f64) -> f64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
-    let u1 = ((mix(seed ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64
-        / (1u64 << 53) as f64)
+    let u1 = ((mix(seed ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64 / (1u64 << 53) as f64)
         .max(1e-12);
     let u2 = (mix(seed ^ 0xC0FF_EE00 ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64
         / (1u64 << 53) as f64;
@@ -85,7 +82,11 @@ impl FmoSimulator {
         total_nodes: u64,
         seed: u64,
     ) -> Self {
-        assert_eq!(fragments.len(), positions.len(), "one position per fragment");
+        assert_eq!(
+            fragments.len(),
+            positions.len(),
+            "one position per fragment"
+        );
         let mut sim = FmoSimulator::new(fragments, total_nodes, seed);
         sim.geometry = Some(positions);
         sim
@@ -95,7 +96,13 @@ impl FmoSimulator {
     pub fn benchmark(&mut self, fragment: usize, nodes: u64) -> f64 {
         self.run_counter += 1;
         let base = self.fragments[fragment].true_time(nodes);
-        base * noise(self.seed, fragment as u64, nodes, self.run_counter, self.sigma)
+        base * noise(
+            self.seed,
+            fragment as u64,
+            nodes,
+            self.run_counter,
+            self.sigma,
+        )
     }
 
     /// Noise-free expected fragment time (saturating at the fragment's
@@ -114,16 +121,18 @@ impl FmoSimulator {
             .fragments
             .iter()
             .zip(&alloc.nodes)
-            .map(|(f, &n)| {
-                f.true_time(n) * noise(self.seed, f.id as u64, n, run, self.sigma)
-            })
+            .map(|(f, &n)| f.true_time(n) * noise(self.seed, f.id as u64, n, run, self.sigma))
             .collect();
         let monomer = times.iter().fold(0.0f64, |m, &t| m.max(t));
         let min = times.iter().fold(f64::INFINITY, |m, &t| m.min(t));
         FmoRunReport {
             monomer_time: monomer,
             dimer_time: self.dimer_step(),
-            imbalance: if monomer > 0.0 { 1.0 - min / monomer } else { 0.0 },
+            imbalance: if monomer > 0.0 {
+                1.0 - min / monomer
+            } else {
+                0.0
+            },
         }
     }
 
@@ -144,7 +153,11 @@ impl FmoSimulator {
         FmoRunReport {
             monomer_time: monomer,
             dimer_time: self.dimer_step(),
-            imbalance: if monomer > 0.0 { 1.0 - min / monomer } else { 0.0 },
+            imbalance: if monomer > 0.0 {
+                1.0 - min / monomer
+            } else {
+                0.0
+            },
         }
     }
 
@@ -158,8 +171,7 @@ impl FmoSimulator {
             .fragments
             .iter()
             .map(|f| {
-                f.true_time(per_group)
-                    * noise(self.seed, f.id as u64, per_group, run, self.sigma)
+                f.true_time(per_group) * noise(self.seed, f.id as u64, per_group, run, self.sigma)
             })
             .collect();
         let monomer = dynamic_lpt_schedule(&times, num_groups);
@@ -185,12 +197,10 @@ impl FmoSimulator {
     fn dimer_step(&self) -> f64 {
         let pair_cost = |ai: u32, aj: u32| 2.0e-4 * ((ai + aj) as f64).powi(2);
         let total_work: f64 = match &self.geometry {
-            Some(positions) => {
-                crate::fragment::dimer_pairs(positions, self.dimer_cutoff)
-                    .into_iter()
-                    .map(|(i, j)| pair_cost(self.fragments[i].atoms, self.fragments[j].atoms))
-                    .sum()
-            }
+            Some(positions) => crate::fragment::dimer_pairs(positions, self.dimer_cutoff)
+                .into_iter()
+                .map(|(i, j)| pair_cost(self.fragments[i].atoms, self.fragments[j].atoms))
+                .sum(),
             None => self
                 .fragments
                 .iter()
@@ -237,7 +247,10 @@ impl FmoSimulator {
             .map(|f| ComponentSpec {
                 name: format!("frag{}", f.id),
                 model: class_model[&f.atoms],
-                allowed: hslb::AllowedNodes::Range { min: 1, max: f.max_useful_nodes() },
+                allowed: hslb::AllowedNodes::Range {
+                    min: 1,
+                    max: f.max_useful_nodes(),
+                },
             })
             .collect();
         FlatSpec {
@@ -252,7 +265,9 @@ impl FmoSimulator {
     pub fn run_hslb(&mut self, samples: usize) -> Option<(FlatAllocation, FmoRunReport)> {
         let spec = self.hslb_spec(samples);
         let alloc = solve_minmax_waterfill(&spec)?;
-        let ga = GroupAssignment { nodes: alloc.nodes.clone() };
+        let ga = GroupAssignment {
+            nodes: alloc.nodes.clone(),
+        };
         let report = self.execute_static(&ga);
         Some((alloc, report))
     }
@@ -303,8 +318,9 @@ impl FmoSimulator {
         // work-weighted mean exponent.
         let mut groups: Vec<ComponentSpec> = Vec::with_capacity(num_groups);
         for g in 0..num_groups {
-            let members: Vec<usize> =
-                (0..self.fragments.len()).filter(|&f| group_of[f] == g).collect();
+            let members: Vec<usize> = (0..self.fragments.len())
+                .filter(|&f| group_of[f] == g)
+                .collect();
             let (mut a, mut b, mut d, mut cw, mut w) = (0.0, 0.0, 0.0, 0.0, 0.0);
             let mut max_nodes = 1i64;
             for &f in &members {
@@ -320,7 +336,10 @@ impl FmoSimulator {
             groups.push(ComponentSpec {
                 name: format!("group{g}"),
                 model: hslb_perfmodel::PerfModel::new(a, b, c, d),
-                allowed: hslb::AllowedNodes::Range { min: 1, max: max_nodes },
+                allowed: hslb::AllowedNodes::Range {
+                    min: 1,
+                    max: max_nodes,
+                },
             });
         }
         let spec = FlatSpec {
@@ -344,7 +363,11 @@ impl FmoSimulator {
         let report = FmoRunReport {
             monomer_time: monomer,
             dimer_time: self.dimer_step(),
-            imbalance: if monomer > 0.0 { 1.0 - min / monomer } else { 0.0 },
+            imbalance: if monomer > 0.0 {
+                1.0 - min / monomer
+            } else {
+                0.0
+            },
         };
         Some((alloc.nodes, report))
     }

@@ -59,7 +59,9 @@ impl Cholesky {
         if let Ok(ch) = Cholesky::new(a) {
             return Ok((ch, 0.0));
         }
-        let max_diag = (0..a.rows()).map(|i| a[(i, i)].abs()).fold(f64::EPSILON, f64::max);
+        let max_diag = (0..a.rows())
+            .map(|i| a[(i, i)].abs())
+            .fold(f64::EPSILON, f64::max);
         let mut shift = initial_shift.max(1e-12 * max_diag);
         let limit = 1e8 * max_diag.max(1.0);
         while shift <= limit {
@@ -143,7 +145,10 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
     }
 
     #[test]

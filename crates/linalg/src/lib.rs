@@ -35,7 +35,10 @@ pub enum LinalgError {
     /// Cholesky failed: the matrix is not positive definite at the given row.
     NotPositiveDefinite { row: usize },
     /// Operand dimensions do not match the operation.
-    DimensionMismatch { expected: (usize, usize), got: (usize, usize) },
+    DimensionMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for LinalgError {

@@ -36,7 +36,12 @@ impl Lu {
         // Scale factors for scaled partial pivoting: more robust on rows of
         // wildly different magnitude (simplex cut rows can be like that).
         let scales: Vec<f64> = (0..n)
-            .map(|i| m.row(i).iter().fold(0.0_f64, |s, v| s.max(v.abs())).max(Lu::PIVOT_TOL))
+            .map(|i| {
+                m.row(i)
+                    .iter()
+                    .fold(0.0_f64, |s, v| s.max(v.abs()))
+                    .max(Lu::PIVOT_TOL)
+            })
             .collect();
         let mut scale_of_row: Vec<f64> = scales;
 
@@ -72,7 +77,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { packed: m, perm, perm_sign: sign })
+        Ok(Lu {
+            packed: m,
+            perm,
+            perm_sign: sign,
+        })
     }
 
     /// Solves `A x = b`.

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -55,7 +59,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -126,8 +134,8 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            y[i] = crate::vecops::dot(self.row(i), x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vecops::dot(self.row(i), x);
         }
         y
     }
@@ -136,8 +144,7 @@ impl Matrix {
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.rows);
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi != 0.0 {
                 for (yj, aij) in y.iter_mut().zip(self.row(i)) {
                     *yj += aij * xi;
@@ -288,7 +295,10 @@ mod tests {
     fn matmul_dimension_mismatch() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 2);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

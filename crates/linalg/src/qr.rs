@@ -21,7 +21,10 @@ impl Qr {
     pub fn new(a: &Matrix) -> Result<Self> {
         let (m, n) = (a.rows(), a.cols());
         if m < n {
-            return Err(LinalgError::DimensionMismatch { expected: (n, n), got: (m, n) });
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, n),
+                got: (m, n),
+            });
         }
         let mut r = a.clone();
         let mut taus = Vec::with_capacity(n);
@@ -81,13 +84,13 @@ impl Qr {
                 continue;
             }
             let mut s = b[k];
-            for i in (k + 1)..m {
-                s += self.packed[(i, k)] * b[i];
+            for (i, &bi) in b.iter().enumerate().skip(k + 1) {
+                s += self.packed[(i, k)] * bi;
             }
             s *= tau;
             b[k] -= s;
-            for i in (k + 1)..m {
-                b[i] -= s * self.packed[(i, k)];
+            for (i, bi) in b.iter_mut().enumerate().skip(k + 1) {
+                *bi -= s * self.packed[(i, k)];
             }
         }
     }
@@ -103,8 +106,8 @@ impl Qr {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = qtb[i];
-            for j in (i + 1)..n {
-                s -= self.packed[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.packed[(i, j)] * xj;
             }
             let rii = self.packed[(i, i)];
             if rii.abs() < 1e-13 {
@@ -118,7 +121,9 @@ impl Qr {
     /// Absolute values of the diagonal of `R` (singular-value proxies used
     /// for rank diagnostics in the fitting code).
     pub fn r_diag_abs(&self) -> Vec<f64> {
-        (0..self.packed.cols()).map(|i| self.packed[(i, i)].abs()).collect()
+        (0..self.packed.cols())
+            .map(|i| self.packed[(i, i)].abs())
+            .collect()
     }
 }
 

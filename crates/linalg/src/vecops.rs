@@ -40,7 +40,11 @@ pub fn scale(alpha: f64, x: &mut [f64]) {
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Elementwise clamp of `x` into `[lo, hi]` (per-component bounds).

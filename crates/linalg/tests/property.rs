@@ -1,84 +1,97 @@
 //! Property tests for the dense factorizations on random matrices.
 
 use hslb_linalg::{lu, Cholesky, Lu, Matrix, Qr};
-use proptest::prelude::*;
+use hslb_rng::Rng;
+
+const CASES: usize = 100;
 
 /// Random well-conditioned square matrix: D + R with dominant diagonal.
-fn square(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
-        let mut m = Matrix::from_vec(n, n, data).expect("sized correctly");
-        for i in 0..n {
-            let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
-            m[(i, i)] += row_sum + 1.0; // strict diagonal dominance
-        }
-        m
-    })
+fn square(rng: &mut Rng, n: usize) -> Matrix {
+    let data = rng.vec_f64(n * n, -1.0, 1.0);
+    let mut m = Matrix::from_vec(n, n, data).expect("sized correctly");
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+        m[(i, i)] += row_sum + 1.0; // strict diagonal dominance
+    }
+    m
 }
 
 /// Random SPD matrix: AᵀA + I.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
-        let a = Matrix::from_vec(n, n, data).expect("sized correctly");
-        let mut g = a.gram();
-        g.add_diagonal(1.0);
-        g
-    })
+fn spd(rng: &mut Rng, n: usize) -> Matrix {
+    let data = rng.vec_f64(n * n, -1.0, 1.0);
+    let a = Matrix::from_vec(n, n, data).expect("sized correctly");
+    let mut g = a.gram();
+    g.add_diagonal(1.0);
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
-
-    #[test]
-    fn lu_solve_inverts_matvec(
-        a in square(4),
-        x in proptest::collection::vec(-5.0..5.0f64, 4),
-    ) {
+#[test]
+fn lu_solve_inverts_matvec() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x11);
+    for case in 0..CASES {
+        let a = square(&mut rng, 4);
+        let x = rng.vec_f64(4, -5.0, 5.0);
         let b = a.matvec(&x);
         let solved = lu::solve(&a, &b).expect("diagonally dominant is nonsingular");
         for (s, t) in solved.iter().zip(&x) {
-            prop_assert!((s - t).abs() < 1e-8, "{solved:?} vs {x:?}");
+            assert!((s - t).abs() < 1e-8, "case {case}: {solved:?} vs {x:?}");
         }
     }
+}
 
-    #[test]
-    fn lu_determinant_sign_flips_with_row_swap(a in square(3)) {
+#[test]
+fn lu_determinant_sign_flips_with_row_swap() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x12);
+    for case in 0..CASES {
+        let a = square(&mut rng, 3);
         let d0 = Lu::new(&a).expect("nonsingular").det();
         let mut swapped = a.clone();
         swapped.swap_rows(0, 1);
         let d1 = Lu::new(&swapped).expect("nonsingular").det();
-        prop_assert!((d0 + d1).abs() < 1e-8 * d0.abs().max(1.0), "{d0} vs {d1}");
+        assert!(
+            (d0 + d1).abs() < 1e-8 * d0.abs().max(1.0),
+            "case {case}: {d0} vs {d1}"
+        );
     }
+}
 
-    #[test]
-    fn cholesky_solve_inverts_matvec(
-        a in spd(4),
-        x in proptest::collection::vec(-5.0..5.0f64, 4),
-    ) {
+#[test]
+fn cholesky_solve_inverts_matvec() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x13);
+    for case in 0..CASES {
+        let a = spd(&mut rng, 4);
+        let x = rng.vec_f64(4, -5.0, 5.0);
         let ch = Cholesky::new(&a).expect("SPD by construction");
         let b = a.matvec(&x);
         let solved = ch.solve(&b);
         for (s, t) in solved.iter().zip(&x) {
-            prop_assert!((s - t).abs() < 1e-7, "{solved:?} vs {x:?}");
+            assert!((s - t).abs() < 1e-7, "case {case}: {solved:?} vs {x:?}");
         }
     }
+}
 
-    #[test]
-    fn cholesky_factor_reconstructs(a in spd(3)) {
+#[test]
+fn cholesky_factor_reconstructs() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x14);
+    for case in 0..CASES {
+        let a = spd(&mut rng, 3);
         let ch = Cholesky::new(&a).expect("SPD");
         let l = ch.factor();
         let recon = l.matmul(&l.transpose()).expect("square");
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9);
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn qr_least_squares_residual_is_orthogonal(
-        data in proptest::collection::vec(-2.0..2.0f64, 6 * 3),
-        b in proptest::collection::vec(-5.0..5.0f64, 6),
-    ) {
+#[test]
+fn qr_least_squares_residual_is_orthogonal() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x15);
+    for case in 0..CASES {
+        let data = rng.vec_f64(6 * 3, -2.0, 2.0);
+        let b = rng.vec_f64(6, -5.0, 5.0);
         let mut a = Matrix::from_vec(6, 3, data).expect("sized correctly");
         // Full column rank nudge.
         for j in 0..3 {
@@ -90,40 +103,40 @@ proptest! {
         let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
         let atr = a.matvec_transposed(&r);
         for v in atr {
-            prop_assert!(v.abs() < 1e-7, "residual not orthogonal: {v}");
+            assert!(v.abs() < 1e-7, "case {case}: residual not orthogonal: {v}");
         }
     }
+}
 
-    #[test]
-    fn matmul_is_associative(
-        d1 in proptest::collection::vec(-2.0..2.0f64, 9),
-        d2 in proptest::collection::vec(-2.0..2.0f64, 9),
-        d3 in proptest::collection::vec(-2.0..2.0f64, 9),
-    ) {
-        let a = Matrix::from_vec(3, 3, d1).expect("sized");
-        let b = Matrix::from_vec(3, 3, d2).expect("sized");
-        let c = Matrix::from_vec(3, 3, d3).expect("sized");
+#[test]
+fn matmul_is_associative() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x16);
+    for case in 0..CASES {
+        let a = Matrix::from_vec(3, 3, rng.vec_f64(9, -2.0, 2.0)).expect("sized");
+        let b = Matrix::from_vec(3, 3, rng.vec_f64(9, -2.0, 2.0)).expect("sized");
+        let c = Matrix::from_vec(3, 3, rng.vec_f64(9, -2.0, 2.0)).expect("sized");
         let ab_c = a.matmul(&b).expect("3x3").matmul(&c).expect("3x3");
         let a_bc = a.matmul(&b.matmul(&c).expect("3x3")).expect("3x3");
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!((ab_c[(i, j)] - a_bc[(i, j)]).abs() < 1e-10);
+                assert!((ab_c[(i, j)] - a_bc[(i, j)]).abs() < 1e-10, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn transpose_matvec_duality(
-        data in proptest::collection::vec(-2.0..2.0f64, 12),
-        x in proptest::collection::vec(-3.0..3.0f64, 4),
-        y in proptest::collection::vec(-3.0..3.0f64, 3),
-    ) {
+#[test]
+fn transpose_matvec_duality() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x17);
+    for case in 0..CASES {
         // <Ax, y> == <x, Aᵀy>
-        let a = Matrix::from_vec(3, 4, data).expect("sized");
+        let a = Matrix::from_vec(3, 4, rng.vec_f64(12, -2.0, 2.0)).expect("sized");
+        let x = rng.vec_f64(4, -3.0, 3.0);
+        let y = rng.vec_f64(3, -3.0, 3.0);
         let ax = a.matvec(&x);
         let aty = a.matvec_transposed(&y);
         let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
         let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-10);
+        assert!((lhs - rhs).abs() < 1e-10, "case {case}");
     }
 }

@@ -75,7 +75,10 @@ impl LinearProgram {
     pub fn add_row(&mut self, coeffs: Vec<(VarId, f64)>, sense: RowSense, rhs: f64) -> usize {
         assert!(!rhs.is_nan(), "rhs must not be NaN");
         for (v, c) in &coeffs {
-            assert!(v.0 < self.costs.len(), "row references unknown variable {v:?}");
+            assert!(
+                v.0 < self.costs.len(),
+                "row references unknown variable {v:?}"
+            );
             assert!(c.is_finite(), "coefficients must be finite");
         }
         self.rows.push(Row { coeffs, sense, rhs });
@@ -158,8 +161,8 @@ impl LinearProgram {
         if x.len() != self.num_vars() {
             return false;
         }
-        for i in 0..self.num_vars() {
-            if x[i] < self.lowers[i] - tol || x[i] > self.uppers[i] + tol {
+        for ((&xi, &lo), &hi) in x.iter().zip(&self.lowers).zip(&self.uppers) {
+            if xi < lo - tol || xi > hi + tol {
                 return false;
             }
         }

@@ -93,8 +93,8 @@ impl Tableau {
         for (r, &bvar) in self.basis.iter().enumerate() {
             let c = costs[bvar];
             if c != 0.0 {
-                for k in 0..m {
-                    y[k] += c * self.binv[(r, k)];
+                for (k, yk) in y.iter_mut().enumerate() {
+                    *yk += c * self.binv[(r, k)];
                 }
             }
         }
@@ -116,8 +116,8 @@ impl Tableau {
         let mut w = vec![0.0; m];
         for &(row, a) in &self.cols[j] {
             if a != 0.0 {
-                for i in 0..m {
-                    w[i] += self.binv[(i, row)] * a;
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi += self.binv[(i, row)] * a;
                 }
             }
         }
@@ -165,14 +165,15 @@ impl Tableau {
                 }
             }
         }
-        let mut xb = vec![0.0; m];
-        for i in 0..m {
-            let mut s = 0.0;
-            for k in 0..m {
-                s += self.binv[(i, k)] * resid[k];
-            }
-            xb[i] = s;
-        }
+        let xb: Vec<f64> = (0..m)
+            .map(|i| {
+                resid
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &rk)| self.binv[(i, k)] * rk)
+                    .sum()
+            })
+            .collect();
         self.xb = xb;
     }
 }
@@ -234,9 +235,7 @@ pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
     }
 
     // Initial nonbasic placement for structurals.
-    let mut status: Vec<VarStatus> = (0..n)
-        .map(|j| initial_status(lo[j], hi[j]))
-        .collect();
+    let mut status: Vec<VarStatus> = (0..n).map(|j| initial_status(lo[j], hi[j])).collect();
 
     // Row residuals with structurals at their parked values.
     let mut resid = rhs.clone();
@@ -262,16 +261,19 @@ pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
     let mut xb = Vec::with_capacity(m);
     let mut artificials = Vec::new();
     let mut art_status = Vec::new();
-    for r in 0..m {
+    for (r, &s) in resid.iter().enumerate() {
         let sj = slack_base + r;
-        let s = resid[r];
         if s >= lo[sj] - opts.feas_tol && s <= hi[sj] + opts.feas_tol {
             status.push(VarStatus::Basic(r));
             basis.push(sj);
             xb.push(s);
         } else {
             let parked = if s < lo[sj] { lo[sj] } else { hi[sj] };
-            status.push(if parked == lo[sj] { VarStatus::AtLower } else { VarStatus::AtUpper });
+            status.push(if parked == lo[sj] {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            });
             let deficit = s - parked;
             // Artificial column sign(deficit)·e_r, basic at |deficit|.
             let aj = cols.len();
@@ -333,8 +335,7 @@ pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
                 };
             }
         }
-        let infeasibility: f64 =
-            artificials.iter().map(|&a| tab.value(a).max(0.0)).sum();
+        let infeasibility: f64 = artificials.iter().map(|&a| tab.value(a).max(0.0)).sum();
         if infeasibility > opts.feas_tol * 10.0 {
             return LpSolution::infeasible(iterations);
         }
@@ -359,7 +360,13 @@ pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
             let x: Vec<f64> = (0..n).map(|j| tab.value(j)).collect();
             let duals = tab.duals(&costs2);
             let objective = lp.objective_value(&x);
-            LpSolution { status: LpStatus::Optimal, x, objective, duals, iterations }
+            LpSolution {
+                status: LpStatus::Optimal,
+                x,
+                objective,
+                duals,
+                iterations,
+            }
         }
         PhaseEnd::Unbounded => LpSolution::unbounded(iterations),
         PhaseEnd::IterationLimit => LpSolution {
@@ -452,7 +459,11 @@ fn run_phase(
         // ---- Ratio test ----
         let w = tab.ftran(j);
         let own_range = tab.hi[j] - tab.lo[j]; // may be inf
-        let mut t_max = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut t_max = if own_range.is_finite() {
+            own_range
+        } else {
+            f64::INFINITY
+        };
         let mut leaving: Option<(usize, bool)> = None; // (row, hits_lower)
         let piv_tol = 1e-9;
         for i in 0..tab.m {
@@ -463,8 +474,7 @@ fn run_phase(
                 if lb.is_finite() {
                     let t = (tab.xb[i] - lb) / coeff;
                     if t < t_max - 1e-12
-                        || (t < t_max + 1e-12
-                            && better_pivot(&leaving, i, &w, tab, bland))
+                        || (t < t_max + 1e-12 && better_pivot(&leaving, i, &w, tab, bland))
                     {
                         t_max = t.max(0.0);
                         leaving = Some((i, true));
@@ -475,8 +485,7 @@ fn run_phase(
                 if ub.is_finite() {
                     let t = (ub - tab.xb[i]) / (-coeff);
                     if t < t_max - 1e-12
-                        || (t < t_max + 1e-12
-                            && better_pivot(&leaving, i, &w, tab, bland))
+                        || (t < t_max + 1e-12 && better_pivot(&leaving, i, &w, tab, bland))
                     {
                         t_max = t.max(0.0);
                         leaving = Some((i, false));
@@ -505,8 +514,8 @@ fn run_phase(
         match leaving {
             None => {
                 // Bound flip: the entering variable traverses its whole range.
-                for i in 0..tab.m {
-                    tab.xb[i] -= t * dir * w[i];
+                for (xbi, &wi) in tab.xb.iter_mut().zip(&w) {
+                    *xbi -= t * dir * wi;
                 }
                 tab.status[j] = match tab.status[j] {
                     VarStatus::AtLower => VarStatus::AtUpper,
@@ -518,12 +527,15 @@ fn run_phase(
             }
             Some((r, hits_lower)) => {
                 let entering_start = tab.nonbasic_value(j);
-                for i in 0..tab.m {
-                    tab.xb[i] -= t * dir * w[i];
+                for (xbi, &wi) in tab.xb.iter_mut().zip(&w) {
+                    *xbi -= t * dir * wi;
                 }
                 let lvar = tab.basis[r];
-                tab.status[lvar] =
-                    if hits_lower { VarStatus::AtLower } else { VarStatus::AtUpper };
+                tab.status[lvar] = if hits_lower {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::AtUpper
+                };
                 // Snap exactly onto the bound to stop drift.
                 tab.basis[r] = j;
                 tab.status[j] = VarStatus::Basic(r);
@@ -535,14 +547,11 @@ fn run_phase(
                 for k in 0..tab.m {
                     tab.binv[(r, k)] /= p;
                 }
-                for i in 0..tab.m {
-                    if i != r {
-                        let f = w[i];
-                        if f != 0.0 {
-                            for k in 0..tab.m {
-                                let br = tab.binv[(r, k)];
-                                tab.binv[(i, k)] -= f * br;
-                            }
+                for (i, &f) in w.iter().enumerate() {
+                    if i != r && f != 0.0 {
+                        for k in 0..tab.m {
+                            let br = tab.binv[(r, k)];
+                            tab.binv[(i, k)] -= f * br;
                         }
                     }
                 }

@@ -1,70 +1,69 @@
 //! Duality and complementary-slackness checks on the simplex solver.
 
 use hslb_lp::{solve, LinearProgram, LpStatus, RowSense};
-use proptest::prelude::*;
+use hslb_rng::Rng;
 
 /// Builds a random feasible-by-construction LP in the canonical form
 /// `min cᵀx, A x >= b, x >= 0` (every row passes through a known point).
-fn canonical_lp() -> impl Strategy<Value = LinearProgram> {
-    let dims = (2usize..4, 1usize..4);
-    dims.prop_flat_map(|(n, m)| {
-        let xstar = proptest::collection::vec(0.5..4.0f64, n);
-        let costs = proptest::collection::vec(0.1..3.0f64, n); // nonneg costs: bounded
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(0.0..2.0f64, n),
-            m,
+fn canonical_lp(rng: &mut Rng) -> LinearProgram {
+    let n = rng.usize_range(2, 3);
+    let m = rng.usize_range(1, 3);
+    let xstar = rng.vec_f64(n, 0.5, 4.0);
+    let mut lp = LinearProgram::new();
+    let vars: Vec<_> = (0..n)
+        .map(|_| lp.add_var(rng.f64_range(0.1, 3.0), 0.0, f64::INFINITY)) // nonneg costs: bounded
+        .collect();
+    for _ in 0..m {
+        let row = rng.vec_f64(n, 0.0, 2.0);
+        let act: f64 = row.iter().zip(&xstar).map(|(a, x)| a * x).sum();
+        lp.add_row(
+            vars.iter().zip(&row).map(|(&v, &a)| (v, a)).collect(),
+            RowSense::Ge,
+            act * 0.8, // strictly satisfied by x*
         );
-        (xstar, costs, rows).prop_map(|(xstar, costs, rows)| {
-            let mut lp = LinearProgram::new();
-            let vars: Vec<_> =
-                costs.iter().map(|&c| lp.add_var(c, 0.0, f64::INFINITY)).collect();
-            for row in &rows {
-                let act: f64 = row.iter().zip(&xstar).map(|(a, x)| a * x).sum();
-                lp.add_row(
-                    vars.iter().zip(row).map(|(&v, &a)| (v, a)).collect(),
-                    RowSense::Ge,
-                    act * 0.8, // strictly satisfied by x*
-                );
-            }
-            lp
-        })
-    })
+    }
+    lp
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    /// Strong duality: at the optimum, bᵀy == cᵀx (for >= rows with x >= 0,
-    /// the simplex multipliers are the dual variables).
-    #[test]
-    fn strong_duality_holds(lp in canonical_lp()) {
+/// Strong duality: at the optimum, bᵀy == cᵀx (for >= rows with x >= 0,
+/// the simplex multipliers are the dual variables).
+#[test]
+fn strong_duality_holds() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x3b);
+    for case in 0..150 {
+        let lp = canonical_lp(&mut rng);
         let sol = solve(&lp);
-        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.status, LpStatus::Optimal, "case {case}");
         let dual_obj: f64 = lp
             .rows()
             .iter()
             .zip(&sol.duals)
             .map(|(row, y)| row.rhs * y)
             .sum();
-        prop_assert!(
+        assert!(
             (dual_obj - sol.objective).abs() < 1e-6 * (1.0 + sol.objective.abs()),
-            "dual {dual_obj} vs primal {}", sol.objective
+            "case {case}: dual {dual_obj} vs primal {}",
+            sol.objective
         );
     }
+}
 
-    /// Complementary slackness: a row with positive slack carries a zero
-    /// multiplier (and vice versa for variables, via reduced costs >= 0).
-    #[test]
-    fn complementary_slackness_holds(lp in canonical_lp()) {
+/// Complementary slackness: a row with positive slack carries a zero
+/// multiplier (and vice versa for variables, via reduced costs >= 0).
+#[test]
+fn complementary_slackness_holds() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x4b);
+    for case in 0..150 {
+        let lp = canonical_lp(&mut rng);
         let sol = solve(&lp);
-        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.status, LpStatus::Optimal, "case {case}");
         for (r, row) in lp.rows().iter().enumerate() {
             let activity = lp.row_activity(r, &sol.x);
             let slack = activity - row.rhs; // >= 0 for Ge rows
             let y = sol.duals[r];
-            prop_assert!(
+            assert!(
                 slack.abs() < 1e-6 || y.abs() < 1e-6,
-                "row {r}: slack {slack} and dual {y} both nonzero"
+                "case {case} row {r}: slack {slack} and dual {y} both nonzero"
             );
         }
     }

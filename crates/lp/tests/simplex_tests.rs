@@ -146,8 +146,16 @@ fn degenerate_lp_terminates() {
     let x2 = lp.add_var(150.0, 0.0, f64::INFINITY);
     let x3 = lp.add_var(-0.02, 0.0, f64::INFINITY);
     let x4 = lp.add_var(6.0, 0.0, f64::INFINITY);
-    lp.add_row(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], RowSense::Le, 0.0);
-    lp.add_row(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], RowSense::Le, 0.0);
+    lp.add_row(
+        vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        RowSense::Le,
+        0.0,
+    );
+    lp.add_row(
+        vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        RowSense::Le,
+        0.0,
+    );
     lp.add_row(vec![(x3, 1.0)], RowSense::Le, 1.0);
     let sol = solve(&lp);
     assert_eq!(sol.status, LpStatus::Optimal);
@@ -234,72 +242,74 @@ fn duals_satisfy_strong_duality_on_inequality_lp() {
 
 mod property {
     use super::*;
-    use proptest::prelude::*;
+    use hslb_rng::Rng;
 
-    /// Random LPs built to be feasible by construction: pick a random box
+    /// Random LP built to be feasible by construction: pick a random box
     /// point x*, random rows, and set each rhs so x* satisfies the row.
     /// The solver must return Optimal with objective <= cᵀx* and a feasible
     /// primal point.
-    fn feasible_lp_strategy() -> impl Strategy<Value = (LinearProgram, Vec<f64>)> {
-        let dim = 1usize..5;
-        let rows = 0usize..5;
-        (dim, rows).prop_flat_map(|(n, m)| {
-            let xstar = proptest::collection::vec(-5.0..5.0f64, n);
-            let costs = proptest::collection::vec(-3.0..3.0f64, n);
-            let coeffs = proptest::collection::vec(
-                proptest::collection::vec(-2.0..2.0f64, n),
-                m,
-            );
-            let senses = proptest::collection::vec(0u8..2, m);
-            (xstar, costs, coeffs, senses).prop_map(move |(xstar, costs, coeffs, senses)| {
-                let mut lp = LinearProgram::new();
-                let vars: Vec<_> = (0..n)
-                    .map(|i| lp.add_var(costs[i], xstar[i] - 6.0, xstar[i] + 6.0))
-                    .collect();
-                for (row, sense) in coeffs.iter().zip(&senses) {
-                    let act: f64 = row.iter().zip(&xstar).map(|(a, x)| a * x).sum();
-                    let terms: Vec<_> =
-                        vars.iter().zip(row).map(|(&v, &a)| (v, a)).collect();
-                    match sense {
-                        0 => lp.add_row(terms, RowSense::Le, act + 1.0),
-                        _ => lp.add_row(terms, RowSense::Ge, act - 1.0),
-                    };
-                }
-                (lp, xstar)
-            })
-        })
+    fn feasible_lp(rng: &mut Rng) -> (LinearProgram, Vec<f64>) {
+        let n = rng.usize_range(1, 4);
+        let m = rng.usize_range(0, 4);
+        let xstar = rng.vec_f64(n, -5.0, 5.0);
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> = (0..n)
+            .map(|i| lp.add_var(rng.f64_range(-3.0, 3.0), xstar[i] - 6.0, xstar[i] + 6.0))
+            .collect();
+        for _ in 0..m {
+            let row = rng.vec_f64(n, -2.0, 2.0);
+            let act: f64 = row.iter().zip(&xstar).map(|(a, x)| a * x).sum();
+            let terms: Vec<_> = vars.iter().zip(&row).map(|(&v, &a)| (v, a)).collect();
+            if rng.bool(0.5) {
+                lp.add_row(terms, RowSense::Le, act + 1.0);
+            } else {
+                lp.add_row(terms, RowSense::Ge, act - 1.0);
+            }
+        }
+        (lp, xstar)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(200))]
-
-        #[test]
-        fn random_feasible_lps_solve_to_feasible_optima(
-            (lp, xstar) in feasible_lp_strategy()
-        ) {
+    #[test]
+    fn random_feasible_lps_solve_to_feasible_optima() {
+        let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x1b);
+        for case in 0..200 {
+            let (lp, xstar) = feasible_lp(&mut rng);
             let sol = solve(&lp);
-            prop_assert_eq!(sol.status, LpStatus::Optimal);
+            assert_eq!(sol.status, LpStatus::Optimal, "case {case}");
             // Solver's point must be feasible.
-            prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+            assert!(lp.is_feasible(&sol.x, 1e-6), "case {case}");
             // And at least as good as the known feasible point.
             let known = lp.objective_value(&xstar);
-            prop_assert!(sol.objective <= known + 1e-6,
-                "objective {} worse than known feasible {}", sol.objective, known);
+            assert!(
+                sol.objective <= known + 1e-6,
+                "case {case}: objective {} worse than known feasible {}",
+                sol.objective,
+                known
+            );
         }
+    }
 
-        #[test]
-        fn box_only_lps_hit_the_correct_corner(
-            costs in proptest::collection::vec(-4.0..4.0f64, 1..6)
-        ) {
+    #[test]
+    fn box_only_lps_hit_the_correct_corner() {
+        let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x2b);
+        for case in 0..100 {
+            let n = rng.usize_range(1, 5);
+            let costs = rng.vec_f64(n, -4.0, 4.0);
             let mut lp = LinearProgram::new();
             for &c in &costs {
                 lp.add_var(c, -1.0, 2.0);
             }
             let sol = solve(&lp);
-            prop_assert_eq!(sol.status, LpStatus::Optimal);
+            assert_eq!(sol.status, LpStatus::Optimal, "case {case}");
             for (x, &c) in sol.x.iter().zip(&costs) {
-                let expected = if c > 0.0 { -1.0 } else if c < 0.0 { 2.0 } else { *x };
-                prop_assert!((x - expected).abs() < 1e-9);
+                let expected = if c > 0.0 {
+                    -1.0
+                } else if c < 0.0 {
+                    2.0
+                } else {
+                    *x
+                };
+                assert!((x - expected).abs() < 1e-9, "case {case}");
             }
         }
     }

@@ -16,7 +16,7 @@
 //!   Jacobian, with a finite-difference default).
 //! * [`levenberg_marquardt`] — a projected Levenberg–Marquardt solver with
 //!   box constraints.
-//! * [`multistart()`](multistart()) — parallel multistart (rayon) over a set of starting
+//! * [`multistart()`](multistart()) — parallel multistart (scoped threads) over a set of starting
 //!   points, mirroring the papers' "we experimented with different starting
 //!   solutions" methodology.
 //! * [`stats`] — goodness-of-fit statistics (R², RMSE) used to judge fits the

@@ -57,7 +57,10 @@ impl std::fmt::Display for LsqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LsqError::DimensionMismatch { expected, got } => {
-                write!(f, "parameter dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "parameter dimension mismatch: expected {expected}, got {got}"
+                )
             }
             LsqError::NonFiniteModel => write!(f, "model produced non-finite values"),
         }
@@ -98,10 +101,16 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
     let n = problem.dim();
     let m = problem.len();
     if p0.len() != n {
-        return Err(LsqError::DimensionMismatch { expected: n, got: p0.len() });
+        return Err(LsqError::DimensionMismatch {
+            expected: n,
+            got: p0.len(),
+        });
     }
     if bounds.dim() != n {
-        return Err(LsqError::DimensionMismatch { expected: n, got: bounds.dim() });
+        return Err(LsqError::DimensionMismatch {
+            expected: n,
+            got: bounds.dim(),
+        });
     }
 
     let mut p = p0.to_vec();
@@ -139,9 +148,7 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
         // coupled Gauss-Newton step keeps overshooting through the bound and
         // convergence crawls.
         let active: Vec<bool> = (0..n)
-            .map(|i| {
-                (p[i] <= bounds.lo[i] && g[i] > 0.0) || (p[i] >= bounds.hi[i] && g[i] < 0.0)
-            })
+            .map(|i| (p[i] <= bounds.lo[i] && g[i] > 0.0) || (p[i] >= bounds.hi[i] && g[i] < 0.0))
             .collect();
         let mut jtj = jac.gram();
         let mut g = g;
@@ -156,8 +163,7 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
             }
         }
         let jtj = jtj;
-        let max_diag =
-            (0..n).map(|i| jtj[(i, i)]).fold(f64::EPSILON, f64::max);
+        let max_diag = (0..n).map(|i| jtj[(i, i)]).fold(f64::EPSILON, f64::max);
 
         // Inner damping loop: grow lambda until an acceptable step is found.
         let mut stepped = false;
@@ -221,7 +227,13 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
         }
     }
 
-    Ok(LmReport { params: p, cost, grad_norm, iters, outcome })
+    Ok(LmReport {
+        params: p,
+        cost,
+        grad_norm,
+        iters,
+        outcome,
+    })
 }
 
 /// Infinity norm of the projected gradient: components pushing out of an
@@ -259,13 +271,8 @@ mod tests {
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 2.0).collect();
         let fit = CurveFit::new(xs, ys, 2, |x, p| p[0] * x + p[1]);
-        let rep = levenberg_marquardt(
-            &fit,
-            &[0.0, 0.0],
-            &Bounds::free(2),
-            &LmOptions::default(),
-        )
-        .unwrap();
+        let rep = levenberg_marquardt(&fit, &[0.0, 0.0], &Bounds::free(2), &LmOptions::default())
+            .unwrap();
         assert!((rep.params[0] - 3.0).abs() < 1e-6, "{rep:?}");
         assert!((rep.params[1] - 2.0).abs() < 1e-6, "{rep:?}");
         assert!(rep.cost < 1e-12);
@@ -301,7 +308,10 @@ mod tests {
             &LmOptions::default(),
         )
         .unwrap();
-        assert!(rep.params[0].abs() < 1e-8, "slope should be pinned at 0: {rep:?}");
+        assert!(
+            rep.params[0].abs() < 1e-8,
+            "slope should be pinned at 0: {rep:?}"
+        );
         assert!(rep.params[0] >= 0.0 && rep.params[1] >= 0.0);
         // With slope 0 the best intercept is the mean (2.5).
         assert!((rep.params[1] - 2.5).abs() < 1e-6, "{rep:?}");
@@ -321,7 +331,10 @@ mod tests {
             &fit,
             &[100.0, 0.0, 0.8, 1.0],
             &Bounds::nonnegative(4),
-            &LmOptions { max_iters: 500, ..LmOptions::default() },
+            &LmOptions {
+                max_iters: 500,
+                ..LmOptions::default()
+            },
         )
         .unwrap();
         // The surface is flat in (a, c) jointly; require excellent fit rather
@@ -343,12 +356,7 @@ mod tests {
     fn non_finite_model_detected() {
         let fit = CurveFit::new(vec![1.0, 2.0], vec![1.0, 2.0], 1, |_x, p| (p[0]).ln());
         // ln(0) at the projected start = -inf.
-        let err = levenberg_marquardt(
-            &fit,
-            &[0.0],
-            &Bounds::nonnegative(1),
-            &LmOptions::default(),
-        );
+        let err = levenberg_marquardt(&fit, &[0.0], &Bounds::nonnegative(1), &LmOptions::default());
         assert!(matches!(err, Err(LsqError::NonFiniteModel)));
     }
 

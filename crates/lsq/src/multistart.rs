@@ -1,8 +1,42 @@
 //! Parallel multistart wrapper around Levenberg–Marquardt.
+//!
+//! Starts are partitioned over scoped `std` threads (at most one per
+//! available core); there is no RNG anywhere in this module — the caller
+//! supplies the starting points, so multistart is deterministic given its
+//! inputs and safe for seeded differential testing.
 
 use crate::lm::{levenberg_marquardt, LmOptions, LmReport, LsqError};
 use crate::problem::{Bounds, Residuals};
-use rayon::prelude::*;
+
+/// Applies `f` to every element, running chunks on scoped threads.
+///
+/// Results come back in input order. With one available core (or one input)
+/// this degrades to a plain sequential map.
+fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (slots, chunk_items) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
 
 /// Result of a multistart run.
 #[derive(Debug, Clone)]
@@ -29,11 +63,12 @@ pub fn multistart<P: Residuals + ?Sized>(
     bounds: &Bounds,
     opts: &LmOptions,
 ) -> Result<MultistartReport, LsqError> {
-    assert!(!starts.is_empty(), "multistart requires at least one starting point");
-    let runs: Vec<Result<LmReport, LsqError>> = starts
-        .par_iter()
-        .map(|p0| levenberg_marquardt(problem, p0, bounds, opts))
-        .collect();
+    assert!(
+        !starts.is_empty(),
+        "multistart requires at least one starting point"
+    );
+    let runs: Vec<Result<LmReport, LsqError>> =
+        par_map(starts, |p0| levenberg_marquardt(problem, p0, bounds, opts));
 
     let mut best: Option<(usize, LmReport)> = None;
     let mut costs = Vec::with_capacity(runs.len());
@@ -61,7 +96,12 @@ pub fn multistart<P: Residuals + ?Sized>(
         }
     }
     match best {
-        Some((best_start, best)) => Ok(MultistartReport { best, best_start, costs, failures }),
+        Some((best_start, best)) => Ok(MultistartReport {
+            best,
+            best_start,
+            costs,
+            failures,
+        }),
         None => Err(first_err.expect("at least one run must have executed")),
     }
 }
@@ -77,14 +117,26 @@ mod tests {
         // stuck; a sane start succeeds. Multistart must return the good one.
         let ns = [8.0, 16.0, 32.0, 64.0, 128.0];
         let ys: Vec<f64> = ns.iter().map(|&n| 1000.0 / n + 2.0).collect();
-        let fit =
-            CurveFit::new(ns.to_vec(), ys, 3, |n: f64, p: &[f64]| p[0] / n.powf(p[1]) + p[2]);
-        let starts = vec![vec![1.0, 12.0, 0.0], vec![500.0, 1.0, 0.0], vec![10.0, 0.5, 5.0]];
-        let rep = multistart(&fit, &starts, &Bounds::nonnegative(3), &LmOptions::default())
-            .unwrap();
+        let fit = CurveFit::new(ns.to_vec(), ys, 3, |n: f64, p: &[f64]| {
+            p[0] / n.powf(p[1]) + p[2]
+        });
+        let starts = vec![
+            vec![1.0, 12.0, 0.0],
+            vec![500.0, 1.0, 0.0],
+            vec![10.0, 0.5, 5.0],
+        ];
+        let rep = multistart(
+            &fit,
+            &starts,
+            &Bounds::nonnegative(3),
+            &LmOptions::default(),
+        )
+        .unwrap();
         assert!(rep.best.cost < 1e-6, "{rep:?}");
         assert_eq!(rep.costs.len(), 3);
-        assert!(rep.costs[rep.best_start] <= rep.costs.iter().cloned().fold(f64::MAX, f64::min) + 1e-12);
+        assert!(
+            rep.costs[rep.best_start] <= rep.costs.iter().cloned().fold(f64::MAX, f64::min) + 1e-12
+        );
     }
 
     #[test]
@@ -97,8 +149,13 @@ mod tests {
             }
         });
         let starts = vec![vec![0.0], vec![1.0]];
-        let rep =
-            multistart(&fit, &starts, &Bounds::nonnegative(1), &LmOptions::default()).unwrap();
+        let rep = multistart(
+            &fit,
+            &starts,
+            &Bounds::nonnegative(1),
+            &LmOptions::default(),
+        )
+        .unwrap();
         assert_eq!(rep.failures, 1);
         assert!(rep.best.cost < 1e-10);
         assert_eq!(rep.best_start, 1);
@@ -108,7 +165,12 @@ mod tests {
     fn all_failures_propagate_error() {
         let fit = CurveFit::new(vec![1.0], vec![1.0], 1, |_x, _p| f64::NAN);
         let starts = vec![vec![0.0], vec![1.0]];
-        let err = multistart(&fit, &starts, &Bounds::nonnegative(1), &LmOptions::default());
+        let err = multistart(
+            &fit,
+            &starts,
+            &Bounds::nonnegative(1),
+            &LmOptions::default(),
+        );
         assert!(err.is_err());
     }
 

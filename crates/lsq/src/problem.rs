@@ -15,12 +15,18 @@ pub struct Bounds {
 impl Bounds {
     /// Unbounded box of the given dimension.
     pub fn free(dim: usize) -> Self {
-        Bounds { lo: vec![f64::NEG_INFINITY; dim], hi: vec![f64::INFINITY; dim] }
+        Bounds {
+            lo: vec![f64::NEG_INFINITY; dim],
+            hi: vec![f64::INFINITY; dim],
+        }
     }
 
     /// `p >= 0` in every coordinate (the paper's constraint on a, b, c, d).
     pub fn nonnegative(dim: usize) -> Self {
-        Bounds { lo: vec![0.0; dim], hi: vec![f64::INFINITY; dim] }
+        Bounds {
+            lo: vec![0.0; dim],
+            hi: vec![f64::INFINITY; dim],
+        }
     }
 
     /// Explicit lower/upper vectors.
@@ -64,6 +70,11 @@ pub trait Residuals: Sync {
 
     /// Number of residuals (observations).
     fn len(&self) -> usize;
+
+    /// Whether the problem has no observations.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 
     /// Fills `out` (length [`Residuals::len`]) with residuals at `p`.
     fn residuals(&self, p: &[f64], out: &mut [f64]);
@@ -187,8 +198,9 @@ mod tests {
     #[test]
     fn numeric_jacobian_linear_model_is_exact() {
         // r_i = y_i - (p0 * x_i + p1): Jacobian columns are (-x_i, -1).
-        let fit =
-            CurveFit::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 0.0], 2, |x, p| p[0] * x + p[1]);
+        let fit = CurveFit::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 0.0], 2, |x, p| {
+            p[0] * x + p[1]
+        });
         let mut jac = Matrix::zeros(3, 2);
         fit.jacobian(&[1.0, 1.0], &mut jac);
         for i in 0..3 {

@@ -26,7 +26,11 @@ pub struct RobustOptions {
 
 impl Default for RobustOptions {
     fn default() -> Self {
-        RobustOptions { k: 1.345, rounds: 5, lm: LmOptions::default() }
+        RobustOptions {
+            k: 1.345,
+            rounds: 5,
+            lm: LmOptions::default(),
+        }
     }
 }
 
@@ -69,7 +73,7 @@ fn median(values: &[f64]) -> f64 {
     let mut v = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         0.5 * (v[mid - 1] + v[mid])
     } else {
         v[mid]
@@ -112,7 +116,10 @@ pub fn huber_fit<P: Residuals + ?Sized>(
         if sqrt_w.iter().all(|w| (*w - 1.0).abs() < 1e-12) {
             break; // no outliers left
         }
-        let weighted = Weighted { inner: problem, sqrt_w };
+        let weighted = Weighted {
+            inner: problem,
+            sqrt_w,
+        };
         report = levenberg_marquardt(&weighted, &report.params, bounds, &opts.lm)?;
     }
     // Report the unweighted cost at the robust parameters.
@@ -133,11 +140,15 @@ mod tests {
         let mut ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
         ys[4] += 40.0; // outlier
         let fit = CurveFit::new(xs, ys, 2, |x, p| p[0] * x + p[1]);
-        let ols =
-            levenberg_marquardt(&fit, &[0.0, 0.0], &Bounds::free(2), &LmOptions::default())
-                .unwrap();
-        let rob =
-            huber_fit(&fit, &[0.0, 0.0], &Bounds::free(2), &RobustOptions::default()).unwrap();
+        let ols = levenberg_marquardt(&fit, &[0.0, 0.0], &Bounds::free(2), &LmOptions::default())
+            .unwrap();
+        let rob = huber_fit(
+            &fit,
+            &[0.0, 0.0],
+            &Bounds::free(2),
+            &RobustOptions::default(),
+        )
+        .unwrap();
         let ols_err = (ols.params[0] - 2.0).abs() + (ols.params[1] - 1.0).abs();
         let rob_err = (rob.params[0] - 2.0).abs() + (rob.params[1] - 1.0).abs();
         assert!(
@@ -159,11 +170,15 @@ mod tests {
         ys[4] *= 1.15;
         let fit = CurveFit::new(ns, ys, 2, |n, p| p[0] / n + p[1]);
         let start = [1000.0, 1.0];
-        let ols =
-            levenberg_marquardt(&fit, &start, &Bounds::nonnegative(2), &LmOptions::default())
-                .unwrap();
-        let rob = huber_fit(&fit, &start, &Bounds::nonnegative(2), &RobustOptions::default())
+        let ols = levenberg_marquardt(&fit, &start, &Bounds::nonnegative(2), &LmOptions::default())
             .unwrap();
+        let rob = huber_fit(
+            &fit,
+            &start,
+            &Bounds::nonnegative(2),
+            &RobustOptions::default(),
+        )
+        .unwrap();
         let ols_err = (ols.params[0] - 7774.0).abs() / 7774.0;
         let rob_err = (rob.params[0] - 7774.0).abs() / 7774.0;
         assert!(rob_err < ols_err, "robust {rob_err} vs ols {ols_err}");
@@ -175,8 +190,7 @@ mod tests {
         let xs: Vec<f64> = (1..8).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect();
         let fit = CurveFit::new(xs, ys, 1, |x, p| p[0] * x);
-        let rob =
-            huber_fit(&fit, &[1.0], &Bounds::free(1), &RobustOptions::default()).unwrap();
+        let rob = huber_fit(&fit, &[1.0], &Bounds::free(1), &RobustOptions::default()).unwrap();
         assert!((rob.params[0] - 3.0).abs() < 1e-8);
         assert!(rob.cost < 1e-12);
     }

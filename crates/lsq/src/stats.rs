@@ -7,7 +7,11 @@
 /// Sum of squared errors between observations and predictions.
 pub fn sse(observed: &[f64], predicted: &[f64]) -> f64 {
     debug_assert_eq!(observed.len(), predicted.len());
-    observed.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum()
+    observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum()
 }
 
 /// Root mean squared error.

@@ -21,7 +21,9 @@ pub fn to_ampl(problem: &MinlpProblem, name: &str) -> String {
     let relax = problem.relaxation();
     let mut s = String::new();
     let _ = writeln!(s, "# AMPL model '{name}' exported by hslb-minlp");
-    let _ = writeln!(s, "# {} variables, {} inequality constraints, {} equalities",
+    let _ = writeln!(
+        s,
+        "# {} variables, {} inequality constraints, {} equalities",
         problem.num_vars(),
         relax.num_constraints(),
         relax.equalities().len()
@@ -83,23 +85,34 @@ pub fn to_ampl(problem: &MinlpProblem, name: &str) -> String {
             }
         }
         if c.constant != 0.0 {
-            lhs.push(format!("{}", fmt_num(c.constant)));
+            lhs.push(fmt_num(c.constant).to_string());
         }
         if lhs.is_empty() {
             lhs.push("0".into());
         }
-        let cname = if c.name.is_empty() { format!("c{ci}") } else { sanitize(&c.name) };
+        let cname = if c.name.is_empty() {
+            format!("c{ci}")
+        } else {
+            sanitize(&c.name)
+        };
         let _ = writeln!(s, "subject to {cname}: {} <= 0;", lhs.join(" + "));
     }
     for (ei, e) in relax.equalities().iter().enumerate() {
-        let lhs: Vec<String> =
-            e.coeffs.iter().map(|&(v, co)| linear_term(co, v)).collect();
-        let _ = writeln!(s, "subject to eq{ei}: {} = {};", lhs.join(" + "), fmt_num(e.rhs));
+        let lhs: Vec<String> = e.coeffs.iter().map(|&(v, co)| linear_term(co, v)).collect();
+        let _ = writeln!(
+            s,
+            "subject to eq{ei}: {} = {};",
+            lhs.join(" + "),
+            fmt_num(e.rhs)
+        );
     }
     // Set-membership linking rows.
     for (j, dom) in problem.domains().iter().enumerate() {
         if let VarDomain::AllowedValues(_) = dom {
-            let _ = writeln!(s, "subject to pick_x{j}: sum {{k in ALLOWED_x{j}}} z_x{j}[k] = 1;");
+            let _ = writeln!(
+                s,
+                "subject to pick_x{j}: sum {{k in ALLOWED_x{j}}} z_x{j}[k] = 1;"
+            );
             let _ = writeln!(
                 s,
                 "subject to link_x{j}: sum {{k in ALLOWED_x{j}}} k * z_x{j}[k] = x{j};"
@@ -194,15 +207,27 @@ mod tests {
             ampl.contains("subject to perf_ice: -1.0 * x2 + 150.0 / x0^1.0 + 0.5 * x0 + 3.0 <= 0;"),
             "{ampl}"
         );
-        assert!(ampl.contains("subject to cap: 1.0 * x0 + 1.0 * x1 + -64.0 <= 0;"), "{ampl}");
-        assert!(ampl.contains("subject to eq0: 1.0 * x0 + 2.0 * x1 = 20.0;"), "{ampl}");
+        assert!(
+            ampl.contains("subject to cap: 1.0 * x0 + 1.0 * x1 + -64.0 <= 0;"),
+            "{ampl}"
+        );
+        assert!(
+            ampl.contains("subject to eq0: 1.0 * x0 + 2.0 * x1 = 20.0;"),
+            "{ampl}"
+        );
     }
 
     #[test]
     fn renders_sos_linking_rows() {
         let ampl = to_ampl(&sample(), "test");
-        assert!(ampl.contains("sum {k in ALLOWED_x1} z_x1[k] = 1;"), "{ampl}");
-        assert!(ampl.contains("sum {k in ALLOWED_x1} k * z_x1[k] = x1;"), "{ampl}");
+        assert!(
+            ampl.contains("sum {k in ALLOWED_x1} z_x1[k] = 1;"),
+            "{ampl}"
+        );
+        assert!(
+            ampl.contains("sum {k in ALLOWED_x1} k * z_x1[k] = x1;"),
+            "{ampl}"
+        );
     }
 
     #[test]

@@ -56,21 +56,33 @@ pub(crate) struct RelaxOutcome {
 }
 
 pub(crate) fn solve_relaxation(
+    problem: &MinlpProblem,
     scratch: &mut NlpProblem,
     lo: &[f64],
     hi: &[f64],
     barrier: &BarrierOptions,
 ) -> Option<RelaxOutcome> {
-    install_bounds(scratch, lo, hi);
+    // Propagate the problem's linear rows over this node's box first. This
+    // is both a cheap prune and a correctness requirement: a box whose
+    // feasible set is a single point (an active capacity row pinning
+    // variables at their bounds) has no strict interior, and the log-barrier
+    // would misreport the node as infeasible. Propagation collapses such
+    // boxes to `lo == hi`, which the barrier eliminates exactly.
+    let mut lo = lo.to_vec();
+    let mut hi = hi.to_vec();
+    crate::presolve::propagate_box(problem, &mut lo, &mut hi, 4)?;
+    install_bounds(scratch, &lo, &hi);
     let sol = match hslb_nlp::solve_with(scratch, barrier) {
         Ok(s) => s,
         Err(_) => return None,
     };
     match sol.status {
         NlpStatus::Infeasible => None,
-        NlpStatus::Optimal => {
-            Some(RelaxOutcome { x: sol.x, objective: sol.objective, bound_valid: true })
-        }
+        NlpStatus::Optimal => Some(RelaxOutcome {
+            x: sol.x,
+            objective: sol.objective,
+            bound_valid: true,
+        }),
         NlpStatus::Unbounded => Some(RelaxOutcome {
             x: sol.x,
             objective: f64::NEG_INFINITY,
@@ -80,7 +92,11 @@ pub(crate) fn solve_relaxation(
             if sol.x.is_empty() {
                 None
             } else {
-                Some(RelaxOutcome { x: sol.x, objective: sol.objective, bound_valid: false })
+                Some(RelaxOutcome {
+                    x: sol.x,
+                    objective: sol.objective,
+                    bound_valid: false,
+                })
             }
         }
     }
@@ -89,6 +105,7 @@ pub(crate) fn solve_relaxation(
 /// Pins discrete coordinates of `x` to their nearest admissible values and
 /// re-solves the continuous variables ("polish"). Returns a fully feasible
 /// point and its objective, or `None`.
+#[allow(clippy::too_many_arguments)] // node state + options; a struct would just rename the list
 pub(crate) fn polish_candidate(
     problem: &MinlpProblem,
     scratch: &mut NlpProblem,
@@ -203,10 +220,15 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         }
 
         nlp_solves += 1;
-        let Some(relax) = solve_relaxation(&mut scratch, &node.lo, &node.hi, &barrier) else {
+        let Some(relax) = solve_relaxation(problem, &mut scratch, &node.lo, &node.hi, &barrier)
+        else {
             continue; // infeasible node
         };
-        let node_bound = if relax.bound_valid { relax.objective.max(node.bound) } else { node.bound };
+        let node_bound = if relax.bound_valid {
+            relax.objective.max(node.bound)
+        } else {
+            node.bound
+        };
         // Feed the pseudocost tracker with the bound movement this
         // branching produced.
         if let (Some((var, dist, is_up)), true) = (node.branch_info, relax.bound_valid) {
@@ -268,7 +290,11 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
             lo[j] = blo;
             hi[j] = bhi;
             // Distance the branching moves x_j into this child's box.
-            let dist = if is_up { (blo - relax.x[j]).max(0.0) } else { (relax.x[j] - bhi).max(0.0) };
+            let dist = if is_up {
+                (blo - relax.x[j]).max(0.0)
+            } else {
+                (relax.x[j] - bhi).max(0.0)
+            };
             push(
                 Node {
                     lo,
@@ -291,7 +317,11 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
     };
     match incumbent {
         Some(x) => MinlpSolution {
-            status: if hit_node_limit { MinlpStatus::NodeLimit } else { MinlpStatus::Optimal },
+            status: if hit_node_limit {
+                MinlpStatus::NodeLimit
+            } else {
+                MinlpStatus::Optimal
+            },
             objective: incumbent_obj,
             best_bound,
             x,
@@ -381,14 +411,23 @@ mod tests {
             let b = 11 - a;
             best = best.min((120.0 / a as f64).max(360.0 / b as f64));
         }
-        assert!((sol.objective - best).abs() < 1e-3, "{} vs {}", sol.objective, best);
+        assert!(
+            (sol.objective - best).abs() < 1e-3,
+            "{} vs {}",
+            sol.objective,
+            best
+        );
     }
 
     #[test]
     fn infeasible_detected() {
         let mut p = MinlpProblem::new();
         let n = p.add_int_var(0.0, 1, 5);
-        p.add_constraint(ConstraintFn::new("ge10").linear_term(n, -1.0).with_constant(10.0));
+        p.add_constraint(
+            ConstraintFn::new("ge10")
+                .linear_term(n, -1.0)
+                .with_constant(10.0),
+        );
         let sol = solve_nlp_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Infeasible);
     }
@@ -433,7 +472,10 @@ mod tests {
         let a = solve_nlp_bnb(&p, &MinlpOptions::default());
         let b = solve_nlp_bnb(
             &p,
-            &MinlpOptions { node_selection: NodeSelection::DepthFirst, ..Default::default() },
+            &MinlpOptions {
+                node_selection: NodeSelection::DepthFirst,
+                ..Default::default()
+            },
         );
         assert_eq!(a.status, MinlpStatus::Optimal);
         assert_eq!(b.status, MinlpStatus::Optimal);
@@ -461,12 +503,19 @@ mod tests {
         let base = solve_nlp_bnb(&p, &MinlpOptions::default());
         let pc = solve_nlp_bnb(
             &p,
-            &MinlpOptions { branch_rule: BranchRule::Pseudocost, ..Default::default() },
+            &MinlpOptions {
+                branch_rule: BranchRule::Pseudocost,
+                ..Default::default()
+            },
         );
         assert_eq!(base.status, MinlpStatus::Optimal);
         assert_eq!(pc.status, MinlpStatus::Optimal);
-        assert!((base.objective - pc.objective).abs() < 1e-4,
-            "{} vs {}", base.objective, pc.objective);
+        assert!(
+            (base.objective - pc.objective).abs() < 1e-4,
+            "{} vs {}",
+            base.objective,
+            pc.objective
+        );
     }
 
     #[test]
@@ -488,7 +537,13 @@ mod tests {
             c = c.linear_term(v, co);
         }
         p.add_constraint(c);
-        let sol = solve_nlp_bnb(&p, &MinlpOptions { max_nodes: 3, ..Default::default() });
+        let sol = solve_nlp_bnb(
+            &p,
+            &MinlpOptions {
+                max_nodes: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(sol.status, MinlpStatus::NodeLimit);
     }
 }

@@ -31,7 +31,10 @@ pub struct PseudocostTracker {
 impl PseudocostTracker {
     /// Tracker for `n` variables.
     pub fn new(n: usize) -> Self {
-        PseudocostTracker { down: vec![(0.0, 0); n], up: vec![(0.0, 0); n] }
+        PseudocostTracker {
+            down: vec![(0.0, 0); n],
+            up: vec![(0.0, 0); n],
+        }
     }
 
     /// Records the outcome of one branching: the child relaxation's bound
@@ -41,7 +44,11 @@ impl PseudocostTracker {
         if dist <= 1e-12 || !gain.is_finite() {
             return;
         }
-        let slot = if is_up { &mut self.up[var] } else { &mut self.down[var] };
+        let slot = if is_up {
+            &mut self.up[var]
+        } else {
+            &mut self.down[var]
+        };
         slot.0 += (gain / dist).max(0.0);
         slot.1 += 1;
     }
@@ -109,7 +116,7 @@ pub fn select_branch_var_with_stats(
         match rule {
             BranchRule::FirstFractional => return Some(j),
             BranchRule::MostFractional => {
-                if best.map_or(true, |(_, bv)| viol > bv) {
+                if best.is_none_or(|(_, bv)| viol > bv) {
                     best = Some((j, viol));
                 }
             }
@@ -121,7 +128,7 @@ pub fn select_branch_var_with_stats(
                 let score = stats
                     .and_then(|s| s.score(j, frac_down.max(1e-6), frac_up.max(1e-6)))
                     .unwrap_or(viol * 1e-12);
-                if best.map_or(true, |(_, bv)| score > bv) {
+                if best.is_none_or(|(_, bv)| score > bv) {
                     best = Some((j, score));
                 }
             }

@@ -21,7 +21,9 @@ use crate::model::{MinlpProblem, VarDomain};
 /// Returns the transformed problem plus, for each rewritten variable, the
 /// `(variable, binary block start, set size)` triple (useful for mapping
 /// solutions back).
-pub fn encode_sets_as_binaries(problem: &MinlpProblem) -> (MinlpProblem, Vec<(usize, usize, usize)>) {
+pub fn encode_sets_as_binaries(
+    problem: &MinlpProblem,
+) -> (MinlpProblem, Vec<(usize, usize, usize)>) {
     let relax = problem.relaxation();
     let mut out = MinlpProblem::new();
 
@@ -53,8 +55,11 @@ pub fn encode_sets_as_binaries(problem: &MinlpProblem) -> (MinlpProblem, Vec<(us
         // Σ z = 1 (Table I line 29).
         out.add_linear_eq(zs.iter().map(|&z| (z, 1.0)).collect(), 1.0);
         // Σ v_k z_k - x_j = 0 (Table I lines 30–31).
-        let mut link: Vec<(usize, f64)> =
-            zs.iter().zip(vals.iter()).map(|(&z, &v)| (z, v as f64)).collect();
+        let mut link: Vec<(usize, f64)> = zs
+            .iter()
+            .zip(vals.iter())
+            .map(|(&z, &v)| (z, v as f64))
+            .collect();
         link.push((j, -1.0));
         out.add_linear_eq(link, 0.0);
         blocks.push((j, start, vals.len()));

@@ -15,7 +15,7 @@
 //! * [`solve_oa_bnb`] — the paper's LP/NLP-based branch and bound: a single
 //!   tree over LP relaxations with lazy outer-approximation cuts added
 //!   whenever an integer point violates a nonlinear constraint.
-//! * [`solve_parallel_bnb`] — rayon work-stealing parallel variant of the
+//! * [`solve_parallel_bnb`] — fork-join parallel variant of the
 //!   NLP-based tree with a shared atomic incumbent.
 //! * Branching rules ([`BranchRule`]): most-fractional, first-fractional
 //!   (Bland-like), and **interval branching on allowed-value sets** — the

@@ -117,7 +117,9 @@ impl MinlpProblem {
 
     /// Indices of discrete (integer or allowed-set) variables.
     pub fn discrete_vars(&self) -> Vec<usize> {
-        (0..self.num_vars()).filter(|&j| self.domains[j].is_discrete()).collect()
+        (0..self.num_vars())
+            .filter(|&j| self.domains[j].is_discrete())
+            .collect()
     }
 
     /// Whether the problem is a *convex* MINLP (all constraints convex).
@@ -152,9 +154,7 @@ impl MinlpProblem {
             .enumerate()
             .map(|(j, &v)| match &self.domains[j] {
                 VarDomain::Continuous => v,
-                VarDomain::Integer => {
-                    v.round().clamp(self.nlp.lowers()[j], self.nlp.uppers()[j])
-                }
+                VarDomain::Integer => v.round().clamp(self.nlp.lowers()[j], self.nlp.uppers()[j]),
                 VarDomain::AllowedValues(vals) => nearest_in_set(vals, v).0 as f64,
             })
             .collect()
@@ -171,10 +171,10 @@ pub(crate) fn nearest_in_set(vals: &[i64], x: f64) -> (i64, f64) {
     debug_assert!(!vals.is_empty());
     let idx = vals.partition_point(|&v| (v as f64) < x);
     let mut best = (vals[0], (vals[0] as f64 - x).abs());
-    for k in idx.saturating_sub(1)..(idx + 1).min(vals.len()) {
-        let d = (vals[k] as f64 - x).abs();
+    for &v in &vals[idx.saturating_sub(1)..(idx + 1).min(vals.len())] {
+        let d = (v as f64 - x).abs();
         if d < best.1 {
-            best = (vals[k], d);
+            best = (v, d);
         }
     }
     best
@@ -248,7 +248,10 @@ mod tests {
         assert_eq!(set_members_in(&vals, 3.0, 9.0), &[4, 8]);
         assert_eq!(set_members_in(&vals, 2.0, 2.0), &[2]);
         assert_eq!(set_members_in(&vals, 9.0, 15.0), &[] as &[i64]);
-        assert_eq!(set_members_in(&vals, f64::NEG_INFINITY, f64::INFINITY), &vals);
+        assert_eq!(
+            set_members_in(&vals, f64::NEG_INFINITY, f64::INFINITY),
+            &vals
+        );
     }
 
     #[test]

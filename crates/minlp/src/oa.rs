@@ -56,8 +56,9 @@ fn sample_points(relax: &hslb_nlp::NlpProblem) -> Vec<Vec<f64>> {
     };
     let lo_pt: Vec<f64> = (0..n).map(clamp_lo).collect();
     let hi_pt: Vec<f64> = (0..n).map(clamp_hi).collect();
-    let mid_pt: Vec<f64> =
-        (0..n).map(|j| (clamp_lo(j) * clamp_hi(j)).sqrt().max(1e-6)).collect();
+    let mid_pt: Vec<f64> = (0..n)
+        .map(|j| (clamp_lo(j) * clamp_hi(j)).sqrt().max(1e-6))
+        .collect();
     vec![mid_pt, lo_pt, hi_pt]
 }
 
@@ -100,8 +101,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     let mut nonlinear_ids = Vec::new();
     for (ci, c) in relax.constraints().iter().enumerate() {
         if c.is_linear() {
-            let row: Vec<(VarId, f64)> =
-                c.linear.iter().map(|&(v, co)| (VarId(v), co)).collect();
+            let row: Vec<(VarId, f64)> = c.linear.iter().map(|&(v, co)| (VarId(v), co)).collect();
             master.add_row(row, RowSense::Le, -c.constant);
         } else {
             nonlinear_ids.push(ci);
@@ -116,8 +116,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     }
     // Linear equalities map to exact LP rows.
     for e in relax.equalities() {
-        let row: Vec<(VarId, f64)> =
-            e.coeffs.iter().map(|&(v, co)| (VarId(v), co)).collect();
+        let row: Vec<(VarId, f64)> = e.coeffs.iter().map(|&(v, co)| (VarId(v), co)).collect();
         master.add_row(row, RowSense::Eq, e.rhs);
     }
 
@@ -250,7 +249,10 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 }
             }
             if cut_rounds + 1 < MAX_CUT_ROUNDS_PER_NODE {
-                let requeued = Node { bound: node_bound, ..node };
+                let requeued = Node {
+                    bound: node_bound,
+                    ..node
+                };
                 push_node(requeued, cut_rounds + 1, &mut heap, &mut store, &mut stack);
             }
             continue;
@@ -279,7 +281,13 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
             lo[j] = blo;
             hi[j] = bhi;
             push_node(
-                Node { lo, hi, bound: node_bound, depth: node.depth + 1, branch_info: None },
+                Node {
+                    lo,
+                    hi,
+                    bound: node_bound,
+                    depth: node.depth + 1,
+                    branch_info: None,
+                },
                 0,
                 &mut heap,
                 &mut store,
@@ -288,7 +296,6 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
         }
     }
 
-
     let best_bound = if hit_node_limit {
         best_open_bound.min(incumbent_obj)
     } else {
@@ -296,7 +303,11 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     };
     match incumbent {
         Some(x) => MinlpSolution {
-            status: if hit_node_limit { MinlpStatus::NodeLimit } else { MinlpStatus::Optimal },
+            status: if hit_node_limit {
+                MinlpStatus::NodeLimit
+            } else {
+                MinlpStatus::Optimal
+            },
             objective: incumbent_obj,
             best_bound,
             x,
@@ -324,8 +335,7 @@ mod tests {
 
     fn allocation_problem(cap: i64, loads: &[f64]) -> MinlpProblem {
         let mut p = MinlpProblem::new();
-        let vars: Vec<usize> =
-            loads.iter().map(|_| p.add_int_var(0.0, 1, cap)).collect();
+        let vars: Vec<usize> = loads.iter().map(|_| p.add_int_var(0.0, 1, cap)).collect();
         let t = p.add_var(1.0, 0.0, 1e9);
         for (k, (&v, &a)) in vars.iter().zip(loads).enumerate() {
             p.add_constraint(
@@ -394,7 +404,9 @@ mod tests {
         let mut p = MinlpProblem::new();
         let nvar = p.add_int_var(0.0, 1, 5);
         p.add_constraint(
-            ConstraintFn::new("ge10").linear_term(nvar, -1.0).with_constant(10.0),
+            ConstraintFn::new("ge10")
+                .linear_term(nvar, -1.0)
+                .with_constant(10.0),
         );
         let sol = solve_oa_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Infeasible);
@@ -405,7 +417,10 @@ mod tests {
         let p = allocation_problem(11, &[120.0, 360.0]);
         let sol = solve_oa_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Optimal);
-        assert!(sol.cuts >= 2, "initial linearizations must be counted: {sol:?}");
+        assert!(
+            sol.cuts >= 2,
+            "initial linearizations must be counted: {sol:?}"
+        );
         assert!(sol.lp_solves >= 1);
         assert!(sol.nlp_solves >= 1);
     }

@@ -11,10 +11,7 @@ use hslb_nlp::{BarrierOptions, NlpStatus};
 ///
 /// Returns `None` when the number of assignments exceeds `max_combinations`
 /// (the caller asked for an oracle on a problem too large to enumerate).
-pub fn solve_exhaustive(
-    problem: &MinlpProblem,
-    max_combinations: usize,
-) -> Option<MinlpSolution> {
+pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Option<MinlpSolution> {
     let discrete = problem.discrete_vars();
     let lo = problem.relaxation().lowers();
     let hi = problem.relaxation().uppers();
@@ -68,7 +65,7 @@ pub fn solve_exhaustive(
         if let Ok(sol) = hslb_nlp::solve_with(&scratch, &barrier) {
             if sol.status == NlpStatus::Optimal
                 && problem.is_feasible(&sol.x, 1e-6)
-                && best.as_ref().map_or(true, |(_, b)| sol.objective < *b)
+                && best.as_ref().is_none_or(|(_, b)| sol.objective < *b)
             {
                 best = Some((sol.x, sol.objective));
             }
@@ -141,7 +138,11 @@ mod tests {
             let b = 8 - a;
             expected = expected.min((60.0 / a as f64).max(100.0 / b as f64));
         }
-        assert!((sol.objective - expected).abs() < 1e-4, "{} vs {expected}", sol.objective);
+        assert!(
+            (sol.objective - expected).abs() < 1e-4,
+            "{} vs {expected}",
+            sol.objective
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Parallel NLP-based branch and bound.
 //!
-//! A work-stealing depth-first tree: each branch spawns its two children
-//! through `rayon::join`, so idle workers steal subtrees. The incumbent is
-//! shared through a `parking_lot::Mutex` (updates are rare) mirrored into an
-//! `AtomicU64` of the objective bits so that the hot prune test is a relaxed
-//! load instead of a lock.
+//! A fork-join depth-first tree: each branch may run its two children
+//! concurrently through a budget-limited `join` built on `std::thread::scope`,
+//! so the number of live worker threads never exceeds the configured budget
+//! (no external thread-pool dependency). The incumbent is shared through a
+//! `std::sync::Mutex` (updates are rare) mirrored into an `AtomicU64` of the
+//! objective bits so that the hot prune test is a relaxed load instead of a
+//! lock.
 //!
 //! The optimum found is identical to the serial solver's (same pruning
 //! rule); node and NLP-solve counts vary run to run because incumbents
@@ -15,13 +17,64 @@ use crate::branching::{make_branch, select_branch_var};
 use crate::model::MinlpProblem;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus};
 use hslb_nlp::BarrierOptions;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A counting budget of *extra* worker threads.
+///
+/// `join(a, b)` runs `a` on a freshly scoped thread only while a slot is
+/// free; otherwise both closures run sequentially on the caller. This keeps
+/// the total thread count bounded by `budget + 1` no matter how deep the
+/// tree forks — the pre-port rayon version relied on a work-stealing pool
+/// for the same guarantee.
+struct SpawnBudget {
+    slots: AtomicIsize,
+}
+
+impl SpawnBudget {
+    fn new(extra_threads: usize) -> Self {
+        SpawnBudget {
+            slots: AtomicIsize::new(extra_threads as isize),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        let prev = self.slots.fetch_sub(1, Ordering::AcqRel);
+        if prev <= 0 {
+            self.slots.fetch_add(1, Ordering::AcqRel);
+            false
+        } else {
+            true
+        }
+    }
+
+    fn release(&self) {
+        self.slots.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn join<A, B>(&self, a: A, b: B)
+    where
+        A: FnOnce() + Send,
+        B: FnOnce() + Send,
+    {
+        if self.try_acquire() {
+            std::thread::scope(|s| {
+                s.spawn(a);
+                b();
+            });
+            self.release();
+        } else {
+            a();
+            b();
+        }
+    }
+}
 
 struct Shared<'p> {
     problem: &'p MinlpProblem,
     opts: &'p MinlpOptions,
     barrier: BarrierOptions,
+    budget: SpawnBudget,
     /// Bits of the incumbent objective (f64), for lock-free prune tests.
     incumbent_bits: AtomicU64,
     /// Full incumbent state; locked only on candidate improvement.
@@ -37,8 +90,8 @@ impl<'p> Shared<'p> {
     }
 
     fn offer(&self, obj: f64, x: Vec<f64>) {
-        let mut guard = self.incumbent.lock();
-        let better = guard.as_ref().map_or(true, |(best, _)| obj < *best);
+        let mut guard = self.incumbent.lock().expect("incumbent lock poisoned");
+        let better = guard.as_ref().is_none_or(|(best, _)| obj < *best);
         if better {
             *guard = Some((obj, x));
             self.incumbent_bits.store(obj.to_bits(), Ordering::Relaxed);
@@ -46,15 +99,26 @@ impl<'p> Shared<'p> {
     }
 }
 
-/// Sequential cutoff: subtrees below this depth stop spawning rayon tasks.
+/// Sequential cutoff: subtrees below this depth stop trying to fork.
 const SPAWN_DEPTH: usize = 12;
 
 /// Solves a convex MINLP with the parallel branch-and-bound tree.
+///
+/// `opts.threads` caps the worker count (`0` = one worker per available
+/// core).
 pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
+    let workers = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
     let shared = Shared {
         problem,
         opts,
         barrier: BarrierOptions::default(),
+        budget: SpawnBudget::new(workers.saturating_sub(1)),
         incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
         incumbent: Mutex::new(None),
         nodes: AtomicUsize::new(0),
@@ -64,24 +128,22 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
 
     let lo = problem.relaxation().lowers().to_vec();
     let hi = problem.relaxation().uppers().to_vec();
-
-    let run = || explore(&shared, lo, hi, 0);
-    if opts.threads > 0 {
-        match rayon::ThreadPoolBuilder::new().num_threads(opts.threads).build() {
-            Ok(pool) => pool.install(run),
-            Err(_) => run(),
-        }
-    } else {
-        run()
-    }
+    explore(&shared, lo, hi, 0);
 
     let nodes = shared.nodes.load(Ordering::Relaxed);
     let nlp_solves = shared.nlp_solves.load(Ordering::Relaxed);
     let limit = shared.node_limit_hit.load(Ordering::Relaxed);
-    let incumbent = shared.incumbent.into_inner();
+    let incumbent = shared
+        .incumbent
+        .into_inner()
+        .expect("incumbent lock poisoned");
     match incumbent {
         Some((obj, x)) => MinlpSolution {
-            status: if limit { MinlpStatus::NodeLimit } else { MinlpStatus::Optimal },
+            status: if limit {
+                MinlpStatus::NodeLimit
+            } else {
+                MinlpStatus::Optimal
+            },
             objective: obj,
             best_bound: if limit { f64::NEG_INFINITY } else { obj },
             x,
@@ -111,7 +173,8 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
     // cheaper than cross-task coordination).
     let mut scratch = shared.problem.relaxation().clone();
     shared.nlp_solves.fetch_add(1, Ordering::Relaxed);
-    let Some(relax) = solve_relaxation(&mut scratch, &lo, &hi, &shared.barrier) else {
+    let Some(relax) = solve_relaxation(shared.problem, &mut scratch, &lo, &hi, &shared.barrier)
+    else {
         return;
     };
     let cutoff = prune_cutoff(shared.incumbent_obj(), shared.opts);
@@ -119,7 +182,9 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
         return;
     }
 
-    let domain_ok = shared.problem.is_domain_feasible(&relax.x, shared.opts.int_tol);
+    let domain_ok = shared
+        .problem
+        .is_domain_feasible(&relax.x, shared.opts.int_tol);
     if depth == 0 || domain_ok {
         let mut local_nlp = 0usize;
         if let Some((cand, obj)) = polish_candidate(
@@ -170,7 +235,7 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
             let mut it = children.into_iter();
             let (l1, h1) = it.next().unwrap();
             let (l2, h2) = it.next().unwrap();
-            rayon::join(
+            shared.budget.join(
                 || explore(shared, l1, h1, depth + 1),
                 || explore(shared, l2, h2, depth + 1),
             );
@@ -229,7 +294,11 @@ mod tests {
     fn parallel_detects_infeasible() {
         let mut p = MinlpProblem::new();
         let n = p.add_int_var(0.0, 1, 5);
-        p.add_constraint(ConstraintFn::new("ge10").linear_term(n, -1.0).with_constant(10.0));
+        p.add_constraint(
+            ConstraintFn::new("ge10")
+                .linear_term(n, -1.0)
+                .with_constant(10.0),
+        );
         let sol = solve_parallel_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Infeasible);
     }
@@ -237,9 +306,16 @@ mod tests {
     #[test]
     fn parallel_respects_thread_option() {
         let p = allocation_problem(12, &[100.0, 250.0]);
-        let sol =
-            solve_parallel_bnb(&p, &MinlpOptions { threads: 2, ..Default::default() });
-        assert_eq!(sol.status, MinlpStatus::Optimal);
+        for threads in [1, 2, 4] {
+            let sol = solve_parallel_bnb(
+                &p,
+                &MinlpOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(sol.status, MinlpStatus::Optimal, "threads={threads}");
+        }
     }
 
     #[test]
@@ -255,5 +331,17 @@ mod tests {
         let sol = solve_parallel_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Optimal);
         assert!((sol.x[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spawn_budget_never_goes_negative() {
+        let budget = SpawnBudget::new(2);
+        assert!(budget.try_acquire());
+        assert!(budget.try_acquire());
+        assert!(!budget.try_acquire());
+        budget.release();
+        assert!(budget.try_acquire());
+        budget.release();
+        budget.release();
     }
 }

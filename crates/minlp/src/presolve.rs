@@ -31,25 +31,44 @@ pub enum PresolveOutcome {
 /// fixed point (bounded rounds). Integer and allowed-set domains are
 /// rounded inward; set hulls collapse onto their surviving members.
 pub fn presolve(problem: &mut MinlpProblem, max_rounds: usize) -> PresolveOutcome {
-    let mut total = 0usize;
-    for _ in 0..max_rounds {
-        match one_round(problem) {
-            Ok(0) => break,
-            Ok(k) => total += k,
-            Err(()) => return PresolveOutcome::Infeasible,
-        }
-    }
-    PresolveOutcome::Reduced { tightenings: total }
-}
-
-/// One propagation sweep; returns the number of tightenings or infeasible.
-fn one_round(problem: &mut MinlpProblem) -> Result<usize, ()> {
-    let n = problem.num_vars();
     let mut lo = problem.relaxation().lowers().to_vec();
     let mut hi = problem.relaxation().uppers().to_vec();
-    let mut changed = 0usize;
+    match propagate_box(problem, &mut lo, &mut hi, max_rounds) {
+        Some(tightenings) => {
+            for j in 0..problem.num_vars() {
+                problem.relaxation_mut().set_bounds(j, lo[j], hi[j]);
+            }
+            PresolveOutcome::Reduced { tightenings }
+        }
+        None => PresolveOutcome::Infeasible,
+    }
+}
 
-    // Collect the purely linear constraints once per sweep.
+/// Per-node variant of [`presolve`]: propagates the problem's linear rows
+/// over an explicit `(lo, hi)` box without touching the problem itself.
+///
+/// Branch-and-bound calls this on every node before the barrier relaxation:
+/// a node whose box plus an active linear row pins variables to a
+/// measure-zero feasible set (e.g. `n0 ∈ [5,6], n1 ∈ [1,6], n0+n1 <= 6`)
+/// has an *empty strict interior*, which the log-barrier would misreport as
+/// infeasible. Propagation collapses such boxes onto the pinned point
+/// (`lo == hi`), which the barrier eliminates and handles exactly.
+///
+/// Returns the number of tightenings applied, or `None` when some box
+/// empties — i.e. the node is provably infeasible.
+pub fn propagate_box(
+    problem: &MinlpProblem,
+    lo: &mut [f64],
+    hi: &mut [f64],
+    max_rounds: usize,
+) -> Option<usize> {
+    let n = problem.num_vars();
+    // Snap discrete domains inward before propagating.
+    for j in 0..n {
+        snap_domain(problem, j, lo, hi)?;
+    }
+
+    // Collect the purely linear rows once.
     let rows: Vec<(Vec<(usize, f64)>, f64)> = problem
         .relaxation()
         .constraints()
@@ -57,129 +76,135 @@ fn one_round(problem: &mut MinlpProblem) -> Result<usize, ()> {
         .filter(|c| c.is_linear())
         .map(|c| (c.linear.clone(), c.constant))
         .collect();
-
-    for (coeffs, constant) in &rows {
-        // Minimal activity of the whole row (may be -inf).
-        for (k, &(xk, ak)) in coeffs.iter().enumerate() {
-            if ak == 0.0 {
-                continue;
-            }
-            // Σ_{j≠k} min(a_j x_j) — bail out if unbounded below.
-            let mut rest_min = *constant;
-            let mut unbounded = false;
-            for (j, &(xj, aj)) in coeffs.iter().enumerate() {
-                if j == k || aj == 0.0 {
-                    continue;
-                }
-                let m = if aj > 0.0 { aj * lo[xj] } else { aj * hi[xj] };
-                if m == f64::NEG_INFINITY {
-                    unbounded = true;
-                    break;
-                }
-                rest_min += m;
-            }
-            if unbounded || rest_min == f64::NEG_INFINITY {
-                continue;
-            }
-            // a_k x_k <= -rest_min.
-            let rhs = -rest_min;
-            if ak > 0.0 {
-                let new_hi = rhs / ak;
-                if new_hi < hi[xk] - 1e-12 * (1.0 + new_hi.abs()) {
-                    hi[xk] = tighten_inward(problem, xk, new_hi, false);
-                    changed += 1;
-                }
-            } else {
-                let new_lo = rhs / ak;
-                if new_lo > lo[xk] + 1e-12 * (1.0 + new_lo.abs()) {
-                    lo[xk] = tighten_inward(problem, xk, new_lo, true);
-                    changed += 1;
-                }
-            }
-            if lo[xk] > hi[xk] + 1e-9 {
-                return Err(());
-            }
-        }
-    }
-
-    // Same propagation for linear equalities, both directions.
     let eqs: Vec<(Vec<(usize, f64)>, f64)> = problem
         .relaxation()
         .equalities()
         .iter()
         .map(|e| (e.coeffs.clone(), e.rhs))
         .collect();
-    for (coeffs, rhs) in &eqs {
-        for (k, &(xk, ak)) in coeffs.iter().enumerate() {
-            if ak == 0.0 {
-                continue;
-            }
-            let mut rest_min = 0.0;
-            let mut rest_max = 0.0;
-            let mut unbounded = false;
-            for (j, &(xj, aj)) in coeffs.iter().enumerate() {
-                if j == k || aj == 0.0 {
+
+    let mut total = 0usize;
+    for _ in 0..max_rounds {
+        let mut changed = 0usize;
+
+        for (coeffs, constant) in &rows {
+            // Minimal activity of the whole row (may be -inf).
+            for (k, &(xk, ak)) in coeffs.iter().enumerate() {
+                if ak == 0.0 {
                     continue;
                 }
-                let (mn, mx) = if aj > 0.0 {
-                    (aj * lo[xj], aj * hi[xj])
+                // Σ_{j≠k} min(a_j x_j) — bail out if unbounded below.
+                let mut rest_min = *constant;
+                let mut unbounded = false;
+                for (j, &(xj, aj)) in coeffs.iter().enumerate() {
+                    if j == k || aj == 0.0 {
+                        continue;
+                    }
+                    let m = if aj > 0.0 { aj * lo[xj] } else { aj * hi[xj] };
+                    if m == f64::NEG_INFINITY {
+                        unbounded = true;
+                        break;
+                    }
+                    rest_min += m;
+                }
+                if unbounded || rest_min == f64::NEG_INFINITY {
+                    continue;
+                }
+                // a_k x_k <= -rest_min.
+                let rhs = -rest_min;
+                if ak > 0.0 {
+                    let new_hi = rhs / ak;
+                    if new_hi < hi[xk] - 1e-12 * (1.0 + new_hi.abs()) {
+                        hi[xk] = tighten_inward(problem, xk, new_hi, false);
+                        changed += 1;
+                    }
                 } else {
-                    (aj * hi[xj], aj * lo[xj])
-                };
-                if !mn.is_finite() || !mx.is_finite() {
-                    unbounded = true;
-                    break;
+                    let new_lo = rhs / ak;
+                    if new_lo > lo[xk] + 1e-12 * (1.0 + new_lo.abs()) {
+                        lo[xk] = tighten_inward(problem, xk, new_lo, true);
+                        changed += 1;
+                    }
                 }
-                rest_min += mn;
-                rest_max += mx;
-            }
-            if unbounded {
-                continue;
-            }
-            // a_k x_k = rhs - rest ∈ [rhs - rest_max, rhs - rest_min].
-            let (mut new_lo, mut new_hi) =
-                ((rhs - rest_max) / ak, (rhs - rest_min) / ak);
-            if ak < 0.0 {
-                std::mem::swap(&mut new_lo, &mut new_hi);
-            }
-            if new_lo > lo[xk] + 1e-12 * (1.0 + new_lo.abs()) {
-                lo[xk] = tighten_inward(problem, xk, new_lo, true);
-                changed += 1;
-            }
-            if new_hi < hi[xk] - 1e-12 * (1.0 + new_hi.abs()) {
-                hi[xk] = tighten_inward(problem, xk, new_hi, false);
-                changed += 1;
-            }
-            if lo[xk] > hi[xk] + 1e-9 {
-                return Err(());
+                if lo[xk] > hi[xk] + 1e-9 {
+                    return None;
+                }
+                snap_domain(problem, xk, lo, hi)?;
             }
         }
-    }
 
-    // Write back, snapping discrete domains inward.
-    for j in 0..n {
-        let (mut l, mut h) = (lo[j], hi[j]);
-        match &problem.domains()[j] {
-            VarDomain::Continuous => {}
-            VarDomain::Integer => {
-                l = l.ceil();
-                h = h.floor();
-            }
-            VarDomain::AllowedValues(vals) => {
-                let members = crate::model::set_members_in(vals, l, h);
-                if members.is_empty() {
-                    return Err(());
+        // Same propagation for linear equalities, both directions.
+        for (coeffs, rhs) in &eqs {
+            for (k, &(xk, ak)) in coeffs.iter().enumerate() {
+                if ak == 0.0 {
+                    continue;
                 }
-                l = members[0] as f64;
-                h = *members.last().expect("non-empty") as f64;
+                let mut rest_min = 0.0;
+                let mut rest_max = 0.0;
+                let mut unbounded = false;
+                for (j, &(xj, aj)) in coeffs.iter().enumerate() {
+                    if j == k || aj == 0.0 {
+                        continue;
+                    }
+                    let (mn, mx) = if aj > 0.0 {
+                        (aj * lo[xj], aj * hi[xj])
+                    } else {
+                        (aj * hi[xj], aj * lo[xj])
+                    };
+                    if !mn.is_finite() || !mx.is_finite() {
+                        unbounded = true;
+                        break;
+                    }
+                    rest_min += mn;
+                    rest_max += mx;
+                }
+                if unbounded {
+                    continue;
+                }
+                // a_k x_k = rhs - rest ∈ [rhs - rest_max, rhs - rest_min].
+                let (mut new_lo, mut new_hi) = ((rhs - rest_max) / ak, (rhs - rest_min) / ak);
+                if ak < 0.0 {
+                    std::mem::swap(&mut new_lo, &mut new_hi);
+                }
+                if new_lo > lo[xk] + 1e-12 * (1.0 + new_lo.abs()) {
+                    lo[xk] = tighten_inward(problem, xk, new_lo, true);
+                    changed += 1;
+                }
+                if new_hi < hi[xk] - 1e-12 * (1.0 + new_hi.abs()) {
+                    hi[xk] = tighten_inward(problem, xk, new_hi, false);
+                    changed += 1;
+                }
+                if lo[xk] > hi[xk] + 1e-9 {
+                    return None;
+                }
+                snap_domain(problem, xk, lo, hi)?;
             }
         }
-        if l > h {
-            return Err(());
+
+        total += changed;
+        if changed == 0 {
+            break;
         }
-        problem.relaxation_mut().set_bounds(j, l, h);
     }
-    Ok(changed)
+    Some(total)
+}
+
+/// Rounds one variable's box inward onto its discrete domain; `None` when
+/// the box empties.
+fn snap_domain(problem: &MinlpProblem, j: usize, lo: &mut [f64], hi: &mut [f64]) -> Option<()> {
+    match &problem.domains()[j] {
+        VarDomain::Continuous => {}
+        VarDomain::Integer => {
+            lo[j] = lo[j].ceil();
+            hi[j] = hi[j].floor();
+        }
+        VarDomain::AllowedValues(vals) => {
+            let members = crate::model::set_members_in(vals, lo[j], hi[j]);
+            let (first, last) = (members.first()?, members.last()?);
+            lo[j] = *first as f64;
+            hi[j] = *last as f64;
+        }
+    }
+    (lo[j] <= hi[j]).then_some(())
 }
 
 /// Rounds a fresh bound inward for discrete domains before storing.
@@ -272,10 +297,16 @@ mod tests {
         let y = p.add_int_var(0.0, 0, 100);
         let z = p.add_int_var(0.0, 0, 10);
         p.add_constraint(
-            ConstraintFn::new("xy").linear_term(x, 1.0).linear_term(y, -1.0).with_constant(1.0),
+            ConstraintFn::new("xy")
+                .linear_term(x, 1.0)
+                .linear_term(y, -1.0)
+                .with_constant(1.0),
         );
         p.add_constraint(
-            ConstraintFn::new("yz").linear_term(y, 1.0).linear_term(z, -1.0).with_constant(1.0),
+            ConstraintFn::new("yz")
+                .linear_term(y, 1.0)
+                .linear_term(z, -1.0)
+                .with_constant(1.0),
         );
         presolve(&mut p, 10);
         assert_eq!(p.relaxation().uppers()[y], 9.0);
@@ -294,7 +325,10 @@ mod tests {
                 .nonlinear_term(n, ScalarFn::perf_model(100.0, 0.0, 1.0))
                 .linear_term(t, -1.0),
         );
-        let before = (p.relaxation().lowers().to_vec(), p.relaxation().uppers().to_vec());
+        let before = (
+            p.relaxation().lowers().to_vec(),
+            p.relaxation().uppers().to_vec(),
+        );
         presolve(&mut p, 5);
         assert_eq!(before.0, p.relaxation().lowers());
         assert_eq!(before.1, p.relaxation().uppers());

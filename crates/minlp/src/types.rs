@@ -30,7 +30,7 @@ pub struct MinlpOptions {
     pub branch_rule: BranchRule,
     /// Node selection.
     pub node_selection: NodeSelection,
-    /// Threads for the parallel solver (0 = rayon default).
+    /// Threads for the parallel solver (0 = one per available core).
     pub threads: usize,
 }
 
@@ -137,7 +137,10 @@ mod tests {
         s.status = MinlpStatus::NodeLimit;
         s.best_bound = 10.0;
         let text = format!("{s}");
-        assert!(text.contains("node limit") && text.contains("3 nodes"), "{text}");
+        assert!(
+            text.contains("node limit") && text.contains("3 nodes"),
+            "{text}"
+        );
     }
 
     #[test]

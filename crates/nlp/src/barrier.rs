@@ -16,7 +16,7 @@
 //! strict barrier interior would otherwise reject.
 
 use crate::problem::NlpProblem;
-use hslb_linalg::{Cholesky, Lu, Matrix};
+use hslb_linalg::{Cholesky, Lu, Matrix, Qr};
 
 /// Barrier solver options.
 #[derive(Debug, Clone)]
@@ -44,7 +44,13 @@ impl Default for BarrierOptions {
             mu_shrink: 0.2,
             gap_tol: 1e-9,
             newton_tol: 1e-10,
-            max_newton: 60,
+            // Generous inner budget: epigraph formulations start far from
+            // the central path (t at the midpoint of a huge box), and the
+            // first barrier rounds need well over 60 Newton steps to walk
+            // it in. Stalling there is *more* expensive than converging —
+            // the solve limps through every later round — and can terminate
+            // at a badly suboptimal point that still reports Optimal.
+            max_newton: 200,
             max_outer: 60,
             interior_margin: 1e-8,
         }
@@ -89,8 +95,9 @@ pub struct NlpSolution {
     pub x: Vec<f64>,
     /// Objective `cᵀx` at `x`.
     pub objective: f64,
-    /// Barrier multiplier estimates `λ_i = μ / (-g_i(x))`, one per
-    /// inequality constraint.
+    /// Inequality multipliers, one per constraint: barrier estimates
+    /// `μ / (-g_i(x))` refined by a least-squares stationarity fit (see
+    /// `refine_multipliers`), so active constraints carry KKT-accurate duals.
     pub multipliers: Vec<f64>,
     /// Total Newton iterations.
     pub newton_iters: usize,
@@ -148,7 +155,10 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
         } else {
             let g = c.eval(&x_pinned);
             let scale = 1.0
-                + c.linear.iter().map(|&(v, co)| (co * x_pinned[v]).abs()).sum::<f64>()
+                + c.linear
+                    .iter()
+                    .map(|&(v, co)| (co * x_pinned[v]).abs())
+                    .sum::<f64>()
                 + c.constant.abs();
             if g > 1e-7 * scale {
                 return Ok(NlpSolution::failed(NlpStatus::Infeasible, 0));
@@ -161,7 +171,10 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
             reduced.add_linear_eq(e.coeffs.clone(), e.rhs);
         } else {
             let scale = 1.0
-                + e.coeffs.iter().map(|&(v, co)| (co * x_pinned[v]).abs()).sum::<f64>()
+                + e.coeffs
+                    .iter()
+                    .map(|&(v, co)| (co * x_pinned[v]).abs())
+                    .sum::<f64>()
                 + e.rhs.abs();
             if e.residual(&x_pinned).abs() > 1e-7 * scale {
                 return Ok(NlpSolution::failed(NlpStatus::Infeasible, 0));
@@ -187,8 +200,7 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
 
     let mut out = barrier_loop(&reduced, x0, opts, &mut newton_total, None);
     // Re-inflate multipliers to the original constraint indexing.
-    if out.multipliers.len() == active_map.len() && p.num_constraints() != out.multipliers.len()
-    {
+    if out.multipliers.len() == active_map.len() && p.num_constraints() != out.multipliers.len() {
         let mut full = vec![0.0; p.num_constraints()];
         for (k, &ci) in active_map.iter().enumerate() {
             full[ci] = out.multipliers[k];
@@ -221,7 +233,9 @@ fn default_start(p: &NlpProblem) -> Vec<f64> {
 
 /// Free-variable indices.
 fn free_vars(p: &NlpProblem) -> Vec<usize> {
-    (0..p.num_vars()).filter(|&j| p.lowers()[j] < p.uppers()[j]).collect()
+    (0..p.num_vars())
+        .filter(|&j| p.lowers()[j] < p.uppers()[j])
+        .collect()
 }
 
 /// Finds a point on the equality manifold strictly inside the bound box by
@@ -280,7 +294,11 @@ fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
         // Pull strictly inside the box (fractional margin).
         for &j in &free {
             let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
-            let width = if lo.is_finite() && hi.is_finite() { hi - lo } else { 1.0 };
+            let width = if lo.is_finite() && hi.is_finite() {
+                hi - lo
+            } else {
+                1.0
+            };
             let margin = 1e-4 * width.max(1e-6);
             if lo.is_finite() && x[j] < lo + margin {
                 x[j] = lo + margin;
@@ -301,16 +319,15 @@ fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
 }
 
 fn strictly_feasible(p: &NlpProblem, x: &[f64], margin: f64) -> bool {
-    for j in 0..p.num_vars() {
-        let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
+    for ((&xj, &lo), &hi) in x.iter().zip(p.lowers()).zip(p.uppers()) {
         if lo == hi {
-            if x[j] != lo {
+            if xj != lo {
                 return false;
             }
             continue;
         }
-        if (lo.is_finite() && x[j] <= lo + margin * (1.0 + lo.abs()))
-            || (hi.is_finite() && x[j] >= hi - margin * (1.0 + hi.abs()))
+        if (lo.is_finite() && xj <= lo + margin * (1.0 + lo.abs()))
+            || (hi.is_finite() && xj >= hi - margin * (1.0 + hi.abs()))
         {
             return false;
         }
@@ -353,7 +370,14 @@ fn phase_one(
         .max(0.0);
     z0.push(viol + 1.0);
 
-    let target = -2.0 * opts.interior_margin;
+    // Exit only once the point is *meaningfully* interior, scaled by the
+    // initial violation. Exiting at the first sign change (a hair past the
+    // boundary, slacks ~1e-8) hands the main barrier a start whose Hessian
+    // is ~1/slack² conditioned; Newton steps then go numerically dead and
+    // the solve stalls at the phase-1 point while reporting Optimal. When
+    // the feasible region is too thin to reach this depth, phase 1 simply
+    // runs to its own optimum, which is the deepest interior point anyway.
+    let target = -(2.0 * opts.interior_margin).max(1e-3 * (1.0 + viol));
     let sol = barrier_loop(&aug, z0, opts, newton_total, Some((s, target)));
     match sol.status {
         NlpStatus::Optimal | NlpStatus::IterationLimit => {
@@ -393,18 +417,25 @@ fn barrier_loop(
     newton_total: &mut usize,
     early_exit: Option<(usize, f64)>,
 ) -> NlpSolution {
-    let n = p.num_vars();
     let free = free_vars(p);
-    for j in 0..n {
-        if p.lowers()[j] == p.uppers()[j] {
-            x[j] = p.lowers()[j];
+    for ((xj, &lo), &hi) in x.iter_mut().zip(p.lowers()).zip(p.uppers()) {
+        if lo == hi {
+            *xj = lo;
         }
     }
     if free.is_empty() {
         let feasible = p.max_violation(&x) <= 1e-7;
         return NlpSolution {
-            status: if feasible { NlpStatus::Optimal } else { NlpStatus::Infeasible },
-            objective: if feasible { p.objective_value(&x) } else { f64::INFINITY },
+            status: if feasible {
+                NlpStatus::Optimal
+            } else {
+                NlpStatus::Infeasible
+            },
+            objective: if feasible {
+                p.objective_value(&x)
+            } else {
+                f64::INFINITY
+            },
             multipliers: vec![0.0; p.num_constraints()],
             x,
             newton_iters: *newton_total,
@@ -428,9 +459,7 @@ fn barrier_loop(
     let barrier_count = (p.num_constraints()
         + free
             .iter()
-            .map(|&j| {
-                p.lowers()[j].is_finite() as usize + p.uppers()[j].is_finite() as usize
-            })
+            .map(|&j| p.lowers()[j].is_finite() as usize + p.uppers()[j].is_finite() as usize)
             .sum::<usize>())
     .max(1);
 
@@ -557,7 +586,7 @@ fn barrier_loop(
 }
 
 fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolution {
-    let multipliers = p
+    let raw: Vec<f64> = p
         .constraints()
         .iter()
         .map(|c| {
@@ -569,6 +598,7 @@ fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolut
             }
         })
         .collect();
+    let multipliers = refine_multipliers(p, &x, &raw);
     NlpSolution {
         status: NlpStatus::Optimal,
         objective: p.objective_value(&x),
@@ -576,6 +606,79 @@ fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolut
         x,
         newton_iters,
     }
+}
+
+/// Replaces the barrier dual estimates `μ/(-g_i)` with a stationarity fit.
+///
+/// The raw estimates degrade whenever the last barrier rounds stall: at tiny
+/// `μ` the per-step decrease of φ falls below f64 noise, the line search
+/// rejects every step, and `μ` keeps shrinking while the slacks stay at an
+/// older `μ`'s scale — deflating every active multiplier by the same factor
+/// even though the primal point is optimal to tolerance. Since `x` is good,
+/// recover duals from the KKT stationarity condition instead: least-squares
+/// solve `c + Σ λ_i ∇g_i + Aᵀν ≈ 0` over the apparently-active inequalities
+/// (and all equalities), restricted to coordinates away from their box
+/// bounds (bound multipliers are not modeled). Falls back to the raw
+/// estimates when the system is degenerate or produces negative duals.
+fn refine_multipliers(p: &NlpProblem, x: &[f64], raw: &[f64]) -> Vec<f64> {
+    let max_raw = raw.iter().fold(0.0_f64, |m, &l| m.max(l));
+    if max_raw <= 0.0 {
+        return raw.to_vec();
+    }
+    // Active set by *relative* magnitude: a stalled finish deflates all
+    // active multipliers by one common factor, so ratios remain reliable.
+    let active: Vec<usize> = (0..raw.len())
+        .filter(|&i| raw[i] > 1e-4 * max_raw)
+        .collect();
+    let lo = p.lowers();
+    let hi = p.uppers();
+    let interior: Vec<usize> = (0..p.num_vars())
+        .filter(|&j| {
+            let margin = 1e-3 * (1.0 + x[j].abs());
+            x[j] > lo[j] + margin && x[j] < hi[j] - margin
+        })
+        .collect();
+    let cols = active.len() + p.equalities().len();
+    if cols == 0 || interior.len() < cols {
+        return raw.to_vec();
+    }
+    let mut a = Matrix::zeros(interior.len(), cols);
+    let mut grad = vec![0.0; p.num_vars()];
+    for (ci, &i) in active.iter().enumerate() {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        p.constraints()[i].add_gradient(x, &mut grad, 1.0);
+        for (ri, &j) in interior.iter().enumerate() {
+            a[(ri, ci)] = grad[j];
+        }
+    }
+    for (ei, e) in p.equalities().iter().enumerate() {
+        for &(v, co) in &e.coeffs {
+            if let Some(ri) = interior.iter().position(|&j| j == v) {
+                a[(ri, active.len() + ei)] = co;
+            }
+        }
+    }
+    let rhs: Vec<f64> = interior.iter().map(|&j| -p.costs()[j]).collect();
+    let Ok(qr) = Qr::new(&a) else {
+        return raw.to_vec();
+    };
+    let Ok(fit) = qr.solve_least_squares(&rhs) else {
+        return raw.to_vec();
+    };
+    // Inequality duals must be nonnegative; a clearly negative fit means the
+    // active-set guess was wrong, so keep the raw estimates.
+    if active
+        .iter()
+        .enumerate()
+        .any(|(ci, _)| fit[ci] < -1e-6 * (1.0 + max_raw))
+    {
+        return raw.to_vec();
+    }
+    let mut out = raw.to_vec();
+    for (ci, &i) in active.iter().enumerate() {
+        out[i] = fit[ci].max(0.0);
+    }
+    out
 }
 
 fn strictly_inside(p: &NlpProblem, x: &[f64], free: &[usize]) -> bool {
@@ -607,12 +710,7 @@ fn barrier_value(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> f64 {
 }
 
 /// Gradient and Hessian of the barrier objective restricted to free vars.
-fn barrier_derivatives(
-    p: &NlpProblem,
-    x: &[f64],
-    mu: f64,
-    free: &[usize],
-) -> (Vec<f64>, Matrix) {
+fn barrier_derivatives(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> (Vec<f64>, Matrix) {
     let n = p.num_vars();
     let k = free.len();
     let mut grad_full = p.costs().to_vec();

@@ -19,7 +19,10 @@ pub struct ConstraintFn {
 impl ConstraintFn {
     /// Empty constraint (`0 <= 0`).
     pub fn new(name: impl Into<String>) -> Self {
-        ConstraintFn { name: name.into(), ..ConstraintFn::default() }
+        ConstraintFn {
+            name: name.into(),
+            ..ConstraintFn::default()
+        }
     }
 
     /// Adds a linear term.
@@ -229,8 +232,16 @@ impl NlpProblem {
     /// Max constraint violation (0 when feasible), ignoring bounds. Counts
     /// both inequality excess and equality residuals.
     pub fn max_violation(&self, x: &[f64]) -> f64 {
-        let ineq = self.constraints.iter().map(|c| c.eval(x).max(0.0)).fold(0.0, f64::max);
-        let eq = self.equalities.iter().map(|e| e.residual(x).abs()).fold(0.0, f64::max);
+        let ineq = self
+            .constraints
+            .iter()
+            .map(|c| c.eval(x).max(0.0))
+            .fold(0.0, f64::max);
+        let eq = self
+            .equalities
+            .iter()
+            .map(|e| e.residual(x).abs())
+            .fold(0.0, f64::max);
         ineq.max(eq)
     }
 
@@ -239,8 +250,8 @@ impl NlpProblem {
         if x.len() != self.num_vars() {
             return false;
         }
-        for i in 0..x.len() {
-            if x[i] < self.lo[i] - tol || x[i] > self.hi[i] + tol {
+        for ((&xi, &lo), &hi) in x.iter().zip(&self.lo).zip(&self.hi) {
+            if xi < lo - tol || xi > hi + tol {
                 return false;
             }
         }

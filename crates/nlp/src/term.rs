@@ -128,8 +128,14 @@ mod tests {
         let h = 1e-6 * x.max(1.0);
         let num_d1 = (t.eval(x + h) - t.eval(x - h)) / (2.0 * h);
         let num_d2 = (t.eval(x + h) - 2.0 * t.eval(x) + t.eval(x - h)) / (h * h);
-        assert!((t.d1(x) - num_d1).abs() < 1e-4 * (1.0 + num_d1.abs()), "{t:?} d1 at {x}");
-        assert!((t.d2(x) - num_d2).abs() < 1e-2 * (1.0 + num_d2.abs()), "{t:?} d2 at {x}");
+        assert!(
+            (t.d1(x) - num_d1).abs() < 1e-4 * (1.0 + num_d1.abs()),
+            "{t:?} d1 at {x}"
+        );
+        assert!(
+            (t.d2(x) - num_d2).abs() < 1e-2 * (1.0 + num_d2.abs()),
+            "{t:?} d2 at {x}"
+        );
     }
 
     #[test]

@@ -60,8 +60,16 @@ fn detects_infeasible() {
     // x <= 1 and x >= 3 with bounds [0, 10].
     let mut p = NlpProblem::new();
     let x = p.add_var(1.0, 0.0, 10.0);
-    p.add_constraint(ConstraintFn::new("le1").linear_term(x, 1.0).with_constant(-1.0));
-    p.add_constraint(ConstraintFn::new("ge3").linear_term(x, -1.0).with_constant(3.0));
+    p.add_constraint(
+        ConstraintFn::new("le1")
+            .linear_term(x, 1.0)
+            .with_constant(-1.0),
+    );
+    p.add_constraint(
+        ConstraintFn::new("ge3")
+            .linear_term(x, -1.0)
+            .with_constant(3.0),
+    );
     let sol = solve(&p).unwrap();
     assert_eq!(sol.status, NlpStatus::Infeasible);
 }
@@ -88,7 +96,11 @@ fn fixed_variables_are_respected() {
 fn all_variables_fixed_feasible() {
     let mut p = NlpProblem::new();
     let x = p.add_var(2.0, 3.0, 3.0);
-    p.add_constraint(ConstraintFn::new("ok").linear_term(x, 1.0).with_constant(-5.0));
+    p.add_constraint(
+        ConstraintFn::new("ok")
+            .linear_term(x, 1.0)
+            .with_constant(-5.0),
+    );
     let sol = solve(&p).unwrap();
     assert_eq!(sol.status, NlpStatus::Optimal);
     assert_close(sol.objective, 6.0, 1e-12);
@@ -98,7 +110,11 @@ fn all_variables_fixed_feasible() {
 fn all_variables_fixed_infeasible() {
     let mut p = NlpProblem::new();
     let x = p.add_var(2.0, 3.0, 3.0);
-    p.add_constraint(ConstraintFn::new("bad").linear_term(x, 1.0).with_constant(-1.0));
+    p.add_constraint(
+        ConstraintFn::new("bad")
+            .linear_term(x, 1.0)
+            .with_constant(-1.0),
+    );
     let sol = solve(&p).unwrap();
     assert_eq!(sol.status, NlpStatus::Infeasible);
 }
@@ -144,7 +160,11 @@ fn power_growth_term_constraint() {
     let t = p.add_var(1.0, 0.0, 1e9);
     let mut f = ScalarFn::new();
     f.push(Term::PowerGrowth { b: 2.0, c: 1.5 });
-    p.add_constraint(ConstraintFn::new("grow").nonlinear_term(n, f).linear_term(t, -1.0));
+    p.add_constraint(
+        ConstraintFn::new("grow")
+            .nonlinear_term(n, f)
+            .linear_term(t, -1.0),
+    );
     let sol = solve(&p).unwrap();
     assert_eq!(sol.status, NlpStatus::Optimal);
     assert_close(sol.objective, 16.0, 0.05);
@@ -178,7 +198,11 @@ fn multipliers_flag_active_constraints() {
     assert_eq!(sol.status, NlpStatus::Optimal);
     // Multiplier magnitudes should dwarf those of inactive constraints —
     // here all three are active, so all should be clearly nonzero.
-    assert!(sol.multipliers.iter().all(|&m| m > 1e-6), "{:?}", sol.multipliers);
+    assert!(
+        sol.multipliers.iter().all(|&m| m > 1e-6),
+        "{:?}",
+        sol.multipliers
+    );
 }
 
 #[test]
@@ -208,49 +232,59 @@ fn feasible_solution_is_feasible_for_problem() {
 
 mod property {
     use super::*;
-    use proptest::prelude::*;
+    use hslb_rng::Rng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-
-        /// Two-component min-max allocation: barrier optimum must (a) be
-        /// feasible and (b) beat or match every point on a coarse feasible
-        /// grid (global optimality of the convex solve).
-        #[test]
-        fn beats_grid_search(
-            a1 in 50.0..5000.0f64,
-            a2 in 50.0..5000.0f64,
-            d1 in 0.0..20.0f64,
-            d2 in 0.0..20.0f64,
-            cap in 8.0..64.0f64,
-        ) {
+    /// Two-component min-max allocation: barrier optimum must (a) be
+    /// feasible and (b) beat or match every point on a coarse feasible
+    /// grid (global optimality of the convex solve).
+    #[test]
+    fn beats_grid_search() {
+        let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x5b);
+        for case in 0..40 {
+            let a1 = rng.f64_range(50.0, 5000.0);
+            let a2 = rng.f64_range(50.0, 5000.0);
+            let d1 = rng.f64_range(0.0, 20.0);
+            let d2 = rng.f64_range(0.0, 20.0);
+            let cap = rng.f64_range(8.0, 64.0);
             let mut p = NlpProblem::new();
             let n1 = p.add_var(0.0, 1.0, cap);
             let n2 = p.add_var(0.0, 1.0, cap);
             let t = p.add_var(1.0, 0.0, 1e9);
-            p.add_constraint(ConstraintFn::new("t1")
-                .nonlinear_term(n1, ScalarFn::perf_model(a1, 0.0, 1.0))
-                .linear_term(t, -1.0)
-                .with_constant(d1));
-            p.add_constraint(ConstraintFn::new("t2")
-                .nonlinear_term(n2, ScalarFn::perf_model(a2, 0.0, 1.0))
-                .linear_term(t, -1.0)
-                .with_constant(d2));
-            p.add_constraint(ConstraintFn::new("cap")
-                .linear_term(n1, 1.0)
-                .linear_term(n2, 1.0)
-                .with_constant(-cap));
+            p.add_constraint(
+                ConstraintFn::new("t1")
+                    .nonlinear_term(n1, ScalarFn::perf_model(a1, 0.0, 1.0))
+                    .linear_term(t, -1.0)
+                    .with_constant(d1),
+            );
+            p.add_constraint(
+                ConstraintFn::new("t2")
+                    .nonlinear_term(n2, ScalarFn::perf_model(a2, 0.0, 1.0))
+                    .linear_term(t, -1.0)
+                    .with_constant(d2),
+            );
+            p.add_constraint(
+                ConstraintFn::new("cap")
+                    .linear_term(n1, 1.0)
+                    .linear_term(n2, 1.0)
+                    .with_constant(-cap),
+            );
             let sol = solve(&p).unwrap();
-            prop_assert_eq!(sol.status, NlpStatus::Optimal);
-            prop_assert!(p.is_feasible(&sol.x, 1e-5));
+            assert_eq!(sol.status, NlpStatus::Optimal, "case {case}");
+            assert!(p.is_feasible(&sol.x, 1e-5), "case {case}");
             // Coarse grid of continuous splits.
             for k in 1..32 {
                 let x1 = 1.0f64.max(cap * k as f64 / 32.0 - 1.0);
                 let x2 = cap - x1;
-                if x2 < 1.0 { continue; }
+                if x2 < 1.0 {
+                    continue;
+                }
                 let tt = (a1 / x1 + d1).max(a2 / x2 + d2);
-                prop_assert!(sol.objective <= tt + 1e-4 * (1.0 + tt),
-                    "barrier {} worse than grid point {}", sol.objective, tt);
+                assert!(
+                    sol.objective <= tt + 1e-4 * (1.0 + tt),
+                    "case {case}: barrier {} worse than grid point {}",
+                    sol.objective,
+                    tt
+                );
             }
         }
     }

@@ -2,7 +2,6 @@
 //! the simplex solver on problems both can express.
 
 use hslb_nlp::{solve, ConstraintFn, NlpProblem, NlpStatus, ScalarFn};
-use proptest::prelude::*;
 
 fn assert_close(a: f64, b: f64, tol: f64) {
     assert!((a - b).abs() <= tol, "expected {b}, got {a}");
@@ -110,8 +109,14 @@ mod cross_validation {
         let n = costs.len();
         // Simplex.
         let mut lp = LinearProgram::new();
-        let vars: Vec<_> = (0..n).map(|j| lp.add_var(costs[j], boxes[j].0, boxes[j].1)).collect();
-        lp.add_row(vars.iter().map(|&v| (v, 1.0)).collect(), RowSense::Eq, eq_rhs);
+        let vars: Vec<_> = (0..n)
+            .map(|j| lp.add_var(costs[j], boxes[j].0, boxes[j].1))
+            .collect();
+        lp.add_row(
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            RowSense::Eq,
+            eq_rhs,
+        );
         for (coeffs, rhs) in le_rows {
             lp.add_row(
                 vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect(),
@@ -137,57 +142,51 @@ mod cross_validation {
         let nlp_sol = solve(&p).unwrap();
 
         match (lp_sol.status, nlp_sol.status) {
-            (LpStatus::Optimal, NlpStatus::Optimal) => {
-                Some((lp_sol.objective, nlp_sol.objective))
-            }
+            (LpStatus::Optimal, NlpStatus::Optimal) => Some((lp_sol.objective, nlp_sol.objective)),
             (LpStatus::Infeasible, NlpStatus::Infeasible) => None,
             (a, b) => panic!("status mismatch: simplex {a:?} vs barrier {b:?}"),
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(60))]
+    use hslb_rng::Rng;
 
-        #[test]
-        fn barrier_matches_simplex_on_equality_lps(
-            costs in proptest::collection::vec(-3.0..3.0f64, 2..5),
-            widths in proptest::collection::vec(1.0..6.0f64, 2..5),
-            frac in 0.1..0.9f64,
-        ) {
-            let n = costs.len().min(widths.len());
-            let costs = &costs[..n];
-            let boxes: Vec<(f64, f64)> =
-                widths[..n].iter().map(|&w| (0.0, w)).collect();
+    #[test]
+    fn barrier_matches_simplex_on_equality_lps() {
+        let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x6b);
+        for case in 0..60 {
+            let n = rng.usize_range(2, 4);
+            let costs = rng.vec_f64(n, -3.0, 3.0);
+            let boxes: Vec<(f64, f64)> = (0..n).map(|_| (0.0, rng.f64_range(1.0, 6.0))).collect();
             // Equality RHS strictly inside the reachable sum range keeps
             // the instance feasible with an interior.
             let max_sum: f64 = boxes.iter().map(|b| b.1).sum();
-            let eq_rhs = frac * max_sum;
-            if let Some((lp_obj, nlp_obj)) = both_solve(costs, &boxes, eq_rhs, &[]) {
-                prop_assert!(
+            let eq_rhs = rng.f64_range(0.1, 0.9) * max_sum;
+            if let Some((lp_obj, nlp_obj)) = both_solve(&costs, &boxes, eq_rhs, &[]) {
+                assert!(
                     (lp_obj - nlp_obj).abs() < 1e-4 * (1.0 + lp_obj.abs()),
-                    "simplex {lp_obj} vs barrier {nlp_obj}"
+                    "case {case}: simplex {lp_obj} vs barrier {nlp_obj}"
                 );
             }
         }
+    }
 
-        #[test]
-        fn barrier_matches_simplex_with_extra_rows(
-            costs in proptest::collection::vec(-2.0..2.0f64, 3..5),
-            frac in 0.2..0.8f64,
-            cap_frac in 0.5..1.5f64,
-        ) {
-            let n = costs.len();
+    #[test]
+    fn barrier_matches_simplex_with_extra_rows() {
+        let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x7b);
+        for case in 0..60 {
+            let n = rng.usize_range(3, 4);
+            let costs = rng.vec_f64(n, -2.0, 2.0);
             let boxes: Vec<(f64, f64)> = (0..n).map(|_| (0.0, 4.0)).collect();
-            let eq_rhs = frac * 4.0 * n as f64;
+            let eq_rhs = rng.f64_range(0.2, 0.8) * 4.0 * n as f64;
             // One extra <= row: first two variables capped.
             let mut coeffs = vec![0.0; n];
             coeffs[0] = 1.0;
             coeffs[1] = 1.0;
-            let rows = vec![(coeffs, cap_frac * 4.0)];
+            let rows = vec![(coeffs, rng.f64_range(0.5, 1.5) * 4.0)];
             if let Some((lp_obj, nlp_obj)) = both_solve(&costs, &boxes, eq_rhs, &rows) {
-                prop_assert!(
+                assert!(
                     (lp_obj - nlp_obj).abs() < 1e-4 * (1.0 + lp_obj.abs()),
-                    "simplex {lp_obj} vs barrier {nlp_obj}"
+                    "case {case}: simplex {lp_obj} vs barrier {nlp_obj}"
                 );
             }
         }

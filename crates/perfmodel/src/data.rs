@@ -1,10 +1,8 @@
 //! Benchmark observation containers and sampling guidance.
 
-use serde::{Deserialize, Serialize};
-
 /// Observed `(node count, wall-clock seconds)` pairs for one component —
 /// the output of the HSLB "Gather" step.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScalingData {
     points: Vec<(u64, f64)>,
 }

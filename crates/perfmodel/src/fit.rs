@@ -81,14 +81,23 @@ pub fn fit(data: &ScalingData) -> Result<FitReport, FitError> {
 
 /// Fits a specific functional form.
 pub fn fit_kind(data: &ScalingData, kind: ModelKind) -> Result<FitReport, FitError> {
-    fit_with(data, &FitOptions { kind, ..FitOptions::default() })
+    fit_with(
+        data,
+        &FitOptions {
+            kind,
+            ..FitOptions::default()
+        },
+    )
 }
 
 /// Fits with full options.
 pub fn fit_with(data: &ScalingData, opts: &FitOptions) -> Result<FitReport, FitError> {
     let dim = opts.kind.dim();
     if data.len() < dim {
-        return Err(FitError::TooFewPoints { have: data.len(), need: dim });
+        return Err(FitError::TooFewPoints {
+            have: data.len(),
+            need: dim,
+        });
     }
     let xs = data.xs();
     let ys = data.ys();
@@ -105,7 +114,10 @@ pub fn fit_with(data: &ScalingData, opts: &FitOptions) -> Result<FitReport, FitE
         .map_err(|_| FitError::OptimizationFailed)?;
     let best_params = if opts.robust {
         // Polish the multistart winner under the Huber loss.
-        let ropts = hslb_lsq::RobustOptions { lm: opts.lm.clone(), ..Default::default() };
+        let ropts = hslb_lsq::RobustOptions {
+            lm: opts.lm.clone(),
+            ..Default::default()
+        };
         hslb_lsq::huber_fit(&problem, &ms.best.params, &bounds, &ropts)
             .map(|r| r.params)
             .unwrap_or_else(|_| ms.best.params.clone())
@@ -126,12 +138,7 @@ pub fn fit_with(data: &ScalingData, opts: &FitOptions) -> Result<FitReport, FitE
 /// Heuristic starting points: scale `a` from the smallest-node observation,
 /// bracket the decay exponent around 1, and seed the serial floor from the
 /// largest-node observation.
-fn heuristic_starts(
-    kind: ModelKind,
-    xs: &[f64],
-    ys: &[f64],
-    extra: &[Vec<f64>],
-) -> Vec<Vec<f64>> {
+fn heuristic_starts(kind: ModelKind, xs: &[f64], ys: &[f64], extra: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let (n_min, y_at_min) = (xs[0], ys[0]);
     let y_last = *ys.last().expect("non-empty validated earlier");
     let d0 = (y_last * 0.5).max(0.0);
@@ -177,7 +184,11 @@ mod tests {
         let data = synthetic(&truth, &[15, 24, 71, 128, 384]);
         let rep = fit_kind(&data, ModelKind::Amdahl).unwrap();
         assert!(rep.quality.r_squared > 0.99999, "{:?}", rep.quality);
-        assert!((rep.model.a - 1495.0).abs() / 1495.0 < 1e-3, "{}", rep.model);
+        assert!(
+            (rep.model.a - 1495.0).abs() / 1495.0 < 1e-3,
+            "{}",
+            rep.model
+        );
         assert!((rep.model.d - 1.5).abs() < 0.1, "{}", rep.model);
     }
 
@@ -216,7 +227,10 @@ mod tests {
     fn too_few_points_rejected() {
         let truth = PerfModel::amdahl(100.0, 1.0);
         let data = synthetic(&truth, &[2, 4, 8]);
-        assert!(matches!(fit(&data), Err(FitError::TooFewPoints { have: 3, need: 4 })));
+        assert!(matches!(
+            fit(&data),
+            Err(FitError::TooFewPoints { have: 3, need: 4 })
+        ));
         // But the 2-parameter Amdahl form fits fine.
         assert!(fit_kind(&data, ModelKind::Amdahl).is_ok());
     }
@@ -231,7 +245,8 @@ mod tests {
     fn fitted_parameters_are_nonnegative() {
         // Data with an *increasing* tail tempts b < 0 at small n... build
         // strictly decreasing data; constraint must still hold.
-        let data = ScalingData::from_pairs([(2, 100.0), (4, 49.0), (8, 26.0), (16, 13.0), (32, 8.0)]);
+        let data =
+            ScalingData::from_pairs([(2, 100.0), (4, 49.0), (8, 26.0), (16, 13.0), (32, 8.0)]);
         let rep = fit(&data).unwrap();
         let [a, b, c, d] = rep.model.params();
         assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0);
@@ -259,12 +274,19 @@ mod tests {
         let plain = fit_kind(&data, ModelKind::Amdahl).unwrap();
         let robust = fit_with(
             &data,
-            &FitOptions { kind: ModelKind::Amdahl, robust: true, ..FitOptions::default() },
+            &FitOptions {
+                kind: ModelKind::Amdahl,
+                robust: true,
+                ..FitOptions::default()
+            },
         )
         .unwrap();
         let plain_err = (plain.model.a - 7774.0).abs();
         let robust_err = (robust.model.a - 7774.0).abs();
-        assert!(robust_err < plain_err, "robust {robust_err} vs plain {plain_err}");
+        assert!(
+            robust_err < plain_err,
+            "robust {robust_err} vs plain {plain_err}"
+        );
     }
 
     #[test]

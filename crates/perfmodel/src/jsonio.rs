@@ -1,0 +1,62 @@
+//! JSON wire format for [`PerfModel`]: a plain `{"a":..,"b":..,"c":..,"d":..}`
+//! object, byte-compatible with the previous serde derive. Decoding enforces
+//! the paper's nonnegativity constraint (Table II line 11) so a malformed
+//! document fails with a diagnostic instead of tripping `PerfModel::new`'s
+//! assertion later.
+
+use crate::model::PerfModel;
+use hslb_json::{field, DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for PerfModel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("a", Json::from(self.a)),
+            ("b", Json::from(self.b)),
+            ("c", Json::from(self.c)),
+            ("d", Json::from(self.d)),
+        ])
+    }
+}
+
+impl FromJson for PerfModel {
+    fn from_json(v: &Json) -> Result<PerfModel, DecodeError> {
+        let mut params = [0.0f64; 4];
+        for (slot, name) in params.iter_mut().zip(["a", "b", "c", "d"]) {
+            let value: f64 = field(v, name)?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(DecodeError::new(name, "a nonnegative finite number"));
+            }
+            *slot = value;
+        }
+        let [a, b, c, d] = params;
+        Ok(PerfModel::new(a, b, c, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = PerfModel::new(27_180.0, 5e-4, 1.0, 44.0);
+        let text = m.to_json().to_compact();
+        assert_eq!(text, r#"{"a":27180,"b":0.0005,"c":1,"d":44}"#);
+        let back = PerfModel::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn negative_parameter_is_a_decode_error_not_a_panic() {
+        let v = Json::parse(r#"{"a": -1.0, "b": 0.0, "c": 1.0, "d": 0.0}"#).unwrap();
+        let err = PerfModel::from_json(&v).unwrap_err();
+        assert!(err.to_string().contains("nonnegative"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let v = Json::parse(r#"{"a": 1.0, "b": 0.0, "c": 1.0}"#).unwrap();
+        let err = PerfModel::from_json(&v).unwrap_err();
+        assert_eq!(err.path, "d");
+    }
+}

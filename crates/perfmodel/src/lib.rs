@@ -41,6 +41,7 @@
 
 pub mod data;
 pub mod fit;
+pub mod jsonio;
 pub mod model;
 pub mod residuals;
 

@@ -1,11 +1,10 @@
 //! The performance function `T(n) = a/n^c + b·n + d` and variants.
 
 use hslb_nlp::ScalarFn;
-use serde::{Deserialize, Serialize};
 
 /// Functional form used when fitting (the full paper model or a restricted
 /// variant for ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// `a/n^c + b·n + d` — Table II of the paper.
     Paper,
@@ -30,7 +29,7 @@ impl ModelKind {
 ///
 /// All parameters are nonnegative by construction (the paper's constraint);
 /// see [`crate::fit()`](crate::fit()) for how they are estimated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfModel {
     /// Scalable-work coefficient (`T_sca = a / n^c`).
     pub a: f64,
@@ -49,7 +48,10 @@ impl PerfModel {
     /// Panics if any parameter is negative or non-finite.
     pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
         for (name, v) in [("a", a), ("b", b), ("c", c), ("d", d)] {
-            assert!(v.is_finite() && v >= 0.0, "parameter {name} must be nonnegative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "parameter {name} must be nonnegative, got {v}"
+            );
         }
         PerfModel { a, b, c, d }
     }

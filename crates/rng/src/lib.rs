@@ -1,0 +1,276 @@
+//! Dependency-free seeded pseudo-randomness for the HSLB workspace.
+//!
+//! Everything in this repository that consumes randomness — the CESM and FMO
+//! simulators, the testkit's instance generators, the rewritten property
+//! tests — goes through this crate so that **every random draw is a pure
+//! function of an explicit `u64` seed**. There is no global RNG, no
+//! OS entropy, and no hidden thread-local state: re-running with the same
+//! seed reproduces the exact byte-for-byte behavior, which is what makes the
+//! `testkit` fuzzer's printed repro seeds trustworthy.
+//!
+//! The generator is xoshiro256** seeded through splitmix64 (the reference
+//! seeding procedure recommended by its authors). Both algorithms are public
+//! domain; this is a fresh implementation, not a copy of any crate.
+//!
+//! Default seeds for the whole workspace are collected in [`seeds`].
+
+/// Canonical default seeds, documented in one place (ISSUE satellite:
+/// "default seeds documented in one place").
+///
+/// Anything that needs a deterministic default RNG and does not receive an
+/// explicit seed from its caller must use one of these, so that "why did the
+/// test change" investigations always start from a known constant.
+pub mod seeds {
+    /// Default seed for CESM simulator scenarios (`CesmSimulator::new` takes
+    /// an explicit seed; harness code and docs use this one).
+    pub const CESM: u64 = 20120101;
+    /// Default seed for FMO cluster generation and simulation.
+    pub const FMO: u64 = 2012;
+    /// Default seed for the testkit differential suite wired into `tests/`.
+    pub const TESTKIT: u64 = 0x48534c42; // "HSLB"
+    /// Default seed for the `testkit` fuzzer binary when `--seed` is absent.
+    pub const FUZZER: u64 = 1;
+}
+
+/// splitmix64 step: advances `state` and returns the next output.
+///
+/// Useful on its own for stateless hashing of structured keys (the CESM
+/// noise model hashes `(seed, component, nodes, draw)` this way).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes several integers into one well-distributed `u64` (stateless).
+pub fn hash_mix(parts: &[u64]) -> u64 {
+    let mut state = 0x243F6A8885A308D3; // pi digits, arbitrary nonzero
+    for &p in parts {
+        state ^= p;
+        splitmix64(&mut state);
+        state = state.rotate_left(17);
+    }
+    let mut s = state;
+    splitmix64(&mut s)
+}
+
+/// A small, fast, explicitly-seeded PRNG (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a `u64` seed via splitmix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = std::array::from_fn(|_| splitmix64(&mut sm));
+        let mut rng = Rng { s };
+        // Avoid the (astronomically unlikely) all-zero state and decorrelate
+        // nearby seeds a little further.
+        if rng.s == [0, 0, 0, 0] {
+            rng.s = [0x9E3779B97F4A7C15, 1, 2, 3];
+        }
+        for _ in 0..4 {
+            rng.next_u64();
+        }
+        rng
+    }
+
+    /// Derives an independent child generator; `tag` distinguishes children.
+    ///
+    /// Used by the testkit to give each instance layer its own stream so
+    /// adding draws to one generator does not shift another's.
+    pub fn fork(&mut self, tag: u64) -> Rng {
+        Rng::new(self.next_u64() ^ hash_mix(&[tag]))
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo > hi` or either is non-finite.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn i64_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "bad range [{lo}, {hi}]");
+        let span = (hi - lo) as u64 + 1; // hi - lo < 2^63 in all our uses
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.i64_range(lo as i64, hi as i64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal via Box–Muller (one value per call; no caching so a
+    /// clone of the generator stays in lockstep).
+    pub fn std_normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = (self.f64()).max(1e-300);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal with mean 1 and shape `sigma` (multiplicative noise, the
+    /// form both simulators use for timing jitter).
+    pub fn lognormal_mean1(&mut self, sigma: f64) -> f64 {
+        (self.std_normal() * sigma - 0.5 * sigma * sigma).exp()
+    }
+
+    /// A vector of `n` uniform draws from `[lo, hi)`.
+    pub fn vec_f64(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.f64_range(lo, hi)).collect()
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose on empty slice");
+        &items[self.usize_range(0, items.len() - 1)]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize_range(0, i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A sorted set of `k` distinct integers from `[lo, hi]`.
+    ///
+    /// Panics if the range holds fewer than `k` values.
+    pub fn distinct_sorted(&mut self, k: usize, lo: i64, hi: i64) -> Vec<i64> {
+        assert!(
+            (hi - lo + 1) as usize >= k,
+            "range too small for {k} distinct values"
+        );
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < k {
+            out.insert(self.i64_range(lo, hi));
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_endpoints() {
+        let mut r = Rng::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.i64_range(0, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = Rng::new(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_is_one() {
+        let mut r = Rng::new(13);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.lognormal_mean1(0.1)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn distinct_sorted_is_distinct_and_sorted() {
+        let mut r = Rng::new(5);
+        let v = r.distinct_sorted(8, 1, 20);
+        assert_eq!(v.len(), 8);
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        assert!(v.iter().all(|&x| (1..=20).contains(&x)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_parent_consumption() {
+        // fork(t) after identical histories must agree.
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        let mut fa = a.fork(7);
+        let mut fb = b.fork(7);
+        for _ in 0..10 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Differential fuzzer for the HSLB stack.
+//!
+//! ```text
+//! testkit fuzz [--seeds N] [--layer L] [--start 0xSEED]   # hunt for bugs
+//! testkit replay --layer L --seed 0xSEED --size K         # repro one case
+//! testkit suite [--seed 0xSEED]                           # the tier-1 suite
+//! testkit corpus                                          # replay regressions
+//! ```
+//!
+//! `fuzz` prints one minimized repro line per failure; paste it into
+//! `crates/testkit/corpus/regressions.txt` once the bug is fixed.
+
+use hslb_testkit::{corpus_cases, gen, minimize, run_case, run_layer, run_suite, Layer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("fuzz");
+    match mode {
+        "fuzz" => fuzz(&args[1..]),
+        "replay" => replay(&args[1..]),
+        "suite" => suite(&args[1..]),
+        "corpus" => corpus(),
+        _ => {
+            eprintln!(
+                "usage: testkit <fuzz|replay|suite|corpus> [--layer L] [--seed 0xS] [--size K] [--seeds N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_u64(text: &str) -> u64 {
+    text.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .or_else(|| text.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("testkit: bad number {text:?}");
+            std::process::exit(2);
+        })
+}
+
+fn parse_layer(text: &str) -> Layer {
+    Layer::from_name(text).unwrap_or_else(|| {
+        eprintln!(
+            "testkit: unknown layer {text:?}; expected one of {}",
+            Layer::ALL.map(Layer::name).join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Hunt for failures across fresh seeds, minimizing each one found.
+fn fuzz(args: &[String]) {
+    let seeds: u64 = flag(args, "--seeds").map(|s| parse_u64(&s)).unwrap_or(50);
+    let start = flag(args, "--start")
+        .map(|s| parse_u64(&s))
+        .unwrap_or(hslb_rng::seeds::FUZZER);
+    let layers: Vec<Layer> = match flag(args, "--layer") {
+        Some(name) => vec![parse_layer(&name)],
+        None => Layer::ALL.to_vec(),
+    };
+    let mut cases = 0usize;
+    let mut failures = 0usize;
+    for round in 0..seeds {
+        for &layer in &layers {
+            // Budget: expensive layers run on a fraction of the rounds.
+            let stride = layer.relative_cost().clamp(1, 50) as u64;
+            if round % stride != 0 {
+                continue;
+            }
+            let seed = hslb_rng::hash_mix(&[start, round]);
+            let size = 1 + (hslb_rng::hash_mix(&[seed, 0x5a]) % gen::MAX_SIZE as u64) as u32;
+            cases += 1;
+            if let Err(msg) = run_case(layer, seed, size) {
+                failures += 1;
+                let min = minimize(layer, seed, size, msg);
+                println!("FAIL {min}");
+                println!(
+                    "corpus entry: {} {:#x} {}  # <describe the bug>",
+                    min.layer.name(),
+                    min.seed,
+                    min.size
+                );
+            }
+        }
+    }
+    println!("fuzz: {cases} cases, {failures} failures");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Re-run one exact case from its repro triple.
+fn replay(args: &[String]) {
+    let layer = parse_layer(&flag(args, "--layer").unwrap_or_else(|| {
+        eprintln!("testkit replay: --layer required");
+        std::process::exit(2);
+    }));
+    let seed = parse_u64(&flag(args, "--seed").unwrap_or_else(|| {
+        eprintln!("testkit replay: --seed required");
+        std::process::exit(2);
+    }));
+    let size = flag(args, "--size")
+        .map(|s| parse_u64(&s) as u32)
+        .unwrap_or(gen::MAX_SIZE);
+    match run_case(layer, seed, size) {
+        Ok(()) => println!("PASS {} seed={seed:#x} size={size}", layer.name()),
+        Err(msg) => {
+            println!("FAIL {} seed={seed:#x} size={size}: {msg}", layer.name());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The deterministic tier-1 suite (same composition the repo tests run).
+fn suite(args: &[String]) {
+    let seed = flag(args, "--seed")
+        .map(|s| parse_u64(&s))
+        .unwrap_or(hslb_rng::seeds::TESTKIT);
+    let report = run_suite(seed);
+    for f in &report.failures {
+        println!("FAIL {f}");
+    }
+    println!(
+        "suite: {} cases, {} failures",
+        report.cases_run,
+        report.failures.len()
+    );
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Replay every corpus regression (and a small fresh sweep per layer).
+fn corpus() {
+    let cases = corpus_cases();
+    let mut failures = 0usize;
+    for (layer, seed, size) in &cases {
+        if let Err(msg) = run_case(*layer, *seed, *size) {
+            failures += 1;
+            println!("FAIL {} seed={seed:#x} size={size}: {msg}", layer.name());
+        }
+    }
+    // A token fresh sweep so `corpus` stays useful on an empty file.
+    let sweep = run_layer(Layer::Lp, hslb_rng::seeds::FUZZER ^ 0xc0, 20);
+    for f in &sweep.failures {
+        failures += 1;
+        println!("FAIL {f}");
+    }
+    println!(
+        "corpus: {} recorded + {} sweep cases, {failures} failures",
+        cases.len(),
+        sweep.cases_run
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

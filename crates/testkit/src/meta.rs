@@ -1,0 +1,79 @@
+//! Metamorphic properties: transformations of an instance with a known
+//! effect on the answer. These catch bugs that differential checks miss —
+//! two solvers can agree and *both* be wrong, but they cannot both track a
+//! broken invariant by accident.
+
+use crate::gen;
+use hslb::solve_minmax_waterfill;
+use hslb_perfmodel::{fit, ScalingData};
+use hslb_rng::Rng;
+
+/// Permutation invariance: shuffling the components of a flat spec must not
+/// change the optimal makespan, and each component must keep its own node
+/// count (tracked by name through the permutation).
+pub fn permutation_invariance(rng: &mut Rng, size: u32) -> Result<(), String> {
+    let spec = gen::flat_spec(rng, size);
+    let base = solve_minmax_waterfill(&spec).ok_or("base spec unsolvable")?;
+    let mut perm: Vec<usize> = (0..spec.components.len()).collect();
+    rng.shuffle(&mut perm);
+    let mut shuffled = spec.clone();
+    shuffled.components = perm.iter().map(|&i| spec.components[i].clone()).collect();
+    let permuted = solve_minmax_waterfill(&shuffled).ok_or("shuffled spec unsolvable")?;
+    if (base.makespan() - permuted.makespan()).abs() > 1e-9 * base.makespan().max(1.0) {
+        return Err(format!(
+            "makespan changed under permutation: {} vs {}",
+            base.makespan(),
+            permuted.makespan()
+        ));
+    }
+    for (new_idx, &old_idx) in perm.iter().enumerate() {
+        if base.nodes[old_idx] != permuted.nodes[new_idx] {
+            return Err(format!(
+                "component {} moved from {} to {} nodes under permutation",
+                spec.components[old_idx].name, base.nodes[old_idx], permuted.nodes[new_idx]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Monotonicity in the node budget: adding nodes can never worsen the
+/// optimal makespan (the old allocation stays feasible).
+pub fn budget_monotonicity(rng: &mut Rng, size: u32) -> Result<(), String> {
+    let mut spec = gen::flat_spec(rng, size);
+    let base = solve_minmax_waterfill(&spec).ok_or("base spec unsolvable")?;
+    spec.total_nodes += rng.i64_range(1, 8);
+    let bigger = solve_minmax_waterfill(&spec).ok_or("grown spec unsolvable")?;
+    if bigger.makespan() > base.makespan() * (1.0 + 1e-9) {
+        return Err(format!(
+            "makespan increased with budget: {} -> {} (budget +{})",
+            base.makespan(),
+            bigger.makespan(),
+            spec.total_nodes
+        ));
+    }
+    Ok(())
+}
+
+/// Scaling invariance of the fit: multiplying every observed time by `k`
+/// must scale the fitted curve's predictions by `k` (the model family is
+/// closed under scaling: `k·(a/n^c + b·n + d)` re-parameterizes exactly).
+pub fn fit_scaling_invariance(rng: &mut Rng, size: u32) -> Result<(), String> {
+    let ds = gen::fit_dataset(rng, size);
+    let k = rng.f64_range(2.0, 50.0);
+    let scaled = ScalingData::from_pairs(ds.data.points().iter().map(|&(n, t)| (n, t * k)));
+    let base = fit(&ds.data).map_err(|e| format!("base fit failed: {e}"))?;
+    let scaled_fit = fit(&scaled).map_err(|e| format!("scaled fit failed: {e}"))?;
+    for &n in &[4u64, 32, 256, 2048] {
+        let a = base.model.eval(n as f64) * k;
+        let b = scaled_fit.model.eval(n as f64);
+        // Both fits run the same multistart from noisy data; allow a small
+        // relative drift between the two local optima.
+        if (a - b).abs() > 0.02 * a.abs().max(1.0) {
+            return Err(format!(
+                "scaling broke fit at n={n}: base*k = {a} vs scaled fit {b} (k = {k})"
+            ));
+        }
+    }
+    Ok(())
+}

@@ -7,8 +7,8 @@
 //! ```
 
 use hslb::{
-    component_swap_effect, recommend_layout, recommend_node_count, CesmModelSpec,
-    ComponentSpec, Layout, NodeGoal,
+    component_swap_effect, recommend_layout, recommend_node_count, CesmModelSpec, ComponentSpec,
+    Layout, NodeGoal,
 };
 use hslb_perfmodel::PerfModel;
 
@@ -30,23 +30,33 @@ fn main() {
     let rec = recommend_node_count(
         &spec,
         Layout::Hybrid,
-        NodeGoal::CostEfficient { efficiency_threshold: 0.7 },
+        NodeGoal::CostEfficient {
+            efficiency_threshold: 0.7,
+        },
         16,
         16_384,
     );
     for p in &rec.sweep {
         println!("  {:>6} nodes -> {:>8.1} s", p.nodes, p.seconds);
     }
-    println!("cost-efficient recommendation (70% per doubling): {:?} nodes\n", rec.nodes);
+    println!(
+        "cost-efficient recommendation (70% per doubling): {:?} nodes\n",
+        rec.nodes
+    );
 
     let fast = recommend_node_count(
         &spec,
         Layout::Hybrid,
-        NodeGoal::TimeToSolution { target_seconds: 100.0 },
+        NodeGoal::TimeToSolution {
+            target_seconds: 100.0,
+        },
         16,
         16_384,
     );
-    println!("smallest machine under 100 s/5-day-run: {:?} nodes\n", fast.nodes);
+    println!(
+        "smallest machine under 100 s/5-day-run: {:?} nodes\n",
+        fast.nodes
+    );
 
     println!("== Layout ranking at 512 nodes ==");
     let mut s512 = spec.clone();
@@ -59,5 +69,8 @@ fn main() {
     let faster = ComponentSpec::new("ocn", PerfModel::amdahl(7754.0 / 2.0, 20.0), 1, 1 << 17);
     let (old, new) =
         component_swap_effect(&s512, Layout::Hybrid, "ocn", faster).expect("valid component");
-    println!("  optimal total: {old:.1} s -> {new:.1} s ({:+.1}%)", 100.0 * (new - old) / old);
+    println!(
+        "  optimal total: {old:.1} s -> {new:.1} s ({:+.1}%)",
+        100.0 * (new - old) / old
+    );
 }

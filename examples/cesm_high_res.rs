@@ -9,8 +9,8 @@
 //! cargo run --release --example cesm_high_res
 //! ```
 
-use hslb::{Layout, SolverBackend};
 use hslb::pipeline::run_hslb;
+use hslb::{Layout, SolverBackend};
 use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
 use hslb_minlp::MinlpOptions;
 
@@ -28,7 +28,10 @@ fn main() {
 
     for (label, scenario) in [
         ("constrained ocean", constrained),
-        ("unconstrained ocean", Scenario::eighth_degree_unconstrained(n)),
+        (
+            "unconstrained ocean",
+            Scenario::eighth_degree_unconstrained(n),
+        ),
     ] {
         let mut sim = CesmSimulator::new(scenario.clone(), 7);
         let counts = scenario.benchmark_counts(5);

@@ -5,8 +5,8 @@
 //! cargo run --release --example cesm_one_degree [total_nodes]
 //! ```
 
-use hslb::{AllocationReport, Layout, SolverBackend};
 use hslb::pipeline::run_hslb;
+use hslb::{AllocationReport, Layout, SolverBackend};
 use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
 use hslb_minlp::MinlpOptions;
 

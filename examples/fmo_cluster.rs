@@ -33,19 +33,34 @@ fn main() {
     let dynamic = sim.execute_dynamic((fragments / 4).max(1));
 
     println!("\nmonomer-step makespan:");
-    println!("  HSLB (MINLP min-max): {:>8.3} s  (imbalance {:>5.1}%)",
-        hslb.monomer_time, hslb.imbalance * 100.0);
-    println!("  uniform static      : {:>8.3} s  (imbalance {:>5.1}%)  -> HSLB {:.2}x faster",
-        uniform.monomer_time, uniform.imbalance * 100.0,
-        uniform.monomer_time / hslb.monomer_time);
-    println!("  dynamic LPT         : {:>8.3} s                    -> HSLB {:.2}x faster",
-        dynamic.monomer_time, dynamic.monomer_time / hslb.monomer_time);
+    println!(
+        "  HSLB (MINLP min-max): {:>8.3} s  (imbalance {:>5.1}%)",
+        hslb.monomer_time,
+        hslb.imbalance * 100.0
+    );
+    println!(
+        "  uniform static      : {:>8.3} s  (imbalance {:>5.1}%)  -> HSLB {:.2}x faster",
+        uniform.monomer_time,
+        uniform.imbalance * 100.0,
+        uniform.monomer_time / hslb.monomer_time
+    );
+    println!(
+        "  dynamic LPT         : {:>8.3} s                    -> HSLB {:.2}x faster",
+        dynamic.monomer_time,
+        dynamic.monomer_time / hslb.monomer_time
+    );
 
     // Show how nodes follow fragment size.
-    let mut by_size: Vec<(u32, u64)> =
-        sim.fragments.iter().map(|f| f.atoms).zip(alloc.nodes.iter().copied()).collect();
+    let mut by_size: Vec<(u32, u64)> = sim
+        .fragments
+        .iter()
+        .map(|f| f.atoms)
+        .zip(alloc.nodes.iter().copied())
+        .collect();
     by_size.sort();
     by_size.dedup();
-    println!("\nnodes per fragment size (atoms -> nodes): {:?}",
-        &by_size[..by_size.len().min(12)]);
+    println!(
+        "\nnodes per fragment size (atoms -> nodes): {:?}",
+        &by_size[..by_size.len().min(12)]
+    );
 }

@@ -34,7 +34,10 @@ mod hslb_bench_placeholder {
 }
 
 fn main() {
-    println!("{:>8} {:>12} {:>12} {:>12}", "nodes", "layout1(s)", "layout2(s)", "layout3(s)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "nodes", "layout1(s)", "layout2(s)", "layout3(s)"
+    );
     for n in [128u64, 256, 512, 1024, 2048] {
         let scenario = hslb_cesm_sim::Scenario::one_degree(n);
         let spec = true_spec(&scenario);
@@ -44,7 +47,10 @@ fn main() {
             let sol = hslb::solve_model(&model.problem, SolverBackend::OuterApproximation);
             row.push(sol.objective);
         }
-        println!("{:>8} {:>12.1} {:>12.1} {:>12.1}", n, row[0], row[1], row[2]);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1}",
+            n, row[0], row[1], row[2]
+        );
     }
     println!("\nExpected shape (paper Fig. 4): layouts 1 and 2 close, layout 3 worst.");
 }

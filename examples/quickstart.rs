@@ -8,9 +8,7 @@
 //! here — the models are given — and go straight to the Solve step: the
 //! min–max MINLP of Eq. (1), solved by the LP/NLP-based branch and bound.
 
-use hslb::{
-    build_flat_model, solve_model, ComponentSpec, FlatSpec, Objective, SolverBackend,
-};
+use hslb::{build_flat_model, solve_model, ComponentSpec, FlatSpec, Objective, SolverBackend};
 use hslb_perfmodel::PerfModel;
 
 fn main() {
@@ -35,12 +33,21 @@ fn main() {
     let alloc = model.allocation(&spec, &solution);
 
     println!("HSLB allocation of 48 nodes (min-max objective):");
-    for (comp, (&nodes, &time)) in
-        spec.components.iter().zip(alloc.nodes.iter().zip(&alloc.times))
+    for (comp, (&nodes, &time)) in spec
+        .components
+        .iter()
+        .zip(alloc.nodes.iter().zip(&alloc.times))
     {
-        println!("  {:<12} {:>3} nodes  ->  {:>8.2} s", comp.name, nodes, time);
+        println!(
+            "  {:<12} {:>3} nodes  ->  {:>8.2} s",
+            comp.name, nodes, time
+        );
     }
-    println!("makespan: {:.2} s (imbalance {:.1}%)", alloc.makespan(), alloc.imbalance() * 100.0);
+    println!(
+        "makespan: {:.2} s (imbalance {:.1}%)",
+        alloc.makespan(),
+        alloc.imbalance() * 100.0
+    );
     println!(
         "solver: {} B&B nodes, {} LP solves, {} NLP solves, {} OA cuts",
         solution.nodes, solution.lp_solves, solution.nlp_solves, solution.cuts

@@ -7,8 +7,7 @@
 //! ```
 
 use hslb_minlp::{
-    solve_exhaustive, solve_nlp_bnb, solve_oa_bnb, solve_parallel_bnb, MinlpOptions,
-    MinlpProblem,
+    solve_exhaustive, solve_nlp_bnb, solve_oa_bnb, solve_parallel_bnb, MinlpOptions, MinlpProblem,
 };
 use hslb_nlp::{ConstraintFn, ScalarFn};
 
@@ -40,14 +39,20 @@ fn main() {
             .linear_term(n3, 1.0)
             .with_constant(-96.0),
     );
-    assert!(p.is_convex(), "positivity of a, b, d implies convexity (§III-E)");
+    assert!(
+        p.is_convex(),
+        "positivity of a, b, d implies convexity (§III-E)"
+    );
 
     let opts = MinlpOptions::default();
-    println!("{:<28}{:>12}{:>8}{:>8}{:>8}{:>8}", "solver", "objective", "nodes", "nlp", "lp", "cuts");
+    println!(
+        "{:<28}{:>12}{:>8}{:>8}{:>8}{:>8}",
+        "solver", "objective", "nodes", "nlp", "lp", "cuts"
+    );
     for (name, sol) in [
         ("LP/NLP B&B (paper, QG)", solve_oa_bnb(&p, &opts)),
         ("NLP-based B&B", solve_nlp_bnb(&p, &opts)),
-        ("parallel B&B (rayon)", solve_parallel_bnb(&p, &opts)),
+        ("parallel B&B (threads)", solve_parallel_bnb(&p, &opts)),
     ] {
         println!(
             "{:<28}{:>12.4}{:>8}{:>8}{:>8}{:>8}",
@@ -57,5 +62,8 @@ fn main() {
 
     // Cross-check against exhaustive enumeration.
     let oracle = solve_exhaustive(&p, 10_000_000).expect("small enough to enumerate");
-    println!("{:<28}{:>12.4}   ({} assignments)", "exhaustive oracle", oracle.objective, oracle.nodes);
+    println!(
+        "{:<28}{:>12.4}   ({} assignments)",
+        "exhaustive oracle", oracle.objective, oracle.nodes
+    );
 }

@@ -24,7 +24,10 @@ impl<F: FnMut(usize, u64, f64) -> f64> Workload for Corrupting<F> {
     }
 
     fn allowed(&self, _component: usize) -> AllowedNodes {
-        AllowedNodes::Range { min: 1, max: self.total as i64 }
+        AllowedNodes::Range {
+            min: 1,
+            max: self.total as i64,
+        }
     }
 
     fn execute(&mut self, _layout: Layout, alloc: &CesmAllocation) -> ExecutionReport {
@@ -32,7 +35,13 @@ impl<F: FnMut(usize, u64, f64) -> f64> Workload for Corrupting<F> {
         let lnd = self.models[1].eval(alloc.lnd as f64);
         let atm = self.models[2].eval(alloc.atm as f64);
         let ocn = self.models[3].eval(alloc.ocn as f64);
-        ExecutionReport { ice, lnd, atm, ocn, total: (ice.max(lnd) + atm).max(ocn) }
+        ExecutionReport {
+            ice,
+            lnd,
+            atm,
+            ocn,
+            total: (ice.max(lnd) + atm).max(ocn),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Title-paper (SC'12) claims on the FMO substrate.
 
 use hslb_fmo_sim::{generate_cluster, FmoSimulator};
+use hslb_rng::seeds;
 
 #[test]
 fn hslb_wins_grow_with_heterogeneity() {
@@ -8,16 +9,22 @@ fn hslb_wins_grow_with_heterogeneity() {
     // uniform static groups — the paper's core motivation.
     let mut ratios = Vec::new();
     for &het in &[0.0, 0.5, 1.0] {
-        let cluster = generate_cluster(64, het, 2012);
-        let mut sim = FmoSimulator::new(cluster, 64 * 6, 2012);
+        let cluster = generate_cluster(64, het, seeds::FMO);
+        let mut sim = FmoSimulator::new(cluster, 64 * 6, seeds::FMO);
         let (_, hslb) = sim.run_hslb(5).expect("feasible");
         let uniform = sim.execute_uniform(64);
         ratios.push(uniform.monomer_time / hslb.monomer_time);
     }
-    assert!(ratios[0] < 1.3, "homogeneous case should be near a tie: {ratios:?}");
+    assert!(
+        ratios[0] < 1.3,
+        "homogeneous case should be near a tie: {ratios:?}"
+    );
     assert!(ratios[1] > ratios[0], "{ratios:?}");
     assert!(ratios[2] > ratios[1], "{ratios:?}");
-    assert!(ratios[2] > 2.0, "heterogeneous win should be substantial: {ratios:?}");
+    assert!(
+        ratios[2] > 2.0,
+        "heterogeneous win should be substantial: {ratios:?}"
+    );
 }
 
 #[test]
@@ -84,5 +91,8 @@ fn dimer_step_scales_with_machine() {
     let mut large = FmoSimulator::new(cluster, 256, 5);
     let d_small = small.execute_uniform(8).dimer_time;
     let d_large = large.execute_uniform(8).dimer_time;
-    assert!((d_small / d_large - 4.0).abs() < 0.01, "{d_small} vs {d_large}");
+    assert!(
+        (d_small / d_large - 4.0).abs() < 0.01,
+        "{d_small} vs {d_large}"
+    );
 }

@@ -7,7 +7,7 @@ use hslb::{
 };
 use hslb_minlp::MinlpStatus;
 use hslb_perfmodel::PerfModel;
-use proptest::prelude::*;
+use hslb_rng::Rng;
 
 fn spec(params: [(f64, f64); 4], total: i64) -> CesmModelSpec {
     let comp = |k: usize, name: &str| {
@@ -25,7 +25,10 @@ fn spec(params: [(f64, f64); 4], total: i64) -> CesmModelSpec {
 
 #[test]
 fn objective_equals_layout_formula_for_all_layouts() {
-    let s = spec([(800.0, 1.0), (150.0, 0.2), (3000.0, 4.0), (1500.0, 2.0)], 48);
+    let s = spec(
+        [(800.0, 1.0), (150.0, 0.2), (3000.0, 4.0), (1500.0, 2.0)],
+        48,
+    );
     for layout in Layout::ALL {
         let model = build_layout_model(&s, layout);
         let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
@@ -51,20 +54,41 @@ fn layout_formulas_dominate_pointwise() {
     // nodes, which a small ocean-bound machine can prefer.)
     let s = spec([(400.0, 0.5), (90.0, 0.1), (2000.0, 2.0), (900.0, 1.0)], 96);
     for alloc in [
-        hslb::CesmAllocation { ice: 10, lnd: 6, atm: 16, ocn: 20 },
-        hslb::CesmAllocation { ice: 30, lnd: 30, atm: 60, ocn: 36 },
-        hslb::CesmAllocation { ice: 1, lnd: 1, atm: 2, ocn: 94 },
+        hslb::CesmAllocation {
+            ice: 10,
+            lnd: 6,
+            atm: 16,
+            ocn: 20,
+        },
+        hslb::CesmAllocation {
+            ice: 30,
+            lnd: 30,
+            atm: 60,
+            ocn: 36,
+        },
+        hslb::CesmAllocation {
+            ice: 1,
+            lnd: 1,
+            atm: 2,
+            ocn: 94,
+        },
     ] {
         let t1 = layout_predicted_times(&s, Layout::Hybrid, &alloc).total;
         let t2 = layout_predicted_times(&s, Layout::SequentialAtmGroup, &alloc).total;
         let t3 = layout_predicted_times(&s, Layout::FullySequential, &alloc).total;
-        assert!(t1 <= t2 + 1e-9 && t2 <= t3 + 1e-9, "{alloc:?}: {t1} {t2} {t3}");
+        assert!(
+            t1 <= t2 + 1e-9 && t2 <= t3 + 1e-9,
+            "{alloc:?}: {t1} {t2} {t3}"
+        );
     }
 }
 
 #[test]
 fn ticelnd_epigraph_is_tight_at_optimum() {
-    let s = spec([(800.0, 1.0), (150.0, 0.2), (3000.0, 4.0), (1500.0, 2.0)], 64);
+    let s = spec(
+        [(800.0, 1.0), (150.0, 0.2), (3000.0, 4.0), (1500.0, 2.0)],
+        64,
+    );
     let model = build_layout_model(&s, Layout::Hybrid);
     let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
     assert_eq!(sol.status, MinlpStatus::Optimal);
@@ -76,59 +100,69 @@ fn ticelnd_epigraph_is_tight_at_optimum() {
     // the ocean dominates, in which case it only needs to be <= T - T_a.
     let max_il = times.ice.max(times.lnd);
     if times.total > times.ocn + 1e-6 {
-        assert!((ticelnd - max_il).abs() < 1e-3 * max_il.max(1.0), "{ticelnd} vs {max_il}");
+        assert!(
+            (ticelnd - max_il).abs() < 1e-3 * max_il.max(1.0),
+            "{ticelnd} vs {max_il}"
+        );
     } else {
         assert!(ticelnd + times.atm <= times.total + 1e-3);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// Random monotone component surfaces: branch-and-bound must match the
-    /// independent monotone oracle on layout 1.
-    #[test]
-    fn bnb_matches_monotone_oracle(
-        ai in 100.0..5000.0f64,
-        al in 50.0..2000.0f64,
-        aa in 500.0..20_000.0f64,
-        ao in 200.0..8000.0f64,
-        di in 0.0..10.0f64,
-        dl in 0.0..5.0f64,
-        da in 0.0..20.0f64,
-        dd in 0.0..15.0f64,
-        total in 12i64..80,
-    ) {
-        let s = spec([(ai, di), (al, dl), (aa, da), (ao, dd)], total);
+/// Random monotone component surfaces: branch-and-bound must match the
+/// independent monotone oracle on layout 1.
+#[test]
+fn bnb_matches_monotone_oracle() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0xab);
+    for case in 0..10 {
+        let s = spec(
+            [
+                (rng.f64_range(100.0, 5000.0), rng.f64_range(0.0, 10.0)),
+                (rng.f64_range(50.0, 2000.0), rng.f64_range(0.0, 5.0)),
+                (rng.f64_range(500.0, 20_000.0), rng.f64_range(0.0, 20.0)),
+                (rng.f64_range(200.0, 8000.0), rng.f64_range(0.0, 15.0)),
+            ],
+            rng.i64_range(12, 79),
+        );
         let (oracle_alloc, oracle_t) = layout1_oracle(&s).expect("monotone spec");
         let model = build_layout_model(&s, Layout::Hybrid);
         let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
-        prop_assert_eq!(sol.status, MinlpStatus::Optimal);
-        prop_assert!(
+        assert_eq!(sol.status, MinlpStatus::Optimal, "case {case}");
+        assert!(
             sol.objective <= oracle_t * (1.0 + 1e-4) + 1e-6,
-            "bnb {} worse than oracle {} ({:?})", sol.objective, oracle_t, oracle_alloc
+            "case {case}: bnb {} worse than oracle {} ({:?})",
+            sol.objective,
+            oracle_t,
+            oracle_alloc
         );
         // The oracle is optimal too, so the bound works both ways.
-        prop_assert!(
+        assert!(
             oracle_t <= sol.objective * (1.0 + 1e-4) + 1e-6,
-            "oracle {} worse than bnb {}", oracle_t, sol.objective
+            "case {case}: oracle {} worse than bnb {}",
+            oracle_t,
+            sol.objective
         );
     }
+}
 
-    /// The solver's allocation always satisfies the structural constraints.
-    #[test]
-    fn allocations_satisfy_structure(
-        aa in 500.0..20_000.0f64,
-        ao in 200.0..8000.0f64,
-        total in 12i64..64,
-    ) {
+/// The solver's allocation always satisfies the structural constraints.
+#[test]
+fn allocations_satisfy_structure() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0xbb);
+    for case in 0..10 {
+        let aa = rng.f64_range(500.0, 20_000.0);
+        let ao = rng.f64_range(200.0, 8000.0);
+        let total = rng.i64_range(12, 63);
         let s = spec([(300.0, 1.0), (100.0, 0.5), (aa, 2.0), (ao, 1.0)], total);
         let model = build_layout_model(&s, Layout::Hybrid);
         let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
-        prop_assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert_eq!(sol.status, MinlpStatus::Optimal, "case {case}");
         let a = model.allocation(&sol);
-        prop_assert!(a.ice + a.lnd <= a.atm, "{a:?}");
-        prop_assert!(a.atm + a.ocn <= total as u64, "{a:?}");
-        prop_assert!(a.ice >= 1 && a.lnd >= 1 && a.atm >= 1 && a.ocn >= 1);
+        assert!(a.ice + a.lnd <= a.atm, "case {case}: {a:?}");
+        assert!(a.atm + a.ocn <= total as u64, "case {case}: {a:?}");
+        assert!(
+            a.ice >= 1 && a.lnd >= 1 && a.atm >= 1 && a.ocn >= 1,
+            "case {case}"
+        );
     }
 }

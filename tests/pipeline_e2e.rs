@@ -1,8 +1,8 @@
 //! End-to-end pipeline tests: gather → fit → solve → execute on the CESM
 //! simulator, asserting the paper's qualitative results.
 
-use hslb::{Layout, SolverBackend, Workload};
 use hslb::pipeline::run_hslb;
+use hslb::{Layout, SolverBackend, Workload};
 use hslb_cesm_sim::{manual_allocation, CesmSimulator, Scenario};
 use hslb_minlp::MinlpOptions;
 
@@ -34,10 +34,19 @@ fn one_degree_128_matches_paper_shape() {
     // Paper: manual and HSLB totals are "very close to each other";
     // manual 416 s, HSLB actual 425 s at 128 nodes.
     let rel = (out.actual.total - manual_total).abs() / manual_total;
-    assert!(rel < 0.10, "HSLB {} vs manual {manual_total}", out.actual.total);
+    assert!(
+        rel < 0.10,
+        "HSLB {} vs manual {manual_total}",
+        out.actual.total
+    );
     // Prediction accuracy: predicted within ~5% of actual.
     let pred_err = (out.predicted.total - out.actual.total).abs() / out.actual.total;
-    assert!(pred_err < 0.05, "predicted {} vs actual {}", out.predicted.total, out.actual.total);
+    assert!(
+        pred_err < 0.05,
+        "predicted {} vs actual {}",
+        out.predicted.total,
+        out.actual.total
+    );
     // Structural constraints of layout 1.
     let a = out.allocation;
     assert!(a.ice + a.lnd <= a.atm);
@@ -100,7 +109,10 @@ fn gather_uses_requested_sample_counts() {
             "component {c} needs >4 points for the 4-parameter fit (paper §III-C)"
         );
     }
-    assert_eq!(sim.benchmark_log.len(), counts.iter().map(Vec::len).sum::<usize>());
+    assert_eq!(
+        sim.benchmark_log.len(),
+        counts.iter().map(Vec::len).sum::<usize>()
+    );
 }
 
 #[test]
@@ -144,7 +156,11 @@ fn pipeline_runs_under_every_layout() {
     // The Execute step must follow the layout the Solve step optimized.
     let scenario = Scenario::one_degree(128);
     let mut totals = Vec::new();
-    for layout in [Layout::Hybrid, Layout::SequentialAtmGroup, Layout::FullySequential] {
+    for layout in [
+        Layout::Hybrid,
+        Layout::SequentialAtmGroup,
+        Layout::FullySequential,
+    ] {
         let mut sim = CesmSimulator::new(scenario.clone(), 77);
         let counts = scenario.benchmark_counts(5);
         let out = run_hslb(
@@ -165,7 +181,12 @@ fn pipeline_runs_under_every_layout() {
             _ => 0.12,
         };
         let err = (out.predicted.total - out.actual.total).abs() / out.actual.total;
-        assert!(err < tol, "{layout:?}: predicted {} vs actual {}", out.predicted.total, out.actual.total);
+        assert!(
+            err < tol,
+            "{layout:?}: predicted {} vs actual {}",
+            out.predicted.total,
+            out.actual.total
+        );
         totals.push(out.actual.total);
     }
     // No universal ordering is asserted here: at a 128-node machine layout 3

@@ -1,10 +1,8 @@
 //! Direct assertions on the paper's headline claims, driven through the
 //! same harness the `tables` binary uses (see EXPERIMENTS.md).
 
-use hslb_bench::harness::{
-    objective_comparison, sos_ablation, table3_block, true_spec,
-};
 use hslb::{build_layout_model, solve_model, Layout, SolverBackend};
+use hslb_bench::harness::{objective_comparison, sos_ablation, table3_block, true_spec};
 use hslb_cesm_sim::Scenario;
 
 #[test]
@@ -12,9 +10,16 @@ fn table3_one_degree_128_reproduces() {
     let block = table3_block(&Scenario::one_degree(128), 20120101);
     let manual = &block.report.manual.as_ref().expect("preset exists").1;
     // Paper: manual 416.0, HSLB predicted 410.6, HSLB actual 425.2.
-    assert!((manual.total - 416.0).abs() / 416.0 < 0.07, "manual {}", manual.total);
+    assert!(
+        (manual.total - 416.0).abs() / 416.0 < 0.07,
+        "manual {}",
+        manual.total
+    );
     let predicted = block.report.hslb.1.total;
-    assert!((predicted - 410.6).abs() / 410.6 < 0.07, "predicted {predicted}");
+    assert!(
+        (predicted - 410.6).abs() / 410.6 < 0.07,
+        "predicted {predicted}"
+    );
     let actual = block.report.actual.total;
     assert!((actual - 425.2).abs() / 425.2 < 0.07, "actual {actual}");
 }
@@ -24,7 +29,10 @@ fn table3_eighth_constrained_8192_improves_about_ten_percent() {
     // Paper: "improved by as much as 10% compared to the manual approach"
     // (manual 3785 s -> HSLB actual 3489 s ≈ 7.8%; predicted 3390 ≈ 10.4%).
     let block = table3_block(&Scenario::eighth_degree(8192), 20120101);
-    let improvement = block.report.improvement_pct().expect("manual preset exists");
+    let improvement = block
+        .report
+        .improvement_pct()
+        .expect("manual preset exists");
     assert!(
         (4.0..16.0).contains(&improvement),
         "expected ~10% improvement, got {improvement:.1}%"
@@ -38,7 +46,10 @@ fn unconstrained_ocean_at_32k_gives_paper_scale_win() {
     // Abstract: "we improved the speed of CESM on 32,768 nodes for 1/8°
     // resolution simulations by 25% compared to a baseline guess".
     let block = table3_block(&Scenario::eighth_degree_unconstrained(32_768), 20120101);
-    let improvement = block.report.improvement_pct().expect("synthesized baseline");
+    let improvement = block
+        .report
+        .improvement_pct()
+        .expect("synthesized baseline");
     assert!(
         improvement > 18.0,
         "expected paper-scale (~25%) improvement, got {improvement:.1}%"
@@ -89,7 +100,10 @@ fn objective_ranking_matches_section_iii_d() {
     let minmax = get(hslb::Objective::MinMax);
     let maxmin = get(hslb::Objective::MaxMin);
     let minsum = get(hslb::Objective::MinSum);
-    assert!(minmax <= maxmin + 1e-6, "minmax {minmax} vs maxmin {maxmin}");
+    assert!(
+        minmax <= maxmin + 1e-6,
+        "minmax {minmax} vs maxmin {maxmin}"
+    );
     assert!(
         minsum > minmax * 1.10,
         "min-sum must be clearly worse: {minsum} vs {minmax}"
@@ -105,6 +119,9 @@ fn layout_ranking_matches_figure_4() {
         totals.push(solve_model(&model.problem, SolverBackend::OuterApproximation).objective);
     }
     // Layouts 1 and 2 similar (within 10%), layout 3 clearly worst.
-    assert!((totals[0] - totals[1]).abs() / totals[0] < 0.10, "{totals:?}");
+    assert!(
+        (totals[0] - totals[1]).abs() / totals[0] < 0.10,
+        "{totals:?}"
+    );
     assert!(totals[2] > totals[0] * 1.15, "{totals:?}");
 }

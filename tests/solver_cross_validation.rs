@@ -2,11 +2,11 @@
 //! exhaustive oracle, including property-based instances.
 
 use hslb_minlp::{
-    encode_sets_as_binaries, solve_exhaustive, solve_nlp_bnb, solve_oa_bnb,
-    solve_parallel_bnb, BranchRule, MinlpOptions, MinlpProblem, MinlpStatus, NodeSelection,
+    encode_sets_as_binaries, solve_exhaustive, solve_nlp_bnb, solve_oa_bnb, solve_parallel_bnb,
+    BranchRule, MinlpOptions, MinlpProblem, MinlpStatus, NodeSelection,
 };
 use hslb_nlp::{ConstraintFn, ScalarFn};
-use proptest::prelude::*;
+use hslb_rng::Rng;
 
 /// Builds a K-component min-max allocation MINLP.
 fn allocation(loads: &[(f64, f64)], cap: i64) -> MinlpProblem {
@@ -55,7 +55,11 @@ fn branch_rules_and_node_selection_reach_same_optimum() {
     let mut objs = Vec::new();
     for rule in [BranchRule::MostFractional, BranchRule::FirstFractional] {
         for sel in [NodeSelection::BestBound, NodeSelection::DepthFirst] {
-            let opts = MinlpOptions { branch_rule: rule, node_selection: sel, ..Default::default() };
+            let opts = MinlpOptions {
+                branch_rule: rule,
+                node_selection: sel,
+                ..Default::default()
+            };
             let sol = solve_oa_bnb(&p, &opts);
             assert_eq!(sol.status, MinlpStatus::Optimal, "{rule:?}/{sel:?}");
             objs.push(sol.objective);
@@ -101,37 +105,41 @@ fn binary_encoding_agrees_with_native_sets() {
     assert_eq!(enc.num_vars(), p.num_vars() + blocks[0].2);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random 2-3 component allocations: OA agrees with the exhaustive
-    /// oracle. Small case count — each case is a full MINLP solve.
-    #[test]
-    fn oa_matches_oracle_on_random_instances(
-        loads in proptest::collection::vec((20.0..800.0f64, 0.0..10.0f64), 2..4),
-        cap in 6i64..20,
-    ) {
+/// Random 2-3 component allocations: OA agrees with the exhaustive
+/// oracle. Small case count — each case is a full MINLP solve.
+#[test]
+fn oa_matches_oracle_on_random_instances() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x8b);
+    for case in 0..12 {
+        let k = rng.usize_range(2, 3);
+        let loads: Vec<(f64, f64)> = (0..k)
+            .map(|_| (rng.f64_range(20.0, 800.0), rng.f64_range(0.0, 10.0)))
+            .collect();
+        let cap = rng.i64_range(6, 19);
         let p = allocation(&loads, cap);
         let oa = solve_oa_bnb(&p, &MinlpOptions::default());
         let oracle = solve_exhaustive(&p, 2_000_000).expect("enumerable");
-        prop_assert_eq!(oa.status, MinlpStatus::Optimal);
-        prop_assert_eq!(oracle.status, MinlpStatus::Optimal);
-        prop_assert!(
-            (oa.objective - oracle.objective).abs()
-                <= 1e-3 * oracle.objective.abs().max(1.0),
-            "oa {} vs oracle {}", oa.objective, oracle.objective
+        assert_eq!(oa.status, MinlpStatus::Optimal, "case {case}");
+        assert_eq!(oracle.status, MinlpStatus::Optimal, "case {case}");
+        assert!(
+            (oa.objective - oracle.objective).abs() <= 1e-3 * oracle.objective.abs().max(1.0),
+            "case {case}: oa {} vs oracle {}",
+            oa.objective,
+            oracle.objective
         );
     }
+}
 
-    /// Random set-constrained single-variable problems: the optimum must be
-    /// an allowed value minimizing the (convex) curve.
-    #[test]
-    fn set_variable_optimum_is_best_member(
-        values in proptest::collection::btree_set(1i64..200, 2..10),
-        a in 50.0..2000.0f64,
-        b in 0.0..5.0f64,
-    ) {
-        let values: Vec<i64> = values.into_iter().collect();
+/// Random set-constrained single-variable problems: the optimum must be
+/// an allowed value minimizing the (convex) curve.
+#[test]
+fn set_variable_optimum_is_best_member() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x9b);
+    for case in 0..12 {
+        let count = rng.usize_range(2, 9);
+        let values = rng.distinct_sorted(count, 1, 199);
+        let a = rng.f64_range(50.0, 2000.0);
+        let b = rng.f64_range(0.0, 5.0);
         let mut p = MinlpProblem::new();
         let n = p.add_set_var(0.0, values.iter().copied());
         let t = p.add_var(1.0, 0.0, 1e9);
@@ -141,13 +149,17 @@ proptest! {
                 .linear_term(t, -1.0),
         );
         let sol = solve_oa_bnb(&p, &MinlpOptions::default());
-        prop_assert_eq!(sol.status, MinlpStatus::Optimal);
+        assert_eq!(sol.status, MinlpStatus::Optimal, "case {case}");
         let best = values
             .iter()
             .map(|&v| a / v as f64 + b * v as f64)
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((sol.objective - best).abs() <= 1e-4 * best.max(1.0),
-            "solver {} vs best member {}", sol.objective, best);
-        prop_assert!(values.contains(&(sol.x[n].round() as i64)));
+        assert!(
+            (sol.objective - best).abs() <= 1e-4 * best.max(1.0),
+            "case {case}: solver {} vs best member {}",
+            sol.objective,
+            best
+        );
+        assert!(values.contains(&(sol.x[n].round() as i64)), "case {case}");
     }
 }

@@ -56,7 +56,7 @@ impl DecompositionSelector {
             }
             winners.push(((n.max(1) as f64).log2(), best.0));
         }
-        winners.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        winners.sort_by(|a, b| a.0.total_cmp(&b.0));
         DecompositionSelector { winners, training }
     }
 
@@ -70,13 +70,8 @@ impl DecompositionSelector {
         let logn = (nodes.max(1) as f64).log2();
         self.winners
             .iter()
-            .min_by(|a, b| {
-                (a.0 - logn)
-                    .abs()
-                    .partial_cmp(&(b.0 - logn).abs())
-                    .expect("finite")
-            })
-            .expect("non-empty")
+            .min_by(|a, b| (a.0 - logn).abs().total_cmp(&(b.0 - logn).abs()))
+            .expect("fit() trains on at least one node count")
             .1
     }
 

@@ -6,6 +6,9 @@
 //! real CESM build whose CICE decomposition is chosen deterministically from
 //! the processor count.
 
+/// Floor on Box–Muller uniforms so `ln(u1)` stays finite.
+const UNIFORM_FLOOR: f64 = 1e-12;
+
 /// SplitMix64 — tiny, high-quality 64-bit mixer.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -22,7 +25,7 @@ fn uniform(seed: u64, a: u64, b: u64, c: u64) -> f64 {
 
 /// Standard normal via Box–Muller from two keyed uniforms.
 fn std_normal(seed: u64, a: u64, b: u64, c: u64) -> f64 {
-    let u1 = uniform(seed, a, b, c).max(1e-12);
+    let u1 = uniform(seed, a, b, c).max(UNIFORM_FLOOR);
     let u2 = uniform(seed ^ 0xDEAD_BEEF, a, b, c);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
@@ -30,6 +33,7 @@ fn std_normal(seed: u64, a: u64, b: u64, c: u64) -> f64 {
 /// Multiplicative log-normal run-to-run noise with standard deviation
 /// `sigma` (as a fraction): `exp(sigma·Z - sigma²/2)` has mean 1.
 pub fn run_noise(seed: u64, component: u64, nodes: u64, draw: u64, sigma: f64) -> f64 {
+    // lint:allow(float-eq): 0.0 is the documented noise-off sentinel, passed literally by callers
     if sigma == 0.0 {
         return 1.0;
     }
@@ -51,6 +55,7 @@ pub const NUM_STRATEGIES: usize = 7;
 /// node counts prefer the same strategy.
 pub fn strategy_bias(nodes: u64, strategy: usize, amplitude: f64) -> f64 {
     debug_assert!(strategy < NUM_STRATEGIES);
+    // lint:allow(float-eq): 0.0 is the documented bias-off sentinel, passed literally by callers
     if amplitude == 0.0 {
         return 1.0;
     }

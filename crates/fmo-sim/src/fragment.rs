@@ -2,6 +2,12 @@
 
 use hslb_perfmodel::PerfModel;
 
+/// `x.round()` as a `u32` — named so the rounding intent is explicit
+/// (mirrors `hslb_linalg::approx`; kept local to avoid the dependency).
+fn round_to_u32(x: f64) -> u32 {
+    x.round() as u32
+}
+
 /// One FMO fragment (e.g. a water molecule or a merged multi-water
 /// fragment in a cluster; proteins fragment per residue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +78,7 @@ pub fn generate_cluster(num_fragments: usize, heterogeneity: f64, seed: u64) -> 
             } else {
                 let tail = (next() >> 11) as f64 / (1u64 << 53) as f64;
                 let factor = 1.0 + heterogeneity * 19.0 * tail * tail;
-                (3.0 * factor).round() as u32
+                round_to_u32(3.0 * factor)
             };
             Fragment {
                 id: id as u32,

@@ -45,7 +45,7 @@ pub fn uniform_groups(
         let g = group_load
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(g, _)| g)
             .expect("at least one group");
         group_of[f] = g;
@@ -63,18 +63,14 @@ pub fn uniform_groups(
 pub fn dynamic_lpt_schedule(times_on_group: &[f64], num_groups: usize) -> f64 {
     assert!(num_groups > 0, "need at least one group");
     let mut order: Vec<usize> = (0..times_on_group.len()).collect();
-    order.sort_by(|&a, &b| {
-        times_on_group[b]
-            .partial_cmp(&times_on_group[a])
-            .expect("finite")
-    });
+    order.sort_by(|&a, &b| times_on_group[b].total_cmp(&times_on_group[a]));
     let mut free_at = vec![0.0f64; num_groups];
     for &f in &order {
         // Next group to free up takes the fragment.
         let g = free_at
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(g, _)| g)
             .expect("at least one group");
         free_at[g] += times_on_group[f];

@@ -5,6 +5,9 @@ use crate::gddi::{dynamic_lpt_schedule, uniform_groups, GroupAssignment};
 use hslb::{solve_minmax_waterfill, ComponentSpec, FlatAllocation, FlatSpec, Objective};
 use hslb_perfmodel::{fit, ScalingData};
 
+/// Floor on Box–Muller uniforms so `ln(u1)` stays finite.
+const UNIFORM_FLOOR: f64 = 1e-12;
+
 /// Deterministic multiplicative noise (log-normal-ish) keyed on the run.
 fn noise(seed: u64, frag: u64, nodes: u64, draw: u64, sigma: f64) -> f64 {
     // Reuse the splitmix-based construction locally to avoid a dependency
@@ -16,7 +19,7 @@ fn noise(seed: u64, frag: u64, nodes: u64, draw: u64, sigma: f64) -> f64 {
         z ^ (z >> 31)
     }
     let u1 = ((mix(seed ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64 / (1u64 << 53) as f64)
-        .max(1e-12);
+        .max(UNIFORM_FLOOR);
     let u2 = (mix(seed ^ 0xC0FF_EE00 ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64
         / (1u64 << 53) as f64;
     let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
@@ -298,7 +301,7 @@ impl FmoSimulator {
         order.sort_by(|&a, &b| {
             let ca = frag_spec.components[a].model.eval(1.0);
             let cb = frag_spec.components[b].model.eval(1.0);
-            cb.partial_cmp(&ca).expect("finite")
+            cb.total_cmp(&ca)
         });
         let mut group_of = vec![0usize; self.fragments.len()];
         let mut group_load = vec![0.0f64; num_groups];
@@ -306,7 +309,7 @@ impl FmoSimulator {
             let g = group_load
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
                 .map(|(g, _)| g)
                 .expect("at least one group");
             group_of[f] = g;

@@ -73,6 +73,7 @@ impl Json {
     /// Numeric value if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // lint:allow(float-eq): fract() of an integer-valued double is exactly 0.0 — this tests exact representability, not closeness
             Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
                 Some(*x as u64)
             }
@@ -83,6 +84,7 @@ impl Json {
     /// Numeric value if it is an integer.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
+            // lint:allow(float-eq): fract() of an integer-valued double is exactly 0.0 — this tests exact representability, not closeness
             Json::Num(x) if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 => {
                 Some(*x as i64)
             }

@@ -226,7 +226,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar (input is &str, so valid).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s
+                        .chars()
+                        .next()
+                        .expect("pos < len so at least one char remains");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -273,7 +276,8 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number text is ASCII digits and signs by construction");
         match text.parse::<f64>() {
             Ok(x) if x.is_finite() => Ok(Json::Num(x)),
             _ => Err(self.err("number out of range")),

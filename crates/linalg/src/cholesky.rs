@@ -2,6 +2,11 @@
 
 use crate::{LinalgError, Matrix, Result};
 
+/// Smallest regularization shift, relative to the largest diagonal entry:
+/// the minimal ridge that reliably rescues a semidefinite Hessian model
+/// without visibly perturbing the Newton step.
+const MIN_SHIFT_REL: f64 = 1e-12;
+
 /// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
 ///
 /// The trust-region (Levenberg–Marquardt) and log-barrier Newton solvers both
@@ -62,7 +67,7 @@ impl Cholesky {
         let max_diag = (0..a.rows())
             .map(|i| a[(i, i)].abs())
             .fold(f64::EPSILON, f64::max);
-        let mut shift = initial_shift.max(1e-12 * max_diag);
+        let mut shift = initial_shift.max(MIN_SHIFT_REL * max_diag);
         let limit = 1e8 * max_diag.max(1.0);
         while shift <= limit {
             let mut shifted = a.clone();

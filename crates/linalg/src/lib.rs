@@ -11,11 +11,14 @@
 //! * [`Lu`] — partial-pivoting LU for general square systems.
 //! * [`Qr`] — Householder QR for least-squares subproblems.
 //! * [`vecops`] — the handful of BLAS-1 style vector helpers used everywhere.
+//! * [`approx`] — the workspace tolerance vocabulary: named comparisons,
+//!   fuzzy integer snaps, and intent-named float→int conversions.
 //!
 //! All factorizations report failure through [`LinalgError`] instead of
 //! panicking so callers (iterative solvers) can recover, e.g. by adding
 //! regularization and retrying.
 
+pub mod approx;
 pub mod cholesky;
 pub mod lu;
 pub mod matrix;

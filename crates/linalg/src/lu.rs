@@ -69,7 +69,7 @@ impl Lu {
             for i in (k + 1)..n {
                 let factor = m[(i, k)] / pivot;
                 m[(i, k)] = factor;
-                if factor != 0.0 {
+                if !crate::approx::exactly_zero(factor) {
                     for j in (k + 1)..n {
                         let ukj = m[(k, j)];
                         m[(i, j)] -= factor * ukj;
@@ -123,7 +123,7 @@ impl Lu {
             mn = mn.min(d);
             mx = mx.max(d);
         }
-        if mx == 0.0 {
+        if crate::approx::exactly_zero(mx) {
             0.0
         } else {
             mn / mx

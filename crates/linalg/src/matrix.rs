@@ -145,7 +145,7 @@ impl Matrix {
         debug_assert_eq!(x.len(), self.rows);
         let mut y = vec![0.0; self.cols];
         for (i, &xi) in x.iter().enumerate() {
-            if xi != 0.0 {
+            if !crate::approx::exactly_zero(xi) {
                 for (yj, aij) in y.iter_mut().zip(self.row(i)) {
                     *yj += aij * xi;
                 }
@@ -167,7 +167,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                if crate::approx::exactly_zero(aik) {
                     continue;
                 }
                 let brow = other.row(k);
@@ -188,7 +188,7 @@ impl Matrix {
             let row = self.row(k);
             for i in 0..n {
                 let rki = row[i];
-                if rki == 0.0 {
+                if crate::approx::exactly_zero(rki) {
                     continue;
                 }
                 for j in i..n {

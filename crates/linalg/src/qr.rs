@@ -2,6 +2,11 @@
 
 use crate::{LinalgError, Matrix, Result};
 
+/// Diagonal entries of `R` below this are treated as rank-deficient: well
+/// below any pivot a conditioned least-squares subproblem produces, well
+/// above denormal noise.
+const RANK_TOL: f64 = 1e-13;
+
 /// Householder QR of an `m x n` matrix with `m >= n`.
 ///
 /// `Q` is kept in factored (reflector) form; this is all the Levenberg–
@@ -35,7 +40,7 @@ impl Qr {
                 norm += r[(i, k)] * r[(i, k)];
             }
             let norm = norm.sqrt();
-            if norm == 0.0 {
+            if crate::approx::exactly_zero(norm) {
                 taus.push(0.0);
                 continue;
             }
@@ -46,7 +51,7 @@ impl Qr {
             for i in (k + 1)..m {
                 vnorm2 += r[(i, k)] * r[(i, k)];
             }
-            if vnorm2 == 0.0 {
+            if crate::approx::exactly_zero(vnorm2) {
                 taus.push(0.0);
                 continue;
             }
@@ -80,7 +85,7 @@ impl Qr {
         debug_assert_eq!(b.len(), m);
         for k in 0..n {
             let tau = self.taus[k];
-            if tau == 0.0 {
+            if crate::approx::exactly_zero(tau) {
                 continue;
             }
             let mut s = b[k];
@@ -110,7 +115,7 @@ impl Qr {
                 s -= self.packed[(i, j)] * xj;
             }
             let rii = self.packed[(i, i)];
-            if rii.abs() < 1e-13 {
+            if rii.abs() < RANK_TOL {
                 return Err(LinalgError::Singular { pivot: i });
             }
             x[i] = s / rii;

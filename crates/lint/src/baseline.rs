@@ -1,0 +1,120 @@
+//! The grandfathering baseline: a committed, sorted list of finding
+//! fingerprints that the gate tolerates while the debt is burned down.
+//!
+//! Fingerprints deliberately exclude line numbers — they are built from
+//! `(rule, path, enclosing fn, snippet, occurrence-index)` so unrelated
+//! edits to a file do not invalidate the baseline, while a second identical
+//! finding in the same function *does* show up as new.
+
+use crate::rules::Finding;
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::path::Path;
+
+/// Header written at the top of a regenerated baseline file.
+const HEADER: &str = "\
+# hslb-lint baseline — grandfathered findings, one fingerprint per line.
+# Regenerate with `hslb-lint --workspace --fix-baseline`; shrink it, never
+# grow it: new code must be clean or carry a reasoned lint:allow.
+";
+
+/// Computes the baseline fingerprint for each finding, in input order.
+/// Identical `(rule, path, fn, snippet)` tuples are disambiguated with a
+/// stable occurrence counter (findings arrive sorted by line).
+pub fn fingerprints(findings: &[Finding]) -> Vec<String> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let base = format!(
+                "{}\t{}\t{}\t{}",
+                f.rule,
+                f.path.replace('\\', "/"),
+                f.fn_name.as_deref().unwrap_or("-"),
+                f.snippet
+            );
+            let n = seen.entry(base.clone()).or_insert(0);
+            *n += 1;
+            format!("{base}\t#{n}")
+        })
+        .collect()
+}
+
+/// Reads a baseline file; a missing file is an empty baseline.
+pub fn read(path: &Path) -> io::Result<BTreeSet<String>> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(BTreeSet::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes the baseline deterministically: sorted, normalized paths, with a
+/// fixed header — byte-identical output for identical findings.
+pub fn write(path: &Path, fingerprints: &[String]) -> io::Result<()> {
+    let sorted: BTreeSet<&str> = fingerprints.iter().map(String::as_str).collect();
+    let mut out = String::from(HEADER);
+    for fp in sorted {
+        out.push_str(fp);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, snippet: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            fn_name: Some("f".into()),
+            snippet: snippet.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn occurrences_disambiguate_identical_findings() {
+        let fs = vec![
+            finding("float-eq", "a == 0.0", 3),
+            finding("float-eq", "a == 0.0", 9),
+        ];
+        let fps = fingerprints(&fs);
+        assert_ne!(fps[0], fps[1]);
+        assert!(fps[0].ends_with("#1"));
+        assert!(fps[1].ends_with("#2"));
+    }
+
+    #[test]
+    fn fingerprints_ignore_lines() {
+        let a = fingerprints(&[finding("float-eq", "a == 0.0", 3)]);
+        let b = fingerprints(&[finding("float-eq", "a == 0.0", 33)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_is_deterministic() {
+        let dir = std::env::temp_dir().join("hslb-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("baseline.txt");
+        let fps = fingerprints(&[
+            finding("float-eq", "b == 1.0", 5),
+            finding("float-eq", "a == 0.0", 3),
+        ]);
+        write(&p, &fps).unwrap();
+        let first = std::fs::read_to_string(&p).unwrap();
+        write(&p, &fps).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&p).unwrap());
+        let set = read(&p).unwrap();
+        assert_eq!(set.len(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,281 @@
+//! Item attribution: assigns every token a context — enclosing function,
+//! test-ness, const-ness, attribute-ness — by tracking brace structure and
+//! item keywords over the flat token stream.
+//!
+//! The model is deliberately simple: every `{` pushes a scope (either a new
+//! item scope, when an item header was just seen, or an inherited one for
+//! blocks, closures, match arms, struct literals), every `}` pops. A
+//! `#[test]` / `#[cfg(test)]` attribute marks the next item as test code,
+//! and test-ness is inherited by everything nested inside.
+
+use crate::lex::{TokKind, Token};
+
+/// Per-token context bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenCtx {
+    /// Inside `#[cfg(test)]` / `#[test]` / `#[bench]` items (transitively).
+    pub in_test: bool,
+    /// Inside a `const` / `static` item's initializer.
+    pub in_const: bool,
+    /// Inside an attribute (`#[…]` or `#![…]`).
+    pub in_attr: bool,
+    /// Index into the name table of the enclosing `fn`, if any.
+    pub fn_name: Option<usize>,
+}
+
+/// Context for every token, plus the function-name table.
+#[derive(Debug, Default)]
+pub struct ContextMap {
+    pub ctx: Vec<TokenCtx>,
+    pub fn_names: Vec<String>,
+}
+
+impl ContextMap {
+    /// The enclosing function name for token `i`, if any.
+    pub fn fn_name_at(&self, i: usize) -> Option<&str> {
+        self.ctx
+            .get(i)
+            .and_then(|c| c.fn_name)
+            .map(|k| self.fn_names[k].as_str())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    in_test: bool,
+    fn_name: Option<usize>,
+}
+
+/// Item keywords that consume a pending `#[…]` attribute.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "mod",
+    "struct",
+    "enum",
+    "union",
+    "impl",
+    "trait",
+    "const",
+    "static",
+    "type",
+    "use",
+    "macro_rules",
+];
+
+/// Computes the context of every token in `tokens`.
+pub fn contexts(tokens: &[Token]) -> ContextMap {
+    let mut map = ContextMap {
+        ctx: Vec::with_capacity(tokens.len()),
+        fn_names: Vec::new(),
+    };
+    let mut scopes = vec![Scope {
+        in_test: false,
+        fn_name: None,
+    }];
+
+    // Attribute scanning state: bracket depth of an open `#[…]`, and the
+    // collected text used to detect test markers.
+    let mut attr_depth: Option<usize> = None;
+    let mut bracket_depth = 0usize;
+    let mut attr_text = String::new();
+    let mut pending_test = false;
+
+    // Item-header state: set when `fn`/`mod`/`impl`/`trait` is seen; the
+    // next `{` opens that item's body.
+    let mut pending_scope: Option<Scope> = None;
+    let mut awaiting_fn_name = false;
+
+    // Const-item state: brace depth at the `const`/`static` keyword; the
+    // initializer ends at a `;` back at that depth.
+    let mut brace_depth = 0usize;
+    let mut const_at: Option<usize> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let cur = *scopes.last().expect("root scope never popped");
+        let mut ctx = TokenCtx {
+            in_test: cur.in_test,
+            in_const: const_at.is_some(),
+            in_attr: attr_depth.is_some(),
+            fn_name: cur.fn_name,
+        };
+
+        if let Some(open_depth) = attr_depth {
+            // Inside `#[…]`: collect text, watch for the closing bracket.
+            match t.text.as_str() {
+                "[" => bracket_depth += 1,
+                "]" => {
+                    bracket_depth -= 1;
+                    if bracket_depth == open_depth {
+                        attr_depth = None;
+                        if attr_text.contains("test") || attr_text.contains("bench") {
+                            // `#[cfg(not(test))]` is not a test marker.
+                            if !attr_text.contains("not") {
+                                pending_test = true;
+                            }
+                        }
+                    }
+                }
+                s => {
+                    attr_text.push_str(s);
+                    attr_text.push(' ');
+                }
+            }
+            ctx.in_attr = true;
+            map.ctx.push(ctx);
+            i += 1;
+            continue;
+        }
+
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "#") => {
+                // `#[` or `#![` opens an attribute.
+                let bracket_at = if tokens.get(i + 1).is_some_and(|n| n.text == "!") {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                if tokens.get(bracket_at).is_some_and(|n| n.text == "[") {
+                    attr_depth = Some(bracket_depth);
+                    attr_text.clear();
+                    ctx.in_attr = true;
+                }
+            }
+            (TokKind::Punct, "[") => bracket_depth += 1,
+            (TokKind::Punct, "]") => bracket_depth = bracket_depth.saturating_sub(1),
+            (TokKind::Ident, "fn") => {
+                awaiting_fn_name = true;
+                // `const fn` is a function, not a const item.
+                if const_at == Some(brace_depth) {
+                    const_at = None;
+                }
+                pending_scope = Some(Scope {
+                    in_test: cur.in_test || pending_test,
+                    fn_name: cur.fn_name,
+                });
+                pending_test = false;
+            }
+            (TokKind::Ident, "mod" | "impl" | "trait") => {
+                pending_scope = Some(Scope {
+                    in_test: cur.in_test || pending_test,
+                    fn_name: None,
+                });
+                pending_test = false;
+            }
+            (TokKind::Ident, "const" | "static") => {
+                // A const *item* (not `const fn`, handled above) runs to the
+                // terminating `;` at this brace depth.
+                if tokens.get(i + 1).is_none_or(|n| n.text != "fn") {
+                    const_at = Some(brace_depth);
+                }
+                pending_test = false;
+            }
+            (TokKind::Ident, kw) if ITEM_KEYWORDS.contains(&kw) => pending_test = false,
+            (TokKind::Ident, _) if awaiting_fn_name => {
+                awaiting_fn_name = false;
+                let idx = map.fn_names.len();
+                map.fn_names.push(t.text.clone());
+                if let Some(s) = pending_scope.as_mut() {
+                    s.fn_name = Some(idx);
+                }
+                ctx.fn_name = Some(idx);
+            }
+            (TokKind::Punct, "{") => {
+                brace_depth += 1;
+                let scope = pending_scope.take().unwrap_or(cur);
+                scopes.push(scope);
+            }
+            (TokKind::Punct, "}") => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if scopes.len() > 1 {
+                    scopes.pop();
+                }
+                if const_at.is_some_and(|d| d > brace_depth) {
+                    const_at = None;
+                }
+            }
+            (TokKind::Punct, ";") => {
+                // Ends item headers without bodies (trait fns, `use`, …) —
+                // signatures contain no `;`, so any `;` cancels a pending
+                // item — and const initializers back at their own depth.
+                pending_scope = None;
+                awaiting_fn_name = false;
+                if const_at == Some(brace_depth) {
+                    const_at = None;
+                }
+            }
+            _ => {}
+        }
+
+        map.ctx.push(ctx);
+        i += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn ctx_of(src: &str, needle: &str) -> (TokenCtx, Option<String>) {
+        let out = lex(src);
+        let map = contexts(&out.tokens);
+        let i = out
+            .tokens
+            .iter()
+            .position(|t| t.text == needle)
+            .unwrap_or_else(|| panic!("token {needle:?} not found"));
+        (map.ctx[i], map.fn_name_at(i).map(str::to_owned))
+    }
+
+    #[test]
+    fn fn_names_attach() {
+        let src = "fn alpha() { let x = 1; } fn beta() { let y = 2; }";
+        assert_eq!(ctx_of(src, "x").1.as_deref(), Some("alpha"));
+        assert_eq!(ctx_of(src, "y").1.as_deref(), Some("beta"));
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_everything_inside() {
+        let src = "fn lib() { let a = 1; }\n#[cfg(test)]\nmod tests { fn helper() { let b = 2; } }";
+        assert!(!ctx_of(src, "a").0.in_test);
+        let (c, f) = ctx_of(src, "b");
+        assert!(c.in_test);
+        assert_eq!(f.as_deref(), Some("helper"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let src = "#[cfg(not(test))]\nfn lib() { let a = 1; }";
+        assert!(!ctx_of(src, "a").0.in_test);
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let src = "#[test]\nfn t() { let a = 1; }\nfn lib() { let b = 2; }";
+        assert!(ctx_of(src, "a").0.in_test);
+        assert!(!ctx_of(src, "b").0.in_test);
+    }
+
+    #[test]
+    fn const_item_tracked_but_const_fn_is_not() {
+        let src = "const TOL: f64 = 1e-9;\nconst fn f() -> f64 { 2e-9 }";
+        assert!(ctx_of(src, "1e-9").0.in_const);
+        assert!(!ctx_of(src, "2e-9").0.in_const);
+    }
+
+    #[test]
+    fn attr_tokens_are_marked() {
+        let src = "#[derive(Debug)]\nstruct S { x: f64 }";
+        assert!(ctx_of(src, "Debug").0.in_attr);
+        assert!(!ctx_of(src, "x").0.in_attr);
+    }
+
+    #[test]
+    fn closures_inherit_fn_name() {
+        let src = "fn outer() { let f = || { inner_marker(); }; }";
+        assert_eq!(ctx_of(src, "inner_marker").1.as_deref(), Some("outer"));
+    }
+}

@@ -1,0 +1,440 @@
+//! A small Rust lexer, sufficient for token-pattern static analysis.
+//!
+//! This is *not* a full Rust front end: it produces a flat token stream with
+//! line numbers, plus a side list of comments (needed for suppression
+//! scanning). What it does get right — because the rules depend on it — are
+//! the lexical corners that break naive regex scanners:
+//!
+//! - nested block comments (`/* /* */ */`),
+//! - raw strings (`r"…"`, `r#"…"#`, any hash depth, `b`-prefixed too),
+//! - char literals vs lifetimes (`'"'`, `'\''`, `'\u{1F}'` vs `'a`, `'static`),
+//! - raw identifiers (`r#fn`),
+//! - numeric literals with underscores, exponents and suffixes
+//!   (`1_000`, `1e-9`, `0x1e5`, `1f64`, `1.max(2)` is int-then-method).
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `1f64`, …).
+    Float,
+    /// String or byte-string literal, raw or cooked.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Punctuation / operator (multi-char operators are one token).
+    Punct,
+}
+
+/// One token with its source text and 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A comment (line or block) with its 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output: the code token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Three-character operators, matched before the two-character set.
+const OPS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+/// Two-character operators.
+const OPS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+/// Tokenizes `src`. Unknown bytes are skipped (the analyzer is a linter, not
+/// a compiler — it must keep going on anything `rustc` would reject too).
+pub fn lex(src: &str) -> LexOutput {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(start, line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(start, line),
+                b'r' | b'b' => self.ident_or_prefixed_literal(start, line),
+                b'"' => self.string(start, line),
+                b'\'' => self.char_or_lifetime(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                _ if is_ident_start(b) => self.ident(start, line),
+                _ => self.punct(start, line),
+            }
+        }
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// `r`/`b` may begin a raw string, byte string, byte char, raw
+    /// identifier, or a plain identifier.
+    fn ident_or_prefixed_literal(&mut self, start: usize, line: u32) {
+        let b0 = self.peek(0);
+        // b'x' byte char.
+        if b0 == b'b' && self.peek(1) == b'\'' {
+            self.bump();
+            self.char_body();
+            self.push(TokKind::Char, start, line);
+            return;
+        }
+        // b"..." cooked byte string.
+        if b0 == b'b' && self.peek(1) == b'"' {
+            self.bump();
+            self.string_body();
+            self.push(TokKind::Str, start, line);
+            return;
+        }
+        // r / br followed by #*" — raw string.
+        let hash_at = if b0 == b'b' && self.peek(1) == b'r' {
+            2
+        } else {
+            1
+        };
+        if b0 == b'r' || (b0 == b'b' && self.peek(1) == b'r') {
+            let mut n = 0usize;
+            while self.peek(hash_at + n) == b'#' {
+                n += 1;
+            }
+            if self.peek(hash_at + n) == b'"' {
+                for _ in 0..hash_at + n + 1 {
+                    self.bump();
+                }
+                self.raw_string_tail(n);
+                self.push(TokKind::Str, start, line);
+                return;
+            }
+            // r#ident — raw identifier.
+            if b0 == b'r' && n == 1 && is_ident_start(self.peek(2)) {
+                self.bump();
+                self.bump(); // r#
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                self.push(TokKind::Ident, start, line);
+                return;
+            }
+        }
+        self.ident(start, line);
+    }
+
+    /// Scans past the closing quote of a raw string with `hashes` hashes.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        self.string_body();
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// Consumes a cooked string starting at the opening `"`.
+    fn string_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// `'` begins either a char literal or a lifetime. A lifetime is `'`
+    /// followed by an identifier *not* closed by another `'`.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, start, line);
+        } else {
+            self.char_body();
+            self.push(TokKind::Char, start, line);
+        }
+    }
+
+    /// Consumes a char literal starting at the opening `'`.
+    fn char_body(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut kind = TokKind::Int;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            self.push(kind, start, line);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // Fractional part: `.` only continues the number when followed by a
+        // digit or by a non-identifier, non-`.` byte (`1.0`, `2.`, but not
+        // `1.max(2)` or `0..5`).
+        if self.peek(0) == b'.' {
+            let after = self.peek(1);
+            if after.is_ascii_digit() {
+                kind = TokKind::Float;
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            } else if after != b'.' && !is_ident_start(after) {
+                kind = TokKind::Float;
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let (s1, s2) = (self.peek(1), self.peek(2));
+            if s1.is_ascii_digit() || (matches!(s1, b'+' | b'-') && s2.is_ascii_digit()) {
+                kind = TokKind::Float;
+                self.bump();
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.bump();
+                }
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`f64`, `u32`, …) — a float suffix forces Float.
+        if is_ident_start(self.peek(0)) {
+            let sfx_start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let sfx = &self.src[sfx_start..self.pos];
+            if sfx.starts_with(b"f32") || sfx.starts_with(b"f64") {
+                kind = TokKind::Float;
+            }
+        }
+        self.push(kind, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        if self.pos == start {
+            // Not actually an identifier byte (multi-byte UTF-8 etc.): skip.
+            self.bump();
+            return;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        let rest = &self.src[self.pos..];
+        for op in OPS3 {
+            if rest.starts_with(op.as_bytes()) {
+                for _ in 0..3 {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, start, line);
+                return;
+            }
+        }
+        for op in OPS2 {
+            if rest.starts_with(op.as_bytes()) {
+                for _ in 0..2 {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, start, line);
+                return;
+            }
+        }
+        let b = self.bump();
+        if b.is_ascii() {
+            self.push(TokKind::Punct, start, line);
+        }
+        // Non-ASCII bytes outside strings/comments: skip silently.
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn int_method_call_is_not_float() {
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0], (TokKind::Int, "1".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn exponent_forms() {
+        assert_eq!(kinds("1e-9")[0].0, TokKind::Float);
+        assert_eq!(kinds("1.5e3")[0].0, TokKind::Float);
+        assert_eq!(kinds("0x1e5")[0].0, TokKind::Int);
+        assert_eq!(kinds("1f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("1_000")[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn range_is_not_float() {
+        let t = kinds("0..5");
+        assert_eq!(t[0], (TokKind::Int, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+        assert_eq!(t[2], (TokKind::Int, "5".into()));
+    }
+
+    #[test]
+    fn operators_combine() {
+        let t = kinds("a == b != c ..= d");
+        let ops: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "..="]);
+    }
+
+    #[test]
+    fn comments_are_side_channel() {
+        let out = lex("let x = 1; // trailing\n/* block */ let y = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert!(out.tokens.iter().all(|t| !t.text.contains("trailing")));
+    }
+
+    #[test]
+    fn line_numbers_advance_through_strings() {
+        let out = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = out.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

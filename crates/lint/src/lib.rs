@@ -1,0 +1,34 @@
+//! `hslb-lint` — a dependency-free numerical-soundness static analyzer for
+//! the HSLB workspace.
+//!
+//! PR 1's differential fuzzer showed that the bugs this reproduction grows
+//! are *numerical-soundness* bugs: deflated duals, float-tolerance stalls,
+//! dropped single-point boxes. This crate is the static half of that
+//! defense: a hand-rolled Rust lexer plus a rule engine that flags the
+//! hazard patterns before the fuzzer has to find them dynamically.
+//!
+//! Three layers:
+//!
+//! 1. [`lex`] — a token-stream lexer that gets the hard lexical cases right
+//!    (nested block comments, raw strings, char literals vs lifetimes);
+//!    [`context`] attributes each token to its enclosing item (`fn` name,
+//!    `#[cfg(test)]`-ness, const initializers, attributes).
+//! 2. [`rules`] — the numerical-solver rule set: `float-eq`,
+//!    `panic-in-lib`, `lossy-cast`, `magic-epsilon`, `dep-policy`, and the
+//!    opt-in `slice-index`.
+//! 3. [`baseline`] + suppressions — inline
+//!    `// lint:allow(<rule>): <reason>` comments (the reason is mandatory)
+//!    and a committed `lint-baseline.txt` of grandfathered fingerprints so
+//!    the gate lands strict while debt is burned down.
+//!
+//! The `hslb-lint` binary wires it together; `ci.sh` runs it between
+//! clippy and the build. See DESIGN.md § Lint for the rule catalog.
+
+pub mod baseline;
+pub mod context;
+pub mod lex;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{lint_manifest, lint_source, Finding, LintConfig, Role};
+pub use workspace::{run, RunResult};

@@ -1,0 +1,151 @@
+//! Workspace discovery and the full-run driver: find every Rust source and
+//! manifest under the repository root, lint them, and fold in the baseline.
+
+use crate::baseline;
+use crate::rules::{self, Finding, LintConfig};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of a whole-workspace run.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// Findings that fail the gate (not suppressed, not baselined).
+    pub active: Vec<Finding>,
+    /// Findings silenced by a reasoned `lint:allow`.
+    pub suppressed: Vec<Finding>,
+    /// Findings covered by the committed baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer match anything (burned down or moved).
+    pub stale_baseline: Vec<String>,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+}
+
+/// Collects the workspace's Rust sources, relative to `root`, sorted.
+/// Fixture directories are skipped — they hold deliberately-dirty inputs
+/// for the linter's own tests.
+pub fn discover_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for top in ["src", "tests", "examples", "benches"] {
+        dirs.push(root.join(top));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                for sub in ["src", "tests", "examples", "benches"] {
+                    dirs.push(p.join(sub));
+                }
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for d in dirs {
+        if d.is_dir() {
+            walk(&d, &mut files)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|f| f.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Collects the workspace manifests (root + every crate), sorted.
+pub fn discover_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.join("Cargo.toml").is_file() {
+        out.push(PathBuf::from("Cargo.toml"));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let p = entry?.path();
+            let m = p.join("Cargo.toml");
+            if m.is_file() {
+                out.push(m.strip_prefix(root).unwrap_or(&m).to_path_buf());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace under `root` against `baseline_set`.
+pub fn run(
+    root: &Path,
+    cfg: &LintConfig,
+    baseline_set: &BTreeSet<String>,
+) -> io::Result<RunResult> {
+    let mut res = RunResult::default();
+    let mut all_active: Vec<Finding> = Vec::new();
+
+    for rel in discover_sources(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let (active, suppressed) = rules::lint_source(&rel_str, &text, cfg);
+        res.files_scanned += 1;
+        all_active.extend(active);
+        res.suppressed.extend(suppressed);
+    }
+    if cfg.rules.contains(rules::DEP_POLICY) {
+        for rel in discover_manifests(root)? {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            all_active.extend(rules::lint_manifest(&rel_str, &text));
+        }
+    }
+
+    // Fold in the baseline by fingerprint.
+    let fps = baseline::fingerprints(&all_active);
+    let mut matched: BTreeSet<&str> = BTreeSet::new();
+    for (f, fp) in all_active.into_iter().zip(&fps) {
+        if baseline_set.contains(fp) {
+            matched.insert(fp.as_str());
+            res.baselined.push(f);
+        } else {
+            res.active.push(f);
+        }
+    }
+    res.stale_baseline = baseline_set
+        .iter()
+        .filter(|b| !matched.contains(b.as_str()))
+        .cloned()
+        .collect();
+    Ok(res)
+}
+
+/// Fingerprints for everything the gate currently sees (active + baselined):
+/// this is exactly what `--fix-baseline` writes.
+pub fn current_fingerprints(res: &RunResult) -> Vec<String> {
+    let mut all: Vec<Finding> = res
+        .active
+        .iter()
+        .chain(res.baselined.iter())
+        .cloned()
+        .collect();
+    all.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.snippet).cmp(&(&b.path, b.line, b.rule, &b.snippet))
+    });
+    baseline::fingerprints(&all)
+}

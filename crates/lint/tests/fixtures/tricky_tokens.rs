@@ -1,0 +1,39 @@
+//! Lexer fixture: every construct that historically confuses hand-rolled
+//! Rust lexers. This file is *not* compiled and *not* linted (the workspace
+//! scanner skips `fixtures/` directories); it is read as text by the
+//! integration tests, which assert the token stream comes out right.
+
+/* nested /* block /* comments */ must */ balance */
+
+fn raw_strings() {
+    let a = r"no escapes \ here";
+    let b = r#"contains "quotes" and // not a comment"#;
+    let c = r##"even a "# inside"##;
+    let _ = (a, b, c);
+}
+
+fn chars_vs_lifetimes<'a>(x: &'a str) -> &'a str {
+    let quote = '"';
+    let backslash = '\\';
+    let tick = '\'';
+    let newline = '\n';
+    let _ = (quote, backslash, tick, newline);
+    x
+}
+
+fn numbers() {
+    let int_method = 1.max(2);
+    let float_eq_target = 0.5 == 0.25 + 0.25;
+    let exp = 1e-9;
+    let exp_cap = 1E6;
+    let suffixed = 2.5f32;
+    let hex = 0xFF;
+    let range = 0..5;
+    let _ = (int_method, float_eq_target, exp, exp_cap, suffixed, hex, range);
+}
+
+fn strings_with_tricks() {
+    let s = "line one\nline two with \" escaped quote and // no comment";
+    let t = "/* not a comment either */";
+    let _ = (s, t);
+}

@@ -1,0 +1,56 @@
+//! The self-lint gate: `cargo test` (tier-1) runs the whole analyzer over
+//! the workspace and fails on any unbaselined finding. This is the same
+//! check `ci.sh` runs via the CLI — having it in the test suite means lint
+//! debt cannot land even when someone skips ci.sh.
+
+use hslb_lint::baseline;
+use hslb_lint::rules::LintConfig;
+use hslb_lint::workspace;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean_modulo_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("lint-baseline.txt");
+    let baseline = baseline::read(&baseline_path).expect("baseline readable");
+    let result =
+        workspace::run(root, &LintConfig::default(), &baseline).expect("workspace scan succeeds");
+    assert!(
+        result.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        result.files_scanned
+    );
+    let rendered: Vec<String> = result.active.iter().map(|f| f.display()).collect();
+    assert!(
+        result.active.is_empty(),
+        "unbaselined lint findings:\n{}\nEither fix them or (for pre-existing debt) run \
+         `cargo run -p hslb-lint -- --workspace --fix-baseline`.",
+        rendered.join("\n")
+    );
+    assert!(
+        result.stale_baseline.is_empty(),
+        "baseline entries no longer match any finding (regenerate with --fix-baseline):\n{}",
+        result.stale_baseline.join("\n")
+    );
+}
+
+#[test]
+fn baseline_stays_small() {
+    // The baseline is a debt ledger, not a dumping ground: PR 2 burned the
+    // initial debt to zero, and the acceptance bar caps it at 25 entries.
+    let root = workspace_root();
+    let baseline = baseline::read(&root.join("lint-baseline.txt")).expect("baseline readable");
+    assert!(
+        baseline.len() <= 25,
+        "lint-baseline.txt has grown to {} entries (max 25) — fix findings instead of baselining them",
+        baseline.len()
+    );
+}

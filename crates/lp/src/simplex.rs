@@ -12,6 +12,21 @@ use crate::model::{LinearProgram, RowSense};
 use crate::solution::{LpSolution, LpStatus};
 use hslb_linalg::{Lu, Matrix};
 
+use hslb_linalg::approx::exactly_zero;
+
+/// Default reduced-cost optimality tolerance.
+pub const DEFAULT_OPT_TOL: f64 = 1e-9;
+/// Default primal feasibility tolerance (bound violations, Phase 1 target).
+pub const DEFAULT_FEAS_TOL: f64 = 1e-7;
+/// Ratio-test pivots smaller than this are numerically unusable.
+const PIVOT_TOL: f64 = 1e-9;
+/// Ratio-test tie window: steps within this of the best are "tied" and
+/// broken by pivot quality (largest |w_i|) instead of index order.
+const RATIO_TIE_TOL: f64 = 1e-12;
+/// A step shorter than this counts as a degenerate pivot for the
+/// Bland's-rule switch.
+const DEGENERATE_STEP_TOL: f64 = 1e-10;
+
 /// Simplex tuning knobs. Defaults suit the HSLB problem sizes.
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
@@ -31,8 +46,8 @@ impl Default for SimplexOptions {
     fn default() -> Self {
         SimplexOptions {
             max_iters: 50_000,
-            opt_tol: 1e-9,
-            feas_tol: 1e-7,
+            opt_tol: DEFAULT_OPT_TOL,
+            feas_tol: DEFAULT_FEAS_TOL,
             degeneracy_limit: 200,
             refactor_every: 100,
         }
@@ -92,7 +107,7 @@ impl Tableau {
         let mut y = vec![0.0; m];
         for (r, &bvar) in self.basis.iter().enumerate() {
             let c = costs[bvar];
-            if c != 0.0 {
+            if !exactly_zero(c) {
                 for (k, yk) in y.iter_mut().enumerate() {
                     *yk += c * self.binv[(r, k)];
                 }
@@ -115,7 +130,7 @@ impl Tableau {
         let m = self.m;
         let mut w = vec![0.0; m];
         for &(row, a) in &self.cols[j] {
-            if a != 0.0 {
+            if !exactly_zero(a) {
                 for (i, wi) in w.iter_mut().enumerate() {
                     *wi += self.binv[(i, row)] * a;
                 }
@@ -159,7 +174,7 @@ impl Tableau {
                 continue;
             }
             let v = self.nonbasic_value(j);
-            if v != 0.0 {
+            if !exactly_zero(v) {
                 for &(row, a) in &self.cols[j] {
                     resid[row] -= a * v;
                 }
@@ -204,7 +219,7 @@ pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
         for &(v, c) in &row.coeffs {
             if let Some(entry) = cols[v.0].iter_mut().find(|(rr, _)| *rr == r) {
                 entry.1 += c;
-            } else if c != 0.0 {
+            } else if !exactly_zero(c) {
                 cols[v.0].push((r, c));
             }
         }
@@ -245,7 +260,7 @@ pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
             VarStatus::AtUpper => hi[j],
             _ => 0.0,
         };
-        if v != 0.0 {
+        if !exactly_zero(v) {
             for &(row, a) in &cols[j] {
                 resid[row] -= a * v;
             }
@@ -430,7 +445,7 @@ fn run_phase(
                 continue;
             }
             let d = tab.reduced_cost(j, costs, &y);
-            let (eligible, dir) = if dir == 0.0 {
+            let (eligible, dir) = if exactly_zero(dir) {
                 (d.abs() > opts.opt_tol, if d > 0.0 { -1.0 } else { 1.0 })
             } else if dir > 0.0 {
                 (d < -opts.opt_tol, 1.0)
@@ -465,7 +480,7 @@ fn run_phase(
             f64::INFINITY
         };
         let mut leaving: Option<(usize, bool)> = None; // (row, hits_lower)
-        let piv_tol = 1e-9;
+        let piv_tol = PIVOT_TOL;
         for i in 0..tab.m {
             let coeff = dir * w[i];
             let bvar = tab.basis[i];
@@ -473,8 +488,8 @@ fn run_phase(
                 let lb = tab.lo[bvar];
                 if lb.is_finite() {
                     let t = (tab.xb[i] - lb) / coeff;
-                    if t < t_max - 1e-12
-                        || (t < t_max + 1e-12 && better_pivot(&leaving, i, &w, tab, bland))
+                    if t < t_max - RATIO_TIE_TOL
+                        || (t < t_max + RATIO_TIE_TOL && better_pivot(&leaving, i, &w, tab, bland))
                     {
                         t_max = t.max(0.0);
                         leaving = Some((i, true));
@@ -484,8 +499,8 @@ fn run_phase(
                 let ub = tab.hi[bvar];
                 if ub.is_finite() {
                     let t = (ub - tab.xb[i]) / (-coeff);
-                    if t < t_max - 1e-12
-                        || (t < t_max + 1e-12 && better_pivot(&leaving, i, &w, tab, bland))
+                    if t < t_max - RATIO_TIE_TOL
+                        || (t < t_max + RATIO_TIE_TOL && better_pivot(&leaving, i, &w, tab, bland))
                     {
                         t_max = t.max(0.0);
                         leaving = Some((i, false));
@@ -500,7 +515,7 @@ fn run_phase(
 
         *iterations += 1;
         since_refactor += 1;
-        if t_max < 1e-10 {
+        if t_max < DEGENERATE_STEP_TOL {
             degenerate_run += 1;
             if degenerate_run >= opts.degeneracy_limit {
                 bland = true;
@@ -543,12 +558,12 @@ fn run_phase(
 
                 // Elementary update of B⁻¹: pivot on w[r].
                 let p = w[r];
-                debug_assert!(p.abs() > 1e-12, "pivot too small");
+                debug_assert!(p.abs() > RATIO_TIE_TOL, "pivot too small");
                 for k in 0..tab.m {
                     tab.binv[(r, k)] /= p;
                 }
                 for (i, &f) in w.iter().enumerate() {
-                    if i != r && f != 0.0 {
+                    if i != r && !exactly_zero(f) {
                         for k in 0..tab.m {
                             let br = tab.binv[(r, k)];
                             tab.binv[(i, k)] -= f * br;

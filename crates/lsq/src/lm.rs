@@ -18,13 +18,27 @@ pub struct LmOptions {
     pub initial_lambda: f64,
 }
 
+/// Default gradient-norm convergence tolerance.
+const DEFAULT_GRAD_TOL: f64 = 1e-10;
+/// Default relative step-length convergence tolerance.
+const DEFAULT_STEP_TOL: f64 = 1e-12;
+/// Default relative cost-decrease convergence tolerance.
+const DEFAULT_COST_TOL: f64 = 1e-14;
+/// Relative floor on the `JᵀJ` diagonal used for Marquardt scaling, so
+/// insensitive (zero-column) parameters still receive damping.
+const DIAG_FLOOR_REL: f64 = 1e-12;
+/// Smallest damping factor `lambda` is allowed to shrink to.
+const LAMBDA_MIN: f64 = 1e-12;
+/// Guard against dividing by a zero cost in the relative-decrease test.
+const COST_DIV_FLOOR: f64 = 1e-300;
+
 impl Default for LmOptions {
     fn default() -> Self {
         LmOptions {
             max_iters: 200,
-            grad_tol: 1e-10,
-            step_tol: 1e-12,
-            cost_tol: 1e-14,
+            grad_tol: DEFAULT_GRAD_TOL,
+            step_tol: DEFAULT_STEP_TOL,
+            cost_tol: DEFAULT_COST_TOL,
             initial_lambda: 1e-3,
         }
     }
@@ -172,7 +186,7 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
             // Marquardt scaling: damp proportionally to the diagonal, with a
             // floor so zero-diagonal (insensitive) parameters stay bounded.
             for i in 0..n {
-                let d = jtj[(i, i)].max(1e-12 * max_diag);
+                let d = jtj[(i, i)].max(DIAG_FLOOR_REL * max_diag);
                 lhs[(i, i)] += lambda * d;
             }
             let delta = match Cholesky::new(&lhs) {
@@ -199,12 +213,12 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
 
             if cost_new < cost {
                 let step_len = vecops::dist2(&candidate, &p);
-                let rel_decrease = (cost - cost_new) / cost.max(1e-300);
+                let rel_decrease = (cost - cost_new) / cost.max(COST_DIV_FLOOR);
                 p = candidate;
                 r = r_new;
                 let prev_cost = cost;
                 cost = cost_new;
-                lambda = (lambda * 0.3).max(1e-12);
+                lambda = (lambda * 0.3).max(LAMBDA_MIN);
                 stepped = true;
                 if step_len < opts.step_tol * (1.0 + vecops::norm2(&p)) {
                     outcome = LmOutcome::SmallStep;

@@ -67,6 +67,11 @@ impl<P: Residuals + ?Sized> Residuals for Weighted<'_, P> {
     }
 }
 
+/// MAD scales at or below this count as a (near-)perfect fit.
+const SCALE_FLOOR: f64 = 1e-12;
+/// Weights within this of 1.0 are "no down-weighting" — convergence test.
+const UNIT_WEIGHT_TOL: f64 = 1e-12;
+
 /// Median of a slice (copying; fine at fitting sizes).
 fn median(values: &[f64]) -> f64 {
     debug_assert!(!values.is_empty());
@@ -99,7 +104,7 @@ pub fn huber_fit<P: Residuals + ?Sized>(
         let abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
         // MAD scale; the 1.4826 factor makes it consistent for Gaussians.
         let scale = 1.4826 * median(&abs);
-        if scale <= 1e-12 {
+        if scale <= SCALE_FLOOR {
             break; // (near-)perfect fit: nothing to down-weight
         }
         let sqrt_w: Vec<f64> = residuals
@@ -113,7 +118,7 @@ pub fn huber_fit<P: Residuals + ?Sized>(
                 }
             })
             .collect();
-        if sqrt_w.iter().all(|w| (*w - 1.0).abs() < 1e-12) {
+        if sqrt_w.iter().all(|w| (*w - 1.0).abs() < UNIT_WEIGHT_TOL) {
             break; // no outliers left
         }
         let weighted = Weighted {

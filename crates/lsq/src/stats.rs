@@ -22,11 +22,21 @@ pub fn rmse(observed: &[f64], predicted: &[f64]) -> f64 {
     (sse(observed, predicted) / observed.len() as f64).sqrt()
 }
 
+/// Relative threshold below which the total variance counts as degenerate:
+/// `SST ≤ this · Σy²` means the observations are constant up to float noise
+/// (spread below ~1e-12 of their magnitude), so `1 - SSE/SST` would be a
+/// ratio of rounding errors, not a fit statistic.
+const DEGENERATE_SST_REL: f64 = 1e-24;
+
 /// Coefficient of determination `R² = 1 - SSE/SST`.
 ///
-/// Degenerate cases: with zero total variance, returns `1.0` for a perfect
-/// fit and `0.0` otherwise (conventional choice; keeps the "close to 1 is
-/// good" reading).
+/// Degenerate cases: with (near-)zero total variance, returns `1.0` for a
+/// fit whose error is inside the same noise floor and `0.0` otherwise
+/// (conventional choice; keeps the "close to 1 is good" reading). The
+/// degeneracy test is *relative*: observations that are constant up to
+/// float noise (e.g. `[5.0, 5.0 + 1e-13]`) must not fall through to
+/// `1 - SSE/SST`, which would divide two rounding errors and report an
+/// arbitrary, often large-negative, R² for an essentially perfect fit.
 pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
     debug_assert_eq!(observed.len(), predicted.len());
     if observed.is_empty() {
@@ -35,8 +45,17 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
     let mean = observed.iter().sum::<f64>() / observed.len() as f64;
     let sst: f64 = observed.iter().map(|y| (y - mean) * (y - mean)).sum();
     let sse = sse(observed, predicted);
-    if sst == 0.0 {
-        return if sse == 0.0 { 1.0 } else { 0.0 };
+    let scale = observed
+        .iter()
+        .map(|y| y * y)
+        .sum::<f64>()
+        .max(f64::MIN_POSITIVE);
+    if sst <= DEGENERATE_SST_REL * scale {
+        return if sse <= DEGENERATE_SST_REL * scale {
+            1.0
+        } else {
+            0.0
+        };
     }
     1.0 - sse / sst
 }
@@ -133,5 +152,25 @@ mod tests {
         let q = FitQuality::compute(&[1.0, 2.0], &[1.0, 2.0]);
         let s = format!("{q}");
         assert!(s.contains("R²=1.00000"), "{s}");
+    }
+
+    #[test]
+    fn near_constant_observations_do_not_explode() {
+        // SST here is ~5e-27 — nonzero, but pure rounding noise. The old
+        // exact `sst == 0.0` degeneracy test fell through to `1 - SSE/SST`
+        // and reported R² = -1.0 for this essentially perfect fit.
+        let obs = [5.0, 5.0 + 1e-13];
+        let pred = [5.0, 5.0];
+        assert_eq!(r_squared(&obs, &pred), 1.0);
+
+        // A genuinely bad fit on near-constant data still reads as 0.
+        let bad = [7.0, 7.0];
+        assert_eq!(r_squared(&obs, &bad), 0.0);
+
+        // Ordinary data with real variance is untouched by the threshold.
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p = [1.1, 1.9, 3.2, 3.8];
+        let direct = 1.0 - sse(&y, &p) / 5.0; // SST of y is exactly 5
+        assert!((r_squared(&y, &p) - direct).abs() < 1e-15);
     }
 }

@@ -8,6 +8,7 @@
 //! toolchain — in the papers' own notation.
 
 use crate::model::{MinlpProblem, VarDomain};
+use hslb_linalg::approx::exactly_zero;
 use hslb_nlp::Term;
 use std::fmt::Write;
 
@@ -84,7 +85,7 @@ pub fn to_ampl(problem: &MinlpProblem, name: &str) -> String {
                 lhs.push(nonlinear_term(*t, *v));
             }
         }
-        if c.constant != 0.0 {
+        if !exactly_zero(c.constant) {
             lhs.push(fmt_num(c.constant).to_string());
         }
         if lhs.is_empty() {
@@ -152,7 +153,7 @@ fn terms_to_ampl_linear(costs: &[f64]) -> String {
     let terms: Vec<String> = costs
         .iter()
         .enumerate()
-        .filter(|(_, &c)| c != 0.0)
+        .filter(|(_, &c)| !exactly_zero(c))
         .map(|(j, &c)| linear_term(c, j))
         .collect();
     if terms.is_empty() {

@@ -8,6 +8,11 @@ use hslb_nlp::{BarrierOptions, NlpProblem, NlpStatus};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Floor on the feasibility tolerance used when vetting polished
+/// candidates: polishing pins integers and re-solves, so residuals a bit
+/// above a very tight user `feas_tol` are still acceptable incumbents.
+const POLISH_FEAS_FLOOR: f64 = 1e-6;
+
 /// Total-ordered f64 wrapper for the best-bound heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct OrdF64(pub f64);
@@ -139,7 +144,7 @@ pub(crate) fn polish_candidate(
     if sol.status != NlpStatus::Optimal {
         return None;
     }
-    if !problem.is_feasible(&sol.x, opts.feas_tol.max(1e-6)) {
+    if !problem.is_feasible(&sol.x, opts.feas_tol.max(POLISH_FEAS_FLOOR)) {
         return None;
     }
     Some((sol.x.clone(), sol.objective))

@@ -2,6 +2,19 @@
 
 use crate::model::{set_members_in, MinlpProblem, VarDomain};
 
+/// Pseudocost bookkeeping ignores moves smaller than this: the gain per
+/// unit distance would be noise-dominated.
+const PSEUDOCOST_MIN_DIST: f64 = 1e-12;
+/// Floor applied to per-direction pseudocost scores and fractionalities so
+/// the product rule never zeroes out a candidate entirely.
+const SCORE_FLOOR: f64 = 1e-6;
+/// Scale that demotes violation-based fallback scores below any
+/// history-backed pseudocost score.
+const VIOL_FALLBACK_SCALE: f64 = 1e-12;
+/// Distance from the integer lattice below which a relaxation value counts
+/// as integral when constructing a branch.
+const INT_SNAP_TOL: f64 = 1e-9;
+
 /// How to pick the branching variable among domain-violating coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BranchRule {
@@ -41,7 +54,7 @@ impl PseudocostTracker {
     /// improved over the parent's by `gain >= 0`, after moving variable
     /// `var` a distance `dist > 0` (the fractionality at the parent).
     pub fn record(&mut self, var: usize, is_up: bool, dist: f64, gain: f64) {
-        if dist <= 1e-12 || !gain.is_finite() {
+        if dist <= PSEUDOCOST_MIN_DIST || !gain.is_finite() {
             return;
         }
         let slot = if is_up {
@@ -64,8 +77,7 @@ impl PseudocostTracker {
     pub fn score(&self, var: usize, frac_down: f64, frac_up: f64) -> Option<f64> {
         let d = self.avg(var, false)?;
         let u = self.avg(var, true)?;
-        let eps = 1e-6;
-        Some((d * frac_down).max(eps) * (u * frac_up).max(eps))
+        Some((d * frac_down).max(SCORE_FLOOR) * (u * frac_up).max(SCORE_FLOOR))
     }
 }
 
@@ -126,8 +138,8 @@ pub fn select_branch_var_with_stats(
                 let frac_down = x[j] - x[j].floor();
                 let frac_up = 1.0 - frac_down;
                 let score = stats
-                    .and_then(|s| s.score(j, frac_down.max(1e-6), frac_up.max(1e-6)))
-                    .unwrap_or(viol * 1e-12);
+                    .and_then(|s| s.score(j, frac_down.max(SCORE_FLOOR), frac_up.max(SCORE_FLOOR)))
+                    .unwrap_or(viol * VIOL_FALLBACK_SCALE);
                 if best.is_none_or(|(_, bv)| score > bv) {
                     best = Some((j, score));
                 }
@@ -164,7 +176,7 @@ pub fn make_branch(
             let f = xj.floor();
             // xj integral within the interval: split around the middle to
             // still make progress (used when domains are violated elsewhere).
-            let (dhi, ulo) = if (xj - xj.round()).abs() < 1e-9 {
+            let (dhi, ulo) = if (xj - xj.round()).abs() < INT_SNAP_TOL {
                 let mid = xj.round();
                 if mid >= node_hi {
                     (mid - 1.0, mid)
@@ -174,7 +186,7 @@ pub fn make_branch(
             } else {
                 (f, f + 1.0)
             };
-            if dhi < node_lo - 1e-9 || ulo > node_hi + 1e-9 {
+            if dhi < node_lo - INT_SNAP_TOL || ulo > node_hi + INT_SNAP_TOL {
                 return None;
             }
             Some(Branch {
@@ -195,8 +207,20 @@ pub fn make_branch(
             let right = &members[split..];
             Some(Branch {
                 var: j,
-                down: (left[0] as f64, *left.last().unwrap() as f64),
-                up: (right[0] as f64, *right.last().unwrap() as f64),
+                down: (
+                    left[0] as f64,
+                    *left
+                        .last()
+                        .expect("split is clamped to leave both sides non-empty")
+                        as f64,
+                ),
+                up: (
+                    right[0] as f64,
+                    *right
+                        .last()
+                        .expect("split is clamped to leave both sides non-empty")
+                        as f64,
+                ),
             })
         }
     }

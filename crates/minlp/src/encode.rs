@@ -35,7 +35,11 @@ pub fn encode_sets_as_binaries(
                 out.add_var(cost, lo, hi);
             }
             VarDomain::Integer => {
-                out.add_int_var(cost, lo.ceil() as i64, hi.floor() as i64);
+                out.add_int_var(
+                    cost,
+                    hslb_linalg::approx::ceil_to_i64(lo),
+                    hslb_linalg::approx::floor_to_i64(hi),
+                );
             }
         }
     }

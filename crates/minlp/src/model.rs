@@ -3,6 +3,11 @@
 use hslb_nlp::{ConstraintFn, NlpProblem};
 use std::sync::Arc;
 
+/// Slack when testing set membership against interval endpoints: bounds
+/// arrive from float propagation, so a member sitting exactly on a
+/// mathematically tight bound must not be excluded by ulp noise.
+const SET_MEMBER_TOL: f64 = 1e-9;
+
 /// Integrality domain of a variable.
 #[derive(Debug, Clone)]
 pub enum VarDomain {
@@ -75,7 +80,11 @@ impl MinlpProblem {
     pub fn add_set_var(&mut self, cost: f64, values: impl IntoIterator<Item = i64>) -> usize {
         let dom = VarDomain::allowed(values);
         let (lo, hi) = match &dom {
-            VarDomain::AllowedValues(v) => (v[0] as f64, *v.last().unwrap() as f64),
+            VarDomain::AllowedValues(v) => (
+                v[0] as f64,
+                *v.last().expect("allowed() rejects empty value sets") as f64,
+            ),
+            // lint:allow(panic-in-lib): VarDomain::allowed() returns AllowedValues by construction
             _ => unreachable!(),
         };
         let id = self.nlp.add_var(cost, lo, hi);
@@ -182,8 +191,8 @@ pub(crate) fn nearest_in_set(vals: &[i64], x: f64) -> (i64, f64) {
 
 /// Members of a sorted set within the closed interval `[lo, hi]`.
 pub(crate) fn set_members_in(vals: &[i64], lo: f64, hi: f64) -> &[i64] {
-    let start = vals.partition_point(|&v| (v as f64) < lo - 1e-9);
-    let end = vals.partition_point(|&v| (v as f64) <= hi + 1e-9);
+    let start = vals.partition_point(|&v| (v as f64) < lo - SET_MEMBER_TOL);
+    let end = vals.partition_point(|&v| (v as f64) <= hi + SET_MEMBER_TOL);
     &vals[start..end]
 }
 

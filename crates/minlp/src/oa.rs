@@ -36,28 +36,34 @@ const MAX_CUT_ROUNDS_PER_NODE: usize = 60;
 /// Sampling fallback for initial linearization points: the box corners and
 /// midpoint (infinite sides clamped), which bracket the curvature of the
 /// univariate performance terms well enough to seed the master LP.
+/// Positive floor for sampled linearization points: the performance terms
+/// `a·x^(-c)` blow up at 0, so every sample stays at least this far inside.
+const SAMPLE_FLOOR: f64 = 1e-6;
+/// Stand-in upper corner when a box side is unbounded above.
+const SAMPLE_CEIL: f64 = 1e6;
+
 fn sample_points(relax: &hslb_nlp::NlpProblem) -> Vec<Vec<f64>> {
     let n = relax.num_vars();
     let clamp_lo = |j: usize| {
         let lo = relax.lowers()[j];
         if lo.is_finite() {
-            lo.max(1e-6)
+            lo.max(SAMPLE_FLOOR)
         } else {
-            1e-6
+            SAMPLE_FLOOR
         }
     };
     let clamp_hi = |j: usize| {
         let hi = relax.uppers()[j];
         if hi.is_finite() {
-            hi.max(1e-6)
+            hi.max(SAMPLE_FLOOR)
         } else {
-            1e6
+            SAMPLE_CEIL
         }
     };
     let lo_pt: Vec<f64> = (0..n).map(clamp_lo).collect();
     let hi_pt: Vec<f64> = (0..n).map(clamp_hi).collect();
     let mid_pt: Vec<f64> = (0..n)
-        .map(|j| (clamp_lo(j) * clamp_hi(j)).sqrt().max(1e-6))
+        .map(|j| (clamp_lo(j) * clamp_hi(j)).sqrt().max(SAMPLE_FLOOR))
         .collect();
     vec![mid_pt, lo_pt, hi_pt]
 }

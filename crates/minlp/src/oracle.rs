@@ -4,7 +4,12 @@
 use crate::bnb::install_bounds;
 use crate::model::{set_members_in, MinlpProblem, VarDomain};
 use crate::types::{MinlpSolution, MinlpStatus};
+use hslb_linalg::approx::{ceil_to_i64, floor_to_i64};
 use hslb_nlp::{BarrierOptions, NlpStatus};
+
+/// Feasibility tolerance applied when vetting each pinned-assignment NLP
+/// solution (matches `MinlpOptions::default().feas_tol`).
+const EXHAUSTIVE_FEAS_TOL: f64 = 1e-6;
 
 /// Enumerates every admissible assignment of the discrete variables, solving
 /// the pinned continuous problem for each, and returns the best.
@@ -22,8 +27,8 @@ pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Opti
     for &j in &discrete {
         let vals: Vec<i64> = match &problem.domains()[j] {
             VarDomain::Integer => {
-                let a = lo[j].ceil() as i64;
-                let b = hi[j].floor() as i64;
+                let a = ceil_to_i64(lo[j]);
+                let b = floor_to_i64(hi[j]);
                 if a > b {
                     return Some(MinlpSolution::infeasible(0, 0, 0));
                 }
@@ -36,6 +41,7 @@ pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Opti
                 }
                 members.to_vec()
             }
+            // lint:allow(panic-in-lib): discrete_vars() never yields a Continuous index
             VarDomain::Continuous => unreachable!("discrete_vars filters continuous"),
         };
         total = total.checked_mul(vals.len())?;
@@ -64,7 +70,7 @@ pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Opti
         nlp_solves += 1;
         if let Ok(sol) = hslb_nlp::solve_with(&scratch, &barrier) {
             if sol.status == NlpStatus::Optimal
-                && problem.is_feasible(&sol.x, 1e-6)
+                && problem.is_feasible(&sol.x, EXHAUSTIVE_FEAS_TOL)
                 && best.as_ref().is_none_or(|(_, b)| sol.objective < *b)
             {
                 best = Some((sol.x, sol.objective));
@@ -96,9 +102,6 @@ pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Opti
             }
             idx[k] = 0;
             k += 1;
-        }
-        if idx.is_empty() {
-            unreachable!("empty counter is handled by the k == len branch");
         }
     }
 }

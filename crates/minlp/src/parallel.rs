@@ -233,8 +233,12 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
     match (children.len(), depth < SPAWN_DEPTH) {
         (2, true) => {
             let mut it = children.into_iter();
-            let (l1, h1) = it.next().unwrap();
-            let (l2, h2) = it.next().unwrap();
+            let (l1, h1) = it
+                .next()
+                .expect("match arm guarantees exactly two children");
+            let (l2, h2) = it
+                .next()
+                .expect("match arm guarantees exactly two children");
             shared.budget.join(
                 || explore(shared, l1, h1, depth + 1),
                 || explore(shared, l2, h2, depth + 1),

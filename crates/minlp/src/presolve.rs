@@ -15,6 +15,14 @@
 //! ocean count above `N - min(n_atm)` before the first relaxation is solved.
 
 use crate::model::{MinlpProblem, VarDomain};
+use hslb_linalg::approx::{exactly_zero, fuzzy_ceil, fuzzy_floor, SNAP_TOL};
+
+/// Minimum *relative* improvement before a propagated bound replaces the
+/// stored one — avoids ping-ponging on sub-noise updates.
+const TIGHTEN_REL_TOL: f64 = 1e-12;
+/// Crossed-bounds slack: `lo > hi + this` proves the box empty; anything
+/// closer is float noise from the divisions above.
+const BOX_EMPTY_TOL: f64 = 1e-9;
 
 /// Result of a presolve pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,42 +98,42 @@ pub fn propagate_box(
         for (coeffs, constant) in &rows {
             // Minimal activity of the whole row (may be -inf).
             for (k, &(xk, ak)) in coeffs.iter().enumerate() {
-                if ak == 0.0 {
+                if exactly_zero(ak) {
                     continue;
                 }
                 // Σ_{j≠k} min(a_j x_j) — bail out if unbounded below.
                 let mut rest_min = *constant;
                 let mut unbounded = false;
                 for (j, &(xj, aj)) in coeffs.iter().enumerate() {
-                    if j == k || aj == 0.0 {
+                    if j == k || exactly_zero(aj) {
                         continue;
                     }
                     let m = if aj > 0.0 { aj * lo[xj] } else { aj * hi[xj] };
-                    if m == f64::NEG_INFINITY {
+                    if !m.is_finite() {
                         unbounded = true;
                         break;
                     }
                     rest_min += m;
                 }
-                if unbounded || rest_min == f64::NEG_INFINITY {
+                if unbounded || !rest_min.is_finite() {
                     continue;
                 }
                 // a_k x_k <= -rest_min.
                 let rhs = -rest_min;
                 if ak > 0.0 {
                     let new_hi = rhs / ak;
-                    if new_hi < hi[xk] - 1e-12 * (1.0 + new_hi.abs()) {
+                    if new_hi < hi[xk] - TIGHTEN_REL_TOL * (1.0 + new_hi.abs()) {
                         hi[xk] = tighten_inward(problem, xk, new_hi, false);
                         changed += 1;
                     }
                 } else {
                     let new_lo = rhs / ak;
-                    if new_lo > lo[xk] + 1e-12 * (1.0 + new_lo.abs()) {
+                    if new_lo > lo[xk] + TIGHTEN_REL_TOL * (1.0 + new_lo.abs()) {
                         lo[xk] = tighten_inward(problem, xk, new_lo, true);
                         changed += 1;
                     }
                 }
-                if lo[xk] > hi[xk] + 1e-9 {
+                if lo[xk] > hi[xk] + BOX_EMPTY_TOL {
                     return None;
                 }
                 snap_domain(problem, xk, lo, hi)?;
@@ -135,14 +143,14 @@ pub fn propagate_box(
         // Same propagation for linear equalities, both directions.
         for (coeffs, rhs) in &eqs {
             for (k, &(xk, ak)) in coeffs.iter().enumerate() {
-                if ak == 0.0 {
+                if exactly_zero(ak) {
                     continue;
                 }
                 let mut rest_min = 0.0;
                 let mut rest_max = 0.0;
                 let mut unbounded = false;
                 for (j, &(xj, aj)) in coeffs.iter().enumerate() {
-                    if j == k || aj == 0.0 {
+                    if j == k || exactly_zero(aj) {
                         continue;
                     }
                     let (mn, mx) = if aj > 0.0 {
@@ -165,15 +173,15 @@ pub fn propagate_box(
                 if ak < 0.0 {
                     std::mem::swap(&mut new_lo, &mut new_hi);
                 }
-                if new_lo > lo[xk] + 1e-12 * (1.0 + new_lo.abs()) {
+                if new_lo > lo[xk] + TIGHTEN_REL_TOL * (1.0 + new_lo.abs()) {
                     lo[xk] = tighten_inward(problem, xk, new_lo, true);
                     changed += 1;
                 }
-                if new_hi < hi[xk] - 1e-12 * (1.0 + new_hi.abs()) {
+                if new_hi < hi[xk] - TIGHTEN_REL_TOL * (1.0 + new_hi.abs()) {
                     hi[xk] = tighten_inward(problem, xk, new_hi, false);
                     changed += 1;
                 }
-                if lo[xk] > hi[xk] + 1e-9 {
+                if lo[xk] > hi[xk] + BOX_EMPTY_TOL {
                     return None;
                 }
                 snap_domain(problem, xk, lo, hi)?;
@@ -194,8 +202,11 @@ fn snap_domain(problem: &MinlpProblem, j: usize, lo: &mut [f64], hi: &mut [f64])
     match &problem.domains()[j] {
         VarDomain::Continuous => {}
         VarDomain::Integer => {
-            lo[j] = lo[j].ceil();
-            hi[j] = hi[j].floor();
+            // Fuzzy snaps: bounds here came out of divisions (`rhs / ak`),
+            // so a mathematically integral bound can land a few ulps off.
+            // A plain `ceil`/`floor` would then cut a feasible integer.
+            lo[j] = fuzzy_ceil(lo[j], SNAP_TOL);
+            hi[j] = fuzzy_floor(hi[j], SNAP_TOL);
         }
         VarDomain::AllowedValues(vals) => {
             let members = crate::model::set_members_in(vals, lo[j], hi[j]);
@@ -213,9 +224,9 @@ fn tighten_inward(problem: &MinlpProblem, var: usize, value: f64, is_lower: bool
         VarDomain::Continuous => value,
         VarDomain::Integer | VarDomain::AllowedValues(_) => {
             if is_lower {
-                value.ceil()
+                fuzzy_ceil(value, SNAP_TOL)
             } else {
-                value.floor()
+                fuzzy_floor(value, SNAP_TOL)
             }
         }
     }
@@ -371,5 +382,36 @@ mod tests {
 
     fn p_upper(p: &MinlpProblem, var: usize) -> f64 {
         p.relaxation().uppers()[var]
+    }
+
+    #[test]
+    fn division_noise_does_not_drop_feasible_integers() {
+        // 3.3 / 1.1 lands *below* 3 in f64 (2.9999999999999996), so a plain
+        // `floor` on the propagated bound 3.3/1.1 would conclude x <= 2 and
+        // silently cut the feasible point x = 3 (1.1·3 = 3.3 exactly in real
+        // arithmetic). The fuzzy snap must keep it.
+        let mut p = MinlpProblem::new();
+        let x = p.add_int_var(-1.0, 0, 10);
+        p.add_constraint(
+            ConstraintFn::new("noisy")
+                .linear_term(x, 1.1)
+                .with_constant(-3.3),
+        );
+        let out = presolve(&mut p, 10);
+        assert!(matches!(out, PresolveOutcome::Reduced { .. }));
+        assert_eq!(p.relaxation().uppers()[x], 3.0);
+
+        // The mirrored lower bound: x >= 4.9/0.7 = 7.000000000000001, where a
+        // plain `ceil` would demand x >= 8 and lose the feasible x = 7.
+        let mut q = MinlpProblem::new();
+        let y = q.add_int_var(1.0, 0, 10);
+        q.add_constraint(
+            ConstraintFn::new("noisy_lo")
+                .linear_term(y, -0.7)
+                .with_constant(4.9),
+        );
+        let out = presolve(&mut q, 10);
+        assert!(matches!(out, PresolveOutcome::Reduced { .. }));
+        assert_eq!(q.relaxation().lowers()[y], 7.0);
     }
 }

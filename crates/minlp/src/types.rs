@@ -34,13 +34,22 @@ pub struct MinlpOptions {
     pub threads: usize,
 }
 
+/// Default absolute optimality gap.
+const DEFAULT_ABS_GAP: f64 = 1e-6;
+/// Default relative optimality gap.
+const DEFAULT_REL_GAP: f64 = 1e-6;
+/// Default integrality tolerance.
+const DEFAULT_INT_TOL: f64 = 1e-6;
+/// Default constraint feasibility tolerance.
+const DEFAULT_FEAS_TOL: f64 = 1e-6;
+
 impl Default for MinlpOptions {
     fn default() -> Self {
         MinlpOptions {
-            abs_gap: 1e-6,
-            rel_gap: 1e-6,
-            int_tol: 1e-6,
-            feas_tol: 1e-6,
+            abs_gap: DEFAULT_ABS_GAP,
+            rel_gap: DEFAULT_REL_GAP,
+            int_tol: DEFAULT_INT_TOL,
+            feas_tol: DEFAULT_FEAS_TOL,
             max_nodes: 2_000_000,
             branch_rule: BranchRule::MostFractional,
             node_selection: NodeSelection::BestBound,

@@ -16,7 +16,36 @@
 //! strict barrier interior would otherwise reject.
 
 use crate::problem::NlpProblem;
+use hslb_linalg::approx::exactly_zero;
 use hslb_linalg::{Cholesky, Lu, Matrix, Qr};
+
+/// Default duality-gap stopping tolerance (`BarrierOptions::gap_tol`).
+const DEFAULT_GAP_TOL: f64 = 1e-9;
+/// Default inner Newton step-norm tolerance (`BarrierOptions::newton_tol`).
+const DEFAULT_NEWTON_TOL: f64 = 1e-10;
+/// Default strict-feasibility margin demanded of starting points.
+const DEFAULT_INTERIOR_MARGIN: f64 = 1e-8;
+/// Relative feasibility tolerance for constraints whose variables are all
+/// pinned: they are checked once against this, not barrier-enforced.
+const PINNED_FEAS_TOL: f64 = 1e-7;
+/// Relative equality-residual tolerance for an acceptable start point.
+const EQ_RESIDUAL_TOL: f64 = 1e-9;
+/// Looser residual bound accepted when projection rounds run out — the
+/// Newton iterations keep correcting equality drift of this size.
+const EQ_RESIDUAL_LOOSE_TOL: f64 = 1e-5;
+/// Fraction of the box width used to pull start points strictly inside.
+const START_MARGIN_FRAC: f64 = 1e-4;
+/// Floor on the width scale used for that margin (degenerate boxes).
+const MIN_MARGIN_SCALE: f64 = 1e-6;
+/// Cholesky regularization when projecting onto the equality manifold.
+const PROJ_CHOL_REG: f64 = 1e-12;
+/// Cholesky regularization for the unconstrained Newton Hessian.
+const HESS_CHOL_REG: f64 = 1e-10;
+/// Primal/dual regularization added to the KKT system diagonal.
+const KKT_REG: f64 = 1e-12;
+/// Relative threshold below which a fitted inequality dual counts as
+/// "clearly negative" (wrong active-set guess) rather than noise.
+const DUAL_NEG_TOL: f64 = 1e-6;
 
 /// Barrier solver options.
 #[derive(Debug, Clone)]
@@ -42,8 +71,8 @@ impl Default for BarrierOptions {
         BarrierOptions {
             mu0: 10.0,
             mu_shrink: 0.2,
-            gap_tol: 1e-9,
-            newton_tol: 1e-10,
+            gap_tol: DEFAULT_GAP_TOL,
+            newton_tol: DEFAULT_NEWTON_TOL,
             // Generous inner budget: epigraph formulations start far from
             // the central path (t at the midpoint of a huge box), and the
             // first barrier rounds need well over 60 Newton steps to walk
@@ -52,7 +81,7 @@ impl Default for BarrierOptions {
             // at a badly suboptimal point that still reports Optimal.
             max_newton: 200,
             max_outer: 60,
-            interior_margin: 1e-8,
+            interior_margin: DEFAULT_INTERIOR_MARGIN,
         }
     }
 }
@@ -147,7 +176,10 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
     }
     let mut active_map = Vec::new(); // original index of kept inequalities
     for (ci, c) in p.constraints().iter().enumerate() {
-        let touches_free = c.linear.iter().any(|&(v, co)| is_free[v] && co != 0.0)
+        let touches_free = c
+            .linear
+            .iter()
+            .any(|&(v, co)| is_free[v] && !exactly_zero(co))
             || c.nonlinear.iter().any(|(v, f)| is_free[*v] && !f.is_zero());
         if touches_free {
             reduced.add_constraint(c.clone());
@@ -160,13 +192,16 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
                     .map(|&(v, co)| (co * x_pinned[v]).abs())
                     .sum::<f64>()
                 + c.constant.abs();
-            if g > 1e-7 * scale {
+            if g > PINNED_FEAS_TOL * scale {
                 return Ok(NlpSolution::failed(NlpStatus::Infeasible, 0));
             }
         }
     }
     for e in p.equalities() {
-        let touches_free = e.coeffs.iter().any(|&(v, co)| is_free[v] && co != 0.0);
+        let touches_free = e
+            .coeffs
+            .iter()
+            .any(|&(v, co)| is_free[v] && !exactly_zero(co));
         if touches_free {
             reduced.add_linear_eq(e.coeffs.clone(), e.rhs);
         } else {
@@ -176,7 +211,7 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
                     .map(|&(v, co)| (co * x_pinned[v]).abs())
                     .sum::<f64>()
                 + e.rhs.abs();
-            if e.residual(&x_pinned).abs() > 1e-7 * scale {
+            if e.residual(&x_pinned).abs() > PINNED_FEAS_TOL * scale {
                 return Ok(NlpSolution::failed(NlpStatus::Infeasible, 0));
             }
         }
@@ -279,11 +314,11 @@ fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
             let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
             (!lo.is_finite() || x[j] > lo) && (!hi.is_finite() || x[j] < hi)
         });
-        if rnorm <= 1e-9 * scale && inside {
+        if rnorm <= EQ_RESIDUAL_TOL * scale && inside {
             return Some(x);
         }
         // Least-norm correction: Δ = Âᵀ (ÂÂᵀ)⁻¹ r.
-        let lam = match Cholesky::new_regularized(&aat, 1e-12) {
+        let lam = match Cholesky::new_regularized(&aat, PROJ_CHOL_REG) {
             Ok((ch, _)) => ch.solve(&r),
             Err(_) => return None,
         };
@@ -299,7 +334,7 @@ fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
             } else {
                 1.0
             };
-            let margin = 1e-4 * width.max(1e-6);
+            let margin = START_MARGIN_FRAC * width.max(MIN_MARGIN_SCALE);
             if lo.is_finite() && x[j] < lo + margin {
                 x[j] = lo + margin;
             }
@@ -315,7 +350,7 @@ fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
         .iter()
         .map(|e| e.residual(&x).abs())
         .fold(0.0_f64, f64::max);
-    (rnorm <= 1e-5 * scale).then_some(x)
+    (rnorm <= EQ_RESIDUAL_LOOSE_TOL * scale).then_some(x)
 }
 
 fn strictly_feasible(p: &NlpProblem, x: &[f64], margin: f64) -> bool {
@@ -424,7 +459,7 @@ fn barrier_loop(
         }
     }
     if free.is_empty() {
-        let feasible = p.max_violation(&x) <= 1e-7;
+        let feasible = p.max_violation(&x) <= PINNED_FEAS_TOL;
         return NlpSolution {
             status: if feasible {
                 NlpStatus::Optimal
@@ -471,7 +506,7 @@ fn barrier_loop(
 
             // KKT system: [H Âᵀ; Â 0] [d; λ] = [-g; r].
             let step = if m_eq == 0 {
-                match Cholesky::new_regularized(&hess, 1e-10) {
+                match Cholesky::new_regularized(&hess, HESS_CHOL_REG) {
                     Ok((ch, _)) => {
                         let rhs: Vec<f64> = grad.iter().map(|v| -v).collect();
                         ch.solve(&rhs)
@@ -487,7 +522,7 @@ fn barrier_loop(
                     }
                     // Tiny primal regularization keeps the system solvable
                     // when H is singular on the null space boundary.
-                    kkt[(i, i)] += 1e-12 * (1.0 + hess[(i, i)].abs());
+                    kkt[(i, i)] += KKT_REG * (1.0 + hess[(i, i)].abs());
                 }
                 for r in 0..m_eq {
                     for c in 0..k {
@@ -495,7 +530,7 @@ fn barrier_loop(
                         kkt[(c, k + r)] = a_eq[(r, c)];
                     }
                     // Small dual regularization for dependent rows.
-                    kkt[(k + r, k + r)] = -1e-12;
+                    kkt[(k + r, k + r)] = -KKT_REG;
                 }
                 let mut rhs = vec![0.0; dim];
                 for i in 0..k {
@@ -670,7 +705,7 @@ fn refine_multipliers(p: &NlpProblem, x: &[f64], raw: &[f64]) -> Vec<f64> {
     if active
         .iter()
         .enumerate()
-        .any(|(ci, _)| fit[ci] < -1e-6 * (1.0 + max_raw))
+        .any(|(ci, _)| fit[ci] < -DUAL_NEG_TOL * (1.0 + max_raw))
     {
         return raw.to_vec();
     }
@@ -724,11 +759,11 @@ fn barrier_derivatives(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> (V
         c.add_gradient(x, &mut grad_full, mu * inv);
         let cg = c.gradient(x);
         for a in 0..n {
-            if cg[a] == 0.0 {
+            if exactly_zero(cg[a]) {
                 continue;
             }
             for b in a..n {
-                if cg[b] != 0.0 {
+                if !exactly_zero(cg[b]) {
                     let v = mu * inv * inv * cg[a] * cg[b];
                     hess_full[(a, b)] += v;
                     if a != b {

@@ -98,7 +98,7 @@ impl ConstraintFn {
         let mut coeffs = Vec::new();
         let mut grad_dot_x0 = 0.0;
         for (v, gv) in grad.iter().enumerate() {
-            if *gv != 0.0 {
+            if !hslb_linalg::approx::exactly_zero(*gv) {
                 coeffs.push((v, *gv));
                 grad_dot_x0 += gv * x0[v];
             }

@@ -74,10 +74,10 @@ impl ScalarFn {
     /// constant `d` belongs to the constraint, not the variable term).
     pub fn perf_model(a: f64, b: f64, c: f64) -> Self {
         let mut terms = Vec::new();
-        if a != 0.0 {
+        if !hslb_linalg::approx::exactly_zero(a) {
             terms.push(Term::PowerDecay { a, c });
         }
-        if b != 0.0 {
+        if !hslb_linalg::approx::exactly_zero(b) {
             terms.push(Term::Linear { k: b });
         }
         ScalarFn { terms }

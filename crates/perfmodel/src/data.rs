@@ -87,11 +87,12 @@ impl ScalingData {
         let mut out: Vec<u64> = (0..count)
             .map(|k| {
                 let t = k as f64 / (count - 1) as f64;
-                (lo + t * (hi - lo)).exp().round() as u64
+                hslb_linalg::approx::round_to_u64((lo + t * (hi - lo)).exp())
             })
             .collect();
         out[0] = min_nodes;
-        *out.last_mut().expect("count >= 2") = max_nodes;
+        *out.last_mut()
+            .expect("count >= 2 guarantees a last element") = max_nodes;
         out.sort_unstable();
         out.dedup();
         out

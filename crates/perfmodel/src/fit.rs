@@ -12,6 +12,10 @@ use crate::model::{ModelKind, PerfModel};
 use crate::residuals::PerfResiduals;
 use hslb_lsq::{multistart, Bounds, FitQuality, LmOptions};
 
+/// Positive floor on the initial `a` coefficient guess: the power-decay
+/// term must start strictly positive for the LM fit to move it.
+const A0_FLOOR: f64 = 1e-6;
+
 /// Fitting options.
 #[derive(Debug, Clone)]
 pub struct FitOptions {
@@ -142,7 +146,7 @@ fn heuristic_starts(kind: ModelKind, xs: &[f64], ys: &[f64], extra: &[Vec<f64>])
     let (n_min, y_at_min) = (xs[0], ys[0]);
     let y_last = *ys.last().expect("non-empty validated earlier");
     let d0 = (y_last * 0.5).max(0.0);
-    let a0 = (y_at_min - d0).max(y_at_min * 0.1).max(1e-6) * n_min;
+    let a0 = (y_at_min - d0).max(y_at_min * 0.1).max(A0_FLOOR) * n_min;
 
     let mut starts = Vec::new();
     match kind {

@@ -1,5 +1,6 @@
 //! The performance function `T(n) = a/n^c + b·n + d` and variants.
 
+use hslb_linalg::approx::exactly_zero;
 use hslb_nlp::ScalarFn;
 
 /// Functional form used when fitting (the full paper model or a restricted
@@ -91,8 +92,8 @@ impl PerfModel {
     /// (true when `b` is negligible or the minimum lies beyond `hi`).
     pub fn is_decreasing_on(&self, lo: f64, hi: f64) -> bool {
         // dT/dn < 0 iff n < (a·c/b)^(1/(c+1)); with b = 0 it always is.
-        if self.b == 0.0 || self.a == 0.0 {
-            return self.a > 0.0 || self.b == 0.0;
+        if exactly_zero(self.b) || exactly_zero(self.a) {
+            return self.a > 0.0 || exactly_zero(self.b);
         }
         let turning = (self.a * self.c / self.b).powf(1.0 / (self.c + 1.0));
         lo < turning && hi <= turning

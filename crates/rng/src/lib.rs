@@ -14,6 +14,10 @@
 //!
 //! Default seeds for the whole workspace are collected in [`seeds`].
 
+/// Floor applied before `ln` in Box–Muller: smallest positive normal-ish
+/// value, only there to keep `ln(0)` out of the pipeline.
+const LN_FLOOR: f64 = 1e-300;
+
 /// Canonical default seeds, documented in one place (ISSUE satellite:
 /// "default seeds documented in one place").
 ///
@@ -137,8 +141,7 @@ impl Rng {
     /// Standard normal via Box–Muller (one value per call; no caching so a
     /// clone of the generator stays in lockstep).
     pub fn std_normal(&mut self) -> f64 {
-        // Avoid ln(0).
-        let u1 = (self.f64()).max(1e-300);
+        let u1 = (self.f64()).max(LN_FLOOR);
         let u2 = self.f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }

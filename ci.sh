@@ -24,6 +24,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== perf counters (hslb-perf --smoke) =="
+# Counter-based perf-regression gate: re-runs the pinned solver suite and
+# diffs its deterministic work counters against the committed
+# BENCH_solver.json baseline (see DESIGN.md § Observability).
+./target/release/hslb-perf --smoke
+
 echo "== differential fuzz (capped) =="
 # A short hunt on top of the deterministic tier-1 suite. The fixed start
 # seed keeps this gate deterministic while covering seeds the suite and

@@ -1,0 +1,88 @@
+//! Counter-based perf-regression gate.
+//!
+//! ```text
+//! hslb-perf                  # run the pinned suite, write BENCH_solver.json
+//! hslb-perf --smoke          # run + diff against the committed baseline
+//! hslb-perf --out <path>     # write/compare somewhere else
+//! ```
+//!
+//! The suite records only deterministic work counters (no timings), so the
+//! output is byte-identical across runs and machines — see
+//! `hslb_bench::perf` for the gate semantics.
+
+use hslb_bench::perf::{diff_suites, perf_suite, suite_from_json, suite_to_json};
+use std::path::PathBuf;
+
+/// Default baseline location: the workspace root, two levels above this
+/// crate's manifest.
+fn default_baseline() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solver.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = default_baseline();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => usage("--out needs a path"),
+            },
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    eprintln!("hslb-perf: running pinned counter suite...");
+    let cases = perf_suite();
+    for case in &cases {
+        println!("{:<28} {}", case.name, case.stats);
+    }
+
+    if smoke {
+        let text = std::fs::read_to_string(&out).unwrap_or_else(|e| {
+            fail(&format!(
+                "cannot read baseline {} ({e}); run `hslb-perf` once to create it",
+                out.display()
+            ))
+        });
+        let baseline = suite_from_json(&text).unwrap_or_else(|e| fail(&e));
+        let drifts = diff_suites(&baseline, &cases);
+        if drifts.is_empty() {
+            println!(
+                "hslb-perf: OK — {} cases match {}",
+                cases.len(),
+                out.display()
+            );
+        } else {
+            eprintln!("hslb-perf: counter drift vs {}:", out.display());
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+            eprintln!("if the change is intentional, regenerate the baseline with `hslb-perf`");
+            std::process::exit(1);
+        }
+    } else {
+        let text = suite_to_json(&cases);
+        std::fs::write(&out, &text)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
+        println!(
+            "hslb-perf: wrote {} cases to {}",
+            cases.len(),
+            out.display()
+        );
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("hslb-perf: {msg}");
+    eprintln!("usage: hslb-perf [--smoke] [--out <path>]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("hslb-perf: {msg}");
+    std::process::exit(1);
+}

@@ -135,10 +135,10 @@ pub fn table3_block(scenario: &Scenario, seed: u64) -> Table3Block {
             hslb: (out.allocation, out.predicted),
             actual: out.actual,
         },
-        solver_nodes: out.solution.nodes,
-        nlp_solves: out.solution.nlp_solves,
-        lp_solves: out.solution.lp_solves,
-        cuts: out.solution.cuts,
+        solver_nodes: out.solution.stats.nodes_opened as usize,
+        nlp_solves: out.solution.stats.nlp_solves as usize,
+        lp_solves: out.solution.stats.lp_solves as usize,
+        cuts: out.solution.stats.oa_cuts as usize,
     }
 }
 
@@ -340,7 +340,7 @@ pub fn solve_time_report(total_nodes: u64) -> Vec<SolveTimeReport> {
             total_nodes,
             backend: name,
             seconds: start.elapsed().as_secs_f64(),
-            bnb_nodes: sol.nodes,
+            bnb_nodes: sol.stats.nodes_opened as usize,
             objective: sol.objective,
         }
     })
@@ -443,9 +443,9 @@ pub fn sos_ablation(set_sizes: &[usize]) -> Vec<SosAblationPoint> {
             SosAblationPoint {
                 set_size: k,
                 native_seconds,
-                native_nodes: native.nodes,
+                native_nodes: native.stats.nodes_opened as usize,
                 binary_seconds,
-                binary_nodes: binary.nodes,
+                binary_nodes: binary.stats.nodes_opened as usize,
             }
         })
         .collect()

@@ -7,4 +7,5 @@
 //! free [`timing`] runner.
 
 pub mod harness;
+pub mod perf;
 pub mod timing;

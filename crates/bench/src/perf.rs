@@ -1,0 +1,306 @@
+//! Counter-based performance-regression suite (the `hslb-perf` binary).
+//!
+//! Wall-clock timings are noisy and machine-dependent, so CI cannot gate on
+//! them. The deterministic work counters of `hslb-obs` can be compared
+//! exactly: every case below solves a pinned instance and records its
+//! [`SolveStats`]. The suite is serialized to `BENCH_solver.json` (committed
+//! at the repo root); `hslb-perf --smoke` re-runs the suite and fails when
+//! any counter drifts past the per-counter allowance, which catches
+//! algorithmic regressions (extra nodes, extra pivots, lost prunes) without
+//! ever timing anything.
+//!
+//! Counters are integers and every solver in the suite is deterministic
+//! (the parallel backend is pinned to one thread), so two runs of
+//! `hslb-perf` produce byte-identical JSON.
+
+use crate::harness::{sos_test_problem, true_spec};
+use hslb::{build_layout_model, solve_model_with, Layout, SolverBackend};
+use hslb_cesm_sim::Scenario;
+use hslb_json::Json;
+use hslb_lp::{LinearProgram, RowSense};
+use hslb_minlp::{encode_sets_as_binaries, MinlpOptions, SolveStats};
+use hslb_perfmodel::{fit, PerfModel, ScalingData};
+
+/// One pinned workload and the counters it produced.
+#[derive(Debug, Clone)]
+pub struct PerfCase {
+    pub name: String,
+    pub stats: SolveStats,
+}
+
+/// Allowed absolute drift for a counter with the given baseline value.
+///
+/// Small counters get a flat slack of 8 (a few extra barrier iterations are
+/// not a regression); large ones may move by 20% before the gate trips.
+pub fn allowance(baseline: u64) -> u64 {
+    (baseline / 5).max(8)
+}
+
+/// The machine scale of the paper's §III-E solve-time claim (E7).
+const E7_TOTAL_NODES: u64 = 40_960;
+/// SOS-vs-binary ablation sizes (E8) — kept below the sizes in
+/// `tables` so the whole suite stays fast enough for CI.
+const E8_SET_SIZES: [usize; 3] = [8, 32, 128];
+
+/// Runs the full pinned suite. Order is fixed; names are stable identifiers
+/// that `--smoke` uses to match against the committed baseline.
+pub fn perf_suite() -> Vec<PerfCase> {
+    let mut cases = Vec::new();
+
+    // E7: full-machine 1° layout-1 model, every backend (parallel pinned to
+    // one thread so its counters are deterministic).
+    let spec = true_spec(&Scenario::one_degree(E7_TOTAL_NODES));
+    let model = build_layout_model(&spec, Layout::Hybrid);
+    for (tag, backend, threads) in [
+        ("oa", SolverBackend::OuterApproximation, 0),
+        ("nlp_bnb", SolverBackend::NlpBnb, 0),
+        ("parallel_t1", SolverBackend::ParallelBnb, 1),
+    ] {
+        let opts = MinlpOptions {
+            threads,
+            ..Default::default()
+        };
+        let sol = solve_model_with(&model.problem, backend, &opts);
+        assert!(sol.objective.is_finite(), "E7 {tag} must solve");
+        cases.push(PerfCase {
+            name: format!("e7_layout1_{E7_TOTAL_NODES}_{tag}"),
+            stats: sol.stats,
+        });
+    }
+
+    // E8: native SOS branching vs explicit binary encoding. The binary
+    // encoding pays per-node LP work that the counters expose as a
+    // simplex-pivot blowup (see `tests/perf_counters.rs`).
+    for k in E8_SET_SIZES {
+        let p = sos_test_problem(k);
+        let opts = MinlpOptions::default();
+        let native = hslb_minlp::solve_oa_bnb(&p, &opts);
+        let (enc, _) = encode_sets_as_binaries(&p);
+        let binary = hslb_minlp::solve_oa_bnb(&enc, &opts);
+        cases.push(PerfCase {
+            name: format!("e8_sos_native_k{k}"),
+            stats: native.stats,
+        });
+        cases.push(PerfCase {
+            name: format!("e8_sos_binary_k{k}"),
+            stats: binary.stats,
+        });
+    }
+
+    // Simplex microkernel: the master-LP shapes OA generates.
+    for cols in [64usize, 256] {
+        let lp = master_like_lp(cols, 24);
+        let sol = hslb_lp::solve(&lp);
+        assert!(sol.is_optimal(), "micro_simplex_{cols} must solve");
+        let stats = SolveStats {
+            lp_solves: 1,
+            simplex_pivots: sol.iterations as u64,
+            ..Default::default()
+        };
+        cases.push(PerfCase {
+            name: format!("micro_simplex_{cols}"),
+            stats,
+        });
+    }
+
+    // LM microkernel: the paper-model fit on pinned synthetic data.
+    let truth = PerfModel::new(27_180.0, 5e-4, 1.0, 44.0);
+    let data = ScalingData::from_pairs(
+        [104u64, 208, 416, 832, 1664, 3328]
+            .iter()
+            .map(|&n| (n, truth.eval(n as f64))),
+    );
+    let report = fit(&data).expect("pinned fit converges");
+    cases.push(PerfCase {
+        name: "micro_lm_paper".to_string(),
+        stats: SolveStats {
+            lm_steps: report.lm_steps as u64,
+            ..Default::default()
+        },
+    });
+
+    cases
+}
+
+/// The master-problem LP shape from the simplex benchmark: `cols` bounded
+/// columns, two linking equality rows, `cuts` inequality rows.
+fn master_like_lp(cols: usize, cuts: usize) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    let n = lp.add_var(-1.0, 0.0, 1e6);
+    let zs: Vec<_> = (0..cols).map(|_| lp.add_var(0.0, 0.0, 1.0)).collect();
+    lp.add_row(zs.iter().map(|&z| (z, 1.0)).collect(), RowSense::Eq, 1.0);
+    let mut link: Vec<_> = zs
+        .iter()
+        .enumerate()
+        .map(|(k, &z)| (z, (2 * (k + 1)) as f64))
+        .collect();
+    link.push((n, -1.0));
+    lp.add_row(link, RowSense::Eq, 0.0);
+    for c in 0..cuts {
+        let mut row = vec![(n, 1.0)];
+        for k in 0..3 {
+            row.push((zs[(c * 7 + k * 13) % cols], 1.5 + k as f64));
+        }
+        lp.add_row(row, RowSense::Le, 1e5 + c as f64);
+    }
+    lp
+}
+
+/// Serializes the suite. Counters are integers, names are fixed, key order
+/// is insertion order — the output is byte-identical across runs.
+pub fn suite_to_json(cases: &[PerfCase]) -> String {
+    let suite = Json::arr(cases.iter().map(|case| {
+        Json::obj([
+            ("name", Json::from(case.name.as_str())),
+            (
+                "counters",
+                Json::obj(
+                    case.stats
+                        .fields()
+                        .into_iter()
+                        .map(|(name, value)| (name, Json::from(value))),
+                ),
+            ),
+        ])
+    }));
+    let doc = Json::obj([("format", Json::from(1u64)), ("suite", suite)]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+/// Parses a committed baseline back into cases. Unknown counter names are
+/// rejected so a schema change forces a baseline regeneration.
+pub fn suite_from_json(text: &str) -> Result<Vec<PerfCase>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    if doc.get("format").and_then(Json::as_u64) != Some(1) {
+        return Err("baseline format must be 1".to_string());
+    }
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_array)
+        .ok_or("baseline missing suite array")?;
+    let mut cases = Vec::with_capacity(suite.len());
+    for entry in suite {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("suite entry missing name")?
+            .to_string();
+        let counters = entry
+            .get("counters")
+            .ok_or_else(|| format!("{name}: missing counters"))?;
+        let read = |field: &str| {
+            counters
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing counter {field}"))
+        };
+        let stats = SolveStats {
+            nodes_opened: read("nodes_opened")?,
+            pruned_by_bound: read("pruned_by_bound")?,
+            pruned_infeasible: read("pruned_infeasible")?,
+            incumbents: read("incumbents")?,
+            oa_cuts: read("oa_cuts")?,
+            lp_solves: read("lp_solves")?,
+            nlp_solves: read("nlp_solves")?,
+            simplex_pivots: read("simplex_pivots")?,
+            newton_iters: read("newton_iters")?,
+            lm_steps: read("lm_steps")?,
+            presolve_tightenings: read("presolve_tightenings")?,
+        };
+        cases.push(PerfCase { name, stats });
+    }
+    Ok(cases)
+}
+
+/// Compares a fresh run against the committed baseline. Returns drift
+/// descriptions (empty = pass). Added or removed cases are drifts too: the
+/// baseline must be regenerated deliberately, never silently.
+pub fn diff_suites(baseline: &[PerfCase], current: &[PerfCase]) -> Vec<String> {
+    let mut drifts = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            drifts.push(format!("{}: case removed from suite", base.name));
+            continue;
+        };
+        for ((field, b), (_, c)) in base.stats.fields().into_iter().zip(cur.stats.fields()) {
+            let allowed = allowance(b);
+            if c.abs_diff(b) > allowed {
+                drifts.push(format!(
+                    "{}: {field} drifted {b} -> {c} (allowance {allowed})",
+                    base.name
+                ));
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            drifts.push(format!("{}: new case not in baseline", cur.name));
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, nodes: u64) -> PerfCase {
+        PerfCase {
+            name: name.to_string(),
+            stats: SolveStats {
+                nodes_opened: nodes,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cases = vec![case("a", 3), case("b", 1000)];
+        let text = suite_to_json(&cases);
+        let back = suite_from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "a");
+        assert_eq!(back[0].stats, cases[0].stats);
+        assert_eq!(back[1].stats, cases[1].stats);
+        // Serialization is a fixed point.
+        assert_eq!(suite_to_json(&back), text);
+    }
+
+    #[test]
+    fn diff_flags_drift_beyond_allowance() {
+        let base = vec![case("a", 100)];
+        // Within 20%: fine.
+        assert!(diff_suites(&base, &[case("a", 115)]).is_empty());
+        // Beyond: flagged.
+        let drifts = diff_suites(&base, &[case("a", 130)]);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].contains("nodes_opened"), "{drifts:?}");
+    }
+
+    #[test]
+    fn diff_flags_small_counter_slack() {
+        // Flat slack of 8 for small counters.
+        let base = vec![case("a", 2)];
+        assert!(diff_suites(&base, &[case("a", 10)]).is_empty());
+        assert!(!diff_suites(&base, &[case("a", 11)]).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_added_and_removed_cases() {
+        let base = vec![case("a", 1), case("b", 1)];
+        let cur = vec![case("a", 1), case("c", 1)];
+        let drifts = diff_suites(&base, &cur);
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(suite_from_json("not json").is_err());
+        assert!(suite_from_json(r#"{"format": 2, "suite": []}"#).is_err());
+        let missing = r#"{"format": 1, "suite": [{"name": "a", "counters": {}}]}"#;
+        assert!(suite_from_json(missing).is_err());
+    }
+}

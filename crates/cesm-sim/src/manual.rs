@@ -64,8 +64,11 @@ pub fn manual_allocation(scenario: &Scenario) -> CesmAllocation {
     if let Some(a) = paper_manual_allocation(scenario) {
         return a;
     }
+    /// The ocean's historical share of the machine (the slice the paper's
+    /// 1° expert settled on).
+    const OCN_SHARE: f64 = 0.19;
     let n = scenario.total_nodes as i64;
-    let ocn_target = (n as f64 * 0.19) as i64;
+    let ocn_target = (n as f64 * OCN_SHARE) as i64;
     // The expert snaps to the *nearest* admissible sweet spot, and backs
     // off downward only if that would not leave room for the atmosphere.
     let mut ocn = scenario.allowed(OCN).nearest(ocn_target.max(1));

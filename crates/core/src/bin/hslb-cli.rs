@@ -13,23 +13,39 @@
 //! hslb-cli example-spec            # prints a ready-to-edit CesmModelSpec
 //! ```
 //!
+//! `solve` and `flat` accept `--trace`, which records the solver's event
+//! stream (node opens, prunes, incumbents, cuts; see `hslb-obs`) and adds a
+//! `"trace"` array next to the `"solver"` counter block in the output.
+//!
 //! All modes exit 0 on success; bad input exits 1 with an `hslb-cli:`
 //! diagnostic on stderr; an unknown mode exits 2 with usage.
 
 use hslb::{
-    build_flat_model, build_layout_model, layout_predicted_times, solve_model, CesmModelSpec,
+    build_flat_model, build_layout_model, layout_predicted_times, solve_model_with, CesmModelSpec,
     ComponentSpec, FlatSpec, Layout, SolverBackend,
 };
 use hslb_json::{DecodeError, FromJson, Json, ToJson};
+use hslb_minlp::{Event, MinlpOptions, MinlpProblem, MinlpSolution, RingBuffer, Trace};
 use hslb_perfmodel::{fit, PerfModel, ScalingData};
 use std::io::Read;
+use std::sync::Arc;
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--trace") {
+        eprintln!("hslb-cli: unknown flag {bad}");
+        usage();
+    }
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| usage());
     match mode.as_str() {
         "fit" => cmd_fit(),
-        "solve" => cmd_solve(),
-        "flat" => cmd_flat(),
+        "solve" => cmd_solve(trace),
+        "flat" => cmd_flat(trace),
         "ampl" => cmd_ampl(),
         "example-spec" => cmd_example_spec(),
         _ => {
@@ -40,9 +56,66 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hslb-cli <fit|solve|flat|ampl|example-spec>  (JSON on stdin, JSON/AMPL on stdout)"
+        "usage: hslb-cli <fit|solve|flat|ampl|example-spec> [--trace]  (JSON on stdin, JSON/AMPL on stdout)"
     );
     std::process::exit(2);
+}
+
+/// Ring capacity for `--trace`: enough for every event the CESM-sized
+/// instances generate; larger solves keep the most recent events.
+const TRACE_CAPACITY: usize = 65_536;
+
+/// Solves with the default backend, optionally recording the event trace.
+fn solve_traced(problem: &MinlpProblem, trace: bool) -> (MinlpSolution, Option<Vec<Event>>) {
+    let mut opts = MinlpOptions::default();
+    let ring = trace.then(|| Arc::new(RingBuffer::new(TRACE_CAPACITY)));
+    if let Some(ring) = &ring {
+        opts.trace = Trace::to_sink(ring.clone());
+    }
+    let sol = solve_model_with(problem, SolverBackend::OuterApproximation, &opts);
+    (sol, ring.map(|r| r.snapshot()))
+}
+
+/// The `"solver"` block: every deterministic work counter, by name.
+fn solver_json(sol: &MinlpSolution) -> Json {
+    Json::obj(
+        sol.stats
+            .fields()
+            .into_iter()
+            .map(|(name, value)| (name, Json::from(value))),
+    )
+}
+
+fn event_json(event: &Event) -> Json {
+    let mut fields: Vec<(&str, Json)> = vec![("kind", Json::from(event.kind()))];
+    match event {
+        Event::NodeOpened { depth, bound } => {
+            fields.push(("depth", Json::from(*depth)));
+            fields.push(("bound", Json::from(*bound)));
+        }
+        Event::NodePruned { reason, bound } => {
+            fields.push(("reason", Json::from(reason.name())));
+            fields.push(("bound", Json::from(*bound)));
+        }
+        Event::Incumbent { objective } => fields.push(("objective", Json::from(*objective))),
+        Event::CutsAdded { count } => fields.push(("count", Json::from(*count))),
+        Event::LpSolved { pivots } => fields.push(("pivots", Json::from(*pivots))),
+        Event::NlpSolved { newton_iters } => {
+            fields.push(("newton_iters", Json::from(*newton_iters)));
+        }
+        Event::LmStep { iter, cost } => {
+            fields.push(("iter", Json::from(*iter)));
+            fields.push(("cost", Json::from(*cost)));
+        }
+        Event::TimeBudgetExhausted { elapsed } => {
+            fields.push(("elapsed", Json::from(*elapsed)));
+        }
+    }
+    Json::obj(fields)
+}
+
+fn trace_json(events: &[Event]) -> Json {
+    Json::arr(events.iter().map(event_json))
 }
 
 fn read_stdin() -> String {
@@ -132,42 +205,37 @@ fn layout_from_index(layout: usize) -> Layout {
     }
 }
 
-fn cmd_solve() {
+fn cmd_solve(trace: bool) {
     let input: SolveInput = parse_input("solve input");
     let layout = layout_from_index(input.layout);
     let model = build_layout_model(&input.spec, layout);
-    let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
+    let (sol, events) = solve_traced(&model.problem, trace);
     if sol.x.is_empty() {
         fail("no feasible allocation exists for this spec");
     }
     let alloc = model.allocation(&sol);
     let times = layout_predicted_times(&input.spec, layout, &alloc);
-    let out = Json::obj([
+    let mut fields = vec![
         ("allocation", alloc.to_json()),
         ("predicted", times.to_json()),
         ("objective", Json::from(sol.objective)),
-        (
-            "solver",
-            Json::obj([
-                ("bnb_nodes", Json::from(sol.nodes)),
-                ("nlp_solves", Json::from(sol.nlp_solves)),
-                ("lp_solves", Json::from(sol.lp_solves)),
-                ("oa_cuts", Json::from(sol.cuts)),
-            ]),
-        ),
-    ]);
-    println!("{}", out.to_pretty());
+        ("solver", solver_json(&sol)),
+    ];
+    if let Some(events) = &events {
+        fields.push(("trace", trace_json(events)));
+    }
+    println!("{}", Json::obj(fields).to_pretty());
 }
 
-fn cmd_flat() {
+fn cmd_flat(trace: bool) {
     let spec: FlatSpec = parse_input("flat spec");
     let model = build_flat_model(&spec);
-    let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
+    let (sol, events) = solve_traced(&model.problem, trace);
     if sol.x.is_empty() {
         fail("no feasible allocation exists for this spec");
     }
     let alloc = model.allocation(&spec, &sol);
-    let out = Json::obj([
+    let mut fields = vec![
         (
             "nodes",
             Json::arr(alloc.nodes.iter().map(|&n| Json::from(n))),
@@ -178,8 +246,12 @@ fn cmd_flat() {
         ),
         ("makespan", Json::from(alloc.makespan())),
         ("imbalance", Json::from(alloc.imbalance())),
-    ]);
-    println!("{}", out.to_pretty());
+        ("solver", solver_json(&sol)),
+    ];
+    if let Some(events) = &events {
+        fields.push(("trace", trace_json(events)));
+    }
+    println!("{}", Json::obj(fields).to_pretty());
 }
 
 /// Renders the layout MINLP of a spec as an AMPL model — the papers'

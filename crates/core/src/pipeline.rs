@@ -95,6 +95,17 @@ pub struct HslbOutcome {
     pub actual: ExecutionReport,
 }
 
+impl HslbOutcome {
+    /// Deterministic work counters for the whole pipeline: the solver's
+    /// [`hslb_minlp::SolveStats`] plus the Levenberg–Marquardt iterations
+    /// spent fitting the four component models in step 2.
+    pub fn stats(&self) -> hslb_minlp::SolveStats {
+        let mut stats = self.solution.stats;
+        stats.lm_steps += self.fits.iter().map(|f| f.lm_steps as u64).sum::<u64>();
+        stats
+    }
+}
+
 /// Errors from the pipeline.
 #[derive(Debug, Clone)]
 pub enum HslbError {
@@ -272,6 +283,11 @@ mod tests {
             "pipeline {} vs oracle {oracle_t}",
             out.predicted.total
         );
+        // Work counters cover both the fit step and the tree search.
+        let stats = out.stats();
+        assert!(stats.nodes_opened > 0);
+        assert!(stats.lm_steps > 0, "fit iterations must be counted");
+        assert!(stats.lm_steps > out.solution.stats.lm_steps);
     }
 
     #[test]

@@ -39,19 +39,26 @@ pub fn solve_model_with(
     opts: &MinlpOptions,
 ) -> MinlpSolution {
     let mut reduced = problem.clone();
-    if let hslb_minlp::PresolveOutcome::Infeasible = hslb_minlp::presolve(&mut reduced, 8) {
-        return MinlpSolution::infeasible(0, 0, 0);
-    }
+    let root_tightenings = match hslb_minlp::presolve(&mut reduced, 8) {
+        hslb_minlp::PresolveOutcome::Infeasible => {
+            return MinlpSolution::infeasible(hslb_minlp::SolveStats::default());
+        }
+        hslb_minlp::PresolveOutcome::Reduced { tightenings } => tightenings,
+    };
     let backend = if !reduced.is_convex() && backend == SolverBackend::OuterApproximation {
         SolverBackend::NlpBnb
     } else {
         backend
     };
-    match backend {
+    let mut sol = match backend {
         SolverBackend::OuterApproximation => solve_oa_bnb(&reduced, opts),
         SolverBackend::NlpBnb => solve_nlp_bnb(&reduced, opts),
         SolverBackend::ParallelBnb => solve_parallel_bnb(&reduced, opts),
-    }
+    };
+    // The root presolve pass is solver work too; fold it into the counters
+    // next to the per-node propagations the tree itself recorded.
+    sol.stats.presolve_tightenings += root_tightenings as u64;
+    sol
 }
 
 #[cfg(test)]

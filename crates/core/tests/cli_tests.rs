@@ -77,14 +77,59 @@ fn example_spec_round_trips_through_solve() {
             .expect("objective")
             > 0.0
     );
-    // Solver statistics block keeps its documented shape.
+    // Solver statistics block carries the full counter schema.
     let solver = parsed.get("solver").expect("solver key");
-    for key in ["bnb_nodes", "nlp_solves", "lp_solves", "oa_cuts"] {
+    for key in [
+        "nodes_opened",
+        "pruned_by_bound",
+        "pruned_infeasible",
+        "incumbents",
+        "oa_cuts",
+        "lp_solves",
+        "nlp_solves",
+        "simplex_pivots",
+        "newton_iters",
+        "lm_steps",
+        "presolve_tightenings",
+    ] {
         assert!(
             solver.get(key).and_then(Json::as_u64).is_some(),
             "missing solver.{key}"
         );
     }
+    assert!(field_u64(solver, "nodes_opened") > 0);
+    assert!(field_u64(solver, "lp_solves") > 0);
+    // Without --trace there is no trace key.
+    assert!(parsed.get("trace").is_none());
+}
+
+#[test]
+fn solve_with_trace_records_solver_events() {
+    let (spec, _, ok) = run(&["example-spec"], "");
+    assert!(ok);
+    let (solved, stderr, ok) = run(&["solve", "--trace"], &spec);
+    assert!(ok, "solve --trace failed: {stderr}");
+    let parsed = parse(&solved);
+    let solver = parsed.get("solver").expect("solver key");
+    let trace = parsed
+        .get("trace")
+        .and_then(Json::as_array)
+        .expect("trace array");
+    assert!(!trace.is_empty());
+    // Every event is tagged, and the node_opened events agree with the
+    // counter block (counters and trace are two views of the same work).
+    let opened = trace
+        .iter()
+        .filter(|e| e.get("kind").and_then(Json::as_str) == Some("node_opened"))
+        .count() as u64;
+    assert_eq!(opened, field_u64(solver, "nodes_opened"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let (_, stderr, ok) = run(&["solve", "--bogus"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --bogus"), "{stderr}");
 }
 
 #[test]

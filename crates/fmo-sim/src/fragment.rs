@@ -27,9 +27,13 @@ impl Fragment {
     ///   remainder;
     /// * decay exponent slightly below 1 — intra-group communication.
     pub fn truth_model(&self) -> PerfModel {
+        /// Seconds of scalable SCF work per atom³.
+        const SCF_CUBIC_COEFF: f64 = 2.0e-3;
+        /// Seconds of serial remainder (diagonalization, sync) per atom.
+        const SERIAL_FLOOR_COEFF: f64 = 6.0e-3;
         let atoms = self.atoms as f64;
-        let a = 2.0e-3 * atoms.powi(3);
-        let d = 6.0e-3 * atoms;
+        let a = SCF_CUBIC_COEFF * atoms.powi(3);
+        let d = SERIAL_FLOOR_COEFF * atoms;
         PerfModel::new(a, 0.0, 0.92, d)
     }
 
@@ -71,9 +75,10 @@ pub fn generate_cluster(num_fragments: usize, heterogeneity: f64, seed: u64) -> 
     (0..num_fragments)
         .map(|id| {
             let r = (next() >> 11) as f64 / (1u64 << 53) as f64;
-            // ~80% single waters; the rest merged fragments with a heavy
-            // tail scaled by heterogeneity.
-            let atoms = if r < 0.8 {
+            // Most fragments are single waters; the rest merged fragments
+            // with a heavy tail scaled by heterogeneity.
+            const SINGLE_WATER_SHARE: f64 = 0.8;
+            let atoms = if r < SINGLE_WATER_SHARE {
                 3
             } else {
                 let tail = (next() >> 11) as f64 / (1u64 << 53) as f64;

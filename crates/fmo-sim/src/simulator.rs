@@ -198,7 +198,9 @@ impl FmoSimulator {
     /// step). With geometry the actual FMO2 dimer list drives the cost; the
     /// per-pair work is quadratic in the combined fragment size.
     fn dimer_step(&self) -> f64 {
-        let pair_cost = |ai: u32, aj: u32| 2.0e-4 * ((ai + aj) as f64).powi(2);
+        /// Seconds of ES-dimer work per (combined atom count)².
+        const DIMER_PAIR_COEFF: f64 = 2.0e-4;
+        let pair_cost = |ai: u32, aj: u32| DIMER_PAIR_COEFF * ((ai + aj) as f64).powi(2);
         let total_work: f64 = match &self.geometry {
             Some(positions) => crate::fragment::dimer_pairs(positions, self.dimer_cutoff)
                 .into_iter()

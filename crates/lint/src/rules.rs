@@ -597,8 +597,54 @@ fn magic_epsilon(ctx: &FileCtx, role: Role, cfg: &LintConfig, findings: &mut Vec
                     t.text
                 ),
             );
+        } else if v >= cfg.epsilon_threshold
+            && v < 1.0
+            && !is_power_of_two(v)
+            && beside_threshold_op(tokens, i)
+        {
+            // Sub-unit fractions feeding a comparison or a scaling multiply
+            // are thresholds/damping factors in disguise (`lambda * 0.3`,
+            // `gap < 0.05`). Exact powers of two are exempt: `0.5 * (lo + hi)`
+            // midpoints and halving steps are arithmetic, not policy.
+            ctx.push(
+                findings,
+                MAGIC_EPSILON,
+                i,
+                snippet_around(tokens, i, 2, 2),
+                format!(
+                    "inline threshold/damping literal `{}` — name it as a `const` \
+                     so the policy is auditable",
+                    t.text
+                ),
+            );
         }
     }
+}
+
+/// Exact binary fractions (0.5, 0.25, …) have a zero mantissa in IEEE-754;
+/// bit test avoids float comparison.
+fn is_power_of_two(v: f64) -> bool {
+    const MANTISSA_MASK: u64 = (1 << 52) - 1;
+    v > 0.0 && v.to_bits() & MANTISSA_MASK == 0
+}
+
+/// True when the float at `i` is operand of a comparison or multiplication:
+/// the adjacent token (previous, skipping a unary `-`, or next) is one of
+/// `<ops>`. Additive uses (`0.5 + 1e6`) are arithmetic and stay clean.
+fn beside_threshold_op(tokens: &[Token], i: usize) -> bool {
+    const OPS: &[&str] = &["<", ">", "<=", ">=", "*", "*="];
+    let is_op = |t: &Token| t.kind == TokKind::Punct && OPS.contains(&t.text.as_str());
+    let prev = i
+        .checked_sub(1)
+        .and_then(|p| {
+            if tokens[p].text == "-" {
+                p.checked_sub(1)
+            } else {
+                Some(p)
+            }
+        })
+        .map(|p| &tokens[p]);
+    prev.is_some_and(is_op) || tokens.get(i + 1).is_some_and(is_op)
 }
 
 // ---------------------------------------------------------------------------
@@ -808,6 +854,47 @@ mod tests {
         assert!(active("crates/x/src/lib.rs", named).is_empty());
         // Non-tolerance floats are fine.
         assert!(active("crates/x/src/lib.rs", "fn f() -> f64 { 0.5 + 1e6 }").is_empty());
+    }
+
+    #[test]
+    fn magic_epsilon_flags_bare_damping_factors() {
+        // A sub-unit fraction scaling a value is a damping/shrink policy.
+        let f = active(
+            "crates/x/src/lib.rs",
+            "fn f(lambda: f64) -> f64 { lambda * 0.3 }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, MAGIC_EPSILON);
+        // Same for a comparison threshold above the tolerance cutoff...
+        let f = active(
+            "crates/x/src/lib.rs",
+            "fn f(gap: f64) -> bool { gap < 0.05 }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        // ...including against a negated literal.
+        let f = active(
+            "crates/x/src/lib.rs",
+            "fn f(step: f64) -> bool { step > -0.05 }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        // Naming the constant resolves it.
+        let named = "const DAMP: f64 = 0.3;\nfn f(lambda: f64) -> f64 { lambda * DAMP }";
+        assert!(active("crates/x/src/lib.rs", named).is_empty());
+    }
+
+    #[test]
+    fn magic_epsilon_exempts_binary_fractions_and_arithmetic() {
+        // Exact powers of two are arithmetic (midpoints, halving), not policy.
+        let mid = "fn f(lo: f64, hi: f64) -> f64 { 0.5 * (lo + hi) }";
+        assert!(active("crates/x/src/lib.rs", mid).is_empty());
+        let quarter = "fn f(x: f64) -> f64 { x * 0.25 }";
+        assert!(active("crates/x/src/lib.rs", quarter).is_empty());
+        // Fractions not beside a comparison/multiply are left alone.
+        let add = "fn f(x: f64) -> f64 { x + 0.3 }";
+        assert!(active("crates/x/src/lib.rs", add).is_empty());
+        // Factors >= 1.0 (growth, scaling up) are out of scope.
+        let grow = "fn f(x: f64) -> f64 { x * 10.0 }";
+        assert!(active("crates/x/src/lib.rs", grow).is_empty());
     }
 
     #[test]

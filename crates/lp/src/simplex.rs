@@ -11,6 +11,7 @@
 use crate::model::{LinearProgram, RowSense};
 use crate::solution::{LpSolution, LpStatus};
 use hslb_linalg::{Lu, Matrix};
+use hslb_obs::{Event, Trace};
 
 use hslb_linalg::approx::exactly_zero;
 
@@ -40,6 +41,9 @@ pub struct SimplexOptions {
     pub degeneracy_limit: usize,
     /// Pivots between basis refactorizations.
     pub refactor_every: usize,
+    /// Event trace (off by default; see `hslb-obs`). When enabled, every
+    /// solve emits one `LpSolved` event carrying its pivot count.
+    pub trace: Trace,
 }
 
 impl Default for SimplexOptions {
@@ -50,6 +54,7 @@ impl Default for SimplexOptions {
             feas_tol: DEFAULT_FEAS_TOL,
             degeneracy_limit: 200,
             refactor_every: 100,
+            trace: Trace::off(),
         }
     }
 }
@@ -207,6 +212,16 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
 
 /// Solves the LP with explicit options.
 pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
+    let sol = solve_inner(lp, opts);
+    opts.trace.emit(|| Event::LpSolved {
+        pivots: sol.iterations as u64,
+    });
+    sol
+}
+
+/// The actual two-phase solve; `solve_with` wraps it so that every return
+/// path emits exactly one trace event.
+fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
     let m = lp.num_rows();
     let n = lp.num_vars();
 

@@ -314,3 +314,32 @@ mod property {
         }
     }
 }
+
+#[test]
+fn traced_solve_emits_one_lp_solved_event_with_pivot_count() {
+    use hslb_obs::{Event, RingBuffer, Trace};
+    use std::sync::Arc;
+
+    let mut lp = LinearProgram::new();
+    let x = lp.add_var(-3.0, 0.0, f64::INFINITY);
+    let y = lp.add_var(-5.0, 0.0, f64::INFINITY);
+    lp.add_row(vec![(x, 1.0)], RowSense::Le, 4.0);
+    lp.add_row(vec![(y, 2.0)], RowSense::Le, 12.0);
+    lp.add_row(vec![(x, 3.0), (y, 2.0)], RowSense::Le, 18.0);
+
+    let ring = Arc::new(RingBuffer::new(16));
+    let opts = hslb_lp::SimplexOptions {
+        trace: Trace::to_sink(ring.clone()),
+        ..Default::default()
+    };
+    let sol = hslb_lp::solve_with(&lp, &opts);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    let events = ring.snapshot();
+    assert_eq!(events.len(), 1, "one event per solve: {events:?}");
+    assert_eq!(
+        events[0],
+        Event::LpSolved {
+            pivots: sol.iterations as u64
+        }
+    );
+}

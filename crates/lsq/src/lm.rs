@@ -2,6 +2,7 @@
 
 use crate::problem::{Bounds, Residuals};
 use hslb_linalg::{vecops, Cholesky, Matrix};
+use hslb_obs::{Event, Trace};
 
 /// Solver options.
 #[derive(Debug, Clone)]
@@ -16,6 +17,9 @@ pub struct LmOptions {
     pub cost_tol: f64,
     /// Initial damping factor (scaled by the largest `JᵀJ` diagonal entry).
     pub initial_lambda: f64,
+    /// Event trace (off by default; see `hslb-obs`). When enabled, every
+    /// accepted step emits one `LmStep` event with the post-step cost.
+    pub trace: Trace,
 }
 
 /// Default gradient-norm convergence tolerance.
@@ -31,6 +35,12 @@ const DIAG_FLOOR_REL: f64 = 1e-12;
 const LAMBDA_MIN: f64 = 1e-12;
 /// Guard against dividing by a zero cost in the relative-decrease test.
 const COST_DIV_FLOOR: f64 = 1e-300;
+/// Damping shrink applied after an accepted step (the classic Marquardt
+/// schedule pairs a gentle x0.3 shrink with an aggressive x10 growth, so
+/// rejected steps back off faster than accepted ones relax).
+const LAMBDA_SHRINK: f64 = 0.3;
+/// Damping growth applied after a rejected step.
+const LAMBDA_GROW: f64 = 10.0;
 
 impl Default for LmOptions {
     fn default() -> Self {
@@ -40,6 +50,7 @@ impl Default for LmOptions {
             step_tol: DEFAULT_STEP_TOL,
             cost_tol: DEFAULT_COST_TOL,
             initial_lambda: 1e-3,
+            trace: Trace::off(),
         }
     }
 }
@@ -195,7 +206,7 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
                     ch.solve(&rhs)
                 }
                 Err(_) => {
-                    lambda *= 10.0;
+                    lambda *= LAMBDA_GROW;
                     continue;
                 }
             };
@@ -218,8 +229,12 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
                 r = r_new;
                 let prev_cost = cost;
                 cost = cost_new;
-                lambda = (lambda * 0.3).max(LAMBDA_MIN);
+                lambda = (lambda * LAMBDA_SHRINK).max(LAMBDA_MIN);
                 stepped = true;
+                opts.trace.emit(|| Event::LmStep {
+                    iter: iters as u64,
+                    cost,
+                });
                 if step_len < opts.step_tol * (1.0 + vecops::norm2(&p)) {
                     outcome = LmOutcome::SmallStep;
                 }
@@ -228,7 +243,7 @@ pub fn levenberg_marquardt<P: Residuals + ?Sized>(
                 }
                 break;
             }
-            lambda *= 10.0;
+            lambda *= LAMBDA_GROW;
         }
 
         if !stepped {

@@ -52,6 +52,9 @@ pub struct MultistartReport {
     pub costs: Vec<f64>,
     /// Number of starts that failed outright (non-finite model, etc.).
     pub failures: usize,
+    /// LM iterations summed over every successful start — the multistart's
+    /// total work, deterministic for fixed inputs (see `hslb-obs`).
+    pub total_iters: usize,
 }
 
 /// Runs LM from every starting point in parallel and keeps the best result.
@@ -73,11 +76,13 @@ pub fn multistart<P: Residuals + ?Sized>(
     let mut best: Option<(usize, LmReport)> = None;
     let mut costs = Vec::with_capacity(runs.len());
     let mut failures = 0;
+    let mut total_iters = 0;
     let mut first_err = None;
     for (i, run) in runs.into_iter().enumerate() {
         match run {
             Ok(rep) => {
                 costs.push(rep.cost);
+                total_iters += rep.iters;
                 let better = match &best {
                     None => true,
                     Some((_, b)) => rep.cost < b.cost,
@@ -101,6 +106,7 @@ pub fn multistart<P: Residuals + ?Sized>(
             best_start,
             costs,
             failures,
+            total_iters,
         }),
         None => Err(first_err.expect("at least one run must have executed")),
     }

@@ -88,7 +88,9 @@ impl FitQuality {
 
     /// The paper's acceptance bar: R² "very close to 1".
     pub fn is_good(&self) -> bool {
-        self.r_squared > 0.95
+        /// Smallest R² this crate reads as "very close to 1".
+        const R_SQUARED_GOOD: f64 = 0.95;
+        self.r_squared > R_SQUARED_GOOD
     }
 }
 

@@ -5,6 +5,7 @@ use crate::branching::{make_branch, select_branch_var_with_stats, PseudocostTrac
 use crate::model::MinlpProblem;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus, NodeSelection};
 use hslb_nlp::{BarrierOptions, NlpProblem, NlpStatus};
+use hslb_obs::{Deadline, Event, PruneReason, SolveStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -66,6 +67,7 @@ pub(crate) fn solve_relaxation(
     lo: &[f64],
     hi: &[f64],
     barrier: &BarrierOptions,
+    stats: &mut SolveStats,
 ) -> Option<RelaxOutcome> {
     // Propagate the problem's linear rows over this node's box first. This
     // is both a cheap prune and a correctness requirement: a box whose
@@ -75,12 +77,17 @@ pub(crate) fn solve_relaxation(
     // boxes to `lo == hi`, which the barrier eliminates exactly.
     let mut lo = lo.to_vec();
     let mut hi = hi.to_vec();
-    crate::presolve::propagate_box(problem, &mut lo, &mut hi, 4)?;
+    let tightened = crate::presolve::propagate_box(problem, &mut lo, &mut hi, 4)?;
+    stats.presolve_tightenings += tightened as u64;
     install_bounds(scratch, &lo, &hi);
+    // Work accounting lives *here*, next to the solve, so every caller
+    // (serial, OA polishing, parallel tasks) counts identically.
+    stats.nlp_solves += 1;
     let sol = match hslb_nlp::solve_with(scratch, barrier) {
         Ok(s) => s,
         Err(_) => return None,
     };
+    stats.newton_iters += sol.newton_iters as u64;
     match sol.status {
         NlpStatus::Infeasible => None,
         NlpStatus::Optimal => Some(RelaxOutcome {
@@ -119,7 +126,7 @@ pub(crate) fn polish_candidate(
     hi: &[f64],
     opts: &MinlpOptions,
     barrier: &BarrierOptions,
-    nlp_solves: &mut usize,
+    stats: &mut SolveStats,
 ) -> Option<(Vec<f64>, f64)> {
     let snapped = problem.round_to_domain(x);
     // The snap must stay inside the node box (otherwise this candidate
@@ -139,8 +146,9 @@ pub(crate) fn polish_candidate(
         phi[j] = snapped[j];
     }
     install_bounds(scratch, &plo, &phi);
-    *nlp_solves += 1;
+    stats.nlp_solves += 1;
     let sol = hslb_nlp::solve_with(scratch, barrier).ok()?;
+    stats.newton_iters += sol.newton_iters as u64;
     if sol.status != NlpStatus::Optimal {
         return None;
     }
@@ -160,9 +168,17 @@ pub(crate) fn prune_cutoff(incumbent: f64, opts: &MinlpOptions) -> f64 {
 }
 
 /// Solves a convex MINLP by NLP-based branch and bound.
+///
+/// Anytime behavior: when `opts.time_limit` expires the loop stops at the
+/// next node boundary and returns the best incumbent found so far together
+/// with the tightest proven bound, under [`MinlpStatus::TimeLimit`].
 pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
-    let barrier = BarrierOptions::default();
+    let barrier = BarrierOptions {
+        trace: opts.trace.clone(),
+        ..BarrierOptions::default()
+    };
     let mut scratch = problem.relaxation().clone();
+    let deadline = Deadline::start(&opts.clock, opts.time_limit);
 
     let root = Node {
         lo: problem.relaxation().lowers().to_vec(),
@@ -173,8 +189,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
     };
     let mut pseudocosts = PseudocostTracker::new(problem.num_vars());
 
-    let mut nodes_processed = 0usize;
-    let mut nlp_solves = 0usize;
+    let mut stats = SolveStats::default();
     let mut incumbent: Option<Vec<f64>> = None;
     let mut incumbent_obj = f64::INFINITY;
 
@@ -198,6 +213,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
 
     let mut best_open_bound = f64::NEG_INFINITY;
     let mut hit_node_limit = false;
+    let mut hit_time_limit = false;
 
     loop {
         let node = match opts.node_selection {
@@ -213,20 +229,46 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
                 None => break,
             },
         };
-        if nodes_processed >= opts.max_nodes {
+        if deadline.expired() {
+            hit_time_limit = true;
+            opts.trace.emit(|| Event::TimeBudgetExhausted {
+                elapsed: deadline.elapsed(),
+            });
+            break;
+        }
+        if stats.nodes_opened >= opts.max_nodes as u64 {
             hit_node_limit = true;
             break;
         }
-        nodes_processed += 1;
+        stats.nodes_opened += 1;
+        opts.trace.emit(|| Event::NodeOpened {
+            depth: node.depth as u64,
+            bound: node.bound,
+        });
 
         // Bound-based prune (incumbent may have improved since push).
         if node.bound >= prune_cutoff(incumbent_obj, opts) {
+            stats.pruned_by_bound += 1;
+            opts.trace.emit(|| Event::NodePruned {
+                reason: PruneReason::Bound,
+                bound: node.bound,
+            });
             continue;
         }
 
-        nlp_solves += 1;
-        let Some(relax) = solve_relaxation(problem, &mut scratch, &node.lo, &node.hi, &barrier)
-        else {
+        let Some(relax) = solve_relaxation(
+            problem,
+            &mut scratch,
+            &node.lo,
+            &node.hi,
+            &barrier,
+            &mut stats,
+        ) else {
+            stats.pruned_infeasible += 1;
+            opts.trace.emit(|| Event::NodePruned {
+                reason: PruneReason::Infeasible,
+                bound: f64::NAN,
+            });
             continue; // infeasible node
         };
         let node_bound = if relax.bound_valid {
@@ -242,6 +284,11 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
             }
         }
         if node_bound >= prune_cutoff(incumbent_obj, opts) {
+            stats.pruned_by_bound += 1;
+            opts.trace.emit(|| Event::NodePruned {
+                reason: PruneReason::Bound,
+                bound: node_bound,
+            });
             continue;
         }
 
@@ -256,11 +303,13 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
                 &node.hi,
                 opts,
                 &barrier,
-                &mut nlp_solves,
+                &mut stats,
             ) {
                 if obj < incumbent_obj {
                     incumbent_obj = obj;
                     incumbent = Some(cand);
+                    stats.incumbents += 1;
+                    opts.trace.emit(|| Event::Incumbent { objective: obj });
                 }
             }
         }
@@ -315,30 +364,34 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         }
     }
 
-    let best_bound = if hit_node_limit {
+    let limited = hit_node_limit || hit_time_limit;
+    let best_bound = if limited {
         best_open_bound.min(incumbent_obj)
     } else {
         incumbent_obj
     };
+    let limit_status = if hit_time_limit {
+        MinlpStatus::TimeLimit
+    } else {
+        MinlpStatus::NodeLimit
+    };
     match incumbent {
         Some(x) => MinlpSolution {
-            status: if hit_node_limit {
-                MinlpStatus::NodeLimit
+            status: if limited {
+                limit_status
             } else {
                 MinlpStatus::Optimal
             },
             objective: incumbent_obj,
             best_bound,
             x,
-            nodes: nodes_processed,
-            nlp_solves,
-            lp_solves: 0,
-            cuts: 0,
+            stats,
         },
         None => {
-            let mut s = MinlpSolution::infeasible(nodes_processed, nlp_solves, 0);
-            if hit_node_limit {
-                s.status = MinlpStatus::NodeLimit;
+            let mut s = MinlpSolution::infeasible(stats);
+            if limited {
+                // Infeasibility was not *proven*: the search was cut short.
+                s.status = limit_status;
             }
             s
         }

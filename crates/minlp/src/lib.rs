@@ -69,3 +69,7 @@ pub use oracle::solve_exhaustive;
 pub use parallel::solve_parallel_bnb;
 pub use presolve::{presolve, PresolveOutcome};
 pub use types::{MinlpOptions, MinlpSolution, MinlpStatus, NodeSelection};
+
+// Observability vocabulary, re-exported so downstream crates can configure
+// traces/clocks and read counters without a direct `hslb-obs` dependency.
+pub use hslb_obs::{ClockHandle, Event, FakeClock, RingBuffer, SolveStats, Trace};

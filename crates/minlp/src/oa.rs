@@ -26,6 +26,7 @@ use crate::model::MinlpProblem;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus, NodeSelection};
 use hslb_lp::{LinearProgram, LpStatus, RowSense, VarId};
 use hslb_nlp::{BarrierOptions, NlpStatus};
+use hslb_obs::{Deadline, Event, PruneReason, SolveStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -74,12 +75,28 @@ fn sample_points(relax: &hslb_nlp::NlpProblem) -> Vec<Vec<f64>> {
 /// positivity argument); on nonconvex input the result is a heuristic and
 /// the caller should prefer [`crate::solve_nlp_bnb`].
 pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
-    let barrier = BarrierOptions::default();
+    let barrier = BarrierOptions {
+        trace: opts.trace.clone(),
+        ..BarrierOptions::default()
+    };
+    let lp_opts = hslb_lp::SimplexOptions {
+        trace: opts.trace.clone(),
+        ..hslb_lp::SimplexOptions::default()
+    };
     let relax = problem.relaxation();
     let n = problem.num_vars();
-    let mut nlp_solves = 0usize;
-    let mut lp_solves = 0usize;
-    let mut cuts = 0usize;
+    let mut stats = SolveStats::default();
+    let deadline = Deadline::start(&opts.clock, opts.time_limit);
+    // A budget that is already spent (e.g. `time_limit: Some(0.0)`) must
+    // stop before the root NLP, matching the tree solvers' zero-work exit.
+    if deadline.expired() {
+        opts.trace.emit(|| Event::TimeBudgetExhausted {
+            elapsed: deadline.elapsed(),
+        });
+        let mut sol = MinlpSolution::infeasible(stats);
+        sol.status = MinlpStatus::TimeLimit;
+        return sol;
+    }
 
     // ---- Root NLP relaxation -> initial linearization point --------------
     // The barrier needs a strict interior. Problems with linear equality
@@ -88,13 +105,20 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     // linearization: cuts of a convex function are valid at *any* point, the
     // root NLP merely provides a good one.
     let mut scratch = relax.clone();
-    nlp_solves += 1;
+    stats.nlp_solves += 1;
     // A non-optimal verdict (including Infeasible: the barrier cannot see
     // through empty-interior equality pairs) defers to the LP tree, which
     // detects genuine infeasibility exactly.
     let root_points: Vec<Vec<f64>> = match hslb_nlp::solve_with(&scratch, &barrier) {
-        Ok(s) if s.status == NlpStatus::Optimal && !s.x.is_empty() => vec![s.x],
-        _ => sample_points(relax),
+        Ok(s) if s.status == NlpStatus::Optimal && !s.x.is_empty() => {
+            stats.newton_iters += s.newton_iters as u64;
+            vec![s.x]
+        }
+        Ok(s) => {
+            stats.newton_iters += s.newton_iters as u64;
+            sample_points(relax)
+        }
+        Err(_) => sample_points(relax),
     };
 
     // ---- Master LP --------------------------------------------------------
@@ -116,10 +140,14 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 let row: Vec<(VarId, f64)> =
                     coeffs.into_iter().map(|(v, co)| (VarId(v), co)).collect();
                 master.add_row(row, RowSense::Le, rhs);
-                cuts += 1;
+                stats.oa_cuts += 1;
             }
         }
     }
+    let initial_cuts = stats.oa_cuts;
+    opts.trace.emit(|| Event::CutsAdded {
+        count: initial_cuts,
+    });
     // Linear equalities map to exact LP rows.
     for e in relax.equalities() {
         let row: Vec<(VarId, f64)> = e.coeffs.iter().map(|&(v, co)| (VarId(v), co)).collect();
@@ -154,9 +182,9 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
 
     let mut incumbent: Option<Vec<f64>> = None;
     let mut incumbent_obj = f64::INFINITY;
-    let mut nodes_processed = 0usize;
     let mut best_open_bound = f64::NEG_INFINITY;
     let mut hit_node_limit = false;
+    let mut hit_time_limit = false;
 
     loop {
         let (node, cut_rounds) = match opts.node_selection {
@@ -172,13 +200,29 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 None => break,
             },
         };
-        if nodes_processed >= opts.max_nodes {
+        if deadline.expired() {
+            hit_time_limit = true;
+            opts.trace.emit(|| Event::TimeBudgetExhausted {
+                elapsed: deadline.elapsed(),
+            });
+            break;
+        }
+        if stats.nodes_opened >= opts.max_nodes as u64 {
             hit_node_limit = true;
             break;
         }
-        nodes_processed += 1;
+        stats.nodes_opened += 1;
+        opts.trace.emit(|| Event::NodeOpened {
+            depth: node.depth as u64,
+            bound: node.bound,
+        });
 
         if node.bound >= prune_cutoff(incumbent_obj, opts) {
+            stats.pruned_by_bound += 1;
+            opts.trace.emit(|| Event::NodePruned {
+                reason: PruneReason::Bound,
+                bound: node.bound,
+            });
             continue;
         }
 
@@ -186,20 +230,34 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
         for j in 0..n {
             master.set_bounds(VarId(j), node.lo[j], node.hi[j]);
         }
-        lp_solves += 1;
-        let lp_sol = hslb_lp::solve(&master);
+        stats.lp_solves += 1;
+        let lp_sol = hslb_lp::solve_with(&master, &lp_opts);
+        stats.simplex_pivots += lp_sol.iterations as u64;
         match lp_sol.status {
-            LpStatus::Infeasible => continue,
+            LpStatus::Infeasible => {
+                stats.pruned_infeasible += 1;
+                opts.trace.emit(|| Event::NodePruned {
+                    reason: PruneReason::Infeasible,
+                    bound: f64::NAN,
+                });
+                continue;
+            }
             LpStatus::Optimal => {}
             LpStatus::Unbounded | LpStatus::IterationLimit => {
                 // Pathological; fall back to pruning this node with the
                 // inherited bound (conservative but safe for our models,
                 // which are bounded by construction).
+                stats.pruned_infeasible += 1;
                 continue;
             }
         }
         let node_bound = lp_sol.objective.max(node.bound);
         if node_bound >= prune_cutoff(incumbent_obj, opts) {
+            stats.pruned_by_bound += 1;
+            opts.trace.emit(|| Event::NodePruned {
+                reason: PruneReason::Bound,
+                bound: node_bound,
+            });
             continue;
         }
         let x = lp_sol.x;
@@ -215,6 +273,8 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 if obj < incumbent_obj {
                     incumbent_obj = obj;
                     incumbent = Some(x);
+                    stats.incumbents += 1;
+                    opts.trace.emit(|| Event::Incumbent { objective: obj });
                 }
                 continue;
             }
@@ -227,23 +287,29 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 &node.hi,
                 opts,
                 &barrier,
-                &mut nlp_solves,
+                &mut stats,
             ) {
                 if obj < incumbent_obj {
                     incumbent_obj = obj;
                     incumbent = Some(cand.clone());
+                    stats.incumbents += 1;
+                    opts.trace.emit(|| Event::Incumbent { objective: obj });
                 }
                 // OA cuts around the NLP optimum (the Quesada–Grossmann
                 // "no-good via linearization" step).
+                let mut round_cuts = 0u64;
                 for &ci in &nonlinear_ids {
                     let (coeffs, rhs) = relax.constraints()[ci].linearize(&cand);
                     let row: Vec<(VarId, f64)> =
                         coeffs.into_iter().map(|(v, co)| (VarId(v), co)).collect();
                     master.add_row(row, RowSense::Le, rhs);
-                    cuts += 1;
+                    round_cuts += 1;
                 }
+                stats.oa_cuts += round_cuts;
+                opts.trace.emit(|| Event::CutsAdded { count: round_cuts });
             }
             // Also cut away the LP point itself where it violates.
+            let mut point_cuts = 0u64;
             for &ci in &nonlinear_ids {
                 let c = &relax.constraints()[ci];
                 if c.eval(&x) > opts.feas_tol {
@@ -251,8 +317,12 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                     let row: Vec<(VarId, f64)> =
                         coeffs.into_iter().map(|(v, co)| (VarId(v), co)).collect();
                     master.add_row(row, RowSense::Le, rhs);
-                    cuts += 1;
+                    point_cuts += 1;
                 }
+            }
+            stats.oa_cuts += point_cuts;
+            if point_cuts > 0 {
+                opts.trace.emit(|| Event::CutsAdded { count: point_cuts });
             }
             if cut_rounds + 1 < MAX_CUT_ROUNDS_PER_NODE {
                 let requeued = Node {
@@ -302,32 +372,35 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
         }
     }
 
-    let best_bound = if hit_node_limit {
+    let limited = hit_node_limit || hit_time_limit;
+    let best_bound = if limited {
         best_open_bound.min(incumbent_obj)
     } else {
         incumbent_obj
     };
+    let limit_status = if hit_time_limit {
+        MinlpStatus::TimeLimit
+    } else {
+        MinlpStatus::NodeLimit
+    };
     match incumbent {
         Some(x) => MinlpSolution {
-            status: if hit_node_limit {
-                MinlpStatus::NodeLimit
+            status: if limited {
+                limit_status
             } else {
                 MinlpStatus::Optimal
             },
             objective: incumbent_obj,
             best_bound,
             x,
-            nodes: nodes_processed,
-            nlp_solves,
-            lp_solves,
-            cuts,
+            stats,
         },
         None => {
-            let mut s = MinlpSolution::infeasible(nodes_processed, nlp_solves, lp_solves);
-            if hit_node_limit {
-                s.status = MinlpStatus::NodeLimit;
+            let mut s = MinlpSolution::infeasible(stats);
+            if limited {
+                // Infeasibility was not *proven*: the search was cut short.
+                s.status = limit_status;
             }
-            s.cuts = cuts;
             s
         }
     }
@@ -424,10 +497,14 @@ mod tests {
         let sol = solve_oa_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Optimal);
         assert!(
-            sol.cuts >= 2,
+            sol.stats.oa_cuts >= 2,
             "initial linearizations must be counted: {sol:?}"
         );
-        assert!(sol.lp_solves >= 1);
-        assert!(sol.nlp_solves >= 1);
+        assert!(sol.stats.lp_solves >= 1);
+        assert!(sol.stats.nlp_solves >= 1);
+        assert!(
+            sol.stats.simplex_pivots >= sol.stats.lp_solves,
+            "each LP solve should pivot at least once here: {sol:?}"
+        );
     }
 }

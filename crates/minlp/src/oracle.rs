@@ -6,6 +6,7 @@ use crate::model::{set_members_in, MinlpProblem, VarDomain};
 use crate::types::{MinlpSolution, MinlpStatus};
 use hslb_linalg::approx::{ceil_to_i64, floor_to_i64};
 use hslb_nlp::{BarrierOptions, NlpStatus};
+use hslb_obs::SolveStats;
 
 /// Feasibility tolerance applied when vetting each pinned-assignment NLP
 /// solution (matches `MinlpOptions::default().feas_tol`).
@@ -30,14 +31,14 @@ pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Opti
                 let a = ceil_to_i64(lo[j]);
                 let b = floor_to_i64(hi[j]);
                 if a > b {
-                    return Some(MinlpSolution::infeasible(0, 0, 0));
+                    return Some(MinlpSolution::infeasible(SolveStats::default()));
                 }
                 (a..=b).collect()
             }
             VarDomain::AllowedValues(set) => {
                 let members = set_members_in(set, lo[j], hi[j]);
                 if members.is_empty() {
-                    return Some(MinlpSolution::infeasible(0, 0, 0));
+                    return Some(MinlpSolution::infeasible(SolveStats::default()));
                 }
                 members.to_vec()
             }
@@ -81,19 +82,22 @@ pub fn solve_exhaustive(problem: &MinlpProblem, max_combinations: usize) -> Opti
         let mut k = 0;
         loop {
             if k == idx.len() {
-                // Exhausted.
+                // Exhausted. Each enumerated assignment counts as one
+                // "node" so callers can compare effort against the trees.
+                let stats = SolveStats {
+                    nodes_opened: total as u64,
+                    nlp_solves: nlp_solves as u64,
+                    ..Default::default()
+                };
                 return Some(match best {
                     Some((x, obj)) => MinlpSolution {
                         status: MinlpStatus::Optimal,
                         objective: obj,
                         best_bound: obj,
                         x,
-                        nodes: total,
-                        nlp_solves,
-                        lp_solves: 0,
-                        cuts: 0,
+                        stats,
                     },
-                    None => MinlpSolution::infeasible(total, nlp_solves, 0),
+                    None => MinlpSolution::infeasible(stats),
                 });
             }
             idx[k] += 1;

@@ -9,24 +9,33 @@
 //! lock.
 //!
 //! The optimum found is identical to the serial solver's (same pruning
-//! rule); node and NLP-solve counts vary run to run because incumbents
-//! arrive in nondeterministic order.
+//! rule). Observability: every task accumulates a private
+//! [`SolveStats`] that is merged into a shared total when the task
+//! finishes, and node processing mirrors the serial depth-first loop
+//! step-for-step (count, inherited-bound prune, relaxation, polish,
+//! branch, up-child first). With `threads: 1` the traversal *is* the
+//! serial depth-first traversal, so the merged counters equal a serial
+//! `NodeSelection::DepthFirst` solve exactly — a property the determinism
+//! suite pins. With more threads the totals still count the same kinds of
+//! work, but incumbents arrive in nondeterministic order, so prune counts
+//! may vary run to run.
 
 use crate::bnb::{polish_candidate, prune_cutoff, solve_relaxation};
 use crate::branching::{make_branch, select_branch_var};
 use crate::model::MinlpProblem;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus};
 use hslb_nlp::BarrierOptions;
+use hslb_obs::{Deadline, Event, PruneReason, SolveStats};
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A counting budget of *extra* worker threads.
 ///
-/// `join(a, b)` runs `a` on a freshly scoped thread only while a slot is
-/// free; otherwise both closures run sequentially on the caller. This keeps
-/// the total thread count bounded by `budget + 1` no matter how deep the
-/// tree forks — the pre-port rayon version relied on a work-stealing pool
-/// for the same guarantee.
+/// `join(a, b)` runs `b` on a freshly scoped thread only while a slot is
+/// free; otherwise both closures run sequentially on the caller — `a`
+/// first, then `b`. This keeps the total thread count bounded by
+/// `budget + 1` no matter how deep the tree forks — the pre-port rayon
+/// version relied on a work-stealing pool for the same guarantee.
 struct SpawnBudget {
     slots: AtomicIsize,
 }
@@ -59,8 +68,8 @@ impl SpawnBudget {
     {
         if self.try_acquire() {
             std::thread::scope(|s| {
-                s.spawn(a);
-                b();
+                s.spawn(b);
+                a();
             });
             self.release();
         } else {
@@ -75,13 +84,18 @@ struct Shared<'p> {
     opts: &'p MinlpOptions,
     barrier: BarrierOptions,
     budget: SpawnBudget,
+    deadline: Deadline,
     /// Bits of the incumbent objective (f64), for lock-free prune tests.
     incumbent_bits: AtomicU64,
     /// Full incumbent state; locked only on candidate improvement.
     incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Nodes claimed against `max_nodes`; the claim is the count.
     nodes: AtomicUsize,
-    nlp_solves: AtomicUsize,
+    /// Per-task counters merged here as tasks finish (`nodes_opened` is
+    /// authoritative in `nodes` above and patched in at the end).
+    stats: Mutex<SolveStats>,
     node_limit_hit: AtomicBool,
+    time_limit_hit: AtomicBool,
 }
 
 impl<'p> Shared<'p> {
@@ -89,13 +103,24 @@ impl<'p> Shared<'p> {
         f64::from_bits(self.incumbent_bits.load(Ordering::Relaxed))
     }
 
-    fn offer(&self, obj: f64, x: Vec<f64>) {
+    /// Offers a feasible candidate; returns true when it improved the
+    /// incumbent (the caller counts the improvement in its local stats).
+    fn offer(&self, obj: f64, x: Vec<f64>) -> bool {
         let mut guard = self.incumbent.lock().expect("incumbent lock poisoned");
         let better = guard.as_ref().is_none_or(|(best, _)| obj < *best);
         if better {
             *guard = Some((obj, x));
             self.incumbent_bits.store(obj.to_bits(), Ordering::Relaxed);
         }
+        better
+    }
+
+    fn stopped(&self) -> bool {
+        self.node_limit_hit.load(Ordering::Relaxed) || self.time_limit_hit.load(Ordering::Relaxed)
+    }
+
+    fn merge(&self, local: &SolveStats) {
+        self.stats.lock().expect("stats lock poisoned").merge(local);
     }
 }
 
@@ -105,7 +130,9 @@ const SPAWN_DEPTH: usize = 12;
 /// Solves a convex MINLP with the parallel branch-and-bound tree.
 ///
 /// `opts.threads` caps the worker count (`0` = one worker per available
-/// core).
+/// core). Honors `opts.time_limit` like the serial solvers: on expiry the
+/// remaining subtrees are abandoned and the best incumbent is returned
+/// under [`MinlpStatus::TimeLimit`].
 pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
     let workers = if opts.threads > 0 {
         opts.threads
@@ -117,68 +144,144 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
     let shared = Shared {
         problem,
         opts,
-        barrier: BarrierOptions::default(),
+        barrier: BarrierOptions {
+            trace: opts.trace.clone(),
+            ..BarrierOptions::default()
+        },
         budget: SpawnBudget::new(workers.saturating_sub(1)),
+        deadline: Deadline::start(&opts.clock, opts.time_limit),
         incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
         incumbent: Mutex::new(None),
         nodes: AtomicUsize::new(0),
-        nlp_solves: AtomicUsize::new(0),
+        stats: Mutex::new(SolveStats::default()),
         node_limit_hit: AtomicBool::new(false),
+        time_limit_hit: AtomicBool::new(false),
     };
 
     let lo = problem.relaxation().lowers().to_vec();
     let hi = problem.relaxation().uppers().to_vec();
-    explore(&shared, lo, hi, 0);
+    explore(&shared, lo, hi, f64::NEG_INFINITY, 0);
 
-    let nodes = shared.nodes.load(Ordering::Relaxed);
-    let nlp_solves = shared.nlp_solves.load(Ordering::Relaxed);
-    let limit = shared.node_limit_hit.load(Ordering::Relaxed);
+    let mut stats = shared
+        .stats
+        .into_inner()
+        .expect("stats lock poisoned at teardown");
+    stats.nodes_opened = shared.nodes.load(Ordering::Relaxed) as u64;
+    let node_limit = shared.node_limit_hit.load(Ordering::Relaxed);
+    let time_limit = shared.time_limit_hit.load(Ordering::Relaxed);
+    let limited = node_limit || time_limit;
+    let limit_status = if time_limit {
+        MinlpStatus::TimeLimit
+    } else {
+        MinlpStatus::NodeLimit
+    };
     let incumbent = shared
         .incumbent
         .into_inner()
         .expect("incumbent lock poisoned");
     match incumbent {
         Some((obj, x)) => MinlpSolution {
-            status: if limit {
-                MinlpStatus::NodeLimit
+            status: if limited {
+                limit_status
             } else {
                 MinlpStatus::Optimal
             },
             objective: obj,
-            best_bound: if limit { f64::NEG_INFINITY } else { obj },
+            // The depth-first tree tracks no open-node bounds, so a
+            // truncated search can only claim the trivial bound (this
+            // matches the serial solver under `NodeSelection::DepthFirst`).
+            best_bound: if limited { f64::NEG_INFINITY } else { obj },
             x,
-            nodes,
-            nlp_solves,
-            lp_solves: 0,
-            cuts: 0,
+            stats,
         },
         None => {
-            let mut s = MinlpSolution::infeasible(nodes, nlp_solves, 0);
-            if limit {
-                s.status = MinlpStatus::NodeLimit;
+            let mut s = MinlpSolution::infeasible(stats);
+            if limited {
+                // Infeasibility was not *proven*: the search was cut short.
+                s.status = limit_status;
             }
             s
         }
     }
 }
 
-fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
-    let nodes_so_far = shared.nodes.fetch_add(1, Ordering::Relaxed);
-    if nodes_so_far >= shared.opts.max_nodes {
+/// Processes one node (and recursively its subtree). `bound` is the valid
+/// lower bound inherited from the parent's relaxation — the serial loop
+/// stores it on the stacked node; here it rides the call.
+fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: usize) {
+    // Mirror the serial loop's per-pop limit checks, in the same order:
+    // an already-tripped limit abandons the subtree, then the time budget,
+    // then the node budget (whose claim doubles as the node count).
+    if shared.stopped() {
+        return;
+    }
+    if shared.deadline.expired() {
+        if !shared.time_limit_hit.swap(true, Ordering::Relaxed) {
+            shared.opts.trace.emit(|| Event::TimeBudgetExhausted {
+                elapsed: shared.deadline.elapsed(),
+            });
+        }
+        return;
+    }
+    let max_nodes = shared.opts.max_nodes;
+    let claimed = shared
+        .nodes
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            (n < max_nodes).then_some(n + 1)
+        });
+    if claimed.is_err() {
         shared.node_limit_hit.store(true, Ordering::Relaxed);
+        return;
+    }
+    let mut local = SolveStats::default();
+    shared.opts.trace.emit(|| Event::NodeOpened {
+        depth: depth as u64,
+        bound,
+    });
+
+    // Inherited-bound prune (the incumbent may have improved since the
+    // parent branched).
+    if bound >= prune_cutoff(shared.incumbent_obj(), shared.opts) {
+        local.pruned_by_bound += 1;
+        shared.opts.trace.emit(|| Event::NodePruned {
+            reason: PruneReason::Bound,
+            bound,
+        });
+        shared.merge(&local);
         return;
     }
 
     // Each task owns a scratch relaxation (the problems are tiny; a clone is
     // cheaper than cross-task coordination).
     let mut scratch = shared.problem.relaxation().clone();
-    shared.nlp_solves.fetch_add(1, Ordering::Relaxed);
-    let Some(relax) = solve_relaxation(shared.problem, &mut scratch, &lo, &hi, &shared.barrier)
-    else {
+    let Some(relax) = solve_relaxation(
+        shared.problem,
+        &mut scratch,
+        &lo,
+        &hi,
+        &shared.barrier,
+        &mut local,
+    ) else {
+        local.pruned_infeasible += 1;
+        shared.opts.trace.emit(|| Event::NodePruned {
+            reason: PruneReason::Infeasible,
+            bound: f64::NAN,
+        });
+        shared.merge(&local);
         return;
     };
-    let cutoff = prune_cutoff(shared.incumbent_obj(), shared.opts);
-    if relax.bound_valid && relax.objective >= cutoff {
+    let node_bound = if relax.bound_valid {
+        relax.objective.max(bound)
+    } else {
+        bound
+    };
+    if node_bound >= prune_cutoff(shared.incumbent_obj(), shared.opts) {
+        local.pruned_by_bound += 1;
+        shared.opts.trace.emit(|| Event::NodePruned {
+            reason: PruneReason::Bound,
+            bound: node_bound,
+        });
+        shared.merge(&local);
         return;
     }
 
@@ -186,7 +289,6 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
         .problem
         .is_domain_feasible(&relax.x, shared.opts.int_tol);
     if depth == 0 || domain_ok {
-        let mut local_nlp = 0usize;
         if let Some((cand, obj)) = polish_candidate(
             shared.problem,
             &mut scratch,
@@ -195,13 +297,19 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
             &hi,
             shared.opts,
             &shared.barrier,
-            &mut local_nlp,
+            &mut local,
         ) {
-            shared.offer(obj, cand);
+            if shared.offer(obj, cand) {
+                local.incumbents += 1;
+                shared
+                    .opts
+                    .trace
+                    .emit(|| Event::Incumbent { objective: obj });
+            }
         }
-        shared.nlp_solves.fetch_add(local_nlp, Ordering::Relaxed);
     }
     if domain_ok {
+        shared.merge(&local);
         return;
     }
 
@@ -213,14 +321,20 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
         shared.opts.int_tol,
         shared.opts.branch_rule,
     ) else {
+        shared.merge(&local);
         return;
     };
     let Some(branch) = make_branch(shared.problem, j, relax.x[j], lo[j], hi[j]) else {
+        shared.merge(&local);
         return;
     };
+    shared.merge(&local);
 
+    // Children in the serial pop order: the serial loop pushes [down, up]
+    // on its stack and pops the *up* child first, so sequential execution
+    // (and the threads=1 fallback of `join`) must run up before down.
     let mut children = Vec::with_capacity(2);
-    for (blo, bhi) in [branch.down, branch.up] {
+    for (blo, bhi) in [branch.up, branch.down] {
         if blo > bhi {
             continue;
         }
@@ -240,13 +354,13 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
                 .next()
                 .expect("match arm guarantees exactly two children");
             shared.budget.join(
-                || explore(shared, l1, h1, depth + 1),
-                || explore(shared, l2, h2, depth + 1),
+                || explore(shared, l1, h1, node_bound, depth + 1),
+                || explore(shared, l2, h2, node_bound, depth + 1),
             );
         }
         _ => {
             for (clo, chi) in children {
-                explore(shared, clo, chi, depth + 1);
+                explore(shared, clo, chi, node_bound, depth + 1);
             }
         }
     }
@@ -256,6 +370,7 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, depth: usize) {
 mod tests {
     use super::*;
     use crate::bnb::solve_nlp_bnb;
+    use crate::types::NodeSelection;
     use hslb_nlp::{ConstraintFn, ScalarFn};
 
     fn allocation_problem(cap: i64, loads: &[f64]) -> MinlpProblem {
@@ -335,6 +450,31 @@ mod tests {
         let sol = solve_parallel_bnb(&p, &MinlpOptions::default());
         assert_eq!(sol.status, MinlpStatus::Optimal);
         assert!((sol.x[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_thread_counters_equal_serial_depth_first() {
+        // The advertised determinism contract: threads=1 replays the serial
+        // depth-first traversal, node for node (see module docs).
+        for cap in [9, 12, 14] {
+            let p = allocation_problem(cap, &[120.0, 360.0, 77.0]);
+            let serial = solve_nlp_bnb(
+                &p,
+                &MinlpOptions {
+                    node_selection: NodeSelection::DepthFirst,
+                    ..Default::default()
+                },
+            );
+            let par = solve_parallel_bnb(
+                &p,
+                &MinlpOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.stats, par.stats, "cap={cap}");
+            assert_eq!(serial.status, par.status, "cap={cap}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Shared solver types: options, status, solution, statistics.
 
 use crate::branching::BranchRule;
+use hslb_obs::{ClockHandle, SolveStats, Trace};
 
 /// Node selection strategy for the serial trees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +27,16 @@ pub struct MinlpOptions {
     pub feas_tol: f64,
     /// Hard cap on explored nodes.
     pub max_nodes: usize,
+    /// Wall-clock budget in seconds measured on `clock` (`None` =
+    /// unlimited). When the budget expires the solve stops cleanly with
+    /// [`MinlpStatus::TimeLimit`], returning the best incumbent found and
+    /// the tightest bound proven so far (an *anytime* result).
+    pub time_limit: Option<f64>,
+    /// Clock used for `time_limit`. Defaults to real monotonic time; tests
+    /// inject an `hslb_obs::FakeClock` so time-limit paths never sleep.
+    pub clock: ClockHandle,
+    /// Event trace (off by default; see `hslb-obs`).
+    pub trace: Trace,
     /// Branching rule.
     pub branch_rule: BranchRule,
     /// Node selection.
@@ -51,6 +62,9 @@ impl Default for MinlpOptions {
             int_tol: DEFAULT_INT_TOL,
             feas_tol: DEFAULT_FEAS_TOL,
             max_nodes: 2_000_000,
+            time_limit: None,
+            clock: ClockHandle::default(),
+            trace: Trace::off(),
             branch_rule: BranchRule::MostFractional,
             node_selection: NodeSelection::BestBound,
             threads: 0,
@@ -63,10 +77,15 @@ impl Default for MinlpOptions {
 pub enum MinlpStatus {
     /// Global optimum found (within the gap tolerances).
     Optimal,
-    /// No feasible assignment exists.
+    /// No feasible assignment exists (proven by a *completed* search; a
+    /// search cut short by a limit reports the limit status instead,
+    /// because infeasibility was not proven).
     Infeasible,
     /// Node budget exhausted; `objective` holds the best incumbent if any.
     NodeLimit,
+    /// Time budget exhausted; `objective` holds the best incumbent if any
+    /// and `best_bound` the tightest bound proven before the deadline.
+    TimeLimit,
 }
 
 /// Solution of a MINLP solve, with search statistics.
@@ -79,14 +98,8 @@ pub struct MinlpSolution {
     pub objective: f64,
     /// Best proven lower bound on the optimum.
     pub best_bound: f64,
-    /// Branch-and-bound nodes processed.
-    pub nodes: usize,
-    /// NLP relaxation solves performed.
-    pub nlp_solves: usize,
-    /// LP solves performed (outer-approximation solver only).
-    pub lp_solves: usize,
-    /// Outer-approximation cuts added (OA solver only).
-    pub cuts: usize,
+    /// Deterministic work counters (nodes, prunes, cuts, pivots, …).
+    pub stats: SolveStats,
 }
 
 impl MinlpSolution {
@@ -99,16 +112,13 @@ impl MinlpSolution {
         }
     }
 
-    pub fn infeasible(nodes: usize, nlp_solves: usize, lp_solves: usize) -> Self {
+    pub fn infeasible(stats: SolveStats) -> Self {
         MinlpSolution {
             status: MinlpStatus::Infeasible,
             x: Vec::new(),
             objective: f64::INFINITY,
             best_bound: f64::INFINITY,
-            nodes,
-            nlp_solves,
-            lp_solves,
-            cuts: 0,
+            stats,
         }
     }
 }
@@ -123,11 +133,19 @@ impl std::fmt::Display for MinlpSolution {
                 "node limit: incumbent {:.6}, bound {:.6}",
                 self.objective, self.best_bound
             )?,
+            MinlpStatus::TimeLimit => write!(
+                f,
+                "time limit: incumbent {:.6}, bound {:.6}",
+                self.objective, self.best_bound
+            )?,
         }
         write!(
             f,
             " ({} nodes, {} NLP, {} LP, {} cuts)",
-            self.nodes, self.nlp_solves, self.lp_solves, self.cuts
+            self.stats.nodes_opened,
+            self.stats.nlp_solves,
+            self.stats.lp_solves,
+            self.stats.oa_cuts
         )
     }
 }
@@ -136,9 +154,18 @@ impl std::fmt::Display for MinlpSolution {
 mod tests {
     use super::*;
 
+    fn stats_321() -> SolveStats {
+        SolveStats {
+            nodes_opened: 3,
+            nlp_solves: 2,
+            lp_solves: 1,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn display_formats_all_statuses() {
-        let mut s = MinlpSolution::infeasible(3, 2, 1);
+        let mut s = MinlpSolution::infeasible(stats_321());
         assert!(format!("{s}").contains("infeasible"));
         s.status = MinlpStatus::Optimal;
         s.objective = 12.5;
@@ -150,11 +177,17 @@ mod tests {
             text.contains("node limit") && text.contains("3 nodes"),
             "{text}"
         );
+        s.status = MinlpStatus::TimeLimit;
+        let text = format!("{s}");
+        assert!(
+            text.contains("time limit") && text.contains("2 NLP"),
+            "{text}"
+        );
     }
 
     #[test]
     fn gap_computation() {
-        let mut s = MinlpSolution::infeasible(0, 0, 0);
+        let mut s = MinlpSolution::infeasible(SolveStats::default());
         assert_eq!(s.gap(), f64::INFINITY);
         s.objective = 10.0;
         s.best_bound = 9.5;

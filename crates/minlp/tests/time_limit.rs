@@ -1,0 +1,215 @@
+//! Anytime time-budget tests, driven entirely by an injected
+//! [`FakeClock`] — no test here ever sleeps, so the whole file runs in
+//! milliseconds regardless of the configured budgets.
+//!
+//! Contract under test (see `MinlpOptions::time_limit`):
+//! * expiry returns [`MinlpStatus::TimeLimit`] with the best incumbent
+//!   found so far and the tightest *proven* bound (finite gap when an
+//!   incumbent exists);
+//! * a zero budget stops cleanly before any node is processed;
+//! * a truncated search never claims `Infeasible` — that status is
+//!   reserved for completed searches.
+
+use hslb_minlp::{
+    solve_nlp_bnb, solve_oa_bnb, solve_parallel_bnb, ClockHandle, FakeClock, MinlpOptions,
+    MinlpProblem, MinlpSolution, MinlpStatus,
+};
+use hslb_nlp::{ConstraintFn, ScalarFn};
+
+type Solver = fn(&MinlpProblem, &MinlpOptions) -> MinlpSolution;
+
+const SOLVERS: [(&str, Solver); 3] = [
+    ("nlp_bnb", solve_nlp_bnb as Solver),
+    ("oa", solve_oa_bnb as Solver),
+    ("parallel", solve_parallel_bnb as Solver),
+];
+
+/// A 6-component allocation that takes a few dozen nodes to complete —
+/// enough room to provoke a mid-search expiry with a fake clock.
+fn branchy_problem() -> MinlpProblem {
+    let mut p = MinlpProblem::new();
+    let vars: Vec<usize> = (0..6).map(|_| p.add_int_var(0.0, 1, 50)).collect();
+    let t = p.add_var(1.0, 0.0, 1e9);
+    for (k, &v) in vars.iter().enumerate() {
+        p.add_constraint(
+            ConstraintFn::new(format!("t{k}"))
+                .nonlinear_term(v, ScalarFn::perf_model(100.0 + 37.0 * k as f64, 0.0, 1.0))
+                .linear_term(t, -1.0),
+        );
+    }
+    let mut c = ConstraintFn::new("cap").with_constant(-83.0);
+    for &v in &vars {
+        c = c.linear_term(v, 1.0);
+    }
+    p.add_constraint(c);
+    p
+}
+
+fn infeasible_problem() -> MinlpProblem {
+    let mut p = MinlpProblem::new();
+    let n = p.add_int_var(0.0, 1, 5);
+    p.add_constraint(
+        ConstraintFn::new("ge10")
+            .linear_term(n, -1.0)
+            .with_constant(10.0),
+    );
+    p
+}
+
+/// Options whose clock advances `step` fake-seconds per query.
+fn fake_opts(step: f64, limit: f64) -> (MinlpOptions, FakeClock) {
+    let clock = FakeClock::new(step);
+    let opts = MinlpOptions {
+        time_limit: Some(limit),
+        clock: ClockHandle::fake(&clock),
+        ..Default::default()
+    };
+    (opts, clock)
+}
+
+/// Replays an untimed solve through the event trace to find how many nodes
+/// each solver needs before its first incumbent — so the expiry test can
+/// place the deadline *between* first incumbent and completion without
+/// hard-coding node counts.
+fn first_incumbent_node(solve: Solver, p: &MinlpProblem) -> (u64, u64) {
+    let ring = std::sync::Arc::new(hslb_minlp::RingBuffer::new(1 << 16));
+    let opts = MinlpOptions {
+        trace: hslb_minlp::Trace::to_sink(ring.clone()),
+        threads: 1,
+        ..Default::default()
+    };
+    let sol = solve(p, &opts);
+    assert_eq!(sol.status, MinlpStatus::Optimal);
+    let mut opened = 0;
+    let mut first = None;
+    for event in ring.snapshot() {
+        match event {
+            hslb_minlp::Event::NodeOpened { .. } => opened += 1,
+            hslb_minlp::Event::Incumbent { .. } => {
+                first.get_or_insert(opened);
+            }
+            _ => {}
+        }
+    }
+    (
+        first.expect("instance has a feasible optimum"),
+        sol.stats.nodes_opened,
+    )
+}
+
+#[test]
+fn expiry_returns_incumbent_with_finite_gap() {
+    let p = branchy_problem();
+    for (name, solve) in SOLVERS {
+        let (first, total) = first_incumbent_node(solve, &p);
+        assert!(
+            first + 2 < total,
+            "{name}: instance leaves no room to expire mid-search ({first}/{total})"
+        );
+        // One fake second per clock query, one query per node: a budget of
+        // `first + 2` seconds expires shortly after the first incumbent and
+        // well before the search can complete.
+        let (mut opts, _clock) = fake_opts(1.0, (first + 2) as f64);
+        opts.threads = 1;
+        let sol = solve(&p, &opts);
+        assert_eq!(sol.status, MinlpStatus::TimeLimit, "{name}");
+        assert!(
+            sol.objective.is_finite(),
+            "{name}: an incumbent was found before expiry"
+        );
+        assert!(p.is_feasible(&sol.x, 1e-5), "{name}");
+        assert!(sol.best_bound <= sol.objective, "{name}");
+        assert!(
+            sol.stats.nodes_opened >= first && sol.stats.nodes_opened < total,
+            "{name}: expiry must fall mid-search ({} of {total})",
+            sol.stats.nodes_opened
+        );
+        // The truncated search returns a usable anytime result: incumbent
+        // plus a (possibly trivial) bound, never a claimed optimum.
+        assert!(
+            sol.gap() > 0.0,
+            "{name}: truncated search proves no optimum"
+        );
+    }
+}
+
+#[test]
+fn zero_budget_stops_before_any_node() {
+    let p = branchy_problem();
+    for (name, solve) in SOLVERS {
+        let (opts, _clock) = fake_opts(0.1, 0.0);
+        let sol = solve(&p, &opts);
+        assert_eq!(sol.status, MinlpStatus::TimeLimit, "{name}");
+        assert_eq!(sol.stats.nodes_opened, 0, "{name}");
+        assert_eq!(sol.stats.nlp_solves, 0, "{name}");
+        assert!(sol.x.is_empty(), "{name}: no incumbent possible");
+    }
+}
+
+#[test]
+fn truncated_search_never_claims_infeasible() {
+    let p = infeasible_problem();
+    for (name, solve) in SOLVERS {
+        // Without a budget the search completes and proves infeasibility.
+        let complete = solve(&p, &MinlpOptions::default());
+        assert_eq!(complete.status, MinlpStatus::Infeasible, "{name}");
+        // With a zero budget nothing was explored, so nothing was proven.
+        let (opts, _clock) = fake_opts(0.1, 0.0);
+        let cut_short = solve(&p, &opts);
+        assert_eq!(cut_short.status, MinlpStatus::TimeLimit, "{name}");
+    }
+}
+
+#[test]
+fn generous_budget_still_optimal() {
+    let p = branchy_problem();
+    for (name, solve) in SOLVERS {
+        // Advancing 1 microsecond per query against a 1e6-second budget:
+        // the limit never trips and results match the unlimited solve.
+        let (opts, _clock) = fake_opts(1e-6, 1e6);
+        let limited = solve(&p, &opts);
+        let unlimited = solve(&p, &MinlpOptions::default());
+        assert_eq!(limited.status, MinlpStatus::Optimal, "{name}");
+        assert!(
+            (limited.objective - unlimited.objective).abs() < 1e-9,
+            "{name}"
+        );
+        assert_eq!(limited.stats, unlimited.stats, "{name}");
+    }
+}
+
+#[test]
+fn expiry_point_is_deterministic_in_fake_time() {
+    let p = branchy_problem();
+    let (opts, _clock) = fake_opts(1.0, 3.0);
+    let sol = solve_nlp_bnb(&p, &opts);
+    assert_eq!(sol.status, MinlpStatus::TimeLimit);
+    // The serial loop queries the clock exactly once per popped node, and
+    // `Deadline::start` consumed the t=0 query; the t=3 query trips the
+    // budget, so exactly two nodes were processed. This pins both the
+    // injectability of the clock and the solver's one-check-per-node
+    // query discipline (more checks would skew the expiry point).
+    assert_eq!(sol.stats.nodes_opened, 2);
+}
+
+#[test]
+fn budget_is_relative_to_solve_start() {
+    // The deadline anchors at `Deadline::start`, not at clock zero:
+    // advancing a shared fake clock *between* solves must not eat into the
+    // next solve's budget.
+    let p = branchy_problem();
+    let clock = FakeClock::new(0.0);
+    let opts = MinlpOptions {
+        time_limit: Some(5.0),
+        clock: ClockHandle::fake(&clock),
+        max_nodes: 5,
+        ..Default::default()
+    };
+    // Clock frozen: the node limit is what stops the search.
+    let first = solve_nlp_bnb(&p, &opts);
+    assert_eq!(first.status, MinlpStatus::NodeLimit);
+    clock.advance(1e9);
+    let second = solve_nlp_bnb(&p, &opts);
+    assert_eq!(second.status, MinlpStatus::NodeLimit);
+    assert_eq!(first.stats, second.stats);
+}

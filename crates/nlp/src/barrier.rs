@@ -18,6 +18,7 @@
 use crate::problem::NlpProblem;
 use hslb_linalg::approx::exactly_zero;
 use hslb_linalg::{Cholesky, Lu, Matrix, Qr};
+use hslb_obs::{Event, Trace};
 
 /// Default duality-gap stopping tolerance (`BarrierOptions::gap_tol`).
 const DEFAULT_GAP_TOL: f64 = 1e-9;
@@ -46,6 +47,21 @@ const KKT_REG: f64 = 1e-12;
 /// Relative threshold below which a fitted inequality dual counts as
 /// "clearly negative" (wrong active-set guess) rather than noise.
 const DUAL_NEG_TOL: f64 = 1e-6;
+/// Fraction-to-boundary factor: line searches stop just short of the
+/// inequality boundary so slacks never collapse to zero.
+const FRACTION_TO_BOUNDARY: f64 = 0.995;
+/// Armijo sufficient-decrease coefficient for the backtracking search.
+const ARMIJO_C1: f64 = 1e-4;
+/// Phase-1 interior-depth fraction: exit only once slacks are at least
+/// this fraction of the initial violation scale (a hair past the boundary
+/// gives a ~1/slack²-conditioned Hessian and a dead start).
+const PHASE1_DEPTH_FRAC: f64 = 1e-3;
+/// Relative magnitude above which a raw dual counts as active in the
+/// multiplier refinement least-squares fit.
+const ACTIVE_DUAL_REL: f64 = 1e-4;
+/// Relative distance-to-bound margin used to classify a coordinate as
+/// interior during multiplier refinement.
+const INTERIOR_REL_MARGIN: f64 = 1e-3;
 
 /// Barrier solver options.
 #[derive(Debug, Clone)]
@@ -64,6 +80,10 @@ pub struct BarrierOptions {
     pub max_outer: usize,
     /// Strict-feasibility margin required of starting points.
     pub interior_margin: f64,
+    /// Event trace (off by default; see `hslb-obs`). When enabled, every
+    /// completed solve emits one `NlpSolved` event carrying its Newton
+    /// iteration count.
+    pub trace: Trace,
 }
 
 impl Default for BarrierOptions {
@@ -82,6 +102,7 @@ impl Default for BarrierOptions {
             max_newton: 200,
             max_outer: 60,
             interior_margin: DEFAULT_INTERIOR_MARGIN,
+            trace: Trace::off(),
         }
     }
 }
@@ -158,6 +179,18 @@ pub fn solve(p: &NlpProblem) -> Result<NlpSolution, NlpError> {
 
 /// Solves the problem with explicit options.
 pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, NlpError> {
+    let result = solve_inner(p, opts);
+    if let Ok(sol) = &result {
+        opts.trace.emit(|| Event::NlpSolved {
+            newton_iters: sol.newton_iters as u64,
+        });
+    }
+    result
+}
+
+/// The actual barrier solve; `solve_with` wraps it so that every completed
+/// solve (including infeasibility verdicts) emits exactly one trace event.
+fn solve_inner(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, NlpError> {
     let n = p.num_vars();
     for j in 0..n {
         if p.lowers()[j] > p.uppers()[j] {
@@ -412,7 +445,7 @@ fn phase_one(
     // the solve stalls at the phase-1 point while reporting Optimal. When
     // the feasible region is too thin to reach this depth, phase 1 simply
     // runs to its own optimum, which is the deepest interior point anyway.
-    let target = -(2.0 * opts.interior_margin).max(1e-3 * (1.0 + viol));
+    let target = -(2.0 * opts.interior_margin).max(PHASE1_DEPTH_FRAC * (1.0 + viol));
     let sol = barrier_loop(&aug, z0, opts, newton_total, Some((s, target)));
     match sol.status {
         NlpStatus::Optimal | NlpStatus::IterationLimit => {
@@ -571,7 +604,7 @@ fn barrier_loop(
             // Backtracking line search: strict feasibility + descent.
             let phi0 = barrier_value(p, &x, mu, &free);
             let slope: f64 = grad.iter().zip(&step).map(|(g, s)| g * s).sum();
-            let mut alpha = (0.995 * alpha_bound).min(1.0);
+            let mut alpha = (FRACTION_TO_BOUNDARY * alpha_bound).min(1.0);
             let mut accepted = false;
             for _ in 0..60 {
                 let mut cand = x.clone();
@@ -583,7 +616,7 @@ fn barrier_loop(
                     // Accept on sufficient decrease, or on any decrease when
                     // the model slope is unhelpful (KKT steps with equality
                     // correction are not always descent directions for φ).
-                    if phi <= phi0 + 1e-4 * alpha * slope || phi < phi0 {
+                    if phi <= phi0 + ARMIJO_C1 * alpha * slope || phi < phi0 {
                         x = cand;
                         accepted = true;
                         break;
@@ -663,13 +696,13 @@ fn refine_multipliers(p: &NlpProblem, x: &[f64], raw: &[f64]) -> Vec<f64> {
     // Active set by *relative* magnitude: a stalled finish deflates all
     // active multipliers by one common factor, so ratios remain reliable.
     let active: Vec<usize> = (0..raw.len())
-        .filter(|&i| raw[i] > 1e-4 * max_raw)
+        .filter(|&i| raw[i] > ACTIVE_DUAL_REL * max_raw)
         .collect();
     let lo = p.lowers();
     let hi = p.uppers();
     let interior: Vec<usize> = (0..p.num_vars())
         .filter(|&j| {
-            let margin = 1e-3 * (1.0 + x[j].abs());
+            let margin = INTERIOR_REL_MARGIN * (1.0 + x[j].abs());
             x[j] > lo[j] + margin && x[j] < hi[j] - margin
         })
         .collect();

@@ -1,0 +1,238 @@
+//! Injectable monotonic clocks and time budgets.
+//!
+//! Solvers never call `Instant::now()` directly: they read time through a
+//! [`ClockHandle`] carried in their options. Production uses [`WallClock`];
+//! tests inject a [`FakeClock`] whose time only moves when the test (or the
+//! per-query step) says so, so time-limit paths are covered in
+//! milliseconds without ever sleeping.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonic clock reporting seconds since an arbitrary origin.
+pub trait Clock: Send + Sync {
+    /// Seconds elapsed since the clock's origin; never decreases.
+    fn now(&self) -> f64;
+}
+
+/// Real monotonic time (origin = construction).
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock starting at zero now.
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+struct FakeState {
+    now: f64,
+    step: f64,
+}
+
+/// Deterministic test clock. Time advances only via [`advance`]
+/// (explicitly) or by `step_per_query` seconds after every [`Clock::now`]
+/// read — the latter models "each node costs a fixed amount of time"
+/// without any real waiting. Clones share state, so the copy handed to a
+/// solver and the one held by the test see the same timeline.
+///
+/// [`advance`]: FakeClock::advance
+#[derive(Clone)]
+pub struct FakeClock {
+    state: Arc<Mutex<FakeState>>,
+}
+
+impl FakeClock {
+    /// A clock at `t = 0` advancing `step_per_query` seconds per read.
+    pub fn new(step_per_query: f64) -> FakeClock {
+        FakeClock {
+            state: Arc::new(Mutex::new(FakeState {
+                now: 0.0,
+                step: step_per_query.max(0.0),
+            })),
+        }
+    }
+
+    /// Moves time forward by `dt` seconds (negative values are ignored).
+    pub fn advance(&self, dt: f64) {
+        let mut state = self
+            .state
+            .lock()
+            .expect("fake clock mutex poisoned (a test thread panicked)");
+        state.now += dt.max(0.0);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> f64 {
+        let mut state = self
+            .state
+            .lock()
+            .expect("fake clock mutex poisoned (a test thread panicked)");
+        let t = state.now;
+        state.now += state.step;
+        t
+    }
+}
+
+/// Shared, cloneable handle to a [`Clock`], carried inside solver options.
+#[derive(Clone)]
+pub struct ClockHandle {
+    clock: Arc<dyn Clock>,
+}
+
+impl ClockHandle {
+    /// Wraps any clock implementation.
+    pub fn new(clock: Arc<dyn Clock>) -> ClockHandle {
+        ClockHandle { clock }
+    }
+
+    /// A real wall clock (origin = now).
+    pub fn wall() -> ClockHandle {
+        ClockHandle::new(Arc::new(WallClock::new()))
+    }
+
+    /// A handle sharing state with `clock` (keep the original to drive it).
+    pub fn fake(clock: &FakeClock) -> ClockHandle {
+        ClockHandle::new(Arc::new(clock.clone()))
+    }
+
+    /// Reads the clock.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+}
+
+impl Default for ClockHandle {
+    fn default() -> ClockHandle {
+        ClockHandle::wall()
+    }
+}
+
+impl fmt::Debug for ClockHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ClockHandle(..)")
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Armed {
+    start: f64,
+    deadline: f64,
+}
+
+/// A time budget: armed with `Some(limit)` it expires `limit` seconds
+/// after [`start`]; with `None` it never expires and never reads the
+/// clock, so unlimited solves pay nothing for the feature.
+///
+/// [`start`]: Deadline::start
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    clock: ClockHandle,
+    armed: Option<Armed>,
+}
+
+impl Deadline {
+    /// Arms a budget of `limit` seconds from now (clamped at 0; a limit of
+    /// exactly 0 expires on the first check). `None` never expires.
+    pub fn start(clock: &ClockHandle, limit: Option<f64>) -> Deadline {
+        let armed = limit.map(|limit| {
+            let start = clock.now();
+            Armed {
+                start,
+                deadline: start + limit.max(0.0),
+            }
+        });
+        Deadline {
+            clock: clock.clone(),
+            armed,
+        }
+    }
+
+    /// True once the budget is spent. Unarmed deadlines never expire and
+    /// perform no clock reads.
+    pub fn expired(&self) -> bool {
+        self.armed
+            .is_some_and(|armed| self.clock.now() >= armed.deadline)
+    }
+
+    /// Seconds since arming (0 when unarmed).
+    pub fn elapsed(&self) -> f64 {
+        self.armed
+            .map_or(0.0, |armed| self.clock.now() - armed.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_steps_per_query_and_shares_state() {
+        let fake = FakeClock::new(0.5);
+        let handle = ClockHandle::fake(&fake);
+        assert_eq!(handle.now(), 0.0);
+        assert_eq!(handle.now(), 0.5);
+        fake.advance(10.0);
+        assert_eq!(handle.now(), 11.0);
+    }
+
+    #[test]
+    fn deadline_zero_expires_immediately() {
+        let fake = FakeClock::new(0.0);
+        let handle = ClockHandle::fake(&fake);
+        let deadline = Deadline::start(&handle, Some(0.0));
+        assert!(deadline.expired());
+    }
+
+    #[test]
+    fn unarmed_deadline_never_expires_or_reads_clock() {
+        let fake = FakeClock::new(1.0);
+        let handle = ClockHandle::fake(&fake);
+        let deadline = Deadline::start(&handle, None);
+        assert!(!deadline.expired());
+        assert_eq!(deadline.elapsed(), 0.0);
+        // No check above consumed a tick: the first real read is t = 0.
+        assert_eq!(handle.now(), 0.0);
+    }
+
+    #[test]
+    fn deadline_expires_after_budget() {
+        let fake = FakeClock::new(0.0);
+        let handle = ClockHandle::fake(&fake);
+        let deadline = Deadline::start(&handle, Some(2.0));
+        assert!(!deadline.expired());
+        fake.advance(1.0);
+        assert!(!deadline.expired());
+        fake.advance(1.0);
+        assert!(deadline.expired());
+        assert_eq!(deadline.elapsed(), 2.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hslb-obs — solver observability primitives
+//!
+//! Dependency-free counters, traces and clocks shared by every solver
+//! crate (see `DESIGN.md` § Observability at the repository root):
+//!
+//! * [`SolveStats`] — deterministic *work* counters (nodes, prunes, cuts,
+//!   pivots, Newton iterations, …). Counters are the repo's perf-regression
+//!   currency: unlike wall-clock timings they are exactly reproducible, so
+//!   CI can diff them byte-for-byte against a committed baseline.
+//! * [`Trace`] / [`Event`] / [`RingBuffer`] — a structured event trace with
+//!   a pluggable sink. Off by default and zero-cost when disabled: the
+//!   event-constructing closure passed to [`Trace::emit`] is never invoked
+//!   without a sink.
+//! * [`Clock`] / [`FakeClock`] / [`Deadline`] — an injectable monotonic
+//!   clock so time-limited solves (`MinlpOptions::time_limit` in
+//!   `hslb-minlp`) can be tested deterministically without sleeping.
+//!
+//! This crate deliberately has no dependencies (not even intra-workspace)
+//! so that every layer of the stack — `lp`, `nlp`, `lsq`, `minlp`, `core`,
+//! `bench` — can use it without cycles.
+
+pub mod clock;
+pub mod stats;
+pub mod trace;
+
+pub use clock::{Clock, ClockHandle, Deadline, FakeClock, WallClock};
+pub use stats::SolveStats;
+pub use trace::{Event, EventSink, PruneReason, RingBuffer, Trace};

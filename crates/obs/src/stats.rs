@@ -1,0 +1,157 @@
+//! Deterministic solver work counters.
+
+/// Cumulative work counters for one solve.
+///
+/// Every field counts *algorithmic events*, never time: two runs of the
+/// same build on the same instance produce identical `SolveStats`, which is
+/// what lets `hslb-perf` diff a perf baseline in CI without wall-clock
+/// flakiness. Parallel solvers accumulate per-task counter sets and
+/// [`merge`](SolveStats::merge) them, so totals are order-independent
+/// (sums of non-negative integers commute).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes actually processed (popped and counted
+    /// against `max_nodes`; nodes skipped after a limit fired are not
+    /// counted).
+    pub nodes_opened: u64,
+    /// Nodes discarded because their bound could not beat the incumbent —
+    /// either the inherited parent bound or the freshly solved relaxation.
+    pub pruned_by_bound: u64,
+    /// Nodes whose relaxation was infeasible (including boxes emptied by
+    /// bound propagation and relaxations that failed to produce a point).
+    pub pruned_infeasible: u64,
+    /// Strict improvements of the incumbent (first feasible point counts).
+    pub incumbents: u64,
+    /// Outer-approximation cuts added to the LP master problem.
+    pub oa_cuts: u64,
+    /// LP (simplex) solves issued.
+    pub lp_solves: u64,
+    /// NLP (barrier) solves issued, including polishing re-solves.
+    pub nlp_solves: u64,
+    /// Total simplex pivots across all LP solves.
+    pub simplex_pivots: u64,
+    /// Total Newton iterations across all barrier solves.
+    pub newton_iters: u64,
+    /// Total accepted Levenberg-Marquardt steps across all fits.
+    pub lm_steps: u64,
+    /// Variable-bound tightenings performed by presolve/propagation.
+    pub presolve_tightenings: u64,
+}
+
+impl SolveStats {
+    /// Number of counters in [`fields`](SolveStats::fields).
+    pub const FIELD_COUNT: usize = 11;
+
+    /// Adds every counter of `other` into `self` (parallel merge).
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.nodes_opened += other.nodes_opened;
+        self.pruned_by_bound += other.pruned_by_bound;
+        self.pruned_infeasible += other.pruned_infeasible;
+        self.incumbents += other.incumbents;
+        self.oa_cuts += other.oa_cuts;
+        self.lp_solves += other.lp_solves;
+        self.nlp_solves += other.nlp_solves;
+        self.simplex_pivots += other.simplex_pivots;
+        self.newton_iters += other.newton_iters;
+        self.lm_steps += other.lm_steps;
+        self.presolve_tightenings += other.presolve_tightenings;
+    }
+
+    /// Stable `(name, value)` view of every counter, in declaration order.
+    /// The names are the serialization schema used by `hslb-cli` and
+    /// `BENCH_solver.json` — treat them as a public format.
+    pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+        [
+            ("nodes_opened", self.nodes_opened),
+            ("pruned_by_bound", self.pruned_by_bound),
+            ("pruned_infeasible", self.pruned_infeasible),
+            ("incumbents", self.incumbents),
+            ("oa_cuts", self.oa_cuts),
+            ("lp_solves", self.lp_solves),
+            ("nlp_solves", self.nlp_solves),
+            ("simplex_pivots", self.simplex_pivots),
+            ("newton_iters", self.newton_iters),
+            ("lm_steps", self.lm_steps),
+            ("presolve_tightenings", self.presolve_tightenings),
+        ]
+    }
+
+    /// Looks a counter up by its [`fields`](SolveStats::fields) name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.fields()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl std::fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (name, value) in self.fields() {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(no work recorded)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = SolveStats {
+            nodes_opened: 1,
+            pruned_by_bound: 2,
+            pruned_infeasible: 3,
+            incumbents: 4,
+            oa_cuts: 5,
+            lp_solves: 6,
+            nlp_solves: 7,
+            simplex_pivots: 8,
+            newton_iters: 9,
+            lm_steps: 10,
+            presolve_tightenings: 11,
+        };
+        let b = a;
+        a.merge(&b);
+        for ((_, doubled), (_, original)) in a.fields().into_iter().zip(b.fields()) {
+            assert_eq!(doubled, 2 * original);
+        }
+    }
+
+    #[test]
+    fn fields_cover_every_counter_once() {
+        let stats = SolveStats::default();
+        let fields = stats.fields();
+        assert_eq!(fields.len(), SolveStats::FIELD_COUNT);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SolveStats::FIELD_COUNT, "duplicate name");
+        assert_eq!(stats.get("nodes_opened"), Some(0));
+        assert_eq!(stats.get("not_a_counter"), None);
+    }
+
+    #[test]
+    fn display_omits_zero_counters() {
+        let stats = SolveStats {
+            nodes_opened: 3,
+            nlp_solves: 2,
+            ..Default::default()
+        };
+        assert_eq!(format!("{stats}"), "nodes_opened=3 nlp_solves=2");
+        assert_eq!(format!("{}", SolveStats::default()), "(no work recorded)");
+    }
+}

@@ -15,6 +15,13 @@ use hslb_lsq::{multistart, Bounds, FitQuality, LmOptions};
 /// Positive floor on the initial `a` coefficient guess: the power-decay
 /// term must start strictly positive for the LM fit to move it.
 const A0_FLOOR: f64 = 1e-6;
+/// Smallest fraction of the first observation kept in the `a` seed after
+/// subtracting the serial-floor guess.
+const A0_MIN_FRAC: f64 = 0.1;
+/// Shrink factor for the alternate "small scalable work" starting points.
+const A0_SHRINK: f64 = 0.3;
+/// Relative size of the nonzero seed for the bandwidth term `b`.
+const B0_FRAC: f64 = 1e-4;
 
 /// Fitting options.
 #[derive(Debug, Clone)]
@@ -50,6 +57,10 @@ pub struct FitReport {
     pub start_costs: Vec<f64>,
     /// Number of observations used (`D_j`).
     pub observations: usize,
+    /// Levenberg–Marquardt iterations summed over the multistart (and the
+    /// robust polish when enabled) — deterministic work counter, folded
+    /// into `SolveStats::lm_steps` by the pipeline.
+    pub lm_steps: usize,
 }
 
 /// Fitting failures.
@@ -116,15 +127,20 @@ pub fn fit_with(data: &ScalingData, opts: &FitOptions) -> Result<FitReport, FitE
     let bounds = Bounds::nonnegative(dim);
     let ms = multistart(&problem, &starts, &bounds, &opts.lm)
         .map_err(|_| FitError::OptimizationFailed)?;
+    let mut lm_steps = ms.total_iters;
     let best_params = if opts.robust {
         // Polish the multistart winner under the Huber loss.
         let ropts = hslb_lsq::RobustOptions {
             lm: opts.lm.clone(),
             ..Default::default()
         };
-        hslb_lsq::huber_fit(&problem, &ms.best.params, &bounds, &ropts)
-            .map(|r| r.params)
-            .unwrap_or_else(|_| ms.best.params.clone())
+        match hslb_lsq::huber_fit(&problem, &ms.best.params, &bounds, &ropts) {
+            Ok(r) => {
+                lm_steps += r.iters;
+                r.params
+            }
+            Err(_) => ms.best.params.clone(),
+        }
     } else {
         ms.best.params.clone()
     };
@@ -136,6 +152,7 @@ pub fn fit_with(data: &ScalingData, opts: &FitOptions) -> Result<FitReport, FitE
         quality: FitQuality::compute(&ys, &preds),
         start_costs: ms.costs,
         observations: data.len(),
+        lm_steps,
     })
 }
 
@@ -146,27 +163,27 @@ fn heuristic_starts(kind: ModelKind, xs: &[f64], ys: &[f64], extra: &[Vec<f64>])
     let (n_min, y_at_min) = (xs[0], ys[0]);
     let y_last = *ys.last().expect("non-empty validated earlier");
     let d0 = (y_last * 0.5).max(0.0);
-    let a0 = (y_at_min - d0).max(y_at_min * 0.1).max(A0_FLOOR) * n_min;
+    let a0 = (y_at_min - d0).max(y_at_min * A0_MIN_FRAC).max(A0_FLOOR) * n_min;
 
     let mut starts = Vec::new();
     match kind {
         ModelKind::Paper => {
             for c0 in [0.7, 1.0, 1.3] {
-                for b0 in [0.0, 1e-4 * y_last.max(1.0)] {
+                for b0 in [0.0, B0_FRAC * y_last.max(1.0)] {
                     starts.push(vec![a0, b0, c0, d0]);
-                    starts.push(vec![a0 * 0.3, b0, c0, 0.0]);
+                    starts.push(vec![a0 * A0_SHRINK, b0, c0, 0.0]);
                 }
             }
         }
         ModelKind::Amdahl => {
             starts.push(vec![a0, d0]);
-            starts.push(vec![a0 * 0.3, 0.0]);
+            starts.push(vec![a0 * A0_SHRINK, 0.0]);
             starts.push(vec![a0 * 3.0, d0 * 2.0]);
         }
         ModelKind::PowerLaw => {
             for c0 in [0.7, 1.0, 1.3] {
                 starts.push(vec![a0, c0, d0]);
-                starts.push(vec![a0 * 0.3, c0, 0.0]);
+                starts.push(vec![a0 * A0_SHRINK, c0, 0.0]);
             }
         }
     }

@@ -50,6 +50,9 @@ fn main() {
     );
     println!(
         "solver: {} B&B nodes, {} LP solves, {} NLP solves, {} OA cuts",
-        solution.nodes, solution.lp_solves, solution.nlp_solves, solution.cuts
+        solution.stats.nodes_opened,
+        solution.stats.lp_solves,
+        solution.stats.nlp_solves,
+        solution.stats.oa_cuts
     );
 }

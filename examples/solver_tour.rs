@@ -56,7 +56,12 @@ fn main() {
     ] {
         println!(
             "{:<28}{:>12.4}{:>8}{:>8}{:>8}{:>8}",
-            name, sol.objective, sol.nodes, sol.nlp_solves, sol.lp_solves, sol.cuts
+            name,
+            sol.objective,
+            sol.stats.nodes_opened,
+            sol.stats.nlp_solves,
+            sol.stats.lp_solves,
+            sol.stats.oa_cuts
         );
     }
 
@@ -64,6 +69,6 @@ fn main() {
     let oracle = solve_exhaustive(&p, 10_000_000).expect("small enough to enumerate");
     println!(
         "{:<28}{:>12.4}   ({} assignments)",
-        "exhaustive oracle", oracle.objective, oracle.nodes
+        "exhaustive oracle", oracle.objective, oracle.stats.nodes_opened
     );
 }

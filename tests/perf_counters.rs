@@ -1,0 +1,126 @@
+//! Golden counter snapshots for the pinned perf experiments (E7, E8).
+//!
+//! These are the same workloads `hslb-perf` records into
+//! `BENCH_solver.json`; pinning the counters here means `cargo test` alone
+//! catches algorithmic drift (extra nodes, lost prunes, pivot blowups)
+//! with exact equality, while the `--smoke` gate allows small drift.
+
+use hslb::{build_layout_model, solve_model_with, Layout, SolverBackend};
+use hslb_bench::harness::{sos_test_problem, true_spec};
+use hslb_cesm_sim::Scenario;
+use hslb_minlp::{encode_sets_as_binaries, MinlpOptions, SolveStats};
+
+/// E7 machine scale: the paper's 40,960-node 1° layout-1 instance.
+const E7_TOTAL_NODES: u64 = 40_960;
+
+fn e7_stats(backend: SolverBackend, threads: usize) -> SolveStats {
+    let spec = true_spec(&Scenario::one_degree(E7_TOTAL_NODES));
+    let model = build_layout_model(&spec, Layout::Hybrid);
+    let opts = MinlpOptions {
+        threads,
+        ..Default::default()
+    };
+    solve_model_with(&model.problem, backend, &opts).stats
+}
+
+#[test]
+fn e7_oa_counters_golden() {
+    let stats = e7_stats(SolverBackend::OuterApproximation, 0);
+    let expected = SolveStats {
+        nodes_opened: 33,
+        pruned_by_bound: 11,
+        pruned_infeasible: 0,
+        incumbents: 11,
+        oa_cuts: 56,
+        lp_solves: 26,
+        nlp_solves: 11,
+        simplex_pivots: 747,
+        newton_iters: 1060,
+        lm_steps: 0,
+        presolve_tightenings: 3,
+    };
+    assert_eq!(stats, expected);
+}
+
+#[test]
+fn e7_nlp_bnb_counters_golden() {
+    let stats = e7_stats(SolverBackend::NlpBnb, 0);
+    let expected = SolveStats {
+        nodes_opened: 541,
+        pruned_by_bound: 270,
+        pruned_infeasible: 0,
+        incumbents: 2,
+        oa_cuts: 0,
+        lp_solves: 0,
+        nlp_solves: 364,
+        simplex_pivots: 0,
+        newton_iters: 59357,
+        lm_steps: 0,
+        presolve_tightenings: 184,
+    };
+    assert_eq!(stats, expected);
+}
+
+#[test]
+fn e7_parallel_t1_counters_golden() {
+    let stats = e7_stats(SolverBackend::ParallelBnb, 1);
+    let expected = SolveStats {
+        nodes_opened: 363,
+        pruned_by_bound: 181,
+        pruned_infeasible: 0,
+        incumbents: 2,
+        oa_cuts: 0,
+        lp_solves: 0,
+        nlp_solves: 364,
+        simplex_pivots: 0,
+        newton_iters: 59166,
+        lm_steps: 0,
+        presolve_tightenings: 184,
+    };
+    assert_eq!(stats, expected);
+}
+
+/// E8 — native SOS branching vs explicit binary encoding (§III-E). The
+/// paper reports a two-orders-of-magnitude *wall time* gap; in counters the
+/// gap shows up as Newton-iteration blowup: the binary encoding adds one
+/// variable per set member, so every node's barrier solve works in a
+/// k-dimensional space with a weak relaxation, while native interval
+/// branching keeps the NLP three-dimensional. (Node counts barely move —
+/// the blowup is per-node work, which wall timings hide in noise and
+/// counters expose deterministically.)
+#[test]
+fn e8_binary_encoding_newton_blowup() {
+    for k in [32usize, 128] {
+        let p = sos_test_problem(k);
+        let opts = MinlpOptions::default();
+        let native = hslb_minlp::solve_oa_bnb(&p, &opts);
+        let (enc, _) = encode_sets_as_binaries(&p);
+        let binary = hslb_minlp::solve_oa_bnb(&enc, &opts);
+        assert!(
+            (native.objective - binary.objective).abs() < 1e-3 * native.objective.abs().max(1.0),
+            "k={k}: encodings must agree on the optimum"
+        );
+        assert!(
+            binary.stats.newton_iters >= 10 * native.stats.newton_iters,
+            "k={k}: binary encoding should cost >=10x the Newton iterations, \
+             got {} vs {}",
+            binary.stats.newton_iters,
+            native.stats.newton_iters
+        );
+    }
+}
+
+/// The committed `BENCH_solver.json` baseline must match a fresh solve
+/// exactly — regenerating it is part of any intentional solver change.
+#[test]
+fn committed_baseline_matches_fresh_e7_run() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_solver.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_solver.json is committed");
+    let baseline = hslb_bench::perf::suite_from_json(&text).expect("baseline parses");
+    let fresh = e7_stats(SolverBackend::OuterApproximation, 0);
+    let case = baseline
+        .iter()
+        .find(|c| c.name == format!("e7_layout1_{E7_TOTAL_NODES}_oa"))
+        .expect("baseline contains the E7 OA case");
+    assert_eq!(case.stats, fresh, "baseline is stale; rerun hslb-perf");
+}

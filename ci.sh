@@ -24,10 +24,17 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== warm/cold equivalence =="
+# Warm starts must never change answers: 500 seeded instances across all
+# three backends, warm vs cold (see DESIGN.md § Warm starts). Release mode:
+# the suite solves ~3000 MINLPs.
+cargo test --release -q --test warm_cold_equivalence
+
 echo "== perf counters (hslb-perf --smoke) =="
 # Counter-based perf-regression gate: re-runs the pinned solver suite and
 # diffs its deterministic work counters against the committed
-# BENCH_solver.json baseline (see DESIGN.md § Observability).
+# BENCH_solver.json baseline; a failure names the counter that regressed
+# and by how much (see DESIGN.md § Observability).
 ./target/release/hslb-perf --smoke
 
 echo "== differential fuzz (capped) =="

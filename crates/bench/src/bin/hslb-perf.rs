@@ -10,7 +10,9 @@
 //! output is byte-identical across runs and machines — see
 //! `hslb_bench::perf` for the gate semantics.
 
-use hslb_bench::perf::{diff_suites, perf_suite, suite_from_json, suite_to_json};
+use hslb_bench::perf::{
+    diff_suites, e7_thread_envelope, perf_suite, suite_from_json, suite_to_json,
+};
 use std::path::PathBuf;
 
 /// Default baseline location: the workspace root, two levels above this
@@ -39,6 +41,18 @@ fn main() {
     let cases = perf_suite();
     for case in &cases {
         println!("{:<28} {}", case.name, case.stats);
+    }
+
+    eprintln!("hslb-perf: checking multithreaded envelope (threads=4)...");
+    let violations = e7_thread_envelope(&cases);
+    if violations.is_empty() {
+        println!("hslb-perf: multithreaded envelope OK");
+    } else {
+        eprintln!("hslb-perf: multithreaded envelope violated:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
     }
 
     if smoke {

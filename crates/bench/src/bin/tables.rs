@@ -9,6 +9,7 @@
 //! tables -- fig3               # E5: 1/8° manual vs predicted vs actual
 //! tables -- fig4               # E6: layouts 1-3 predicted scaling (1°)
 //! tables -- solver-time        # E7: MINLP solve time at 40,960 nodes
+//! tables -- warm-start         # E7b: warm vs cold solves (counters + wall clock)
 //! tables -- sos-ablation       # E8: SOS branching vs binary encoding
 //! tables -- objectives         # E9: min-max vs max-min vs min-sum
 //! tables -- fmo                # E10: FMO HSLB vs baselines (title paper)
@@ -33,6 +34,7 @@ fn main() {
                 "fig3",
                 "fig4",
                 "solver-time",
+                "warm-start",
                 "sos-ablation",
                 "objectives",
                 "fmo",
@@ -93,6 +95,10 @@ fn run(cmd: &str) {
                     r.backend, r.seconds, r.bnb_nodes, r.objective
                 );
             }
+        }
+        "warm-start" => {
+            let pts = warm_cold_report(40_960);
+            print!("{}", render_warm_cold(&pts));
         }
         "sos-ablation" => {
             let pts = sos_ablation(&[8, 32, 128, 512]);

@@ -347,6 +347,93 @@ pub fn solve_time_report(total_nodes: u64) -> Vec<SolveTimeReport> {
     .collect()
 }
 
+/// One backend's warm-vs-cold comparison on the E7 model (see
+/// [`warm_cold_report`]).
+#[derive(Debug, Clone)]
+pub struct WarmColdReport {
+    pub backend: &'static str,
+    pub warm_seconds: f64,
+    pub cold_seconds: f64,
+    pub warm_newton: u64,
+    pub cold_newton: u64,
+    pub warm_pivots: u64,
+    pub cold_pivots: u64,
+    pub warm_hits: u64,
+}
+
+/// Runs the E7 full-machine model on every backend twice — warm starts on
+/// (the default) and off (`MinlpOptions::warm_start = false`, the
+/// `--no-warm-start` CLI flag) — and reports wall clock plus the counters
+/// the warm paths move: Newton iterations (parent-seeded barrier NLPs) and
+/// simplex pivots (dual-simplex basis reuse in the OA master).
+pub fn warm_cold_report(total_nodes: u64) -> Vec<WarmColdReport> {
+    let scenario = Scenario::one_degree(total_nodes);
+    let spec = true_spec(&scenario);
+    let model = build_layout_model(&spec, Layout::Hybrid);
+    let warm_opts = MinlpOptions::default();
+    let cold_opts = MinlpOptions {
+        warm_start: false,
+        ..MinlpOptions::default()
+    };
+    [
+        ("lp/nlp-bnb (paper)", SolverBackend::OuterApproximation),
+        ("nlp-bnb", SolverBackend::NlpBnb),
+        ("parallel-bnb", SolverBackend::ParallelBnb),
+    ]
+    .into_iter()
+    .map(|(name, backend)| {
+        let start = Instant::now();
+        let warm = solve_model_with(&model.problem, backend, &warm_opts);
+        let warm_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let cold = solve_model_with(&model.problem, backend, &cold_opts);
+        let cold_seconds = start.elapsed().as_secs_f64();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6 * cold.objective.abs().max(1.0),
+            "warm and cold optima disagree on {name}: {} vs {}",
+            warm.objective,
+            cold.objective
+        );
+        WarmColdReport {
+            backend: name,
+            warm_seconds,
+            cold_seconds,
+            warm_newton: warm.stats.newton_iters,
+            cold_newton: cold.stats.newton_iters,
+            warm_pivots: warm.stats.simplex_pivots,
+            cold_pivots: cold.stats.simplex_pivots,
+            warm_hits: warm.stats.warm_start_hits,
+        }
+    })
+    .collect()
+}
+
+pub fn render_warm_cold(points: &[WarmColdReport]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "# E7b — warm vs cold solves, 1° layout 1 (40,960 nodes)");
+    let _ = writeln!(
+        s,
+        "{:>20} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>6}",
+        "backend", "warm(ms)", "cold(ms)", "warm Nt", "cold Nt", "warm pv", "cold pv", "hits"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:>20} {:>9.2} {:>9.2} {:>8} {:>8} {:>8} {:>8} {:>6}",
+            p.backend,
+            1e3 * p.warm_seconds,
+            1e3 * p.cold_seconds,
+            p.warm_newton,
+            p.cold_newton,
+            p.warm_pivots,
+            p.cold_pivots,
+            p.warm_hits
+        );
+    }
+    s
+}
+
 /// Spec built from the *true* component surfaces (no fitting noise) — used
 /// by solver-side experiments where the fit step is not under test.
 pub fn true_spec(scenario: &Scenario) -> CesmModelSpec {

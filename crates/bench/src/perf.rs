@@ -122,6 +122,49 @@ pub fn perf_suite() -> Vec<PerfCase> {
     cases
 }
 
+/// Multithreaded counter envelope: E7 at `threads: 4`.
+///
+/// Counters under real concurrency are nondeterministic — incumbents land
+/// in racy order, which shifts prune and node counts run to run — so they
+/// cannot be pinned like the rest of the suite. Instead the run is checked
+/// against an envelope anchored on the single-thread traversal (the
+/// `parallel_t1` case, whose counters equal the serial depth-first tree):
+/// the node count must stay within ±25% and the search must record at
+/// least as many incumbent improvements. Returns violation descriptions
+/// (empty = pass).
+pub fn e7_thread_envelope(cases: &[PerfCase]) -> Vec<String> {
+    let Some(serial) = cases.iter().find(|c| c.name.ends_with("_parallel_t1")) else {
+        return vec!["e7 parallel_t1 case missing from suite".to_string()];
+    };
+    let spec = true_spec(&Scenario::one_degree(E7_TOTAL_NODES));
+    let model = build_layout_model(&spec, Layout::Hybrid);
+    let opts = MinlpOptions {
+        threads: 4,
+        ..Default::default()
+    };
+    let sol = solve_model_with(&model.problem, SolverBackend::ParallelBnb, &opts);
+    let mut violations = Vec::new();
+    if !sol.objective.is_finite() {
+        violations.push("e7_parallel_t4: no finite objective".to_string());
+        return violations;
+    }
+    let base = serial.stats.nodes_opened;
+    let nodes = sol.stats.nodes_opened;
+    let slack = base / 4;
+    if nodes.abs_diff(base) > slack {
+        violations.push(format!(
+            "e7_parallel_t4: nodes_opened {nodes} outside ±25% of single-thread {base}"
+        ));
+    }
+    if sol.stats.incumbents < serial.stats.incumbents {
+        violations.push(format!(
+            "e7_parallel_t4: incumbents {} < single-thread {}",
+            sol.stats.incumbents, serial.stats.incumbents
+        ));
+    }
+    violations
+}
+
 /// The master-problem LP shape from the simplex benchmark: `cols` bounded
 /// columns, two linking equality rows, `cuts` inequality rows.
 fn master_like_lp(cols: usize, cuts: usize) -> LinearProgram {
@@ -208,6 +251,8 @@ pub fn suite_from_json(text: &str) -> Result<Vec<PerfCase>, String> {
             newton_iters: read("newton_iters")?,
             lm_steps: read("lm_steps")?,
             presolve_tightenings: read("presolve_tightenings")?,
+            warm_start_hits: read("warm_start_hits")?,
+            dual_pivots: read("dual_pivots")?,
         };
         cases.push(PerfCase { name, stats });
     }

@@ -6,28 +6,15 @@
 //! real CESM build whose CICE decomposition is chosen deterministically from
 //! the processor count.
 
-/// Floor on Box–Muller uniforms so `ln(u1)` stays finite.
-const UNIFORM_FLOOR: f64 = 1e-12;
+use hslb_linalg::noise::{keyed_std_normal, splitmix64};
 
-/// SplitMix64 — tiny, high-quality 64-bit mixer.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Uniform in `[0, 1)` from a key tuple.
-fn uniform(seed: u64, a: u64, b: u64, c: u64) -> f64 {
-    let h = splitmix64(seed ^ splitmix64(a ^ splitmix64(b ^ splitmix64(c))));
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
+/// Salt decorrelating this crate's Box–Muller stream from other keyed-noise
+/// users (the FMO simulator salts with a different constant).
+const CESM_NOISE_SALT: u64 = 0xDEAD_BEEF;
 
 /// Standard normal via Box–Muller from two keyed uniforms.
 fn std_normal(seed: u64, a: u64, b: u64, c: u64) -> f64 {
-    let u1 = uniform(seed, a, b, c).max(UNIFORM_FLOOR);
-    let u2 = uniform(seed ^ 0xDEAD_BEEF, a, b, c);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    keyed_std_normal(seed, CESM_NOISE_SALT, a, b, c)
 }
 
 /// Multiplicative log-normal run-to-run noise with standard deviation

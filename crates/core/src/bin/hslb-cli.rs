@@ -15,7 +15,9 @@
 //!
 //! `solve` and `flat` accept `--trace`, which records the solver's event
 //! stream (node opens, prunes, incumbents, cuts; see `hslb-obs`) and adds a
-//! `"trace"` array next to the `"solver"` counter block in the output.
+//! `"trace"` array next to the `"solver"` counter block in the output, and
+//! `--no-warm-start`, which disables cross-node solver-state reuse (parent
+//! barrier seeds, simplex basis reuse) for A/B counter comparisons.
 //!
 //! All modes exit 0 on success; bad input exits 1 with an `hslb-cli:`
 //! diagnostic on stderr; an unknown mode exits 2 with usage.
@@ -33,7 +35,11 @@ use std::sync::Arc;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace = args.iter().any(|a| a == "--trace");
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--trace") {
+    let warm_start = !args.iter().any(|a| a == "--no-warm-start");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--trace" && *a != "--no-warm-start")
+    {
         eprintln!("hslb-cli: unknown flag {bad}");
         usage();
     }
@@ -44,8 +50,8 @@ fn main() {
         .unwrap_or_else(|| usage());
     match mode.as_str() {
         "fit" => cmd_fit(),
-        "solve" => cmd_solve(trace),
-        "flat" => cmd_flat(trace),
+        "solve" => cmd_solve(trace, warm_start),
+        "flat" => cmd_flat(trace, warm_start),
         "ampl" => cmd_ampl(),
         "example-spec" => cmd_example_spec(),
         _ => {
@@ -56,7 +62,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hslb-cli <fit|solve|flat|ampl|example-spec> [--trace]  (JSON on stdin, JSON/AMPL on stdout)"
+        "usage: hslb-cli <fit|solve|flat|ampl|example-spec> [--trace] [--no-warm-start]  (JSON on stdin, JSON/AMPL on stdout)"
     );
     std::process::exit(2);
 }
@@ -66,8 +72,15 @@ fn usage() -> ! {
 const TRACE_CAPACITY: usize = 65_536;
 
 /// Solves with the default backend, optionally recording the event trace.
-fn solve_traced(problem: &MinlpProblem, trace: bool) -> (MinlpSolution, Option<Vec<Event>>) {
-    let mut opts = MinlpOptions::default();
+fn solve_traced(
+    problem: &MinlpProblem,
+    trace: bool,
+    warm_start: bool,
+) -> (MinlpSolution, Option<Vec<Event>>) {
+    let mut opts = MinlpOptions {
+        warm_start,
+        ..MinlpOptions::default()
+    };
     let ring = trace.then(|| Arc::new(RingBuffer::new(TRACE_CAPACITY)));
     if let Some(ring) = &ring {
         opts.trace = Trace::to_sink(ring.clone());
@@ -205,11 +218,11 @@ fn layout_from_index(layout: usize) -> Layout {
     }
 }
 
-fn cmd_solve(trace: bool) {
+fn cmd_solve(trace: bool, warm_start: bool) {
     let input: SolveInput = parse_input("solve input");
     let layout = layout_from_index(input.layout);
     let model = build_layout_model(&input.spec, layout);
-    let (sol, events) = solve_traced(&model.problem, trace);
+    let (sol, events) = solve_traced(&model.problem, trace, warm_start);
     if sol.x.is_empty() {
         fail("no feasible allocation exists for this spec");
     }
@@ -227,10 +240,10 @@ fn cmd_solve(trace: bool) {
     println!("{}", Json::obj(fields).to_pretty());
 }
 
-fn cmd_flat(trace: bool) {
+fn cmd_flat(trace: bool, warm_start: bool) {
     let spec: FlatSpec = parse_input("flat spec");
     let model = build_flat_model(&spec);
-    let (sol, events) = solve_traced(&model.problem, trace);
+    let (sol, events) = solve_traced(&model.problem, trace, warm_start);
     if sol.x.is_empty() {
         fail("no feasible allocation exists for this spec");
     }

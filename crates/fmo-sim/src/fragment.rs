@@ -1,12 +1,7 @@
 //! Fragments and their cost model.
 
+use hslb_linalg::approx::round_to_u32;
 use hslb_perfmodel::PerfModel;
-
-/// `x.round()` as a `u32` — named so the rounding intent is explicit
-/// (mirrors `hslb_linalg::approx`; kept local to avoid the dependency).
-fn round_to_u32(x: f64) -> u32 {
-    x.round() as u32
-}
 
 /// One FMO fragment (e.g. a water molecule or a merged multi-water
 /// fragment in a cluster; proteins fragment per residue).

@@ -5,24 +5,13 @@ use crate::gddi::{dynamic_lpt_schedule, uniform_groups, GroupAssignment};
 use hslb::{solve_minmax_waterfill, ComponentSpec, FlatAllocation, FlatSpec, Objective};
 use hslb_perfmodel::{fit, ScalingData};
 
-/// Floor on Box–Muller uniforms so `ln(u1)` stays finite.
-const UNIFORM_FLOOR: f64 = 1e-12;
+/// Salt decorrelating this crate's Box–Muller stream from other keyed-noise
+/// users (the CESM simulator salts with a different constant).
+const FMO_NOISE_SALT: u64 = 0xC0FF_EE00;
 
 /// Deterministic multiplicative noise (log-normal-ish) keyed on the run.
 fn noise(seed: u64, frag: u64, nodes: u64, draw: u64, sigma: f64) -> f64 {
-    // Reuse the splitmix-based construction locally to avoid a dependency
-    // on the CESM crate.
-    fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-    let u1 = ((mix(seed ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64 / (1u64 << 53) as f64)
-        .max(UNIFORM_FLOOR);
-    let u2 = (mix(seed ^ 0xC0FF_EE00 ^ mix(frag ^ mix(nodes ^ mix(draw)))) >> 11) as f64
-        / (1u64 << 53) as f64;
-    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let z = hslb_linalg::noise::keyed_std_normal(seed, FMO_NOISE_SALT, frag, nodes, draw);
     (sigma * z - 0.5 * sigma * sigma).exp()
 }
 

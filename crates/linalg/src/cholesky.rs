@@ -1,4 +1,7 @@
 //! Cholesky factorization of symmetric positive-definite matrices.
+// lint:allow-file(slice-index): dense factorization kernel — indices run
+// over the matrix dimensions checked at entry; iterator forms would
+// obscure the triangular recurrences.
 
 use crate::{LinalgError, Matrix, Result};
 

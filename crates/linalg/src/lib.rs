@@ -22,6 +22,7 @@ pub mod approx;
 pub mod cholesky;
 pub mod lu;
 pub mod matrix;
+pub mod noise;
 pub mod qr;
 pub mod vecops;
 

@@ -1,4 +1,7 @@
 //! LU factorization with partial pivoting.
+// lint:allow-file(slice-index): dense factorization kernel — indices run
+// over the matrix dimensions checked at entry; iterator forms would
+// obscure the elimination recurrences.
 
 use crate::{LinalgError, Matrix, Result};
 

@@ -1,4 +1,7 @@
 //! Row-major dense matrix.
+// lint:allow-file(slice-index): the storage type itself — `Index` impls
+// and row/column kernels own the bounds checks the rest of the workspace
+// relies on, with dimensions validated at construction.
 
 use crate::{LinalgError, Result};
 use std::ops::{Index, IndexMut};

@@ -1,4 +1,7 @@
 //! Householder QR factorization and least-squares solves.
+// lint:allow-file(slice-index): dense factorization kernel — indices run
+// over the matrix dimensions checked at entry; iterator forms would
+// obscure the Householder updates.
 
 use crate::{LinalgError, Matrix, Result};
 

@@ -52,8 +52,8 @@ pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
 pub fn clamp_into_bounds(x: &mut [f64], lo: &[f64], hi: &[f64]) {
     debug_assert_eq!(x.len(), lo.len());
     debug_assert_eq!(x.len(), hi.len());
-    for i in 0..x.len() {
-        x[i] = x[i].clamp(lo[i], hi[i]);
+    for ((xi, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.clamp(l, h);
     }
 }
 

@@ -31,7 +31,8 @@ usage: hslb-lint [--workspace] [--root DIR] [--baseline FILE] [--fix-baseline]
                  [--rules r1,r2] [--extend r1,r2] [--list-baselined] [FILES…]
 
 rules: float-eq panic-in-lib lossy-cast magic-epsilon dep-policy
-       slice-index (opt-in) suppression (always on)";
+       slice-index (default in lp/linalg, opt-in elsewhere)
+       suppression (always on)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {

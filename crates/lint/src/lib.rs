@@ -14,12 +14,15 @@
 //!    [`context`] attributes each token to its enclosing item (`fn` name,
 //!    `#[cfg(test)]`-ness, const initializers, attributes).
 //! 2. [`rules`] — the numerical-solver rule set: `float-eq`,
-//!    `panic-in-lib`, `lossy-cast`, `magic-epsilon`, `dep-policy`, and the
-//!    opt-in `slice-index`.
+//!    `panic-in-lib`, `lossy-cast`, `magic-epsilon`, `dep-policy`, and
+//!    `slice-index` (default for the `lp` and `linalg` kernel crates,
+//!    opt-in elsewhere — see [`rules::SLICE_INDEX_DEFAULT_CRATES`]).
 //! 3. [`baseline`] + suppressions — inline
-//!    `// lint:allow(<rule>): <reason>` comments (the reason is mandatory)
-//!    and a committed `lint-baseline.txt` of grandfathered fingerprints so
-//!    the gate lands strict while debt is burned down.
+//!    `// lint:allow(<rule>): <reason>` comments (the reason is mandatory),
+//!    their file-scope form `// lint:allow-file(<rule>): <reason>` for dense
+//!    kernels where indexing is the idiom, and a committed
+//!    `lint-baseline.txt` of grandfathered fingerprints so the gate lands
+//!    strict while debt is burned down.
 //!
 //! The `hslb-lint` binary wires it together; `ci.sh` runs it between
 //! clippy and the build. See DESIGN.md § Lint for the rule catalog.

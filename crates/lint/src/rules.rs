@@ -30,9 +30,10 @@ pub const ALL_RULES: &[&str] = &[
     SUPPRESSION,
 ];
 
-/// Rules enabled by default. `slice-index` is opt-in until the indexing
-/// debt is burned down (see ROADMAP.md); `suppression` (malformed
-/// suppression comments) is always on and cannot be disabled.
+/// Rules enabled by default. `slice-index` is opt-in workspace-wide but
+/// *promoted to default* for the crates in [`SLICE_INDEX_DEFAULT_CRATES`]
+/// (see ROADMAP.md for the decision); `suppression` (malformed suppression
+/// comments) is always on and cannot be disabled.
 pub fn default_rules() -> BTreeSet<String> {
     [
         FLOAT_EQ,
@@ -45,6 +46,21 @@ pub fn default_rules() -> BTreeSet<String> {
     .iter()
     .map(|s| s.to_string())
     .collect()
+}
+
+/// Crates whose library sources get `slice-index` whether or not the run
+/// opted in: the dense kernels in `linalg` and the simplex in `lp` are the
+/// workspace's hottest indexing code, where an out-of-bounds index is a
+/// solver-state corruption bug rather than a recoverable input error.
+pub const SLICE_INDEX_DEFAULT_CRATES: &[&str] = &["crates/lp/", "crates/linalg/"];
+
+/// Whether `slice-index` applies to `rel_path` under `cfg`: enabled
+/// globally by opt-in, or by the per-crate promotion.
+fn slice_index_on(cfg: &LintConfig, rel_path: &str) -> bool {
+    cfg.on(SLICE_INDEX)
+        || SLICE_INDEX_DEFAULT_CRATES
+            .iter()
+            .any(|p| rel_path.replace('\\', "/").starts_with(p))
 }
 
 /// What kind of target a file belongs to — decides which rules apply.
@@ -167,7 +183,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>
     if cfg.on(MAGIC_EPSILON) {
         magic_epsilon(&ctx, role, cfg, &mut findings);
     }
-    if cfg.on(SLICE_INDEX) {
+    if slice_index_on(cfg, rel_path) {
         slice_index(&ctx, role, &mut findings);
     }
 
@@ -197,13 +213,19 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>
 
 struct Suppression {
     rules: Vec<String>,
-    /// Line of the comment; covers this line and the next.
+    /// Line of the comment; covers this line and the next (ignored for
+    /// file-scope suppressions).
     line: u32,
+    /// `lint:allow-file` — covers the whole file. Reserved for files that
+    /// are one dense kernel end to end (factorizations, the simplex
+    /// tableau), where a per-line suppression on every indexing statement
+    /// would outweigh the code.
+    file_scope: bool,
 }
 
 impl Suppression {
     fn covers(&self, line: u32) -> bool {
-        line == self.line || line == self.line + 1
+        self.file_scope || line == self.line || line == self.line + 1
     }
 }
 
@@ -236,6 +258,10 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Vec<Suppression>
             });
         };
         let rest = &c.text[at + "lint:allow".len()..];
+        let (rest, file_scope) = match rest.strip_prefix("-file") {
+            Some(stripped) => (stripped, true),
+            None => (rest, false),
+        };
         let Some(open) = rest.find('(') else {
             fail("malformed suppression: expected `lint:allow(<rule>): <reason>`".into());
             continue;
@@ -270,6 +296,7 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Vec<Suppression>
         ok.push(Suppression {
             rules,
             line: c.line,
+            file_scope,
         });
     }
     (ok, bad)
@@ -672,8 +699,12 @@ fn slice_index(ctx: &FileCtx, role: Role, findings: &mut Vec<Finding>) {
         let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) else {
             continue;
         };
+        // `mut`/`dyn` precede slice *types* (`&mut [f64]`), not indexing.
         let is_index = prev.kind == TokKind::Ident
-            && !matches!(prev.text.as_str(), "return" | "in" | "else" | "match")
+            && !matches!(
+                prev.text.as_str(),
+                "return" | "in" | "else" | "match" | "mut" | "dyn"
+            )
             || prev.text == ")"
             || prev.text == "]";
         if is_index {
@@ -930,6 +961,43 @@ mod tests {
         let (f, _) = lint_source("crates/x/src/lib.rs", src, &cfg);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, SLICE_INDEX);
+    }
+
+    #[test]
+    fn slice_index_is_default_in_kernel_crates() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }";
+        for path in ["crates/lp/src/lib.rs", "crates/linalg/src/qr.rs"] {
+            let f = active(path, src);
+            assert_eq!(f.len(), 1, "{path}");
+            assert_eq!(f[0].rule, SLICE_INDEX);
+        }
+    }
+
+    #[test]
+    fn slice_index_ignores_slice_type_syntax() {
+        let src = "fn f(v: &mut [u8], w: &[u8]) { v.copy_from_slice(w) }";
+        let mut cfg = LintConfig::default();
+        cfg.rules.insert(SLICE_INDEX.to_string());
+        let (f, _) = lint_source("crates/x/src/lib.rs", src, &cfg);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn file_scope_suppression_covers_whole_file() {
+        let src = "// lint:allow-file(slice-index): dense kernel, bounds asserted at entry\n\
+                   fn f(v: &[u8]) -> u8 { v[0] }\n\n\n\n\
+                   fn g(v: &[u8]) -> u8 { v[1] }";
+        let (active, suppressed) = lint_source("crates/lp/src/lib.rs", src, &LintConfig::default());
+        assert!(active.is_empty(), "{active:?}");
+        assert_eq!(suppressed.len(), 2);
+    }
+
+    #[test]
+    fn file_scope_suppression_still_requires_reason() {
+        let src = "// lint:allow-file(slice-index)\nfn f() {}";
+        let (active, _) = lint_source("crates/x/src/lib.rs", src, &LintConfig::default());
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].rule, SUPPRESSION);
     }
 
     #[test]

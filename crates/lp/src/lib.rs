@@ -42,5 +42,5 @@ pub mod simplex;
 pub mod solution;
 
 pub use model::{LinearProgram, RowSense, VarId};
-pub use simplex::{solve, solve_with, SimplexOptions};
+pub use simplex::{solve, solve_warm, solve_with, SimplexOptions, WarmBasis};
 pub use solution::{LpSolution, LpStatus};

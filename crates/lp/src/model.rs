@@ -64,6 +64,7 @@ impl LinearProgram {
     /// Adds a named variable (names appear in debug dumps only).
     pub fn add_named_var(&mut self, name: &str, cost: f64, lo: f64, hi: f64) -> VarId {
         let id = self.add_var(cost, lo, hi);
+        // lint:allow(slice-index): `id` was issued by `add_var` just above.
         self.names[id.0] = name.to_string();
         id
     }
@@ -94,8 +95,10 @@ impl LinearProgram {
     /// allowed (the LP becomes infeasible, which the solver reports).
     pub fn restrict_bounds(&mut self, var: VarId, lo: f64, hi: f64) {
         assert!(var.0 < self.costs.len());
-        self.lowers[var.0] = self.lowers[var.0].max(lo);
-        self.uppers[var.0] = self.uppers[var.0].min(hi);
+        // lint:allow(slice-index): in-bounds by the assert above.
+        let (l, u) = (&mut self.lowers[var.0], &mut self.uppers[var.0]);
+        *l = l.max(lo);
+        *u = u.min(hi);
     }
 
     /// Overwrites the bounds of a variable (no intersection) — used by
@@ -106,13 +109,16 @@ impl LinearProgram {
     pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) {
         assert!(var.0 < self.costs.len());
         assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
-        self.lowers[var.0] = lo;
-        self.uppers[var.0] = hi;
+        // lint:allow(slice-index): in-bounds by the assert above.
+        let (l, u) = (&mut self.lowers[var.0], &mut self.uppers[var.0]);
+        *l = lo;
+        *u = hi;
     }
 
     /// Overwrites the objective coefficient of a variable.
     pub fn set_cost(&mut self, var: VarId, cost: f64) {
         assert!(var.0 < self.costs.len());
+        // lint:allow(slice-index): in-bounds by the assert above.
         self.costs[var.0] = cost;
     }
 
@@ -147,12 +153,21 @@ impl LinearProgram {
     }
 
     /// Variable name (for diagnostics).
+    ///
+    /// # Panics
+    /// Panics if the variable does not exist.
     pub fn name(&self, var: VarId) -> &str {
+        // lint:allow(slice-index): a dangling VarId panics by documented contract.
         &self.names[var.0]
     }
 
     /// Evaluates a row's left-hand side at a point.
+    ///
+    /// # Panics
+    /// Panics if the row does not exist or `x` is shorter than the
+    /// variables the row references.
     pub fn row_activity(&self, row: usize, x: &[f64]) -> f64 {
+        // lint:allow(slice-index): rows only reference VarIds validated by add_row.
         self.rows[row].coeffs.iter().map(|(v, c)| c * x[v.0]).sum()
     }
 

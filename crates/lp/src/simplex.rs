@@ -1,4 +1,5 @@
-//! Bounded-variable two-phase primal simplex.
+//! Bounded-variable two-phase primal simplex, plus a dual-simplex warm
+//! start for cut loops.
 //!
 //! Layout: one slack column per row turns every constraint into an equality
 //! with bounds on the slack; artificial columns are added only for rows whose
@@ -7,6 +8,16 @@
 //! frozen at zero. The basis inverse is kept explicitly (row count here is
 //! small — model rows plus outer-approximation cuts) and refactorized
 //! periodically for numerical hygiene.
+//!
+//! [`solve_warm`] reuses the basis saved by a previous solve. Neither
+//! appending a `<=` cut row nor tightening variable bounds changes the cost
+//! vector, so the saved basis stays *dual*-feasible: the new cut's slack
+//! enters the basis, out-of-bound nonbasic variables snap to their moved
+//! bounds, and a handful of dual pivots restore primal feasibility — no
+//! Phase 1 artificials, no cold Phase 2.
+// lint:allow-file(slice-index): the tableau kernel indexes basis/column
+// arrays end to end; every index is derived from tableau dimensions fixed
+// at construction, and iterator forms would obscure the pivot algebra.
 
 use crate::model::{LinearProgram, RowSense};
 use crate::solution::{LpSolution, LpStatus};
@@ -27,6 +38,11 @@ const RATIO_TIE_TOL: f64 = 1e-12;
 /// A step shorter than this counts as a degenerate pivot for the
 /// Bland's-rule switch.
 const DEGENERATE_STEP_TOL: f64 = 1e-10;
+/// Reduced-cost sign tolerance when validating a reloaded basis. Looser
+/// than `DEFAULT_OPT_TOL` because the saved optimum was itself only
+/// tolerance-optimal and the basis is refactorized on reload; any residual
+/// drift is repaired by the primal clean-up phase after the dual pivots.
+const WARM_DUAL_TOL: f64 = 1e-7;
 
 /// Simplex tuning knobs. Defaults suit the HSLB problem sizes.
 #[derive(Debug, Clone)]
@@ -70,6 +86,57 @@ enum VarStatus {
 
 /// Sparse column: (row, coefficient) pairs.
 type Column = Vec<(usize, f64)>;
+
+/// Basis saved at a previous optimum for reuse by [`solve_warm`].
+///
+/// Opaque to callers; keep one per cut loop (the OA master keeps one per
+/// tree) and pass it to every `solve_warm` call. The reuse contract is that
+/// successive LPs only *append* rows and *move* variable bounds — existing
+/// rows and the cost vector must not change between solves. Both paths
+/// through `solve_warm` (dual pivots or cold fallback) refresh the saved
+/// basis, so staleness is self-healing.
+#[derive(Debug, Clone, Default)]
+pub struct WarmBasis {
+    /// Status of every structural and slack column at the saved optimum.
+    status: Vec<VarStatus>,
+    /// Variable occupying each basis row.
+    basis: Vec<usize>,
+    num_vars: usize,
+    num_rows: usize,
+    saved: bool,
+}
+
+impl WarmBasis {
+    /// An empty basis; the first `solve_warm` call falls through to a cold
+    /// solve and fills it in.
+    pub fn new() -> Self {
+        WarmBasis::default()
+    }
+
+    /// Whether the saved basis can seed a solve of `lp` (same columns, row
+    /// set grown by appending only).
+    fn usable_for(&self, lp: &LinearProgram) -> bool {
+        self.saved && self.num_vars == lp.num_vars() && self.num_rows <= lp.num_rows()
+    }
+
+    /// Records the basis of an optimal tableau. A degenerate optimum can
+    /// leave a Phase-1 artificial basic at zero; such a basis is not
+    /// reusable and is dropped.
+    fn save_from(&mut self, tab: &Tableau, num_vars: usize) {
+        let nm = num_vars + tab.m;
+        if tab.basis.iter().any(|&b| b >= nm) {
+            self.saved = false;
+            return;
+        }
+        self.status.clear();
+        self.status.extend_from_slice(&tab.status[..nm]);
+        self.basis.clear();
+        self.basis.extend_from_slice(&tab.basis);
+        self.num_vars = num_vars;
+        self.num_rows = tab.m;
+        self.saved = true;
+    }
+}
 
 struct Tableau {
     /// All columns: structurals, then slacks, then artificials.
@@ -212,20 +279,51 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
 
 /// Solves the LP with explicit options.
 pub fn solve_with(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
-    let sol = solve_inner(lp, opts);
+    let sol = solve_inner(lp, opts, None);
     opts.trace.emit(|| Event::LpSolved {
         pivots: sol.iterations as u64,
     });
     sol
 }
 
-/// The actual two-phase solve; `solve_with` wraps it so that every return
-/// path emits exactly one trace event.
-fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
+/// Solves the LP, reusing (and refreshing) the basis in `warm`.
+///
+/// When `warm` holds a basis compatible with `lp` (see [`WarmBasis`]), the
+/// solve restarts from it with dual-simplex pivots; otherwise — and on any
+/// numerical trouble or infeasibility verdict along the warm path — it
+/// falls back to the cold two-phase solve, so results never depend on the
+/// saved basis being good. `dual_pivots`/`warm_used` in the solution report
+/// what happened.
+pub fn solve_warm(lp: &LinearProgram, opts: &SimplexOptions, warm: &mut WarmBasis) -> LpSolution {
+    let sol = if warm.usable_for(lp) {
+        // An infeasibility verdict from the dual path is re-derived cold so
+        // that Infeasible results always come from the same code path as
+        // cold solves.
+        match try_dual_warm(lp, opts, warm) {
+            Some(sol) => sol,
+            None => solve_inner(lp, opts, Some(warm)),
+        }
+    } else {
+        solve_inner(lp, opts, Some(warm))
+    };
+    opts.trace.emit(|| Event::LpSolved {
+        pivots: sol.iterations as u64,
+    });
+    sol
+}
+
+/// Structural + slack columns, bounds, and row right-hand sides — the part
+/// of the tableau shared by cold and warm starts (artificials are cold-only).
+struct TableauBase {
+    cols: Vec<Column>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+fn build_base(lp: &LinearProgram) -> TableauBase {
     let m = lp.num_rows();
     let n = lp.num_vars();
-
-    // ---- Build tableau ------------------------------------------------
     // Structural columns (transpose the row-wise storage, summing dups).
     let mut cols: Vec<Column> = vec![Vec::new(); n];
     let mut rhs = vec![0.0; m];
@@ -241,13 +339,10 @@ fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
     }
     let mut lo = lp.lowers().to_vec();
     let mut hi = lp.uppers().to_vec();
-    let mut can_enter = vec![true; n];
 
     // Slack columns.
-    let slack_base = n;
     for (r, row) in lp.rows().iter().enumerate() {
         cols.push(vec![(r, 1.0)]);
-        can_enter.push(true);
         match row.sense {
             RowSense::Le => {
                 lo.push(0.0);
@@ -263,6 +358,28 @@ fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
             }
         }
     }
+    TableauBase { cols, lo, hi, rhs }
+}
+
+/// The actual two-phase solve; `solve_with` wraps it so that every return
+/// path emits exactly one trace event. When `save` is given, the optimal
+/// basis is recorded into it for later `solve_warm` calls.
+fn solve_inner(
+    lp: &LinearProgram,
+    opts: &SimplexOptions,
+    save: Option<&mut WarmBasis>,
+) -> LpSolution {
+    let m = lp.num_rows();
+    let n = lp.num_vars();
+
+    let TableauBase {
+        mut cols,
+        mut lo,
+        mut hi,
+        rhs,
+    } = build_base(lp);
+    let mut can_enter = vec![true; n + m];
+    let slack_base = n;
 
     // Initial nonbasic placement for structurals.
     let mut status: Vec<VarStatus> = (0..n).map(|j| initial_status(lo[j], hi[j])).collect();
@@ -340,6 +457,8 @@ fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
             objective: f64::NAN,
             duals: Vec::new(),
             iterations: 0,
+            dual_pivots: 0,
+            warm_used: false,
         };
     }
 
@@ -362,6 +481,8 @@ fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
                     objective: f64::NAN,
                     duals: Vec::new(),
                     iterations,
+                    dual_pivots: 0,
+                    warm_used: false,
                 };
             }
         }
@@ -390,12 +511,17 @@ fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
             let x: Vec<f64> = (0..n).map(|j| tab.value(j)).collect();
             let duals = tab.duals(&costs2);
             let objective = lp.objective_value(&x);
+            if let Some(warm) = save {
+                warm.save_from(&tab, n);
+            }
             LpSolution {
                 status: LpStatus::Optimal,
                 x,
                 objective,
                 duals,
                 iterations,
+                dual_pivots: 0,
+                warm_used: false,
             }
         }
         PhaseEnd::Unbounded => LpSolution::unbounded(iterations),
@@ -405,7 +531,229 @@ fn solve_inner(lp: &LinearProgram, opts: &SimplexOptions) -> LpSolution {
             objective: f64::NAN,
             duals: Vec::new(),
             iterations,
+            dual_pivots: 0,
+            warm_used: false,
         },
+    }
+}
+
+/// Attempts the dual-simplex restart from `warm`. Returns `None` whenever
+/// the caller should fall back to a cold solve: singular reload, stale dual
+/// feasibility, pivot breakdown, iteration cap, or a primal-infeasibility
+/// verdict (re-derived cold so infeasibility always comes from one path).
+fn try_dual_warm(
+    lp: &LinearProgram,
+    opts: &SimplexOptions,
+    warm: &mut WarmBasis,
+) -> Option<LpSolution> {
+    let m = lp.num_rows();
+    let n = lp.num_vars();
+    let nm = n + m;
+    let TableauBase { cols, lo, hi, rhs } = build_base(lp);
+
+    // Saved statuses cover structurals and the old rows' slacks; each
+    // appended cut row's slack starts basic in its own row (an OA cut is
+    // violated by the incumbent vertex, so that slack is out of bounds and
+    // the dual pivots drive it out again).
+    let mut status = warm.status.clone();
+    let mut basis = warm.basis.clone();
+    for r in warm.num_rows..m {
+        status.push(VarStatus::Basic(r));
+        basis.push(n + r);
+    }
+    // Bound moves can change which bounds exist; re-park nonbasic variables
+    // whose saved bound went infinite.
+    for j in 0..nm {
+        match status[j] {
+            VarStatus::Basic(_) => {}
+            VarStatus::AtLower if lo[j].is_finite() => {}
+            VarStatus::AtUpper if hi[j].is_finite() => {}
+            _ => status[j] = initial_status(lo[j], hi[j]),
+        }
+    }
+    for (r, &b) in basis.iter().enumerate() {
+        if status[b] != VarStatus::Basic(r) {
+            return None;
+        }
+    }
+
+    let mut tab = Tableau {
+        cols,
+        lo,
+        hi,
+        status,
+        basis,
+        binv: Matrix::identity(m),
+        xb: vec![0.0; m],
+        rhs,
+        can_enter: vec![true; nm],
+        m,
+    };
+    tab.refactorize().ok()?;
+
+    let mut costs = vec![0.0; nm];
+    costs[..n].copy_from_slice(lp.costs());
+
+    // The warm path is only sound from a dual-feasible basis; verify the
+    // reduced-cost signs survived the bound moves and the reload.
+    let y = tab.duals(&costs);
+    for j in 0..nm {
+        if tab.lo[j] == tab.hi[j] {
+            continue; // fixed: never enters, any sign is fine
+        }
+        let ok = match tab.status[j] {
+            VarStatus::Basic(_) => true,
+            VarStatus::AtLower => tab.reduced_cost(j, &costs, &y) >= -WARM_DUAL_TOL,
+            VarStatus::AtUpper => tab.reduced_cost(j, &costs, &y) <= WARM_DUAL_TOL,
+            VarStatus::FreeZero => tab.reduced_cost(j, &costs, &y).abs() <= WARM_DUAL_TOL,
+        };
+        if !ok {
+            return None;
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut dual_pivots = 0usize;
+    let mut since_refactor = 0usize;
+
+    loop {
+        if iterations >= opts.max_iters {
+            return None;
+        }
+        if since_refactor >= opts.refactor_every {
+            tab.refactorize().ok()?;
+            since_refactor = 0;
+        }
+
+        // ---- Leaving variable: worst bound violation among the basics ----
+        let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, below)
+        for r in 0..tab.m {
+            let bvar = tab.basis[r];
+            let below = tab.lo[bvar] - tab.xb[r];
+            let above = tab.xb[r] - tab.hi[bvar];
+            if below > opts.feas_tol && leave.is_none_or(|(_, v, _)| below > v) {
+                leave = Some((r, below, true));
+            }
+            if above > opts.feas_tol && leave.is_none_or(|(_, v, _)| above > v) {
+                leave = Some((r, above, false));
+            }
+        }
+        let Some((r, _, below)) = leave else {
+            break; // primal feasible
+        };
+
+        // ---- Entering variable: dual ratio test on pivot row r ----
+        // xb[r] changes by -alpha_rj * dir_j * t when nonbasic j moves by t
+        // in direction dir_j; it must move toward the violated bound, and
+        // among the eligible columns the smallest |d_j|/|alpha_rj| keeps
+        // every reduced cost on its dual-feasible side.
+        let y = tab.duals(&costs);
+        let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+        for j in 0..nm {
+            if matches!(tab.status[j], VarStatus::Basic(_)) || tab.lo[j] == tab.hi[j] {
+                continue;
+            }
+            let mut alpha = 0.0;
+            for &(row, a) in &tab.cols[j] {
+                alpha += tab.binv[(r, row)] * a;
+            }
+            if alpha.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let eligible = match tab.status[j] {
+                // AtLower can only increase (dir +1): xb[r] moves by -alpha·t.
+                VarStatus::AtLower => (alpha < 0.0) == below,
+                // AtUpper can only decrease (dir -1): xb[r] moves by +alpha·t.
+                VarStatus::AtUpper => (alpha > 0.0) == below,
+                VarStatus::FreeZero => true,
+                // Statically dead: basic columns are skipped at the top of
+                // the loop.
+                VarStatus::Basic(_) => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let ratio = tab.reduced_cost(j, &costs, &y).abs() / alpha.abs();
+            let better = match &enter {
+                None => true,
+                Some((_, best, best_alpha)) => {
+                    ratio < best - RATIO_TIE_TOL
+                        || (ratio < best + RATIO_TIE_TOL && alpha.abs() > *best_alpha)
+                }
+            };
+            if better {
+                enter = Some((j, ratio, alpha.abs()));
+            }
+        }
+        // No column can repair row r: the primal is infeasible. Hand back
+        // to the cold path to certify it.
+        let (j, _, _) = enter?;
+
+        // ---- Pivot: drive xb[r] exactly onto its violated bound ----
+        let w = tab.ftran(j);
+        if w[r].abs() <= PIVOT_TOL {
+            return None; // alpha/ftran disagreement: numerical trouble
+        }
+        let lvar = tab.basis[r];
+        let target = if below { tab.lo[lvar] } else { tab.hi[lvar] };
+        let delta = (tab.xb[r] - target) / w[r];
+        let entering_new = tab.nonbasic_value(j) + delta;
+        for (xbi, &wi) in tab.xb.iter_mut().zip(&w) {
+            *xbi -= delta * wi;
+        }
+        tab.status[lvar] = if below {
+            VarStatus::AtLower
+        } else {
+            VarStatus::AtUpper
+        };
+        tab.basis[r] = j;
+        tab.status[j] = VarStatus::Basic(r);
+        tab.xb[r] = entering_new;
+
+        // Elementary update of B⁻¹: pivot on w[r].
+        let p = w[r];
+        for k in 0..tab.m {
+            tab.binv[(r, k)] /= p;
+        }
+        for (i, &f) in w.iter().enumerate() {
+            if i != r && !exactly_zero(f) {
+                for k in 0..tab.m {
+                    let br = tab.binv[(r, k)];
+                    tab.binv[(i, k)] -= f * br;
+                }
+            }
+        }
+
+        iterations += 1;
+        dual_pivots += 1;
+        since_refactor += 1;
+    }
+
+    // Primal feasible. A primal clean-up phase mops up any reduced-cost
+    // drift the dual tolerances let through (usually zero pivots).
+    match run_phase(&mut tab, &costs, opts, &mut iterations) {
+        PhaseEnd::Optimal => {
+            let x: Vec<f64> = (0..n).map(|j| tab.value(j)).collect();
+            let duals = tab.duals(&costs);
+            let objective = lp.objective_value(&x);
+            warm.save_from(&tab, n);
+            Some(LpSolution {
+                status: LpStatus::Optimal,
+                x,
+                objective,
+                duals,
+                iterations,
+                dual_pivots,
+                warm_used: true,
+            })
+        }
+        PhaseEnd::Unbounded => {
+            let mut sol = LpSolution::unbounded(iterations);
+            sol.dual_pivots = dual_pivots;
+            sol.warm_used = true;
+            Some(sol)
+        }
+        PhaseEnd::IterationLimit => None,
     }
 }
 

@@ -25,8 +25,14 @@ pub struct LpSolution {
     /// Dual values (simplex multipliers), one per row (empty unless
     /// `Optimal`).
     pub duals: Vec<f64>,
-    /// Simplex iterations across both phases.
+    /// Simplex iterations across both phases (includes `dual_pivots`).
     pub iterations: usize,
+    /// Dual-simplex pivots spent restoring primal feasibility from a warm
+    /// basis (zero on cold solves).
+    pub dual_pivots: usize,
+    /// Whether a saved basis was actually reused (`solve_warm` fell back to
+    /// a cold solve when this is `false`).
+    pub warm_used: bool,
 }
 
 impl LpSolution {
@@ -42,6 +48,8 @@ impl LpSolution {
             objective: f64::INFINITY,
             duals: Vec::new(),
             iterations,
+            dual_pivots: 0,
+            warm_used: false,
         }
     }
 
@@ -52,6 +60,8 @@ impl LpSolution {
             objective: f64::NEG_INFINITY,
             duals: Vec::new(),
             iterations,
+            dual_pivots: 0,
+            warm_used: false,
         }
     }
 }

@@ -3,11 +3,13 @@
 
 use crate::branching::{make_branch, select_branch_var_with_stats, PseudocostTracker};
 use crate::model::MinlpProblem;
+use crate::scratch::ScratchArena;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus, NodeSelection};
-use hslb_nlp::{BarrierOptions, NlpProblem, NlpStatus};
+use hslb_nlp::{BarrierOptions, NlpProblem, NlpStatus, WarmStart};
 use hslb_obs::{Deadline, Event, PruneReason, SolveStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Floor on the feasibility tolerance used when vetting polished
 /// candidates: polishing pins integers and re-solves, so residuals a bit
@@ -43,6 +45,10 @@ pub(crate) struct Node {
     /// The branching that created this node: `(var, distance, is_up)` —
     /// feeds the pseudocost tracker once the node's relaxation is solved.
     pub branch_info: Option<(usize, f64, bool)>,
+    /// Barrier warm start inherited from the parent's relaxation; both
+    /// children share one `Arc` of the parent's point and multipliers.
+    /// `None` at the root and whenever `MinlpOptions::warm_start` is off.
+    pub seed: Option<Arc<WarmStart>>,
 }
 
 /// Installs node bounds into a scratch relaxation.
@@ -52,6 +58,12 @@ pub(crate) fn install_bounds(scratch: &mut NlpProblem, lo: &[f64], hi: &[f64]) {
     }
 }
 
+/// Returns a consumed node's box buffers to the arena pool.
+pub(crate) fn recycle_node(arena: &mut ScratchArena, node: Node) {
+    arena.put(node.lo);
+    arena.put(node.hi);
+}
+
 /// Solves the continuous relaxation of a node. Returns `None` for an
 /// infeasible node, otherwise `(x, objective)` — where `objective` is a
 /// valid node bound only when the barrier converged (`bound_valid`).
@@ -59,13 +71,17 @@ pub(crate) struct RelaxOutcome {
     pub x: Vec<f64>,
     pub objective: f64,
     pub bound_valid: bool,
+    /// Inequality multipliers at `x` — the dual half of the warm start
+    /// handed to this node's children.
+    pub multipliers: Vec<f64>,
 }
 
 pub(crate) fn solve_relaxation(
     problem: &MinlpProblem,
-    scratch: &mut NlpProblem,
+    arena: &mut ScratchArena,
     lo: &[f64],
     hi: &[f64],
+    warm: Option<&WarmStart>,
     barrier: &BarrierOptions,
     stats: &mut SolveStats,
 ) -> Option<RelaxOutcome> {
@@ -75,30 +91,37 @@ pub(crate) fn solve_relaxation(
     // variables at their bounds) has no strict interior, and the log-barrier
     // would misreport the node as infeasible. Propagation collapses such
     // boxes to `lo == hi`, which the barrier eliminates exactly.
-    let mut lo = lo.to_vec();
-    let mut hi = hi.to_vec();
-    let tightened = crate::presolve::propagate_box(problem, &mut lo, &mut hi, 4)?;
-    stats.presolve_tightenings += tightened as u64;
-    install_bounds(scratch, &lo, &hi);
-    // Work accounting lives *here*, next to the solve, so every caller
-    // (serial, OA polishing, parallel tasks) counts identically.
-    stats.nlp_solves += 1;
-    let sol = match hslb_nlp::solve_with(scratch, barrier) {
+    let mut plo = arena.take_copy(lo);
+    let mut phi = arena.take_copy(hi);
+    let outcome = crate::presolve::propagate_box(problem, &mut plo, &mut phi, 4).map(|tightened| {
+        stats.presolve_tightenings += tightened as u64;
+        install_bounds(&mut arena.relax, &plo, &phi);
+        // Work accounting lives *here*, next to the solve, so every caller
+        // (serial, OA polishing, parallel tasks) counts identically.
+        stats.nlp_solves += 1;
+        hslb_nlp::solve_warm_with(&arena.relax, barrier, warm)
+    });
+    arena.put(plo);
+    arena.put(phi);
+    let sol = match outcome? {
         Ok(s) => s,
         Err(_) => return None,
     };
     stats.newton_iters += sol.newton_iters as u64;
+    stats.warm_start_hits += sol.warm_started as u64;
     match sol.status {
         NlpStatus::Infeasible => None,
         NlpStatus::Optimal => Some(RelaxOutcome {
             x: sol.x,
             objective: sol.objective,
             bound_valid: true,
+            multipliers: sol.multipliers,
         }),
         NlpStatus::Unbounded => Some(RelaxOutcome {
             x: sol.x,
             objective: f64::NEG_INFINITY,
             bound_valid: true,
+            multipliers: sol.multipliers,
         }),
         NlpStatus::IterationLimit => {
             if sol.x.is_empty() {
@@ -108,6 +131,7 @@ pub(crate) fn solve_relaxation(
                     x: sol.x,
                     objective: sol.objective,
                     bound_valid: false,
+                    multipliers: sol.multipliers,
                 })
             }
         }
@@ -120,7 +144,7 @@ pub(crate) fn solve_relaxation(
 #[allow(clippy::too_many_arguments)] // node state + options; a struct would just rename the list
 pub(crate) fn polish_candidate(
     problem: &MinlpProblem,
-    scratch: &mut NlpProblem,
+    arena: &mut ScratchArena,
     x: &[f64],
     lo: &[f64],
     hi: &[f64],
@@ -139,23 +163,39 @@ pub(crate) fn polish_candidate(
         // hull; the check above covers that because hulls are the bounds.
     }
     // Pin discrete vars; release continuous vars to the node box.
-    let mut plo = lo.to_vec();
-    let mut phi = hi.to_vec();
+    let mut plo = arena.take_copy(lo);
+    let mut phi = arena.take_copy(hi);
     for j in problem.discrete_vars() {
         plo[j] = snapped[j];
         phi[j] = snapped[j];
     }
-    install_bounds(scratch, &plo, &phi);
+    install_bounds(&mut arena.relax, &plo, &phi);
+    arena.put(plo);
+    arena.put(phi);
     stats.nlp_solves += 1;
-    let sol = hslb_nlp::solve_with(scratch, barrier).ok()?;
+    // The candidate point itself is the natural seed for the pinned
+    // re-solve: continuous coordinates barely move once the discrete ones
+    // are fixed. No duals are available (the point may come from an LP
+    // vertex), so the barrier estimates its own restart μ.
+    let seed = if opts.warm_start {
+        Some(WarmStart::new(arena.take_copy(x), Vec::new()))
+    } else {
+        None
+    };
+    let res = hslb_nlp::solve_warm_with(&arena.relax, barrier, seed.as_ref());
+    if let Some(s) = seed {
+        arena.put(s.x);
+    }
+    let sol = res.ok()?;
     stats.newton_iters += sol.newton_iters as u64;
+    stats.warm_start_hits += sol.warm_started as u64;
     if sol.status != NlpStatus::Optimal {
         return None;
     }
     if !problem.is_feasible(&sol.x, opts.feas_tol.max(POLISH_FEAS_FLOOR)) {
         return None;
     }
-    Some((sol.x.clone(), sol.objective))
+    Some((sol.x, sol.objective))
 }
 
 /// Prune threshold given the incumbent.
@@ -177,7 +217,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         trace: opts.trace.clone(),
         ..BarrierOptions::default()
     };
-    let mut scratch = problem.relaxation().clone();
+    let mut arena = ScratchArena::new(problem.relaxation().clone());
     let deadline = Deadline::start(&opts.clock, opts.time_limit);
 
     let root = Node {
@@ -186,6 +226,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         bound: f64::NEG_INFINITY,
         depth: 0,
         branch_info: None,
+        seed: None,
     };
     let mut pseudocosts = PseudocostTracker::new(problem.num_vars());
 
@@ -253,14 +294,16 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
                 reason: PruneReason::Bound,
                 bound: node.bound,
             });
+            recycle_node(&mut arena, node);
             continue;
         }
 
         let Some(relax) = solve_relaxation(
             problem,
-            &mut scratch,
+            &mut arena,
             &node.lo,
             &node.hi,
+            node.seed.as_deref(),
             &barrier,
             &mut stats,
         ) else {
@@ -269,6 +312,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
                 reason: PruneReason::Infeasible,
                 bound: f64::NAN,
             });
+            recycle_node(&mut arena, node);
             continue; // infeasible node
         };
         let node_bound = if relax.bound_valid {
@@ -289,6 +333,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
                 reason: PruneReason::Bound,
                 bound: node_bound,
             });
+            recycle_node(&mut arena, node);
             continue;
         }
 
@@ -296,14 +341,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         // point into a feasible incumbent (cheap: one pinned NLP).
         if node.depth == 0 || problem.is_domain_feasible(&relax.x, opts.int_tol) {
             if let Some((cand, obj)) = polish_candidate(
-                problem,
-                &mut scratch,
-                &relax.x,
-                &node.lo,
-                &node.hi,
-                opts,
-                &barrier,
-                &mut stats,
+                problem, &mut arena, &relax.x, &node.lo, &node.hi, opts, &barrier, &mut stats,
             ) {
                 if obj < incumbent_obj {
                     incumbent_obj = obj;
@@ -317,6 +355,7 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         // Domain-feasible relaxation: node is settled (polish above already
         // captured the candidate).
         if problem.is_domain_feasible(&relax.x, opts.int_tol) {
+            recycle_node(&mut arena, node);
             continue;
         }
 
@@ -330,24 +369,32 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
             opts.branch_rule,
             Some(&pseudocosts),
         ) else {
+            recycle_node(&mut arena, node);
             continue; // nothing to branch on (degenerate)
         };
         let Some(branch) = make_branch(problem, j, relax.x[j], node.lo[j], node.hi[j]) else {
+            recycle_node(&mut arena, node);
             continue;
         };
+        let xj = relax.x[j];
+        // Both children seed their barrier solve from this node's
+        // relaxation; the Arc shares one copy of point and duals.
+        let child_seed = opts
+            .warm_start
+            .then(|| Arc::new(WarmStart::new(relax.x, relax.multipliers)));
         for (is_up, (blo, bhi)) in [(false, branch.down), (true, branch.up)] {
             if blo > bhi {
                 continue;
             }
-            let mut lo = node.lo.clone();
-            let mut hi = node.hi.clone();
+            let mut lo = arena.take_copy(&node.lo);
+            let mut hi = arena.take_copy(&node.hi);
             lo[j] = blo;
             hi[j] = bhi;
             // Distance the branching moves x_j into this child's box.
             let dist = if is_up {
-                (blo - relax.x[j]).max(0.0)
+                (blo - xj).max(0.0)
             } else {
-                (relax.x[j] - bhi).max(0.0)
+                (xj - bhi).max(0.0)
             };
             push(
                 Node {
@@ -356,12 +403,14 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
                     bound: node_bound,
                     depth: node.depth + 1,
                     branch_info: Some((j, dist, is_up)),
+                    seed: child_seed.clone(),
                 },
                 &mut heap,
                 &mut store,
                 &mut stack,
             );
         }
+        recycle_node(&mut arena, node);
     }
 
     let limited = hit_node_limit || hit_time_limit;

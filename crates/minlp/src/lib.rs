@@ -57,6 +57,7 @@ pub mod oa;
 pub mod oracle;
 pub mod parallel;
 pub mod presolve;
+pub(crate) mod scratch;
 pub mod types;
 
 pub use ampl::to_ampl;

@@ -20,9 +20,10 @@
 //! function everywhere, so every cut is globally valid and the method
 //! terminates at the global optimum.
 
-use crate::bnb::{polish_candidate, prune_cutoff, Node, OrdF64};
+use crate::bnb::{polish_candidate, prune_cutoff, recycle_node, Node, OrdF64};
 use crate::branching::{make_branch, select_branch_var};
 use crate::model::MinlpProblem;
+use crate::scratch::ScratchArena;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus, NodeSelection};
 use hslb_lp::{LinearProgram, LpStatus, RowSense, VarId};
 use hslb_nlp::{BarrierOptions, NlpStatus};
@@ -104,12 +105,12 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     // a failed/degenerate root NLP falls back to multi-point sampling
     // linearization: cuts of a convex function are valid at *any* point, the
     // root NLP merely provides a good one.
-    let mut scratch = relax.clone();
+    let mut arena = ScratchArena::new(relax.clone());
     stats.nlp_solves += 1;
     // A non-optimal verdict (including Infeasible: the barrier cannot see
     // through empty-interior equality pairs) defers to the LP tree, which
     // detects genuine infeasibility exactly.
-    let root_points: Vec<Vec<f64>> = match hslb_nlp::solve_with(&scratch, &barrier) {
+    let root_points: Vec<Vec<f64>> = match hslb_nlp::solve_with(&arena.relax, &barrier) {
         Ok(s) if s.status == NlpStatus::Optimal && !s.x.is_empty() => {
             stats.newton_iters += s.newton_iters as u64;
             vec![s.x]
@@ -155,12 +156,18 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     }
 
     // ---- Tree search ------------------------------------------------------
+    // One warm basis persists across the whole tree: OA only moves bounds
+    // and appends `<=` cut rows, both of which preserve dual feasibility of
+    // the previous optimal basis, so each node LP re-enters via dual
+    // simplex instead of a fresh two-phase solve.
+    let mut basis = hslb_lp::WarmBasis::new();
     let root = Node {
         lo: relax.lowers().to_vec(),
         hi: relax.uppers().to_vec(),
         bound: f64::NEG_INFINITY,
         depth: 0,
         branch_info: None,
+        seed: None,
     };
     let mut heap: BinaryHeap<(Reverse<OrdF64>, usize)> = BinaryHeap::new();
     let mut store: Vec<Option<(Node, usize)>> = Vec::new(); // (node, cut rounds)
@@ -223,6 +230,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 reason: PruneReason::Bound,
                 bound: node.bound,
             });
+            recycle_node(&mut arena, node);
             continue;
         }
 
@@ -231,8 +239,14 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
             master.set_bounds(VarId(j), node.lo[j], node.hi[j]);
         }
         stats.lp_solves += 1;
-        let lp_sol = hslb_lp::solve_with(&master, &lp_opts);
+        let lp_sol = if opts.warm_start {
+            hslb_lp::solve_warm(&master, &lp_opts, &mut basis)
+        } else {
+            hslb_lp::solve_with(&master, &lp_opts)
+        };
         stats.simplex_pivots += lp_sol.iterations as u64;
+        stats.dual_pivots += lp_sol.dual_pivots as u64;
+        stats.warm_start_hits += lp_sol.warm_used as u64;
         match lp_sol.status {
             LpStatus::Infeasible => {
                 stats.pruned_infeasible += 1;
@@ -240,6 +254,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                     reason: PruneReason::Infeasible,
                     bound: f64::NAN,
                 });
+                recycle_node(&mut arena, node);
                 continue;
             }
             LpStatus::Optimal => {}
@@ -248,6 +263,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 // inherited bound (conservative but safe for our models,
                 // which are bounded by construction).
                 stats.pruned_infeasible += 1;
+                recycle_node(&mut arena, node);
                 continue;
             }
         }
@@ -258,6 +274,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 reason: PruneReason::Bound,
                 bound: node_bound,
             });
+            recycle_node(&mut arena, node);
             continue;
         }
         let x = lp_sol.x;
@@ -276,18 +293,12 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                     stats.incumbents += 1;
                     opts.trace.emit(|| Event::Incumbent { objective: obj });
                 }
+                recycle_node(&mut arena, node);
                 continue;
             }
             // Violated: fix integers, solve the NLP, cut, and re-queue.
             if let Some((cand, obj)) = polish_candidate(
-                problem,
-                &mut scratch,
-                &x,
-                &node.lo,
-                &node.hi,
-                opts,
-                &barrier,
-                &mut stats,
+                problem, &mut arena, &x, &node.lo, &node.hi, opts, &barrier, &mut stats,
             ) {
                 if obj < incumbent_obj {
                     incumbent_obj = obj;
@@ -330,6 +341,8 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                     ..node
                 };
                 push_node(requeued, cut_rounds + 1, &mut heap, &mut store, &mut stack);
+            } else {
+                recycle_node(&mut arena, node);
             }
             continue;
         }
@@ -343,17 +356,19 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
             opts.int_tol,
             opts.branch_rule,
         ) else {
+            recycle_node(&mut arena, node);
             continue;
         };
         let Some(branch) = make_branch(problem, j, x[j], node.lo[j], node.hi[j]) else {
+            recycle_node(&mut arena, node);
             continue;
         };
         for (blo, bhi) in [branch.down, branch.up] {
             if blo > bhi {
                 continue;
             }
-            let mut lo = node.lo.clone();
-            let mut hi = node.hi.clone();
+            let mut lo = arena.take_copy(&node.lo);
+            let mut hi = arena.take_copy(&node.hi);
             lo[j] = blo;
             hi[j] = bhi;
             push_node(
@@ -363,6 +378,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                     bound: node_bound,
                     depth: node.depth + 1,
                     branch_info: None,
+                    seed: None,
                 },
                 0,
                 &mut heap,
@@ -370,6 +386,7 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
                 &mut stack,
             );
         }
+        recycle_node(&mut arena, node);
     }
 
     let limited = hit_node_limit || hit_time_limit;

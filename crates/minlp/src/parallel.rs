@@ -23,19 +23,21 @@
 use crate::bnb::{polish_candidate, prune_cutoff, solve_relaxation};
 use crate::branching::{make_branch, select_branch_var};
 use crate::model::MinlpProblem;
+use crate::scratch::ScratchArena;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus};
-use hslb_nlp::BarrierOptions;
+use hslb_nlp::{BarrierOptions, WarmStart};
 use hslb_obs::{Deadline, Event, PruneReason, SolveStats};
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A counting budget of *extra* worker threads.
 ///
-/// `join(a, b)` runs `b` on a freshly scoped thread only while a slot is
-/// free; otherwise both closures run sequentially on the caller — `a`
-/// first, then `b`. This keeps the total thread count bounded by
-/// `budget + 1` no matter how deep the tree forks — the pre-port rayon
-/// version relied on a work-stealing pool for the same guarantee.
+/// A branch point forks its second child onto a freshly scoped thread only
+/// while [`try_acquire`](SpawnBudget::try_acquire) grants a slot; otherwise
+/// both children run sequentially on the caller. This keeps the total
+/// thread count bounded by `budget + 1` no matter how deep the tree forks —
+/// the pre-port rayon version relied on a work-stealing pool for the same
+/// guarantee.
 struct SpawnBudget {
     slots: AtomicIsize,
 }
@@ -59,23 +61,6 @@ impl SpawnBudget {
 
     fn release(&self) {
         self.slots.fetch_add(1, Ordering::AcqRel);
-    }
-
-    fn join<A, B>(&self, a: A, b: B)
-    where
-        A: FnOnce() + Send,
-        B: FnOnce() + Send,
-    {
-        if self.try_acquire() {
-            std::thread::scope(|s| {
-                s.spawn(b);
-                a();
-            });
-            self.release();
-        } else {
-            a();
-            b();
-        }
     }
 }
 
@@ -160,7 +145,8 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
 
     let lo = problem.relaxation().lowers().to_vec();
     let hi = problem.relaxation().uppers().to_vec();
-    explore(&shared, lo, hi, f64::NEG_INFINITY, 0);
+    let mut arena = ScratchArena::new(problem.relaxation().clone());
+    explore(&shared, &mut arena, lo, hi, f64::NEG_INFINITY, 0, None);
 
     let mut stats = shared
         .stats
@@ -205,10 +191,34 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
     }
 }
 
-/// Processes one node (and recursively its subtree). `bound` is the valid
-/// lower bound inherited from the parent's relaxation — the serial loop
-/// stores it on the stacked node; here it rides the call.
-fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: usize) {
+/// Processes one node (and recursively its subtree), then returns the
+/// node's box buffers to `arena`. `bound` is the valid lower bound
+/// inherited from the parent's relaxation — the serial loop stores it on
+/// the stacked node; here it rides the call, as does the parent's barrier
+/// warm start (`seed`, shared by both siblings through one `Arc`).
+fn explore(
+    shared: &Shared<'_>,
+    arena: &mut ScratchArena,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    bound: f64,
+    depth: usize,
+    seed: Option<Arc<WarmStart>>,
+) {
+    explore_node(shared, arena, &lo, &hi, bound, depth, seed);
+    arena.put(lo);
+    arena.put(hi);
+}
+
+fn explore_node(
+    shared: &Shared<'_>,
+    arena: &mut ScratchArena,
+    lo: &[f64],
+    hi: &[f64],
+    bound: f64,
+    depth: usize,
+    seed: Option<Arc<WarmStart>>,
+) {
     // Mirror the serial loop's per-pop limit checks, in the same order:
     // an already-tripped limit abandons the subtree, then the time budget,
     // then the node budget (whose claim doubles as the node count).
@@ -251,14 +261,12 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: u
         return;
     }
 
-    // Each task owns a scratch relaxation (the problems are tiny; a clone is
-    // cheaper than cross-task coordination).
-    let mut scratch = shared.problem.relaxation().clone();
     let Some(relax) = solve_relaxation(
         shared.problem,
-        &mut scratch,
-        &lo,
-        &hi,
+        arena,
+        lo,
+        hi,
+        seed.as_deref(),
         &shared.barrier,
         &mut local,
     ) else {
@@ -291,10 +299,10 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: u
     if depth == 0 || domain_ok {
         if let Some((cand, obj)) = polish_candidate(
             shared.problem,
-            &mut scratch,
+            arena,
             &relax.x,
-            &lo,
-            &hi,
+            lo,
+            hi,
             shared.opts,
             &shared.barrier,
             &mut local,
@@ -316,8 +324,8 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: u
     let Some(j) = select_branch_var(
         shared.problem,
         &relax.x,
-        &lo,
-        &hi,
+        lo,
+        hi,
         shared.opts.int_tol,
         shared.opts.branch_rule,
     ) else {
@@ -330,22 +338,30 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: u
     };
     shared.merge(&local);
 
+    // Both children share one Arc of this node's relaxation point and
+    // duals — the same values the serial tree would hand them, so the
+    // `threads: 1` counter-equality contract is preserved.
+    let child_seed = shared
+        .opts
+        .warm_start
+        .then(|| Arc::new(WarmStart::new(relax.x, relax.multipliers)));
+
     // Children in the serial pop order: the serial loop pushes [down, up]
     // on its stack and pops the *up* child first, so sequential execution
-    // (and the threads=1 fallback of `join`) must run up before down.
+    // (and the no-slot fallback below) must run up before down.
     let mut children = Vec::with_capacity(2);
     for (blo, bhi) in [branch.up, branch.down] {
         if blo > bhi {
             continue;
         }
-        let mut clo = lo.clone();
-        let mut chi = hi.clone();
+        let mut clo = arena.take_copy(lo);
+        let mut chi = arena.take_copy(hi);
         clo[j] = blo;
         chi[j] = bhi;
         children.push((clo, chi));
     }
     match (children.len(), depth < SPAWN_DEPTH) {
-        (2, true) => {
+        (2, true) if shared.budget.try_acquire() => {
             let mut it = children.into_iter();
             let (l1, h1) = it
                 .next()
@@ -353,14 +369,30 @@ fn explore(shared: &Shared<'_>, lo: Vec<f64>, hi: Vec<f64>, bound: f64, depth: u
             let (l2, h2) = it
                 .next()
                 .expect("match arm guarantees exactly two children");
-            shared.budget.join(
-                || explore(shared, l1, h1, node_bound, depth + 1),
-                || explore(shared, l2, h2, node_bound, depth + 1),
-            );
+            let seed2 = child_seed.clone();
+            std::thread::scope(|s| {
+                // The spawned task gets its own arena (one relaxation clone
+                // per *fork*, not per node); the caller keeps reusing its
+                // own for the first child.
+                s.spawn(move || {
+                    let mut spawned = ScratchArena::new(shared.problem.relaxation().clone());
+                    explore(shared, &mut spawned, l2, h2, node_bound, depth + 1, seed2);
+                });
+                explore(shared, arena, l1, h1, node_bound, depth + 1, child_seed);
+            });
+            shared.budget.release();
         }
         _ => {
             for (clo, chi) in children {
-                explore(shared, clo, chi, node_bound, depth + 1);
+                explore(
+                    shared,
+                    arena,
+                    clo,
+                    chi,
+                    node_bound,
+                    depth + 1,
+                    child_seed.clone(),
+                );
             }
         }
     }

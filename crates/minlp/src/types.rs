@@ -43,6 +43,14 @@ pub struct MinlpOptions {
     pub node_selection: NodeSelection,
     /// Threads for the parallel solver (0 = one per available core).
     pub threads: usize,
+    /// Reuse solver state across the tree: children seed their barrier NLP
+    /// from the parent's relaxation point and multipliers, and the OA master
+    /// re-enters the simplex from the previous optimal basis via dual
+    /// pivots. Warm starts are advisory — any seed that cannot be repaired
+    /// falls back to the identical cold path, so statuses and optima are
+    /// unchanged; only the work counters shrink. `hslb-cli` exposes
+    /// `--no-warm-start` for A/B runs.
+    pub warm_start: bool,
 }
 
 /// Default absolute optimality gap.
@@ -68,6 +76,7 @@ impl Default for MinlpOptions {
             branch_rule: BranchRule::MostFractional,
             node_selection: NodeSelection::BestBound,
             threads: 0,
+            warm_start: true,
         }
     }
 }

@@ -62,6 +62,37 @@ const ACTIVE_DUAL_REL: f64 = 1e-4;
 /// Relative distance-to-bound margin used to classify a coordinate as
 /// interior during multiplier refinement.
 const INTERIOR_REL_MARGIN: f64 = 1e-3;
+/// Blend weights toward the cold midpoint start tried when repairing a
+/// warm-start point; the first strictly feasible candidate wins. θ = 0 is
+/// the parent point itself (box-clamped); by convexity each θ shrinks every
+/// constraint violation toward the midpoint's slack, so a small blend is
+/// usually enough to peel a parent-active constraint off its boundary.
+const WARM_BLEND_STEPS: [f64; 6] = [0.0, 0.01, 0.05, 0.1, 0.25, 0.5];
+/// Rounds of first-order interior restoration tried on a clamped warm point
+/// when every midpoint blend fails (see `push_interior`). Each round costs
+/// one evaluation + linearization per constraint.
+const WARM_PUSH_ROUNDS: usize = 16;
+/// Absolute slack the interior push aims for on each near-active
+/// constraint. Deep enough that the barrier Hessian (∝ 1/slack²) stays
+/// numerically sane at the warm μ, shallow enough that the start stays
+/// essentially on the parent optimum — and that the complementarity
+/// estimate `λ·slack` feeding [`warm_mu0`] lands the barrier only a few
+/// outer rounds from its stopping μ.
+const WARM_PUSH_SLACK: f64 = 1e-4;
+/// Barrier weight for warm starts when the parent multipliers give no
+/// usable complementarity estimate. Far below the cold `mu0` (the point is
+/// already near the child optimum) but high enough that the first rounds
+/// still recenter the iterate.
+const WARM_MU0_DEFAULT: f64 = 1e-2;
+/// Floor on the warm-start barrier weight; `μ·slack` complementarity
+/// estimates from an already-converged parent go to zero and would
+/// otherwise skip recentering entirely.
+const WARM_MU0_MIN: f64 = 1e-6;
+/// Centering factor σ applied to the parent complementarity estimate
+/// (Mehrotra-style): aim the first warm barrier round a step *down* the
+/// central path rather than at the parent's own μ — the repaired point is
+/// already centered there, so re-solving at that μ wastes a round.
+const WARM_MU0_SIGMA: f64 = 0.1;
 
 /// Barrier solver options.
 #[derive(Debug, Clone)]
@@ -151,6 +182,9 @@ pub struct NlpSolution {
     pub multipliers: Vec<f64>,
     /// Total Newton iterations.
     pub newton_iters: usize,
+    /// Whether a [`WarmStart`] seed was actually used (repair succeeded);
+    /// `false` on cold solves and on warm calls that fell back cold.
+    pub warm_started: bool,
 }
 
 impl NlpSolution {
@@ -165,6 +199,39 @@ impl NlpSolution {
             },
             multipliers: Vec::new(),
             newton_iters,
+            warm_started: false,
+        }
+    }
+}
+
+/// Warm-start seed for [`solve_warm_with`]: the optimum of a *nearby*
+/// problem — in branch-and-bound, the parent node, which differs only by
+/// one tightened bound.
+///
+/// The seed is advisory: the point is box-clamped, blended toward the cold
+/// start until strictly feasible, and projected back onto the equality
+/// manifold; when no blend candidate is strictly feasible the solve falls
+/// back to the cold path. Infeasibility verdicts are therefore only ever
+/// produced by the cold machinery, so warm and cold solves agree on status.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Primal point in the full variable space.
+    pub x: Vec<f64>,
+    /// Inequality multipliers, one per constraint (may be empty when the
+    /// seed comes from a point without duals, e.g. an LP vertex).
+    pub multipliers: Vec<f64>,
+}
+
+impl WarmStart {
+    pub fn new(x: Vec<f64>, multipliers: Vec<f64>) -> Self {
+        WarmStart { x, multipliers }
+    }
+
+    /// Seed from a primal point only (no dual information).
+    pub fn from_point(x: Vec<f64>) -> Self {
+        WarmStart {
+            x,
+            multipliers: Vec::new(),
         }
     }
 }
@@ -179,7 +246,16 @@ pub fn solve(p: &NlpProblem) -> Result<NlpSolution, NlpError> {
 
 /// Solves the problem with explicit options.
 pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, NlpError> {
-    let result = solve_inner(p, opts);
+    solve_warm_with(p, opts, None)
+}
+
+/// Solves the problem, optionally seeded from a parent solve's [`WarmStart`].
+pub fn solve_warm_with(
+    p: &NlpProblem,
+    opts: &BarrierOptions,
+    warm: Option<&WarmStart>,
+) -> Result<NlpSolution, NlpError> {
+    let result = solve_inner(p, opts, warm);
     if let Ok(sol) = &result {
         opts.trace.emit(|| Event::NlpSolved {
             newton_iters: sol.newton_iters as u64,
@@ -188,9 +264,14 @@ pub fn solve_with(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, 
     result
 }
 
-/// The actual barrier solve; `solve_with` wraps it so that every completed
-/// solve (including infeasibility verdicts) emits exactly one trace event.
-fn solve_inner(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, NlpError> {
+/// The actual barrier solve; `solve_warm_with` wraps it so that every
+/// completed solve (including infeasibility verdicts) emits exactly one
+/// trace event.
+fn solve_inner(
+    p: &NlpProblem,
+    opts: &BarrierOptions,
+    warm: Option<&WarmStart>,
+) -> Result<NlpSolution, NlpError> {
     let n = p.num_vars();
     for j in 0..n {
         if p.lowers()[j] > p.uppers()[j] {
@@ -252,21 +333,45 @@ fn solve_inner(p: &NlpProblem, opts: &BarrierOptions) -> Result<NlpSolution, Nlp
 
     let mut newton_total = 0usize;
 
-    // Starting point: on the equality manifold, strictly inside bounds.
-    let Some(mut x0) = equality_start(&reduced, opts) else {
-        return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total));
-    };
-
-    // Phase 1 when inequalities are not strictly satisfied at the start.
-    if !strictly_feasible(&reduced, &x0, opts.interior_margin) {
-        match phase_one(&reduced, &x0, opts, &mut newton_total) {
-            Ok(Some(feasible)) => x0 = feasible,
-            Ok(None) => return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total)),
-            Err(status) => return Ok(NlpSolution::failed(status, newton_total)),
+    // Warm path: repair the parent point into a strictly feasible start.
+    // Only a *proven* strictly feasible repair is used, so the warm path can
+    // never produce an infeasibility verdict the cold path wouldn't.
+    let mut warm_seed: Option<(Vec<f64>, f64)> = None;
+    if let Some(ws) = warm {
+        if ws.x.len() == n {
+            let has_duals = !ws.multipliers.is_empty();
+            if let Some(xw) = repair_warm_point(&reduced, &ws.x, has_duals, opts) {
+                let mu0 = warm_mu0(p, &xw, &ws.multipliers, opts);
+                warm_seed = Some((xw, mu0));
+            }
         }
     }
+    let warm_started = warm_seed.is_some();
 
-    let mut out = barrier_loop(&reduced, x0, opts, &mut newton_total, None);
+    let (x0, mu0) = match warm_seed {
+        Some(seed) => seed,
+        None => {
+            // Cold path: a point on the equality manifold, strictly inside
+            // bounds, then phase 1 when inequalities are not strictly
+            // satisfied there.
+            let Some(mut x0) = equality_start(&reduced, opts) else {
+                return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total));
+            };
+            if !strictly_feasible(&reduced, &x0, opts.interior_margin) {
+                match phase_one(&reduced, &x0, opts, &mut newton_total) {
+                    Ok(Some(feasible)) => x0 = feasible,
+                    Ok(None) => {
+                        return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total))
+                    }
+                    Err(status) => return Ok(NlpSolution::failed(status, newton_total)),
+                }
+            }
+            (x0, opts.mu0)
+        }
+    };
+
+    let mut out = barrier_loop(&reduced, x0, mu0, opts, &mut newton_total, None);
+    out.warm_started = warm_started;
     // Re-inflate multipliers to the original constraint indexing.
     if out.multipliers.len() == active_map.len() && p.num_constraints() != out.multipliers.len() {
         let mut full = vec![0.0; p.num_constraints()];
@@ -306,12 +411,162 @@ fn free_vars(p: &NlpProblem) -> Vec<usize> {
         .collect()
 }
 
-/// Finds a point on the equality manifold strictly inside the bound box by
+/// Repairs a parent-node optimum into a strictly feasible start for this
+/// node: box-clamp (pinned coordinates snap to their pin), then try blend
+/// candidates toward the cold midpoint start, re-projecting each onto the
+/// equality manifold. Returns `None` when no candidate is strictly feasible
+/// — the caller then runs the cold path.
+///
+/// `has_duals` says whether the seed carries parent multipliers. Only then
+/// is the aggressive [`push_interior`] restoration tried: it lands the
+/// point right at the target slack of previously-violated rows, and
+/// starting there is productive only when `warm_mu0` can match μ to that
+/// proximity via the parent's complementarity. Dual-less seeds (candidate
+/// polish) get the blend repair alone — an active-set-hugging start paired
+/// with the fallback μ reliably stalls the inner Newton at its cap.
+fn repair_warm_point(
+    p: &NlpProblem,
+    parent: &[f64],
+    has_duals: bool,
+    opts: &BarrierOptions,
+) -> Option<Vec<f64>> {
+    let mut xw = parent.to_vec();
+    clamp_into_box(p, &mut xw);
+    let mid = default_start(p);
+    for &theta in &WARM_BLEND_STEPS {
+        let cand: Vec<f64> = xw
+            .iter()
+            .zip(&mid)
+            .map(|(&a, &b)| (1.0 - theta) * a + theta * b)
+            .collect();
+        let cand = if p.equalities().is_empty() {
+            cand
+        } else {
+            match equality_project(p, cand) {
+                Some(projected) => projected,
+                None => continue,
+            }
+        };
+        if strictly_feasible(p, &cand, opts.interior_margin) {
+            return Some(cand);
+        }
+    }
+    // Every blend failed. The typical cause: a capacity-style row is active
+    // at the parent optimum *and* violated at the box midpoint, so the whole
+    // blend segment sits outside the feasible set. Project the slack back
+    // directly instead of interpolating toward an infeasible anchor.
+    if has_duals {
+        push_interior(p, xw, opts)
+    } else {
+        None
+    }
+}
+
+/// Pulls free coordinates strictly inside their box by the start margin;
+/// pinned coordinates snap to their pin.
+fn clamp_into_box(p: &NlpProblem, x: &mut [f64]) {
+    for ((xj, &lo), &hi) in x.iter_mut().zip(p.lowers()).zip(p.uppers()) {
+        if lo == hi {
+            *xj = lo;
+            continue;
+        }
+        let width = if lo.is_finite() && hi.is_finite() {
+            hi - lo
+        } else {
+            1.0
+        };
+        let margin = START_MARGIN_FRAC * width.max(MIN_MARGIN_SCALE);
+        if lo.is_finite() && *xj < lo + margin {
+            *xj = lo + margin;
+        }
+        if hi.is_finite() && *xj > hi - margin {
+            *xj = hi - margin;
+        }
+    }
+}
+
+/// First-order interior restoration for a warm point whose blends all
+/// failed: cyclically push each near-active inequality to an absolute depth
+/// of [`WARM_PUSH_SLACK`] by stepping along its negative gradient over the
+/// free coordinates (Gauss–Seidel — each step sees the previous ones), then
+/// re-clamp into the box and re-project onto the equality manifold. The
+/// constraints are convex, so each linearized step can undershoot; the round
+/// loop absorbs the curvature. Returns `None` (cold fallback) when a
+/// violated constraint has no free support or a round cannot move.
+fn push_interior(p: &NlpProblem, mut x: Vec<f64>, opts: &BarrierOptions) -> Option<Vec<f64>> {
+    // Aim deeper than the strict-feasibility margin so the accepted point
+    // survives the clamp/projection that follows each round.
+    let target = WARM_PUSH_SLACK.max(4.0 * opts.interior_margin);
+    for _round in 0..WARM_PUSH_ROUNDS {
+        if strictly_feasible(p, &x, opts.interior_margin) {
+            return Some(x);
+        }
+        let mut moved = false;
+        for c in p.constraints() {
+            let g = c.eval(&x);
+            if g <= -target {
+                continue;
+            }
+            let (coeffs, _) = c.linearize(&x);
+            let norm2: f64 = coeffs
+                .iter()
+                .filter(|&&(v, _)| p.lowers()[v] < p.uppers()[v])
+                .map(|&(_, co)| co * co)
+                .sum();
+            if norm2 <= 0.0 {
+                // Violated (or too shallow) with no free support: only the
+                // cold path can decide feasibility here.
+                return None;
+            }
+            let step = (g + target) / norm2;
+            for &(v, co) in &coeffs {
+                if p.lowers()[v] < p.uppers()[v] {
+                    x[v] -= step * co;
+                }
+            }
+            moved = true;
+        }
+        if !moved {
+            return None;
+        }
+        clamp_into_box(p, &mut x);
+        if !p.equalities().is_empty() {
+            x = equality_project(p, x)?;
+        }
+    }
+    strictly_feasible(p, &x, opts.interior_margin).then_some(x)
+}
+
+/// Initial barrier weight for a warm-started solve: the parent's
+/// complementarity scale `max_i λ_i·(-g_i(x))`, clamped to a sane range.
+fn warm_mu0(p: &NlpProblem, x: &[f64], multipliers: &[f64], opts: &BarrierOptions) -> f64 {
+    let mut est = 0.0_f64;
+    if multipliers.len() == p.num_constraints() {
+        for (c, &lam) in p.constraints().iter().zip(multipliers) {
+            let slack = -c.eval(x);
+            if slack > 0.0 && lam > 0.0 {
+                est = est.max(lam * slack);
+            }
+        }
+    }
+    if est > 0.0 {
+        (WARM_MU0_SIGMA * est).clamp(WARM_MU0_MIN, opts.mu0)
+    } else {
+        WARM_MU0_DEFAULT.min(opts.mu0)
+    }
+}
+
+/// Finds a point on the equality manifold strictly inside the bound box,
+/// starting from the cold midpoint.
+fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
+    equality_project(p, default_start(p))
+}
+
+/// Projects `x` onto the equality manifold strictly inside the bound box by
 /// alternating projection (project onto `A x = b` over the free variables,
 /// then pull strictly inside the box). Returns `None` when the equalities
 /// appear inconsistent with the box.
-fn equality_start(p: &NlpProblem, _opts: &BarrierOptions) -> Option<Vec<f64>> {
-    let mut x = default_start(p);
+fn equality_project(p: &NlpProblem, mut x: Vec<f64>) -> Option<Vec<f64>> {
     let free = free_vars(p);
     if p.equalities().is_empty() || free.is_empty() {
         return Some(x);
@@ -446,7 +701,7 @@ fn phase_one(
     // the feasible region is too thin to reach this depth, phase 1 simply
     // runs to its own optimum, which is the deepest interior point anyway.
     let target = -(2.0 * opts.interior_margin).max(PHASE1_DEPTH_FRAC * (1.0 + viol));
-    let sol = barrier_loop(&aug, z0, opts, newton_total, Some((s, target)));
+    let sol = barrier_loop(&aug, z0, opts.mu0, opts, newton_total, Some((s, target)));
     match sol.status {
         NlpStatus::Optimal | NlpStatus::IterationLimit => {
             if !sol.x.is_empty() && sol.x[s] < -opts.interior_margin {
@@ -476,11 +731,13 @@ fn phase_one(
 
 /// Core barrier loop from a strictly feasible start.
 ///
+/// `mu0` is the initial barrier weight (warm starts pass a reduced one);
 /// `early_exit`: optional `(var, threshold)` — stop as soon as `x[var]`
 /// drops below the threshold (used by phase 1).
 fn barrier_loop(
     p: &NlpProblem,
     mut x: Vec<f64>,
+    mu0: f64,
     opts: &BarrierOptions,
     newton_total: &mut usize,
     early_exit: Option<(usize, f64)>,
@@ -507,6 +764,7 @@ fn barrier_loop(
             multipliers: vec![0.0; p.num_constraints()],
             x,
             newton_iters: *newton_total,
+            warm_started: false,
         };
     }
 
@@ -531,7 +789,7 @@ fn barrier_loop(
             .sum::<usize>())
     .max(1);
 
-    let mut mu = opts.mu0;
+    let mut mu = mu0;
     for _outer in 0..opts.max_outer {
         for _inner in 0..opts.max_newton {
             *newton_total += 1;
@@ -634,6 +892,7 @@ fn barrier_loop(
                     multipliers: vec![0.0; p.num_constraints()],
                     x,
                     newton_iters: *newton_total,
+                    warm_started: false,
                 };
             }
             if let Some((var, threshold)) = early_exit {
@@ -673,6 +932,7 @@ fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolut
         multipliers,
         x,
         newton_iters,
+        warm_started: false,
     }
 }
 

@@ -44,6 +44,8 @@ pub mod barrier;
 pub mod problem;
 pub mod term;
 
-pub use barrier::{solve, solve_with, BarrierOptions, NlpError, NlpSolution, NlpStatus};
+pub use barrier::{
+    solve, solve_warm_with, solve_with, BarrierOptions, NlpError, NlpSolution, NlpStatus, WarmStart,
+};
 pub use problem::{ConstraintFn, NlpProblem};
 pub use term::{ScalarFn, Term};

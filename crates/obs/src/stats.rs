@@ -36,11 +36,17 @@ pub struct SolveStats {
     pub lm_steps: u64,
     /// Variable-bound tightenings performed by presolve/propagation.
     pub presolve_tightenings: u64,
+    /// Solves (LP or NLP) that actually reused warm-start state — a parent
+    /// barrier seed whose repair succeeded, or a reloaded simplex basis.
+    pub warm_start_hits: u64,
+    /// Dual-simplex pivots spent restoring primal feasibility from reused
+    /// bases (a subset of `simplex_pivots`).
+    pub dual_pivots: u64,
 }
 
 impl SolveStats {
     /// Number of counters in [`fields`](SolveStats::fields).
-    pub const FIELD_COUNT: usize = 11;
+    pub const FIELD_COUNT: usize = 13;
 
     /// Adds every counter of `other` into `self` (parallel merge).
     pub fn merge(&mut self, other: &SolveStats) {
@@ -55,6 +61,8 @@ impl SolveStats {
         self.newton_iters += other.newton_iters;
         self.lm_steps += other.lm_steps;
         self.presolve_tightenings += other.presolve_tightenings;
+        self.warm_start_hits += other.warm_start_hits;
+        self.dual_pivots += other.dual_pivots;
     }
 
     /// Stable `(name, value)` view of every counter, in declaration order.
@@ -73,6 +81,8 @@ impl SolveStats {
             ("newton_iters", self.newton_iters),
             ("lm_steps", self.lm_steps),
             ("presolve_tightenings", self.presolve_tightenings),
+            ("warm_start_hits", self.warm_start_hits),
+            ("dual_pivots", self.dual_pivots),
         ]
     }
 
@@ -123,6 +133,8 @@ mod tests {
             newton_iters: 9,
             lm_steps: 10,
             presolve_tightenings: 11,
+            warm_start_hits: 12,
+            dual_pivots: 13,
         };
         let b = a;
         a.merge(&b);

@@ -32,12 +32,14 @@ fn e7_oa_counters_golden() {
         pruned_infeasible: 0,
         incumbents: 11,
         oa_cuts: 56,
-        lp_solves: 26,
+        lp_solves: 25,
         nlp_solves: 11,
-        simplex_pivots: 747,
+        simplex_pivots: 59,
         newton_iters: 1060,
         lm_steps: 0,
         presolve_tightenings: 3,
+        warm_start_hits: 23,
+        dual_pivots: 29,
     };
     assert_eq!(stats, expected);
 }
@@ -54,9 +56,11 @@ fn e7_nlp_bnb_counters_golden() {
         lp_solves: 0,
         nlp_solves: 364,
         simplex_pivots: 0,
-        newton_iters: 59357,
+        newton_iters: 25848,
         lm_steps: 0,
         presolve_tightenings: 184,
+        warm_start_hits: 360,
+        dual_pivots: 0,
     };
     assert_eq!(stats, expected);
 }
@@ -73,9 +77,11 @@ fn e7_parallel_t1_counters_golden() {
         lp_solves: 0,
         nlp_solves: 364,
         simplex_pivots: 0,
-        newton_iters: 59166,
+        newton_iters: 25656,
         lm_steps: 0,
         presolve_tightenings: 184,
+        warm_start_hits: 360,
+        dual_pivots: 0,
     };
     assert_eq!(stats, expected);
 }

@@ -30,6 +30,19 @@ echo "== warm/cold equivalence =="
 # the suite solves ~3000 MINLPs.
 cargo test --release -q --test warm_cold_equivalence
 
+echo "== sparse/dense equivalence =="
+# The sparse numerical core is an implementation detail: forcing either
+# backend may change work counters, never answers. 530 seeded instances
+# across LP / netlib-LP / NLP / all three MINLP backends, plus a pinned
+# pivot/Newton envelope (see DESIGN.md § Sparse core).
+cargo test --release -q --test sparse_dense_equivalence
+
+echo "== sparse speedup (hslb-perf --speedup) =="
+# Wall-clock gate: the n=1000 netlib-style LP must solve at least 5x
+# faster on the sparse basis factorization than on the dense oracle. The
+# observed ratio is ~25x; 5x leaves room for machine noise.
+./target/release/hslb-perf --speedup
+
 echo "== perf counters (hslb-perf --smoke) =="
 # Counter-based perf-regression gate: re-runs the pinned solver suite and
 # diffs its deterministic work counters against the committed

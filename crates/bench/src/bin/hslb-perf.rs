@@ -4,6 +4,7 @@
 //! hslb-perf                  # run the pinned suite, write BENCH_solver.json
 //! hslb-perf --smoke          # run + diff against the committed baseline
 //! hslb-perf --out <path>     # write/compare somewhere else
+//! hslb-perf --speedup        # wall-clock gate: sparse >= 5x dense at n=1k
 //! ```
 //!
 //! The suite records only deterministic work counters (no timings), so the
@@ -11,8 +12,10 @@
 //! `hslb_bench::perf` for the gate semantics.
 
 use hslb_bench::perf::{
-    diff_suites, e7_thread_envelope, perf_suite, suite_from_json, suite_to_json,
+    diff_suites, e7_thread_envelope, perf_suite, suite_from_json, suite_to_json, time_netlib_like,
+    SPARSE_LP_SIZES, SPARSE_SPEEDUP_MIN,
 };
+use hslb_linalg::LinalgBackend;
 use std::path::PathBuf;
 
 /// Default baseline location: the workspace root, two levels above this
@@ -24,17 +27,36 @@ fn default_baseline() -> PathBuf {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut speedup = false;
     let mut out = default_baseline();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--speedup" => speedup = true,
             "--out" => match it.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => usage("--out needs a path"),
             },
             other => usage(&format!("unknown argument {other}")),
         }
+    }
+
+    if speedup {
+        // Standalone wall-clock gate; the only non-counter check, so it
+        // never touches the baseline file.
+        let (n, m) = SPARSE_LP_SIZES[1];
+        eprintln!("hslb-perf: timing dense vs sparse simplex at n={n}, m={m}...");
+        let dense = time_netlib_like(n, m, LinalgBackend::Dense);
+        let sparse = time_netlib_like(n, m, LinalgBackend::Sparse);
+        let ratio = dense / sparse;
+        println!("hslb-perf: dense {dense:.3}s, sparse {sparse:.3}s -> speedup {ratio:.1}x");
+        if ratio < SPARSE_SPEEDUP_MIN {
+            fail(&format!(
+                "sparse speedup {ratio:.1}x below required {SPARSE_SPEEDUP_MIN}x"
+            ));
+        }
+        return;
     }
 
     eprintln!("hslb-perf: running pinned counter suite...");
@@ -92,7 +114,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("hslb-perf: {msg}");
-    eprintln!("usage: hslb-perf [--smoke] [--out <path>]");
+    eprintln!("usage: hslb-perf [--smoke] [--speedup] [--out <path>]");
     std::process::exit(2);
 }
 

@@ -17,7 +17,8 @@ use crate::harness::{sos_test_problem, true_spec};
 use hslb::{build_layout_model, solve_model_with, Layout, SolverBackend};
 use hslb_cesm_sim::Scenario;
 use hslb_json::Json;
-use hslb_lp::{LinearProgram, RowSense};
+use hslb_linalg::LinalgBackend;
+use hslb_lp::{LinearProgram, RowSense, SimplexOptions};
 use hslb_minlp::{encode_sets_as_binaries, MinlpOptions, SolveStats};
 use hslb_perfmodel::{fit, PerfModel, ScalingData};
 
@@ -103,6 +104,29 @@ pub fn perf_suite() -> Vec<PerfCase> {
         });
     }
 
+    // Sparse-LP suite: seeded netlib-style instances (`hslb-loaders`) at
+    // and beyond paper scale, solved on the sparse basis factorization.
+    // The counters pin the pivot path *and* the factorization behavior
+    // (refactorization count, eta updates, factor fill).
+    for (n, m) in SPARSE_LP_SIZES {
+        let sol = solve_netlib_like(n, m, LinalgBackend::Sparse);
+        cases.push(PerfCase {
+            name: format!("sparse_lp_n{n}"),
+            stats: sol,
+        });
+    }
+    // Dense twin of the smallest case: backend drift (a pivot-path change
+    // that only one factorization sees) is caught from both sides.
+    let dense = solve_netlib_like(
+        SPARSE_LP_SIZES[0].0,
+        SPARSE_LP_SIZES[0].1,
+        LinalgBackend::Dense,
+    );
+    cases.push(PerfCase {
+        name: format!("dense_lp_n{}", SPARSE_LP_SIZES[0].0),
+        stats: dense,
+    });
+
     // LM microkernel: the paper-model fit on pinned synthetic data.
     let truth = PerfModel::new(27_180.0, 5e-4, 1.0, 44.0);
     let data = ScalingData::from_pairs(
@@ -163,6 +187,50 @@ pub fn e7_thread_envelope(cases: &[PerfCase]) -> Vec<String> {
         ));
     }
     violations
+}
+
+/// Pinned netlib-style LP sizes `(columns, rows)` for the sparse suite.
+/// Smallest first: index 0 doubles as the dense twin.
+pub const SPARSE_LP_SIZES: [(usize, usize); 3] = [(100, 60), (1000, 600), (5000, 1200)];
+
+/// Seed for the pinned netlib-style generator instances.
+pub const SPARSE_LP_SEED: u64 = 0xB0A7_F00D;
+
+/// Solves one seeded netlib-style instance on the given backend and
+/// returns its counters. Asserts optimality: the generator constructs
+/// feasible bounded instances by design.
+pub fn solve_netlib_like(n: usize, m: usize, backend: LinalgBackend) -> SolveStats {
+    let (lp, _) = hslb_loaders::netlib_like(SPARSE_LP_SEED, n, m).to_linear_program();
+    let opts = SimplexOptions {
+        backend,
+        ..Default::default()
+    };
+    let sol = hslb_lp::solve_with(&lp, &opts);
+    assert!(sol.is_optimal(), "netlib-like n={n} m={m} must solve");
+    SolveStats {
+        lp_solves: 1,
+        simplex_pivots: sol.iterations as u64,
+        factorizations: sol.factorizations,
+        factor_updates: sol.factor_updates,
+        fill_nnz: sol.fill_nnz,
+        ..Default::default()
+    }
+}
+
+/// Minimum accepted sparse-over-dense wall-clock speedup on the n=1000
+/// netlib-like instance (the `hslb-perf --speedup` gate). The measured
+/// ratio is far higher (the dense basis inverse is O(m²) per pivot and
+/// O(m³) per refactorization); 5× leaves room for machine noise.
+pub const SPARSE_SPEEDUP_MIN: f64 = 5.0;
+
+/// Times one seeded netlib-like solve on the given backend, in seconds.
+/// The only wall-clock measurement in this module — used by the
+/// `--speedup` gate and the `tables -- sparse` report, never by the
+/// counter baseline.
+pub fn time_netlib_like(n: usize, m: usize, backend: LinalgBackend) -> f64 {
+    let start = std::time::Instant::now();
+    let _ = solve_netlib_like(n, m, backend);
+    start.elapsed().as_secs_f64()
 }
 
 /// The master-problem LP shape from the simplex benchmark: `cols` bounded
@@ -253,6 +321,9 @@ pub fn suite_from_json(text: &str) -> Result<Vec<PerfCase>, String> {
             presolve_tightenings: read("presolve_tightenings")?,
             warm_start_hits: read("warm_start_hits")?,
             dual_pivots: read("dual_pivots")?,
+            factorizations: read("factorizations")?,
+            factor_updates: read("factor_updates")?,
+            fill_nnz: read("fill_nnz")?,
         };
         cases.push(PerfCase { name, stats });
     }

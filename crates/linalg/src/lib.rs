@@ -13,6 +13,10 @@
 //! * [`vecops`] — the handful of BLAS-1 style vector helpers used everywhere.
 //! * [`approx`] — the workspace tolerance vocabulary: named comparisons,
 //!   fuzzy integer snaps, and intent-named float→int conversions.
+//! * [`sparse`] — the sparse core (CSC/CSR storage, fill-reducing
+//!   ordering, LU and Cholesky with a symbolic/numeric split) plus the
+//!   [`LinalgBackend`] selector; dense stays the differential oracle
+//!   below [`SPARSE_CROSSOVER_DIM`].
 //!
 //! All factorizations report failure through [`LinalgError`] instead of
 //! panicking so callers (iterative solvers) can recover, e.g. by adding
@@ -24,12 +28,17 @@ pub mod lu;
 pub mod matrix;
 pub mod noise;
 pub mod qr;
+pub mod sparse;
 pub mod vecops;
 
 pub use cholesky::Cholesky;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use sparse::{
+    CholSymbolic, CscMatrix, CsrMatrix, LinalgBackend, LuSymbolic, SparseCholesky, SparseLu,
+    SparseWorkspace, SPARSE_CROSSOVER_DIM,
+};
 
 /// Errors reported by factorizations and solves.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -140,3 +140,230 @@ fn transpose_matvec_duality() {
         assert!((lhs - rhs).abs() < 1e-10, "case {case}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sparse kernels, on testkit-seeded random sparsity patterns. Every sparse
+// factorization is differentially pinned against reconstruction identities
+// (`L·U = P·A·Q`, `L·Lᵀ = P·A·Pᵀ`) and against the dense oracle's verdicts.
+
+use hslb_linalg::{CholSymbolic, CscMatrix, SparseCholesky, SparseLu, SparseWorkspace};
+
+/// Random sparse square matrix with a dominant diagonal (nonsingular by
+/// construction) and ~`density` off-diagonal fill.
+fn sparse_square(rng: &mut Rng, n: usize, density: f64) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    let mut diag_boost = vec![1.0_f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.bool(density) {
+                let v = rng.f64_range(-2.0, 2.0);
+                m[(i, j)] = v;
+                diag_boost[i] += v.abs();
+            }
+        }
+    }
+    for i in 0..n {
+        m[(i, i)] = diag_boost[i] * rng.f64_range(1.0, 2.0);
+    }
+    m
+}
+
+/// Random sparse SPD matrix: pattern-sparse `B`, then `BᵀB + I`ish via a
+/// sparse graph Laplacian plus random diagonal — keeps the pattern sparse
+/// (a Gram product would densify).
+fn sparse_spd(rng: &mut Rng, n: usize, density: f64) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.bool(density) {
+                let w = rng.f64_range(0.2, 2.0);
+                m[(i, j)] = -w;
+                m[(j, i)] = -w;
+                m[(i, i)] += w;
+                m[(j, j)] += w;
+            }
+        }
+    }
+    for i in 0..n {
+        m[(i, i)] += rng.f64_range(0.5, 3.0);
+    }
+    m
+}
+
+#[test]
+fn csc_dense_round_trip() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x21);
+    for case in 0..CASES {
+        let n = 1 + (case % 9);
+        let d = sparse_square(&mut rng, n, 0.3);
+        let s = CscMatrix::from_dense(&d);
+        let back = s.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(back[(i, j)], d[(i, j)], "case {case} at ({i},{j})");
+            }
+        }
+        // And through CSR.
+        assert_eq!(s.to_csr().to_csc(), s, "case {case}: csr round trip");
+        // Structural nonzero count matches the dense census.
+        let dense_nnz = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| d[(i, j)] != 0.0)
+            .count();
+        assert_eq!(s.nnz(), dense_nnz, "case {case}: nnz");
+    }
+}
+
+#[test]
+fn sparse_lu_reconstructs_pa() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x22);
+    for case in 0..CASES {
+        let n = 2 + (case % 12);
+        let d = sparse_square(&mut rng, n, 0.25);
+        let s = CscMatrix::from_dense(&d);
+        let lu = SparseLu::new(&s).expect("diagonally dominant is nonsingular");
+        // Verify A x = b solves against the dense oracle's answer, which
+        // is equivalent to L·U = P·A·Q on a basis of right-hand sides.
+        let scale = d.max_abs().max(1.0);
+        for unit in 0..n {
+            let mut b = vec![0.0; n];
+            b[unit] = 1.0;
+            let xs = lu.solve(&b);
+            let xd = hslb_linalg::lu::solve(&d, &b).expect("nonsingular");
+            for (i, (a_, b_)) in xs.iter().zip(&xd).enumerate() {
+                assert!(
+                    (a_ - b_).abs() < 1e-9 * scale,
+                    "case {case} col {unit} row {i}: sparse {a_} dense {b_}"
+                );
+            }
+        }
+        // Transposed solves too.
+        let y = rng.vec_f64(n, -3.0, 3.0);
+        let bt = d.matvec_transposed(&y);
+        let yt = lu.solve_transposed(&bt);
+        for (a_, b_) in yt.iter().zip(&y) {
+            assert!((a_ - b_).abs() < 1e-8 * scale, "case {case}: transposed");
+        }
+    }
+}
+
+#[test]
+fn sparse_cholesky_reconstructs_a() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x23);
+    for case in 0..CASES {
+        let n = 2 + (case % 12);
+        let d = sparse_spd(&mut rng, n, 0.3);
+        let s = CscMatrix::from_dense(&d);
+        let ch = SparseCholesky::new(&s).expect("SPD by construction");
+        // Reconstruct P·A·Pᵀ = L·Lᵀ entrywise.
+        let (colptr, rows, vals) = ch.factor_parts();
+        let perm = ch.permutation();
+        let mut recon = Matrix::zeros(n, n);
+        for j in 0..n {
+            for pa in colptr[j]..colptr[j + 1] {
+                for pb in colptr[j]..colptr[j + 1] {
+                    recon[(rows[pa], rows[pb])] += vals[pa] * vals[pb];
+                }
+            }
+        }
+        let scale = d.max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = d[(perm[i], perm[j])];
+                assert!(
+                    (recon[(i, j)] - expect).abs() < 1e-10 * scale,
+                    "case {case} at ({i},{j}): {} vs {expect}",
+                    recon[(i, j)]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_singular_rejection_matches_dense_error_type() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x24);
+    for case in 0..CASES {
+        let n = 3 + (case % 8);
+        let mut d = sparse_square(&mut rng, n, 0.3);
+        // Make it rank deficient: duplicate a scaled column.
+        let (src, dst) = (case % n, (case + 1) % n);
+        let factor = rng.f64_range(0.5, 2.0);
+        for i in 0..n {
+            let v = d[(i, src)];
+            d[(i, dst)] = v * factor;
+        }
+        let s = CscMatrix::from_dense(&d);
+        let sparse_err = SparseLu::new(&s).expect_err("rank deficient");
+        let dense_err = Lu::new(&d).expect_err("rank deficient");
+        assert!(
+            matches!(sparse_err, hslb_linalg::LinalgError::Singular { .. }),
+            "case {case}: sparse error {sparse_err:?}"
+        );
+        assert!(
+            matches!(dense_err, hslb_linalg::LinalgError::Singular { .. }),
+            "case {case}: dense error {dense_err:?}"
+        );
+    }
+}
+
+#[test]
+fn sparse_cholesky_indefinite_rejection_matches_dense_error_type() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x25);
+    for case in 0..CASES {
+        let n = 2 + (case % 8);
+        let mut d = sparse_spd(&mut rng, n, 0.3);
+        // Flip one diagonal entry hard negative: indefinite.
+        let k = case % n;
+        d[(k, k)] = -d[(k, k)] - 1.0;
+        let s = CscMatrix::from_dense(&d);
+        let sparse_err = SparseCholesky::new(&s).expect_err("indefinite");
+        let dense_err = hslb_linalg::Cholesky::new(&d).expect_err("indefinite");
+        assert!(
+            matches!(
+                sparse_err,
+                hslb_linalg::LinalgError::NotPositiveDefinite { .. }
+            ),
+            "case {case}: sparse error {sparse_err:?}"
+        );
+        assert!(
+            matches!(
+                dense_err,
+                hslb_linalg::LinalgError::NotPositiveDefinite { .. }
+            ),
+            "case {case}: dense error {dense_err:?}"
+        );
+    }
+}
+
+#[test]
+fn sparse_cholesky_symbolic_reuse_matches_fresh_analysis() {
+    let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x26);
+    let mut ws = SparseWorkspace::new();
+    for case in 0..CASES {
+        let n = 3 + (case % 9);
+        let d = sparse_spd(&mut rng, n, 0.35);
+        let s = CscMatrix::from_dense(&d);
+        let sym = CholSymbolic::analyze(&s).expect("square");
+        // Three Newton-like value rescalings under one symbolic analysis.
+        for step in 0..3 {
+            let mut sk = s.clone();
+            let scale = 1.0 + 0.5 * step as f64;
+            for v in sk.values_mut() {
+                *v *= scale;
+            }
+            let ch = SparseCholesky::factorize(&sk, &sym, &mut ws).expect("still SPD");
+            let fresh = SparseCholesky::new(&sk).expect("still SPD");
+            let x = rng.vec_f64(n, -2.0, 2.0);
+            let b = sk.matvec(&x);
+            let xa = ch.solve(&b);
+            let xb = fresh.solve(&b);
+            for (p, q) in xa.iter().zip(&xb) {
+                assert!(
+                    (p - q).abs() < 1e-9,
+                    "case {case} step {step}: reuse {p} vs fresh {q}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Model ingestion for the HSLB solver stack.
+//!
+//! The paper-scale instances are generated programmatically, but the sparse
+//! numerical core (see DESIGN.md § Sparse core) is exercised on
+//! netlib-scale LPs. This crate provides the two ways such instances enter
+//! the workspace:
+//!
+//! * [`mps`] — an MPS reader ([`parse_mps`]) covering both the classic
+//!   fixed-column layout and free (whitespace-delimited) format, including
+//!   `RANGES`, the full `BOUNDS` vocabulary (`LO`/`UP`/`FX`/`FR`/`MI`/
+//!   `PL`/`BV`/`LI`/`UI`) and `MARKER INTORG`/`INTEND` integrality blocks,
+//!   plus a writer ([`write_mps`]) that round-trips exactly.
+//! * [`netgen`] — a seeded netlib-style instance generator
+//!   ([`netlib_like`]): feasible and bounded by construction, sparse rows,
+//!   mixed senses — the source of the `sparse-lp` pinned benchmark suite.
+//!
+//! Parsed models are plain data ([`MpsModel`]); [`MpsModel::to_linear_program`]
+//! lowers one onto the LP substrate (splitting ranged rows into `>=`/`<=`
+//! pairs) and reports per-variable integrality for the MINLP layer.
+
+pub mod mps;
+pub mod netgen;
+
+pub use mps::{parse_mps, write_mps, MpsColumn, MpsError, MpsModel, MpsRow};
+pub use netgen::netlib_like;

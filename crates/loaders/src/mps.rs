@@ -1,0 +1,494 @@
+//! MPS reader and writer.
+//!
+//! Tokenization is whitespace-based, which accepts both the classic
+//! fixed-column layout and free format (the two only differ in padding).
+//! Names may therefore not contain spaces — true of every netlib file and
+//! of everything this workspace writes.
+// lint:allow-file(slice-index): every index here is minted by this parser
+// in the same pass that uses it (symbol-table positions, token counts
+// validated immediately before access); malformed input is rejected with
+// MpsError, never by reaching an out-of-range index.
+// lint:allow-file(float-eq): the writer compares stored values against
+// exact sentinels (0.0 = entry structurally absent, +/-inf = unbounded,
+// lo == hi = fixed variable) to decide what to omit from the canonical
+// form. These values are parsed or assigned, never computed, so exact
+// equality is the correct test — a tolerance would silently drop
+// near-zero coefficients and break the parse/write fixed point.
+
+use hslb_lp::{LinearProgram, RowSense};
+use std::collections::HashMap;
+
+/// Parse or validation failure, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpsError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+/// A constraint row (`N` objective rows are kept separately).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpsRow {
+    pub name: String,
+    pub sense: RowSense,
+    pub rhs: f64,
+    /// `RANGES` entry, if any; interpreted per the MPS convention (see
+    /// [`MpsModel::row_interval`]).
+    pub range: Option<f64>,
+}
+
+/// A structural column with its objective coefficient, row entries (by row
+/// index into [`MpsModel::rows`]), bounds and integrality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpsColumn {
+    pub name: String,
+    pub cost: f64,
+    pub entries: Vec<(usize, f64)>,
+    pub lo: f64,
+    pub hi: f64,
+    pub integer: bool,
+}
+
+/// A parsed MPS model: plain data, snapshot-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpsModel {
+    /// `NAME` field (empty when the file omits it).
+    pub name: String,
+    /// Name of the objective (`N`) row.
+    pub objective: String,
+    pub rows: Vec<MpsRow>,
+    pub columns: Vec<MpsColumn>,
+}
+
+impl MpsModel {
+    /// Activity interval `[lo, hi]` implied by a row's sense, rhs, and
+    /// optional range, per the MPS `RANGES` convention:
+    ///
+    /// | sense | range r   | interval             |
+    /// |-------|-----------|----------------------|
+    /// | `<=`  | any       | `[b - |r|, b]`       |
+    /// | `>=`  | any       | `[b, b + |r|]`       |
+    /// | `=`   | `r >= 0`  | `[b, b + r]`         |
+    /// | `=`   | `r < 0`   | `[b + r, b]`         |
+    pub fn row_interval(row: &MpsRow) -> (f64, f64) {
+        let b = row.rhs;
+        match (row.sense, row.range) {
+            (RowSense::Le, None) => (f64::NEG_INFINITY, b),
+            (RowSense::Ge, None) => (b, f64::INFINITY),
+            (RowSense::Eq, None) => (b, b),
+            (RowSense::Le, Some(r)) => (b - r.abs(), b),
+            (RowSense::Ge, Some(r)) => (b, b + r.abs()),
+            (RowSense::Eq, Some(r)) if r >= 0.0 => (b, b + r),
+            (RowSense::Eq, Some(r)) => (b + r, b),
+        }
+    }
+
+    /// Lowers the model onto the LP substrate. Ranged rows split into a
+    /// `>=` row and a `<=` row; the returned vector flags integer columns
+    /// for the MINLP layer (the LP itself treats them as continuous).
+    pub fn to_linear_program(&self) -> (LinearProgram, Vec<bool>) {
+        let mut lp = LinearProgram::new();
+        let mut integers = Vec::with_capacity(self.columns.len());
+        let vars: Vec<_> = self
+            .columns
+            .iter()
+            .map(|c| {
+                integers.push(c.integer);
+                lp.add_named_var(&c.name, c.cost, c.lo, c.hi)
+            })
+            .collect();
+        // Row entries are stored column-wise; regroup row-wise.
+        let mut row_terms: Vec<Vec<(hslb_lp::VarId, f64)>> = vec![Vec::new(); self.rows.len()];
+        for (c, col) in self.columns.iter().enumerate() {
+            for &(r, v) in &col.entries {
+                row_terms[r].push((vars[c], v));
+            }
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            let (lo, hi) = MpsModel::row_interval(row);
+            match (lo.is_finite(), hi.is_finite()) {
+                (true, true) if lo == hi => {
+                    lp.add_row(row_terms[r].clone(), RowSense::Eq, lo);
+                }
+                (true, true) => {
+                    lp.add_row(row_terms[r].clone(), RowSense::Ge, lo);
+                    lp.add_row(row_terms[r].clone(), RowSense::Le, hi);
+                }
+                (true, false) => {
+                    lp.add_row(row_terms[r].clone(), RowSense::Ge, lo);
+                }
+                (false, true) => {
+                    lp.add_row(row_terms[r].clone(), RowSense::Le, hi);
+                }
+                (false, false) => {}
+            }
+        }
+        (lp, integers)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Start,
+    Rows,
+    Columns,
+    Rhs,
+    Ranges,
+    Bounds,
+    Done,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> MpsError {
+    MpsError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<f64, MpsError> {
+    tok.parse::<f64>()
+        .map_err(|_| err(line, format!("invalid numeric value '{tok}'")))
+}
+
+/// Parses MPS text (fixed or free format) into an [`MpsModel`].
+pub fn parse_mps(text: &str) -> Result<MpsModel, MpsError> {
+    let mut name = String::new();
+    let mut objective: Option<String> = None;
+    let mut rows: Vec<MpsRow> = Vec::new();
+    let mut row_index: HashMap<String, usize> = HashMap::new();
+    let mut free_rows: HashMap<String, ()> = HashMap::new();
+    let mut columns: Vec<MpsColumn> = Vec::new();
+    let mut col_index: HashMap<String, usize> = HashMap::new();
+    let mut section = Section::Start;
+    let mut integer_mode = false;
+    // UP with a negative bound on a column whose lower is still the 0
+    // default drops the lower to -inf (netlib convention); track which
+    // columns had an explicit lower set.
+    let mut explicit_lo: Vec<bool> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        if raw.starts_with('*') || raw.trim().is_empty() {
+            continue;
+        }
+        let indented = raw.starts_with(' ') || raw.starts_with('\t');
+        let toks: Vec<&str> = raw.split_whitespace().collect();
+
+        // Section headers sit in column 1.
+        if !indented {
+            let header = toks[0].to_uppercase();
+            section = match header.as_str() {
+                "NAME" => {
+                    if let Some(n) = toks.get(1) {
+                        name = (*n).to_string();
+                    }
+                    section
+                }
+                "ROWS" => Section::Rows,
+                "COLUMNS" => Section::Columns,
+                "RHS" => Section::Rhs,
+                "RANGES" => Section::Ranges,
+                "BOUNDS" => Section::Bounds,
+                "ENDATA" => Section::Done,
+                "OBJSENSE" | "OBJSENSE:" => {
+                    return Err(err(line, "OBJSENSE section is not supported"))
+                }
+                other => return Err(err(line, format!("unknown section '{other}'"))),
+            };
+            if section == Section::Done {
+                break;
+            }
+            continue;
+        }
+
+        match section {
+            Section::Start => {
+                return Err(err(line, "data before any section header"));
+            }
+            // The match on section headers breaks out of the loop the
+            // moment ENDATA flips the state to Done, so no data line is
+            // ever dispatched here.
+            // lint:allow(panic-in-lib): unreachable by the loop's break-on-ENDATA above
+            Section::Done => unreachable!("loop breaks at ENDATA"),
+            Section::Rows => {
+                let [sense_tok, row_name] = toks[..] else {
+                    return Err(err(
+                        line,
+                        format!("ROWS entry needs 2 fields, got {}", toks.len()),
+                    ));
+                };
+                let sense = match sense_tok.to_uppercase().as_str() {
+                    "N" => {
+                        // First N row is the objective; later ones are
+                        // ignored free rows (standard MPS).
+                        if objective.is_none() {
+                            objective = Some(row_name.to_string());
+                        } else {
+                            free_rows.insert(row_name.to_string(), ());
+                        }
+                        continue;
+                    }
+                    "L" => RowSense::Le,
+                    "G" => RowSense::Ge,
+                    "E" => RowSense::Eq,
+                    other => return Err(err(line, format!("unknown row sense '{other}'"))),
+                };
+                if row_index.contains_key(row_name) {
+                    return Err(err(line, format!("duplicate row '{row_name}'")));
+                }
+                row_index.insert(row_name.to_string(), rows.len());
+                rows.push(MpsRow {
+                    name: row_name.to_string(),
+                    sense,
+                    rhs: 0.0,
+                    range: None,
+                });
+            }
+            Section::Columns => {
+                // MARKER lines toggle integrality.
+                if toks.len() >= 3 && toks[1].trim_matches('\'') == "MARKER" {
+                    match toks[2].trim_matches('\'') {
+                        "INTORG" => integer_mode = true,
+                        "INTEND" => integer_mode = false,
+                        other => {
+                            return Err(err(line, format!("unknown marker '{other}'")));
+                        }
+                    }
+                    continue;
+                }
+                if toks.len() != 3 && toks.len() != 5 {
+                    return Err(err(
+                        line,
+                        format!("COLUMNS entry needs 3 or 5 fields, got {}", toks.len()),
+                    ));
+                }
+                let col_name = toks[0];
+                let ci = match col_index.get(col_name) {
+                    Some(&ci) => ci,
+                    None => {
+                        let ci = columns.len();
+                        col_index.insert(col_name.to_string(), ci);
+                        columns.push(MpsColumn {
+                            name: col_name.to_string(),
+                            cost: 0.0,
+                            entries: Vec::new(),
+                            lo: 0.0,
+                            hi: f64::INFINITY,
+                            integer: integer_mode,
+                        });
+                        explicit_lo.push(false);
+                        ci
+                    }
+                };
+                for pair in toks[1..].chunks(2) {
+                    let [row_name, val_tok] = pair else {
+                        // lint:allow(panic-in-lib): toks.len() is 3 or 5, so chunks(2) yields only exact pairs
+                        unreachable!("length checked above")
+                    };
+                    let v = parse_value(val_tok, line)?;
+                    if objective.as_deref() == Some(*row_name) {
+                        columns[ci].cost += v;
+                    } else if free_rows.contains_key(*row_name) {
+                        // entry in an ignored free row
+                    } else if let Some(&r) = row_index.get(*row_name) {
+                        columns[ci].entries.push((r, v));
+                    } else {
+                        return Err(err(line, format!("unknown row '{row_name}'")));
+                    }
+                }
+            }
+            Section::Rhs => {
+                // First token is the RHS set name (conventionally "RHS").
+                if toks.len() != 3 && toks.len() != 5 {
+                    return Err(err(
+                        line,
+                        format!("RHS entry needs 3 or 5 fields, got {}", toks.len()),
+                    ));
+                }
+                for pair in toks[1..].chunks(2) {
+                    let [row_name, val_tok] = pair else {
+                        // lint:allow(panic-in-lib): toks.len() is 3 or 5, so chunks(2) yields only exact pairs
+                        unreachable!("length checked above")
+                    };
+                    let v = parse_value(val_tok, line)?;
+                    if objective.as_deref() == Some(*row_name) || free_rows.contains_key(*row_name)
+                    {
+                        continue; // objective constant: not modeled
+                    }
+                    let Some(&r) = row_index.get(*row_name) else {
+                        return Err(err(line, format!("unknown row '{row_name}'")));
+                    };
+                    rows[r].rhs = v;
+                }
+            }
+            Section::Ranges => {
+                if toks.len() != 3 && toks.len() != 5 {
+                    return Err(err(
+                        line,
+                        format!("RANGES entry needs 3 or 5 fields, got {}", toks.len()),
+                    ));
+                }
+                for pair in toks[1..].chunks(2) {
+                    let [row_name, val_tok] = pair else {
+                        // lint:allow(panic-in-lib): toks.len() is 3 or 5, so chunks(2) yields only exact pairs
+                        unreachable!("length checked above")
+                    };
+                    let v = parse_value(val_tok, line)?;
+                    let Some(&r) = row_index.get(*row_name) else {
+                        return Err(err(line, format!("unknown row '{row_name}'")));
+                    };
+                    rows[r].range = Some(v);
+                }
+            }
+            Section::Bounds => {
+                let kind = toks[0].to_uppercase();
+                let needs_value = matches!(kind.as_str(), "LO" | "UP" | "FX" | "LI" | "UI");
+                let expected = if needs_value { 4 } else { 3 };
+                if toks.len() != expected {
+                    return Err(err(
+                        line,
+                        format!("{kind} bound needs {expected} fields, got {}", toks.len()),
+                    ));
+                }
+                let col_name = toks[2];
+                let Some(&ci) = col_index.get(col_name) else {
+                    return Err(err(line, format!("unknown column '{col_name}'")));
+                };
+                let col = &mut columns[ci];
+                match kind.as_str() {
+                    "LO" | "LI" => {
+                        col.lo = parse_value(toks[3], line)?;
+                        explicit_lo[ci] = true;
+                    }
+                    "UP" | "UI" => {
+                        col.hi = parse_value(toks[3], line)?;
+                        if col.hi < 0.0 && !explicit_lo[ci] {
+                            col.lo = f64::NEG_INFINITY;
+                        }
+                    }
+                    "FX" => {
+                        let v = parse_value(toks[3], line)?;
+                        col.lo = v;
+                        col.hi = v;
+                        explicit_lo[ci] = true;
+                    }
+                    "FR" => {
+                        col.lo = f64::NEG_INFINITY;
+                        col.hi = f64::INFINITY;
+                        explicit_lo[ci] = true;
+                    }
+                    "MI" => {
+                        col.lo = f64::NEG_INFINITY;
+                        explicit_lo[ci] = true;
+                    }
+                    "PL" => col.hi = f64::INFINITY,
+                    "BV" => {
+                        col.lo = 0.0;
+                        col.hi = 1.0;
+                        col.integer = true;
+                        explicit_lo[ci] = true;
+                    }
+                    other => return Err(err(line, format!("unknown bound type '{other}'"))),
+                }
+            }
+        }
+    }
+
+    if section != Section::Done {
+        return Err(err(text.lines().count(), "missing ENDATA"));
+    }
+    let Some(objective) = objective else {
+        return Err(err(text.lines().count(), "no objective (N) row"));
+    };
+    if columns.is_empty() {
+        return Err(err(text.lines().count(), "no columns"));
+    }
+    Ok(MpsModel {
+        name,
+        objective,
+        rows,
+        columns,
+    })
+}
+
+/// Writes a model back to free-format MPS text. `parse_mps` on the output
+/// reproduces the model exactly (Rust's `{}` float formatting round-trips
+/// `f64`).
+pub fn write_mps(model: &MpsModel) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "NAME {}", model.name);
+    out.push_str("ROWS\n");
+    let _ = writeln!(out, " N {}", model.objective);
+    for row in &model.rows {
+        let s = match row.sense {
+            RowSense::Le => 'L',
+            RowSense::Ge => 'G',
+            RowSense::Eq => 'E',
+        };
+        let _ = writeln!(out, " {s} {}", row.name);
+    }
+    out.push_str("COLUMNS\n");
+    let mut integer_mode = false;
+    for col in &model.columns {
+        if col.integer != integer_mode {
+            let marker = if col.integer { "INTORG" } else { "INTEND" };
+            let _ = writeln!(out, " MK 'MARKER' '{marker}'");
+            integer_mode = col.integer;
+        }
+        if col.cost != 0.0 || col.entries.is_empty() {
+            let _ = writeln!(out, " {} {} {}", col.name, model.objective, col.cost);
+        }
+        for &(r, v) in &col.entries {
+            let _ = writeln!(out, " {} {} {}", col.name, model.rows[r].name, v);
+        }
+    }
+    if integer_mode {
+        out.push_str(" MK 'MARKER' 'INTEND'\n");
+    }
+    out.push_str("RHS\n");
+    for row in &model.rows {
+        if row.rhs != 0.0 {
+            let _ = writeln!(out, " RHS {} {}", row.name, row.rhs);
+        }
+    }
+    if model.rows.iter().any(|r| r.range.is_some()) {
+        out.push_str("RANGES\n");
+        for row in &model.rows {
+            if let Some(rng) = row.range {
+                let _ = writeln!(out, " RNG {} {}", row.name, rng);
+            }
+        }
+    }
+    out.push_str("BOUNDS\n");
+    for col in &model.columns {
+        match (col.lo, col.hi) {
+            (lo, hi) if lo == 0.0 && hi == f64::INFINITY => {}
+            (lo, hi) if lo == hi => {
+                let _ = writeln!(out, " FX BND {} {}", col.name, lo);
+            }
+            (lo, hi) => {
+                if lo == f64::NEG_INFINITY {
+                    let _ = writeln!(out, " MI BND {}", col.name);
+                } else if lo != 0.0 {
+                    let _ = writeln!(out, " LO BND {} {}", col.name, lo);
+                }
+                if hi != f64::INFINITY {
+                    let _ = writeln!(out, " UP BND {} {}", col.name, hi);
+                } else if lo == f64::NEG_INFINITY {
+                    // MI alone already implies an infinite upper; nothing
+                    // to add, but keep the branch explicit.
+                }
+            }
+        }
+    }
+    out.push_str("ENDATA\n");
+    out
+}

@@ -1,0 +1,120 @@
+//! Seeded netlib-style LP instance generator.
+//!
+//! Instances are feasible and bounded by construction: a random box point
+//! `x*` is drawn first and every row's rhs is set so `x*` satisfies it,
+//! while finite bounds on every column rule out unboundedness. Row
+//! sparsity (a handful of nonzeros per row regardless of `n`) mirrors the
+//! netlib corpus and is what gives the sparse basis factorization its
+//! asymptotic edge over the dense inverse.
+// lint:allow-file(slice-index): indices are drawn from `0..n` over vectors
+// sized `n` in the same function.
+
+use crate::mps::{MpsColumn, MpsModel, MpsRow};
+use hslb_lp::RowSense;
+use hslb_rng::Rng;
+
+/// Nonzeros per row: uniform in `[NNZ_MIN, NNZ_MAX]` (clamped to `n`).
+const NNZ_MIN: usize = 3;
+const NNZ_MAX: usize = 8;
+
+/// Generates a netlib-like instance with `n` columns and `m` rows.
+///
+/// Deterministic in `(seed, n, m)`. Senses mix `<=`/`>=`/`=` roughly
+/// 40/40/20; a few `<=` rows carry a `RANGES` entry so parser and solver
+/// ranged-row handling stays exercised end to end.
+pub fn netlib_like(seed: u64, n: usize, m: usize) -> MpsModel {
+    let mut rng = Rng::new(hslb_rng::hash_mix(&[seed, n as u64, m as u64]));
+    let xstar: Vec<f64> = rng.vec_f64(n, 0.0, 10.0);
+
+    let mut columns: Vec<MpsColumn> = (0..n)
+        .map(|j| MpsColumn {
+            name: format!("X{j}"),
+            cost: rng.f64_range(-5.0, 5.0),
+            entries: Vec::new(),
+            lo: 0.0,
+            hi: xstar[j] + rng.f64_range(2.0, 12.0),
+            integer: false,
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(m);
+    for r in 0..m {
+        let nnz = rng.usize_range(NNZ_MIN, NNZ_MAX).min(n.max(1));
+        // Distinct column picks via rejection — nnz << n in all uses.
+        let mut picked: Vec<usize> = Vec::with_capacity(nnz);
+        while picked.len() < nnz {
+            let j = rng.usize_range(0, n - 1);
+            if !picked.contains(&j) {
+                picked.push(j);
+            }
+        }
+        picked.sort_unstable();
+        let mut activity = 0.0;
+        for &j in &picked {
+            let a = rng.f64_range(-3.0, 3.0);
+            columns[j].entries.push((r, a));
+            activity += a * xstar[j];
+        }
+        let (sense, rhs, range) = match rng.usize_range(0, 9) {
+            0..=3 => {
+                let rhs = activity + rng.f64_range(0.5, 5.0);
+                // Occasional ranged row: activity stays inside
+                // [rhs - range, rhs] since range covers the slack.
+                let range = if rng.bool(0.2) {
+                    Some(rng.f64_range(6.0, 20.0))
+                } else {
+                    None
+                };
+                (RowSense::Le, rhs, range)
+            }
+            4..=7 => (RowSense::Ge, activity - rng.f64_range(0.5, 5.0), None),
+            _ => (RowSense::Eq, activity, None),
+        };
+        rows.push(MpsRow {
+            name: format!("R{r}"),
+            sense,
+            rhs,
+            range,
+        });
+    }
+
+    MpsModel {
+        name: format!("NETGEN-{seed}-{n}x{m}"),
+        objective: "COST".to_string(),
+        rows,
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = netlib_like(7, 40, 20);
+        let b = netlib_like(7, 40, 20);
+        assert_eq!(a, b);
+        let c = netlib_like(8, 40, 20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_instance_is_feasible_and_bounded() {
+        let model = netlib_like(42, 60, 30);
+        let (lp, ints) = model.to_linear_program();
+        assert!(ints.iter().all(|&i| !i));
+        let sol = hslb_lp::solve(&lp);
+        assert!(sol.is_optimal(), "status {:?}", sol.status);
+        assert!(sol.objective.is_finite());
+    }
+
+    #[test]
+    fn round_trips_through_mps_text() {
+        let model = netlib_like(3, 25, 12);
+        let text = crate::mps::write_mps(&model);
+        let back = crate::mps::parse_mps(&text).expect("reparse");
+        assert_eq!(model.rows, back.rows);
+        assert_eq!(model.columns, back.columns);
+    }
+}

@@ -1,0 +1,28 @@
+* Every bound type, including the netlib UP-negative convention (an
+* upper bound below zero on a column with the default lower drops the
+* lower to -inf).
+NAME bounded
+ROWS
+ N OBJ
+ G R1
+COLUMNS
+ A OBJ 1 R1 1
+ B OBJ 1 R1 1
+ C OBJ 1 R1 1
+ D OBJ 1 R1 1
+ E OBJ 1 R1 1
+ F OBJ 1 R1 1
+ G OBJ 1 R1 1
+RHS
+ RHS R1 1
+BOUNDS
+ FR BND A
+ MI BND B
+ UP BND B -2
+ BV BND C
+ UP BND D -5
+ LI BND E 2
+ UI BND E 8
+ FX BND F 3.5
+ PL BND G
+ENDATA

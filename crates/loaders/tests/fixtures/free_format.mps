@@ -1,0 +1,11 @@
+* Free format: single spaces, one entry per line, lower-case names.
+NAME free
+ROWS
+ N obj
+ L c1
+COLUMNS
+ x obj 1 c1 2
+ y obj 1 c1 1
+RHS
+ rhs c1 10
+ENDATA

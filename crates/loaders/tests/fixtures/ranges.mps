@@ -1,0 +1,20 @@
+* RANGES on every sense: Le, Ge, Eq with positive range, Eq with
+* negative range (the four rows of the MPS convention table).
+NAME ranged
+ROWS
+ N OBJ
+ L RLE
+ G RGE
+ E REQP
+ E REQN
+COLUMNS
+ X OBJ 1 RLE 1
+ X RGE 1 REQP 1
+ X REQN 1
+RHS
+ RHS RLE 10 RGE 2
+ RHS REQP 5 REQN 5
+RANGES
+ RNG RLE 4 RGE 3
+ RNG REQP 2 REQN -2
+ENDATA

@@ -1,0 +1,23 @@
+* Classic fixed-column layout (the canonical TESTPROB example shape):
+* section headers in column 1, data indented to fixed fields, two
+* entries per COLUMNS/RHS line.
+NAME          TESTPROB
+ROWS
+ N  COST
+ L  LIM1
+ G  LIM2
+ E  MYEQN
+COLUMNS
+    X1        COST            1.0   LIM1            1.0
+    X1        LIM2            1.0
+    X2        COST            2.0   LIM1            1.0
+    X2        MYEQN          -1.0
+    X3        COST           -1.0   LIM2            1.0
+    X3        MYEQN           1.0
+RHS
+    RHS       LIM1            4.0   LIM2            1.0
+    RHS       MYEQN           7.0
+BOUNDS
+ UP BND       X1              4.0
+ LO BND       X2             -1.0
+ENDATA

@@ -1,0 +1,225 @@
+//! Golden-fixture tests for the MPS parser: a committed corpus of
+//! well-formed files (fixed and free format, RANGES, the full bound-type
+//! menagerie, integer markers) with exact parsed-model snapshots, plus
+//! malformed inputs with exact error-message assertions. The fuzzing side
+//! of this satellite lives in `hslb-testkit` (`Layer::Mps`).
+
+use hslb_loaders::{parse_mps, write_mps, MpsModel};
+use hslb_lp::RowSense;
+
+fn fixture(text: &str) -> MpsModel {
+    parse_mps(text).expect("fixture must parse")
+}
+
+/// Asserts a malformed input fails with exactly this rendered error
+/// (`line N: message`).
+fn assert_err(text: &str, expected: &str) {
+    match parse_mps(text) {
+        Ok(_) => panic!("expected parse failure {expected:?}, got a model"),
+        Err(e) => assert_eq!(format!("{e}"), expected),
+    }
+}
+
+#[test]
+fn fixed_format_snapshot() {
+    let m = fixture(include_str!("fixtures/testprob_fixed.mps"));
+    assert_eq!(m.name, "TESTPROB");
+    assert_eq!(m.objective, "COST");
+
+    let rows: Vec<_> = m
+        .rows
+        .iter()
+        .map(|r| (r.name.as_str(), r.sense, r.rhs, r.range))
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            ("LIM1", RowSense::Le, 4.0, None),
+            ("LIM2", RowSense::Ge, 1.0, None),
+            ("MYEQN", RowSense::Eq, 7.0, None),
+        ]
+    );
+
+    let cols: Vec<_> = m
+        .columns
+        .iter()
+        .map(|c| {
+            (
+                c.name.as_str(),
+                c.cost,
+                c.entries.clone(),
+                c.lo,
+                c.hi,
+                c.integer,
+            )
+        })
+        .collect();
+    assert_eq!(
+        cols,
+        vec![
+            ("X1", 1.0, vec![(0, 1.0), (1, 1.0)], 0.0, 4.0, false),
+            (
+                "X2",
+                2.0,
+                vec![(0, 1.0), (2, -1.0)],
+                -1.0,
+                f64::INFINITY,
+                false
+            ),
+            (
+                "X3",
+                -1.0,
+                vec![(1, 1.0), (2, 1.0)],
+                0.0,
+                f64::INFINITY,
+                false
+            ),
+        ]
+    );
+}
+
+#[test]
+fn free_format_snapshot() {
+    let m = fixture(include_str!("fixtures/free_format.mps"));
+    assert_eq!(m.name, "free");
+    assert_eq!(m.objective, "obj");
+    assert_eq!(m.rows.len(), 1);
+    assert_eq!(m.rows[0].name, "c1");
+    assert_eq!(m.rows[0].rhs, 10.0);
+    assert_eq!(m.columns.len(), 2);
+    assert_eq!(m.columns[0].entries, vec![(0, 2.0)]);
+    assert_eq!(m.columns[1].entries, vec![(0, 1.0)]);
+}
+
+#[test]
+fn ranges_intervals_follow_the_mps_convention() {
+    let m = fixture(include_str!("fixtures/ranges.mps"));
+    let by_name = |name: &str| m.rows.iter().find(|r| r.name == name).unwrap();
+    // Le with range 4, rhs 10: [10-4, 10].
+    assert_eq!(MpsModel::row_interval(by_name("RLE")), (6.0, 10.0));
+    // Ge with range 3, rhs 2: [2, 2+3].
+    assert_eq!(MpsModel::row_interval(by_name("RGE")), (2.0, 5.0));
+    // Eq with range +2, rhs 5: [5, 7]; Eq with range -2, rhs 5: [3, 5].
+    assert_eq!(MpsModel::row_interval(by_name("REQP")), (5.0, 7.0));
+    assert_eq!(MpsModel::row_interval(by_name("REQN")), (3.0, 5.0));
+
+    // Lowering splits ranged rows into a >=/<= pair: 4 ranged rows -> 8
+    // LP rows.
+    let (lp, _) = m.to_linear_program();
+    assert_eq!(lp.num_rows(), 8);
+}
+
+#[test]
+fn bound_types_snapshot() {
+    let m = fixture(include_str!("fixtures/bounds.mps"));
+    let by_name = |name: &str| m.columns.iter().find(|c| c.name == name).unwrap();
+    let a = by_name("A"); // FR
+    assert_eq!((a.lo, a.hi), (f64::NEG_INFINITY, f64::INFINITY));
+    let b = by_name("B"); // MI then UP -2: explicit lower survives
+    assert_eq!((b.lo, b.hi), (f64::NEG_INFINITY, -2.0));
+    let c = by_name("C"); // BV
+    assert_eq!((c.lo, c.hi, c.integer), (0.0, 1.0, true));
+    let d = by_name("D"); // UP -5 with default lower: netlib drops lo to -inf
+    assert_eq!((d.lo, d.hi), (f64::NEG_INFINITY, -5.0));
+    let e = by_name("E"); // LI 2, UI 8
+    assert_eq!((e.lo, e.hi), (2.0, 8.0));
+    let f = by_name("F"); // FX 3.5
+    assert_eq!((f.lo, f.hi), (3.5, 3.5));
+    let g = by_name("G"); // PL: the default upper, explicitly
+    assert_eq!((g.lo, g.hi), (0.0, f64::INFINITY));
+}
+
+#[test]
+fn integer_markers_snapshot() {
+    let m = fixture(include_str!("fixtures/integer_markers.mps"));
+    let flags: Vec<_> = m
+        .columns
+        .iter()
+        .map(|c| (c.name.as_str(), c.integer))
+        .collect();
+    assert_eq!(
+        flags,
+        vec![("X0", false), ("Z0", true), ("Z1", true), ("X1", false)]
+    );
+    // The integer flags survive lowering.
+    let (_, integers) = m.to_linear_program();
+    assert_eq!(integers, vec![false, true, true, false]);
+}
+
+#[test]
+fn every_fixture_round_trips_through_the_writer() {
+    for text in [
+        include_str!("fixtures/testprob_fixed.mps"),
+        include_str!("fixtures/free_format.mps"),
+        include_str!("fixtures/ranges.mps"),
+        include_str!("fixtures/bounds.mps"),
+        include_str!("fixtures/integer_markers.mps"),
+    ] {
+        let m = fixture(text);
+        let round = parse_mps(&write_mps(&m)).expect("writer output must parse");
+        assert_eq!(m, round);
+    }
+}
+
+#[test]
+fn malformed_inputs_fail_with_exact_messages() {
+    assert_err("GARBAGE\nENDATA\n", "line 1: unknown section 'GARBAGE'");
+    assert_err(
+        " X OBJ 1\nENDATA\n",
+        "line 1: data before any section header",
+    );
+    assert_err(
+        "OBJSENSE\n MAX\nENDATA\n",
+        "line 1: OBJSENSE section is not supported",
+    );
+    assert_err("ROWS\n Q FOO\nENDATA\n", "line 2: unknown row sense 'Q'");
+    assert_err(
+        "ROWS\n N OBJ\n L R1\n L R1\nENDATA\n",
+        "line 4: duplicate row 'R1'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\n L R1 EXTRA\nENDATA\n",
+        "line 3: ROWS entry needs 2 fields, got 3",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1 R1\nENDATA\n",
+        "line 4: COLUMNS entry needs 3 or 5 fields, got 4",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ abc\nENDATA\n",
+        "line 4: invalid numeric value 'abc'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X NOPE 1\nENDATA\n",
+        "line 4: unknown row 'NOPE'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n MK 'MARKER' 'FOO'\nENDATA\n",
+        "line 4: unknown marker 'FOO'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1\nRHS\n RHS NOPE 1\nENDATA\n",
+        "line 6: unknown row 'NOPE'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1\nBOUNDS\n UP BND NOPE 1\nENDATA\n",
+        "line 6: unknown column 'NOPE'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1\nBOUNDS\n XX BND X 1\nENDATA\n",
+        "line 6: XX bound needs 3 fields, got 4",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1\nBOUNDS\n ZZ BND X\nENDATA\n",
+        "line 6: unknown bound type 'ZZ'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1\n",
+        "line 4: missing ENDATA",
+    );
+    assert_err(
+        "ROWS\n L R1\nCOLUMNS\n X R1 1\nENDATA\n",
+        "line 5: no objective (N) row",
+    );
+    assert_err("ROWS\n N OBJ\nENDATA\n", "line 3: no columns");
+}

@@ -5,9 +5,15 @@
 //! with bounds on the slack; artificial columns are added only for rows whose
 //! initial slack value falls outside the slack bounds. Phase 1 minimizes the
 //! sum of artificials; Phase 2 minimizes the true objective with artificials
-//! frozen at zero. The basis inverse is kept explicitly (row count here is
-//! small — model rows plus outer-approximation cuts) and refactorized
-//! periodically for numerical hygiene.
+//! frozen at zero.
+//!
+//! The basis lives behind [`BasisFactor`]: at paper scale (row count below
+//! the [`hslb_linalg::SPARSE_CROSSOVER_DIM`] crossover) the inverse is kept
+//! explicitly — the historical dense tableau, bit-identical to every pinned
+//! counter — while above the crossover (or with `LinalgBackend::Sparse`
+//! forced) the basis is held as a sparse LU factorization with
+//! Bartels–Golub-style product-form eta updates per pivot. Both
+//! representations are refactorized periodically for numerical hygiene.
 //!
 //! [`solve_warm`] reuses the basis saved by a previous solve. Neither
 //! appending a `<=` cut row nor tightening variable bounds changes the cost
@@ -21,7 +27,7 @@
 
 use crate::model::{LinearProgram, RowSense};
 use crate::solution::{LpSolution, LpStatus};
-use hslb_linalg::{Lu, Matrix};
+use hslb_linalg::{CscMatrix, LinalgBackend, Lu, LuSymbolic, Matrix, SparseLu, SparseWorkspace};
 use hslb_obs::{Event, Trace};
 
 use hslb_linalg::approx::exactly_zero;
@@ -60,6 +66,10 @@ pub struct SimplexOptions {
     /// Event trace (off by default; see `hslb-obs`). When enabled, every
     /// solve emits one `LpSolved` event carrying its pivot count.
     pub trace: Trace,
+    /// Basis representation: dense explicit inverse (the oracle) or the
+    /// sparse LU + eta-update factorization. `Auto` resolves on the row
+    /// count against [`hslb_linalg::SPARSE_CROSSOVER_DIM`].
+    pub backend: LinalgBackend,
 }
 
 impl Default for SimplexOptions {
@@ -71,6 +81,7 @@ impl Default for SimplexOptions {
             degeneracy_limit: 200,
             refactor_every: 100,
             trace: Trace::off(),
+            backend: LinalgBackend::Auto,
         }
     }
 }
@@ -138,6 +149,53 @@ impl WarmBasis {
     }
 }
 
+/// One product-form update recorded by a sparse-path pivot. The update
+/// matrix `E⁻¹` applies to a vector as `v[r] /= pivot; v[i] -= w_i·v[r]`
+/// (`i ≠ r`), exactly the elementary row operation the dense path applies
+/// to its explicit inverse.
+struct Eta {
+    r: usize,
+    /// Off-pivot rows of the ftran column (`i ≠ r`, structural zeros
+    /// dropped).
+    w: Vec<(usize, f64)>,
+    pivot: f64,
+}
+
+/// The basis representation behind the simplex.
+///
+/// `Dense` is the historical explicit inverse — kept byte-identical so
+/// every pinned counter below the sparse crossover is unchanged. `Sparse`
+/// holds the basis as `SparseLu` plus the etas appended since the last
+/// refactorization (Bartels–Golub-style product form): ftran applies the
+/// LU solve then the etas in order, btran applies the transposed etas in
+/// reverse then the transposed LU solve.
+// One BasisFactor exists per solve (never in a collection), so the
+// dense/sparse size gap costs nothing; boxing would add a pointer chase
+// to every ftran/btran instead.
+#[allow(clippy::large_enum_variant)]
+enum BasisFactor {
+    Dense(Matrix),
+    Sparse {
+        lu: Option<SparseLu>,
+        etas: Vec<Eta>,
+        ws: SparseWorkspace,
+    },
+}
+
+impl BasisFactor {
+    fn new(backend: LinalgBackend, m: usize) -> BasisFactor {
+        if backend.use_sparse(m) {
+            BasisFactor::Sparse {
+                lu: None,
+                etas: Vec::new(),
+                ws: SparseWorkspace::new(),
+            }
+        } else {
+            BasisFactor::Dense(Matrix::identity(m))
+        }
+    }
+}
+
 struct Tableau {
     /// All columns: structurals, then slacks, then artificials.
     cols: Vec<Column>,
@@ -146,8 +204,8 @@ struct Tableau {
     status: Vec<VarStatus>,
     /// Variable occupying each basis row.
     basis: Vec<usize>,
-    /// Explicit inverse of the basis matrix.
-    binv: Matrix,
+    /// Basis factorization (dense explicit inverse or sparse LU + etas).
+    factor: BasisFactor,
     /// Values of the basic variables, row-aligned with `basis`.
     xb: Vec<f64>,
     /// Right-hand side per row (all rows are equalities after slacks).
@@ -156,6 +214,14 @@ struct Tableau {
     /// Phase 2).
     can_enter: Vec<bool>,
     m: usize,
+    /// Basis (re)factorizations performed, both backends.
+    factorizations: u64,
+    /// Product-form eta updates appended (sparse path only; the dense
+    /// path's elementary inverse updates are the same event but have no
+    /// factor to update).
+    factor_updates: u64,
+    /// Cumulative factor nonzeros across sparse refactorizations.
+    fill_nnz: u64,
 }
 
 impl Tableau {
@@ -176,16 +242,71 @@ impl Tableau {
     /// y = cBᵀ B⁻¹ for the given cost vector.
     fn duals(&self, costs: &[f64]) -> Vec<f64> {
         let m = self.m;
-        let mut y = vec![0.0; m];
-        for (r, &bvar) in self.basis.iter().enumerate() {
-            let c = costs[bvar];
-            if !exactly_zero(c) {
-                for (k, yk) in y.iter_mut().enumerate() {
-                    *yk += c * self.binv[(r, k)];
+        match &self.factor {
+            BasisFactor::Dense(binv) => {
+                let mut y = vec![0.0; m];
+                for (r, &bvar) in self.basis.iter().enumerate() {
+                    let c = costs[bvar];
+                    if !exactly_zero(c) {
+                        for (k, yk) in y.iter_mut().enumerate() {
+                            *yk += c * binv[(r, k)];
+                        }
+                    }
+                }
+                y
+            }
+            BasisFactor::Sparse { .. } => {
+                let mut cb = vec![0.0; m];
+                for (r, &bvar) in self.basis.iter().enumerate() {
+                    cb[r] = costs[bvar];
+                }
+                self.btran(cb)
+            }
+        }
+    }
+
+    /// Row `r` of B⁻¹ (ρᵀ = e_rᵀ B⁻¹) — the dual ratio test's pivot row.
+    fn row_of_inverse(&self, r: usize) -> Vec<f64> {
+        match &self.factor {
+            BasisFactor::Dense(binv) => (0..self.m).map(|k| binv[(r, k)]).collect(),
+            BasisFactor::Sparse { .. } => {
+                let mut e = vec![0.0; self.m];
+                e[r] = 1.0;
+                self.btran(e)
+            }
+        }
+    }
+
+    /// y = B⁻ᵀ v. Sparse path: transposed etas in reverse order, then the
+    /// transposed LU solve. (Dense callers use their historical loops
+    /// directly; this fallback arm keeps the method total.)
+    fn btran(&self, mut v: Vec<f64>) -> Vec<f64> {
+        match &self.factor {
+            BasisFactor::Dense(binv) => {
+                let mut y = vec![0.0; self.m];
+                for (r, vr) in v.iter().enumerate() {
+                    if !exactly_zero(*vr) {
+                        for (k, yk) in y.iter_mut().enumerate() {
+                            *yk += vr * binv[(r, k)];
+                        }
+                    }
+                }
+                y
+            }
+            BasisFactor::Sparse { lu, etas, .. } => {
+                for eta in etas.iter().rev() {
+                    let mut s = v[eta.r];
+                    for &(i, wi) in &eta.w {
+                        s -= wi * v[i];
+                    }
+                    v[eta.r] = s / eta.pivot;
+                }
+                match lu {
+                    Some(f) => f.solve_transposed(&v),
+                    None => v,
                 }
             }
         }
-        y
     }
 
     /// Reduced cost of column `j` given duals `y`.
@@ -199,40 +320,132 @@ impl Tableau {
 
     /// w = B⁻¹ A_j.
     fn ftran(&self, j: usize) -> Vec<f64> {
-        let m = self.m;
-        let mut w = vec![0.0; m];
-        for &(row, a) in &self.cols[j] {
-            if !exactly_zero(a) {
-                for (i, wi) in w.iter_mut().enumerate() {
-                    *wi += self.binv[(i, row)] * a;
+        match &self.factor {
+            BasisFactor::Dense(binv) => {
+                let m = self.m;
+                let mut w = vec![0.0; m];
+                for &(row, a) in &self.cols[j] {
+                    if !exactly_zero(a) {
+                        for (i, wi) in w.iter_mut().enumerate() {
+                            *wi += binv[(i, row)] * a;
+                        }
+                    }
                 }
+                w
+            }
+            BasisFactor::Sparse { .. } => {
+                let mut v = vec![0.0; self.m];
+                for &(row, a) in &self.cols[j] {
+                    v[row] += a;
+                }
+                self.ftran_vec(v)
             }
         }
-        w
     }
 
-    /// Rebuilds `binv` and `xb` from scratch (numerical hygiene).
+    /// w = B⁻¹ v for a dense right-hand side: LU solve then the etas in
+    /// recording order (sparse path).
+    fn ftran_vec(&self, v: Vec<f64>) -> Vec<f64> {
+        match &self.factor {
+            BasisFactor::Dense(binv) => (0..self.m)
+                .map(|i| v.iter().enumerate().map(|(k, &vk)| binv[(i, k)] * vk).sum())
+                .collect(),
+            BasisFactor::Sparse { lu, etas, .. } => {
+                let mut w = match lu {
+                    Some(f) => f.solve(&v),
+                    None => v,
+                };
+                for eta in etas {
+                    let vr = w[eta.r] / eta.pivot;
+                    w[eta.r] = vr;
+                    if !exactly_zero(vr) {
+                        for &(i, wi) in &eta.w {
+                            w[i] -= wi * vr;
+                        }
+                    }
+                }
+                w
+            }
+        }
+    }
+
+    /// Applies the basis exchange at row `r` with ftran column `w`: the
+    /// elementary row update of the dense explicit inverse, or a recorded
+    /// product-form eta on the sparse factorization.
+    fn pivot_update(&mut self, r: usize, w: &[f64]) {
+        match &mut self.factor {
+            BasisFactor::Dense(binv) => {
+                let p = w[r];
+                for k in 0..self.m {
+                    binv[(r, k)] /= p;
+                }
+                for (i, &f) in w.iter().enumerate() {
+                    if i != r && !exactly_zero(f) {
+                        for k in 0..self.m {
+                            let br = binv[(r, k)];
+                            binv[(i, k)] -= f * br;
+                        }
+                    }
+                }
+            }
+            BasisFactor::Sparse { etas, .. } => {
+                let wr: Vec<(usize, f64)> = w
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &wi)| i != r && !exactly_zero(wi))
+                    .map(|(i, &wi)| (i, wi))
+                    .collect();
+                etas.push(Eta {
+                    r,
+                    w: wr,
+                    pivot: w[r],
+                });
+                self.factor_updates += 1;
+            }
+        }
+    }
+
+    /// Rebuilds the basis factorization and `xb` from scratch (numerical
+    /// hygiene; also the sparse path's eta compaction point).
     fn refactorize(&mut self) -> Result<(), ()> {
         let m = self.m;
-        let mut b = Matrix::zeros(m, m);
-        for (r, &bvar) in self.basis.iter().enumerate() {
-            for &(row, a) in &self.cols[bvar] {
-                b[(row, r)] += a;
+        self.factorizations += 1;
+        match &mut self.factor {
+            BasisFactor::Dense(binv_slot) => {
+                let mut b = Matrix::zeros(m, m);
+                for (r, &bvar) in self.basis.iter().enumerate() {
+                    for &(row, a) in &self.cols[bvar] {
+                        b[(row, r)] += a;
+                    }
+                }
+                let lu = Lu::new(&b).map_err(|_| ())?;
+                // binv columns: solve B z = e_k.
+                let mut binv = Matrix::zeros(m, m);
+                let mut e = vec![0.0; m];
+                for k in 0..m {
+                    e[k] = 1.0;
+                    let z = lu.solve(&e);
+                    e[k] = 0.0;
+                    for i in 0..m {
+                        binv[(i, k)] = z[i];
+                    }
+                }
+                *binv_slot = binv;
+            }
+            BasisFactor::Sparse { lu, etas, ws } => {
+                let bcols: Vec<Column> = self
+                    .basis
+                    .iter()
+                    .map(|&bvar| self.cols[bvar].clone())
+                    .collect();
+                let b = CscMatrix::from_columns(m, &bcols).map_err(|_| ())?;
+                let sym = LuSymbolic::analyze(&b).map_err(|_| ())?;
+                let f = SparseLu::factorize(&b, &sym, ws).map_err(|_| ())?;
+                self.fill_nnz += f.fill_nnz() as u64;
+                etas.clear();
+                *lu = Some(f);
             }
         }
-        let lu = Lu::new(&b).map_err(|_| ())?;
-        // binv columns: solve B z = e_k.
-        let mut binv = Matrix::zeros(m, m);
-        let mut e = vec![0.0; m];
-        for k in 0..m {
-            e[k] = 1.0;
-            let z = lu.solve(&e);
-            e[k] = 0.0;
-            for i in 0..m {
-                binv[(i, k)] = z[i];
-            }
-        }
-        self.binv = binv;
         self.recompute_xb();
         Ok(())
     }
@@ -252,15 +465,18 @@ impl Tableau {
                 }
             }
         }
-        let xb: Vec<f64> = (0..m)
-            .map(|i| {
-                resid
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &rk)| self.binv[(i, k)] * rk)
-                    .sum()
-            })
-            .collect();
+        let xb: Vec<f64> = match &self.factor {
+            BasisFactor::Dense(binv) => (0..m)
+                .map(|i| {
+                    resid
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &rk)| binv[(i, k)] * rk)
+                        .sum()
+                })
+                .collect(),
+            BasisFactor::Sparse { .. } => self.ftran_vec(resid),
+        };
         self.xb = xb;
     }
 }
@@ -442,7 +658,10 @@ fn solve_inner(
         hi,
         status,
         basis,
-        binv: Matrix::identity(m),
+        factor: BasisFactor::new(opts.backend, m),
+        factorizations: 0,
+        factor_updates: 0,
+        fill_nnz: 0,
         xb,
         rhs,
         can_enter,
@@ -459,6 +678,9 @@ fn solve_inner(
             iterations: 0,
             dual_pivots: 0,
             warm_used: false,
+            factorizations: tab.factorizations,
+            factor_updates: tab.factor_updates,
+            fill_nnz: tab.fill_nnz,
         };
     }
 
@@ -483,12 +705,19 @@ fn solve_inner(
                     iterations,
                     dual_pivots: 0,
                     warm_used: false,
+                    factorizations: tab.factorizations,
+                    factor_updates: tab.factor_updates,
+                    fill_nnz: tab.fill_nnz,
                 };
             }
         }
         let infeasibility: f64 = artificials.iter().map(|&a| tab.value(a).max(0.0)).sum();
         if infeasibility > opts.feas_tol * 10.0 {
-            return LpSolution::infeasible(iterations);
+            let mut sol = LpSolution::infeasible(iterations);
+            sol.factorizations = tab.factorizations;
+            sol.factor_updates = tab.factor_updates;
+            sol.fill_nnz = tab.fill_nnz;
+            return sol;
         }
         // Freeze artificials at zero for Phase 2.
         for &a in &artificials {
@@ -522,9 +751,18 @@ fn solve_inner(
                 iterations,
                 dual_pivots: 0,
                 warm_used: false,
+                factorizations: tab.factorizations,
+                factor_updates: tab.factor_updates,
+                fill_nnz: tab.fill_nnz,
             }
         }
-        PhaseEnd::Unbounded => LpSolution::unbounded(iterations),
+        PhaseEnd::Unbounded => {
+            let mut sol = LpSolution::unbounded(iterations);
+            sol.factorizations = tab.factorizations;
+            sol.factor_updates = tab.factor_updates;
+            sol.fill_nnz = tab.fill_nnz;
+            sol
+        }
         PhaseEnd::IterationLimit => LpSolution {
             status: LpStatus::IterationLimit,
             x: Vec::new(),
@@ -533,6 +771,9 @@ fn solve_inner(
             iterations,
             dual_pivots: 0,
             warm_used: false,
+            factorizations: tab.factorizations,
+            factor_updates: tab.factor_updates,
+            fill_nnz: tab.fill_nnz,
         },
     }
 }
@@ -583,7 +824,10 @@ fn try_dual_warm(
         hi,
         status,
         basis,
-        binv: Matrix::identity(m),
+        factor: BasisFactor::new(opts.backend, m),
+        factorizations: 0,
+        factor_updates: 0,
+        fill_nnz: 0,
         xb: vec![0.0; m],
         rhs,
         can_enter: vec![true; nm],
@@ -648,6 +892,7 @@ fn try_dual_warm(
         // among the eligible columns the smallest |d_j|/|alpha_rj| keeps
         // every reduced cost on its dual-feasible side.
         let y = tab.duals(&costs);
+        let rho = tab.row_of_inverse(r);
         let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
         for j in 0..nm {
             if matches!(tab.status[j], VarStatus::Basic(_)) || tab.lo[j] == tab.hi[j] {
@@ -655,7 +900,7 @@ fn try_dual_warm(
             }
             let mut alpha = 0.0;
             for &(row, a) in &tab.cols[j] {
-                alpha += tab.binv[(r, row)] * a;
+                alpha += rho[row] * a;
             }
             if alpha.abs() <= PIVOT_TOL {
                 continue;
@@ -710,19 +955,8 @@ fn try_dual_warm(
         tab.status[j] = VarStatus::Basic(r);
         tab.xb[r] = entering_new;
 
-        // Elementary update of B⁻¹: pivot on w[r].
-        let p = w[r];
-        for k in 0..tab.m {
-            tab.binv[(r, k)] /= p;
-        }
-        for (i, &f) in w.iter().enumerate() {
-            if i != r && !exactly_zero(f) {
-                for k in 0..tab.m {
-                    let br = tab.binv[(r, k)];
-                    tab.binv[(i, k)] -= f * br;
-                }
-            }
-        }
+        // Elementary update of the factorization: pivot on w[r].
+        tab.pivot_update(r, &w);
 
         iterations += 1;
         dual_pivots += 1;
@@ -745,12 +979,18 @@ fn try_dual_warm(
                 iterations,
                 dual_pivots,
                 warm_used: true,
+                factorizations: tab.factorizations,
+                factor_updates: tab.factor_updates,
+                fill_nnz: tab.fill_nnz,
             })
         }
         PhaseEnd::Unbounded => {
             let mut sol = LpSolution::unbounded(iterations);
             sol.dual_pivots = dual_pivots;
             sol.warm_used = true;
+            sol.factorizations = tab.factorizations;
+            sol.factor_updates = tab.factor_updates;
+            sol.fill_nnz = tab.fill_nnz;
             Some(sol)
         }
         PhaseEnd::IterationLimit => None,
@@ -919,20 +1159,9 @@ fn run_phase(
                 tab.status[j] = VarStatus::Basic(r);
                 tab.xb[r] = entering_start + dir * t;
 
-                // Elementary update of B⁻¹: pivot on w[r].
-                let p = w[r];
-                debug_assert!(p.abs() > RATIO_TIE_TOL, "pivot too small");
-                for k in 0..tab.m {
-                    tab.binv[(r, k)] /= p;
-                }
-                for (i, &f) in w.iter().enumerate() {
-                    if i != r && !exactly_zero(f) {
-                        for k in 0..tab.m {
-                            let br = tab.binv[(r, k)];
-                            tab.binv[(i, k)] -= f * br;
-                        }
-                    }
-                }
+                // Elementary update of the factorization: pivot on w[r].
+                debug_assert!(w[r].abs() > RATIO_TIE_TOL, "pivot too small");
+                tab.pivot_update(r, &w);
             }
         }
     }

@@ -33,6 +33,14 @@ pub struct LpSolution {
     /// Whether a saved basis was actually reused (`solve_warm` fell back to
     /// a cold solve when this is `false`).
     pub warm_used: bool,
+    /// Basis refactorizations performed (both backends).
+    pub factorizations: u64,
+    /// Product-form eta updates appended between refactorizations (sparse
+    /// backend only; the dense path updates its explicit inverse in place).
+    pub factor_updates: u64,
+    /// Cumulative nonzeros across all sparse basis factors (zero on the
+    /// dense path).
+    pub fill_nnz: u64,
 }
 
 impl LpSolution {
@@ -50,6 +58,9 @@ impl LpSolution {
             iterations,
             dual_pivots: 0,
             warm_used: false,
+            factorizations: 0,
+            factor_updates: 0,
+            fill_nnz: 0,
         }
     }
 
@@ -62,6 +73,9 @@ impl LpSolution {
             iterations,
             dual_pivots: 0,
             warm_used: false,
+            factorizations: 0,
+            factor_updates: 0,
+            fill_nnz: 0,
         }
     }
 }

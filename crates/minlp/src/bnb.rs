@@ -99,7 +99,7 @@ pub(crate) fn solve_relaxation(
         // Work accounting lives *here*, next to the solve, so every caller
         // (serial, OA polishing, parallel tasks) counts identically.
         stats.nlp_solves += 1;
-        hslb_nlp::solve_warm_with(&arena.relax, barrier, warm)
+        hslb_nlp::solve_warm_with_workspace(&arena.relax, barrier, warm, &mut arena.sparse_ws)
     });
     arena.put(plo);
     arena.put(phi);
@@ -109,6 +109,8 @@ pub(crate) fn solve_relaxation(
     };
     stats.newton_iters += sol.newton_iters as u64;
     stats.warm_start_hits += sol.warm_started as u64;
+    stats.factorizations += sol.factorizations;
+    stats.fill_nnz += sol.fill_nnz;
     match sol.status {
         NlpStatus::Infeasible => None,
         NlpStatus::Optimal => Some(RelaxOutcome {
@@ -182,13 +184,20 @@ pub(crate) fn polish_candidate(
     } else {
         None
     };
-    let res = hslb_nlp::solve_warm_with(&arena.relax, barrier, seed.as_ref());
+    let res = hslb_nlp::solve_warm_with_workspace(
+        &arena.relax,
+        barrier,
+        seed.as_ref(),
+        &mut arena.sparse_ws,
+    );
     if let Some(s) = seed {
         arena.put(s.x);
     }
     let sol = res.ok()?;
     stats.newton_iters += sol.newton_iters as u64;
     stats.warm_start_hits += sol.warm_started as u64;
+    stats.factorizations += sol.factorizations;
+    stats.fill_nnz += sol.fill_nnz;
     if sol.status != NlpStatus::Optimal {
         return None;
     }
@@ -215,6 +224,7 @@ pub(crate) fn prune_cutoff(incumbent: f64, opts: &MinlpOptions) -> f64 {
 pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
     let barrier = BarrierOptions {
         trace: opts.trace.clone(),
+        backend: opts.backend,
         ..BarrierOptions::default()
     };
     let mut arena = ScratchArena::new(problem.relaxation().clone());

@@ -78,10 +78,12 @@ fn sample_points(relax: &hslb_nlp::NlpProblem) -> Vec<Vec<f64>> {
 pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
     let barrier = BarrierOptions {
         trace: opts.trace.clone(),
+        backend: opts.backend,
         ..BarrierOptions::default()
     };
     let lp_opts = hslb_lp::SimplexOptions {
         trace: opts.trace.clone(),
+        backend: opts.backend,
         ..hslb_lp::SimplexOptions::default()
     };
     let relax = problem.relaxation();
@@ -110,13 +112,22 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     // A non-optimal verdict (including Infeasible: the barrier cannot see
     // through empty-interior equality pairs) defers to the LP tree, which
     // detects genuine infeasibility exactly.
-    let root_points: Vec<Vec<f64>> = match hslb_nlp::solve_with(&arena.relax, &barrier) {
+    let root_points: Vec<Vec<f64>> = match hslb_nlp::solve_warm_with_workspace(
+        &arena.relax,
+        &barrier,
+        None,
+        &mut arena.sparse_ws,
+    ) {
         Ok(s) if s.status == NlpStatus::Optimal && !s.x.is_empty() => {
             stats.newton_iters += s.newton_iters as u64;
+            stats.factorizations += s.factorizations;
+            stats.fill_nnz += s.fill_nnz;
             vec![s.x]
         }
         Ok(s) => {
             stats.newton_iters += s.newton_iters as u64;
+            stats.factorizations += s.factorizations;
+            stats.fill_nnz += s.fill_nnz;
             sample_points(relax)
         }
         Err(_) => sample_points(relax),
@@ -247,6 +258,9 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
         stats.simplex_pivots += lp_sol.iterations as u64;
         stats.dual_pivots += lp_sol.dual_pivots as u64;
         stats.warm_start_hits += lp_sol.warm_used as u64;
+        stats.factorizations += lp_sol.factorizations;
+        stats.factor_updates += lp_sol.factor_updates;
+        stats.fill_nnz += lp_sol.fill_nnz;
         match lp_sol.status {
             LpStatus::Infeasible => {
                 stats.pruned_infeasible += 1;

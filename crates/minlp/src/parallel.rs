@@ -131,6 +131,7 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
         opts,
         barrier: BarrierOptions {
             trace: opts.trace.clone(),
+            backend: opts.backend,
             ..BarrierOptions::default()
         },
         budget: SpawnBudget::new(workers.saturating_sub(1)),

@@ -51,6 +51,11 @@ pub struct MinlpOptions {
     /// unchanged; only the work counters shrink. `hslb-cli` exposes
     /// `--no-warm-start` for A/B runs.
     pub warm_start: bool,
+    /// Linear-algebra backend for the LP and NLP subsolvers. `Auto` keeps
+    /// paper-scale systems on the dense oracle and switches netlib-scale
+    /// ones to the sparse kernels; `hslb-cli` exposes `--dense` to force
+    /// the oracle everywhere.
+    pub backend: hslb_linalg::LinalgBackend,
 }
 
 /// Default absolute optimality gap.
@@ -77,6 +82,7 @@ impl Default for MinlpOptions {
             node_selection: NodeSelection::BestBound,
             threads: 0,
             warm_start: true,
+            backend: hslb_linalg::LinalgBackend::Auto,
         }
     }
 }

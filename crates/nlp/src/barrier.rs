@@ -17,7 +17,10 @@
 
 use crate::problem::NlpProblem;
 use hslb_linalg::approx::exactly_zero;
-use hslb_linalg::{Cholesky, Lu, Matrix, Qr};
+use hslb_linalg::{
+    CholSymbolic, Cholesky, CscMatrix, LinalgBackend, Lu, LuSymbolic, Matrix, Qr, SparseCholesky,
+    SparseLu, SparseWorkspace,
+};
 use hslb_obs::{Event, Trace};
 
 /// Default duality-gap stopping tolerance (`BarrierOptions::gap_tol`).
@@ -115,6 +118,10 @@ pub struct BarrierOptions {
     /// completed solve emits one `NlpSolved` event carrying its Newton
     /// iteration count.
     pub trace: Trace,
+    /// Which linear-algebra kernels the Newton/KKT solves use. `Auto`
+    /// keeps paper-scale systems on the dense oracle and switches large
+    /// ones to the sparse factorizations with symbolic reuse.
+    pub backend: LinalgBackend,
 }
 
 impl Default for BarrierOptions {
@@ -134,6 +141,7 @@ impl Default for BarrierOptions {
             max_outer: 60,
             interior_margin: DEFAULT_INTERIOR_MARGIN,
             trace: Trace::off(),
+            backend: LinalgBackend::Auto,
         }
     }
 }
@@ -185,6 +193,12 @@ pub struct NlpSolution {
     /// Whether a [`WarmStart`] seed was actually used (repair succeeded);
     /// `false` on cold solves and on warm calls that fell back cold.
     pub warm_started: bool,
+    /// Sparse numeric KKT/Hessian factorizations performed (zero on the
+    /// dense path, which solves in place).
+    pub factorizations: u64,
+    /// Cumulative nonzeros across all sparse factors (zero on the dense
+    /// path).
+    pub fill_nnz: u64,
 }
 
 impl NlpSolution {
@@ -200,6 +214,8 @@ impl NlpSolution {
             multipliers: Vec::new(),
             newton_iters,
             warm_started: false,
+            factorizations: 0,
+            fill_nnz: 0,
         }
     }
 }
@@ -255,7 +271,21 @@ pub fn solve_warm_with(
     opts: &BarrierOptions,
     warm: Option<&WarmStart>,
 ) -> Result<NlpSolution, NlpError> {
-    let result = solve_inner(p, opts, warm);
+    let mut scratch = SparseWorkspace::new();
+    solve_warm_with_workspace(p, opts, warm, &mut scratch)
+}
+
+/// Like [`solve_warm_with`] but reusing a caller-held [`SparseWorkspace`]
+/// for the sparse factorizations — hot loops (branch-and-bound scratch
+/// arenas) keep one per worker so repeated solves never reallocate the
+/// scatter/mark buffers. A no-op cost on the dense path.
+pub fn solve_warm_with_workspace(
+    p: &NlpProblem,
+    opts: &BarrierOptions,
+    warm: Option<&WarmStart>,
+    scratch: &mut SparseWorkspace,
+) -> Result<NlpSolution, NlpError> {
+    let result = solve_inner(p, opts, warm, scratch);
     if let Ok(sol) = &result {
         opts.trace.emit(|| Event::NlpSolved {
             newton_iters: sol.newton_iters as u64,
@@ -271,6 +301,7 @@ fn solve_inner(
     p: &NlpProblem,
     opts: &BarrierOptions,
     warm: Option<&WarmStart>,
+    scratch: &mut SparseWorkspace,
 ) -> Result<NlpSolution, NlpError> {
     let n = p.num_vars();
     for j in 0..n {
@@ -332,6 +363,7 @@ fn solve_inner(
     }
 
     let mut newton_total = 0usize;
+    let mut tally = FactorTally::default();
 
     // Warm path: repair the parent point into a strictly feasible start.
     // Only a *proven* strictly feasible repair is used, so the warm path can
@@ -358,7 +390,7 @@ fn solve_inner(
                 return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total));
             };
             if !strictly_feasible(&reduced, &x0, opts.interior_margin) {
-                match phase_one(&reduced, &x0, opts, &mut newton_total) {
+                match phase_one(&reduced, &x0, opts, &mut newton_total, &mut tally, scratch) {
                     Ok(Some(feasible)) => x0 = feasible,
                     Ok(None) => {
                         return Ok(NlpSolution::failed(NlpStatus::Infeasible, newton_total))
@@ -370,8 +402,19 @@ fn solve_inner(
         }
     };
 
-    let mut out = barrier_loop(&reduced, x0, mu0, opts, &mut newton_total, None);
+    let mut out = barrier_loop(
+        &reduced,
+        x0,
+        mu0,
+        opts,
+        &mut newton_total,
+        &mut tally,
+        scratch,
+        None,
+    );
     out.warm_started = warm_started;
+    out.factorizations = tally.factorizations;
+    out.fill_nnz = tally.fill_nnz;
     // Re-inflate multipliers to the original constraint indexing.
     if out.multipliers.len() == active_map.len() && p.num_constraints() != out.multipliers.len() {
         let mut full = vec![0.0; p.num_constraints()];
@@ -665,6 +708,8 @@ fn phase_one(
     x0: &[f64],
     opts: &BarrierOptions,
     newton_total: &mut usize,
+    tally: &mut FactorTally,
+    scratch: &mut SparseWorkspace,
 ) -> Result<Option<Vec<f64>>, NlpStatus> {
     let n = p.num_vars();
     let mut aug = NlpProblem::new();
@@ -701,7 +746,16 @@ fn phase_one(
     // the feasible region is too thin to reach this depth, phase 1 simply
     // runs to its own optimum, which is the deepest interior point anyway.
     let target = -(2.0 * opts.interior_margin).max(PHASE1_DEPTH_FRAC * (1.0 + viol));
-    let sol = barrier_loop(&aug, z0, opts.mu0, opts, newton_total, Some((s, target)));
+    let sol = barrier_loop(
+        &aug,
+        z0,
+        opts.mu0,
+        opts,
+        newton_total,
+        tally,
+        scratch,
+        Some((s, target)),
+    );
     match sol.status {
         NlpStatus::Optimal | NlpStatus::IterationLimit => {
             if !sol.x.is_empty() && sol.x[s] < -opts.interior_margin {
@@ -729,17 +783,188 @@ fn phase_one(
     }
 }
 
+/// Running totals of sparse factorization work across one solve (phase 1
+/// plus the main loop); attached to the returned [`NlpSolution`].
+#[derive(Debug, Default, Clone, Copy)]
+struct FactorTally {
+    factorizations: u64,
+    fill_nnz: u64,
+}
+
+/// Sparse Newton/KKT system with its symbolic analysis done once per
+/// solve: the structural pattern (constraint-support cliques, barrier
+/// diagonal, equality blocks) is fixed for a given problem, so each
+/// iteration only rewrites the stored values and refactorizes numerically
+/// — re-analyze never.
+struct SparseKkt<'a> {
+    mat: CscMatrix,
+    /// `(row, col)` of each stored nonzero, in storage order.
+    positions: Vec<(usize, usize)>,
+    /// Symbolic Cholesky (unconstrained case, `m_eq == 0`).
+    chol: Option<CholSymbolic>,
+    /// Symbolic LU (equality-constrained KKT case).
+    lu: Option<LuSymbolic>,
+    /// Caller-held factorization scratch, reused across solves.
+    ws: &'a mut SparseWorkspace,
+    k: usize,
+    m_eq: usize,
+}
+
+impl<'a> SparseKkt<'a> {
+    /// Builds the structural pattern and runs the symbolic analysis.
+    /// Returns `None` when the analysis itself fails (degenerate inputs);
+    /// callers then stay on the dense path.
+    fn build(
+        p: &NlpProblem,
+        col_of: &std::collections::HashMap<usize, usize>,
+        a_eq: &Matrix,
+        k: usize,
+        m_eq: usize,
+        ws: &'a mut SparseWorkspace,
+    ) -> Option<SparseKkt<'a>> {
+        let dim = if m_eq == 0 { k } else { k + m_eq };
+        // Collect the structural pattern col-major so the triplet build
+        // below preserves iteration order.
+        let mut pos = std::collections::BTreeSet::new();
+        for i in 0..dim {
+            pos.insert((i, i));
+        }
+        for c in p.constraints() {
+            // The barrier Hessian of -μ·ln(-g) couples every pair of
+            // variables in the constraint's support (∇g ∇gᵀ term).
+            let mut sup: Vec<usize> = c
+                .linear
+                .iter()
+                .map(|&(v, _)| v)
+                .chain(c.nonlinear.iter().map(|(v, _)| *v))
+                .filter_map(|v| col_of.get(&v).copied())
+                .collect();
+            sup.sort_unstable();
+            sup.dedup();
+            for &a in &sup {
+                for &b in &sup {
+                    pos.insert((a, b));
+                }
+            }
+        }
+        for r in 0..m_eq {
+            for c in 0..k {
+                // Structural-pattern detection: an exactly-zero entry means
+                // "no edge" in the KKT sparsity graph; a tolerance here
+                // would drop small but real couplings from the symbolic
+                // factorization.
+                // lint:allow(float-eq): structural zero test on the equality matrix pattern
+                if a_eq[(r, c)] != 0.0 {
+                    pos.insert((c, k + r));
+                    pos.insert((k + r, c));
+                }
+            }
+        }
+        let triplets: Vec<(usize, usize, f64)> =
+            pos.iter().map(|&(col, row)| (row, col, 1.0)).collect();
+        let mat = CscMatrix::from_triplets(dim, dim, &triplets).ok()?;
+        let positions: Vec<(usize, usize)> = (0..dim)
+            .flat_map(|j| {
+                let (rows, _) = mat.col(j);
+                rows.iter().map(move |&i| (i, j)).collect::<Vec<_>>()
+            })
+            .collect();
+        let (chol, lu) = if m_eq == 0 {
+            (Some(CholSymbolic::analyze(&mat).ok()?), None)
+        } else {
+            (None, Some(LuSymbolic::analyze(&mat).ok()?))
+        };
+        Some(SparseKkt {
+            mat,
+            positions,
+            chol,
+            lu,
+            ws,
+            k,
+            m_eq,
+        })
+    }
+
+    /// Rewrites the stored values from the current dense Hessian (and the
+    /// fixed equality matrix), preserving the analyzed storage layout.
+    fn fill(&mut self, hess: &Matrix, a_eq: &Matrix) {
+        let (k, m_eq) = (self.k, self.m_eq);
+        let positions = &self.positions;
+        for (s, v) in self.mat.values_mut().iter_mut().enumerate() {
+            let (i, j) = positions[s];
+            *v = if i < k && j < k {
+                if m_eq == 0 {
+                    hess[(i, j)]
+                } else if i == j {
+                    hess[(i, i)] + KKT_REG * (1.0 + hess[(i, i)].abs())
+                } else {
+                    hess[(i, j)]
+                }
+            } else if i >= k && j < k {
+                a_eq[(i - k, j)]
+            } else if i < k && j >= k {
+                a_eq[(j - k, i)]
+            } else if i == j {
+                -KKT_REG
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Newton step for the unconstrained case: regularized sparse
+    /// Cholesky, mirroring the dense `Cholesky::new_regularized` fallback
+    /// semantics. Returns `None` on factorization failure.
+    fn cholesky_step(
+        &mut self,
+        hess: &Matrix,
+        a_eq: &Matrix,
+        grad: &[f64],
+        tally: &mut FactorTally,
+    ) -> Option<Vec<f64>> {
+        self.fill(hess, a_eq);
+        let sym = self.chol.as_ref()?;
+        let (ch, _) =
+            SparseCholesky::factorize_regularized(&self.mat, sym, HESS_CHOL_REG, self.ws).ok()?;
+        tally.factorizations += 1;
+        tally.fill_nnz += ch.fill_nnz() as u64;
+        let rhs: Vec<f64> = grad.iter().map(|v| -v).collect();
+        Some(ch.solve(&rhs))
+    }
+
+    /// Newton step for the equality-constrained KKT system via sparse LU.
+    /// Returns the primal part `d` (first `k` entries) or `None` on
+    /// factorization failure.
+    fn kkt_step(
+        &mut self,
+        hess: &Matrix,
+        a_eq: &Matrix,
+        rhs: &[f64],
+        tally: &mut FactorTally,
+    ) -> Option<Vec<f64>> {
+        self.fill(hess, a_eq);
+        let sym = self.lu.as_ref()?;
+        let f = SparseLu::factorize(&self.mat, sym, self.ws).ok()?;
+        tally.factorizations += 1;
+        tally.fill_nnz += f.fill_nnz() as u64;
+        Some(f.solve(rhs)[..self.k].to_vec())
+    }
+}
+
 /// Core barrier loop from a strictly feasible start.
 ///
 /// `mu0` is the initial barrier weight (warm starts pass a reduced one);
 /// `early_exit`: optional `(var, threshold)` — stop as soon as `x[var]`
 /// drops below the threshold (used by phase 1).
+#[allow(clippy::too_many_arguments)] // problem + accumulators + scratch; a struct would just rename the list
 fn barrier_loop(
     p: &NlpProblem,
     mut x: Vec<f64>,
     mu0: f64,
     opts: &BarrierOptions,
     newton_total: &mut usize,
+    tally: &mut FactorTally,
+    scratch: &mut SparseWorkspace,
     early_exit: Option<(usize, f64)>,
 ) -> NlpSolution {
     let free = free_vars(p);
@@ -765,6 +990,8 @@ fn barrier_loop(
             x,
             newton_iters: *newton_total,
             warm_started: false,
+            factorizations: 0,
+            fill_nnz: 0,
         };
     }
 
@@ -789,6 +1016,15 @@ fn barrier_loop(
             .sum::<usize>())
     .max(1);
 
+    // Sparse path: analyze the structural KKT pattern once per solve;
+    // every Newton iteration below only refactorizes numerically.
+    let kkt_dim = if m_eq == 0 { k } else { k + m_eq };
+    let mut sparse_kkt = if opts.backend.use_sparse(kkt_dim) {
+        SparseKkt::build(p, &col_of, &a_eq, k, m_eq, scratch)
+    } else {
+        None
+    };
+
     let mut mu = mu0;
     for _outer in 0..opts.max_outer {
         for _inner in 0..opts.max_newton {
@@ -797,32 +1033,22 @@ fn barrier_loop(
 
             // KKT system: [H Âᵀ; Â 0] [d; λ] = [-g; r].
             let step = if m_eq == 0 {
-                match Cholesky::new_regularized(&hess, HESS_CHOL_REG) {
-                    Ok((ch, _)) => {
-                        let rhs: Vec<f64> = grad.iter().map(|v| -v).collect();
-                        ch.solve(&rhs)
-                    }
-                    Err(_) => grad.iter().map(|v| -v).collect(),
+                let sparse_step = sparse_kkt
+                    .as_mut()
+                    .and_then(|sk| sk.cholesky_step(&hess, &a_eq, &grad, tally));
+                match sparse_step {
+                    Some(s) => s,
+                    None if sparse_kkt.is_some() => grad.iter().map(|v| -v).collect(),
+                    None => match Cholesky::new_regularized(&hess, HESS_CHOL_REG) {
+                        Ok((ch, _)) => {
+                            let rhs: Vec<f64> = grad.iter().map(|v| -v).collect();
+                            ch.solve(&rhs)
+                        }
+                        Err(_) => grad.iter().map(|v| -v).collect(),
+                    },
                 }
             } else {
                 let dim = k + m_eq;
-                let mut kkt = Matrix::zeros(dim, dim);
-                for i in 0..k {
-                    for j2 in 0..k {
-                        kkt[(i, j2)] = hess[(i, j2)];
-                    }
-                    // Tiny primal regularization keeps the system solvable
-                    // when H is singular on the null space boundary.
-                    kkt[(i, i)] += KKT_REG * (1.0 + hess[(i, i)].abs());
-                }
-                for r in 0..m_eq {
-                    for c in 0..k {
-                        kkt[(k + r, c)] = a_eq[(r, c)];
-                        kkt[(c, k + r)] = a_eq[(r, c)];
-                    }
-                    // Small dual regularization for dependent rows.
-                    kkt[(k + r, k + r)] = -KKT_REG;
-                }
                 let mut rhs = vec![0.0; dim];
                 for i in 0..k {
                     rhs[i] = -grad[i];
@@ -830,9 +1056,36 @@ fn barrier_loop(
                 for (r, e) in p.equalities().iter().enumerate() {
                     rhs[k + r] = -e.residual(&x);
                 }
-                match Lu::new(&kkt) {
-                    Ok(lu) => lu.solve(&rhs)[..k].to_vec(),
-                    Err(_) => grad.iter().map(|v| -v).collect(),
+                let sparse_step = sparse_kkt
+                    .as_mut()
+                    .and_then(|sk| sk.kkt_step(&hess, &a_eq, &rhs, tally));
+                match sparse_step {
+                    Some(s) => s,
+                    None if sparse_kkt.is_some() => grad.iter().map(|v| -v).collect(),
+                    None => {
+                        let mut kkt = Matrix::zeros(dim, dim);
+                        for i in 0..k {
+                            for j2 in 0..k {
+                                kkt[(i, j2)] = hess[(i, j2)];
+                            }
+                            // Tiny primal regularization keeps the system
+                            // solvable when H is singular on the null space
+                            // boundary.
+                            kkt[(i, i)] += KKT_REG * (1.0 + hess[(i, i)].abs());
+                        }
+                        for r in 0..m_eq {
+                            for c in 0..k {
+                                kkt[(k + r, c)] = a_eq[(r, c)];
+                                kkt[(c, k + r)] = a_eq[(r, c)];
+                            }
+                            // Small dual regularization for dependent rows.
+                            kkt[(k + r, k + r)] = -KKT_REG;
+                        }
+                        match Lu::new(&kkt) {
+                            Ok(lu) => lu.solve(&rhs)[..k].to_vec(),
+                            Err(_) => grad.iter().map(|v| -v).collect(),
+                        }
+                    }
                 }
             };
             if !step.iter().all(|v| v.is_finite()) {
@@ -893,6 +1146,8 @@ fn barrier_loop(
                     x,
                     newton_iters: *newton_total,
                     warm_started: false,
+                    factorizations: 0,
+                    fill_nnz: 0,
                 };
             }
             if let Some((var, threshold)) = early_exit {
@@ -933,6 +1188,8 @@ fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolut
         x,
         newton_iters,
         warm_started: false,
+        factorizations: 0,
+        fill_nnz: 0,
     }
 }
 

@@ -45,7 +45,8 @@ pub mod problem;
 pub mod term;
 
 pub use barrier::{
-    solve, solve_warm_with, solve_with, BarrierOptions, NlpError, NlpSolution, NlpStatus, WarmStart,
+    solve, solve_warm_with, solve_warm_with_workspace, solve_with, BarrierOptions, NlpError,
+    NlpSolution, NlpStatus, WarmStart,
 };
 pub use problem::{ConstraintFn, NlpProblem};
 pub use term::{ScalarFn, Term};

@@ -289,3 +289,77 @@ mod property {
         }
     }
 }
+
+mod sparse_backend {
+    use super::*;
+    use hslb_linalg::LinalgBackend;
+    use hslb_nlp::{solve_with, BarrierOptions};
+    use hslb_rng::Rng;
+
+    fn opts(backend: LinalgBackend) -> BarrierOptions {
+        BarrierOptions {
+            backend,
+            ..Default::default()
+        }
+    }
+
+    /// Random min-max allocation NLP (the HSLB core shape): minimize the
+    /// epigraph variable t over per-group Amdahl curves and a node budget,
+    /// optionally with an equality pinning the total allocation so the KKT
+    /// sparse-LU path is exercised too.
+    fn minmax_nlp(rng: &mut Rng, with_eq: bool) -> NlpProblem {
+        let groups = rng.usize_range(2, 6);
+        let mut p = NlpProblem::new();
+        let vars: Vec<_> = (0..groups).map(|_| p.add_var(0.0, 0.5, 30.0)).collect();
+        let t = p.add_var(1.0, 0.0, 1e6);
+        for &v in &vars {
+            let work = rng.f64_range(20.0, 300.0);
+            p.add_constraint(
+                ConstraintFn::new("curve")
+                    .nonlinear_term(v, ScalarFn::perf_model(work, 0.0, 1.0))
+                    .linear_term(t, -1.0),
+            );
+        }
+        let cap = rng.f64_range(groups as f64 + 2.0, 4.0 * groups as f64);
+        let mut budget = ConstraintFn::new("budget").with_constant(-cap);
+        for &v in &vars {
+            budget = budget.linear_term(v, 1.0);
+        }
+        p.add_constraint(budget);
+        if with_eq {
+            // Pin the total exactly at a feasible level (interior of the
+            // budget): Σ x = cap - 1.
+            let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+            p.add_linear_eq(coeffs, cap - 1.0);
+        }
+        p
+    }
+
+    #[test]
+    fn sparse_and_dense_backends_agree_on_random_nlps() {
+        let mut rng = Rng::new(hslb_rng::seeds::TESTKIT ^ 0x7d);
+        for case in 0..40 {
+            let with_eq = case % 2 == 1;
+            let p = minmax_nlp(&mut rng, with_eq);
+            let dense = solve_with(&p, &opts(LinalgBackend::Dense)).unwrap();
+            let sparse = solve_with(&p, &opts(LinalgBackend::Sparse)).unwrap();
+            assert_eq!(dense.status, sparse.status, "case {case}");
+            assert_eq!(dense.status, NlpStatus::Optimal, "case {case}");
+            let scale = 1.0 + dense.objective.abs();
+            assert!(
+                (dense.objective - sparse.objective).abs() <= 1e-4 * scale,
+                "case {case}: dense {} vs sparse {}",
+                dense.objective,
+                sparse.objective
+            );
+            assert!(
+                sparse.factorizations >= 1,
+                "case {case}: sparse path unused"
+            );
+            assert_eq!(
+                dense.factorizations, 0,
+                "dense path counts no sparse factors"
+            );
+        }
+    }
+}

@@ -42,11 +42,21 @@ pub struct SolveStats {
     /// Dual-simplex pivots spent restoring primal feasibility from reused
     /// bases (a subset of `simplex_pivots`).
     pub dual_pivots: u64,
+    /// Numeric factorizations: simplex basis refactorizations (both
+    /// backends) plus sparse KKT/Hessian factorizations in the barrier
+    /// solver (sparse path only — the dense barrier solves in place).
+    pub factorizations: u64,
+    /// Product-form eta updates appended to sparse basis factors between
+    /// refactorizations (zero on the dense path).
+    pub factor_updates: u64,
+    /// Cumulative nonzeros across all sparse factors produced (zero on the
+    /// dense path).
+    pub fill_nnz: u64,
 }
 
 impl SolveStats {
     /// Number of counters in [`fields`](SolveStats::fields).
-    pub const FIELD_COUNT: usize = 13;
+    pub const FIELD_COUNT: usize = 16;
 
     /// Adds every counter of `other` into `self` (parallel merge).
     pub fn merge(&mut self, other: &SolveStats) {
@@ -63,6 +73,9 @@ impl SolveStats {
         self.presolve_tightenings += other.presolve_tightenings;
         self.warm_start_hits += other.warm_start_hits;
         self.dual_pivots += other.dual_pivots;
+        self.factorizations += other.factorizations;
+        self.factor_updates += other.factor_updates;
+        self.fill_nnz += other.fill_nnz;
     }
 
     /// Stable `(name, value)` view of every counter, in declaration order.
@@ -83,6 +96,9 @@ impl SolveStats {
             ("presolve_tightenings", self.presolve_tightenings),
             ("warm_start_hits", self.warm_start_hits),
             ("dual_pivots", self.dual_pivots),
+            ("factorizations", self.factorizations),
+            ("factor_updates", self.factor_updates),
+            ("fill_nnz", self.fill_nnz),
         ]
     }
 
@@ -135,6 +151,9 @@ mod tests {
             presolve_tightenings: 11,
             warm_start_hits: 12,
             dual_pivots: 13,
+            factorizations: 14,
+            factor_updates: 15,
+            fill_nnz: 16,
         };
         let b = a;
         a.merge(&b);

@@ -25,6 +25,57 @@ use hslb_rng::Rng;
 /// Relative tolerance for cross-solver objective agreement.
 pub const REL_TOL: f64 = 1e-3;
 
+/// Baseline differential tolerance, calibrated on the dense oracle at
+/// paper scale (boxes of ≤ 16 variables, O(1)–O(10) coefficients).
+const DIFF_TOL_BASE: f64 = 1e-6;
+/// Dimension at which [`backend_diff_tol`] starts growing: the paper-scale
+/// instances the fixed historical 1e-6 was calibrated on.
+const DIFF_TOL_DIM0: f64 = 16.0;
+/// Cap on the derived tolerance so the differential checks can never
+/// degenerate into a no-op on huge or badly scaled instances.
+const DIFF_TOL_CAP: f64 = 1e-4;
+
+/// Differential tolerance as a function of instance dimension and
+/// conditioning.
+///
+/// The fixed `1e-6` the checkers used historically silently assumed the
+/// dense oracle at paper scale; rounding error in a factorization grows
+/// like √dim, and disagreement between two *different* factorization
+/// orders (dense explicit inverse vs sparse LU + eta updates) additionally
+/// scales with the spread of coefficient magnitudes. `dim` is the total
+/// instance dimension (variables + rows); `cond_scale` is a cheap
+/// conditioning proxy such as [`lp_cond_scale`]. At paper scale
+/// (`dim ≤ 16`, `cond_scale ≈ 1`) this reproduces the historical 1e-6, so
+/// none of the tier-1 suites move; calibration is documented in
+/// EXPERIMENTS.md § Testkit.
+pub fn backend_diff_tol(dim: usize, cond_scale: f64) -> f64 {
+    let growth = (dim as f64 / DIFF_TOL_DIM0).sqrt().max(1.0);
+    (DIFF_TOL_BASE * growth * cond_scale.max(1.0)).min(DIFF_TOL_CAP)
+}
+
+/// Conditioning proxy for an LP: the number of decades its nonzero
+/// coefficient magnitudes span (≥ 1). A full condition-number estimate
+/// would need a factorization — circular for a checker that exists to
+/// validate factorizations — so the coefficient spread stands in: it
+/// bounds the scaling mismatch pivoting has to absorb.
+pub fn lp_cond_scale(lp: &hslb_lp::LinearProgram) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for row in lp.rows() {
+        for &(_, a) in &row.coeffs {
+            let m = a.abs();
+            if m > 0.0 {
+                lo = lo.min(m);
+                hi = hi.max(m);
+            }
+        }
+    }
+    if hi <= 0.0 || lo >= hi {
+        return 1.0;
+    }
+    (hi / lo).log10().max(1.0)
+}
+
 fn agree(a: f64, b: f64, rel: f64) -> bool {
     (a - b).abs() <= rel * a.abs().max(b.abs()).max(1.0)
 }
@@ -40,11 +91,17 @@ pub fn check_lp(inst: &LpInstance) -> Result<(), String> {
             sol.status
         ));
     }
-    if !inst.lp.is_feasible(&sol.x, 1e-6) {
+    // Tolerance derived from the instance, not hardwired to the dense
+    // oracle at paper scale — see `backend_diff_tol`.
+    let tol = backend_diff_tol(
+        inst.lp.num_vars() + inst.lp.num_rows(),
+        lp_cond_scale(&inst.lp),
+    );
+    if !inst.lp.is_feasible(&sol.x, tol) {
         return Err(format!("solver point infeasible: {:?}", sol.x));
     }
     let known = inst.lp.objective_value(&inst.xstar);
-    if sol.objective > known + 1e-6 * (1.0 + known.abs()) {
+    if sol.objective > known + tol * (1.0 + known.abs()) {
         return Err(format!(
             "objective {} worse than known point {known}",
             sol.objective
@@ -58,7 +115,7 @@ pub fn check_lp(inst: &LpInstance) -> Result<(), String> {
             .zip(&sol.duals)
             .map(|(row, y)| row.rhs * y)
             .sum();
-        if !agree(dual_obj, sol.objective, 1e-6) {
+        if !agree(dual_obj, sol.objective, tol) {
             return Err(format!(
                 "strong duality violated: dual {dual_obj} vs primal {}",
                 sol.objective
@@ -67,7 +124,7 @@ pub fn check_lp(inst: &LpInstance) -> Result<(), String> {
         for (r, row) in inst.lp.rows().iter().enumerate() {
             let slack = inst.lp.row_activity(r, &sol.x) - row.rhs;
             let y = sol.duals[r];
-            if slack.abs() > 1e-6 && y.abs() > 1e-6 {
+            if slack.abs() > tol && y.abs() > tol {
                 return Err(format!(
                     "complementary slackness violated on row {r}: slack {slack}, dual {y}"
                 ));
@@ -270,6 +327,72 @@ pub fn check_cesm(spec: &CesmModelSpec) -> Result<(), String> {
     Ok(())
 }
 
+/// MPS writer/parser differential check, three ways:
+///
+/// 1. **Fixed point** — `write_mps(parse_mps(write_mps(model)))` must equal
+///    `write_mps(model)` byte for byte (the writer is canonical, so one
+///    round trip must be a fixed point of parse∘write).
+/// 2. **Solve agreement** — the LPs built from the original and re-parsed
+///    models must agree on status and objective within
+///    [`backend_diff_tol`].
+/// 3. **Robustness probe** — a deterministically corrupted copy of the
+///    text must produce a clean `Err` or a valid parse, never a panic
+///    (corrupted inputs reach the parser from user files, not from the
+///    trusted writer).
+pub fn check_mps(rng: &mut Rng, size: u32) -> Result<(), String> {
+    let n = 4 * size as usize + rng.usize_range(2, 6);
+    let m = 2 * size as usize + rng.usize_range(1, 4);
+    let model = hslb_loaders::netlib_like(rng.next_u64(), n, m);
+    let text = hslb_loaders::write_mps(&model);
+    let back =
+        hslb_loaders::parse_mps(&text).map_err(|e| format!("round-trip parse failed: {e}"))?;
+    let text2 = hslb_loaders::write_mps(&back);
+    if text != text2 {
+        return Err("write->parse->write is not a fixed point".to_string());
+    }
+
+    let (lp_a, _) = model.to_linear_program();
+    let (lp_b, _) = back.to_linear_program();
+    let sol_a = hslb_lp::solve(&lp_a);
+    let sol_b = hslb_lp::solve(&lp_b);
+    if sol_a.status != sol_b.status {
+        return Err(format!(
+            "status diverged across round trip: {:?} vs {:?}",
+            sol_a.status, sol_b.status
+        ));
+    }
+    if sol_a.status == LpStatus::Optimal {
+        let tol = backend_diff_tol(lp_a.num_vars() + lp_a.num_rows(), lp_cond_scale(&lp_a));
+        if !agree(sol_a.objective, sol_b.objective, tol) {
+            return Err(format!(
+                "objective diverged across round trip: {} vs {}",
+                sol_a.objective, sol_b.objective
+            ));
+        }
+    }
+
+    // Robustness probe on a corrupted copy. The writer emits ASCII only,
+    // so byte offsets are char boundaries.
+    let cut = rng.usize_range(0, text.len().saturating_sub(1));
+    let mutated = match rng.usize_range(0, 2) {
+        0 => text[..cut].to_string(),
+        1 => format!("{}Q{}", &text[..cut], &text[cut..]),
+        _ => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            let drop = rng.usize_range(0, lines.len() - 1);
+            lines.remove(drop);
+            lines.join("\n")
+        }
+    };
+    match std::panic::catch_unwind(|| hslb_loaders::parse_mps(&mutated)) {
+        Ok(_) => Ok(()),
+        Err(_) => Err(format!(
+            "parser panicked on corrupted input (cut {cut}, len {})",
+            text.len()
+        )),
+    }
+}
+
 /// End-to-end pipeline: HSLB's *predicted* coupled time vs the simulator's
 /// *actual* time on a CESM scenario with the given noise seed.
 ///
@@ -300,4 +423,36 @@ pub fn check_pipeline(total_nodes: u64, seed: u64) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tol_tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_tolerance_is_the_historical_value() {
+        // dim ≤ 16 with O(1) conditioning must reproduce the 1e-6 the
+        // tier-1 suites were calibrated against.
+        assert_eq!(backend_diff_tol(4, 1.0), 1e-6);
+        assert_eq!(backend_diff_tol(16, 0.5), 1e-6);
+    }
+
+    #[test]
+    fn tolerance_grows_with_dimension_and_conditioning_then_caps() {
+        let t_big = backend_diff_tol(1600, 1.0);
+        assert!((t_big - 1e-5).abs() < 1e-12, "sqrt growth: {t_big}");
+        assert!(backend_diff_tol(1600, 3.0) > t_big);
+        assert_eq!(backend_diff_tol(1_000_000, 100.0), 1e-4, "must cap");
+    }
+
+    #[test]
+    fn cond_scale_counts_decades() {
+        let mut lp = hslb_lp::LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, 1.0);
+        let y = lp.add_var(1.0, 0.0, 1.0);
+        lp.add_row(vec![(x, 1.0), (y, 1.0)], hslb_lp::RowSense::Le, 1.0);
+        assert_eq!(lp_cond_scale(&lp), 1.0);
+        lp.add_row(vec![(x, 1e-3), (y, 1e3)], hslb_lp::RowSense::Le, 1.0);
+        assert!((lp_cond_scale(&lp) - 6.0).abs() < 1e-9);
+    }
 }

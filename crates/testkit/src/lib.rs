@@ -30,6 +30,7 @@ use hslb_rng::Rng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Layer {
     Lp,
+    Mps,
     Nlp,
     Minlp,
     Flat,
@@ -42,8 +43,9 @@ pub enum Layer {
 }
 
 impl Layer {
-    pub const ALL: [Layer; 10] = [
+    pub const ALL: [Layer; 11] = [
         Layer::Lp,
+        Layer::Mps,
         Layer::Nlp,
         Layer::Minlp,
         Layer::Flat,
@@ -58,6 +60,7 @@ impl Layer {
     pub fn name(self) -> &'static str {
         match self {
             Layer::Lp => "lp",
+            Layer::Mps => "mps",
             Layer::Nlp => "nlp",
             Layer::Minlp => "minlp",
             Layer::Flat => "flat",
@@ -80,7 +83,7 @@ impl Layer {
     pub fn relative_cost(self) -> u32 {
         match self {
             Layer::Lp => 1,
-            Layer::Nlp | Layer::MetaPermutation | Layer::MetaMonotonicity => 2,
+            Layer::Mps | Layer::Nlp | Layer::MetaPermutation | Layer::MetaMonotonicity => 2,
             Layer::Flat => 4,
             Layer::Fit | Layer::MetaFitScaling => 10,
             Layer::Minlp | Layer::Cesm => 40,
@@ -94,6 +97,7 @@ pub fn run_case(layer: Layer, seed: u64, size: u32) -> Result<(), String> {
     let mut rng = Rng::new(hslb_rng::hash_mix(&[seed, layer as u64]));
     match layer {
         Layer::Lp => check::check_lp(&gen::lp_instance(&mut rng, size)),
+        Layer::Mps => check::check_mps(&mut rng, size),
         Layer::Nlp => {
             let inst = gen::nlp_instance(&mut rng, size);
             check::check_nlp(&inst, &mut rng, 8)
@@ -193,6 +197,7 @@ pub fn run_suite(base_seed: u64) -> SuiteReport {
     for layer in Layer::ALL {
         let cases = match layer {
             Layer::Lp => 160,
+            Layer::Mps => 80,
             Layer::Nlp => 80,
             Layer::Flat => 80,
             Layer::Fit => 40,

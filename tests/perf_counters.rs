@@ -40,6 +40,11 @@ fn e7_oa_counters_golden() {
         presolve_tightenings: 3,
         warm_start_hits: 23,
         dual_pivots: 29,
+        // Dense-path refactorizations: one per LP solve (the sparse-only
+        // eta/fill counters stay zero below the crossover).
+        factorizations: 25,
+        factor_updates: 0,
+        fill_nnz: 0,
     };
     assert_eq!(stats, expected);
 }
@@ -61,6 +66,9 @@ fn e7_nlp_bnb_counters_golden() {
         presolve_tightenings: 184,
         warm_start_hits: 360,
         dual_pivots: 0,
+        factorizations: 0,
+        factor_updates: 0,
+        fill_nnz: 0,
     };
     assert_eq!(stats, expected);
 }
@@ -82,6 +90,9 @@ fn e7_parallel_t1_counters_golden() {
         presolve_tightenings: 184,
         warm_start_hits: 360,
         dual_pivots: 0,
+        factorizations: 0,
+        factor_updates: 0,
+        fill_nnz: 0,
     };
     assert_eq!(stats, expected);
 }

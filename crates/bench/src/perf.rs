@@ -38,7 +38,7 @@ pub fn allowance(baseline: u64) -> u64 {
 }
 
 /// The machine scale of the paper's §III-E solve-time claim (E7).
-const E7_TOTAL_NODES: u64 = 40_960;
+pub const E7_TOTAL_NODES: u64 = 40_960;
 /// SOS-vs-binary ablation sizes (E8) — kept below the sizes in
 /// `tables` so the whole suite stays fast enough for CI.
 const E8_SET_SIZES: [usize; 3] = [8, 32, 128];
@@ -146,16 +146,14 @@ pub fn perf_suite() -> Vec<PerfCase> {
     cases
 }
 
-/// Multithreaded counter envelope: E7 at `threads: 4`.
+/// Multithreaded counter gate: E7 at `threads: 4`.
 ///
-/// Counters under real concurrency are nondeterministic — incumbents land
-/// in racy order, which shifts prune and node counts run to run — so they
-/// cannot be pinned like the rest of the suite. Instead the run is checked
-/// against an envelope anchored on the single-thread traversal (the
-/// `parallel_t1` case, whose counters equal the serial depth-first tree):
-/// the node count must stay within ±25% and the search must record at
-/// least as many incumbent improvements. Returns violation descriptions
-/// (empty = pass).
+/// The parallel solver's deterministic replay merge guarantees a completed
+/// search reports the serial depth-first traversal's counters exactly, at
+/// any thread count (see `hslb_minlp::parallel` module docs). The gate
+/// therefore demands bit-equality with the pinned single-thread case —
+/// the ±25% node-count envelope that tolerated racy merges is gone.
+/// Returns violation descriptions (empty = pass).
 pub fn e7_thread_envelope(cases: &[PerfCase]) -> Vec<String> {
     let Some(serial) = cases.iter().find(|c| c.name.ends_with("_parallel_t1")) else {
         return vec!["e7 parallel_t1 case missing from suite".to_string()];
@@ -172,18 +170,11 @@ pub fn e7_thread_envelope(cases: &[PerfCase]) -> Vec<String> {
         violations.push("e7_parallel_t4: no finite objective".to_string());
         return violations;
     }
-    let base = serial.stats.nodes_opened;
-    let nodes = sol.stats.nodes_opened;
-    let slack = base / 4;
-    if nodes.abs_diff(base) > slack {
+    if sol.stats != serial.stats {
         violations.push(format!(
-            "e7_parallel_t4: nodes_opened {nodes} outside ±25% of single-thread {base}"
-        ));
-    }
-    if sol.stats.incumbents < serial.stats.incumbents {
-        violations.push(format!(
-            "e7_parallel_t4: incumbents {} < single-thread {}",
-            sol.stats.incumbents, serial.stats.incumbents
+            "e7_parallel_t4: stats diverged from single-thread replay contract: \
+             t4 {:?} vs t1 {:?}",
+            sol.stats, serial.stats
         ));
     }
     violations

@@ -1,0 +1,631 @@
+//! Item-level recursive-descent parser over the [`crate::lex`] token
+//! stream.
+//!
+//! Scope (see DESIGN.md § Lint v2): the parser recognizes the *item*
+//! structure of a file — functions, impl/trait blocks, inline modules,
+//! `use` trees, consts, type definitions, `macro_rules!` definitions — and
+//! leaves function bodies as opaque token ranges. Expression-level
+//! sub-parsing happens only inside the rules that need it (call-site
+//! extraction, hash-container tracking), on those ranges. `macro_rules!`
+//! bodies are skipped entirely: their token soup follows macro grammar,
+//! not item grammar. Items nested *inside* function bodies (inner fns,
+//! closure-local `use`) are deliberately not indexed — they are invisible
+//! outside the body that contains them, and the interprocedural rules only
+//! need the workspace-visible surface.
+
+use crate::context::ContextMap;
+use crate::lex::{TokKind, Token};
+
+/// One parsed function item (free fn, inherent/trait-impl method, or trait
+/// default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Inline-module path within the file (file-level `mod x;` declarations
+    /// contribute nothing; cross-file layout is the symbol table's job).
+    pub module: Vec<String>,
+    /// `impl Type { … }` / `impl Trait for Type { … }` / `trait Name { … }`
+    /// enclosing type name, if any.
+    pub self_ty: Option<String>,
+    /// Trait name when inside `impl Trait for Type`.
+    pub trait_impl: Option<String>,
+    /// Plain `pub` (restricted forms like `pub(crate)` are not a public
+    /// API surface and stay false).
+    pub is_pub: bool,
+    /// Inside `#[cfg(test)]` / `#[test]` scope (from the context map).
+    pub in_test: bool,
+    pub line: u32,
+    /// Token index of the name identifier.
+    pub name_idx: usize,
+    /// Token indices of the body's `{` and matching `}` (inclusive); `None`
+    /// for bodiless trait-method signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A `const` or `static` item.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    pub name: String,
+    pub line: u32,
+}
+
+/// One flattened `use` leaf: `use a::b::{c, d as e}` yields two entries.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// Full path segments, including the leaf.
+    pub path: Vec<String>,
+    /// The name the import binds locally (the leaf, or the `as` alias).
+    pub alias: String,
+}
+
+/// An `impl` block header (for fixture assertions and method attribution).
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    pub self_ty: String,
+    pub trait_name: Option<String>,
+    pub line: u32,
+}
+
+/// The item-level AST of one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    pub fns: Vec<FnItem>,
+    pub consts: Vec<ConstItem>,
+    pub uses: Vec<UseItem>,
+    pub impls: Vec<ImplItem>,
+    /// Inline module names (`mod x { … }`), in source order.
+    pub inline_mods: Vec<String>,
+    /// Names of `macro_rules!` definitions whose bodies were skipped.
+    pub macro_defs: Vec<String>,
+    /// Struct fields declared with an unordered hash type
+    /// (`name: HashMap<…>` / `HashSet<…>`), for the determinism pack.
+    pub hash_fields: Vec<String>,
+}
+
+/// Modifier keywords that may prefix an item header.
+const MODIFIERS: &[&str] = &["unsafe", "async", "extern", "default"];
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    map: &'a ContextMap,
+    i: usize,
+    out: Ast,
+}
+
+/// Parses the item structure of a lexed file. Never panics: on grammar it
+/// does not recognize it resynchronizes at the next token, so deliberately
+/// dirty fixtures and macro-heavy files degrade to fewer items, not
+/// failures.
+pub fn parse(tokens: &[Token], map: &ContextMap) -> Ast {
+    let mut p = Parser {
+        tokens,
+        map,
+        i: 0,
+        out: Ast::default(),
+    };
+    p.items(&mut Vec::new(), None, None);
+    p.out
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, k: usize) -> Option<&'a Token> {
+        self.tokens.get(k)
+    }
+
+    fn text(&self, k: usize) -> &'a str {
+        self.tokens.get(k).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn in_test(&self, k: usize) -> bool {
+        self.map.ctx.get(k).is_some_and(|c| c.in_test)
+    }
+
+    /// Skips a balanced `{ … }` starting at `self.i` (which must point at
+    /// `{`); returns the index of the closing brace.
+    fn skip_braces(&mut self) -> usize {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(self.i) {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.i;
+                    }
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        self.i.saturating_sub(1)
+    }
+
+    /// Skips a balanced bracket pair of `open`/`close` starting at `self.i`.
+    fn skip_pair(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(self.i) {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skips a generic parameter list if one starts at `self.i`. The lexer
+    /// emits `>>` as one token, so nested closers (`Vec<Vec<f64>>`) count
+    /// double.
+    fn skip_generics(&mut self) {
+        if self.text(self.i) != "<" {
+            return;
+        }
+        let mut depth = 0isize;
+        while let Some(t) = self.tok(self.i) {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            self.i += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skips an attribute (`#[…]` / `#![…]`) with `self.i` at `#`.
+    fn skip_attr(&mut self) {
+        self.i += 1;
+        if self.text(self.i) == "!" {
+            self.i += 1;
+        }
+        if self.text(self.i) == "[" {
+            self.skip_pair("[", "]");
+        }
+    }
+
+    /// Parses items until the matching `}` of the enclosing scope (or EOF).
+    fn items(&mut self, module: &mut Vec<String>, self_ty: Option<&str>, trait_impl: Option<&str>) {
+        let mut is_pub = false;
+        while let Some(t) = self.tok(self.i) {
+            let text = t.text.as_str();
+            match (t.kind, text) {
+                (TokKind::Punct, "#") => {
+                    self.skip_attr();
+                    continue;
+                }
+                (TokKind::Punct, "}") => {
+                    self.i += 1;
+                    return;
+                }
+                (TokKind::Ident, "pub") => {
+                    self.i += 1;
+                    if self.text(self.i) == "(" {
+                        // `pub(crate)` & friends: visible, not public API.
+                        self.skip_pair("(", ")");
+                    } else {
+                        is_pub = true;
+                    }
+                    continue;
+                }
+                (TokKind::Ident, m) if MODIFIERS.contains(&m) => {
+                    self.i += 1;
+                    // `extern "C"` carries an ABI string.
+                    if m == "extern" && self.tok(self.i).is_some_and(|t| t.kind == TokKind::Str) {
+                        self.i += 1;
+                    }
+                    continue;
+                }
+                (TokKind::Ident, "use") => {
+                    self.parse_use();
+                }
+                (TokKind::Ident, "mod") => {
+                    let name = self.text(self.i + 1).to_string();
+                    self.i += 2;
+                    if self.text(self.i) == "{" {
+                        self.out.inline_mods.push(name.clone());
+                        module.push(name);
+                        self.i += 1;
+                        self.items(module, self_ty, trait_impl);
+                        module.pop();
+                    } else if self.text(self.i) == ";" {
+                        self.i += 1;
+                    }
+                }
+                (TokKind::Ident, "fn") => {
+                    self.parse_fn(module, self_ty, trait_impl, is_pub);
+                }
+                (TokKind::Ident, "impl") => {
+                    self.parse_impl(module);
+                }
+                (TokKind::Ident, "trait") => {
+                    let name = self.text(self.i + 1).to_string();
+                    let _ = t;
+                    self.i += 2;
+                    self.skip_generics();
+                    // Supertraits / where clause: scan to the body.
+                    while !matches!(self.text(self.i), "{" | "") {
+                        self.i += 1;
+                    }
+                    if self.text(self.i) == "{" {
+                        self.i += 1;
+                        module.push(String::new()); // keep depth bookkeeping simple
+                        module.pop();
+                        self.items(module, Some(&name), None);
+                    }
+                }
+                (TokKind::Ident, "const" | "static") => {
+                    // `const fn` is a function, not a const item.
+                    if self.text(self.i + 1) == "fn" {
+                        self.i += 1;
+                        continue;
+                    }
+                    let name_at = if self.text(self.i + 1) == "mut" {
+                        self.i + 2
+                    } else {
+                        self.i + 1
+                    };
+                    if self
+                        .tok(name_at)
+                        .is_some_and(|n| n.kind == TokKind::Ident && n.text != "_")
+                    {
+                        self.out.consts.push(ConstItem {
+                            name: self.text(name_at).to_string(),
+                            line: t.line,
+                        });
+                    }
+                    self.skip_to_semi();
+                }
+                (TokKind::Ident, "struct" | "enum" | "union") => {
+                    self.parse_type_def(text == "struct");
+                }
+                (TokKind::Ident, "type") => {
+                    self.skip_to_semi();
+                }
+                (TokKind::Ident, "macro_rules") => {
+                    // `macro_rules! name { … }` — body skipped by design.
+                    let name = self.text(self.i + 2).to_string();
+                    self.out.macro_defs.push(name);
+                    self.i += 3;
+                    match self.text(self.i) {
+                        "{" => {
+                            self.skip_braces();
+                            self.i += 1;
+                        }
+                        "(" => {
+                            self.skip_pair("(", ")");
+                            if self.text(self.i) == ";" {
+                                self.i += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                (TokKind::Punct, "{") => {
+                    // Unexpected block at item level: skip it whole.
+                    self.skip_braces();
+                    self.i += 1;
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+            is_pub = false;
+        }
+    }
+
+    /// `self.i` points at `fn`.
+    fn parse_fn(
+        &mut self,
+        module: &[String],
+        self_ty: Option<&str>,
+        trait_impl: Option<&str>,
+        is_pub: bool,
+    ) {
+        let fn_line = self.tok(self.i).map(|t| t.line).unwrap_or(0);
+        self.i += 1;
+        let name_idx = self.i;
+        let Some(name_tok) = self.tok(name_idx).filter(|t| t.kind == TokKind::Ident) else {
+            return;
+        };
+        self.i += 1;
+        self.skip_generics();
+        if self.text(self.i) == "(" {
+            self.skip_pair("(", ")");
+        }
+        // Return type + where clause: scan to the body or a bodiless `;`.
+        while !matches!(self.text(self.i), "{" | ";" | "") {
+            self.i += 1;
+        }
+        let body = if self.text(self.i) == "{" {
+            let open = self.i;
+            let close = self.skip_braces();
+            self.i += 1;
+            Some((open, close))
+        } else {
+            if self.text(self.i) == ";" {
+                self.i += 1;
+            }
+            None
+        };
+        self.out.fns.push(FnItem {
+            name: name_tok.text.clone(),
+            module: module.to_vec(),
+            self_ty: self_ty.map(str::to_owned),
+            trait_impl: trait_impl.map(str::to_owned),
+            is_pub,
+            in_test: self.in_test(name_idx),
+            line: fn_line,
+            name_idx,
+            body,
+        });
+    }
+
+    /// `self.i` points at `impl`.
+    fn parse_impl(&mut self, module: &mut Vec<String>) {
+        let line = self.tok(self.i).map(|t| t.line).unwrap_or(0);
+        self.i += 1;
+        self.skip_generics();
+        // First path: the trait (when `for` follows) or the self type.
+        let first = self.collect_path_head();
+        let (trait_name, self_ty) = if self.text(self.i) == "for" {
+            self.i += 1;
+            let ty = self.collect_path_head();
+            (Some(first), ty)
+        } else {
+            (None, first)
+        };
+        while !matches!(self.text(self.i), "{" | "") {
+            self.i += 1;
+        }
+        if self.text(self.i) == "{" {
+            self.out.impls.push(ImplItem {
+                self_ty: self_ty.clone(),
+                trait_name: trait_name.clone(),
+                line,
+            });
+            self.i += 1;
+            self.items(module, Some(&self_ty), trait_name.as_deref());
+        }
+    }
+
+    /// Collects a type path head up to `for`/`where`/`{`, returning the
+    /// last plain identifier (the type's base name, generics stripped):
+    /// `hslb_obs::SolveStats` → `SolveStats`, `&mut Foo<T>` → `Foo`.
+    fn collect_path_head(&mut self) -> String {
+        let mut last = String::new();
+        while let Some(t) = self.tok(self.i) {
+            match t.text.as_str() {
+                "{" | "for" | "where" | "" => break,
+                "<" => {
+                    self.skip_generics();
+                    continue;
+                }
+                _ => {
+                    if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut") {
+                        last = t.text.clone();
+                    }
+                    self.i += 1;
+                }
+            }
+        }
+        last
+    }
+
+    /// `self.i` points at `struct`/`enum`/`union`. Records hash-typed
+    /// struct fields on the way through.
+    fn parse_type_def(&mut self, is_struct: bool) {
+        self.i += 1; // keyword
+        self.i += 1; // name
+        self.skip_generics();
+        while !matches!(self.text(self.i), "{" | "(" | ";" | "") {
+            self.i += 1;
+        }
+        match self.text(self.i) {
+            "{" => {
+                let open = self.i;
+                let close = self.skip_braces();
+                if is_struct {
+                    self.collect_hash_fields(open, close);
+                }
+                self.i += 1;
+            }
+            "(" => {
+                self.skip_pair("(", ")");
+                self.skip_to_semi();
+            }
+            ";" => self.i += 1,
+            _ => {}
+        }
+    }
+
+    /// Scans a struct body for `name: HashMap<…>` / `HashSet<…>` fields.
+    fn collect_hash_fields(&mut self, open: usize, close: usize) {
+        let toks = self.tokens;
+        for k in open..close {
+            if toks[k].text == ":"
+                && k > open
+                && toks[k - 1].kind == TokKind::Ident
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|t| matches!(t.text.as_str(), "HashMap" | "HashSet"))
+            {
+                self.out.hash_fields.push(toks[k - 1].text.clone());
+            }
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        let mut brace = 0usize;
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        while let Some(t) = self.tok(self.i) {
+            match t.text.as_str() {
+                "{" => brace += 1,
+                "}" => brace = brace.saturating_sub(1),
+                "(" => paren += 1,
+                ")" => paren = paren.saturating_sub(1),
+                "[" => bracket += 1,
+                "]" => bracket = bracket.saturating_sub(1),
+                ";" if brace == 0 && paren == 0 && bracket == 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// `self.i` points at `use`. Flattens the use tree into leaves.
+    fn parse_use(&mut self) {
+        self.i += 1;
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix);
+        if self.text(self.i) == ";" {
+            self.i += 1;
+        }
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        loop {
+            match (
+                self.tok(self.i).map(|t| t.kind),
+                self.text(self.i),
+                self.text(self.i + 1),
+            ) {
+                (Some(TokKind::Ident), seg, "::") => {
+                    prefix.push(seg.to_string());
+                    self.i += 2;
+                }
+                (Some(TokKind::Ident), "as", _) => {
+                    // `leaf as alias` — the leaf was just emitted; replace
+                    // its alias.
+                    let alias = self.text(self.i + 1).to_string();
+                    if let Some(last) = self.out.uses.last_mut() {
+                        last.alias = alias;
+                    }
+                    self.i += 2;
+                }
+                (Some(TokKind::Ident), seg, _) => {
+                    let mut path = prefix.clone();
+                    if seg == "self" {
+                        // `a::b::{self, …}` imports `b` itself.
+                    } else {
+                        path.push(seg.to_string());
+                    }
+                    let alias = path.last().cloned().unwrap_or_default();
+                    self.out.uses.push(UseItem { path, alias });
+                    self.i += 1;
+                }
+                (_, "{", _) => {
+                    self.i += 1;
+                    loop {
+                        self.use_tree(prefix);
+                        if self.text(self.i) == "," {
+                            self.i += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    if self.text(self.i) == "}" {
+                        self.i += 1;
+                    }
+                }
+                (_, "*", _) => {
+                    // Glob import: record the module itself as a wildcard.
+                    self.out.uses.push(UseItem {
+                        path: prefix.clone(),
+                        alias: "*".to_string(),
+                    });
+                    self.i += 1;
+                }
+                _ => break,
+            }
+            // A leaf/group ends this branch unless a `::` continued it
+            // above; commas and closers are the caller's to consume.
+            if matches!(self.text(self.i), "," | "}" | ";" | "") {
+                break;
+            }
+        }
+        prefix.truncate(depth_at_entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::contexts;
+    use crate::lex::lex;
+
+    fn ast_of(src: &str) -> Ast {
+        let out = lex(src);
+        let map = contexts(&out.tokens);
+        parse(&out.tokens, &map)
+    }
+
+    #[test]
+    fn parses_free_and_method_fns() {
+        let ast = ast_of(
+            "pub fn free(x: f64) -> f64 { x }\n\
+             struct S;\n\
+             impl S { pub fn method(&self) {} fn private(&self) {} }\n",
+        );
+        assert_eq!(ast.fns.len(), 3);
+        assert_eq!(ast.fns[0].name, "free");
+        assert!(ast.fns[0].is_pub);
+        assert_eq!(ast.fns[0].self_ty, None);
+        assert_eq!(ast.fns[1].self_ty.as_deref(), Some("S"));
+        assert!(!ast.fns[2].is_pub);
+        assert_eq!(ast.impls.len(), 1);
+    }
+
+    #[test]
+    fn flattens_use_trees() {
+        let ast = ast_of("use a::b::{c, d::e as f, self};\nuse g::*;\n");
+        let views: Vec<(String, String)> = ast
+            .uses
+            .iter()
+            .map(|u| (u.path.join("::"), u.alias.clone()))
+            .collect();
+        assert_eq!(
+            views,
+            vec![
+                ("a::b::c".into(), "c".into()),
+                ("a::b::d::e".into(), "f".into()),
+                ("a::b".into(), "b".into()),
+                ("g".into(), "*".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let ast = ast_of(
+            "macro_rules! m { ($x:expr) => { fn not_an_item() {} }; }\n\
+             fn real() {}\n",
+        );
+        assert_eq!(ast.macro_defs, vec!["m"]);
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn records_hash_fields_and_consts() {
+        let ast = ast_of(
+            "use std::collections::HashMap;\n\
+             pub const LIMIT: usize = 3;\n\
+             struct Index { by_name: HashMap<String, usize>, order: Vec<usize> }\n",
+        );
+        assert_eq!(ast.consts.len(), 1);
+        assert_eq!(ast.consts[0].name, "LIMIT");
+        assert_eq!(ast.hash_fields, vec!["by_name"]);
+    }
+}

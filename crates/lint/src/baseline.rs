@@ -14,7 +14,7 @@ use std::path::Path;
 /// Header written at the top of a regenerated baseline file.
 const HEADER: &str = "\
 # hslb-lint baseline — grandfathered findings, one fingerprint per line.
-# Regenerate with `hslb-lint --workspace --fix-baseline`; shrink it, never
+# Regenerate with `hslb-lint --workspace --update-baseline`; shrink it, never
 # grow it: new code must be clean or carry a reasoned lint:allow.
 ";
 

@@ -1,11 +1,15 @@
 //! CLI for the workspace linter.
 //!
 //! ```text
-//! hslb-lint --workspace                 # lint everything, gate on baseline
-//! hslb-lint --workspace --fix-baseline  # regenerate lint-baseline.txt
+//! hslb-lint --workspace                    # lint everything, gate on baseline
+//! hslb-lint --workspace --update-baseline  # regenerate lint-baseline.txt
 //! hslb-lint --workspace --extend slice-index   # opt into extra rules
-//! hslb-lint path/to/file.rs             # lint specific files (no baseline)
+//! hslb-lint path/to/file.rs                # lint specific files (no baseline)
 //! ```
+//!
+//! `--update-baseline` is deterministic: identical findings produce a
+//! byte-identical `lint-baseline.txt` (sorted fingerprints, fixed header),
+//! so regenerating on a clean tree is always a no-op diff.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
@@ -27,12 +31,18 @@ struct Args {
 }
 
 const USAGE: &str = "\
-usage: hslb-lint [--workspace] [--root DIR] [--baseline FILE] [--fix-baseline]
+usage: hslb-lint [--workspace] [--root DIR] [--baseline FILE] [--update-baseline]
                  [--rules r1,r2] [--extend r1,r2] [--list-baselined] [FILES…]
 
-rules: float-eq panic-in-lib lossy-cast magic-epsilon dep-policy
-       slice-index (default in lp/linalg, opt-in elsewhere)
-       suppression (always on)";
+--update-baseline  regenerate lint-baseline.txt deterministically from the
+                   current findings (alias: --fix-baseline)
+
+lexical rules:   float-eq panic-in-lib lossy-cast magic-epsilon dep-policy
+                 slice-index (default in lp/linalg/loaders, opt-in elsewhere)
+                 suppression (always on)
+semantic rules:  nondet-iteration nondet-reduction ambient-entropy
+                 panic-path numeric-provenance
+                 (workspace mode only — file mode runs the lexical rules)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -55,7 +65,7 @@ fn parse_args() -> Result<Args, String> {
             "--workspace" => args.workspace = true,
             "--root" => args.root = PathBuf::from(value("--root")?),
             "--baseline" => args.baseline_path = Some(PathBuf::from(value("--baseline")?)),
-            "--fix-baseline" => args.fix_baseline = true,
+            "--update-baseline" | "--fix-baseline" => args.fix_baseline = true,
             "--rules" => {
                 args.rules_override =
                     Some(value("--rules")?.split(',').map(str::to_owned).collect())
@@ -180,7 +190,7 @@ fn main() -> ExitCode {
     }
     for stale in &res.stale_baseline {
         eprintln!(
-            "hslb-lint: stale baseline entry (burned down — run --fix-baseline): {}",
+            "hslb-lint: stale baseline entry (burned down — run --update-baseline): {}",
             stale.replace('\t', " | ")
         );
     }

@@ -1,0 +1,156 @@
+//! Interprocedural call graph over the workspace symbol table.
+//!
+//! Call sites are extracted from function-body token ranges with three
+//! shapes: `name(…)` (free call), `recv.name(…)` (method call), and
+//! `Qual::name(…)` (qualified call, qualifier = the path segment just
+//! before the name). Macro *invocations* are not edges — their argument
+//! tokens are still scanned, so calls inside `format!(…)` arguments are
+//! seen. `cfg(test)` functions contribute no edges and are never callees:
+//! the graph models the production binary.
+//!
+//! Soundness caveats (documented over-approximations, DESIGN.md § Lint
+//! v2): no trait-object devirtualization (a `dyn Trait` method call
+//! resolves to *every* method of that name), no closures-as-values (a
+//! closure called through a variable is invisible), and no turbofish
+//! (`name::<T>(…)` is missed — absent from this workspace's lib code).
+
+use crate::lex::{TokKind, Token};
+use crate::symbols::{FnId, WorkspaceSymbols};
+use std::collections::BTreeMap;
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    /// Path segment immediately before `::name(` for qualified calls.
+    pub qualifier: Option<String>,
+    /// `recv.name(…)`.
+    pub is_method: bool,
+    pub line: u32,
+}
+
+/// Keywords that look like `ident (` but are control flow, not calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as", "fn",
+    "let", "move", "unsafe", "ref", "mut", "use", "pub", "impl", "where", "struct", "enum",
+    "trait", "type", "const", "static", "dyn", "box", "await", "yield",
+];
+
+/// Extracts every call site in the token range `body` (inclusive).
+pub fn call_sites(tokens: &[Token], body: (usize, usize)) -> Vec<CallSite> {
+    let (lo, hi) = body;
+    let mut out = Vec::new();
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || NOT_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if tokens.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        // `fn name(` is a nested definition, `name!(…)` never reaches here
+        // (the `!` sits between the ident and the paren).
+        if prev.is_some_and(|p| p.text == "fn") {
+            continue;
+        }
+        let is_method = prev.is_some_and(|p| p.text == ".");
+        let qualifier = if !is_method
+            && prev.is_some_and(|p| p.text == "::")
+            && i >= 2
+            && tokens[i - 2].kind == TokKind::Ident
+        {
+            Some(tokens[i - 2].text.clone())
+        } else {
+            None
+        };
+        out.push(CallSite {
+            name: t.text.clone(),
+            qualifier,
+            is_method,
+            line: t.line,
+        });
+    }
+    out
+}
+
+/// The resolved graph: caller → sorted, deduped `(callee, line of the
+/// first call)` adjacency.
+pub struct CallGraph {
+    pub edges: BTreeMap<FnId, Vec<(FnId, u32)>>,
+}
+
+impl CallGraph {
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+}
+
+/// Builds the call graph for every non-test function with a body.
+pub fn build(ws: &WorkspaceSymbols) -> CallGraph {
+    let mut edges: BTreeMap<FnId, Vec<(FnId, u32)>> = BTreeMap::new();
+    for (fi, fa) in ws.files.iter().enumerate() {
+        for (ii, f) in fa.ast.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some(body) = f.body else {
+                continue;
+            };
+            let caller = FnId { file: fi, item: ii };
+            let mut adj: Vec<(FnId, u32)> = Vec::new();
+            for call in call_sites(&fa.tokens, body) {
+                for callee in ws.resolve(caller, &call) {
+                    adj.push((callee, call.line));
+                }
+            }
+            // Keep one edge per callee, at its earliest call line (sorted
+            // input: dedup keeps the first occurrence).
+            adj.sort_unstable();
+            adj.dedup_by_key(|e| e.0);
+            edges.insert(caller, adj);
+        }
+    }
+    CallGraph { edges }
+}
+
+/// Deterministic breadth-first search from `start`. Returns the visit
+/// order (excluding `start`) and, for each visited node, its predecessor
+/// and the line of the call edge — enough to reconstruct a shortest
+/// call-path witness.
+pub fn bfs(graph: &CallGraph, start: FnId) -> (Vec<FnId>, BTreeMap<FnId, (FnId, u32)>) {
+    let mut order = Vec::new();
+    let mut pred: BTreeMap<FnId, (FnId, u32)> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        let Some(adj) = graph.edges.get(&node) else {
+            continue;
+        };
+        for &(callee, line) in adj {
+            if callee == start || pred.contains_key(&callee) {
+                continue;
+            }
+            pred.insert(callee, (node, line));
+            order.push(callee);
+            queue.push_back(callee);
+        }
+    }
+    (order, pred)
+}
+
+/// Reconstructs the call path `start → … → target` as a list of `FnId`s
+/// (inclusive on both ends) from a predecessor map produced by [`bfs`].
+pub fn witness(start: FnId, target: FnId, pred: &BTreeMap<FnId, (FnId, u32)>) -> Vec<FnId> {
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != start {
+        let Some(&(p, _)) = pred.get(&cur) else {
+            break;
+        };
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path
+}

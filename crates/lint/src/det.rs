@@ -1,0 +1,319 @@
+//! Determinism rule pack: `nondet-iteration`, `nondet-reduction`, and
+//! `ambient-entropy`.
+//!
+//! The HSLB solvers promise bit-identical replay (`tests/obs_determinism.rs`
+//! asserts it dynamically); this pack is the static half of the same
+//! contract. Solver state must never flow through an unordered container's
+//! iteration order or through ambient entropy:
+//!
+//! - `nondet-iteration` — iterating a `HashMap`/`HashSet` (bindings,
+//!   parameters, or struct fields with a hash type) in library code. Hash
+//!   iteration order is seeded per-process, so any state it touches varies
+//!   run to run. Use `BTreeMap`/`BTreeSet` or iterate a sorted view.
+//! - `nondet-reduction` — hash iteration feeding an accumulation
+//!   (`.sum()`/`.fold()`/`.product()` chains, or compound assignment
+//!   inside a `for` over a hash container). Float addition does not
+//!   commute in rounding, so the result depends on visit order. Files in
+//!   [`BLESSED_REDUCTION_FILES`] are the sanctioned merge boundary and are
+//!   exempt.
+//! - `ambient-entropy` — wall-clock, randomness, or platform queries
+//!   (`SystemTime`, `Instant::now`, `thread_rng`, `RandomState`,
+//!   `available_parallelism`, …) in library code. All randomness must come
+//!   from `hslb_rng` seeds and all time from injected clocks; files in
+//!   [`ENTROPY_BOUNDARY_FILES`] are the sanctioned clock boundary.
+//!
+//! All three apply to `Role::Lib` outside `cfg(test)`. They are
+//! workspace-phase rules only because hash-typed *struct fields* cross
+//! file boundaries; everything else is file-local.
+
+use crate::lex::{TokKind, Token};
+use crate::rules::{
+    snippet_around, Finding, LintConfig, Role, AMBIENT_ENTROPY, NONDET_ITERATION, NONDET_REDUCTION,
+};
+use crate::symbols::WorkspaceSymbols;
+use std::collections::BTreeSet;
+
+/// The sanctioned order-dependent merge points: observability counters are
+/// folded here, and only here, under the documented merge semantics.
+pub const BLESSED_REDUCTION_FILES: &[&str] = &["crates/obs/src/stats.rs"];
+
+/// The sanctioned wall-clock boundary: deadline clocks are constructed
+/// here and injected everywhere else.
+pub const ENTROPY_BOUNDARY_FILES: &[&str] = &["crates/obs/src/clock.rs"];
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Iterator-producing methods whose order is the container's.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+const REDUCERS: &[&str] = &["sum", "fold", "product"];
+
+/// Entropy sources flagged when *used* (followed by `::` or `(`): imports
+/// alone are not findings, the call sites are.
+const ENTROPY_IDENTS: &[&str] = &[
+    "SystemTime",
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "RandomState",
+    "DefaultHasher",
+    "from_entropy",
+    "getrandom",
+    "available_parallelism",
+];
+
+pub fn check(ws: &WorkspaceSymbols, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let iteration_on = cfg.on(NONDET_ITERATION);
+    let reduction_on = cfg.on(NONDET_REDUCTION);
+    let entropy_on = cfg.on(AMBIENT_ENTROPY);
+    if !iteration_on && !reduction_on && !entropy_on {
+        return;
+    }
+    for fa in ws.files {
+        if fa.role != Role::Lib {
+            continue;
+        }
+        if entropy_on && !ENTROPY_BOUNDARY_FILES.contains(&fa.path.as_str()) {
+            ambient_entropy(fa, out);
+        }
+        if (iteration_on || reduction_on) && !BLESSED_REDUCTION_FILES.contains(&fa.path.as_str()) {
+            hash_iteration(fa, ws, iteration_on, reduction_on, out);
+        }
+    }
+}
+
+fn push(
+    fa: &crate::rules::FileAnalysis,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    i: usize,
+    snippet: String,
+    message: String,
+) {
+    out.push(Finding {
+        rule,
+        path: fa.path.clone(),
+        line: fa.tokens[i].line,
+        fn_name: fa.map.fn_name_at(i).map(str::to_owned),
+        snippet,
+        message,
+    });
+}
+
+fn ambient_entropy(fa: &crate::rules::FileAnalysis, out: &mut Vec<Finding>) {
+    let tokens = &fa.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let c = fa.map.ctx[i];
+        if c.in_test || c.in_attr {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|n| n.text.as_str()).unwrap_or("");
+        let hit = match t.text.as_str() {
+            // `Instant` is only entropy at the acquisition point.
+            "Instant" => next == "::" && tokens.get(i + 2).is_some_and(|n| n.text == "now"),
+            name if ENTROPY_IDENTS.contains(&name) => next == "::" || next == "(",
+            _ => false,
+        };
+        if hit {
+            push(
+                fa,
+                out,
+                AMBIENT_ENTROPY,
+                i,
+                snippet_around(tokens, i, 1, 3),
+                format!(
+                    "`{}` is ambient entropy in solver code — inject a clock/seed \
+                     (hslb_rng, obs clock) so replays are bit-identical",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Collects names bound to hash types inside `body`: `let [mut] name` in a
+/// statement mentioning a hash type, and `name: HashMap<…>` parameter or
+/// binding annotations.
+fn hash_bindings(tokens: &[Token], body: (usize, usize)) -> BTreeSet<String> {
+    let (lo, hi) = body;
+    let mut names = BTreeSet::new();
+    for k in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        if tokens[k].kind != TokKind::Ident || !HASH_TYPES.contains(&tokens[k].text.as_str()) {
+            continue;
+        }
+        // `name : HashMap<…>` (parameter or annotated binding).
+        if k >= 2 && tokens[k - 1].text == ":" && tokens[k - 2].kind == TokKind::Ident {
+            names.insert(tokens[k - 2].text.clone());
+            continue;
+        }
+        // Walk back to a `let` within the same statement.
+        let mut j = k;
+        while j > lo {
+            j -= 1;
+            match tokens[j].text.as_str() {
+                ";" | "{" | "}" => break,
+                "let" => {
+                    let name_at = if tokens.get(j + 1).is_some_and(|t| t.text == "mut") {
+                        j + 2
+                    } else {
+                        j + 1
+                    };
+                    if let Some(n) = tokens.get(name_at).filter(|t| t.kind == TokKind::Ident) {
+                        names.insert(n.text.clone());
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn hash_iteration(
+    fa: &crate::rules::FileAnalysis,
+    ws: &WorkspaceSymbols,
+    iteration_on: bool,
+    reduction_on: bool,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = &fa.tokens;
+    for f in &fa.ast.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = f.body else {
+            continue;
+        };
+        let locals = hash_bindings(tokens, body);
+        let is_hash_name = |name: &str| locals.contains(name) || ws.hash_fields.contains(name);
+        let (lo, hi) = body;
+        for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+            let t = &tokens[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            // `recv.iter()` / `self.field.keys()` — the receiver ident sits
+            // just before the method's dot.
+            let method_site = ITER_METHODS.contains(&t.text.as_str())
+                && i >= 2
+                && tokens[i - 1].text == "."
+                && tokens.get(i + 1).is_some_and(|n| n.text == "(")
+                && tokens[i - 2].kind == TokKind::Ident
+                && is_hash_name(&tokens[i - 2].text);
+            // `for pat in [&mut] recv {` — a direct loop over the container.
+            let for_site = t.text == "in" && {
+                let mut j = i + 1;
+                while tokens
+                    .get(j)
+                    .is_some_and(|n| matches!(n.text.as_str(), "&" | "mut"))
+                {
+                    j += 1;
+                }
+                tokens.get(j).is_some_and(|n| {
+                    n.kind == TokKind::Ident
+                        && is_hash_name(&n.text)
+                        && tokens.get(j + 1).is_some_and(|b| b.text == "{")
+                })
+            };
+            if !method_site && !for_site {
+                continue;
+            }
+            let reduced = reduction_on && is_reduction(tokens, i, hi);
+            if reduced {
+                push(
+                    fa,
+                    out,
+                    NONDET_REDUCTION,
+                    i,
+                    snippet_around(tokens, i, 2, 3),
+                    "order-dependent accumulation over unordered hash iteration — float \
+                     rounding does not commute; iterate a sorted view or fold at the \
+                     blessed obs merge point"
+                        .into(),
+                );
+            } else if iteration_on {
+                push(
+                    fa,
+                    out,
+                    NONDET_ITERATION,
+                    i,
+                    snippet_around(tokens, i, 2, 3),
+                    "iteration over a HashMap/HashSet in solver code — order is \
+                     seeded per process; use BTreeMap/BTreeSet or a sorted view"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+/// Does the iteration site at `i` feed an accumulation? Two shapes: the
+/// same expression chains into `.sum()`/`.fold()`/`.product()` before the
+/// statement ends, or (for a `for … in hash {` site) the loop body
+/// contains a compound assignment.
+fn is_reduction(tokens: &[Token], i: usize, body_end: usize) -> bool {
+    if tokens[i].text == "in" {
+        // Find the loop body `{ … }` and scan it for compound assignment.
+        let mut j = i;
+        while j <= body_end && tokens[j].text != "{" {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j <= body_end {
+            match tokens[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                "+=" | "-=" | "*=" => return true,
+                _ => {}
+            }
+            j += 1;
+        }
+        return false;
+    }
+    // Chain case: scan forward to the end of the statement.
+    let mut j = i + 1;
+    let mut depth = 0isize;
+    while j <= body_end {
+        match tokens[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "{" if depth == 0 => break,
+            name if depth == 0
+                && REDUCERS.contains(&name)
+                && tokens[j - 1].text == "."
+                && tokens
+                    .get(j + 1)
+                    .is_some_and(|n| n.text == "(" || n.text == "::") =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}

@@ -7,17 +7,26 @@
 //! defense: a hand-rolled Rust lexer plus a rule engine that flags the
 //! hazard patterns before the fuzzer has to find them dynamically.
 //!
-//! Three layers:
+//! Five layers:
 //!
 //! 1. [`lex`] — a token-stream lexer that gets the hard lexical cases right
 //!    (nested block comments, raw strings, char literals vs lifetimes);
 //!    [`context`] attributes each token to its enclosing item (`fn` name,
 //!    `#[cfg(test)]`-ness, const initializers, attributes).
-//! 2. [`rules`] — the numerical-solver rule set: `float-eq`,
-//!    `panic-in-lib`, `lossy-cast`, `magic-epsilon`, `dep-policy`, and
-//!    `slice-index` (default for the `lp` and `linalg` kernel crates,
-//!    opt-in elsewhere — see [`rules::SLICE_INDEX_DEFAULT_CRATES`]).
-//! 3. [`baseline`] + suppressions — inline
+//! 2. [`ast`] — an item-level recursive-descent parser over the token
+//!    stream (fns, impls, traits, use-trees, consts; bodies stay opaque
+//!    token ranges, `macro_rules!` bodies are skipped).
+//! 3. [`symbols`] + [`callgraph`] — a workspace symbol table and an
+//!    interprocedural call graph with name-based, over-approximate
+//!    resolution (no trait-object devirtualization — DESIGN.md § Lint v2).
+//! 4. [`rules`] (per-file lexical) and [`semantic`] (workspace) — the
+//!    numerical-solver rule set: `float-eq`, `panic-in-lib`, `lossy-cast`,
+//!    `magic-epsilon`, `dep-policy`, `slice-index` (default for the `lp`
+//!    and `linalg` kernel crates — see [`rules::SLICE_INDEX_DEFAULT_CRATES`]),
+//!    plus the semantic packs: `nondet-iteration` / `nondet-reduction` /
+//!    `ambient-entropy` ([`det`]), `panic-path` ([`panic_path`]), and
+//!    `numeric-provenance` ([`provenance`]).
+//! 5. [`baseline`] + suppressions — inline
 //!    `// lint:allow(<rule>): <reason>` comments (the reason is mandatory),
 //!    their file-scope form `// lint:allow-file(<rule>): <reason>` for dense
 //!    kernels where indexing is the idiom, and a committed
@@ -25,13 +34,21 @@
 //!    strict while debt is burned down.
 //!
 //! The `hslb-lint` binary wires it together; `ci.sh` runs it between
-//! clippy and the build. See DESIGN.md § Lint for the rule catalog.
+//! clippy and the build. See DESIGN.md § Lint and § Lint v2 for the rule
+//! catalog.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod context;
+pub mod det;
 pub mod lex;
+pub mod panic_path;
+pub mod provenance;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 pub mod workspace;
 
-pub use rules::{lint_manifest, lint_source, Finding, LintConfig, Role};
+pub use rules::{analyze_file, lint_manifest, lint_source, Finding, LintConfig, Role};
 pub use workspace::{run, RunResult};

@@ -1,0 +1,174 @@
+//! `panic-path`: the call-graph upgrade of `panic-in-lib`.
+//!
+//! The lexical rule flags a panic *site*; this rule flags the public API
+//! that can *reach* one. A finding lands on the `pub fn` (the contract
+//! surface), with a shortest call-path witness down to the offending site:
+//!
+//! ```text
+//! pub `solve` can reach a panic: solve → inner → helper,
+//! `.unwrap()` at crates/x/src/h.rs:12
+//! ```
+//!
+//! Sources are the same sites `panic-in-lib` flags — `panic!`-family
+//! macros, `.unwrap()`, undocumented `.expect("…")` — plus (opt-in via
+//! `LintConfig::panic_path_index_sources`) slice indexing. A site is
+//! *certified* (not a source) when an invariant-documenting `.expect`
+//! message covers it or a reasoned `lint:allow(panic-in-lib)` suppression
+//! does: the lexical gate already forced every surviving site through one
+//! of those two doors, so `panic-path` fires exactly when a *new*
+//! uncertified panic becomes publicly reachable.
+//!
+//! Entries can also be certified wholesale through
+//! `LintConfig::certified_entries` (`fn_name` or `path.rs::fn_name`) for
+//! APIs whose panic behavior is contractual.
+
+use crate::callgraph::{self, CallGraph};
+use crate::lex::TokKind;
+use crate::rules::{
+    FileAnalysis, Finding, LintConfig, Role, PANIC_IN_LIB, PANIC_MACROS, PANIC_PATH,
+};
+use crate::symbols::{FnId, WorkspaceSymbols};
+use std::collections::BTreeMap;
+
+/// One uncertified panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub line: u32,
+    /// Human description: `` `panic!` ``, `` `.unwrap()` ``, ….
+    pub what: String,
+}
+
+/// Scans one non-test Lib function body for its first uncertified panic
+/// site (sites are certified by a documenting `.expect` message or a
+/// `lint:allow(panic-in-lib)` suppression).
+fn first_panic_site(
+    fa: &FileAnalysis,
+    body: (usize, usize),
+    cfg: &LintConfig,
+) -> Option<PanicSite> {
+    let tokens = &fa.tokens;
+    let certified = |line: u32| fa.suppressions.iter().any(|s| s.allows(PANIC_IN_LIB, line));
+    let (lo, hi) = body;
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        let c = fa.map.ctx[i];
+        if c.in_test || c.in_attr {
+            continue;
+        }
+        let next_is = |s: &str| tokens.get(i + 1).is_some_and(|n| n.text == s);
+        let what = match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "unwrap") if i > lo && tokens[i - 1].text == "." && next_is("(") => {
+                Some("`.unwrap()`".to_string())
+            }
+            (TokKind::Ident, "expect") if i > lo && tokens[i - 1].text == "." && next_is("(") => {
+                let msg = tokens.get(i + 2);
+                let undocumented = msg.is_some_and(|m| {
+                    m.kind == TokKind::Str && m.text.len() < cfg.expect_doc_len + 2
+                });
+                undocumented.then(|| "undocumented `.expect(…)`".to_string())
+            }
+            (TokKind::Ident, m) if PANIC_MACROS.contains(&m) && next_is("!") => {
+                Some(format!("`{m}!`"))
+            }
+            (TokKind::Punct, "[")
+                if cfg.panic_path_index_sources
+                    && i > lo
+                    && (tokens[i - 1].kind == TokKind::Ident
+                        && !matches!(
+                            tokens[i - 1].text.as_str(),
+                            "return" | "in" | "else" | "match" | "mut" | "dyn"
+                        )
+                        || tokens[i - 1].text == ")"
+                        || tokens[i - 1].text == "]") =>
+            {
+                Some("slice indexing".to_string())
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            if !certified(t.line) {
+                return Some(PanicSite { line: t.line, what });
+            }
+        }
+    }
+    None
+}
+
+/// Is `entry` on the certified-entries list (by bare name or
+/// `path.rs::name`)?
+fn entry_certified(cfg: &LintConfig, path: &str, name: &str) -> bool {
+    let qualified = format!("{path}::{name}");
+    cfg.certified_entries
+        .iter()
+        .any(|e| e == name || *e == qualified)
+}
+
+pub fn check(ws: &WorkspaceSymbols, graph: &CallGraph, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.on(PANIC_PATH) {
+        return;
+    }
+    // Pass 1: every function's first uncertified panic site.
+    let mut sites: BTreeMap<FnId, PanicSite> = BTreeMap::new();
+    for (fi, fa) in ws.files.iter().enumerate() {
+        if fa.role != Role::Lib {
+            continue;
+        }
+        for (ii, f) in fa.ast.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some(body) = f.body else {
+                continue;
+            };
+            if let Some(site) = first_panic_site(fa, body, cfg) {
+                sites.insert(FnId { file: fi, item: ii }, site);
+            }
+        }
+    }
+
+    // Pass 2: BFS from each public entry; the first reachable panicking
+    // function (in BFS order — a shortest path) is the witness.
+    for (fi, fa) in ws.files.iter().enumerate() {
+        if fa.role != Role::Lib {
+            continue;
+        }
+        for (ii, f) in fa.ast.fns.iter().enumerate() {
+            if !f.is_pub || f.in_test || f.body.is_none() {
+                continue;
+            }
+            if entry_certified(cfg, &fa.path, &f.name) {
+                continue;
+            }
+            let entry = FnId { file: fi, item: ii };
+            let (target, path_ids) = if sites.contains_key(&entry) {
+                (entry, vec![entry])
+            } else {
+                let (order, pred) = callgraph::bfs(graph, entry);
+                match order.iter().find(|id| sites.contains_key(id)) {
+                    Some(&t) => (t, callgraph::witness(entry, t, &pred)),
+                    None => continue,
+                }
+            };
+            let site = &sites[&target];
+            let chain: Vec<&str> = path_ids
+                .iter()
+                .map(|id| ws.fn_item(*id).name.as_str())
+                .collect();
+            out.push(Finding {
+                rule: PANIC_PATH,
+                path: fa.path.clone(),
+                line: f.line,
+                fn_name: Some(f.name.clone()),
+                snippet: format!("pub fn {}", f.name),
+                message: format!(
+                    "public API can reach a panic: {} — {} at {}:{}; return an error, \
+                     certify the site, or add the entry to the certified list",
+                    chain.join(" → "),
+                    site.what,
+                    ws.path_of(target),
+                    site.line
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! `numeric-provenance`: taint-style audit of the sanctioned float
+//! vocabulary.
+//!
+//! The lexical rules exempt two classes of code: tolerance modules
+//! (`approx.rs`/`tol.rs`/`tolerance.rs`, plus per-line
+//! `lint:allow(float-eq)` suppressions) may compare floats exactly, and
+//! conversion helpers (`to_*`/`as_*`/`*_to_*`) may cast float → int.
+//! Those exemptions open a laundering hole: wrap the raw comparison in a
+//! helper with an innocuous name and every caller inherits the exemption
+//! without inheriting the semantics. This rule closes it
+//! interprocedurally:
+//!
+//! - A function whose body carries a *sanctioned* exact float comparison
+//!   must advertise comparison semantics in its name (the
+//!   `hslb_linalg::approx` vocabulary: `approx*`, `*_eq`, `tol*`,
+//!   `close*`, `near*`, `cmp*`, `snap*`, `clamp*`, `exact*`, …) when it is
+//!   called from another file. Callers can only respect a tolerance
+//!   contract they can see.
+//! - A conversion helper (already exempt from `lossy-cast` by name) that
+//!   casts float → int without any rounding call (`round`/`floor`/`ceil`/
+//!   `trunc`/`clamp`) in its body truncates silently; the name promised a
+//!   stated rounding intent.
+//!
+//! Findings land on the definition site with a caller witness, so the fix
+//! (rename into the vocabulary, or route through `approx`) happens where
+//! the semantics live.
+
+use crate::callgraph::CallGraph;
+use crate::lex::TokKind;
+use crate::rules::{
+    is_conversion_helper, is_floatish, is_lossy_cast_at, is_tolerance_module, snippet_around,
+    FileAnalysis, Finding, LintConfig, Role, FLOAT_EQ, NUMERIC_PROVENANCE,
+};
+use crate::symbols::{FnId, WorkspaceSymbols};
+
+/// Name segments that advertise comparison/rounding semantics. A name
+/// matches when any `_`-separated segment equals a term or extends one of
+/// the longer ones (`tolerance` → `tol`, `approximately` → `approx`).
+const VOCAB: &[&str] = &[
+    "approx",
+    "eq",
+    "tol",
+    "close",
+    "near",
+    "cmp",
+    "snap",
+    "exact",
+    "round",
+    "floor",
+    "ceil",
+    "trunc",
+    "clamp",
+    "ulp",
+    "same",
+    "finite",
+    "degenerate",
+    "sign",
+];
+
+fn advertises_semantics(name: &str) -> bool {
+    // Conversion-helper names (`to_*`/`as_*`/`*_to_*`) are themselves part
+    // of the sanctioned vocabulary: "convert" names a numeric contract
+    // (their cast discipline is audited separately below).
+    if is_conversion_helper(Some(name)) {
+        return true;
+    }
+    name.to_ascii_lowercase().split('_').any(|seg| {
+        VOCAB
+            .iter()
+            .any(|v| seg == *v || (v.len() >= 3 && seg.starts_with(v)))
+    })
+}
+
+/// Does the body carry an exact float comparison that is only allowed
+/// because of a local sanction (tolerance-module path or a
+/// `lint:allow(float-eq)` suppression)?
+fn sanctioned_float_cmp(fa: &FileAnalysis, body: (usize, usize)) -> Option<usize> {
+    let tokens = &fa.tokens;
+    let in_tolerance_module = is_tolerance_module(&fa.path);
+    let (lo, hi) = body;
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let c = fa.map.ctx[i];
+        if c.in_test || c.in_attr {
+            continue;
+        }
+        let floaty =
+            (i > 0 && is_floatish(tokens, i - 1, false)) || is_floatish(tokens, i + 1, true);
+        if !floaty {
+            continue;
+        }
+        let sanctioned =
+            in_tolerance_module || fa.suppressions.iter().any(|s| s.allows(FLOAT_EQ, t.line));
+        if sanctioned {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Does a conversion helper's body cast float → int without stating any
+/// rounding intent? Returns the offending `as` token.
+fn silent_truncation(fa: &FileAnalysis, body: (usize, usize)) -> Option<usize> {
+    let tokens = &fa.tokens;
+    let (lo, hi) = body;
+    let hi = hi.min(tokens.len().saturating_sub(1));
+    let mut cast_at = None;
+    for i in lo..=hi {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "round" | "floor" | "ceil" | "trunc" | "clamp"
+        ) {
+            // Rounding intent is stated somewhere in the body: fine.
+            return None;
+        }
+        if t.text == "as" && cast_at.is_none() && is_lossy_cast_at(tokens, i) {
+            cast_at = Some(i);
+        }
+    }
+    cast_at
+}
+
+/// The first *production* caller of `callee` defined in a different file,
+/// if any. Test/bench/example callers don't count: they sit under their
+/// own float-eq exemptions, so nothing is laundered through them.
+fn cross_file_caller(
+    ws: &WorkspaceSymbols,
+    graph: &CallGraph,
+    callee: FnId,
+) -> Option<(FnId, u32)> {
+    graph
+        .edges
+        .iter()
+        .flat_map(|(caller, adj)| {
+            adj.iter()
+                .filter(|(c, _)| *c == callee)
+                .map(|&(_, line)| (*caller, line))
+        })
+        .find(|(caller, _)| {
+            caller.file != callee.file
+                && matches!(ws.files[caller.file].role, Role::Lib | Role::Bin)
+        })
+}
+
+pub fn check(ws: &WorkspaceSymbols, graph: &CallGraph, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.on(NUMERIC_PROVENANCE) {
+        return;
+    }
+    for (fi, fa) in ws.files.iter().enumerate() {
+        if fa.role != Role::Lib {
+            continue;
+        }
+        for (ii, f) in fa.ast.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some(body) = f.body else {
+                continue;
+            };
+            let id = FnId { file: fi, item: ii };
+
+            // Laundered exact comparison: sanctioned locally, invisible to
+            // out-of-file callers.
+            if !advertises_semantics(&f.name) {
+                if let Some(cmp_at) = sanctioned_float_cmp(fa, body) {
+                    if let Some((caller, line)) = cross_file_caller(ws, graph, id) {
+                        out.push(Finding {
+                            rule: NUMERIC_PROVENANCE,
+                            path: fa.path.clone(),
+                            line: f.line,
+                            fn_name: Some(f.name.clone()),
+                            snippet: snippet_around(&fa.tokens, cmp_at, 2, 2),
+                            message: format!(
+                                "fn `{}` hides a sanctioned exact float comparison behind a \
+                                 name outside the approx vocabulary; called from {}:{} — \
+                                 rename (e.g. *_eq / approx_*) or route through \
+                                 hslb_linalg::approx",
+                                f.name,
+                                ws.path_of(caller),
+                                line
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // Conversion helper that truncates without stating intent.
+            if is_conversion_helper(Some(&f.name)) {
+                if let Some(cast_at) = silent_truncation(fa, body) {
+                    out.push(Finding {
+                        rule: NUMERIC_PROVENANCE,
+                        path: fa.path.clone(),
+                        line: fa.tokens[cast_at].line,
+                        fn_name: Some(f.name.clone()),
+                        snippet: snippet_around(&fa.tokens, cast_at, 3, 1),
+                        message: format!(
+                            "conversion helper `{}` casts float → int with no rounding call \
+                             — its name exempts it from lossy-cast, so it must state the \
+                             rounding intent (`round`/`floor`/`ceil`/`trunc`)",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

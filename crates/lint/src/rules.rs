@@ -18,6 +18,14 @@ pub const MAGIC_EPSILON: &str = "magic-epsilon";
 pub const DEP_POLICY: &str = "dep-policy";
 pub const SLICE_INDEX: &str = "slice-index";
 pub const SUPPRESSION: &str = "suppression";
+// Semantic (workspace-phase) rules — see `crate::semantic` and DESIGN.md
+// § Lint v2. They need the item AST, the symbol table, and the call graph,
+// so they run only in `--workspace` mode, not on single files.
+pub const NONDET_ITERATION: &str = "nondet-iteration";
+pub const NONDET_REDUCTION: &str = "nondet-reduction";
+pub const AMBIENT_ENTROPY: &str = "ambient-entropy";
+pub const PANIC_PATH: &str = "panic-path";
+pub const NUMERIC_PROVENANCE: &str = "numeric-provenance";
 
 /// All rule ids, for `--rules` validation and docs.
 pub const ALL_RULES: &[&str] = &[
@@ -28,6 +36,11 @@ pub const ALL_RULES: &[&str] = &[
     DEP_POLICY,
     SLICE_INDEX,
     SUPPRESSION,
+    NONDET_ITERATION,
+    NONDET_REDUCTION,
+    AMBIENT_ENTROPY,
+    PANIC_PATH,
+    NUMERIC_PROVENANCE,
 ];
 
 /// Rules enabled by default. `slice-index` is opt-in workspace-wide but
@@ -42,6 +55,11 @@ pub fn default_rules() -> BTreeSet<String> {
         MAGIC_EPSILON,
         DEP_POLICY,
         SUPPRESSION,
+        NONDET_ITERATION,
+        NONDET_REDUCTION,
+        AMBIENT_ENTROPY,
+        PANIC_PATH,
+        NUMERIC_PROVENANCE,
     ]
     .iter()
     .map(|s| s.to_string())
@@ -141,6 +159,16 @@ pub struct LintConfig {
     /// Inline float literals with |value| below this (and above zero) are
     /// tolerance-scale magic numbers.
     pub epsilon_threshold: f64,
+    /// Public entry points whose panic behavior is part of their documented
+    /// contract: `panic-path` does not flag them. Entries are either a bare
+    /// fn name or `path.rs::fn_name` (workspace-relative path) for
+    /// precision.
+    pub certified_entries: Vec<String>,
+    /// When set, `panic-path` also treats slice/array indexing as a panic
+    /// source (the interprocedural analogue of `slice-index`). Off by
+    /// default: the kernel crates carry per-file indexing invariants
+    /// already audited by the lexical rule.
+    pub panic_path_index_sources: bool,
 }
 
 impl Default for LintConfig {
@@ -149,24 +177,45 @@ impl Default for LintConfig {
             rules: default_rules(),
             expect_doc_len: 15,
             epsilon_threshold: 1e-4,
+            certified_entries: Vec::new(),
+            panic_path_index_sources: false,
         }
     }
 }
 
 impl LintConfig {
-    fn on(&self, rule: &str) -> bool {
+    pub(crate) fn on(&self, rule: &str) -> bool {
         self.rules.contains(rule)
     }
 }
 
-/// Lints one Rust source file. Returns `(active, suppressed)` findings —
-/// suppressed ones carried a valid `lint:allow` and are reported only for
-/// accounting. Malformed suppressions become `suppression` findings (which
-/// cannot themselves be suppressed).
-pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>, Vec<Finding>) {
+/// Everything the lexical phase learned about one file, kept around so the
+/// workspace (semantic) phase can build the symbol table and call graph
+/// without re-lexing: the token stream, its context map, the item AST, the
+/// parsed suppressions, and the lexical findings (not yet split into
+/// active/suppressed).
+#[derive(Debug)]
+pub struct FileAnalysis {
+    pub path: String,
+    pub role: Role,
+    pub tokens: Vec<Token>,
+    pub map: ContextMap,
+    pub ast: crate::ast::Ast,
+    pub suppressions: Vec<Suppression>,
+    /// Lexical findings plus malformed-suppression findings, sorted by
+    /// `(line, rule, snippet)`.
+    pub findings: Vec<Finding>,
+}
+
+/// Runs the lexical phase on one file: lex, context-attribute, parse the
+/// item AST, and evaluate every per-file rule. Suppressions are parsed but
+/// *not* applied — [`apply_suppressions`] does that, after the semantic
+/// phase has contributed its findings.
+pub fn analyze_file(rel_path: &str, src: &str, cfg: &LintConfig) -> FileAnalysis {
     let role = role_for_path(rel_path);
     let out = lex(src);
     let map = contexts(&out.tokens);
+    let ast = crate::ast::parse(&out.tokens, &map);
     let ctx = FileCtx {
         path: rel_path,
         map: &map,
@@ -193,7 +242,23 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>
     let (suppressions, malformed) = parse_suppressions(rel_path, &out.comments);
     findings.extend(malformed);
     findings.sort_by(|a, b| (a.line, a.rule, &a.snippet).cmp(&(b.line, b.rule, &b.snippet)));
+    FileAnalysis {
+        path: rel_path.to_string(),
+        role,
+        tokens: out.tokens,
+        map,
+        ast,
+        suppressions,
+        findings,
+    }
+}
 
+/// Splits findings into `(active, suppressed)` under a file's suppressions.
+/// `suppression` findings (malformed comments) can never be suppressed.
+pub fn apply_suppressions(
+    findings: Vec<Finding>,
+    suppressions: &[Suppression],
+) -> (Vec<Finding>, Vec<Finding>) {
     let mut active = Vec::new();
     let mut suppressed = Vec::new();
     for f in findings {
@@ -210,25 +275,43 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>
     (active, suppressed)
 }
 
+/// Lints one Rust source file with the per-file (lexical) rules. Returns
+/// `(active, suppressed)` findings — suppressed ones carried a valid
+/// `lint:allow` and are reported only for accounting. Malformed
+/// suppressions become `suppression` findings (which cannot themselves be
+/// suppressed). The workspace-phase rules (`nondet-*`, `panic-path`,
+/// `numeric-provenance`) need cross-file context and only run under
+/// [`crate::workspace::run`].
+pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> (Vec<Finding>, Vec<Finding>) {
+    let fa = analyze_file(rel_path, src, cfg);
+    apply_suppressions(fa.findings, &fa.suppressions)
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions: `// lint:allow(rule[, rule…]): reason`
 // ---------------------------------------------------------------------------
 
-struct Suppression {
-    rules: Vec<String>,
+#[derive(Debug)]
+pub struct Suppression {
+    pub rules: Vec<String>,
     /// Line of the comment; covers this line and the next (ignored for
     /// file-scope suppressions).
-    line: u32,
+    pub line: u32,
     /// `lint:allow-file` — covers the whole file. Reserved for files that
     /// are one dense kernel end to end (factorizations, the simplex
     /// tableau), where a per-line suppression on every indexing statement
     /// would outweigh the code.
-    file_scope: bool,
+    pub file_scope: bool,
 }
 
 impl Suppression {
-    fn covers(&self, line: u32) -> bool {
+    pub fn covers(&self, line: u32) -> bool {
         self.file_scope || line == self.line || line == self.line + 1
+    }
+
+    /// Does this suppression certify `rule` at `line`?
+    pub(crate) fn allows(&self, rule: &str, line: u32) -> bool {
+        self.covers(line) && self.rules.iter().any(|r| r == rule)
     }
 }
 
@@ -309,7 +392,12 @@ fn parse_suppressions(rel_path: &str, comments: &[Comment]) -> (Vec<Suppression>
 // Rule helpers
 // ---------------------------------------------------------------------------
 
-fn snippet_around(tokens: &[Token], center: usize, before: usize, after: usize) -> String {
+pub(crate) fn snippet_around(
+    tokens: &[Token],
+    center: usize,
+    before: usize,
+    after: usize,
+) -> String {
     let lo = center.saturating_sub(before);
     let hi = (center + after + 1).min(tokens.len());
     let mut s = String::new();
@@ -364,7 +452,7 @@ impl FileCtx<'_> {
 
 /// Is token `i` clearly float-valued: a float literal, `f64::X` / `f32::X`
 /// path, or a unary minus in front of either.
-fn is_floatish(tokens: &[Token], i: usize, forward: bool) -> bool {
+pub(crate) fn is_floatish(tokens: &[Token], i: usize, forward: bool) -> bool {
     let Some(t) = tokens.get(i) else {
         return false;
     };
@@ -401,7 +489,7 @@ fn is_floatish(tokens: &[Token], i: usize, forward: bool) -> bool {
 
 /// Files that *define* the tolerance vocabulary: exact comparisons there are
 /// the point, not a hazard.
-fn is_tolerance_module(rel: &str) -> bool {
+pub(crate) fn is_tolerance_module(rel: &str) -> bool {
     let name = rel.rsplit('/').next().unwrap_or(rel);
     matches!(name, "approx.rs" | "tol.rs" | "tolerance.rs")
 }
@@ -441,7 +529,7 @@ fn float_eq(ctx: &FileCtx, role: Role, findings: &mut Vec<Finding>) {
 // panic-in-lib
 // ---------------------------------------------------------------------------
 
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 fn panic_in_lib(ctx: &FileCtx, role: Role, cfg: &LintConfig, findings: &mut Vec<Finding>) {
     let FileCtx {
@@ -526,8 +614,41 @@ const FLOAT_METHODS: &[&str] = &[
 
 /// Conversion-helper functions are the sanctioned home for casts: a name
 /// that says what the conversion means (`ceil_to_i64`, `to_count`, …).
-fn is_conversion_helper(name: Option<&str>) -> bool {
+pub(crate) fn is_conversion_helper(name: Option<&str>) -> bool {
     name.is_some_and(|n| n.starts_with("to_") || n.starts_with("as_") || n.contains("_to_"))
+}
+
+/// Is the `as` at `i` a clearly float-sourced cast to an integer type?
+/// (The detection the lexical `lossy-cast` rule uses; `numeric-provenance`
+/// reuses it to audit conversion helpers.)
+pub(crate) fn is_lossy_cast_at(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i).is_none_or(|t| t.text != "as") {
+        return false;
+    }
+    let Some(target) = tokens.get(i + 1) else {
+        return false;
+    };
+    // Only float → int casts truncate; int → f64 is exact for every
+    // count this workspace produces (< 2^53), so it is allowed.
+    if !INT_TYPES.contains(&target.text.as_str()) {
+        return false;
+    }
+    if i == 0 {
+        false
+    } else if tokens[i - 1].kind == TokKind::Float {
+        true
+    } else if tokens[i - 1].text == ")" {
+        // `x.round() as i64`: the call just before the cast is a float
+        // method. Walk back over `( )` to the method name.
+        i >= 3
+            && tokens[i - 2].text == "("
+            && tokens[i - 3].kind == TokKind::Ident
+            && FLOAT_METHODS.contains(&tokens[i - 3].text.as_str())
+            && i >= 4
+            && tokens[i - 4].text == "."
+    } else {
+        false
+    }
 }
 
 fn lossy_cast(ctx: &FileCtx, role: Role, findings: &mut Vec<Finding>) {
@@ -547,31 +668,7 @@ fn lossy_cast(ctx: &FileCtx, role: Role, findings: &mut Vec<Finding>) {
         if c.in_test || c.in_attr || is_conversion_helper(map.fn_name_at(i)) {
             continue;
         }
-        let Some(target) = tokens.get(i + 1) else {
-            continue;
-        };
-        // Only float → int casts truncate; int → f64 is exact for every
-        // count this workspace produces (< 2^53), so it is allowed.
-        if !INT_TYPES.contains(&target.text.as_str()) {
-            continue;
-        }
-        let float_source = if i == 0 {
-            false
-        } else if tokens[i - 1].kind == TokKind::Float {
-            true
-        } else if tokens[i - 1].text == ")" {
-            // `x.round() as i64`: the call just before the cast is a float
-            // method. Walk back over `( )` to the method name.
-            i >= 3
-                && tokens[i - 2].text == "("
-                && tokens[i - 3].kind == TokKind::Ident
-                && FLOAT_METHODS.contains(&tokens[i - 3].text.as_str())
-                && i >= 4
-                && tokens[i - 4].text == "."
-        } else {
-            false
-        };
-        if float_source {
+        if is_lossy_cast_at(tokens, i) {
             ctx.push(
                 findings,
                 LOSSY_CAST,

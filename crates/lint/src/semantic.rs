@@ -1,0 +1,45 @@
+//! The workspace (semantic) phase driver: builds the symbol table and call
+//! graph once over every analyzed file, then runs the interprocedural rule
+//! packs — determinism ([`crate::det`]), panic reachability
+//! ([`crate::panic_path`]), and numeric provenance
+//! ([`crate::provenance`]).
+//!
+//! Findings come back attributed to their file path; the caller
+//! ([`crate::workspace::run`]) merges them into each file's lexical
+//! findings so the normal suppression grammar applies (`lint:allow` on the
+//! line above a flagged `fn` covers its semantic findings too).
+
+use crate::rules::{
+    FileAnalysis, Finding, LintConfig, AMBIENT_ENTROPY, NONDET_ITERATION, NONDET_REDUCTION,
+    NUMERIC_PROVENANCE, PANIC_PATH,
+};
+use crate::symbols::WorkspaceSymbols;
+use crate::{callgraph, det, panic_path, provenance};
+use std::collections::BTreeMap;
+
+/// Runs every enabled semantic rule over the analyzed files. `crate_names`
+/// maps directory prefixes to underscore crate names (see
+/// [`crate::workspace::crate_name_map`]).
+pub fn check(
+    files: &[FileAnalysis],
+    crate_names: &BTreeMap<String, String>,
+    cfg: &LintConfig,
+) -> Vec<Finding> {
+    let need_graph = cfg.on(PANIC_PATH) || cfg.on(NUMERIC_PROVENANCE);
+    let need_any = need_graph
+        || cfg.on(NONDET_ITERATION)
+        || cfg.on(NONDET_REDUCTION)
+        || cfg.on(AMBIENT_ENTROPY);
+    if !need_any {
+        return Vec::new();
+    }
+    let ws = WorkspaceSymbols::build(files, crate_names);
+    let mut out = Vec::new();
+    det::check(&ws, cfg, &mut out);
+    if need_graph {
+        let graph = callgraph::build(&ws);
+        panic_path::check(&ws, &graph, cfg, &mut out);
+        provenance::check(&ws, &graph, cfg, &mut out);
+    }
+    out
+}

@@ -1,0 +1,126 @@
+//! Workspace symbol table: every function item across every analyzed file,
+//! indexed by simple name, plus the crate map used to narrow qualified
+//! calls.
+//!
+//! Resolution is deliberately an *over-approximation* (DESIGN.md § Lint
+//! v2): there is no type inference, so a method call resolves to every
+//! known method with that name, and a plain call resolves to every free
+//! function with that name that is plausibly in scope (same file, same
+//! crate, or imported by name). Over-approximation is the sound direction
+//! for the reachability rules — it can add call-graph edges that do not
+//! exist, never miss ones that do (modulo the documented trait-object /
+//! macro caveats).
+
+use crate::ast::FnItem;
+use crate::callgraph::CallSite;
+use crate::rules::FileAnalysis;
+use std::collections::BTreeMap;
+
+/// Identifies one function item: `(file index, index into that file's
+/// `ast.fns`)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId {
+    pub file: usize,
+    pub item: usize,
+}
+
+/// The workspace-wide symbol table built over a slice of per-file analyses.
+pub struct WorkspaceSymbols<'a> {
+    pub files: &'a [FileAnalysis],
+    /// Directory-prefix (`"crates/minlp/"`, `""` for the root package) →
+    /// underscore crate name (`"hslb_minlp"`).
+    crate_names: &'a BTreeMap<String, String>,
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+    /// Struct fields declared with a hash type anywhere in the workspace
+    /// (field types cross file boundaries; local bindings do not).
+    pub hash_fields: std::collections::BTreeSet<&'a str>,
+}
+
+impl<'a> WorkspaceSymbols<'a> {
+    pub fn build(files: &'a [FileAnalysis], crate_names: &'a BTreeMap<String, String>) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut hash_fields = std::collections::BTreeSet::new();
+        for (fi, fa) in files.iter().enumerate() {
+            for (ii, f) in fa.ast.fns.iter().enumerate() {
+                by_name
+                    .entry(f.name.as_str())
+                    .or_default()
+                    .push(FnId { file: fi, item: ii });
+            }
+            for h in &fa.ast.hash_fields {
+                hash_fields.insert(h.as_str());
+            }
+        }
+        WorkspaceSymbols {
+            files,
+            crate_names,
+            by_name,
+            hash_fields,
+        }
+    }
+
+    pub fn fn_item(&self, id: FnId) -> &'a FnItem {
+        &self.files[id.file].ast.fns[id.item]
+    }
+
+    pub fn path_of(&self, id: FnId) -> &'a str {
+        &self.files[id.file].path
+    }
+
+    /// The underscore crate name owning `file` (longest matching directory
+    /// prefix; the root package maps from the empty prefix).
+    pub fn crate_of(&self, file: usize) -> Option<&str> {
+        let path = &self.files[file].path;
+        self.crate_names
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, name)| name.as_str())
+    }
+
+    /// Resolves a call site from `caller` to every plausible callee.
+    /// Test-only functions never resolve: `cfg(test)` regions are outside
+    /// the production call graph by construction.
+    pub fn resolve(&self, caller: FnId, call: &CallSite) -> Vec<FnId> {
+        let Some(cands) = self.by_name.get(call.name.as_str()) else {
+            return Vec::new();
+        };
+        let caller_crate = self.crate_of(caller.file);
+        let caller_fn = self.fn_item(caller);
+        let caller_file = &self.files[caller.file];
+        let mut out = Vec::new();
+        for &id in cands {
+            let f = self.fn_item(id);
+            if f.in_test {
+                continue;
+            }
+            let ok = if call.is_method {
+                // No receiver types: any method with this name.
+                f.self_ty.is_some()
+            } else if let Some(q) = call.qualifier.as_deref() {
+                match q {
+                    "self" | "crate" | "super" => {
+                        f.self_ty.is_none() && self.crate_of(id.file) == caller_crate
+                    }
+                    "Self" => f.self_ty.is_some() && f.self_ty == caller_fn.self_ty,
+                    _ => {
+                        f.self_ty.as_deref() == Some(q)
+                            || (f.self_ty.is_none()
+                                && (self.crate_of(id.file) == Some(q)
+                                    || f.module.last().is_some_and(|m| m == q)))
+                    }
+                }
+            } else {
+                // Unqualified: same file, same crate, or imported by name.
+                f.self_ty.is_none()
+                    && (id.file == caller.file
+                        || self.crate_of(id.file) == caller_crate
+                        || caller_file.ast.uses.iter().any(|u| u.alias == call.name))
+            };
+            if ok {
+                out.push(id);
+            }
+        }
+        out
+    }
+}

@@ -1,9 +1,10 @@
 //! Workspace discovery and the full-run driver: find every Rust source and
-//! manifest under the repository root, lint them, and fold in the baseline.
+//! manifest under the repository root, lint them in two phases (per-file
+//! lexical, then workspace-wide semantic), and fold in the baseline.
 
 use crate::baseline;
 use crate::rules::{self, Finding, LintConfig};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -91,7 +92,42 @@ pub fn discover_manifests(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints the whole workspace under `root` against `baseline_set`.
+/// Parses each manifest's `[package] name` and maps the crate's directory
+/// prefix (`"crates/minlp/"`; `""` for the root package) to the underscore
+/// form of the name (`"hslb_minlp"`). The semantic phase uses this to
+/// narrow crate-qualified calls (`hslb_lp::solve`).
+pub fn crate_name_map(root: &Path) -> io::Result<BTreeMap<String, String>> {
+    let mut map = BTreeMap::new();
+    for rel in discover_manifests(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let mut in_package = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_package = line == "[package]";
+                continue;
+            }
+            if !in_package {
+                continue;
+            }
+            if let Some(v) = line.strip_prefix("name") {
+                if let Some(v) = v.trim_start().strip_prefix('=') {
+                    let name = v.trim().trim_matches('"').replace('-', "_");
+                    let rel_s = rel.to_string_lossy().replace('\\', "/");
+                    let prefix = rel_s.strip_suffix("Cargo.toml").unwrap_or("").to_string();
+                    map.insert(prefix, name);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Lints the whole workspace under `root` against `baseline_set`: phase 1
+/// runs the lexical rules per file, phase 2 builds the symbol table and
+/// call graph and runs the semantic packs, then each file's suppressions
+/// are applied to the union and the baseline is folded in.
 pub fn run(
     root: &Path,
     cfg: &LintConfig,
@@ -100,14 +136,36 @@ pub fn run(
     let mut res = RunResult::default();
     let mut all_active: Vec<Finding> = Vec::new();
 
+    // Phase 1: lexical, per file.
+    let mut analyses = Vec::new();
     for rel in discover_sources(root)? {
         let text = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let (active, suppressed) = rules::lint_source(&rel_str, &text, cfg);
-        res.files_scanned += 1;
+        analyses.push(rules::analyze_file(&rel_str, &text, cfg));
+    }
+    res.files_scanned = analyses.len();
+
+    // Phase 2: semantic, across files.
+    let crate_names = crate_name_map(root)?;
+    let semantic = crate::semantic::check(&analyses, &crate_names, cfg);
+    let mut semantic_by_path: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in semantic {
+        semantic_by_path.entry(f.path.clone()).or_default().push(f);
+    }
+
+    // Merge and apply each file's suppressions to both phases' findings.
+    for fa in analyses {
+        let mut findings = fa.findings;
+        if let Some(extra) = semantic_by_path.remove(&fa.path) {
+            findings.extend(extra);
+            findings
+                .sort_by(|a, b| (a.line, a.rule, &a.snippet).cmp(&(b.line, b.rule, &b.snippet)));
+        }
+        let (active, suppressed) = rules::apply_suppressions(findings, &fa.suppressions);
         all_active.extend(active);
         res.suppressed.extend(suppressed);
     }
+
     if cfg.rules.contains(rules::DEP_POLICY) {
         for rel in discover_manifests(root)? {
             let text = std::fs::read_to_string(root.join(&rel))?;

@@ -1,0 +1,25 @@
+//! Parser fixture: `#[cfg(test)]` regions. Test functions are parsed (the
+//! AST sees them) but marked `in_test`, and they are neither callers nor
+//! callees in the production call graph.
+
+pub fn production(x: u32) -> u32 {
+    double(x)
+}
+
+fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn helper_only_in_tests() -> u32 {
+        double(3)
+    }
+
+    #[test]
+    fn doubles() {
+        assert_eq!(helper_only_in_tests(), 6);
+    }
+}

@@ -1,0 +1,28 @@
+//! Determinism-pack fixture: one hash iteration, one hash reduction, one
+//! ambient-entropy site, and one ordered iteration that must NOT fire.
+
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub struct Registry {
+    pub weights: HashMap<String, f64>,
+}
+
+pub fn snapshot(reg: &Registry) -> Vec<String> {
+    reg.weights.keys().cloned().collect()
+}
+
+pub fn total(reg: &Registry) -> f64 {
+    reg.weights.values().sum()
+}
+
+pub fn stamp() -> u64 {
+    match SystemTime::now().elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn ordered(names: &[String]) -> usize {
+    names.iter().count()
+}

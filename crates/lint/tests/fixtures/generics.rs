@@ -1,0 +1,31 @@
+//! Parser fixture: generic functions, nested generic closers (`>>`), and
+//! where clauses. The parser must skip generics without losing the body.
+
+use std::collections::HashMap;
+
+pub fn transpose<T: Clone>(m: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    helper(&m);
+    m
+}
+
+fn helper<T>(_m: &[Vec<T>]) -> usize {
+    0
+}
+
+pub fn weighted_mean<I>(xs: I) -> f64
+where
+    I: Iterator<Item = (f64, f64)>,
+{
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (w, x) in xs {
+        num += w * x;
+        den += w;
+    }
+    num / den
+}
+
+pub struct Pairs<K, V> {
+    pub index: HashMap<K, V>,
+    pub order: Vec<K>,
+}

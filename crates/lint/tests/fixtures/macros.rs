@@ -1,0 +1,17 @@
+//! Parser fixture: `macro_rules!` bodies are opaque (the `fn` inside the
+//! expansion arm is NOT an item), but calls inside macro *invocation*
+//! arguments are still call sites.
+
+macro_rules! checked {
+    ($e:expr) => {
+        fn phantom() {}
+    };
+}
+
+pub fn caller() -> String {
+    format!("{}", compute(3))
+}
+
+fn compute(x: i64) -> i64 {
+    x + 1
+}

@@ -1,0 +1,23 @@
+//! Parser fixture: nested inline modules, a module-qualified call chain,
+//! and a use tree with an alias. `inner::leaf(…)` must resolve through the
+//! module segment, `outer::branch(…)` likewise.
+
+pub mod outer {
+    pub const SCALE: f64 = 2.0;
+
+    pub mod inner {
+        pub fn leaf(x: f64) -> f64 {
+            x + 1.0
+        }
+    }
+
+    pub fn branch(x: f64) -> f64 {
+        inner::leaf(x) * SCALE
+    }
+}
+
+pub use outer::{branch as entry, inner::leaf};
+
+pub fn root(x: f64) -> f64 {
+    outer::branch(x)
+}

@@ -1,0 +1,29 @@
+//! Panic-path fixture: `entry` reaches `.unwrap()` two hops down,
+//! `contractual` reaches it directly through `deep`, `safe` reaches
+//! nothing, and `pick` indexes a slice (a source only when
+//! `panic_path_index_sources` is on).
+
+pub fn entry(x: i64) -> i64 {
+    mid(x)
+}
+
+fn mid(x: i64) -> i64 {
+    deep(x)
+}
+
+fn deep(x: i64) -> i64 {
+    let v: Option<i64> = Some(x);
+    v.unwrap()
+}
+
+pub fn safe(x: i64) -> i64 {
+    x + 1
+}
+
+pub fn contractual(x: i64) -> i64 {
+    deep(x)
+}
+
+pub fn pick(xs: &[f64], k: usize) -> f64 {
+    xs[k]
+}

@@ -1,0 +1,15 @@
+//! Numeric-provenance fixture (caller side): production callers in a
+//! different file of the same crate — the witnesses that make the
+//! laundering visible.
+
+pub fn classify(a: f64, b: f64) -> &'static str {
+    if looks_innocent(a, b) {
+        "same"
+    } else {
+        "different"
+    }
+}
+
+pub fn bucket_of(x: f64) -> usize {
+    to_bucket(x)
+}

@@ -1,0 +1,21 @@
+//! Numeric-provenance fixture (callee side): `looks_innocent` launders a
+//! suppressed exact float comparison behind a vocabulary-free name;
+//! `approx_eq` advertises its semantics; `to_bucket` truncates silently;
+//! `to_index` states its rounding intent.
+
+pub fn looks_innocent(a: f64, b: f64) -> bool {
+    // lint:allow(float-eq): fixture — the laundering hole under test
+    (a - b) == 0.0
+}
+
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+pub fn to_bucket(x: f64) -> usize {
+    x.abs() as usize
+}
+
+pub fn to_index(x: f64) -> usize {
+    x.round() as usize
+}

@@ -1,0 +1,27 @@
+//! Parser fixture: a trait with a bodiless signature and a default method,
+//! a trait impl, and an inherent impl. Method calls must resolve to every
+//! method with the name (no receiver types — documented over-approximation).
+
+pub trait Metric {
+    fn distance(&self, other: &Self) -> f64;
+
+    fn within(&self, other: &Self, tol: f64) -> bool {
+        self.distance(other) <= tol
+    }
+}
+
+pub struct Euclid {
+    pub x: f64,
+}
+
+impl Metric for Euclid {
+    fn distance(&self, other: &Self) -> f64 {
+        (self.x - other.x).abs()
+    }
+}
+
+impl Euclid {
+    pub fn magnitude(&self) -> f64 {
+        self.distance(&Euclid { x: 0.0 })
+    }
+}

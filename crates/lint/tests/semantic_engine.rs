@@ -1,0 +1,321 @@
+//! Integration tests for the semantic engine, driven by the
+//! deliberately-dirty sources under `tests/fixtures/` (that directory is
+//! excluded from workspace discovery, so nothing here pollutes the real
+//! gate). Three layers are pinned with exact counts:
+//!
+//! - the item parser (function/impl/use/const/mod inventory per fixture),
+//! - the call graph (edge counts and BFS witnesses), and
+//! - the three semantic rule packs (which findings fire, on which
+//!   functions, with which witnesses in the message).
+
+use hslb_lint::rules::{
+    analyze_file, FileAnalysis, Finding, LintConfig, AMBIENT_ENTROPY, NONDET_ITERATION,
+    NONDET_REDUCTION, NUMERIC_PROVENANCE, PANIC_PATH,
+};
+use hslb_lint::symbols::WorkspaceSymbols;
+use hslb_lint::{callgraph, semantic};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).expect("fixture file readable")
+}
+
+/// Analyzes fixtures under synthetic `crates/fix/src/` paths so every rule
+/// treats them as library code.
+fn analyses(names: &[&str]) -> Vec<FileAnalysis> {
+    let cfg = LintConfig::default();
+    names
+        .iter()
+        .map(|n| analyze_file(&format!("crates/fix/src/{n}"), &fixture(n), &cfg))
+        .collect()
+}
+
+fn crate_map() -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    m.insert("crates/fix/".to_string(), "hslb_fix".to_string());
+    m
+}
+
+fn fn_names(fa: &FileAnalysis) -> Vec<&str> {
+    fa.ast.fns.iter().map(|f| f.name.as_str()).collect()
+}
+
+fn semantic_findings(files: &[FileAnalysis], cfg: &LintConfig, rule: &str) -> Vec<Finding> {
+    semantic::check(files, &crate_map(), cfg)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parser + call-graph fixtures: exact inventories.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn generics_fixture_parses_exactly() {
+    let files = analyses(&["generics.rs"]);
+    let fa = &files[0];
+    assert_eq!(fn_names(fa), vec!["transpose", "helper", "weighted_mean"]);
+    assert!(fa.ast.fns[0].is_pub && !fa.ast.fns[1].is_pub);
+    assert!(
+        fa.ast.fns.iter().all(|f| f.body.is_some()),
+        "generic signatures (incl. `Vec<Vec<T>>` with the `>>` token) must not eat the body"
+    );
+    assert_eq!(fa.ast.hash_fields, vec!["index"]);
+    assert!(fa.ast.impls.is_empty());
+
+    let map = crate_map();
+    let ws = WorkspaceSymbols::build(&files, &map);
+    let graph = callgraph::build(&ws);
+    // transpose → helper is the only resolvable edge.
+    assert_eq!(graph.edge_count(), 1);
+}
+
+#[test]
+fn traits_fixture_parses_exactly() {
+    let files = analyses(&["traits.rs"]);
+    let fa = &files[0];
+    assert_eq!(
+        fn_names(fa),
+        vec!["distance", "within", "distance", "magnitude"]
+    );
+    // Trait signature: no body; default method and impls: bodies.
+    assert_eq!(fa.ast.fns[0].self_ty.as_deref(), Some("Metric"));
+    assert!(fa.ast.fns[0].body.is_none());
+    assert!(fa.ast.fns[1].body.is_some());
+    assert_eq!(fa.ast.fns[2].self_ty.as_deref(), Some("Euclid"));
+    assert_eq!(fa.ast.fns[2].trait_impl.as_deref(), Some("Metric"));
+    assert_eq!(fa.ast.fns[3].self_ty.as_deref(), Some("Euclid"));
+    assert_eq!(fa.ast.fns[3].trait_impl, None);
+    assert!(fa.ast.fns[3].is_pub);
+    assert_eq!(fa.ast.impls.len(), 2);
+    assert_eq!(fa.ast.impls[0].trait_name.as_deref(), Some("Metric"));
+    assert_eq!(fa.ast.impls[0].self_ty, "Euclid");
+
+    let map = crate_map();
+    let ws = WorkspaceSymbols::build(&files, &map);
+    let graph = callgraph::build(&ws);
+    // `self.distance(…)` in `within` and `magnitude` each resolve to BOTH
+    // `distance` items (trait signature + impl): methods resolve by name,
+    // the documented over-approximation. 2 + 2 edges.
+    assert_eq!(graph.edge_count(), 4);
+}
+
+#[test]
+fn nested_mods_fixture_parses_exactly() {
+    let files = analyses(&["nested_mods.rs"]);
+    let fa = &files[0];
+    assert_eq!(fa.ast.inline_mods, vec!["outer", "inner"]);
+    assert_eq!(fn_names(fa), vec!["leaf", "branch", "root"]);
+    assert_eq!(fa.ast.fns[0].module, vec!["outer", "inner"]);
+    assert_eq!(fa.ast.fns[1].module, vec!["outer"]);
+    assert!(fa.ast.fns[2].module.is_empty());
+    assert_eq!(fa.ast.consts.len(), 1);
+    assert_eq!(fa.ast.consts[0].name, "SCALE");
+    let uses: Vec<(String, &str)> = fa
+        .ast
+        .uses
+        .iter()
+        .map(|u| (u.path.join("::"), u.alias.as_str()))
+        .collect();
+    assert_eq!(
+        uses,
+        vec![
+            ("outer::branch".to_string(), "entry"),
+            ("outer::inner::leaf".to_string(), "leaf"),
+        ]
+    );
+
+    let map = crate_map();
+    let ws = WorkspaceSymbols::build(&files, &map);
+    let graph = callgraph::build(&ws);
+    // branch → leaf (via the `inner::` module qualifier) and
+    // root → branch (via `outer::`).
+    assert_eq!(graph.edge_count(), 2);
+    let root_id = hslb_lint::symbols::FnId { file: 0, item: 2 };
+    let (order, pred) = callgraph::bfs(&graph, root_id);
+    assert_eq!(order.len(), 2, "root reaches branch and leaf");
+    let leaf_id = hslb_lint::symbols::FnId { file: 0, item: 0 };
+    let path: Vec<&str> = callgraph::witness(root_id, leaf_id, &pred)
+        .iter()
+        .map(|id| ws.fn_item(*id).name.as_str())
+        .collect();
+    assert_eq!(path, vec!["root", "branch", "leaf"]);
+}
+
+#[test]
+fn cfg_test_fixture_keeps_tests_out_of_the_graph() {
+    let files = analyses(&["cfg_test.rs"]);
+    let fa = &files[0];
+    assert_eq!(
+        fn_names(fa),
+        vec!["production", "double", "helper_only_in_tests", "doubles"]
+    );
+    let in_test: Vec<bool> = fa.ast.fns.iter().map(|f| f.in_test).collect();
+    assert_eq!(in_test, vec![false, false, true, true]);
+
+    let map = crate_map();
+    let ws = WorkspaceSymbols::build(&files, &map);
+    let graph = callgraph::build(&ws);
+    // Only production → double: test fns are neither callers nor callees,
+    // even though `helper_only_in_tests` also calls `double`.
+    assert_eq!(graph.edge_count(), 1);
+    assert!(
+        !graph
+            .edges
+            .contains_key(&hslb_lint::symbols::FnId { file: 0, item: 2 }),
+        "cfg(test) functions must not appear as callers"
+    );
+}
+
+#[test]
+fn macros_fixture_skips_bodies_but_scans_invocation_args() {
+    let files = analyses(&["macros.rs"]);
+    let fa = &files[0];
+    assert_eq!(fa.ast.macro_defs, vec!["checked"]);
+    // `fn phantom` lives inside the macro_rules body: not an item.
+    assert_eq!(fn_names(fa), vec!["caller", "compute"]);
+
+    let map = crate_map();
+    let ws = WorkspaceSymbols::build(&files, &map);
+    let graph = callgraph::build(&ws);
+    // `compute(3)` sits inside `format!(…)` arguments — the macro is not
+    // an edge, the call in its arguments is.
+    assert_eq!(graph.edge_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism pack.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn det_pack_flags_hash_iteration_reduction_and_entropy() {
+    let files = analyses(&["det_pack.rs"]);
+    let cfg = LintConfig::default();
+
+    let iter = semantic_findings(&files, &cfg, NONDET_ITERATION);
+    assert_eq!(iter.len(), 1, "exactly the `.keys()` walk in `snapshot`");
+    assert_eq!(iter[0].fn_name.as_deref(), Some("snapshot"));
+
+    let red = semantic_findings(&files, &cfg, NONDET_REDUCTION);
+    assert_eq!(red.len(), 1, "exactly the `.values().sum()` in `total`");
+    assert_eq!(red[0].fn_name.as_deref(), Some("total"));
+
+    let ent = semantic_findings(&files, &cfg, AMBIENT_ENTROPY);
+    assert_eq!(ent.len(), 1, "exactly the `SystemTime::now` in `stamp`");
+    assert_eq!(ent[0].fn_name.as_deref(), Some("stamp"));
+
+    // `ordered` iterates a slice — ordered, silent.
+    for f in iter.iter().chain(&red).chain(&ent) {
+        assert_ne!(f.fn_name.as_deref(), Some("ordered"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-reachability pack.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_path_reports_a_call_path_witness() {
+    let files = analyses(&["panic_pack.rs"]);
+    let cfg = LintConfig::default();
+    let findings = semantic_findings(&files, &cfg, PANIC_PATH);
+    let flagged: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.fn_name.as_deref())
+        .collect();
+    assert_eq!(
+        flagged,
+        vec!["entry", "contractual"],
+        "`safe` has no panic path and `pick` only indexes (sources off by default)"
+    );
+    let entry = &findings[0];
+    assert!(
+        entry.message.contains("entry → mid → deep"),
+        "witness chain missing from: {}",
+        entry.message
+    );
+    assert!(entry.message.contains("`.unwrap()`"));
+    assert!(entry.message.contains("panic_pack.rs:"));
+}
+
+#[test]
+fn panic_path_respects_certified_entries() {
+    let files = analyses(&["panic_pack.rs"]);
+    let mut cfg = LintConfig {
+        certified_entries: vec!["contractual".to_string()],
+        ..LintConfig::default()
+    };
+    let findings = semantic_findings(&files, &cfg, PANIC_PATH);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].fn_name.as_deref(), Some("entry"));
+
+    // Qualified `path.rs::fn` form certifies the remaining entry.
+    cfg.certified_entries
+        .push("crates/fix/src/panic_pack.rs::entry".to_string());
+    assert!(semantic_findings(&files, &cfg, PANIC_PATH).is_empty());
+}
+
+#[test]
+fn panic_path_indexing_sources_are_opt_in() {
+    let files = analyses(&["panic_pack.rs"]);
+    let cfg = LintConfig {
+        panic_path_index_sources: true,
+        ..LintConfig::default()
+    };
+    let findings = semantic_findings(&files, &cfg, PANIC_PATH);
+    let pick = findings
+        .iter()
+        .find(|f| f.fn_name.as_deref() == Some("pick"))
+        .expect("`pick` is flagged once indexing counts as a source");
+    assert!(pick.message.contains("slice indexing"));
+    assert_eq!(findings.len(), 3, "entry, contractual, pick");
+}
+
+// ---------------------------------------------------------------------------
+// Numeric-provenance pack.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn provenance_flags_laundering_and_silent_truncation() {
+    let files = analyses(&["provenance_pack.rs", "provenance_caller.rs"]);
+    let cfg = LintConfig::default();
+    let findings = semantic_findings(&files, &cfg, NUMERIC_PROVENANCE);
+    let flagged: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.fn_name.as_deref())
+        .collect();
+    assert_eq!(
+        flagged,
+        vec!["looks_innocent", "to_bucket"],
+        "`approx_eq` advertises semantics, `to_index` states rounding intent"
+    );
+    assert!(
+        findings[0].message.contains("provenance_caller.rs"),
+        "laundering finding must carry the cross-file caller witness: {}",
+        findings[0].message
+    );
+    assert!(findings[1].message.contains("no rounding call"));
+}
+
+#[test]
+fn provenance_is_quiet_without_a_cross_file_caller() {
+    // The callee file alone: the sanctioned comparison has no production
+    // caller in another file, so nothing is laundered.
+    let files = analyses(&["provenance_pack.rs"]);
+    let cfg = LintConfig::default();
+    let findings = semantic_findings(&files, &cfg, NUMERIC_PROVENANCE);
+    let flagged: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.fn_name.as_deref())
+        .collect();
+    assert_eq!(
+        flagged,
+        vec!["to_bucket"],
+        "the truncation audit is local; the laundering audit needs a caller"
+    );
+}

@@ -153,8 +153,19 @@ fn err(line: usize, msg: impl Into<String>) -> MpsError {
 }
 
 fn parse_value(tok: &str, line: usize) -> Result<f64, MpsError> {
-    tok.parse::<f64>()
-        .map_err(|_| err(line, format!("invalid numeric value '{tok}'")))
+    let v = tok
+        .parse::<f64>()
+        .map_err(|_| err(line, format!("invalid numeric value '{tok}'")))?;
+    // `str::parse::<f64>` accepts "nan"/"inf" spellings; a NaN coefficient
+    // would silently poison every downstream comparison (fixed-variable
+    // classification tests `lo == hi`, pruning compares bounds), and
+    // infinities are expressed structurally in MPS via MI/PL bounds — the
+    // writer never emits them as values. Reject both at the source with a
+    // line-numbered error.
+    if !v.is_finite() {
+        return Err(err(line, format!("non-finite numeric value '{tok}'")));
+    }
+    Ok(v)
 }
 
 /// Parses MPS text (fixed or free format) into an [`MpsModel`].

@@ -223,3 +223,34 @@ fn malformed_inputs_fail_with_exact_messages() {
     );
     assert_err("ROWS\n N OBJ\nENDATA\n", "line 3: no columns");
 }
+
+/// Regression (lint v2 `numeric-provenance` sweep): `parse_value` passed
+/// `str::parse::<f64>` through unchecked, so the "nan"/"inf" spellings it
+/// accepts became model coefficients. A NaN bound silently breaks the
+/// `lo == hi` fixed-variable classification and every prune comparison
+/// downstream; infinities belong in MI/PL bound types, not values (the
+/// writer never emits them). All value positions must reject non-finite
+/// input with a line-numbered diagnostic.
+#[test]
+fn non_finite_values_are_rejected_everywhere() {
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ nan\nENDATA\n",
+        "line 4: non-finite numeric value 'nan'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\n L R1\nCOLUMNS\n X OBJ 1 R1 inf\nENDATA\n",
+        "line 5: non-finite numeric value 'inf'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\n L R1\nCOLUMNS\n X OBJ 1 R1 2\nRHS\n B R1 NaN\nENDATA\n",
+        "line 7: non-finite numeric value 'NaN'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\n L R1\nCOLUMNS\n X OBJ 1 R1 2\nRHS\n B R1 4\nRANGES\n RG R1 -inf\nENDATA\n",
+        "line 9: non-finite numeric value '-inf'",
+    );
+    assert_err(
+        "ROWS\n N OBJ\nCOLUMNS\n X OBJ 1\nBOUNDS\n UP BND X infinity\nENDATA\n",
+        "line 6: non-finite numeric value 'infinity'",
+    );
+}

@@ -13,6 +13,7 @@ use crate::problem::{Bounds, Residuals};
 /// Results come back in input order. With one available core (or one input)
 /// this degrades to a plain sequential map.
 fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    // lint:allow(ambient-entropy): chunk sizing only — results come back in input order regardless of the worker count, so the parallelism query never reaches solver state
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -1,24 +1,56 @@
-//! Parallel NLP-based branch and bound.
+//! Parallel NLP-based branch and bound with a deterministic replay merge.
 //!
 //! A fork-join depth-first tree: each branch may run its two children
 //! concurrently through a budget-limited `join` built on `std::thread::scope`,
 //! so the number of live worker threads never exceeds the configured budget
-//! (no external thread-pool dependency). The incumbent is shared through a
-//! `std::sync::Mutex` (updates are rare) mirrored into an `AtomicU64` of the
-//! objective bits so that the hot prune test is a relaxed load instead of a
-//! lock.
+//! (no external thread-pool dependency).
 //!
-//! The optimum found is identical to the serial solver's (same pruning
-//! rule). Observability: every task accumulates a private
-//! [`SolveStats`] that is merged into a shared total when the task
-//! finishes, and node processing mirrors the serial depth-first loop
-//! step-for-step (count, inherited-bound prune, relaxation, polish,
-//! branch, up-child first). With `threads: 1` the traversal *is* the
-//! serial depth-first traversal, so the merged counters equal a serial
-//! `NodeSelection::DepthFirst` solve exactly — a property the determinism
-//! suite pins. With more threads the totals still count the same kinds of
-//! work, but incumbents arrive in nondeterministic order, so prune counts
-//! may vary run to run.
+//! # Determinism contract
+//!
+//! A **completed** parallel search returns the *exact* result of the serial
+//! [`NodeSelection::DepthFirst`](crate::types::NodeSelection) solver — the
+//! same incumbent vector, objective, and bit-identical [`SolveStats`] — at
+//! any thread count. This is stronger than the usual "same optimum" claim:
+//! with a racy shared incumbent, prune counts and even the returned argmin
+//! (among tied optima) depend on candidate arrival order, which varies run
+//! to run. The fix is *speculate, then replay*:
+//!
+//! 1. Every node carries a **DFS label**: the path of child indices from
+//!    the root (`0` = up child, `1` = down child). Lexicographic order on
+//!    labels is exactly the serial depth-first visit order (the serial loop
+//!    pushes `[down, up]` and pops up first).
+//! 2. The live prune test at a node only consults candidates with a
+//!    *strictly earlier label* — information the serial traversal would
+//!    also have had — and drops the optimality-gap slack (`bound >= best`
+//!    instead of `bound >= best - gap`). Both together guarantee the
+//!    parallel tree explores a **superset** of the serial tree: a node is
+//!    live-pruned only if the serial solver would have pruned it too, even
+//!    when the candidate pool contains speculative finds (every candidate,
+//!    speculative or not, scores within one gap of the serial incumbent of
+//!    any later node, because its pruned ancestor's bound was itself within
+//!    one gap of the incumbent that pruned it).
+//! 3. Each node writes a [`NodeRecord`] of its intrinsic outcome (bound,
+//!    relaxation work, feasibility, polish candidate). After the join, a
+//!    sequential **replay** walks the records in label order, re-derives
+//!    every prune/incumbent decision with serial semantics, skips subtrees
+//!    the serial solver would never have visited, and sums only the work
+//!    the serial solver would have done.
+//!
+//! Speculatively explored nodes therefore cost wall-clock time (a few
+//! extra relaxations near the gap boundary and around in-flight incumbent
+//! improvements) but never show up in counters or results. A search cut
+//! short by `time_limit`/`max_nodes` cannot be replayed (the serial prefix
+//! is incomplete), so limited searches keep anytime semantics: counters
+//! report the work actually done — inherently timing-dependent — and the
+//! incumbent is the best recorded candidate (ties broken by earliest
+//! label). Trace events always narrate the *live* execution, speculation
+//! included.
+//!
+//! Scope: the serial solver's pseudocost tracker only influences branching
+//! under [`BranchRule::Pseudocost`](crate::types::BranchRule); the parallel
+//! tree does not maintain one (its history would be order-dependent), so
+//! the replay contract holds for the history-free branch rules — the
+//! default `MostFractional` and `FirstFractional`.
 
 use crate::bnb::{polish_candidate, prune_cutoff, solve_relaxation};
 use crate::branching::{make_branch, select_branch_var};
@@ -27,8 +59,13 @@ use crate::scratch::ScratchArena;
 use crate::types::{MinlpOptions, MinlpSolution, MinlpStatus};
 use hslb_nlp::{BarrierOptions, WarmStart};
 use hslb_obs::{Deadline, Event, PruneReason, SolveStats};
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// DFS path from the root: `0` = up child, `1` = down child. Lexicographic
+/// order (with the prefix sorting first) is the serial depth-first
+/// preorder.
+type Label = Vec<u8>;
 
 /// A counting budget of *extra* worker threads.
 ///
@@ -64,40 +101,103 @@ impl SpawnBudget {
     }
 }
 
+/// A feasible candidate discovered by polish, tagged with the label of the
+/// node that produced it. The pool holds every candidate ever found (not
+/// just improvements): live prune tests filter it by label, and the replay
+/// re-derives which ones the serial traversal would have accepted.
+struct Candidate {
+    label: Label,
+    obj: f64,
+}
+
+/// Everything the replay needs to re-derive one node's serial fate. The
+/// fields are *intrinsic* to the node's box (relaxation outcome, polish
+/// candidate, work counters) — never dependent on the shared incumbent —
+/// so they are identical to what the serial solver would have computed.
+struct NodeRecord {
+    label: Label,
+    /// Lower bound inherited from the parent at entry.
+    bound_in: f64,
+    outcome: Outcome,
+}
+
+enum Outcome {
+    /// Live-pruned at entry on the inherited bound. The margin rule
+    /// guarantees the serial solver prunes here too.
+    EntryPruned,
+    /// Relaxation infeasible (or failed to produce a point).
+    Infeasible { relax_work: SolveStats },
+    /// Live-pruned after the relaxation on the node bound. The margin rule
+    /// guarantees the serial solver prunes here too, so the skipped polish
+    /// can never be work the serial solver would have done.
+    PostPruned {
+        relax_work: SolveStats,
+        node_bound: f64,
+    },
+    /// Survived both live prune tests; polish ran when the serial solver
+    /// would have run it (root or domain-feasible relaxation).
+    Expanded {
+        relax_work: SolveStats,
+        node_bound: f64,
+        domain_ok: bool,
+        polish_work: SolveStats,
+        candidate: Option<(f64, Vec<f64>)>,
+    },
+}
+
 struct Shared<'p> {
     problem: &'p MinlpProblem,
     opts: &'p MinlpOptions,
     barrier: BarrierOptions,
     budget: SpawnBudget,
     deadline: Deadline,
-    /// Bits of the incumbent objective (f64), for lock-free prune tests.
-    incumbent_bits: AtomicU64,
-    /// Full incumbent state; locked only on candidate improvement.
-    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Every candidate found so far, for label-filtered live prune tests.
+    candidates: Mutex<Vec<Candidate>>,
+    /// Best objective seen live (any label) — anytime incumbent tracking
+    /// for the limited path and for `Event::Incumbent` emission.
+    anytime_best: Mutex<f64>,
+    /// Per-node records for the deterministic replay.
+    records: Mutex<Vec<NodeRecord>>,
     /// Nodes claimed against `max_nodes`; the claim is the count.
     nodes: AtomicUsize,
-    /// Per-task counters merged here as tasks finish (`nodes_opened` is
-    /// authoritative in `nodes` above and patched in at the end).
+    /// Per-task counters merged here as tasks finish — the anytime totals
+    /// used when a limit fires (`nodes_opened` is authoritative in `nodes`
+    /// above and patched in at the end).
     stats: Mutex<SolveStats>,
     node_limit_hit: AtomicBool,
     time_limit_hit: AtomicBool,
 }
 
 impl<'p> Shared<'p> {
-    fn incumbent_obj(&self) -> f64 {
-        f64::from_bits(self.incumbent_bits.load(Ordering::Relaxed))
+    /// Best candidate objective among nodes the serial traversal would
+    /// have visited *before* `label` (ancestors included: a prefix sorts
+    /// lexicographically earlier). Infinity when none arrived yet — missing
+    /// information only weakens pruning, it never invalidates it.
+    fn known_best_before(&self, label: &[u8]) -> f64 {
+        let pool = self.candidates.lock().expect("candidate lock poisoned");
+        pool.iter()
+            .filter(|c| c.label.as_slice() < label)
+            .fold(f64::INFINITY, |acc, c| acc.min(c.obj))
     }
 
-    /// Offers a feasible candidate; returns true when it improved the
-    /// incumbent (the caller counts the improvement in its local stats).
-    fn offer(&self, obj: f64, x: Vec<f64>) -> bool {
-        let mut guard = self.incumbent.lock().expect("incumbent lock poisoned");
-        let better = guard.as_ref().is_none_or(|(best, _)| obj < *best);
+    /// Publishes a candidate to the pool and updates the anytime best.
+    /// Returns true when it strictly improved the live incumbent (the
+    /// caller counts the improvement in its local anytime stats).
+    fn publish(&self, label: Label, obj: f64) -> bool {
+        self.candidates
+            .lock()
+            .expect("candidate lock poisoned")
+            .push(Candidate { label, obj });
+        let mut best = self.anytime_best.lock().expect("anytime lock poisoned");
+        let better = obj < *best;
         if better {
-            *guard = Some((obj, x));
-            self.incumbent_bits.store(obj.to_bits(), Ordering::Relaxed);
+            *best = obj;
         }
         better
+    }
+
+    fn record(&self, rec: NodeRecord) {
+        self.records.lock().expect("record lock poisoned").push(rec);
     }
 
     fn stopped(&self) -> bool {
@@ -115,13 +215,15 @@ const SPAWN_DEPTH: usize = 12;
 /// Solves a convex MINLP with the parallel branch-and-bound tree.
 ///
 /// `opts.threads` caps the worker count (`0` = one worker per available
-/// core). Honors `opts.time_limit` like the serial solvers: on expiry the
-/// remaining subtrees are abandoned and the best incumbent is returned
-/// under [`MinlpStatus::TimeLimit`].
+/// core; the count never affects results — see the module docs). Honors
+/// `opts.time_limit` like the serial solvers: on expiry the remaining
+/// subtrees are abandoned and the best incumbent is returned under
+/// [`MinlpStatus::TimeLimit`].
 pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
     let workers = if opts.threads > 0 {
         opts.threads
     } else {
+        // lint:allow(ambient-entropy): sizes the worker pool only — the label-ordered replay merge makes results thread-count-independent (module docs), so this entropy never reaches solver state
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -136,8 +238,9 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
         },
         budget: SpawnBudget::new(workers.saturating_sub(1)),
         deadline: Deadline::start(&opts.clock, opts.time_limit),
-        incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
-        incumbent: Mutex::new(None),
+        candidates: Mutex::new(Vec::new()),
+        anytime_best: Mutex::new(f64::INFINITY),
+        records: Mutex::new(Vec::new()),
         nodes: AtomicUsize::new(0),
         stats: Mutex::new(SolveStats::default()),
         node_limit_hit: AtomicBool::new(false),
@@ -147,13 +250,16 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
     let lo = problem.relaxation().lowers().to_vec();
     let hi = problem.relaxation().uppers().to_vec();
     let mut arena = ScratchArena::new(problem.relaxation().clone());
-    explore(&shared, &mut arena, lo, hi, f64::NEG_INFINITY, 0, None);
+    explore(
+        &shared,
+        &mut arena,
+        lo,
+        hi,
+        f64::NEG_INFINITY,
+        Vec::new(),
+        None,
+    );
 
-    let mut stats = shared
-        .stats
-        .into_inner()
-        .expect("stats lock poisoned at teardown");
-    stats.nodes_opened = shared.nodes.load(Ordering::Relaxed) as u64;
     let node_limit = shared.node_limit_hit.load(Ordering::Relaxed);
     let time_limit = shared.time_limit_hit.load(Ordering::Relaxed);
     let limited = node_limit || time_limit;
@@ -162,34 +268,164 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
     } else {
         MinlpStatus::NodeLimit
     };
-    let incumbent = shared
-        .incumbent
+    let mut records = shared
+        .records
         .into_inner()
-        .expect("incumbent lock poisoned");
-    match incumbent {
-        Some((obj, x)) => MinlpSolution {
-            status: if limited {
-                limit_status
-            } else {
-                MinlpStatus::Optimal
+        .expect("record lock poisoned at teardown");
+
+    if !limited {
+        // Complete search: the replay *is* the result. Counters, incumbent
+        // and objective all come from the reconstructed serial traversal.
+        let (stats, incumbent) = replay(&mut records, opts);
+        return match incumbent {
+            Some((obj, x)) => MinlpSolution {
+                status: MinlpStatus::Optimal,
+                objective: obj,
+                best_bound: obj,
+                x,
+                stats,
             },
+            None => MinlpSolution::infeasible(stats),
+        };
+    }
+
+    // Limited search: anytime semantics. Counters report the work actually
+    // done (timing-dependent by nature — the abandoned frontier depends on
+    // when the limit fired); the incumbent is the best recorded candidate,
+    // ties broken by earliest serial label so at least the *choice* among
+    // equals is stable.
+    let mut stats = shared
+        .stats
+        .into_inner()
+        .expect("stats lock poisoned at teardown");
+    stats.nodes_opened = shared.nodes.load(Ordering::Relaxed) as u64;
+    let mut best: Option<(f64, Vec<f64>, Label)> = None;
+    for rec in records {
+        if let Outcome::Expanded {
+            candidate: Some((obj, x)),
+            ..
+        } = rec.outcome
+        {
+            let better = match &best {
+                Some((bobj, _, blabel)) => obj < *bobj || (obj == *bobj && rec.label < *blabel),
+                None => true,
+            };
+            if better {
+                best = Some((obj, x, rec.label));
+            }
+        }
+    }
+    match best {
+        Some((obj, x, _)) => MinlpSolution {
+            status: limit_status,
             objective: obj,
             // The depth-first tree tracks no open-node bounds, so a
             // truncated search can only claim the trivial bound (this
             // matches the serial solver under `NodeSelection::DepthFirst`).
-            best_bound: if limited { f64::NEG_INFINITY } else { obj },
+            best_bound: f64::NEG_INFINITY,
             x,
             stats,
         },
         None => {
             let mut s = MinlpSolution::infeasible(stats);
-            if limited {
-                // Infeasibility was not *proven*: the search was cut short.
-                s.status = limit_status;
-            }
+            // Infeasibility was not *proven*: the search was cut short.
+            s.status = limit_status;
             s
         }
     }
+}
+
+/// Sequentially re-derives the serial depth-first traversal from the node
+/// records: walk in label order, apply the serial prune/incumbent rules,
+/// skip whole subtrees the serial solver would have pruned, and sum only
+/// the work it would have done.
+fn replay(
+    records: &mut [NodeRecord],
+    opts: &MinlpOptions,
+) -> (SolveStats, Option<(f64, Vec<f64>)>) {
+    records.sort_unstable_by(|a, b| a.label.cmp(&b.label));
+    let mut stats = SolveStats::default();
+    let mut best_obj = f64::INFINITY;
+    let mut best_idx: Option<usize> = None;
+    // Pruned subtrees are contiguous preorder intervals; one active prefix
+    // suffices (a prune inside a skipped interval is itself skipped).
+    let mut skip: Option<&[u8]> = None;
+    for (i, rec) in records.iter().enumerate() {
+        if let Some(prefix) = skip {
+            if rec.label.starts_with(prefix) {
+                continue;
+            }
+            skip = None;
+        }
+        stats.nodes_opened += 1;
+        if rec.bound_in >= prune_cutoff(best_obj, opts) {
+            stats.pruned_by_bound += 1;
+            skip = Some(&rec.label);
+            continue;
+        }
+        match &rec.outcome {
+            Outcome::EntryPruned => {
+                // The live margin rule prunes strictly less than the serial
+                // rule, so the serial test above must have fired first; the
+                // only way here is a numerically invalid relaxation bound.
+                debug_assert!(false, "live entry-prune survived serial replay");
+                stats.pruned_by_bound += 1;
+                skip = Some(&rec.label);
+            }
+            Outcome::Infeasible { relax_work } => {
+                stats.merge(relax_work);
+                stats.pruned_infeasible += 1;
+            }
+            Outcome::PostPruned {
+                relax_work,
+                node_bound,
+            } => {
+                stats.merge(relax_work);
+                debug_assert!(
+                    *node_bound >= prune_cutoff(best_obj, opts),
+                    "live post-prune survived serial replay"
+                );
+                stats.pruned_by_bound += 1;
+                skip = Some(&rec.label);
+            }
+            Outcome::Expanded {
+                relax_work,
+                node_bound,
+                domain_ok,
+                polish_work,
+                candidate,
+            } => {
+                stats.merge(relax_work);
+                if *node_bound >= prune_cutoff(best_obj, opts) {
+                    // Speculatively expanded: the serial solver prunes here
+                    // and never sees this subtree.
+                    stats.pruned_by_bound += 1;
+                    skip = Some(&rec.label);
+                    continue;
+                }
+                if rec.label.is_empty() || *domain_ok {
+                    stats.merge(polish_work);
+                    if let Some((obj, _)) = candidate {
+                        if *obj < best_obj {
+                            best_obj = *obj;
+                            best_idx = Some(i);
+                            stats.incumbents += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let incumbent = best_idx.and_then(|i| {
+        // `best_idx` always points at a candidate-bearing Expanded record
+        // (it is only set on one above); the and_then keeps the extraction
+        // total without a panic path.
+        match std::mem::replace(&mut records[i].outcome, Outcome::EntryPruned) {
+            Outcome::Expanded { candidate, .. } => candidate,
+            _ => None,
+        }
+    });
+    (stats, incumbent)
 }
 
 /// Processes one node (and recursively its subtree), then returns the
@@ -203,10 +439,10 @@ fn explore(
     lo: Vec<f64>,
     hi: Vec<f64>,
     bound: f64,
-    depth: usize,
+    label: Label,
     seed: Option<Arc<WarmStart>>,
 ) {
-    explore_node(shared, arena, &lo, &hi, bound, depth, seed);
+    explore_node(shared, arena, &lo, &hi, bound, label, seed);
     arena.put(lo);
     arena.put(hi);
 }
@@ -217,12 +453,12 @@ fn explore_node(
     lo: &[f64],
     hi: &[f64],
     bound: f64,
-    depth: usize,
+    label: Label,
     seed: Option<Arc<WarmStart>>,
 ) {
     // Mirror the serial loop's per-pop limit checks, in the same order:
     // an already-tripped limit abandons the subtree, then the time budget,
-    // then the node budget (whose claim doubles as the node count).
+    // then the node budget (whose claim doubles as the anytime node count).
     if shared.stopped() {
         return;
     }
@@ -244,24 +480,32 @@ fn explore_node(
         shared.node_limit_hit.store(true, Ordering::Relaxed);
         return;
     }
+    let depth = label.len();
     let mut local = SolveStats::default();
     shared.opts.trace.emit(|| Event::NodeOpened {
         depth: depth as u64,
         bound,
     });
 
-    // Inherited-bound prune (the incumbent may have improved since the
-    // parent branched).
-    if bound >= prune_cutoff(shared.incumbent_obj(), shared.opts) {
+    // Inherited-bound prune. The margin rule (`>= best`, not
+    // `>= best - gap`) against label-earlier candidates only guarantees
+    // prunes the serial traversal would also take — see the module docs.
+    if bound >= shared.known_best_before(&label) {
         local.pruned_by_bound += 1;
         shared.opts.trace.emit(|| Event::NodePruned {
             reason: PruneReason::Bound,
             bound,
         });
         shared.merge(&local);
+        shared.record(NodeRecord {
+            label,
+            bound_in: bound,
+            outcome: Outcome::EntryPruned,
+        });
         return;
     }
 
+    let mut relax_work = SolveStats::default();
     let Some(relax) = solve_relaxation(
         shared.problem,
         arena,
@@ -269,14 +513,20 @@ fn explore_node(
         hi,
         seed.as_deref(),
         &shared.barrier,
-        &mut local,
+        &mut relax_work,
     ) else {
+        local.merge(&relax_work);
         local.pruned_infeasible += 1;
         shared.opts.trace.emit(|| Event::NodePruned {
             reason: PruneReason::Infeasible,
             bound: f64::NAN,
         });
         shared.merge(&local);
+        shared.record(NodeRecord {
+            label,
+            bound_in: bound,
+            outcome: Outcome::Infeasible { relax_work },
+        });
         return;
     };
     let node_bound = if relax.bound_valid {
@@ -284,19 +534,30 @@ fn explore_node(
     } else {
         bound
     };
-    if node_bound >= prune_cutoff(shared.incumbent_obj(), shared.opts) {
+    if node_bound >= shared.known_best_before(&label) {
+        local.merge(&relax_work);
         local.pruned_by_bound += 1;
         shared.opts.trace.emit(|| Event::NodePruned {
             reason: PruneReason::Bound,
             bound: node_bound,
         });
         shared.merge(&local);
+        shared.record(NodeRecord {
+            label,
+            bound_in: bound,
+            outcome: Outcome::PostPruned {
+                relax_work,
+                node_bound,
+            },
+        });
         return;
     }
 
     let domain_ok = shared
         .problem
         .is_domain_feasible(&relax.x, shared.opts.int_tol);
+    let mut polish_work = SolveStats::default();
+    let mut candidate = None;
     if depth == 0 || domain_ok {
         if let Some((cand, obj)) = polish_candidate(
             shared.problem,
@@ -306,52 +567,66 @@ fn explore_node(
             hi,
             shared.opts,
             &shared.barrier,
-            &mut local,
+            &mut polish_work,
         ) {
-            if shared.offer(obj, cand) {
+            if shared.publish(label.clone(), obj) {
                 local.incumbents += 1;
                 shared
                     .opts
                     .trace
                     .emit(|| Event::Incumbent { objective: obj });
             }
+            candidate = Some((obj, cand));
         }
     }
-    if domain_ok {
-        shared.merge(&local);
-        return;
-    }
+    local.merge(&relax_work);
+    local.merge(&polish_work);
 
-    let Some(j) = select_branch_var(
-        shared.problem,
-        &relax.x,
-        lo,
-        hi,
-        shared.opts.int_tol,
-        shared.opts.branch_rule,
-    ) else {
-        shared.merge(&local);
-        return;
-    };
-    let Some(branch) = make_branch(shared.problem, j, relax.x[j], lo[j], hi[j]) else {
-        shared.merge(&local);
-        return;
+    let branch = if domain_ok {
+        // Domain-feasible relaxation: node is settled (polish above
+        // already captured the candidate).
+        None
+    } else {
+        select_branch_var(
+            shared.problem,
+            &relax.x,
+            lo,
+            hi,
+            shared.opts.int_tol,
+            shared.opts.branch_rule,
+        )
+        .and_then(|j| make_branch(shared.problem, j, relax.x[j], lo[j], hi[j]).map(|b| (j, b)))
     };
     shared.merge(&local);
 
+    let Some((j, branch)) = branch else {
+        shared.record(NodeRecord {
+            label,
+            bound_in: bound,
+            outcome: Outcome::Expanded {
+                relax_work,
+                node_bound,
+                domain_ok,
+                polish_work,
+                candidate,
+            },
+        });
+        return;
+    };
+
     // Both children share one Arc of this node's relaxation point and
     // duals — the same values the serial tree would hand them, so the
-    // `threads: 1` counter-equality contract is preserved.
+    // replay sees the warm-start hits the serial tree would have scored.
     let child_seed = shared
         .opts
         .warm_start
         .then(|| Arc::new(WarmStart::new(relax.x, relax.multipliers)));
 
     // Children in the serial pop order: the serial loop pushes [down, up]
-    // on its stack and pops the *up* child first, so sequential execution
-    // (and the no-slot fallback below) must run up before down.
+    // on its stack and pops the *up* child first, so up gets label bit 0
+    // and runs first in the no-slot fallback below.
     let mut children = Vec::with_capacity(2);
-    for (blo, bhi) in [branch.up, branch.down] {
+    for (bit, (blo, bhi)) in [(0u8, branch.up), (1u8, branch.down)] {
         if blo > bhi {
             continue;
         }
@@ -359,15 +634,28 @@ fn explore_node(
         let mut chi = arena.take_copy(hi);
         clo[j] = blo;
         chi[j] = bhi;
-        children.push((clo, chi));
+        let mut clabel = label.clone();
+        clabel.push(bit);
+        children.push((clabel, clo, chi));
     }
+    shared.record(NodeRecord {
+        label,
+        bound_in: bound,
+        outcome: Outcome::Expanded {
+            relax_work,
+            node_bound,
+            domain_ok,
+            polish_work,
+            candidate,
+        },
+    });
     match (children.len(), depth < SPAWN_DEPTH) {
         (2, true) if shared.budget.try_acquire() => {
             let mut it = children.into_iter();
-            let (l1, h1) = it
+            let (lb1, l1, h1) = it
                 .next()
                 .expect("match arm guarantees exactly two children");
-            let (l2, h2) = it
+            let (lb2, l2, h2) = it
                 .next()
                 .expect("match arm guarantees exactly two children");
             let seed2 = child_seed.clone();
@@ -377,21 +665,21 @@ fn explore_node(
                 // own for the first child.
                 s.spawn(move || {
                     let mut spawned = ScratchArena::new(shared.problem.relaxation().clone());
-                    explore(shared, &mut spawned, l2, h2, node_bound, depth + 1, seed2);
+                    explore(shared, &mut spawned, l2, h2, node_bound, lb2, seed2);
                 });
-                explore(shared, arena, l1, h1, node_bound, depth + 1, child_seed);
+                explore(shared, arena, l1, h1, node_bound, lb1, child_seed);
             });
             shared.budget.release();
         }
         _ => {
-            for (clo, chi) in children {
+            for (clabel, clo, chi) in children {
                 explore(
                     shared,
                     arena,
                     clo,
                     chi,
                     node_bound,
-                    depth + 1,
+                    clabel,
                     child_seed.clone(),
                 );
             }
@@ -486,9 +774,10 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_counters_equal_serial_depth_first() {
-        // The advertised determinism contract: threads=1 replays the serial
-        // depth-first traversal, node for node (see module docs).
+    fn any_thread_count_replays_serial_depth_first() {
+        // The determinism contract: a completed parallel search returns the
+        // serial depth-first solver's counters, objective, and incumbent
+        // vector bit-for-bit, at every thread count (see module docs).
         for cap in [9, 12, 14] {
             let p = allocation_problem(cap, &[120.0, 360.0, 77.0]);
             let serial = solve_nlp_bnb(
@@ -498,15 +787,22 @@ mod tests {
                     ..Default::default()
                 },
             );
-            let par = solve_parallel_bnb(
-                &p,
-                &MinlpOptions {
-                    threads: 1,
-                    ..Default::default()
-                },
-            );
-            assert_eq!(serial.stats, par.stats, "cap={cap}");
-            assert_eq!(serial.status, par.status, "cap={cap}");
+            for threads in [1, 2, 4, 8] {
+                let par = solve_parallel_bnb(
+                    &p,
+                    &MinlpOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(serial.stats, par.stats, "cap={cap} threads={threads}");
+                assert_eq!(serial.status, par.status, "cap={cap} threads={threads}");
+                assert_eq!(
+                    serial.objective, par.objective,
+                    "cap={cap} threads={threads}"
+                );
+                assert_eq!(serial.x, par.x, "cap={cap} threads={threads}");
+            }
         }
     }
 

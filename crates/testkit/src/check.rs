@@ -240,6 +240,42 @@ pub fn check_minlp(inst: &MinlpInstance) -> Result<(), String> {
             ));
         }
     }
+
+    // Replay-determinism cross-check: a completed parallel search must
+    // return the serial depth-first traversal's counters, objective bits,
+    // and argmin vector exactly, independent of thread count (the racy
+    // pre-replay merge returned timing-dependent stats and, among tied
+    // optima, a timing-dependent x).
+    let serial_dfs = solve_nlp_bnb(
+        &inst.problem,
+        &MinlpOptions {
+            node_selection: hslb_minlp::NodeSelection::DepthFirst,
+            ..MinlpOptions::default()
+        },
+    );
+    for threads in [2usize, 4] {
+        let par = solve_parallel_bnb(
+            &inst.problem,
+            &MinlpOptions {
+                threads,
+                ..MinlpOptions::default()
+            },
+        );
+        if par.stats != serial_dfs.stats {
+            return Err(format!(
+                "parallel_bnb threads={threads} stats diverged from serial \
+                 depth-first: {:?} vs {:?}",
+                par.stats, serial_dfs.stats
+            ));
+        }
+        if par.objective.to_bits() != serial_dfs.objective.to_bits() || par.x != serial_dfs.x {
+            return Err(format!(
+                "parallel_bnb threads={threads} solution diverged from serial \
+                 depth-first: obj {} vs {}",
+                par.objective, serial_dfs.objective
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -385,12 +421,39 @@ pub fn check_mps(rng: &mut Rng, size: u32) -> Result<(), String> {
         }
     };
     match std::panic::catch_unwind(|| hslb_loaders::parse_mps(&mutated)) {
-        Ok(_) => Ok(()),
-        Err(_) => Err(format!(
-            "parser panicked on corrupted input (cut {cut}, len {})",
-            text.len()
-        )),
+        Ok(_) => {}
+        Err(_) => {
+            return Err(format!(
+                "parser panicked on corrupted input (cut {cut}, len {})",
+                text.len()
+            ))
+        }
     }
+
+    // Non-finite value probe: `str::parse::<f64>` accepts "nan"/"inf"
+    // spellings, and a NaN coefficient silently poisons every downstream
+    // comparison (`lo == hi` fixed-variable classification, prune tests).
+    // The reader must reject them with a diagnostic, not ingest them.
+    for poison in ["nan", "NaN", "inf", "-inf"] {
+        let poisoned = format!(
+            "NAME POISON\nROWS\n N  COST\n L  R1\nCOLUMNS\n X1 COST 1.0 R1 {poison}\nRHS\n B R1 4.0\nBOUNDS\nENDATA\n"
+        );
+        match hslb_loaders::parse_mps(&poisoned) {
+            Ok(_) => {
+                return Err(format!(
+                    "parse_mps ingested a non-finite coefficient '{poison}'"
+                ))
+            }
+            Err(e) if e.to_string().contains("non-finite") => {}
+            Err(e) => {
+                return Err(format!(
+                    "non-finite coefficient '{poison}' rejected with the wrong \
+                     diagnostic: {e}"
+                ))
+            }
+        }
+    }
+    Ok(())
 }
 
 /// End-to-end pipeline: HSLB's *predicted* coupled time vs the simulator's

@@ -8,9 +8,15 @@
 //! 1. **Repeatability** — solving the same instance twice yields identical
 //!    `SolveStats` (and identical LP pivot / Newton iteration counts for the
 //!    continuous sub-solvers).
-//! 2. **Serial/parallel parity** — the fork-join solver at `threads: 1`
-//!    replays the serial depth-first traversal node for node, so its merged
-//!    counters equal the serial solver's exactly.
+//! 2. **Serial/parallel parity** — the fork-join solver's deterministic
+//!    replay merge reconstructs the serial depth-first traversal, so a
+//!    completed parallel solve returns the serial solver's counters,
+//!    objective, and incumbent vector bit-for-bit at *any* thread count
+//!    (see `hslb_minlp::parallel` module docs). The multithreaded stress
+//!    tests below cross-validate the `nondet-*` lint rules dynamically:
+//!    the static rules say solver state never flows through unordered
+//!    containers or ambient entropy, and these tests observe the
+//!    consequence.
 
 use hslb_minlp::{solve_nlp_bnb, solve_oa_bnb, solve_parallel_bnb, MinlpOptions, NodeSelection};
 use hslb_nlp::BarrierOptions;
@@ -96,6 +102,87 @@ fn parallel_one_thread_matches_serial_depth_first_stats() {
                 "seed {seed}: objectives diverged"
             );
         }
+    }
+}
+
+/// Determinism stress: seeded instances at real thread counts. Every
+/// completed multithreaded solve must replay the serial depth-first
+/// traversal exactly — stats, status, objective bits, and the argmin
+/// vector (tie-breaking among equal-objective candidates included).
+#[test]
+fn parallel_stress_any_thread_count_replays_serial() {
+    const STRESS_SEEDS: u64 = 16;
+    for seed in 0..STRESS_SEEDS {
+        let mut rng = Rng::new(0xD0_0006 ^ seed);
+        let inst = gen::minlp_instance(&mut rng, 6);
+        let serial = solve_nlp_bnb(
+            &inst.problem,
+            &MinlpOptions {
+                node_selection: NodeSelection::DepthFirst,
+                ..Default::default()
+            },
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = solve_parallel_bnb(
+                &inst.problem,
+                &MinlpOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                serial.stats, parallel.stats,
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(
+                serial.status, parallel.status,
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(
+                serial.objective.to_bits(),
+                parallel.objective.to_bits(),
+                "seed {seed} threads {threads}: objectives diverged"
+            );
+            assert_eq!(serial.x, parallel.x, "seed {seed} threads {threads}");
+        }
+    }
+}
+
+/// The E7 pinned instance (the perf gate's anchor workload) at real thread
+/// counts: the replay contract must hold on the production-scale model,
+/// not just on generator instances.
+#[test]
+fn parallel_stress_e7_pinned_instance() {
+    use hslb::{build_layout_model, Layout};
+    use hslb_bench::harness::true_spec;
+    use hslb_bench::perf::E7_TOTAL_NODES;
+    use hslb_cesm_sim::Scenario;
+
+    let spec = true_spec(&Scenario::one_degree(E7_TOTAL_NODES));
+    let model = build_layout_model(&spec, Layout::Hybrid);
+    let serial = solve_nlp_bnb(
+        &model.problem,
+        &MinlpOptions {
+            node_selection: NodeSelection::DepthFirst,
+            ..Default::default()
+        },
+    );
+    assert_eq!(serial.status, hslb_minlp::MinlpStatus::Optimal);
+    for threads in [2usize, 4, 8] {
+        let parallel = solve_parallel_bnb(
+            &model.problem,
+            &MinlpOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.stats, parallel.stats, "threads {threads}");
+        assert_eq!(
+            serial.objective.to_bits(),
+            parallel.objective.to_bits(),
+            "threads {threads}"
+        );
+        assert_eq!(serial.x, parallel.x, "threads {threads}");
     }
 }
 

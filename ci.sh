@@ -37,6 +37,18 @@ echo "== sparse/dense equivalence =="
 # pivot/Newton envelope (see DESIGN.md § Sparse core).
 cargo test --release -q --test sparse_dense_equivalence
 
+echo "== serve equivalence =="
+# The serving layer must never change answers: 500 seeded instances solved
+# cold and through the daemon (cache replay, warm-seeded re-solves, batch
+# coalescing) must agree bit-for-bit (see DESIGN.md § Serve).
+cargo test --release -q --test serve_equivalence
+
+echo "== serve soak =="
+# Concurrency discipline: 8 client threads x 200 mixed requests against one
+# live server; totals and cache state must land on the same deterministic
+# envelope every run.
+cargo test --release -q --test serve_soak
+
 echo "== sparse speedup (hslb-perf --speedup) =="
 # Wall-clock gate: the n=1000 netlib-style LP must solve at least 5x
 # faster on the sparse basis factorization than on the dense oracle. The
@@ -50,10 +62,23 @@ echo "== perf counters (hslb-perf --smoke) =="
 # and by how much (see DESIGN.md § Observability).
 ./target/release/hslb-perf --smoke
 
+echo "== serve throughput (hslb-perf --serve-qps) =="
+# Wall-clock gate: mixed cheap traffic (pings + verbatim cache replays)
+# through the threaded server must sustain >= 1000 queries/sec. Observed
+# ~100x that; the floor only catches gross serialization regressions.
+./target/release/hslb-perf --serve-qps
+
 echo "== differential fuzz (capped) =="
 # A short hunt on top of the deterministic tier-1 suite. The fixed start
 # seed keeps this gate deterministic while covering seeds the suite and
 # corpus do not.
 ./target/release/testkit fuzz --seeds 40 --start 0xC1C1C1C1
+
+echo "== wire fuzz =="
+# The serving wire front gets its own deeper sweep: 1500 generated
+# envelopes plus corrupted-frame probes per case (truncation, byte flips,
+# length-prefix lies) must never wedge, crash, or desync the server. This
+# sweep is what caught the non-finite Cholesky regularization spin.
+./target/release/testkit fuzz --layer wire --seeds 1500
 
 echo "CI OK"

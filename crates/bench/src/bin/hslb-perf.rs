@@ -5,6 +5,7 @@
 //! hslb-perf --smoke          # run + diff against the committed baseline
 //! hslb-perf --out <path>     # write/compare somewhere else
 //! hslb-perf --speedup        # wall-clock gate: sparse >= 5x dense at n=1k
+//! hslb-perf --serve-qps      # wall-clock gate: served throughput >= 1000/s
 //! ```
 //!
 //! The suite records only deterministic work counters (no timings), so the
@@ -12,8 +13,11 @@
 //! `hslb_bench::perf` for the gate semantics.
 
 use hslb_bench::perf::{
-    diff_suites, e7_thread_envelope, perf_suite, suite_from_json, suite_to_json, time_netlib_like,
-    SPARSE_LP_SIZES, SPARSE_SPEEDUP_MIN,
+    diff_suites, e7_thread_envelope, perf_suite, time_netlib_like, SPARSE_LP_SIZES,
+    SPARSE_SPEEDUP_MIN,
+};
+use hslb_bench::serve_perf::{
+    baseline_from_json, baseline_to_json, diff_serve, measure_serve_qps, serve_suite, SERVE_QPS_MIN,
 };
 use hslb_linalg::LinalgBackend;
 use std::path::PathBuf;
@@ -28,18 +32,34 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut speedup = false;
+    let mut serve_qps = false;
     let mut out = default_baseline();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--speedup" => speedup = true,
+            "--serve-qps" => serve_qps = true,
             "--out" => match it.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => usage("--out needs a path"),
             },
             other => usage(&format!("unknown argument {other}")),
         }
+    }
+
+    if serve_qps {
+        // Standalone wall-clock gate for the serving front: mixed cheap
+        // traffic (pings + cache replays) through the threaded server.
+        eprintln!("hslb-perf: measuring served throughput (4 clients x 2500 requests)...");
+        let qps = measure_serve_qps(4, 2500);
+        println!("hslb-perf: served {qps:.0} queries/sec");
+        if qps < SERVE_QPS_MIN {
+            fail(&format!(
+                "served throughput {qps:.0}/s below required {SERVE_QPS_MIN}/s"
+            ));
+        }
+        return;
     }
 
     if speedup {
@@ -65,6 +85,15 @@ fn main() {
         println!("{:<28} {}", case.name, case.stats);
     }
 
+    eprintln!("hslb-perf: running pinned serve suite...");
+    let serve_cases = serve_suite();
+    for case in &serve_cases {
+        println!(
+            "{:<28} p99_ticks={} | {}",
+            case.name, case.p99_ticks, case.serve
+        );
+    }
+
     eprintln!("hslb-perf: checking multithreaded envelope (threads=4)...");
     let violations = e7_thread_envelope(&cases);
     if violations.is_empty() {
@@ -84,12 +113,14 @@ fn main() {
                 out.display()
             ))
         });
-        let baseline = suite_from_json(&text).unwrap_or_else(|e| fail(&e));
-        let drifts = diff_suites(&baseline, &cases);
+        let (baseline, serve_baseline) = baseline_from_json(&text).unwrap_or_else(|e| fail(&e));
+        let mut drifts = diff_suites(&baseline, &cases);
+        drifts.extend(diff_serve(&serve_baseline, &serve_cases));
         if drifts.is_empty() {
             println!(
-                "hslb-perf: OK — {} cases match {}",
+                "hslb-perf: OK — {} solver + {} serve cases match {}",
                 cases.len(),
+                serve_cases.len(),
                 out.display()
             );
         } else {
@@ -101,12 +132,13 @@ fn main() {
             std::process::exit(1);
         }
     } else {
-        let text = suite_to_json(&cases);
+        let text = baseline_to_json(&cases, &serve_cases);
         std::fs::write(&out, &text)
             .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
         println!(
-            "hslb-perf: wrote {} cases to {}",
+            "hslb-perf: wrote {} solver + {} serve cases to {}",
             cases.len(),
+            serve_cases.len(),
             out.display()
         );
     }
@@ -114,7 +146,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("hslb-perf: {msg}");
-    eprintln!("usage: hslb-perf [--smoke] [--speedup] [--out <path>]");
+    eprintln!("usage: hslb-perf [--smoke] [--speedup] [--serve-qps] [--out <path>]");
     std::process::exit(2);
 }
 

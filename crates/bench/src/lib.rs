@@ -8,4 +8,5 @@
 
 pub mod harness;
 pub mod perf;
+pub mod serve_perf;
 pub mod timing;

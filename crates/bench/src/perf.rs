@@ -248,10 +248,10 @@ fn master_like_lp(cols: usize, cuts: usize) -> LinearProgram {
     lp
 }
 
-/// Serializes the suite. Counters are integers, names are fixed, key order
-/// is insertion order — the output is byte-identical across runs.
-pub fn suite_to_json(cases: &[PerfCase]) -> String {
-    let suite = Json::arr(cases.iter().map(|case| {
+/// The `suite` section as a JSON value (insertion order, integer
+/// counters — byte-identical across runs).
+pub fn suite_json_value(cases: &[PerfCase]) -> Json {
+    Json::arr(cases.iter().map(|case| {
         Json::obj([
             ("name", Json::from(case.name.as_str())),
             (
@@ -264,20 +264,26 @@ pub fn suite_to_json(cases: &[PerfCase]) -> String {
                 ),
             ),
         ])
-    }));
-    let doc = Json::obj([("format", Json::from(1u64)), ("suite", suite)]);
+    }))
+}
+
+/// Serializes the solver suite alone (the serve section is appended by
+/// [`crate::serve_perf::baseline_to_json`], which the `hslb-perf` binary
+/// uses to write the committed file).
+pub fn suite_to_json(cases: &[PerfCase]) -> String {
+    let doc = Json::obj([
+        ("format", Json::from(1u64)),
+        ("suite", suite_json_value(cases)),
+    ]);
     let mut text = doc.to_pretty();
     text.push('\n');
     text
 }
 
-/// Parses a committed baseline back into cases. Unknown counter names are
-/// rejected so a schema change forces a baseline regeneration.
-pub fn suite_from_json(text: &str) -> Result<Vec<PerfCase>, String> {
-    let doc = Json::parse(text).map_err(|e| format!("bad baseline JSON: {e}"))?;
-    if doc.get("format").and_then(Json::as_u64) != Some(1) {
-        return Err("baseline format must be 1".to_string());
-    }
+/// Parses the `suite` section of an already-parsed baseline document.
+/// Unknown counter names are rejected so a schema change forces a
+/// baseline regeneration.
+pub fn suite_cases_from_doc(doc: &Json) -> Result<Vec<PerfCase>, String> {
     let suite = doc
         .get("suite")
         .and_then(Json::as_array)
@@ -319,6 +325,15 @@ pub fn suite_from_json(text: &str) -> Result<Vec<PerfCase>, String> {
         cases.push(PerfCase { name, stats });
     }
     Ok(cases)
+}
+
+/// Parses a committed baseline's solver suite from text.
+pub fn suite_from_json(text: &str) -> Result<Vec<PerfCase>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("bad baseline JSON: {e}"))?;
+    if doc.get("format").and_then(Json::as_u64) != Some(1) {
+        return Err("baseline format must be 1".to_string());
+    }
+    suite_cases_from_doc(&doc)
 }
 
 /// Compares a fresh run against the committed baseline. Returns drift

@@ -67,12 +67,19 @@ impl Cholesky {
         if let Ok(ch) = Cholesky::new(a) {
             return Ok((ch, 0.0));
         }
+        // No diagonal shift can rescue a matrix with non-finite entries, and
+        // an infinite diagonal would make `limit` infinite below — the growth
+        // loop would then spin forever once `shift` saturates at infinity
+        // (`inf <= inf` never exits). Fail fast instead.
+        if !a.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::NotPositiveDefinite { row: 0 });
+        }
         let max_diag = (0..a.rows())
             .map(|i| a[(i, i)].abs())
             .fold(f64::EPSILON, f64::max);
         let mut shift = initial_shift.max(MIN_SHIFT_REL * max_diag);
         let limit = 1e8 * max_diag.max(1.0);
-        while shift <= limit {
+        while shift <= limit && shift.is_finite() {
             let mut shifted = a.clone();
             shifted.add_diagonal(shift);
             if let Ok(ch) = Cholesky::new(&shifted) {
@@ -180,6 +187,22 @@ mod tests {
         let a = spd3();
         let (_, shift) = Cholesky::new_regularized(&a, 1e-8).unwrap();
         assert_eq!(shift, 0.0);
+    }
+
+    #[test]
+    fn regularized_rejects_non_finite_instead_of_spinning() {
+        // An infinite diagonal used to drive `limit` to infinity, and the
+        // shift-growth loop then never exited once the shift saturated
+        // (found by the wire fuzzer: a byte flip produced a perf-model
+        // constant of ~2e17 whose barrier Hessian overflowed). The call
+        // must return an error, and return it promptly.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let a = Matrix::from_rows(&[&[bad, 0.0], &[0.0, -1.0]]);
+            assert!(Cholesky::new_regularized(&a, 1e-8).is_err());
+        }
+        // Non-finite off-diagonals are equally unrescuable.
+        let a = Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, -1.0]]);
+        assert!(Cholesky::new_regularized(&a, 1e-8).is_err());
     }
 
     #[test]

@@ -286,6 +286,12 @@ impl SparseCholesky {
         if let Ok(ch) = SparseCholesky::factorize_shifted(a, sym, 0.0, ws) {
             return Ok((ch, 0.0));
         }
+        // Mirrors the dense guard: non-finite entries are unrescuable, and an
+        // infinite diagonal would push `limit` to infinity, where the growth
+        // loop can no longer terminate (`shift` saturates at `inf <= inf`).
+        if !a.values().iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::NotPositiveDefinite { row: 0 });
+        }
         let mut max_diag = f64::EPSILON;
         for k in 0..sym.n {
             for p in sym.amap_ptr[k]..sym.amap_ptr[k + 1] {
@@ -298,7 +304,7 @@ impl SparseCholesky {
         }
         let mut shift = initial_shift.max(MIN_SHIFT_REL * max_diag);
         let limit = SHIFT_LIMIT_REL * max_diag.max(1.0);
-        while shift <= limit {
+        while shift <= limit && shift.is_finite() {
             if let Ok(ch) = SparseCholesky::factorize_shifted(a, sym, shift, ws) {
                 return Ok((ch, shift));
             }
@@ -405,6 +411,17 @@ mod tests {
         let (ch, shift) = SparseCholesky::factorize_regularized(&s, &sym, 1e-8, &mut ws).unwrap();
         assert!(shift > 0.0);
         assert!(ch.solve(&[1.0, 1.0]).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn regularized_rejects_non_finite_instead_of_spinning() {
+        // Twin of the dense test: an infinite diagonal once made the shift
+        // limit infinite and the growth loop unterminating.
+        let d = Matrix::from_rows(&[&[f64::INFINITY, 2.0], &[2.0, -1.0]]);
+        let s = CscMatrix::from_dense(&d);
+        let sym = CholSymbolic::analyze(&s).unwrap();
+        let mut ws = SparseWorkspace::new();
+        assert!(SparseCholesky::factorize_regularized(&s, &sym, 1e-8, &mut ws).is_err());
     }
 
     #[test]

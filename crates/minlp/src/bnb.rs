@@ -222,6 +222,25 @@ pub(crate) fn prune_cutoff(incumbent: f64, opts: &MinlpOptions) -> f64 {
 /// next node boundary and returns the best incumbent found so far together
 /// with the tightest proven bound, under [`MinlpStatus::TimeLimit`].
 pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolution {
+    solve_nlp_bnb_seeded(problem, opts, None)
+}
+
+/// [`solve_nlp_bnb`] with an advisory warm seed for the *root* relaxation.
+///
+/// A serving layer that cached the solution of a structurally identical
+/// instance passes it here so the root barrier solve starts from the
+/// cached point instead of cold. The seed follows the same contract as
+/// intra-tree warm starts (`MinlpOptions::warm_start`): it is repaired
+/// into the root box first and any seed that cannot be repaired falls
+/// back to the identical cold path, so statuses and optima are unchanged
+/// — only `newton_iters` shrinks and `warm_start_hits` records the reuse.
+/// Ignored entirely when `opts.warm_start` is off or the seed's dimension
+/// does not match the relaxation.
+pub fn solve_nlp_bnb_seeded(
+    problem: &MinlpProblem,
+    opts: &MinlpOptions,
+    root_seed: Option<WarmStart>,
+) -> MinlpSolution {
     let barrier = BarrierOptions {
         trace: opts.trace.clone(),
         backend: opts.backend,
@@ -236,7 +255,9 @@ pub fn solve_nlp_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSoluti
         bound: f64::NEG_INFINITY,
         depth: 0,
         branch_info: None,
-        seed: None,
+        seed: root_seed
+            .filter(|seed| opts.warm_start && seed.x.len() == problem.relaxation().num_vars())
+            .map(Arc::new),
     };
     let mut pseudocosts = PseudocostTracker::new(problem.num_vars());
 

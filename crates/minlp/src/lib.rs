@@ -61,7 +61,7 @@ pub(crate) mod scratch;
 pub mod types;
 
 pub use ampl::to_ampl;
-pub use bnb::solve_nlp_bnb;
+pub use bnb::{solve_nlp_bnb, solve_nlp_bnb_seeded};
 pub use branching::BranchRule;
 pub use encode::encode_sets_as_binaries;
 pub use model::{MinlpProblem, VarDomain};

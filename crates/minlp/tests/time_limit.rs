@@ -147,6 +147,49 @@ fn zero_budget_stops_before_any_node() {
 }
 
 #[test]
+fn queued_expiry_does_zero_work_and_no_clock_reads() {
+    // A serving front-end computes `remaining = budget - queue_wait` at
+    // dequeue and hands the solver whatever is left. A request whose budget
+    // expired *while queued* therefore arrives with a non-positive (or even
+    // NaN) remaining limit. The contract: the solver returns `TimeLimit`
+    // having done zero solve work — and without a single clock read, so an
+    // already-dead request cannot perturb a shared stepping fake-clock
+    // timeline that live requests' deadlines are measured on.
+    let p = branchy_problem();
+    for (name, solve) in SOLVERS {
+        for limit in [0.0, -4.25, f64::NAN] {
+            let (opts, clock) = fake_opts(1.0, limit);
+            clock.advance(1e6); // long queue wait before the solver runs
+            let before = {
+                let probe = ClockHandle::fake(&clock);
+                let t = probe.now();
+                clock.advance(-0.0); // advance(≤0) is a no-op; t consumed 1 tick
+                t
+            };
+            let sol = solve(&p, &opts);
+            assert_eq!(sol.status, MinlpStatus::TimeLimit, "{name} limit={limit}");
+            assert_eq!(sol.stats.nodes_opened, 0, "{name} limit={limit}");
+            assert_eq!(sol.stats.nlp_solves, 0, "{name} limit={limit}");
+            assert_eq!(sol.stats.lp_solves, 0, "{name} limit={limit}");
+            assert_eq!(sol.stats.newton_iters, 0, "{name} limit={limit}");
+            assert_eq!(sol.stats.simplex_pivots, 0, "{name} limit={limit}");
+            assert!(
+                sol.x.is_empty(),
+                "{name} limit={limit}: no incumbent possible"
+            );
+            // The solve consumed zero ticks: the only advance since `before`
+            // is the single tick our own probe read spent.
+            let after = ClockHandle::fake(&clock).now();
+            assert_eq!(
+                after,
+                before + 1.0,
+                "{name} limit={limit}: an expired-at-entry solve must not read the clock"
+            );
+        }
+    }
+}
+
+#[test]
 fn truncated_search_never_claims_infeasible() {
     let p = infeasible_problem();
     for (name, solve) in SOLVERS {

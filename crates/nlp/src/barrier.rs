@@ -59,6 +59,11 @@ const ARMIJO_C1: f64 = 1e-4;
 /// this fraction of the initial violation scale (a hair past the boundary
 /// gives a ~1/slack²-conditioned Hessian and a dead start).
 const PHASE1_DEPTH_FRAC: f64 = 1e-3;
+/// Relative headroom added to the phase-1 start slack. An absolute `+1.0`
+/// vanishes below the violation's ulp once `viol` passes ~2^53 (hostile
+/// wire coefficients reach ~1e17), which would start phase 1 exactly on
+/// the relaxed boundary instead of strictly inside it.
+const PHASE1_HEADROOM_REL: f64 = 1e-9;
 /// Relative magnitude above which a raw dual counts as active in the
 /// multiplier refinement least-squares fit.
 const ACTIVE_DUAL_REL: f64 = 1e-4;
@@ -736,7 +741,7 @@ fn phase_one(
         .map(|c| c.eval(&z0))
         .fold(f64::NEG_INFINITY, f64::max)
         .max(0.0);
-    z0.push(viol + 1.0);
+    z0.push(viol + 1.0 + viol * PHASE1_HEADROOM_REL);
 
     // Exit only once the point is *meaningfully* interior, scaled by the
     // initial violation. Exiting at the first sign change (a hair past the
@@ -1304,7 +1309,15 @@ fn barrier_derivatives(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> (V
 
     for c in p.constraints() {
         let g = c.eval(x);
-        debug_assert!(g < 0.0, "barrier derivative requested at infeasible point");
+        // Strict feasibility is only a meaningful invariant for finite
+        // evaluations: hostile-but-valid coefficients (~1e17, reachable
+        // through the wire front) overflow c.eval to inf/NaN, and those
+        // flow through the derivatives into the regularized factorization,
+        // which fails fast on non-finite input and ends the solve cleanly.
+        debug_assert!(
+            g < 0.0 || !g.is_finite(),
+            "barrier derivative requested at infeasible point"
+        );
         let inv = 1.0 / (-g);
         c.add_gradient(x, &mut grad_full, mu * inv);
         let cg = c.gradient(x);

@@ -134,50 +134,71 @@ impl fmt::Debug for ClockHandle {
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Armed {
-    start: f64,
-    deadline: f64,
+enum Budget {
+    /// `None` limit: never expires, never reads the clock.
+    Unarmed,
+    /// Limit was already spent (≤ 0 or NaN) when the deadline was armed:
+    /// expired from the start, and — critically for a server that computes
+    /// *remaining* budgets for queued requests — never reads the clock, so
+    /// an already-expired request cannot perturb a shared stepping
+    /// [`FakeClock`] timeline that other requests' deadlines depend on.
+    Spent,
+    /// A positive budget measured on the clock from `start`.
+    Armed { start: f64, deadline: f64 },
 }
 
 /// A time budget: armed with `Some(limit)` it expires `limit` seconds
 /// after [`start`]; with `None` it never expires and never reads the
-/// clock, so unlimited solves pay nothing for the feature.
+/// clock, so unlimited solves pay nothing for the feature. A limit that is
+/// already spent (≤ 0, e.g. a queued request whose budget ran out before
+/// the solver was entered) is expired from the first check and also never
+/// reads the clock.
 ///
 /// [`start`]: Deadline::start
 #[derive(Clone, Debug)]
 pub struct Deadline {
     clock: ClockHandle,
-    armed: Option<Armed>,
+    budget: Budget,
 }
 
 impl Deadline {
-    /// Arms a budget of `limit` seconds from now (clamped at 0; a limit of
-    /// exactly 0 expires on the first check). `None` never expires.
+    /// Arms a budget of `limit` seconds from now. `None` never expires; a
+    /// non-positive (or NaN) limit expires on the first check without ever
+    /// reading the clock.
     pub fn start(clock: &ClockHandle, limit: Option<f64>) -> Deadline {
-        let armed = limit.map(|limit| {
-            let start = clock.now();
-            Armed {
-                start,
-                deadline: start + limit.max(0.0),
+        let budget = match limit {
+            None => Budget::Unarmed,
+            Some(limit) if limit <= 0.0 || limit.is_nan() => Budget::Spent,
+            Some(limit) => {
+                let start = clock.now();
+                Budget::Armed {
+                    start,
+                    deadline: start + limit,
+                }
             }
-        });
+        };
         Deadline {
             clock: clock.clone(),
-            armed,
+            budget,
         }
     }
 
-    /// True once the budget is spent. Unarmed deadlines never expire and
-    /// perform no clock reads.
+    /// True once the budget is spent. Unarmed deadlines never expire;
+    /// unarmed and pre-spent deadlines perform no clock reads.
     pub fn expired(&self) -> bool {
-        self.armed
-            .is_some_and(|armed| self.clock.now() >= armed.deadline)
+        match self.budget {
+            Budget::Unarmed => false,
+            Budget::Spent => true,
+            Budget::Armed { deadline, .. } => self.clock.now() >= deadline,
+        }
     }
 
-    /// Seconds since arming (0 when unarmed).
+    /// Seconds since arming (0 when unarmed or armed with a spent budget).
     pub fn elapsed(&self) -> f64 {
-        self.armed
-            .map_or(0.0, |armed| self.clock.now() - armed.start)
+        match self.budget {
+            Budget::Unarmed | Budget::Spent => 0.0,
+            Budget::Armed { start, .. } => self.clock.now() - start,
+        }
     }
 }
 
@@ -201,6 +222,23 @@ mod tests {
         let handle = ClockHandle::fake(&fake);
         let deadline = Deadline::start(&handle, Some(0.0));
         assert!(deadline.expired());
+    }
+
+    #[test]
+    fn spent_budget_never_reads_clock() {
+        // A request whose budget ran out while queued arms the deadline
+        // with a non-positive remaining limit. It must be expired from the
+        // first check *without* consuming fake-clock ticks that other
+        // requests' deadlines on the same timeline depend on.
+        let fake = FakeClock::new(1.0);
+        let handle = ClockHandle::fake(&fake);
+        for limit in [0.0, -3.5, f64::NAN] {
+            let deadline = Deadline::start(&handle, Some(limit));
+            assert!(deadline.expired(), "limit {limit} must be pre-spent");
+            assert_eq!(deadline.elapsed(), 0.0);
+        }
+        // None of the arming/checking above consumed a tick.
+        assert_eq!(handle.now(), 0.0);
     }
 
     #[test]

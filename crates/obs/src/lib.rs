@@ -11,6 +11,9 @@
 //!   a pluggable sink. Off by default and zero-cost when disabled: the
 //!   event-constructing closure passed to [`Trace::emit`] is never invoked
 //!   without a sink.
+//! * [`ServeStats`] — the serving-layer sibling of [`SolveStats`]: request,
+//!   cache-hit, coalesce and shed counters accumulated per shard by
+//!   `hslb-serve` and merged into server totals.
 //! * [`Clock`] / [`FakeClock`] / [`Deadline`] — an injectable monotonic
 //!   clock so time-limited solves (`MinlpOptions::time_limit` in
 //!   `hslb-minlp`) can be tested deterministically without sleeping.
@@ -20,9 +23,11 @@
 //! `bench` — can use it without cycles.
 
 pub mod clock;
+pub mod serve_stats;
 pub mod stats;
 pub mod trace;
 
 pub use clock::{Clock, ClockHandle, Deadline, FakeClock, WallClock};
+pub use serve_stats::ServeStats;
 pub use stats::SolveStats;
 pub use trace::{Event, EventSink, PruneReason, RingBuffer, Trace};

@@ -1,0 +1,158 @@
+//! Deterministic serving-layer counters.
+
+/// Cumulative request-handling counters for one serving shard (or, after
+/// [`merge`](ServeStats::merge), a whole server).
+///
+/// Same contract as [`SolveStats`](crate::SolveStats): every field counts
+/// *events*, never time, so two runs of the same request sequence produce
+/// identical counters and `hslb-perf` can pin them in `BENCH_solver.json`
+/// without wall-clock flakiness. Per-shard counter sets are merged into
+/// server totals; sums of non-negative integers commute, so totals do not
+/// depend on shard enumeration order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted to a shard queue (sheds are counted in `shed`,
+    /// not here).
+    pub queries: u64,
+    /// Solve requests answered by running a solver (cold or warm-seeded).
+    pub solves: u64,
+    /// Solve requests answered from the fingerprint cache: exact
+    /// coefficient match replays the stored answer; a drifted match
+    /// warm-seeds a re-solve (those also count under `solves`).
+    pub cache_hits: u64,
+    /// Cache-hit solves whose coefficients drifted, i.e. re-solves that
+    /// were warm-seeded from the cached incumbent (subset of both
+    /// `cache_hits` and `solves`).
+    pub warm_seeded: u64,
+    /// Requests answered without their own solve because an identical
+    /// solve was already in the same micro-batch (in-flight dedupe), plus
+    /// observation-ingest requests merged into a single model refit.
+    pub coalesced: u64,
+    /// Requests refused with an explicit `overloaded` reply because the
+    /// shard queue was full. Never silent: every shed produces a reply.
+    pub shed: u64,
+    /// Requests whose deadline had already expired at dequeue; answered
+    /// `time_limit` with zero solve work and zero clock reads.
+    pub expired_in_queue: u64,
+    /// Requests answered with a structured error (malformed envelope,
+    /// invalid spec, unknown component, …).
+    pub errors: u64,
+    /// Cache entries evicted by the per-shard LRU capacity bound.
+    pub evictions: u64,
+}
+
+impl ServeStats {
+    /// Number of counters in [`fields`](ServeStats::fields).
+    pub const FIELD_COUNT: usize = 9;
+
+    /// Adds every counter of `other` into `self` (shard merge).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.queries += other.queries;
+        self.solves += other.solves;
+        self.cache_hits += other.cache_hits;
+        self.warm_seeded += other.warm_seeded;
+        self.coalesced += other.coalesced;
+        self.shed += other.shed;
+        self.expired_in_queue += other.expired_in_queue;
+        self.errors += other.errors;
+        self.evictions += other.evictions;
+    }
+
+    /// Stable `(name, value)` view of every counter, in declaration order.
+    /// The names are the serialization schema used by the wire `stats`
+    /// reply and the `serve` suite in `BENCH_solver.json` — treat them as
+    /// a public format.
+    pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+        [
+            ("queries", self.queries),
+            ("solves", self.solves),
+            ("cache_hits", self.cache_hits),
+            ("warm_seeded", self.warm_seeded),
+            ("coalesced", self.coalesced),
+            ("shed", self.shed),
+            ("expired_in_queue", self.expired_in_queue),
+            ("errors", self.errors),
+            ("evictions", self.evictions),
+        ]
+    }
+
+    /// Looks a counter up by its [`fields`](ServeStats::fields) name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.fields()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (name, value) in self.fields() {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(no traffic recorded)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = ServeStats {
+            queries: 1,
+            solves: 2,
+            cache_hits: 3,
+            warm_seeded: 4,
+            coalesced: 5,
+            shed: 6,
+            expired_in_queue: 7,
+            errors: 8,
+            evictions: 9,
+        };
+        let b = a;
+        a.merge(&b);
+        for ((_, doubled), (_, original)) in a.fields().into_iter().zip(b.fields()) {
+            assert_eq!(doubled, 2 * original);
+        }
+    }
+
+    #[test]
+    fn fields_cover_every_counter_once() {
+        let stats = ServeStats::default();
+        let fields = stats.fields();
+        assert_eq!(fields.len(), ServeStats::FIELD_COUNT);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ServeStats::FIELD_COUNT, "duplicate name");
+        assert_eq!(stats.get("cache_hits"), Some(0));
+        assert_eq!(stats.get("not_a_counter"), None);
+    }
+
+    #[test]
+    fn display_omits_zero_counters() {
+        let stats = ServeStats {
+            queries: 4,
+            shed: 1,
+            ..Default::default()
+        };
+        assert_eq!(format!("{stats}"), "queries=4 shed=1");
+        assert_eq!(
+            format!("{}", ServeStats::default()),
+            "(no traffic recorded)"
+        );
+    }
+}

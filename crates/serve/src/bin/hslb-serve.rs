@@ -1,0 +1,87 @@
+//! The allocation daemon: `hslb-serve --addr 127.0.0.1:7171 --shards 4`.
+//!
+//! Speaks the length-prefixed JSON protocol of `hslb_serve::protocol`
+//! over TCP. Runs until killed.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use hslb_serve::tcp::accept_loop;
+use hslb_serve::{EngineOptions, Server, ServerOptions};
+
+const USAGE: &str = "usage: hslb-serve [--addr HOST:PORT] [--shards N] \
+[--queue-cap N] [--batch-max N] [--cache-cap N]
+
+Long-running HSLB allocation daemon. Wire format: 4-byte big-endian
+length prefix + JSON request, one reply frame per request, e.g.
+  {\"op\":\"solve\",\"spec\":{...},\"budget\":1.5}
+  {\"op\":\"observe\",\"component\":\"dynamics\",\"points\":[[8,123.4]]}
+  {\"op\":\"fit\",\"component\":\"dynamics\"}
+  {\"op\":\"stats\"}  {\"op\":\"ping\"}";
+
+struct Args {
+    addr: String,
+    opts: ServerOptions,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut engine = EngineOptions::default();
+    let mut opts = ServerOptions::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n\n{USAGE}"))?;
+        let parse_n = |what: &str| -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{what} must be a non-negative integer, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--shards" => engine.shards = parse_n("--shards")?.max(1),
+            "--cache-cap" => engine.cache_cap = parse_n("--cache-cap")?,
+            "--queue-cap" => opts.queue_cap = parse_n("--queue-cap")?.max(1),
+            "--batch-max" => opts.batch_max = parse_n("--batch-max")?.max(1),
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    opts.engine = engine;
+    Ok(Args { addr, opts })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("hslb-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards = args.opts.engine.shards;
+    let server = Server::start(args.opts);
+    let handle = server.handle();
+    eprintln!("hslb-serve: listening on {} ({shards} shards)", args.addr);
+    let stop = Arc::new(AtomicBool::new(false));
+    match accept_loop(&listener, &handle, &stop) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hslb-serve: acceptor failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-shard LRU of solved instances, keyed by structure fingerprint.
+//!
+//! Each entry remembers the full solution vector of the last *optimal*
+//! solve for a structure, plus the coefficient hash it was solved under
+//! and the reply that was sent. A re-query hits one of three ways:
+//!
+//! * same `coeffs` → the stored reply is replayed verbatim (no solve);
+//! * same structure, different `coeffs` → the stored `x` seeds the root
+//!   barrier of a fresh solve (warm re-solve), and the entry is updated;
+//! * miss → cold solve, entry inserted (evicting the least recently used
+//!   entry when the shard is at capacity).
+//!
+//! Only `Optimal` answers are cached: limit-truncated answers depend on
+//! the request's budget, and infeasible answers carry no point to seed
+//! from. The store is a small move-to-front vector — at serving cache
+//! sizes (tens of entries) a linear scan beats any tree, and the MRU
+//! order falls out of the scan for free.
+
+use hslb_obs::SolveStats;
+
+use crate::protocol::Body;
+
+/// Cached outcome of one structure's most recent optimal solve.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Coefficient hash the stored answer is exact for.
+    pub coeffs: u64,
+    /// Full solution vector in model variable space (node variables plus
+    /// epigraph auxiliaries) — the root warm seed for drifted re-queries.
+    pub x: Vec<f64>,
+    /// The reply body served for the exact instance.
+    pub body: Body,
+    /// Work counters of the solve that produced the entry (replayed into
+    /// exact-hit replies so a reply is a pure function of the request).
+    pub work: SolveStats,
+}
+
+/// Move-to-front LRU keyed by structure hash.
+#[derive(Debug)]
+pub struct ShardCache {
+    cap: usize,
+    /// MRU-first.
+    entries: Vec<(u64, CacheEntry)>,
+}
+
+impl ShardCache {
+    /// An empty cache holding at most `cap` entries (`cap` = 0 disables
+    /// caching entirely: every query solves cold).
+    pub fn new(cap: usize) -> ShardCache {
+        ShardCache {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up a structure and marks it most recently used.
+    pub fn get(&mut self, structure: u64) -> Option<&CacheEntry> {
+        let pos = self.entries.iter().position(|(key, _)| *key == structure)?;
+        // Move to front so eviction age tracks use, not insertion.
+        let hit = self.entries.remove(pos);
+        self.entries.insert(0, hit);
+        self.entries.first().map(|(_, e)| e)
+    }
+
+    /// Inserts or replaces the entry for a structure; returns how many
+    /// entries were evicted to make room (0 or 1).
+    pub fn put(&mut self, structure: u64, entry: CacheEntry) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        if let Some(pos) = self.entries.iter().position(|(key, _)| *key == structure) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (structure, entry));
+        let mut evicted = 0;
+        while self.entries.len() > self.cap {
+            self.entries.pop();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(coeffs: u64) -> CacheEntry {
+        CacheEntry {
+            coeffs,
+            x: vec![1.0, 2.0],
+            body: Body::Pong,
+            work: SolveStats::default(),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ShardCache::new(2);
+        assert_eq!(cache.put(1, entry(10)), 0);
+        assert_eq!(cache.put(2, entry(20)), 0);
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.put(3, entry(30)), 1);
+        assert!(cache.get(2).is_none(), "2 was evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn put_replaces_in_place_without_eviction() {
+        let mut cache = ShardCache::new(2);
+        cache.put(1, entry(10));
+        cache.put(2, entry(20));
+        assert_eq!(cache.put(1, entry(11)), 0, "replacement is not an eviction");
+        assert_eq!(cache.get(1).map(|e| e.coeffs), Some(11));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ShardCache::new(0);
+        assert_eq!(cache.put(1, entry(10)), 0);
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+}

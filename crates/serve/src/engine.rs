@@ -1,0 +1,525 @@
+//! Deterministic serving core: routing, micro-batching, deadline
+//! resolution, and the synchronous [`Engine`] that drives shards without
+//! any threads.
+//!
+//! The threaded [`Server`](crate::Server) reuses the exact same
+//! per-batch logic ([`process_on_shard`]) under its locks, so everything
+//! observable about request handling — coalescing, dedupe, cache and
+//! counter behavior — is pinned by fast synchronous tests and the bench
+//! suite, and the server layer adds only queueing and parallelism.
+
+use hslb_minlp::MinlpOptions;
+use hslb_obs::{ClockHandle, ServeStats, SolveStats};
+use hslb_rng::hash_mix;
+
+use crate::fingerprint::fingerprint;
+use crate::protocol::{Body, ErrorKind, Request, Response};
+use crate::shard::{BudgetState, Shard, ShardOptions};
+
+/// Engine/server sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker shards. Structure fingerprints route repeat queries for the
+    /// same instance to the same shard, where its warm state lives.
+    pub shards: usize,
+    /// Per-shard LRU capacity (entries).
+    pub cache_cap: usize,
+    /// Base solver options. The embedded clock is the server's only time
+    /// source — tests and benches inject a fake one.
+    pub solver: MinlpOptions,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            shards: 4,
+            cache_cap: 64,
+            solver: MinlpOptions::default(),
+        }
+    }
+}
+
+/// One admitted request, stamped at admission when it carries a budget.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub request: Request,
+    /// Clock reading at admission. `None` for budget-less requests —
+    /// admitting those never reads the clock, so an unbudgeted workload
+    /// on a stepping fake clock consumes zero ticks.
+    pub admitted_at: Option<f64>,
+}
+
+impl Job {
+    /// Stamps a request for admission, reading `clock` only when the
+    /// request carries a deadline budget.
+    pub fn admit(request: Request, clock: &ClockHandle) -> Job {
+        let admitted_at = match &request {
+            Request::Solve {
+                budget: Some(_), ..
+            } => Some(clock.now()),
+            _ => None,
+        };
+        Job {
+            request,
+            admitted_at,
+        }
+    }
+}
+
+/// Stable hash for routing component names to shards.
+fn name_hash(name: &str) -> u64 {
+    let bytes: Vec<u64> = name.bytes().map(u64::from).collect();
+    hash_mix(&bytes)
+}
+
+/// Which shard a request belongs to, out of `shards`.
+///
+/// Solves route by structure fingerprint (repeat and drifted queries for
+/// one instance always land on the shard holding its warm state);
+/// observation and fit traffic routes by component name so a component's
+/// store lives on exactly one shard; stats and pings route to shard 0.
+pub fn route(request: &Request, shards: usize) -> usize {
+    let shards = shards.max(1);
+    let key = match request {
+        Request::Solve { spec, .. } => fingerprint(spec).structure,
+        Request::Observe { component, .. } | Request::Fit { component } => name_hash(component),
+        Request::Stats | Request::Ping => 0,
+    };
+    (key % shards as u64) as usize
+}
+
+/// Resolves a job's deadline state at dequeue time. `now` is the single
+/// batch-level clock reading (None when nothing in the batch is
+/// budgeted). A budget that ran out while the request was queued resolves
+/// to [`BudgetState::Expired`] — the solver is never entered.
+fn resolve_budget(budget: Option<f64>, admitted_at: Option<f64>, now: Option<f64>) -> BudgetState {
+    let Some(budget) = budget else {
+        return BudgetState::Unlimited;
+    };
+    let waited = match (admitted_at, now) {
+        (Some(t0), Some(t1)) => t1 - t0,
+        _ => 0.0,
+    };
+    let remaining = budget - waited;
+    if remaining > 0.0 {
+        BudgetState::Remaining(remaining)
+    } else {
+        // Covers negative, zero and NaN remainders.
+        BudgetState::Expired
+    }
+}
+
+/// Processes one micro-batch against one shard, in arrival order, with
+/// two cross-request optimizations:
+///
+/// * **in-flight dedupe** — identical budget-less solves (same two-level
+///   fingerprint) behind a leader share the leader's solve; followers
+///   reply with the same body and a `coalesced` counter delta;
+/// * **observation coalescing** — observe requests for the same component
+///   merge into one store operation; each request still acknowledges its
+///   own point count.
+///
+/// `Stats` jobs need the *global* view, which a shard does not have: the
+/// shard records their admission (`queries`) and the slot is returned as
+/// `None` for the caller — who owns the cross-shard snapshot policy — to
+/// fill (the sync [`Engine`] merges directly; the threaded server locks
+/// shards one at a time).
+pub fn process_on_shard(
+    shard: &mut Shard,
+    jobs: &[Job],
+    now: Option<f64>,
+) -> Vec<Option<Response>> {
+    let mut out: Vec<Option<Response>> = jobs.iter().map(|_| None).collect();
+    let mut consumed = vec![false; jobs.len()];
+    for i in 0..jobs.len() {
+        if consumed[i] {
+            continue;
+        }
+        consumed[i] = true;
+        match &jobs[i].request {
+            Request::Solve { spec, budget } => {
+                let mut followers: Vec<usize> = Vec::new();
+                if budget.is_none() {
+                    let fp = fingerprint(spec);
+                    for (j, job) in jobs.iter().enumerate().skip(i + 1) {
+                        if consumed[j] {
+                            continue;
+                        }
+                        if let Request::Solve {
+                            spec: other,
+                            budget: None,
+                        } = &job.request
+                        {
+                            if fingerprint(other) == fp {
+                                consumed[j] = true;
+                                followers.push(j);
+                            }
+                        }
+                    }
+                }
+                let state = resolve_budget(*budget, jobs[i].admitted_at, now);
+                let reply = shard.solve(spec, state);
+                for &j in &followers {
+                    let served = ServeStats {
+                        queries: 1,
+                        coalesced: 1,
+                        ..ServeStats::default()
+                    };
+                    shard.record(&served);
+                    out[j] = Some(Response {
+                        served,
+                        body: reply.body.clone(),
+                    });
+                }
+                out[i] = Some(reply);
+            }
+            Request::Observe { component, points } => {
+                let mut group = points.clone();
+                let mut followers: Vec<(usize, usize)> = Vec::new();
+                for (j, job) in jobs.iter().enumerate().skip(i + 1) {
+                    if consumed[j] {
+                        continue;
+                    }
+                    if let Request::Observe {
+                        component: other,
+                        points: more,
+                    } = &job.request
+                    {
+                        if other == component {
+                            consumed[j] = true;
+                            followers.push((j, more.len()));
+                            group.extend_from_slice(more);
+                        }
+                    }
+                }
+                let outcome = shard.ingest(component, &group);
+                let mut leader_served = ServeStats {
+                    queries: 1,
+                    ..ServeStats::default()
+                };
+                let leader_body = match &outcome {
+                    Ok(_) => Body::Ack {
+                        component: component.clone(),
+                        accepted: points.len(),
+                    },
+                    Err(message) => {
+                        leader_served.errors += 1;
+                        Body::Error {
+                            kind: ErrorKind::Invalid,
+                            message: message.clone(),
+                        }
+                    }
+                };
+                shard.record(&leader_served);
+                for &(j, own) in &followers {
+                    let mut served = ServeStats {
+                        queries: 1,
+                        coalesced: 1,
+                        ..ServeStats::default()
+                    };
+                    let body = match &outcome {
+                        Ok(_) => Body::Ack {
+                            component: component.clone(),
+                            accepted: own,
+                        },
+                        Err(message) => {
+                            served.errors += 1;
+                            Body::Error {
+                                kind: ErrorKind::Invalid,
+                                message: message.clone(),
+                            }
+                        }
+                    };
+                    shard.record(&served);
+                    out[j] = Some(Response { served, body });
+                }
+                out[i] = Some(Response {
+                    served: leader_served,
+                    body: leader_body,
+                });
+            }
+            Request::Fit { component } => {
+                out[i] = Some(shard.fit(component));
+            }
+            Request::Ping => {
+                out[i] = Some(shard.ping());
+            }
+            Request::Stats => {
+                let served = ServeStats {
+                    queries: 1,
+                    ..ServeStats::default()
+                };
+                shard.record(&served);
+                // Caller fills the body from its cross-shard snapshot.
+            }
+        }
+    }
+    out
+}
+
+/// The synchronous, single-threaded serving core: all shards, no locks,
+/// fully deterministic. Tests and the pinned bench suite drive this
+/// directly; the threaded server wraps the same logic.
+pub struct Engine {
+    shards: Vec<Shard>,
+    clock: ClockHandle,
+}
+
+impl Engine {
+    pub fn new(opts: EngineOptions) -> Engine {
+        let clock = opts.solver.clock.clone();
+        let shards = (0..opts.shards.max(1))
+            .map(|_| {
+                Shard::new(ShardOptions {
+                    cache_cap: opts.cache_cap,
+                    solver: opts.solver.clone(),
+                })
+            })
+            .collect();
+        Engine { shards, clock }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine's clock (the one inside the solver options).
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
+    /// Which shard a request routes to.
+    pub fn route(&self, request: &Request) -> usize {
+        route(request, self.shards.len())
+    }
+
+    /// Admits and processes one request synchronously.
+    pub fn call(&mut self, request: Request) -> Response {
+        let job = Job::admit(request, &self.clock);
+        let shard = route(&job.request, self.shards.len());
+        let mut replies = self.process_batch(shard, &[job]);
+        match replies.pop().flatten() {
+            Some(reply) => reply,
+            // Unreachable by construction (process_batch fills every
+            // slot), but a server answers rather than panics.
+            None => Response::error(ErrorKind::Invalid, "internal: empty batch reply"),
+        }
+    }
+
+    /// Processes a pre-routed micro-batch on one shard. Jobs must all
+    /// route to `shard` for cache locality to work; this is the caller's
+    /// contract, not a checked invariant.
+    pub fn process_batch(&mut self, shard: usize, jobs: &[Job]) -> Vec<Option<Response>> {
+        let idx = shard.min(self.shards.len().saturating_sub(1));
+        let now = jobs
+            .iter()
+            .any(|j| j.admitted_at.is_some())
+            .then(|| self.clock.now());
+        let mut out = match self.shards.get_mut(idx) {
+            Some(s) => process_on_shard(s, jobs, now),
+            None => return Vec::new(),
+        };
+        // Fill stats placeholders from the global snapshot (includes the
+        // stats request's own admission, which was already recorded).
+        for (slot, job) in out.iter_mut().zip(jobs) {
+            if slot.is_none() && matches!(job.request, Request::Stats) {
+                let (serve, solver) = self.snapshot();
+                *slot = Some(Response {
+                    served: ServeStats {
+                        queries: 1,
+                        ..ServeStats::default()
+                    },
+                    body: Body::Stats { serve, solver },
+                });
+            }
+        }
+        out
+    }
+
+    /// Merged counters across all shards.
+    pub fn snapshot(&self) -> (ServeStats, SolveStats) {
+        let mut serve = ServeStats::default();
+        let mut solver = SolveStats::default();
+        for shard in &self.shards {
+            serve.merge(&shard.stats);
+            solver.merge(&shard.solver_stats);
+        }
+        (serve, solver)
+    }
+
+    /// Cache entries across all shards (observability/test hook).
+    pub fn cached_entries(&self) -> usize {
+        self.shards.iter().map(Shard::cache_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb::{ComponentSpec, FlatSpec, Objective};
+    use hslb_minlp::MinlpStatus;
+    use hslb_obs::FakeClock;
+    use hslb_perfmodel::PerfModel;
+
+    fn spec(scale: f64) -> FlatSpec {
+        FlatSpec {
+            components: vec![
+                ComponentSpec::new("f1", PerfModel::amdahl(120.0 * scale, 0.0), 1, 64),
+                ComponentSpec::new("f2", PerfModel::amdahl(360.0 * scale, 0.0), 1, 64),
+            ],
+            total_nodes: 16,
+            objective: Objective::MinMax,
+        }
+    }
+
+    fn fake_engine(step: f64, shards: usize) -> (Engine, FakeClock) {
+        let fake = FakeClock::new(step);
+        let mut opts = EngineOptions {
+            shards,
+            ..EngineOptions::default()
+        };
+        opts.solver.clock = ClockHandle::fake(&fake);
+        (Engine::new(opts), fake)
+    }
+
+    fn body_status(r: &Response) -> MinlpStatus {
+        match &r.body {
+            Body::Allocation { status, .. } => *status,
+            other => panic!("expected allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedupe_shares_one_solve_across_identical_jobs() {
+        let (mut engine, _fake) = fake_engine(0.0, 1);
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| Job {
+                request: Request::Solve {
+                    spec: spec(1.0),
+                    budget: None,
+                },
+                admitted_at: None,
+            })
+            .collect();
+        let replies = engine.process_batch(0, &jobs);
+        let replies: Vec<Response> = replies.into_iter().flatten().collect();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0].served.solves, 1, "leader solved");
+        assert_eq!(replies[1].served.coalesced, 1, "follower coalesced");
+        assert_eq!(replies[2].served.coalesced, 1);
+        assert_eq!(replies[0].body, replies[1].body, "shared body");
+        assert_eq!(replies[0].body, replies[2].body);
+        let (serve, solver) = engine.snapshot();
+        assert_eq!(serve.solves, 1, "exactly one solve happened");
+        assert_eq!(serve.coalesced, 2);
+        assert!(solver.nlp_solves > 0);
+    }
+
+    #[test]
+    fn observe_coalescing_merges_but_acks_individually() {
+        let (mut engine, _fake) = fake_engine(0.0, 1);
+        let jobs = vec![
+            Job {
+                request: Request::Observe {
+                    component: "dyn".into(),
+                    points: vec![(2, 50.0), (4, 28.0)],
+                },
+                admitted_at: None,
+            },
+            Job {
+                request: Request::Observe {
+                    component: "dyn".into(),
+                    points: vec![(8, 16.0)],
+                },
+                admitted_at: None,
+            },
+        ];
+        let replies: Vec<Response> = engine
+            .process_batch(0, &jobs)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(matches!(&replies[0].body, Body::Ack { accepted: 2, .. }));
+        assert!(matches!(&replies[1].body, Body::Ack { accepted: 1, .. }));
+        assert_eq!(replies[1].served.coalesced, 1);
+    }
+
+    #[test]
+    fn queued_expiry_short_circuits_without_solving() {
+        let (mut engine, fake) = fake_engine(0.0, 1);
+        let job = Job {
+            request: Request::Solve {
+                spec: spec(1.0),
+                budget: Some(0.5),
+            },
+            admitted_at: Some(0.0),
+        };
+        fake.advance(2.0); // budget expired while "queued"
+        let replies: Vec<Response> = engine
+            .process_batch(0, &[job])
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(body_status(&replies[0]), MinlpStatus::TimeLimit);
+        assert_eq!(replies[0].served.expired_in_queue, 1);
+        let (_, solver) = engine.snapshot();
+        assert_eq!(solver, SolveStats::default(), "no solver work at all");
+    }
+
+    #[test]
+    fn routing_is_stable_and_sticky() {
+        let (engine, _fake) = fake_engine(0.0, 4);
+        let base = Request::Solve {
+            spec: spec(1.0),
+            budget: None,
+        };
+        let drifted = Request::Solve {
+            spec: spec(1.01),
+            budget: None,
+        };
+        let home = engine.route(&base);
+        assert_eq!(
+            engine.route(&drifted),
+            home,
+            "drifted re-query routes to the warm shard"
+        );
+        assert_eq!(engine.route(&Request::Stats), 0);
+        let observe = Request::Observe {
+            component: "dyn".into(),
+            points: vec![],
+        };
+        let fit = Request::Fit {
+            component: "dyn".into(),
+        };
+        assert_eq!(
+            engine.route(&observe),
+            engine.route(&fit),
+            "a component's observations and fits share a shard"
+        );
+    }
+
+    #[test]
+    fn stats_reply_carries_global_snapshot() {
+        let (mut engine, _fake) = fake_engine(0.0, 2);
+        let _ = engine.call(Request::Ping);
+        let reply = engine.call(Request::Stats);
+        match reply.body {
+            Body::Stats { serve, .. } => {
+                assert_eq!(serve.queries, 2, "ping + the stats query itself");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbudgeted_traffic_never_reads_the_clock() {
+        let (mut engine, fake) = fake_engine(1.0, 2);
+        let _ = engine.call(Request::Solve {
+            spec: spec(1.0),
+            budget: None,
+        });
+        let _ = engine.call(Request::Ping);
+        assert_eq!(ClockHandle::fake(&fake).now(), 0.0, "zero ticks consumed");
+    }
+}

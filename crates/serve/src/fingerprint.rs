@@ -1,0 +1,138 @@
+//! Instance fingerprints: the cache key and shard router.
+//!
+//! Two hashes per spec, both deterministic mixes over the spec's contents
+//! (no pointer identity, no hashing entropy — `hslb_rng::hash_mix` is a
+//! fixed SplitMix-style mixer):
+//!
+//! * **`structure`** — objective, machine size, and every component's
+//!   allowed-node domain. Deliberately *excludes* the fitted model
+//!   coefficients: a re-query whose fit drifted after new observations
+//!   lands on the same structure, which is exactly the case the warm-start
+//!   cache exists for. Also excludes component *names* — they do not
+//!   affect the optimization at all (answers are positional).
+//! * **`coeffs`** — `structure` plus the bit patterns of every model
+//!   coefficient. Equality here means the instance is bitwise the same
+//!   optimization problem, so a cached answer can be replayed verbatim.
+//!
+//! A structure collision between genuinely different instances is safe:
+//! warm starts are advisory (a seed that cannot be repaired falls back to
+//! the cold path), and verbatim replay additionally requires `coeffs`
+//! equality, which embeds the full coefficient bits.
+
+use hslb::{AllowedNodes, FlatSpec, Objective};
+use hslb_rng::hash_mix;
+
+/// The two-level instance fingerprint (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Coefficient-blind structure hash: the cache/shard key.
+    pub structure: u64,
+    /// Full-instance hash: decides verbatim replay vs warm re-solve.
+    pub coeffs: u64,
+}
+
+fn objective_tag(objective: Objective) -> u64 {
+    match objective {
+        Objective::MinMax => 1,
+        Objective::MaxMin => 2,
+        Objective::MinSum => 3,
+    }
+}
+
+/// Fingerprints a spec. Pure and deterministic: equal specs (up to
+/// component names) hash equal across processes and platforms.
+pub fn fingerprint(spec: &FlatSpec) -> Fingerprint {
+    let mut parts: Vec<u64> = Vec::with_capacity(4 + 4 * spec.components.len());
+    parts.push(0x4853_4c42_5f46_5031); // domain tag: "HSLB_FP1"
+    parts.push(objective_tag(spec.objective));
+    parts.push(spec.total_nodes as u64);
+    parts.push(spec.components.len() as u64);
+    for c in &spec.components {
+        match &c.allowed {
+            AllowedNodes::Range { min, max } => {
+                parts.push(1);
+                parts.push(*min as u64);
+                parts.push(*max as u64);
+            }
+            AllowedNodes::Set(vals) => {
+                parts.push(2);
+                parts.push(vals.len() as u64);
+                parts.extend(vals.iter().map(|&v| v as u64));
+            }
+        }
+    }
+    let structure = hash_mix(&parts);
+
+    let mut coeff_parts: Vec<u64> = Vec::with_capacity(1 + 4 * spec.components.len());
+    coeff_parts.push(structure);
+    for c in &spec.components {
+        coeff_parts.push(c.model.a.to_bits());
+        coeff_parts.push(c.model.b.to_bits());
+        coeff_parts.push(c.model.c.to_bits());
+        coeff_parts.push(c.model.d.to_bits());
+    }
+    Fingerprint {
+        structure,
+        coeffs: hash_mix(&coeff_parts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb::ComponentSpec;
+    use hslb_perfmodel::PerfModel;
+
+    fn spec() -> FlatSpec {
+        FlatSpec {
+            components: vec![
+                ComponentSpec::new("a", PerfModel::amdahl(120.0, 0.1), 1, 16),
+                ComponentSpec::with_set("b", PerfModel::amdahl(60.0, 0.0), [2, 4, 8]),
+            ],
+            total_nodes: 12,
+            objective: Objective::MinMax,
+        }
+    }
+
+    #[test]
+    fn coefficient_drift_keeps_structure() {
+        let base = fingerprint(&spec());
+        let mut drifted = spec();
+        drifted.components[0].model.a *= 1.05;
+        let fp = fingerprint(&drifted);
+        assert_eq!(
+            fp.structure, base.structure,
+            "structure is coefficient-blind"
+        );
+        assert_ne!(fp.coeffs, base.coeffs, "coeffs see the drift");
+    }
+
+    #[test]
+    fn names_do_not_affect_either_hash() {
+        let base = fingerprint(&spec());
+        let mut renamed = spec();
+        renamed.components[0].name = "renamed".to_string();
+        assert_eq!(fingerprint(&renamed), base);
+    }
+
+    #[test]
+    fn structural_changes_move_the_structure_hash() {
+        let base = fingerprint(&spec());
+        let mut bigger = spec();
+        bigger.total_nodes = 13;
+        assert_ne!(fingerprint(&bigger).structure, base.structure);
+
+        let mut domain = spec();
+        domain.components[1].allowed = AllowedNodes::Set(vec![2, 4, 8, 16]);
+        assert_ne!(fingerprint(&domain).structure, base.structure);
+
+        let mut objective = spec();
+        objective.objective = Objective::MinSum;
+        assert_ne!(fingerprint(&objective).structure, base.structure);
+    }
+
+    #[test]
+    fn identical_specs_hash_identically() {
+        assert_eq!(fingerprint(&spec()), fingerprint(&spec()));
+    }
+}

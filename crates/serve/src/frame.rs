@@ -1,0 +1,173 @@
+//! Length-prefixed framing for the wire protocol.
+//!
+//! Every message — request or reply — is one frame: a 4-byte big-endian
+//! payload length followed by exactly that many bytes of UTF-8 JSON. The
+//! prefix makes message boundaries explicit on a byte stream, so a reader
+//! never has to scan for delimiters inside the payload, and lets the
+//! server reject oversized payloads *before* allocating for them
+//! ([`MAX_FRAME`]).
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload, checked before any allocation.
+/// Far above any real request (a 500-component spec is ~50 KiB) but small
+/// enough that a hostile length prefix cannot balloon server memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read. Every variant is a *connection-fatal*
+/// condition: framing state is lost, so the server replies nothing further
+/// and closes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside the 4-byte length prefix (`got` < 4 bytes).
+    /// A stream that ends *between* frames is a clean close, reported as
+    /// `Ok(None)` by [`read_frame`], not an error.
+    TruncatedHeader { got: usize },
+    /// The stream ended before the declared payload arrived.
+    TruncatedPayload { declared: usize, got: usize },
+    /// The length prefix declared more than [`MAX_FRAME`] bytes.
+    Oversize { declared: usize },
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TruncatedHeader { got } => {
+                write!(f, "stream ended inside frame header ({got} of 4 bytes)")
+            }
+            FrameError::TruncatedPayload { declared, got } => {
+                write!(f, "stream ended inside payload ({got} of {declared} bytes)")
+            }
+            FrameError::Oversize { declared } => {
+                write!(f, "frame declares {declared} bytes, cap is {MAX_FRAME}")
+            }
+            FrameError::Io(e) => write!(f, "frame transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean close: the stream ended exactly
+/// on a frame boundary. Partial reads (a peer writing the frame in several
+/// chunks) are handled transparently; only a stream that *ends* mid-frame
+/// is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::TruncatedHeader { got })
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > MAX_FRAME {
+        return Err(FrameError::Oversize { declared });
+    }
+    let mut payload = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::TruncatedPayload { declared, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("vec write cannot fail");
+        write_frame(&mut buf, b"").expect("vec write cannot fail");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").expect("vec write cannot fail");
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            let err = read_frame(&mut r).expect_err("every mid-frame cut errors");
+            match err {
+                FrameError::TruncatedHeader { got } => assert!(cut < 4 && got == cut),
+                FrameError::TruncatedPayload { declared, got } => {
+                    assert_eq!(declared, 6);
+                    assert_eq!(got, cut - 4);
+                }
+                other => panic!("unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_declared_length_rejected_before_allocation() {
+        let mut buf = (u32::try_from(MAX_FRAME).expect("MAX_FRAME fits in u32") + 1)
+            .to_be_bytes()
+            .to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut r = &buf[..];
+        match read_frame(&mut r).expect_err("oversize must be rejected") {
+            FrameError::Oversize { declared } => assert_eq!(declared, MAX_FRAME + 1),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn chunked_reads_reassemble() {
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() || out.is_empty() {
+                    return Ok(0);
+                }
+                out[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"drip-fed payload").expect("vec write cannot fail");
+        let mut r = OneByte(&buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&b"drip-fed payload"[..])
+        );
+    }
+}

@@ -1,0 +1,441 @@
+//! The threaded serving front: bounded per-shard queues, a worker pool,
+//! and the in-process [`Handle`] clients (tests, the TCP front) call.
+//!
+//! All request semantics live in [`crate::engine::process_on_shard`] —
+//! this layer adds only admission, queueing, and parallelism:
+//!
+//! * **routing** — a request is stamped ([`Job::admit`]) and enqueued on
+//!   the shard [`route`] picks, so repeat queries land where their warm
+//!   state lives;
+//! * **backpressure** — each shard queue is bounded; a submit against a
+//!   full queue returns an explicit `Overloaded` error immediately
+//!   (counted in a per-shard atomic so submitters never wait on a shard
+//!   lock held during a long solve). Nothing is ever silently dropped;
+//! * **micro-batching** — a worker drains up to `batch_max` queued jobs
+//!   per wakeup and hands them to `process_on_shard`, which dedupes
+//!   identical in-flight solves and coalesces compatible observes;
+//! * **shutdown** — dropping the [`Server`] drains every queue (all
+//!   in-flight callers get their reply), then closes the queues; late
+//!   submits get a structured `Shutdown` error, never a hang.
+//!
+//! Lock discipline, which is what makes the soak test's
+//! flood-under-backpressure phase deadlock-free: every thread holds at
+//! most one lock at a time. Submitters touch only their target queue
+//! mutex. A worker takes its queue mutex (drain), releases it, takes its
+//! shard mutex (process), releases it, and only then — for stats
+//! requests — takes other shard mutexes strictly one at a time.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hslb_obs::{ClockHandle, ServeStats, SolveStats};
+
+use crate::engine::{process_on_shard, route, EngineOptions, Job};
+use crate::protocol::{Body, ErrorKind, Request, Response};
+use crate::shard::{Shard, ShardOptions};
+
+/// Threaded-front configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Shard count, cache capacity, solver options (and the clock).
+    pub engine: EngineOptions,
+    /// Per-shard queue bound; submits beyond it shed with `Overloaded`.
+    pub queue_cap: usize,
+    /// Max jobs a worker drains per wakeup (the micro-batch window).
+    pub batch_max: usize,
+    /// Start with workers gated: requests queue (and shed past the
+    /// bound) but nothing processes until [`Server::resume`]. Lets tests
+    /// exercise queue-full backpressure deterministically.
+    pub start_paused: bool,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            engine: EngineOptions::default(),
+            queue_cap: 128,
+            batch_max: 16,
+            start_paused: false,
+        }
+    }
+}
+
+struct Pending {
+    job: Job,
+    reply: SyncSender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Pending>,
+    /// Set by the shard's worker as it exits; late submits get a
+    /// structured `Shutdown` reply instead of queueing forever.
+    closed: bool,
+}
+
+struct Inner {
+    shards: Vec<Mutex<Shard>>,
+    queues: Vec<(Mutex<QueueState>, Condvar)>,
+    /// Sheds per shard. Atomics, not queue/shard state: a submitter
+    /// bouncing off a full queue must not block on anything a worker
+    /// holds mid-solve.
+    shed: Vec<AtomicU64>,
+    pause: (Mutex<bool>, Condvar),
+    stop: AtomicBool,
+    clock: ClockHandle,
+    queue_cap: usize,
+    batch_max: usize,
+}
+
+/// Merged counters across shards plus the shed atomics. Each shed
+/// contributed an `Overloaded` reply whose `served` delta was
+/// `{queries: 1, shed: 1}`, so the aggregate mirrors that here and the
+/// sum-of-replies invariant holds across backpressure.
+fn snapshot(inner: &Inner) -> (ServeStats, SolveStats) {
+    let mut serve = ServeStats::default();
+    let mut solver = SolveStats::default();
+    for shard in &inner.shards {
+        let guard = shard.lock().expect("shard mutex poisoned");
+        serve.merge(&guard.stats);
+        solver.merge(&guard.solver_stats);
+    }
+    for counter in &inner.shed {
+        let n = counter.load(Ordering::SeqCst);
+        serve.queries += n;
+        serve.shed += n;
+    }
+    (serve, solver)
+}
+
+fn worker_loop(inner: &Inner, index: usize) {
+    loop {
+        // Pause gate (test affordance): queue fills, nothing processes.
+        {
+            let (lock, cv) = &inner.pause;
+            let mut paused = lock.lock().expect("pause mutex poisoned");
+            while *paused && !inner.stop.load(Ordering::SeqCst) {
+                paused = cv.wait(paused).expect("pause mutex poisoned");
+            }
+        }
+        let batch: Vec<Pending> = {
+            let (lock, cv) = &inner.queues[index];
+            let mut queue = lock.lock().expect("queue mutex poisoned");
+            while queue.jobs.is_empty() {
+                if inner.stop.load(Ordering::SeqCst) {
+                    // Drained. Close so late submitters get `Shutdown`
+                    // instead of enqueueing toward a worker that left.
+                    queue.closed = true;
+                    return;
+                }
+                queue = cv.wait(queue).expect("queue mutex poisoned");
+            }
+            let take = queue.jobs.len().min(inner.batch_max.max(1));
+            queue.jobs.drain(..take).collect()
+        };
+        let jobs: Vec<Job> = batch.iter().map(|p| p.job.clone()).collect();
+        // One clock reading per batch, and only if something needs it.
+        let now = jobs
+            .iter()
+            .any(|j| j.admitted_at.is_some())
+            .then(|| inner.clock.now());
+        let mut replies = {
+            let mut shard = inner.shards[index].lock().expect("shard mutex poisoned");
+            process_on_shard(&mut shard, &jobs, now)
+        };
+        // Stats placeholders need the cross-shard view; own shard lock is
+        // already released, and snapshot() locks one shard at a time.
+        for (slot, job) in replies.iter_mut().zip(&jobs) {
+            if slot.is_none() && matches!(job.request, Request::Stats) {
+                let (serve, solver) = snapshot(inner);
+                *slot = Some(Response {
+                    served: ServeStats {
+                        queries: 1,
+                        ..ServeStats::default()
+                    },
+                    body: Body::Stats { serve, solver },
+                });
+            }
+        }
+        for (pending, reply) in batch.into_iter().zip(replies) {
+            let reply = reply.unwrap_or_else(|| {
+                Response::error(ErrorKind::Invalid, "internal: unfilled batch slot")
+            });
+            // A receiver that went away (caller gave up) is not an error.
+            let _ = pending.reply.send(reply);
+        }
+    }
+}
+
+/// Cheap, cloneable client of a running [`Server`]. The TCP front holds
+/// one per connection; tests call it directly.
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<Inner>,
+}
+
+impl Handle {
+    /// Admits a request and blocks until its reply.
+    pub fn call(&self, request: Request) -> Response {
+        let job = Job::admit(request, &self.inner.clock);
+        let shard = route(&job.request, self.inner.shards.len());
+        let (tx, rx) = sync_channel(1);
+        {
+            let (lock, cv) = &self.inner.queues[shard];
+            let mut queue = lock.lock().expect("queue mutex poisoned");
+            if queue.closed {
+                return Response::error(ErrorKind::Shutdown, "server is shut down");
+            }
+            if queue.jobs.len() >= self.inner.queue_cap {
+                drop(queue);
+                self.inner.shed[shard].fetch_add(1, Ordering::SeqCst);
+                return Response {
+                    served: ServeStats {
+                        queries: 1,
+                        shed: 1,
+                        ..ServeStats::default()
+                    },
+                    body: Body::Error {
+                        kind: ErrorKind::Overloaded,
+                        message: format!("shard {shard} queue full"),
+                    },
+                };
+            }
+            queue.jobs.push_back(Pending { job, reply: tx });
+            cv.notify_one();
+        }
+        rx.recv().unwrap_or_else(|_| {
+            Response::error(ErrorKind::Shutdown, "server stopped before replying")
+        })
+    }
+
+    /// Aggregate counters (all shards merged, sheds included), without
+    /// going through the request path.
+    pub fn stats(&self) -> (ServeStats, SolveStats) {
+        snapshot(&self.inner)
+    }
+
+    /// Queued + shed totals for one shard (test observability: lets a
+    /// flooding test wait until every in-flight submit has landed).
+    pub fn pressure(&self, shard: usize) -> (usize, u64) {
+        let queued = match self.inner.queues.get(shard) {
+            Some((lock, _)) => lock.lock().expect("queue mutex poisoned").jobs.len(),
+            None => 0,
+        };
+        let shed = self
+            .inner
+            .shed
+            .get(shard)
+            .map_or(0, |c| c.load(Ordering::SeqCst));
+        (queued, shed)
+    }
+
+    /// Cache entries across all shards.
+    pub fn cached_entries(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard mutex poisoned").cache_len())
+            .sum()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+}
+
+/// A running worker pool. Dropping it drains and joins every worker.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the shards and starts one worker thread per shard.
+    pub fn start(opts: ServerOptions) -> Server {
+        let shards = opts.engine.shards.max(1);
+        let clock = opts.engine.solver.clock.clone();
+        let inner = Arc::new(Inner {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard::new(ShardOptions {
+                        cache_cap: opts.engine.cache_cap,
+                        solver: opts.engine.solver.clone(),
+                    }))
+                })
+                .collect(),
+            queues: (0..shards)
+                .map(|_| {
+                    (
+                        Mutex::new(QueueState {
+                            jobs: VecDeque::new(),
+                            closed: false,
+                        }),
+                        Condvar::new(),
+                    )
+                })
+                .collect(),
+            shed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            pause: (Mutex::new(opts.start_paused), Condvar::new()),
+            stop: AtomicBool::new(false),
+            clock,
+            queue_cap: opts.queue_cap.max(1),
+            batch_max: opts.batch_max.max(1),
+        });
+        let workers = (0..shards)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hslb-serve-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawning a worker thread failed")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// A client handle (cheap to clone, safe across threads).
+    pub fn handle(&self) -> Handle {
+        Handle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Releases workers gated by `start_paused`.
+    pub fn resume(&self) {
+        let (lock, cv) = &self.inner.pause;
+        *lock.lock().expect("pause mutex poisoned") = false;
+        cv.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Ungate paused workers so they can drain and exit.
+        self.resume();
+        for (lock, cv) in &self.inner.queues {
+            // Taking the lock orders the wakeup after any in-flight wait.
+            let _guard = lock.lock().expect("queue mutex poisoned");
+            cv.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            // A panicked worker already unwound; nothing to salvage here.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hslb::{ComponentSpec, FlatSpec, Objective};
+    use hslb_minlp::MinlpStatus;
+    use hslb_perfmodel::PerfModel;
+
+    fn spec() -> FlatSpec {
+        FlatSpec {
+            components: vec![
+                ComponentSpec::new("f1", PerfModel::amdahl(120.0, 0.0), 1, 64),
+                ComponentSpec::new("f2", PerfModel::amdahl(360.0, 0.0), 1, 64),
+            ],
+            total_nodes: 16,
+            objective: Objective::MinMax,
+        }
+    }
+
+    #[test]
+    fn end_to_end_solve_through_threads() {
+        let server = Server::start(ServerOptions::default());
+        let handle = server.handle();
+        let reply = handle.call(Request::Solve {
+            spec: spec(),
+            budget: None,
+        });
+        match reply.body {
+            Body::Allocation { status, nodes, .. } => {
+                assert_eq!(status, MinlpStatus::Optimal);
+                assert_eq!(nodes.iter().sum::<u64>(), 16);
+            }
+            other => panic!("expected allocation, got {other:?}"),
+        }
+        let (serve, _) = handle.stats();
+        assert_eq!(serve.queries, 1);
+        assert_eq!(serve.solves, 1);
+    }
+
+    #[test]
+    fn paused_server_sheds_past_queue_cap_then_drains() {
+        let server = Server::start(ServerOptions {
+            queue_cap: 2,
+            start_paused: true,
+            ..ServerOptions::default()
+        });
+        let handle = server.handle();
+        // Pings all route to shard 0; fill the queue from threads.
+        let clients: Vec<_> = (0..5)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || h.call(Request::Ping))
+            })
+            .collect();
+        // Wait until every submit has either queued or shed.
+        loop {
+            let (queued, shed) = handle.pressure(0);
+            if queued as u64 + shed == 5 {
+                assert_eq!(queued, 2, "queue bounded at cap");
+                assert_eq!(shed, 3, "excess shed, not dropped");
+                break;
+            }
+            std::thread::yield_now();
+        }
+        server.resume();
+        let mut pongs = 0;
+        let mut overloaded = 0;
+        for client in clients {
+            match client.join().expect("client thread panicked").body {
+                Body::Pong => pongs += 1,
+                Body::Error {
+                    kind: ErrorKind::Overloaded,
+                    ..
+                } => overloaded += 1,
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert_eq!((pongs, overloaded), (2, 3));
+        let (serve, _) = handle.stats();
+        assert_eq!(serve.queries, 5, "sheds still count as admitted queries");
+        assert_eq!(serve.shed, 3);
+    }
+
+    #[test]
+    fn drop_drains_in_flight_work_and_closes() {
+        let server = Server::start(ServerOptions {
+            start_paused: true,
+            ..ServerOptions::default()
+        });
+        let handle = server.handle();
+        let client = {
+            let h = handle.clone();
+            std::thread::spawn(move || h.call(Request::Ping))
+        };
+        while handle.pressure(0).0 == 0 {
+            std::thread::yield_now();
+        }
+        drop(server); // unpauses, drains, joins
+        assert!(matches!(
+            client.join().expect("client thread panicked").body,
+            Body::Pong
+        ));
+        let late = handle.call(Request::Ping);
+        assert!(matches!(
+            late.body,
+            Body::Error {
+                kind: ErrorKind::Shutdown,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! Bytes-in/bytes-out request handling, factored out of the transport.
+//!
+//! [`respond_bytes`] is the whole request path minus sockets: one payload
+//! in, one reply payload out, *always* — a malformed payload produces an
+//! encoded `error` reply, never a panic and never silence. The TCP front
+//! wraps it in framing; the testkit wire-fuzz layer calls it directly on
+//! corrupted payloads.
+
+use std::io::{Read, Write};
+
+use hslb_json::{FromJson, Json, ToJson};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::protocol::{ErrorKind, Request, Response};
+
+/// Handles one raw request payload. `serve` is the actual request
+/// processor (an [`Handle`](crate::Handle) call, a synchronous
+/// [`Engine`](crate::Engine), or a fuzz stub). Parse failures short-
+/// circuit to an `invalid` error reply with an all-zero `served` block —
+/// the request never reached a shard, so it contributes to no counter.
+pub fn respond_bytes(payload: &[u8], serve: &mut dyn FnMut(Request) -> Response) -> Vec<u8> {
+    let reply = match std::str::from_utf8(payload) {
+        Err(e) => Response::error(ErrorKind::Invalid, format!("payload is not UTF-8: {e}")),
+        Ok(text) => match Json::parse(text) {
+            Err(e) => Response::error(ErrorKind::Invalid, format!("payload is not JSON: {e}")),
+            Ok(json) => match Request::from_json(&json) {
+                Err(e) => Response::error(ErrorKind::Invalid, format!("malformed request: {e}")),
+                Ok(request) => serve(request),
+            },
+        },
+    };
+    reply.to_json().to_compact().into_bytes()
+}
+
+/// Serves one framed connection until the peer closes or framing breaks.
+///
+/// * clean close (`Ok(None)` from the reader) → returns `Ok(())`;
+/// * oversize frame → one `invalid` error reply, then close (framing is
+///   still synchronized: the oversize length was rejected before reading
+///   the payload, but trusting the rest of the stream is not worth it);
+/// * truncated frame → the peer died mid-write; nothing to reply to;
+/// * transport error → propagated.
+pub fn serve_connection<S: Read + Write>(
+    stream: &mut S,
+    serve: &mut dyn FnMut(Request) -> Response,
+) -> Result<(), FrameError> {
+    loop {
+        match read_frame(stream) {
+            Ok(None) => return Ok(()),
+            Ok(Some(payload)) => {
+                let reply = respond_bytes(&payload, serve);
+                write_frame(stream, &reply)?;
+            }
+            Err(FrameError::Oversize { declared }) => {
+                let reply = Response::error(
+                    ErrorKind::Invalid,
+                    format!("frame of {declared} bytes exceeds the cap"),
+                )
+                .to_json()
+                .to_compact();
+                write_frame(stream, reply.as_bytes())?;
+                return Ok(());
+            }
+            Err(FrameError::TruncatedHeader { .. } | FrameError::TruncatedPayload { .. }) => {
+                return Ok(());
+            }
+            Err(e @ FrameError::Io(_)) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Body;
+    use hslb_obs::ServeStats;
+
+    fn pong_server() -> impl FnMut(Request) -> Response {
+        |_req| Response {
+            served: ServeStats {
+                queries: 1,
+                ..ServeStats::default()
+            },
+            body: Body::Pong,
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Response {
+        let text = std::str::from_utf8(bytes).expect("replies are UTF-8");
+        Response::from_json(&Json::parse(text).expect("replies are JSON")).expect("replies decode")
+    }
+
+    #[test]
+    fn well_formed_payload_reaches_the_server() {
+        let mut serve = pong_server();
+        let reply = decode(&respond_bytes(br#"{"op":"ping"}"#, &mut serve));
+        assert_eq!(reply.body, Body::Pong);
+        assert_eq!(reply.served.queries, 1);
+    }
+
+    #[test]
+    fn garbage_payloads_get_structured_errors_with_zero_counters() {
+        let mut serve = pong_server();
+        for payload in [
+            &b"\xff\xfe not utf8"[..],
+            b"not json at all",
+            b"{\"op\":\"unknown_op\"}",
+            b"{\"no_op_key\":1}",
+            b"{\"op\":\"observe\",\"component\":\"c\",\"points\":[[1]]}",
+        ] {
+            let reply = decode(&respond_bytes(payload, &mut serve));
+            assert!(
+                matches!(
+                    reply.body,
+                    Body::Error {
+                        kind: ErrorKind::Invalid,
+                        ..
+                    }
+                ),
+                "payload {payload:?} must yield an invalid-error reply"
+            );
+            assert_eq!(
+                reply.served,
+                ServeStats::default(),
+                "parse failures never touch a shard"
+            );
+        }
+    }
+
+    #[test]
+    fn connection_loop_replies_per_frame_then_closes_cleanly() {
+        struct Duplex {
+            input: std::io::Cursor<Vec<u8>>,
+            output: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.input.read(buf)
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.output.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut input = Vec::new();
+        write_frame(&mut input, br#"{"op":"ping"}"#).expect("vec write cannot fail");
+        write_frame(&mut input, b"garbage").expect("vec write cannot fail");
+        let mut stream = Duplex {
+            input: std::io::Cursor::new(input),
+            output: Vec::new(),
+        };
+        let mut serve = pong_server();
+        serve_connection(&mut stream, &mut serve).expect("in-memory stream cannot fail");
+        let mut out = &stream.output[..];
+        let first = read_frame(&mut out)
+            .expect("reply frames are well-formed")
+            .expect("first reply present");
+        assert_eq!(decode(&first).body, Body::Pong);
+        let second = read_frame(&mut out)
+            .expect("reply frames are well-formed")
+            .expect("second reply present");
+        assert!(matches!(decode(&second).body, Body::Error { .. }));
+        assert!(
+            read_frame(&mut out)
+                .expect("reply stream stays framed")
+                .is_none(),
+            "exactly one reply per request frame"
+        );
+    }
+}

@@ -488,6 +488,179 @@ pub fn check_pipeline(total_nodes: u64, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// A random well-formed wire request (the protocol's whole op surface).
+fn random_wire_request(rng: &mut Rng, size: u32) -> hslb_serve::Request {
+    use hslb_serve::Request;
+    match rng.usize_range(0, 6) {
+        0 | 1 => Request::Solve {
+            spec: crate::gen::flat_spec(rng, size),
+            budget: if rng.bool(0.5) {
+                Some(rng.f64_range(0.1, 50.0))
+            } else {
+                None
+            },
+        },
+        2 => Request::Observe {
+            component: format!("c{}", rng.usize_range(0, 4)),
+            points: (0..rng.usize_range(1, 2 + size as usize))
+                .map(|_| (rng.usize_range(1, 64) as u64, rng.f64_range(0.0, 1e4)))
+                .collect(),
+        },
+        3 => Request::Fit {
+            component: format!("c{}", rng.usize_range(0, 4)),
+        },
+        4 => Request::Stats,
+        _ => Request::Ping,
+    }
+}
+
+/// A served reply must always be decodable JSON that re-encodes to the
+/// same bytes — whatever was thrown at the server.
+fn wire_reply_decodes(bytes: &[u8], what: &str) -> Result<(), String> {
+    use hslb_json::{FromJson, Json, ToJson};
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| format!("{what}: reply is not UTF-8: {e}"))?;
+    let parsed = Json::parse(text).map_err(|e| format!("{what}: reply is not JSON: {e}"))?;
+    let reply = hslb_serve::Response::from_json(&parsed)
+        .map_err(|e| format!("{what}: reply does not decode: {e}"))?;
+    if reply.to_json().to_compact() != text {
+        return Err(format!("{what}: reply is not an encode fixed point"));
+    }
+    Ok(())
+}
+
+/// Wire-protocol differential checker:
+///
+/// 1. a random well-formed request survives encode → frame → chunked
+///    unframe (interleaved partial writes) → parse → re-encode, bit-exact;
+/// 2. serving it produces a decodable fixed-point reply (requests are
+///    solved through a real single-shard engine at small sizes, a stub
+///    beyond — the solver itself has its own layers);
+/// 3. corrupted variants — truncated frames, hostile length prefixes,
+///    random byte flips, numeric-garbage splices (`NaN`, `1e999`, `null`)
+///    — must yield structured errors or clean closes, never a panic.
+pub fn check_wire(rng: &mut Rng, size: u32) -> Result<(), String> {
+    use hslb_json::ToJson;
+    use hslb_obs::{ClockHandle, FakeClock};
+    use hslb_serve::{read_frame, respond_bytes, write_frame, Engine, EngineOptions, MAX_FRAME};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // --- 1. Fixed point through framing.
+    let request = random_wire_request(rng, size);
+    let encoded = request.to_json().to_compact();
+    let mut framed = Vec::new();
+    write_frame(&mut framed, encoded.as_bytes()).map_err(|e| format!("framing failed: {e}"))?;
+
+    struct Chunked<'a> {
+        data: &'a [u8],
+        cuts: Vec<usize>,
+    }
+    impl std::io::Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let chunk = self.cuts.pop().unwrap_or(usize::MAX);
+            let n = chunk.min(self.data.len()).min(out.len());
+            out[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+    let cuts: Vec<usize> = (0..8).map(|_| rng.usize_range(1, 8)).collect();
+    let mut reader = Chunked {
+        data: &framed,
+        cuts,
+    };
+    let payload = read_frame(&mut reader)
+        .map_err(|e| format!("chunked unframe failed: {e}"))?
+        .ok_or_else(|| "chunked unframe saw a spurious clean close".to_string())?;
+    if payload != encoded.as_bytes() {
+        return Err("frame round trip altered the payload".to_string());
+    }
+    let parsed =
+        hslb_json::Json::parse(&encoded).map_err(|e| format!("own encoding unparseable: {e}"))?;
+    let decoded = <hslb_serve::Request as hslb_json::FromJson>::from_json(&parsed)
+        .map_err(|e| format!("own encoding undecodable: {e}"))?;
+    if decoded.to_json().to_compact() != encoded {
+        return Err("request encoding is not a fixed point".to_string());
+    }
+
+    // --- 2. Serve it. Real solves only at small sizes (budget: this layer
+    //        is about the wire, cost 1; the solver has its own layers).
+    let mut engine = (size <= 3).then(|| {
+        let fake = FakeClock::new(0.0);
+        let solver = MinlpOptions {
+            clock: ClockHandle::fake(&fake),
+            ..Default::default()
+        };
+        Engine::new(EngineOptions {
+            shards: 1,
+            cache_cap: 4,
+            solver,
+        })
+    });
+    let mut serve = |req: hslb_serve::Request| match engine.as_mut() {
+        Some(engine) => engine.call(req),
+        None => hslb_serve::Response::unrecorded(hslb_serve::Body::Pong),
+    };
+    let reply = catch_unwind(AssertUnwindSafe(|| {
+        respond_bytes(encoded.as_bytes(), &mut serve)
+    }))
+    .map_err(|_| "serving a well-formed request panicked".to_string())?;
+    wire_reply_decodes(&reply, "well-formed request")?;
+
+    // --- 3a. Truncation at a random offset: a structured frame error (or,
+    //         at offset 0, a clean close) — never a panic, never a frame.
+    let cut = rng.usize_range(0, framed.len() - 1);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut r = &framed[..cut];
+        read_frame(&mut r).map(|frame| frame.map(|p| p.len()))
+    }))
+    .map_err(|_| format!("read_frame panicked on a frame truncated at {cut}"))?;
+    match outcome {
+        Ok(None) if cut == 0 => {}
+        Err(_) => {}
+        Ok(other) => {
+            return Err(format!(
+                "a frame truncated at {cut} parsed as {other:?} instead of erroring"
+            ))
+        }
+    }
+
+    // --- 3b. Hostile length prefix: rejected before allocation.
+    let declared = MAX_FRAME + 1 + rng.usize_range(0, 1 << 16);
+    let mut oversize = (declared as u32).to_be_bytes().to_vec();
+    oversize.extend_from_slice(&framed);
+    let mut r = &oversize[..];
+    if read_frame(&mut r).is_ok() {
+        return Err(format!("a {declared}-byte length prefix was accepted"));
+    }
+
+    // --- 3c. Random byte flips: whatever the payload decays into, the
+    //         reply stays a decodable structured answer.
+    for _ in 0..4 {
+        let mut mutated = encoded.clone().into_bytes();
+        let idx = rng.usize_range(0, mutated.len() - 1);
+        mutated[idx] = rng.usize_range(0, 255) as u8;
+        let reply = catch_unwind(AssertUnwindSafe(|| respond_bytes(&mutated, &mut serve)))
+            .map_err(|_| format!("byte {:#04x} at offset {idx} caused a panic", mutated[idx]))?;
+        wire_reply_decodes(&reply, "byte-flipped request")?;
+    }
+
+    // --- 3d. Numeric garbage spliced over the first digit: NaN-bearing
+    //         and overflow-bearing envelopes get structured errors.
+    if let Some(pos) = encoded.find(|c: char| c.is_ascii_digit()) {
+        for garbage in ["NaN", "1e999", "-1e999", "null", "1e-999", "-"] {
+            let mut mutated = encoded.clone();
+            mutated.replace_range(pos..=pos, garbage);
+            let reply = catch_unwind(AssertUnwindSafe(|| {
+                respond_bytes(mutated.as_bytes(), &mut serve)
+            }))
+            .map_err(|_| format!("numeric splice {garbage:?} caused a panic"))?;
+            wire_reply_decodes(&reply, "garbage-spliced request")?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tol_tests {
     use super::*;

@@ -37,13 +37,14 @@ pub enum Layer {
     Fit,
     Cesm,
     Pipeline,
+    Wire,
     MetaPermutation,
     MetaMonotonicity,
     MetaFitScaling,
 }
 
 impl Layer {
-    pub const ALL: [Layer; 11] = [
+    pub const ALL: [Layer; 12] = [
         Layer::Lp,
         Layer::Mps,
         Layer::Nlp,
@@ -52,6 +53,7 @@ impl Layer {
         Layer::Fit,
         Layer::Cesm,
         Layer::Pipeline,
+        Layer::Wire,
         Layer::MetaPermutation,
         Layer::MetaMonotonicity,
         Layer::MetaFitScaling,
@@ -67,6 +69,7 @@ impl Layer {
             Layer::Fit => "fit",
             Layer::Cesm => "cesm",
             Layer::Pipeline => "pipeline",
+            Layer::Wire => "wire",
             Layer::MetaPermutation => "meta-permutation",
             Layer::MetaMonotonicity => "meta-monotonicity",
             Layer::MetaFitScaling => "meta-fit-scaling",
@@ -82,7 +85,9 @@ impl Layer {
     /// run benchmarks, fits and solves a full scenario).
     pub fn relative_cost(self) -> u32 {
         match self {
-            Layer::Lp => 1,
+            // Wire cases stay cost-1 (they only solve at small sizes), so
+            // `fuzz --layer wire --seeds N` runs exactly N cases.
+            Layer::Lp | Layer::Wire => 1,
             Layer::Mps | Layer::Nlp | Layer::MetaPermutation | Layer::MetaMonotonicity => 2,
             Layer::Flat => 4,
             Layer::Fit | Layer::MetaFitScaling => 10,
@@ -107,6 +112,7 @@ pub fn run_case(layer: Layer, seed: u64, size: u32) -> Result<(), String> {
         Layer::Fit => check::check_fit(&gen::fit_dataset(&mut rng, size)),
         Layer::Cesm => check::check_cesm(&gen::cesm_spec(&mut rng, size)),
         Layer::Pipeline => check::check_pipeline(32 + 16 * size as u64, seed),
+        Layer::Wire => check::check_wire(&mut rng, size),
         Layer::MetaPermutation => meta::permutation_invariance(&mut rng, size),
         Layer::MetaMonotonicity => meta::budget_monotonicity(&mut rng, size),
         Layer::MetaFitScaling => meta::fit_scaling_invariance(&mut rng, size),
@@ -201,6 +207,7 @@ pub fn run_suite(base_seed: u64) -> SuiteReport {
             Layer::Nlp => 80,
             Layer::Flat => 80,
             Layer::Fit => 40,
+            Layer::Wire => 100,
             Layer::MetaPermutation => 60,
             Layer::MetaMonotonicity => 60,
             Layer::MetaFitScaling => 15,

@@ -1,14 +1,18 @@
-//! Golden counter snapshots for the pinned perf experiments (E7, E8).
+//! Golden counter snapshots for the pinned perf experiments (E7, E8) and
+//! the serving discipline suite.
 //!
 //! These are the same workloads `hslb-perf` records into
 //! `BENCH_solver.json`; pinning the counters here means `cargo test` alone
-//! catches algorithmic drift (extra nodes, lost prunes, pivot blowups)
-//! with exact equality, while the `--smoke` gate allows small drift.
+//! catches algorithmic drift (extra nodes, lost prunes, pivot blowups,
+//! changed caching/coalescing decisions) with exact equality, while the
+//! `--smoke` gate allows small drift on work counters only.
 
 use hslb::{build_layout_model, solve_model_with, Layout, SolverBackend};
 use hslb_bench::harness::{sos_test_problem, true_spec};
+use hslb_bench::serve_perf::serve_suite;
 use hslb_cesm_sim::Scenario;
 use hslb_minlp::{encode_sets_as_binaries, MinlpOptions, SolveStats};
+use hslb_obs::ServeStats;
 
 /// E7 machine scale: the paper's 40,960-node 1° layout-1 instance.
 const E7_TOTAL_NODES: u64 = 40_960;
@@ -85,7 +89,7 @@ fn e7_parallel_t1_counters_golden() {
         lp_solves: 0,
         nlp_solves: 364,
         simplex_pivots: 0,
-        newton_iters: 25656,
+        newton_iters: 25655,
         lm_steps: 0,
         presolve_tightenings: 184,
         warm_start_hits: 360,
@@ -140,4 +144,72 @@ fn committed_baseline_matches_fresh_e7_run() {
         .find(|c| c.name == format!("e7_layout1_{E7_TOTAL_NODES}_oa"))
         .expect("baseline contains the E7 OA case");
     assert_eq!(case.stats, fresh, "baseline is stale; rerun hslb-perf");
+}
+
+/// Serving-discipline counters for the pinned mixed-traffic case. Unlike
+/// solver work counters, every one of these is an exact decision (cache
+/// hit or miss, coalesce or solve, shed or admit) — any drift means the
+/// serving policy changed and the baseline must be regenerated on purpose.
+#[test]
+fn serve_mixed_counters_golden() {
+    let cases = serve_suite();
+    let mixed = cases
+        .iter()
+        .find(|c| c.name == "serve_mixed_1shard")
+        .expect("suite contains the mixed-traffic case");
+    let expected = ServeStats {
+        queries: 96,
+        solves: 15,
+        cache_hits: 44,
+        warm_seeded: 11,
+        coalesced: 0,
+        shed: 0,
+        expired_in_queue: 0,
+        errors: 6,
+        evictions: 0,
+    };
+    assert_eq!(mixed.serve, expected);
+    // Deterministic latency distribution under the fake clock: the 99th
+    // percentile of per-dispatch tick counts is exact, not a tolerance.
+    assert_eq!(mixed.p99_ticks, 13);
+}
+
+/// Each remaining pinned serve case isolates one discipline; pin the
+/// counter that defines it so a policy regression names itself.
+#[test]
+fn serve_discipline_counters_golden() {
+    let cases = serve_suite();
+    let get = |name: &str| {
+        cases
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("suite contains {name}"))
+    };
+    let batch = get("serve_batch_dedupe");
+    assert_eq!(batch.serve.coalesced, 6);
+    assert_eq!(batch.serve.solves, 1, "4 identical solves share one solve");
+    let deadline = get("serve_deadline_expiry");
+    assert_eq!(deadline.serve.expired_in_queue, 6);
+    assert_eq!(
+        deadline.serve.solves, 0,
+        "expired jobs never reach a solver"
+    );
+    let churn = get("serve_cache_churn");
+    assert_eq!(churn.serve.evictions, 6);
+    assert_eq!(churn.serve.cache_hits, 0, "capacity 2 can't hold 4 shapes");
+}
+
+/// The committed serve section of `BENCH_solver.json` must match a fresh
+/// run of the suite exactly, counters and latency alike.
+#[test]
+fn committed_baseline_matches_fresh_serve_suite() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_solver.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_solver.json is committed");
+    let (_, serve_baseline) =
+        hslb_bench::serve_perf::baseline_from_json(&text).expect("baseline parses");
+    assert_eq!(
+        serve_baseline,
+        serve_suite(),
+        "serve baseline is stale; rerun hslb-perf"
+    );
 }

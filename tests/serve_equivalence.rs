@@ -1,0 +1,217 @@
+//! Served answers are a cache/warm-start *optimization*, never a different
+//! solver: for 500 seeded instances, the daemon's answer must match a
+//! fresh cold solve of the same spec — cold on first contact, warm-seeded
+//! after coefficient drift, and replayed verbatim on exact repeats.
+//!
+//! Each instance is queried three times through the in-process [`Handle`]:
+//!
+//! 1. cold (empty cache) — differentially compared against a fresh
+//!    un-served `solve_nlp_bnb` of the same spec;
+//! 2. with drifted coefficients (same structure) — must hit the cache
+//!    (`cache_hits`), re-solve warm-seeded (`warm_seeded`, and the solver
+//!    must actually accept the root seed: `warm_start_hits`), and again
+//!    match a fresh cold solve of the drifted spec;
+//! 3. the drifted spec verbatim — must replay from cache with zero new
+//!    solver work and the exact same answer bytes-for-bytes.
+
+use hslb::{build_flat_model, FlatSpec};
+use hslb_minlp::{
+    presolve, solve_nlp_bnb, MinlpOptions, MinlpSolution, MinlpStatus, PresolveOutcome,
+};
+use hslb_obs::SolveStats;
+use hslb_rng::Rng;
+use hslb_serve::protocol::{Body, Request, Source};
+use hslb_serve::{EngineOptions, Server, ServerOptions};
+use hslb_testkit::check::backend_diff_tol;
+use hslb_testkit::gen;
+
+/// Mirrors the shard's solve path (same presolve depth, same backend),
+/// minus every serving layer: the ground truth a served reply must match.
+fn cold_reference(spec: &FlatSpec) -> MinlpSolution {
+    let model = build_flat_model(spec);
+    let mut reduced = model.problem.clone();
+    match presolve(&mut reduced, 8) {
+        PresolveOutcome::Infeasible => MinlpSolution::infeasible(SolveStats::default()),
+        PresolveOutcome::Reduced { .. } => solve_nlp_bnb(&reduced, &MinlpOptions::default()),
+    }
+}
+
+struct Alloc {
+    status: MinlpStatus,
+    nodes: Vec<u64>,
+    objective: f64,
+    work: SolveStats,
+    source: Source,
+}
+
+fn alloc(body: &Body, context: &str) -> Alloc {
+    match body {
+        Body::Allocation {
+            status,
+            nodes,
+            objective,
+            work,
+            source,
+            ..
+        } => Alloc {
+            status: *status,
+            nodes: nodes.clone(),
+            objective: *objective,
+            work: *work,
+            source: *source,
+        },
+        other => panic!("{context}: expected an allocation, got {other:?}"),
+    }
+}
+
+fn assert_matches_reference(case: u64, spec: &FlatSpec, served: &Alloc, what: &str) {
+    let reference = cold_reference(spec);
+    assert_eq!(
+        served.status, reference.status,
+        "case {case} ({what}): served status diverged from a fresh cold solve"
+    );
+    if reference.status != MinlpStatus::Optimal {
+        return;
+    }
+    let model = build_flat_model(spec);
+    let dim = model.problem.relaxation().num_vars() + spec.components.len();
+    let tol = backend_diff_tol(dim, 1.0);
+    assert!(
+        (served.objective - reference.objective).abs() <= tol * reference.objective.abs().max(1.0),
+        "case {case} ({what}): served objective {} vs cold reference {}",
+        served.objective,
+        reference.objective
+    );
+    let used: i64 = served.nodes.iter().map(|&n| n as i64).sum();
+    assert!(
+        used <= spec.total_nodes && served.nodes.iter().all(|&n| n >= 1),
+        "case {case} ({what}): served allocation {:?} violates the budget {}",
+        served.nodes,
+        spec.total_nodes
+    );
+}
+
+#[test]
+fn served_answers_match_fresh_cold_solves_across_500_instances() {
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            shards: 4,
+            // Room for all 500 structures: this battery pins warm reuse,
+            // so eviction noise is not welcome here (eviction behavior is
+            // pinned by the cache unit tests).
+            cache_cap: 256,
+            solver: MinlpOptions::default(),
+        },
+        ..ServerOptions::default()
+    });
+    let handle = server.handle();
+
+    let mut rng = Rng::new(0x5E12_7EED);
+    let mut optimal_cases = 0u64;
+    let mut seed_accepted_cases = 0u64;
+    let mut delta_sum = hslb_obs::ServeStats::default();
+    for case in 0..500u64 {
+        let size = (case % 6) as u32 + 1;
+        let spec = gen::flat_spec(&mut rng, size);
+
+        let first = handle.call(Request::Solve {
+            spec: spec.clone(),
+            budget: None,
+        });
+        delta_sum.merge(&first.served);
+        let cold = alloc(&first.body, "first query");
+        // The generator draws structures from a small space (k, total), so
+        // a later case can land on an already-warm structure: first contact
+        // is Cold on a genuine miss, Warm when an earlier case's structure
+        // recurs. Either way it must solve (never replay: coefficients are
+        // fresh draws) and match the un-served reference.
+        assert_eq!(first.served.solves, 1, "case {case}: first query solves");
+        assert!(
+            (cold.source == Source::Cold) == (first.served.cache_hits == 0),
+            "case {case}: source/counter mismatch on first contact"
+        );
+        assert_matches_reference(case, &spec, &cold, "cold");
+        if cold.status != MinlpStatus::Optimal {
+            continue;
+        }
+        optimal_cases += 1;
+
+        // Same structure, drifted coefficients — the fit moved between
+        // queries. Must re-solve warm-seeded from the cached solution.
+        let mut drifted = spec.clone();
+        let drift = 1.0 + 0.004 * ((case % 5) as f64 + 1.0);
+        for c in &mut drifted.components {
+            c.model.a *= drift;
+            c.model.d *= 2.0 - drift;
+        }
+        let second = handle.call(Request::Solve {
+            spec: drifted.clone(),
+            budget: None,
+        });
+        delta_sum.merge(&second.served);
+        let warm = alloc(&second.body, "drifted re-query");
+        assert_eq!(
+            warm.source,
+            Source::Warm,
+            "case {case}: drifted re-query must find the cached structure"
+        );
+        assert_eq!(
+            second.served.cache_hits, 1,
+            "case {case}: drifted re-query must count a cache hit"
+        );
+        assert_eq!(
+            second.served.warm_seeded, 1,
+            "case {case}: drifted re-query must be warm-seeded"
+        );
+        assert_eq!(second.served.solves, 1);
+        if warm.work.warm_start_hits > 0 {
+            seed_accepted_cases += 1;
+        }
+        assert_matches_reference(case, &drifted, &warm, "warm");
+
+        // Exact repeat of the drifted spec: replay, no new solver work.
+        let third = handle.call(Request::Solve {
+            spec: drifted,
+            budget: None,
+        });
+        delta_sum.merge(&third.served);
+        let replayed = alloc(&third.body, "verbatim re-query");
+        assert_eq!(third.served.cache_hits, 1, "case {case}: replay is a hit");
+        assert_eq!(third.served.solves, 0, "case {case}: replay never solves");
+        assert_eq!(replayed.source, Source::Cache);
+        assert_eq!(replayed.nodes, warm.nodes, "case {case}: replay drifted");
+        assert!(
+            (replayed.objective - warm.objective).abs() == 0.0,
+            "case {case}: replayed objective must be bit-identical"
+        );
+        assert_eq!(
+            replayed.work, warm.work,
+            "case {case}: replay returns the producing solve's counters"
+        );
+    }
+
+    assert!(
+        optimal_cases >= 450,
+        "generator regression: only {optimal_cases}/500 instances solved optimal"
+    );
+    // The warm path must actually engage, not silently fall back cold.
+    assert!(
+        seed_accepted_cases * 10 >= optimal_cases * 9,
+        "root warm seeds accepted on only {seed_accepted_cases}/{optimal_cases} drifted re-queries"
+    );
+
+    let (serve, solver) = handle.stats();
+    assert_eq!(
+        serve, delta_sum,
+        "aggregate counters must equal the sum of per-reply deltas"
+    );
+    assert_eq!(serve.queries, 500 + 2 * optimal_cases);
+    assert_eq!(serve.solves, 500 + optimal_cases, "replays never solve");
+    assert!(
+        serve.cache_hits >= 2 * optimal_cases,
+        "every drifted re-query and replay is a hit (plus recurring structures)"
+    );
+    assert!(serve.warm_seeded >= optimal_cases);
+    assert_eq!(serve.shed, 0, "nothing shed in a sequential battery");
+    assert!(solver.warm_start_hits >= seed_accepted_cases);
+}

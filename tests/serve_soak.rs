@@ -1,0 +1,230 @@
+//! Concurrency soak for the serving front, in three phases:
+//!
+//! 1. **backpressure** — a paused 1-shard server floods past its queue
+//!    bound: exactly `queue_cap` requests queue, the rest shed with
+//!    explicit `Overloaded` replies (never a silent drop, never a
+//!    deadlock), and resuming drains everything;
+//! 2. **determinism** — 8 client threads fire 200 mixed requests each at
+//!    a running 4-shard server, twice, same seeds, fake clock. Threads
+//!    use disjoint structure/component namespaces and no deadline
+//!    budgets, so each thread's reply transcript is a pure function of
+//!    its own request sequence: the two runs must be byte-identical
+//!    per thread;
+//! 3. **reconciliation** — within each run, the server's aggregate
+//!    counters must equal the sum of every reply's `served` delta
+//!    (nothing double-counted, nothing lost — sheds included).
+
+use hslb::{AllowedNodes, ComponentSpec, FlatSpec, Objective};
+use hslb_json::ToJson;
+use hslb_minlp::MinlpOptions;
+use hslb_obs::{ClockHandle, FakeClock, ServeStats};
+use hslb_perfmodel::PerfModel;
+use hslb_rng::{hash_mix, Rng};
+use hslb_serve::protocol::{Body, ErrorKind, Request};
+use hslb_serve::{EngineOptions, Server, ServerOptions};
+
+const THREADS: u64 = 8;
+const REQUESTS_PER_THREAD: u64 = 200;
+
+#[test]
+fn paused_flood_sheds_at_the_bound_and_drains_without_deadlock() {
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            shards: 1,
+            ..EngineOptions::default()
+        },
+        queue_cap: 8,
+        start_paused: true,
+        ..ServerOptions::default()
+    });
+    let handle = server.handle();
+    let clients: Vec<_> = (0..32)
+        .map(|_| {
+            let h = handle.clone();
+            std::thread::spawn(move || h.call(Request::Ping))
+        })
+        .collect();
+    // Every submit either queues (then blocks for its reply) or sheds.
+    loop {
+        let (queued, shed) = handle.pressure(0);
+        if queued as u64 + shed == 32 {
+            assert_eq!(queued, 8, "the queue must saturate exactly at its cap");
+            assert_eq!(shed, 24, "the excess must shed, not vanish");
+            break;
+        }
+        std::thread::yield_now();
+    }
+    server.resume();
+    let mut sum = ServeStats::default();
+    let mut pongs = 0;
+    let mut overloaded = 0;
+    for client in clients {
+        let reply = client.join().expect("client thread panicked");
+        sum.merge(&reply.served);
+        match reply.body {
+            Body::Pong => pongs += 1,
+            Body::Error {
+                kind: ErrorKind::Overloaded,
+                ..
+            } => overloaded += 1,
+            other => panic!("unexpected reply under flood: {other:?}"),
+        }
+    }
+    assert_eq!((pongs, overloaded), (8, 24));
+    let (serve, _) = handle.stats();
+    assert_eq!(serve, sum, "aggregate == sum of replies, sheds included");
+}
+
+/// One thread's deterministic request script. Structures embed the thread
+/// id (via `total_nodes`) and components are name-spaced per thread, so
+/// no cross-thread traffic can touch this thread's cache entries,
+/// observation stores, or coalescing groups.
+fn request_script(thread: u64) -> Vec<Request> {
+    let mut rng = Rng::new(hash_mix(&[0x50A6_5EED, thread]));
+    // Four base structures per thread: k in 2..=3 and two budgets each.
+    let base_specs: Vec<FlatSpec> = (0..4)
+        .map(|v| {
+            let k = 2 + (v % 2) as usize;
+            let total = 12 + 40 * thread as i64 + 10 * v;
+            FlatSpec {
+                components: (0..k)
+                    .map(|i| ComponentSpec {
+                        name: format!("t{thread}_c{i}"),
+                        model: PerfModel::amdahl(
+                            rng.f64_range(40.0, 400.0),
+                            rng.f64_range(0.0, 2.0),
+                        ),
+                        allowed: AllowedNodes::Range { min: 1, max: total },
+                    })
+                    .collect(),
+                total_nodes: total,
+                objective: Objective::MinMax,
+            }
+        })
+        .collect();
+    let component = format!("t{thread}_dyn");
+    let truth = PerfModel::amdahl(rng.f64_range(50.0, 500.0), rng.f64_range(0.0, 3.0));
+    (0..REQUESTS_PER_THREAD)
+        .map(|i| match i % 10 {
+            // Verbatim repeats: cold once, replayed from cache after.
+            0..=3 => Request::Solve {
+                spec: base_specs[(i as usize / 10) % base_specs.len()].clone(),
+                budget: None,
+            },
+            // Coefficient drift: same structure, warm re-solve every time.
+            4 => {
+                let mut spec = base_specs[(i as usize / 10) % base_specs.len()].clone();
+                let drift = 1.0 + 0.0005 * (i as f64 + 1.0);
+                for c in &mut spec.components {
+                    c.model.a *= drift;
+                }
+                Request::Solve { spec, budget: None }
+            }
+            5 | 6 => Request::Observe {
+                component: component.clone(),
+                points: vec![
+                    (2 + (i % 7), truth.eval((2 + (i % 7)) as f64)),
+                    (16 + (i % 5), truth.eval((16 + (i % 5)) as f64)),
+                ],
+            },
+            7 => Request::Fit {
+                component: component.clone(),
+            },
+            8 => Request::Ping,
+            // An invalid spec: the error path must be deterministic too.
+            // Structure (via total_nodes) stays thread- and request-unique —
+            // an identical invalid spec in flight on two threads would get
+            // legitimately deduped, which is cross-thread coupling this
+            // test's disjointness premise excludes.
+            _ => Request::Solve {
+                spec: FlatSpec {
+                    components: vec![ComponentSpec {
+                        name: format!("t{thread}_bad"),
+                        model: PerfModel::amdahl(10.0, 0.0),
+                        allowed: AllowedNodes::Range { min: 1, max: 1 },
+                    }],
+                    total_nodes: -((1000 * thread + i) as i64),
+                    objective: Objective::MinMax,
+                },
+                budget: None,
+            },
+        })
+        .collect()
+}
+
+/// Runs one full 8×200 session and returns (per-thread reply transcripts,
+/// sum of served deltas, aggregate stats at quiescence).
+fn run_session() -> (Vec<Vec<String>>, ServeStats, ServeStats) {
+    let fake = FakeClock::new(0.0);
+    let solver = MinlpOptions {
+        clock: ClockHandle::fake(&fake),
+        ..Default::default()
+    };
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            shards: 4,
+            cache_cap: 128,
+            solver,
+        },
+        queue_cap: 64,
+        batch_max: 8,
+        start_paused: false,
+    });
+    let handle = server.handle();
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = handle.clone();
+            std::thread::spawn(move || {
+                let mut transcript = Vec::new();
+                let mut sum = ServeStats::default();
+                for request in request_script(t) {
+                    let reply = h.call(request);
+                    sum.merge(&reply.served);
+                    transcript.push(reply.to_json().to_compact());
+                }
+                (transcript, sum)
+            })
+        })
+        .collect();
+    let mut transcripts = Vec::new();
+    let mut delta_sum = ServeStats::default();
+    for client in clients {
+        let (transcript, sum) = client.join().expect("client thread panicked");
+        transcripts.push(transcript);
+        delta_sum.merge(&sum);
+    }
+    let (aggregate, _) = handle.stats();
+    (transcripts, delta_sum, aggregate)
+}
+
+#[test]
+fn eight_threads_two_runs_byte_identical_and_counters_reconcile() {
+    let (run_a, sum_a, agg_a) = run_session();
+    let (run_b, sum_b, agg_b) = run_session();
+
+    // Phase 3: aggregate == sum of per-reply deltas, each run.
+    assert_eq!(agg_a, sum_a, "run A: counters lost or double-counted");
+    assert_eq!(agg_b, sum_b, "run B: counters lost or double-counted");
+    assert_eq!(
+        agg_a.queries,
+        THREADS * REQUESTS_PER_THREAD,
+        "nothing shed at this queue depth, nothing lost"
+    );
+    assert!(agg_a.cache_hits > 0, "verbatim repeats must replay");
+    assert!(agg_a.warm_seeded > 0, "drifted repeats must warm-seed");
+    assert!(agg_a.errors > 0, "the invalid-spec error path must engage");
+    assert_eq!(agg_a.shed, 0);
+
+    // Phase 2: per-thread transcripts are byte-identical across runs.
+    for (t, (a, b)) in run_a.iter().zip(&run_b).enumerate() {
+        assert_eq!(a.len(), b.len(), "thread {t}: transcript length diverged");
+        for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                ra, rb,
+                "thread {t}, request {i}: reply bytes diverged between runs"
+            );
+        }
+    }
+    // And the two runs' aggregates agree in full.
+    assert_eq!(agg_a, agg_b, "aggregate counters diverged between runs");
+}

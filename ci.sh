@@ -62,6 +62,13 @@ echo "== perf counters (hslb-perf --smoke) =="
 # and by how much (see DESIGN.md § Observability).
 ./target/release/hslb-perf --smoke
 
+echo "== mpc newton gate (hslb-perf --mpc-gate) =="
+# Counter gate for the Mehrotra predictor-corrector barrier: the pinned
+# E7 nlp-bnb solve must spend <= 60% of the legacy fixed-μ schedule's
+# 25,848 Newton iterations (observed ~4x cut; the floor catches any
+# regression back toward the fixed schedule's per-node cost).
+./target/release/hslb-perf --mpc-gate
+
 echo "== serve throughput (hslb-perf --serve-qps) =="
 # Wall-clock gate: mixed cheap traffic (pings + verbatim cache replays)
 # through the threaded server must sustain >= 1000 queries/sec. Observed

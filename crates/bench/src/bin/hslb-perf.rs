@@ -6,6 +6,8 @@
 //! hslb-perf --out <path>     # write/compare somewhere else
 //! hslb-perf --speedup        # wall-clock gate: sparse >= 5x dense at n=1k
 //! hslb-perf --serve-qps      # wall-clock gate: served throughput >= 1000/s
+//! hslb-perf --mpc-gate       # counter gate: E7 newton_iters <= 60% of the
+//!                            #   legacy fixed-μ schedule's 25,848
 //! ```
 //!
 //! The suite records only deterministic work counters (no timings), so the
@@ -13,8 +15,8 @@
 //! `hslb_bench::perf` for the gate semantics.
 
 use hslb_bench::perf::{
-    diff_suites, e7_thread_envelope, perf_suite, time_netlib_like, SPARSE_LP_SIZES,
-    SPARSE_SPEEDUP_MIN,
+    diff_suites, e7_nlp_bnb_case, e7_thread_envelope, mpc_gate, perf_suite, time_netlib_like,
+    SPARSE_LP_SIZES, SPARSE_SPEEDUP_MIN,
 };
 use hslb_bench::serve_perf::{
     baseline_from_json, baseline_to_json, diff_serve, measure_serve_qps, serve_suite, SERVE_QPS_MIN,
@@ -33,6 +35,7 @@ fn main() {
     let mut smoke = false;
     let mut speedup = false;
     let mut serve_qps = false;
+    let mut mpc = false;
     let mut out = default_baseline();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -40,12 +43,26 @@ fn main() {
             "--smoke" => smoke = true,
             "--speedup" => speedup = true,
             "--serve-qps" => serve_qps = true,
+            "--mpc-gate" => mpc = true,
             "--out" => match it.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => usage("--out needs a path"),
             },
             other => usage(&format!("unknown argument {other}")),
         }
+    }
+
+    if mpc {
+        // Standalone counter gate for the predictor-corrector barrier:
+        // solves only the pinned E7 nlp-bnb case, so it stays cheap enough
+        // to run alongside --smoke in CI.
+        eprintln!("hslb-perf: running E7 nlp-bnb for the MPC newton gate...");
+        let case = e7_nlp_bnb_case();
+        match mpc_gate(std::slice::from_ref(&case)) {
+            Ok(verdict) => println!("hslb-perf: {verdict}"),
+            Err(e) => fail(&e),
+        }
+        return;
     }
 
     if serve_qps {
@@ -146,7 +163,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("hslb-perf: {msg}");
-    eprintln!("usage: hslb-perf [--smoke] [--speedup] [--serve-qps] [--out <path>]");
+    eprintln!("usage: hslb-perf [--smoke] [--speedup] [--serve-qps] [--mpc-gate] [--out <path>]");
     std::process::exit(2);
 }
 

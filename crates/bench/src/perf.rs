@@ -71,10 +71,17 @@ pub fn perf_suite() -> Vec<PerfCase> {
 
     // E8: native SOS branching vs explicit binary encoding. The binary
     // encoding pays per-node LP work that the counters expose as a
-    // simplex-pivot blowup (see `tests/perf_counters.rs`).
+    // simplex-pivot blowup (see `tests/perf_counters.rs`). Pinned on the
+    // legacy fixed-μ schedule: the encoding comparison predates barrier
+    // v2, and the predictor-corrector loop cuts per-node Newton work 3-5x
+    // on both encodings — keeping the paper-era schedule keeps these rows
+    // measuring the encoding alone.
     for k in E8_SET_SIZES {
         let p = sos_test_problem(k);
-        let opts = MinlpOptions::default();
+        let opts = MinlpOptions {
+            legacy_mu_schedule: true,
+            ..MinlpOptions::default()
+        };
         let native = hslb_minlp::solve_oa_bnb(&p, &opts);
         let (enc, _) = encode_sets_as_binaries(&p);
         let binary = hslb_minlp::solve_oa_bnb(&enc, &opts);
@@ -321,6 +328,9 @@ pub fn suite_cases_from_doc(doc: &Json) -> Result<Vec<PerfCase>, String> {
             factorizations: read("factorizations")?,
             factor_updates: read("factor_updates")?,
             fill_nnz: read("fill_nnz")?,
+            predictor_steps: read("predictor_steps")?,
+            corrector_steps: read("corrector_steps")?,
+            line_search_backtracks: read("line_search_backtracks")?,
         };
         cases.push(PerfCase { name, stats });
     }
@@ -364,6 +374,57 @@ pub fn diff_suites(baseline: &[PerfCase], current: &[PerfCase]) -> Vec<String> {
     drifts
 }
 
+/// Newton-iteration total of the E7 nlp-bnb case on the legacy fixed-μ
+/// schedule, recorded before the Mehrotra predictor-corrector barrier
+/// landed. The `--mpc-gate` speedup floor is measured against this.
+pub const MPC_LEGACY_E7_NEWTON: u64 = 25_848;
+/// The MPC loop must keep the E7 nlp-bnb Newton total at or below this
+/// fraction of [`MPC_LEGACY_E7_NEWTON`] — a hard perf gate, not a trend.
+pub const MPC_GATE_FRACTION: f64 = 0.6;
+
+/// Solves just the pinned E7 nlp-bnb case — the `--mpc-gate` workload —
+/// without paying for the rest of the suite.
+pub fn e7_nlp_bnb_case() -> PerfCase {
+    let spec = true_spec(&Scenario::one_degree(E7_TOTAL_NODES));
+    let model = build_layout_model(&spec, Layout::Hybrid);
+    let sol = solve_model_with(
+        &model.problem,
+        SolverBackend::NlpBnb,
+        &MinlpOptions::default(),
+    );
+    assert!(sol.objective.is_finite(), "E7 nlp_bnb must solve");
+    PerfCase {
+        name: format!("e7_layout1_{E7_TOTAL_NODES}_nlp_bnb"),
+        stats: sol.stats,
+    }
+}
+
+/// Perf gate for the predictor-corrector barrier: the pinned E7 nlp-bnb
+/// case must spend no more than [`MPC_GATE_FRACTION`] of the legacy
+/// schedule's Newton iterations. Takes an already-computed suite (any slice
+/// containing the case), and returns a human-readable verdict line on
+/// success.
+pub fn mpc_gate(cases: &[PerfCase]) -> Result<String, String> {
+    let name = format!("e7_layout1_{E7_TOTAL_NODES}_nlp_bnb");
+    let case = cases
+        .iter()
+        .find(|c| c.name == name)
+        .ok_or_else(|| format!("suite is missing {name}"))?;
+    let ceiling = (MPC_GATE_FRACTION * MPC_LEGACY_E7_NEWTON as f64) as u64;
+    let newton = case.stats.newton_iters;
+    if newton > ceiling {
+        return Err(format!(
+            "{name}: newton_iters {newton} exceeds the MPC gate \
+             ({MPC_GATE_FRACTION} x legacy {MPC_LEGACY_E7_NEWTON} = {ceiling})"
+        ));
+    }
+    Ok(format!(
+        "mpc gate: {name} newton_iters {newton} <= {ceiling} \
+         ({:.1}x cut vs legacy {MPC_LEGACY_E7_NEWTON})",
+        MPC_LEGACY_E7_NEWTON as f64 / newton.max(1) as f64
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +450,20 @@ mod tests {
         assert_eq!(back[1].stats, cases[1].stats);
         // Serialization is a fixed point.
         assert_eq!(suite_to_json(&back), text);
+    }
+
+    #[test]
+    fn mpc_gate_trips_on_newton_regression() {
+        let mk = |newton_iters| PerfCase {
+            name: format!("e7_layout1_{E7_TOTAL_NODES}_nlp_bnb"),
+            stats: SolveStats {
+                newton_iters,
+                ..Default::default()
+            },
+        };
+        assert!(mpc_gate(&[mk(15_000)]).is_ok());
+        assert!(mpc_gate(&[mk(16_000)]).is_err());
+        assert!(mpc_gate(&[case("other", 1)]).is_err(), "missing case fails");
     }
 
     #[test]

@@ -322,6 +322,9 @@ pub fn serve_from_doc(doc: &Json) -> Result<Vec<ServePerfCase>, String> {
             factorizations: read("work", "factorizations")?,
             factor_updates: read("work", "factor_updates")?,
             fill_nnz: read("work", "fill_nnz")?,
+            predictor_steps: read("work", "predictor_steps")?,
+            corrector_steps: read("work", "corrector_steps")?,
+            line_search_backtracks: read("work", "line_search_backtracks")?,
         };
         cases.push(ServePerfCase {
             name,

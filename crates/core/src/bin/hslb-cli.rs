@@ -125,6 +125,10 @@ fn event_json(event: &Event) -> Json {
         Event::NlpSolved { newton_iters } => {
             fields.push(("newton_iters", Json::from(*newton_iters)));
         }
+        Event::BarrierMu { mu, sigma } => {
+            fields.push(("mu", Json::from(*mu)));
+            fields.push(("sigma", Json::from(*sigma)));
+        }
         Event::LmStep { iter, cost } => {
             fields.push(("iter", Json::from(*iter)));
             fields.push(("cost", Json::from(*cost)));

@@ -111,6 +111,9 @@ pub(crate) fn solve_relaxation(
     stats.warm_start_hits += sol.warm_started as u64;
     stats.factorizations += sol.factorizations;
     stats.fill_nnz += sol.fill_nnz;
+    stats.predictor_steps += sol.predictor_steps;
+    stats.corrector_steps += sol.corrector_steps;
+    stats.line_search_backtracks += sol.line_search_backtracks;
     match sol.status {
         NlpStatus::Infeasible => None,
         NlpStatus::Optimal => Some(RelaxOutcome {
@@ -198,6 +201,9 @@ pub(crate) fn polish_candidate(
     stats.warm_start_hits += sol.warm_started as u64;
     stats.factorizations += sol.factorizations;
     stats.fill_nnz += sol.fill_nnz;
+    stats.predictor_steps += sol.predictor_steps;
+    stats.corrector_steps += sol.corrector_steps;
+    stats.line_search_backtracks += sol.line_search_backtracks;
     if sol.status != NlpStatus::Optimal {
         return None;
     }
@@ -244,6 +250,8 @@ pub fn solve_nlp_bnb_seeded(
     let barrier = BarrierOptions {
         trace: opts.trace.clone(),
         backend: opts.backend,
+        mu0_scale: opts.mu0_scale,
+        legacy_schedule: opts.legacy_mu_schedule,
         ..BarrierOptions::default()
     };
     let mut arena = ScratchArena::new(problem.relaxation().clone());

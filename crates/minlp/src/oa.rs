@@ -79,6 +79,8 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
     let barrier = BarrierOptions {
         trace: opts.trace.clone(),
         backend: opts.backend,
+        mu0_scale: opts.mu0_scale,
+        legacy_schedule: opts.legacy_mu_schedule,
         ..BarrierOptions::default()
     };
     let lp_opts = hslb_lp::SimplexOptions {
@@ -122,12 +124,18 @@ pub fn solve_oa_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpSolutio
             stats.newton_iters += s.newton_iters as u64;
             stats.factorizations += s.factorizations;
             stats.fill_nnz += s.fill_nnz;
+            stats.predictor_steps += s.predictor_steps;
+            stats.corrector_steps += s.corrector_steps;
+            stats.line_search_backtracks += s.line_search_backtracks;
             vec![s.x]
         }
         Ok(s) => {
             stats.newton_iters += s.newton_iters as u64;
             stats.factorizations += s.factorizations;
             stats.fill_nnz += s.fill_nnz;
+            stats.predictor_steps += s.predictor_steps;
+            stats.corrector_steps += s.corrector_steps;
+            stats.line_search_backtracks += s.line_search_backtracks;
             sample_points(relax)
         }
         Err(_) => sample_points(relax),

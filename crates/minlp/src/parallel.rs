@@ -234,6 +234,8 @@ pub fn solve_parallel_bnb(problem: &MinlpProblem, opts: &MinlpOptions) -> MinlpS
         barrier: BarrierOptions {
             trace: opts.trace.clone(),
             backend: opts.backend,
+            mu0_scale: opts.mu0_scale,
+            legacy_schedule: opts.legacy_mu_schedule,
             ..BarrierOptions::default()
         },
         budget: SpawnBudget::new(workers.saturating_sub(1)),

@@ -56,6 +56,17 @@ pub struct MinlpOptions {
     /// ones to the sparse kernels; `hslb-cli` exposes `--dense` to force
     /// the oracle everywhere.
     pub backend: hslb_linalg::LinalgBackend,
+    /// Multiplier on the barrier's initial centering target μ₀, forwarded
+    /// to every NLP subsolve (`BarrierOptions::mu0_scale`). Problem
+    /// families whose objective scale differs wildly from the unit-box
+    /// default can shift the whole search's starting centrality without
+    /// touching per-node options.
+    pub mu0_scale: f64,
+    /// Run every NLP subsolve on the legacy fixed-μ barrier schedule
+    /// instead of the Mehrotra predictor-corrector loop
+    /// (`BarrierOptions::legacy_schedule`). A/B hook: answers must agree
+    /// within the backend diff tolerance; only the work counters differ.
+    pub legacy_mu_schedule: bool,
 }
 
 /// Default absolute optimality gap.
@@ -83,6 +94,8 @@ impl Default for MinlpOptions {
             threads: 0,
             warm_start: true,
             backend: hslb_linalg::LinalgBackend::Auto,
+            mu0_scale: 1.0,
+            legacy_mu_schedule: false,
         }
     }
 }

@@ -44,9 +44,9 @@ const MIN_MARGIN_SCALE: f64 = 1e-6;
 /// Cholesky regularization when projecting onto the equality manifold.
 const PROJ_CHOL_REG: f64 = 1e-12;
 /// Cholesky regularization for the unconstrained Newton Hessian.
-const HESS_CHOL_REG: f64 = 1e-10;
+pub(crate) const HESS_CHOL_REG: f64 = 1e-10;
 /// Primal/dual regularization added to the KKT system diagonal.
-const KKT_REG: f64 = 1e-12;
+pub(crate) const KKT_REG: f64 = 1e-12;
 /// Relative threshold below which a fitted inequality dual counts as
 /// "clearly negative" (wrong active-set guess) rather than noise.
 const DUAL_NEG_TOL: f64 = 1e-6;
@@ -54,7 +54,7 @@ const DUAL_NEG_TOL: f64 = 1e-6;
 /// inequality boundary so slacks never collapse to zero.
 const FRACTION_TO_BOUNDARY: f64 = 0.995;
 /// Armijo sufficient-decrease coefficient for the backtracking search.
-const ARMIJO_C1: f64 = 1e-4;
+pub(crate) const ARMIJO_C1: f64 = 1e-4;
 /// Phase-1 interior-depth fraction: exit only once slacks are at least
 /// this fraction of the initial violation scale (a hair past the boundary
 /// gives a ~1/slack²-conditioned Hessian and a dead start).
@@ -127,6 +127,17 @@ pub struct BarrierOptions {
     /// keeps paper-scale systems on the dense oracle and switches large
     /// ones to the sparse factorizations with symbolic reuse.
     pub backend: LinalgBackend,
+    /// Multiplier applied to the initial barrier weight, cold and warm
+    /// alike (must be positive). A per-problem-family heuristic hook: a
+    /// family whose instances start far from the central path can raise
+    /// it, one whose warm seeds are reliably near-optimal can lower it,
+    /// without touching the shared `mu0` default. `1.0` is neutral.
+    pub mu0_scale: f64,
+    /// Run the pre-Mehrotra fixed-μ schedule (geometric shrink, damped
+    /// Newton, Armijo search) instead of the predictor-corrector loop in
+    /// [`crate::mpc`]. Kept for one release as a differential baseline —
+    /// the equivalence batteries diff its answers against the MPC path.
+    pub legacy_schedule: bool,
 }
 
 impl Default for BarrierOptions {
@@ -147,6 +158,8 @@ impl Default for BarrierOptions {
             interior_margin: DEFAULT_INTERIOR_MARGIN,
             trace: Trace::off(),
             backend: LinalgBackend::Auto,
+            mu0_scale: 1.0,
+            legacy_schedule: false,
         }
     }
 }
@@ -204,6 +217,14 @@ pub struct NlpSolution {
     /// Cumulative nonzeros across all sparse factors (zero on the dense
     /// path).
     pub fill_nnz: u64,
+    /// Affine-scaling predictor solves (zero on the legacy schedule).
+    pub predictor_steps: u64,
+    /// Corrector solves, including pure-centering rescues (zero on the
+    /// legacy schedule).
+    pub corrector_steps: u64,
+    /// Merit-search trial steps rejected before acceptance (zero on the
+    /// legacy schedule, whose Armijo halvings are not counted here).
+    pub line_search_backtracks: u64,
 }
 
 impl NlpSolution {
@@ -221,6 +242,9 @@ impl NlpSolution {
             warm_started: false,
             factorizations: 0,
             fill_nnz: 0,
+            predictor_steps: 0,
+            corrector_steps: 0,
+            line_search_backtracks: 0,
         }
     }
 }
@@ -258,7 +282,7 @@ impl WarmStart {
 }
 
 /// Divergence guard: iterates beyond this are treated as unbounded.
-const DIVERGENCE_LIMIT: f64 = 1e13;
+pub(crate) const DIVERGENCE_LIMIT: f64 = 1e13;
 
 /// Solves the problem with default options.
 pub fn solve(p: &NlpProblem) -> Result<NlpSolution, NlpError> {
@@ -403,7 +427,7 @@ fn solve_inner(
                     Err(status) => return Ok(NlpSolution::failed(status, newton_total)),
                 }
             }
-            (x0, opts.mu0)
+            (x0, opts.mu0 * opts.mu0_scale)
         }
     };
 
@@ -420,6 +444,9 @@ fn solve_inner(
     out.warm_started = warm_started;
     out.factorizations = tally.factorizations;
     out.fill_nnz = tally.fill_nnz;
+    out.predictor_steps = tally.predictor_steps;
+    out.corrector_steps = tally.corrector_steps;
+    out.line_search_backtracks = tally.line_search_backtracks;
     // Re-inflate multipliers to the original constraint indexing.
     if out.multipliers.len() == active_map.len() && p.num_constraints() != out.multipliers.len() {
         let mut full = vec![0.0; p.num_constraints()];
@@ -597,11 +624,15 @@ fn warm_mu0(p: &NlpProblem, x: &[f64], multipliers: &[f64], opts: &BarrierOption
             }
         }
     }
-    if est > 0.0 {
+    let base = if est > 0.0 {
         (WARM_MU0_SIGMA * est).clamp(WARM_MU0_MIN, opts.mu0)
     } else {
         WARM_MU0_DEFAULT.min(opts.mu0)
-    }
+    };
+    // The per-family scale applies to warm starts too (a family whose warm
+    // seeds need extra recentering raises it), floored so the first rounds
+    // still move.
+    (base * opts.mu0_scale).max(WARM_MU0_MIN)
 }
 
 /// Finds a point on the equality manifold strictly inside the bound box,
@@ -754,7 +785,7 @@ fn phase_one(
     let sol = barrier_loop(
         &aug,
         z0,
-        opts.mu0,
+        opts.mu0 * opts.mu0_scale,
         opts,
         newton_total,
         tally,
@@ -788,12 +819,16 @@ fn phase_one(
     }
 }
 
-/// Running totals of sparse factorization work across one solve (phase 1
-/// plus the main loop); attached to the returned [`NlpSolution`].
+/// Running totals of factorization and predictor-corrector work across one
+/// solve (phase 1 plus the main loop); attached to the returned
+/// [`NlpSolution`].
 #[derive(Debug, Default, Clone, Copy)]
-struct FactorTally {
-    factorizations: u64,
-    fill_nnz: u64,
+pub(crate) struct FactorTally {
+    pub(crate) factorizations: u64,
+    pub(crate) fill_nnz: u64,
+    pub(crate) predictor_steps: u64,
+    pub(crate) corrector_steps: u64,
+    pub(crate) line_search_backtracks: u64,
 }
 
 /// Sparse Newton/KKT system with its symbolic analysis done once per
@@ -801,16 +836,16 @@ struct FactorTally {
 /// diagonal, equality blocks) is fixed for a given problem, so each
 /// iteration only rewrites the stored values and refactorizes numerically
 /// — re-analyze never.
-struct SparseKkt<'a> {
-    mat: CscMatrix,
+pub(crate) struct SparseKkt<'a> {
+    pub(crate) mat: CscMatrix,
     /// `(row, col)` of each stored nonzero, in storage order.
     positions: Vec<(usize, usize)>,
     /// Symbolic Cholesky (unconstrained case, `m_eq == 0`).
-    chol: Option<CholSymbolic>,
+    pub(crate) chol: Option<CholSymbolic>,
     /// Symbolic LU (equality-constrained KKT case).
-    lu: Option<LuSymbolic>,
+    pub(crate) lu: Option<LuSymbolic>,
     /// Caller-held factorization scratch, reused across solves.
-    ws: &'a mut SparseWorkspace,
+    pub(crate) ws: &'a mut SparseWorkspace,
     k: usize,
     m_eq: usize,
 }
@@ -819,7 +854,7 @@ impl<'a> SparseKkt<'a> {
     /// Builds the structural pattern and runs the symbolic analysis.
     /// Returns `None` when the analysis itself fails (degenerate inputs);
     /// callers then stay on the dense path.
-    fn build(
+    pub(crate) fn build(
         p: &NlpProblem,
         col_of: &std::collections::HashMap<usize, usize>,
         a_eq: &Matrix,
@@ -858,8 +893,7 @@ impl<'a> SparseKkt<'a> {
                 // "no edge" in the KKT sparsity graph; a tolerance here
                 // would drop small but real couplings from the symbolic
                 // factorization.
-                // lint:allow(float-eq): structural zero test on the equality matrix pattern
-                if a_eq[(r, c)] != 0.0 {
+                if !exactly_zero(a_eq[(r, c)]) {
                     pos.insert((c, k + r));
                     pos.insert((k + r, c));
                 }
@@ -892,7 +926,7 @@ impl<'a> SparseKkt<'a> {
 
     /// Rewrites the stored values from the current dense Hessian (and the
     /// fixed equality matrix), preserving the analyzed storage layout.
-    fn fill(&mut self, hess: &Matrix, a_eq: &Matrix) {
+    pub(crate) fn fill(&mut self, hess: &Matrix, a_eq: &Matrix) {
         let (k, m_eq) = (self.k, self.m_eq);
         let positions = &self.positions;
         for (s, v) in self.mat.values_mut().iter_mut().enumerate() {
@@ -997,7 +1031,45 @@ fn barrier_loop(
             warm_started: false,
             factorizations: 0,
             fill_nnz: 0,
+            predictor_steps: 0,
+            corrector_steps: 0,
+            line_search_backtracks: 0,
         };
+    }
+
+    // Predictor-corrector path: the Mehrotra loop replaces the fixed-μ
+    // schedule whenever there is at least one barrier term to center on.
+    // Pure equality-constrained problems (no inequalities, no finite
+    // bounds over the free coordinates) have no complementarity to drive
+    // and stay on the damped-Newton loop below.
+    if !opts.legacy_schedule {
+        let has_barrier_terms = p.num_constraints() > 0
+            || free
+                .iter()
+                .any(|&j| p.lowers()[j].is_finite() || p.uppers()[j].is_finite());
+        if has_barrier_terms {
+            let sol = crate::mpc::run(
+                p,
+                x.clone(),
+                &free,
+                mu0,
+                opts,
+                newton_total,
+                tally,
+                scratch,
+                early_exit,
+            );
+            // The predictor-corrector loop is the fast path, not the only
+            // path: an instance whose long primal journey defeats the
+            // central-path neighborhood (a huge box entered far from the
+            // optimum) can exhaust its budget off-center. Fall back to the
+            // damped-Newton schedule from the same start instead of
+            // returning the cut-short solve; the counters keep both halves,
+            // so the fallback is paid for, never hidden.
+            if sol.status != NlpStatus::IterationLimit {
+                return sol;
+            }
+        }
     }
 
     // Equality matrix over the free subspace.
@@ -1153,6 +1225,9 @@ fn barrier_loop(
                     warm_started: false,
                     factorizations: 0,
                     fill_nnz: 0,
+                    predictor_steps: 0,
+                    corrector_steps: 0,
+                    line_search_backtracks: 0,
                 };
             }
             if let Some((var, threshold)) = early_exit {
@@ -1185,7 +1260,19 @@ fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolut
             }
         })
         .collect();
-    let multipliers = refine_multipliers(p, &x, &raw);
+    finish_with_duals(p, x, &raw, newton_iters)
+}
+
+/// Like `finish`, but starting from explicit raw inequality duals (the
+/// predictor-corrector loop carries true dual iterates rather than the
+/// `μ/(-g)` estimates); both paths share the least-squares refinement.
+pub(crate) fn finish_with_duals(
+    p: &NlpProblem,
+    x: Vec<f64>,
+    raw: &[f64],
+    newton_iters: usize,
+) -> NlpSolution {
+    let multipliers = refine_multipliers(p, &x, raw);
     NlpSolution {
         status: NlpStatus::Optimal,
         objective: p.objective_value(&x),
@@ -1195,6 +1282,9 @@ fn finish(p: &NlpProblem, x: Vec<f64>, mu: f64, newton_iters: usize) -> NlpSolut
         warm_started: false,
         factorizations: 0,
         fill_nnz: 0,
+        predictor_steps: 0,
+        corrector_steps: 0,
+        line_search_backtracks: 0,
     }
 }
 
@@ -1271,7 +1361,7 @@ fn refine_multipliers(p: &NlpProblem, x: &[f64], raw: &[f64]) -> Vec<f64> {
     out
 }
 
-fn strictly_inside(p: &NlpProblem, x: &[f64], free: &[usize]) -> bool {
+pub(crate) fn strictly_inside(p: &NlpProblem, x: &[f64], free: &[usize]) -> bool {
     for &j in free {
         let (lo, hi) = (p.lowers()[j], p.uppers()[j]);
         if (lo.is_finite() && x[j] <= lo) || (hi.is_finite() && x[j] >= hi) {
@@ -1282,7 +1372,7 @@ fn strictly_inside(p: &NlpProblem, x: &[f64], free: &[usize]) -> bool {
 }
 
 /// Barrier objective value (assumes strict feasibility).
-fn barrier_value(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> f64 {
+pub(crate) fn barrier_value(p: &NlpProblem, x: &[f64], mu: f64, free: &[usize]) -> f64 {
     let mut v = p.objective_value(x);
     for c in p.constraints() {
         v -= mu * (-c.eval(x)).ln();

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod barrier;
+pub mod mpc;
 pub mod problem;
 pub mod term;
 

@@ -30,8 +30,20 @@ pub struct SolveStats {
     pub nlp_solves: u64,
     /// Total simplex pivots across all LP solves.
     pub simplex_pivots: u64,
-    /// Total Newton iterations across all barrier solves.
+    /// Total Newton iterations across all barrier solves. Under the
+    /// predictor-corrector barrier each accepted iteration counts once here
+    /// (and once each in `predictor_steps`/`corrector_steps`).
     pub newton_iters: u64,
+    /// Affine-scaling predictor solves in the Mehrotra barrier (one per
+    /// predictor-corrector iteration; zero on the legacy fixed-μ schedule).
+    pub predictor_steps: u64,
+    /// Centering-corrector solves in the Mehrotra barrier (one per
+    /// predictor-corrector iteration, plus pure-centering rescue solves).
+    pub corrector_steps: u64,
+    /// Merit-function backtracks: trial steps rejected by the barrier line
+    /// search before a step was accepted (zero on the legacy schedule,
+    /// whose Armijo damping is not counted here).
+    pub line_search_backtracks: u64,
     /// Total accepted Levenberg-Marquardt steps across all fits.
     pub lm_steps: u64,
     /// Variable-bound tightenings performed by presolve/propagation.
@@ -56,7 +68,7 @@ pub struct SolveStats {
 
 impl SolveStats {
     /// Number of counters in [`fields`](SolveStats::fields).
-    pub const FIELD_COUNT: usize = 16;
+    pub const FIELD_COUNT: usize = 19;
 
     /// Adds every counter of `other` into `self` (parallel merge).
     pub fn merge(&mut self, other: &SolveStats) {
@@ -69,6 +81,9 @@ impl SolveStats {
         self.nlp_solves += other.nlp_solves;
         self.simplex_pivots += other.simplex_pivots;
         self.newton_iters += other.newton_iters;
+        self.predictor_steps += other.predictor_steps;
+        self.corrector_steps += other.corrector_steps;
+        self.line_search_backtracks += other.line_search_backtracks;
         self.lm_steps += other.lm_steps;
         self.presolve_tightenings += other.presolve_tightenings;
         self.warm_start_hits += other.warm_start_hits;
@@ -92,6 +107,9 @@ impl SolveStats {
             ("nlp_solves", self.nlp_solves),
             ("simplex_pivots", self.simplex_pivots),
             ("newton_iters", self.newton_iters),
+            ("predictor_steps", self.predictor_steps),
+            ("corrector_steps", self.corrector_steps),
+            ("line_search_backtracks", self.line_search_backtracks),
             ("lm_steps", self.lm_steps),
             ("presolve_tightenings", self.presolve_tightenings),
             ("warm_start_hits", self.warm_start_hits),
@@ -147,13 +165,16 @@ mod tests {
             nlp_solves: 7,
             simplex_pivots: 8,
             newton_iters: 9,
-            lm_steps: 10,
-            presolve_tightenings: 11,
-            warm_start_hits: 12,
-            dual_pivots: 13,
-            factorizations: 14,
-            factor_updates: 15,
-            fill_nnz: 16,
+            predictor_steps: 10,
+            corrector_steps: 11,
+            line_search_backtracks: 12,
+            lm_steps: 13,
+            presolve_tightenings: 14,
+            warm_start_hits: 15,
+            dual_pivots: 16,
+            factorizations: 17,
+            factor_updates: 18,
+            fill_nnz: 19,
         };
         let b = a;
         a.merge(&b);

@@ -71,6 +71,14 @@ pub enum Event {
         /// Newton iterations spent.
         newton_iters: u64,
     },
+    /// One predictor-corrector barrier iteration finished: the μ trajectory
+    /// point after the centering decision.
+    BarrierMu {
+        /// Complementarity average μ at the top of the iteration.
+        mu: f64,
+        /// Centering parameter σ chosen by the affine-scaling predictor.
+        sigma: f64,
+    },
     /// A Levenberg-Marquardt step was accepted.
     LmStep {
         /// 1-based accepted-step index within the fit.
@@ -95,6 +103,7 @@ impl Event {
             Event::CutsAdded { .. } => "cuts_added",
             Event::LpSolved { .. } => "lp_solved",
             Event::NlpSolved { .. } => "nlp_solved",
+            Event::BarrierMu { .. } => "barrier_mu",
             Event::LmStep { .. } => "lm_step",
             Event::TimeBudgetExhausted { .. } => "time_budget_exhausted",
         }

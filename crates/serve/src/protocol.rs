@@ -222,6 +222,9 @@ pub fn solve_stats_from_json(v: &Json) -> Result<SolveStats, DecodeError> {
         factorizations: opt_field(v, "factorizations")?.unwrap_or(0),
         factor_updates: opt_field(v, "factor_updates")?.unwrap_or(0),
         fill_nnz: opt_field(v, "fill_nnz")?.unwrap_or(0),
+        predictor_steps: opt_field(v, "predictor_steps")?.unwrap_or(0),
+        corrector_steps: opt_field(v, "corrector_steps")?.unwrap_or(0),
+        line_search_backtracks: opt_field(v, "line_search_backtracks")?.unwrap_or(0),
     })
 }
 

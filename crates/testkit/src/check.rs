@@ -11,14 +11,14 @@
 
 use crate::gen::{FitDataset, LpInstance, MinlpInstance, NlpInstance};
 use hslb::{
-    build_flat_model, build_layout_model, layout1_oracle, solve_minmax_waterfill, solve_model,
-    CesmModelSpec, FlatSpec, Layout, SolverBackend,
+    build_flat_model, build_layout_model, layout1_oracle, solve_minmax_waterfill, CesmModelSpec,
+    FlatSpec, Layout, SolverBackend,
 };
 use hslb_lp::LpStatus;
 use hslb_minlp::{
     solve_exhaustive, solve_nlp_bnb, solve_oa_bnb, solve_parallel_bnb, MinlpOptions, MinlpStatus,
 };
-use hslb_nlp::NlpStatus;
+use hslb_nlp::{ConstraintFn, NlpProblem, NlpStatus, ScalarFn};
 use hslb_perfmodel::fit;
 use hslb_rng::Rng;
 
@@ -203,6 +203,48 @@ pub fn check_nlp(inst: &NlpInstance, rng: &mut Rng, probes: usize) -> Result<(),
             ));
         }
     }
+    // Hostile-coefficient probe (barrier v2 guard parity): rebuild the
+    // instance with one load constant pushed toward the overflow edge and
+    // re-solve. 2e17 is the magnitude one flipped decimal point produces
+    // on the wire (the serve-layer wedge pinned in the corpus); 1e160
+    // squares to infinity inside the condensed KKT products, so the
+    // predictor-corrector assembly must fail fast with a typed error
+    // exactly like `Cholesky::new_regularized` does. Returning at all is
+    // the contract — the pre-guard failure mode was an unbounded
+    // regularization spin — and an `Optimal` claim must still be feasible.
+    for hostile_a in [2e17_f64, 1e160] {
+        let k = inst.loads.len();
+        let mut hp = NlpProblem::new();
+        let vars: Vec<usize> = (0..k).map(|_| hp.add_var(0.0, 1.0, inst.cap)).collect();
+        // The epigraph box scales with the poison so the instance stays
+        // feasible — the solver must actually *iterate* on the hostile
+        // coefficient (predictor + corrector), not reject it in phase 1.
+        let t = hp.add_var(1.0, 0.0, (4.0 * hostile_a).max(1e9));
+        for (i, (&v, &(a, d))) in vars.iter().zip(&inst.loads).enumerate() {
+            let a = if i == 0 { hostile_a } else { a };
+            hp.add_constraint(
+                ConstraintFn::new(format!("t{i}"))
+                    .nonlinear_term(v, ScalarFn::perf_model(a, 0.0, 1.0))
+                    .linear_term(t, -1.0)
+                    .with_constant(d),
+            );
+        }
+        let mut c = ConstraintFn::new("cap").with_constant(-inst.cap);
+        for &v in &vars {
+            c = c.linear_term(v, 1.0);
+        }
+        hp.add_constraint(c);
+        match hslb_nlp::solve(&hp) {
+            // A typed fail-fast is the designed outcome.
+            Err(_) => {}
+            Ok(sol) if sol.status == NlpStatus::Optimal && !hp.is_feasible(&sol.x, 1e-4) => {
+                return Err(format!(
+                    "hostile a={hostile_a:e}: Optimal claimed on an infeasible point"
+                ));
+            }
+            Ok(_) => {}
+        }
+    }
     Ok(())
 }
 
@@ -211,7 +253,7 @@ type MinlpSolver = fn(&hslb_minlp::MinlpProblem, &MinlpOptions) -> hslb_minlp::M
 
 /// All three branch-and-bound backends vs the exhaustive oracle.
 pub fn check_minlp(inst: &MinlpInstance) -> Result<(), String> {
-    let opts = MinlpOptions::default();
+    let opts = crate::family_options(crate::Layer::Minlp);
     let oracle = solve_exhaustive(&inst.problem, 2_000_000)
         .ok_or_else(|| "instance too large for oracle (generator bug)".to_string())?;
     if oracle.status != MinlpStatus::Optimal {
@@ -250,7 +292,7 @@ pub fn check_minlp(inst: &MinlpInstance) -> Result<(), String> {
         &inst.problem,
         &MinlpOptions {
             node_selection: hslb_minlp::NodeSelection::DepthFirst,
-            ..MinlpOptions::default()
+            ..opts.clone()
         },
     );
     for threads in [2usize, 4] {
@@ -258,7 +300,7 @@ pub fn check_minlp(inst: &MinlpInstance) -> Result<(), String> {
             &inst.problem,
             &MinlpOptions {
                 threads,
-                ..MinlpOptions::default()
+                ..opts.clone()
             },
         );
         if par.stats != serial_dfs.stats {
@@ -284,7 +326,11 @@ pub fn check_flat(spec: &FlatSpec) -> Result<(), String> {
     let exact = solve_minmax_waterfill(spec)
         .ok_or_else(|| "waterfill found no allocation for a feasible spec".to_string())?;
     let model = build_flat_model(spec);
-    let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
+    let sol = hslb::solve_model_with(
+        &model.problem,
+        SolverBackend::OuterApproximation,
+        &crate::family_options(crate::Layer::Flat),
+    );
     if sol.status != MinlpStatus::Optimal {
         return Err(format!("bnb returned {:?}", sol.status));
     }
@@ -346,7 +392,11 @@ pub fn check_cesm(spec: &CesmModelSpec) -> Result<(), String> {
     let (oracle_alloc, oracle_t) =
         layout1_oracle(spec).ok_or_else(|| "oracle rejected a monotone spec".to_string())?;
     let model = build_layout_model(spec, Layout::Hybrid);
-    let sol = solve_model(&model.problem, SolverBackend::OuterApproximation);
+    let sol = hslb::solve_model_with(
+        &model.problem,
+        SolverBackend::OuterApproximation,
+        &crate::family_options(crate::Layer::Cesm),
+    );
     if sol.status != MinlpStatus::Optimal {
         return Err(format!("bnb returned {:?}", sol.status));
     }
@@ -473,7 +523,7 @@ pub fn check_pipeline(total_nodes: u64, seed: u64) -> Result<(), String> {
         &counts,
         Layout::Hybrid,
         SolverBackend::OuterApproximation,
-        &MinlpOptions::default(),
+        &crate::family_options(crate::Layer::Pipeline),
     )
     .map_err(|e| format!("pipeline failed: {e}"))?;
     let predicted = outcome.predicted.total;

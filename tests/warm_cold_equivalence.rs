@@ -65,6 +65,59 @@ fn warm_and_cold_agree_across_500_generated_instances() {
     }
 }
 
+/// Per-family μ₀ hook (`hslb_testkit::mu0_scale`): with the family's scale
+/// applied, warm solves must never pay more Newton iterations than cold
+/// ones across the family's generated instances (aggregate, 25 instances
+/// per family). This is the guard the ROADMAP watch item asked for — a new
+/// family whose μ₀ heuristic makes warm starts a *regression* fails here,
+/// not in production.
+#[test]
+fn per_family_mu0_keeps_warm_newton_at_or_below_cold() {
+    use hslb::{build_flat_model, build_layout_model, Layout};
+    use hslb_testkit::{family_options, Layer};
+
+    type FamilyBuilder = fn(&mut Rng, u32) -> hslb_minlp::MinlpProblem;
+    let families: [(Layer, FamilyBuilder); 3] = [
+        (Layer::Minlp, |rng, size| {
+            gen::minlp_instance(rng, size).problem
+        }),
+        (Layer::Flat, |rng, size| {
+            build_flat_model(&gen::flat_spec(rng, size)).problem
+        }),
+        (Layer::Cesm, |rng, size| {
+            build_layout_model(&gen::cesm_spec(rng, size), Layout::Hybrid).problem
+        }),
+    ];
+    for (layer, build) in families {
+        let warm_opts = family_options(layer);
+        let cold_opts = MinlpOptions {
+            warm_start: false,
+            ..family_options(layer)
+        };
+        let mut rng = Rng::new(0xFA41_71E5 ^ layer as u64);
+        let (mut warm_total, mut cold_total) = (0u64, 0u64);
+        for case in 0..25u64 {
+            let size = (case % 6) as u32 + 1;
+            let problem = build(&mut rng, size);
+            let warm = solve_nlp_bnb(&problem, &warm_opts);
+            let cold = solve_nlp_bnb(&problem, &cold_opts);
+            assert_eq!(
+                warm.status,
+                cold.status,
+                "{} case {case}: warm/cold status diverged",
+                layer.name()
+            );
+            warm_total += warm.stats.newton_iters;
+            cold_total += cold.stats.newton_iters;
+        }
+        assert!(
+            warm_total <= cold_total,
+            "family {}: warm Newton total {warm_total} exceeds cold {cold_total}",
+            layer.name()
+        );
+    }
+}
+
 /// Mimics one OA master iteration: solve, append a violated `<=` cut, and
 /// re-solve. The warm re-solve enters through the dual simplex from the
 /// previous basis and must beat the cold from-scratch pivot count — that
